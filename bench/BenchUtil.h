@@ -1,0 +1,39 @@
+//===- BenchUtil.h - Shared table-printing helpers ---------------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small helpers shared by the table/figure harnesses. Each bench binary
+/// regenerates one table or figure of the paper's evaluation (§7) and
+/// prints it in a fixed-width layout comparable with the original.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_BENCH_BENCHUTIL_H
+#define TDR_BENCH_BENCHUTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace tdr {
+namespace bench {
+
+/// Prints a horizontal rule sized to the previous header.
+inline void rule(int Width) {
+  for (int I = 0; I < Width; ++I)
+    std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+inline void banner(const std::string &Title) {
+  std::printf("\n%s\n", Title.c_str());
+  rule(static_cast<int>(Title.size()));
+}
+
+} // namespace bench
+} // namespace tdr
+
+#endif // TDR_BENCH_BENCHUTIL_H

@@ -1,0 +1,77 @@
+//===- bench_dp_scaling.cpp - Finish placement DP microbenchmark ----------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+// google-benchmark microbenchmark of Algorithm 1 (the O(n^3) interval DP)
+// and of the dependence-graph crossing precomputation, over synthetic
+// graphs of growing size. Documents the practical cost behind the paper's
+// remark that "the time taken in practice is very small because n and d
+// are small in practice" (§7.2) — and what happens when n is not small.
+//
+//===----------------------------------------------------------------------===//
+
+#include "repair/FinishPlacement.h"
+#include "support/Rng.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace tdr;
+
+namespace {
+
+PlacementProblem syntheticProblem(size_t N, uint64_t Seed) {
+  Rng R(Seed);
+  PlacementProblem P;
+  for (size_t I = 0; I != N; ++I) {
+    P.Times.push_back(R.nextInRange(1, 1000));
+    P.IsAsync.push_back(R.nextBool(0.6));
+  }
+  // Sparse forward edges from async sources, ~n/2 edges.
+  for (size_t E = 0; E != N / 2; ++E) {
+    uint32_t X = static_cast<uint32_t>(R.nextBelow(N - 1));
+    if (!P.IsAsync[X])
+      continue;
+    uint32_t Y = static_cast<uint32_t>(X + 1 + R.nextBelow(N - X - 1));
+    P.Edges.push_back({X, Y});
+  }
+  std::sort(P.Edges.begin(), P.Edges.end());
+  P.Edges.erase(std::unique(P.Edges.begin(), P.Edges.end()), P.Edges.end());
+  return P;
+}
+
+void BM_PlaceFinishes(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  PlacementProblem P = syntheticProblem(N, 42);
+  for (auto _ : State) {
+    PlacementResult R =
+        placeFinishes(P, [](uint32_t, uint32_t) { return true; });
+    benchmark::DoNotOptimize(R.Cost);
+  }
+  State.SetComplexityN(static_cast<benchmark::IterationCount>(N));
+}
+BENCHMARK(BM_PlaceFinishes)->RangeMultiplier(2)->Range(8, 512)->Complexity();
+
+void BM_BruteForceSmall(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  PlacementProblem P = syntheticProblem(N, 42);
+  for (auto _ : State) {
+    PlacementResult R =
+        bruteForcePlacement(P, [](uint32_t, uint32_t) { return true; });
+    benchmark::DoNotOptimize(R.Cost);
+  }
+}
+BENCHMARK(BM_BruteForceSmall)->DenseRange(4, 10, 2);
+
+void BM_EvalPlacementCost(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  PlacementProblem P = syntheticProblem(N, 7);
+  PlacementResult R =
+      placeFinishes(P, [](uint32_t, uint32_t) { return true; });
+  for (auto _ : State)
+    benchmark::DoNotOptimize(evalPlacementCost(P, R.Finishes));
+}
+BENCHMARK(BM_EvalPlacementCost)->Arg(64)->Arg(256);
+
+} // namespace
+
+BENCHMARK_MAIN();

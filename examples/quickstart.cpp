@@ -1,0 +1,68 @@
+//===- quickstart.cpp - Five-minute tour of the repair tool ---------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+// The paper's Figure 8 Fibonacci program, with its synchronization
+// missing, repaired in one call: parse -> detect races on a test input ->
+// place finishes -> print the repaired source (the paper's Figure 15).
+//
+// Run: build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "repair/RepairDriver.h"
+
+#include <cstdio>
+
+using namespace tdr;
+
+int main() {
+  // Figure 8, HJ-mini syntax (BoxInteger becomes a one-element array).
+  // The programmer has marked the recursive calls async (step 2 of the
+  // paper's workflow) but wrote no synchronization.
+  const char *Buggy = R"(
+func fib(ret: int[], n: int) {
+  if (n < 2) {
+    ret[0] = n;
+    return;
+  }
+  var x: int[] = new int[1];
+  var y: int[] = new int[1];
+  async fib(x, n - 1);
+  async fib(y, n - 2);
+  ret[0] = x[0] + y[0];
+}
+
+func main() {
+  var result: int[] = new int[1];
+  async fib(result, arg(0));
+  print(result[0]);
+}
+)";
+
+  std::printf("=== Buggy input program ===\n%s\n", Buggy);
+
+  RepairOptions Opts;
+  Opts.Exec.Args = {10}; // the test input: fib(10)
+
+  std::string Repaired;
+  RepairResult R = repairSource(Buggy, Repaired, Opts);
+  if (!R.Success) {
+    std::printf("repair failed: %s\n", R.Error.c_str());
+    return 1;
+  }
+
+  std::printf("=== Repair summary ===\n");
+  std::printf("S-DPST nodes:        %zu\n", R.Stats.DpstNodes);
+  std::printf("races found:         %llu reports, %zu distinct pairs\n",
+              static_cast<unsigned long long>(R.Stats.RawRaces),
+              R.Stats.RacePairs);
+  std::printf("finishes inserted:   %u\n", R.Stats.FinishesInserted);
+  std::printf("detection runs:      %u (last one confirms race freedom)\n",
+              R.Stats.Iterations);
+
+  std::printf("\n=== Repaired program (compare with the paper's Figure 15) "
+              "===\n%s",
+              Repaired.c_str());
+  return 0;
+}

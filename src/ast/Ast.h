@@ -1,0 +1,555 @@
+//===- Ast.h - HJ-mini abstract syntax trees ---------------------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST node definitions for HJ-mini, the small structured parallel language
+/// this repository uses as its exemplar of async-finish parallelism (the
+/// paper uses a subset of Habanero Java / X10 the same way).
+///
+/// Nodes are arena-owned by an AstContext and referenced by raw pointers.
+/// Statements carry stable ids and source locations: the repair pipeline
+/// records, for every S-DPST node, the statement that created it, and the
+/// static finish placement (paper §6) mutates BlockStmt statement lists to
+/// wrap statement ranges in new FinishStmt nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_AST_AST_H
+#define TDR_AST_AST_H
+
+#include "ast/Type.h"
+#include "support/Casting.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tdr {
+
+class FuncDecl;
+class VarDecl;
+
+//===----------------------------------------------------------------------===//
+// Operators
+//===----------------------------------------------------------------------===//
+
+enum class BinaryOp {
+  Add, Sub, Mul, Div, Mod,          // arithmetic
+  Lt, Le, Gt, Ge, Eq, Ne,           // comparison
+  LAnd, LOr,                        // short-circuit logical
+  BAnd, BOr, BXor, Shl, Shr         // bitwise (int only)
+};
+
+enum class UnaryOp { Neg, Not, BNot };
+
+/// Spelling of a binary operator as it appears in source.
+const char *binaryOpSpelling(BinaryOp Op);
+const char *unaryOpSpelling(UnaryOp Op);
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Builtin functions callable from HJ-mini source.
+enum class Builtin {
+  None,      ///< not a builtin (user function)
+  Print,     ///< print(x): appends x and '\n' to the program output
+  Len,       ///< len(a): array length
+  Sqrt, Abs, Min, Max, Pow, Sin, Cos, Exp, Log, Floor,
+  ToInt,     ///< toInt(d): truncating conversion
+  ToDouble,  ///< toDouble(i)
+  RandInt,   ///< randInt(b): deterministic uniform in [0, b)
+  RandSeed,  ///< randSeed(s): reseeds the interpreter RNG
+  Arg        ///< arg(i): i-th int program argument supplied by the harness
+};
+
+/// Base class of all HJ-mini expressions.
+class Expr {
+public:
+  enum class Kind {
+    IntLit, DoubleLit, BoolLit, VarRef, Index, Call, Unary, Binary, NewArray
+  };
+
+  Kind kind() const { return K; }
+  SourceLoc loc() const { return Loc; }
+
+  /// Static type, filled in by sema; null before type checking.
+  const Type *type() const { return Ty; }
+  void setType(const Type *T) { Ty = T; }
+
+protected:
+  Expr(Kind K, SourceLoc Loc) : K(K), Loc(Loc) {}
+  ~Expr() = default;
+
+private:
+  Kind K;
+  SourceLoc Loc;
+  const Type *Ty = nullptr;
+};
+
+/// A 64-bit integer literal.
+class IntLitExpr : public Expr {
+public:
+  IntLitExpr(int64_t Value, SourceLoc Loc)
+      : Expr(Kind::IntLit, Loc), Value(Value) {}
+
+  int64_t value() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::IntLit; }
+
+private:
+  int64_t Value;
+};
+
+/// A floating point literal.
+class DoubleLitExpr : public Expr {
+public:
+  DoubleLitExpr(double Value, SourceLoc Loc)
+      : Expr(Kind::DoubleLit, Loc), Value(Value) {}
+
+  double value() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::DoubleLit; }
+
+private:
+  double Value;
+};
+
+/// true or false.
+class BoolLitExpr : public Expr {
+public:
+  BoolLitExpr(bool Value, SourceLoc Loc)
+      : Expr(Kind::BoolLit, Loc), Value(Value) {}
+
+  bool value() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::BoolLit; }
+
+private:
+  bool Value;
+};
+
+/// A reference to a global, parameter, or local variable. The declaration
+/// is bound by sema.
+class VarRefExpr : public Expr {
+public:
+  VarRefExpr(std::string Name, SourceLoc Loc)
+      : Expr(Kind::VarRef, Loc), Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+  VarDecl *decl() const { return Decl; }
+  void setDecl(VarDecl *D) { Decl = D; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::VarRef; }
+
+private:
+  std::string Name;
+  VarDecl *Decl = nullptr;
+};
+
+/// Array subscript a[i].
+class IndexExpr : public Expr {
+public:
+  IndexExpr(Expr *Base, Expr *Index, SourceLoc Loc)
+      : Expr(Kind::Index, Loc), Base(Base), Index(Index) {}
+
+  Expr *base() const { return Base; }
+  Expr *index() const { return Index; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Index; }
+
+private:
+  Expr *Base;
+  Expr *Index;
+};
+
+/// A call to a user function or builtin: f(a, b).
+class CallExpr : public Expr {
+public:
+  CallExpr(std::string Callee, std::vector<Expr *> Args, SourceLoc Loc)
+      : Expr(Kind::Call, Loc), CalleeName(std::move(Callee)),
+        Args(std::move(Args)) {}
+
+  const std::string &calleeName() const { return CalleeName; }
+  const std::vector<Expr *> &args() const { return Args; }
+
+  /// Resolved callee (exactly one of the two is set after sema).
+  FuncDecl *callee() const { return Callee; }
+  void setCallee(FuncDecl *F) { Callee = F; }
+  Builtin builtin() const { return BuiltinKind; }
+  void setBuiltin(Builtin B) { BuiltinKind = B; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Call; }
+
+private:
+  std::string CalleeName;
+  std::vector<Expr *> Args;
+  FuncDecl *Callee = nullptr;
+  Builtin BuiltinKind = Builtin::None;
+};
+
+/// A unary operation.
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnaryOp Op, Expr *Operand, SourceLoc Loc)
+      : Expr(Kind::Unary, Loc), Op(Op), Operand(Operand) {}
+
+  UnaryOp op() const { return Op; }
+  Expr *operand() const { return Operand; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Unary; }
+
+private:
+  UnaryOp Op;
+  Expr *Operand;
+};
+
+/// A binary operation.
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinaryOp Op, Expr *Lhs, Expr *Rhs, SourceLoc Loc)
+      : Expr(Kind::Binary, Loc), Op(Op), Lhs(Lhs), Rhs(Rhs) {}
+
+  BinaryOp op() const { return Op; }
+  Expr *lhs() const { return Lhs; }
+  Expr *rhs() const { return Rhs; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Binary; }
+
+private:
+  BinaryOp Op;
+  Expr *Lhs;
+  Expr *Rhs;
+};
+
+/// Array allocation: new int[n], new double[n][m] (array of arrays,
+/// allocated rectangularly). ElemType is the *scalar* base element type;
+/// the number of dimension expressions gives the nesting depth.
+class NewArrayExpr : public Expr {
+public:
+  NewArrayExpr(const Type *ElemType, std::vector<Expr *> Dims, SourceLoc Loc)
+      : Expr(Kind::NewArray, Loc), ElemType(ElemType), Dims(std::move(Dims)) {}
+
+  const Type *elemType() const { return ElemType; }
+  const std::vector<Expr *> &dims() const { return Dims; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::NewArray; }
+
+private:
+  const Type *ElemType;
+  std::vector<Expr *> Dims;
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+/// A variable declaration: global, parameter, or local.
+class VarDecl {
+public:
+  enum class Kind { Global, Param, Local };
+
+  VarDecl(Kind K, std::string Name, const Type *Ty, SourceLoc Loc)
+      : K(K), Name(std::move(Name)), Ty(Ty), Loc(Loc) {}
+
+  Kind kind() const { return K; }
+  bool isGlobal() const { return K == Kind::Global; }
+  const std::string &name() const { return Name; }
+  const Type *type() const { return Ty; }
+  SourceLoc loc() const { return Loc; }
+
+  /// Storage slot: global index for globals, frame slot for params/locals.
+  /// Assigned by sema.
+  uint32_t slot() const { return Slot; }
+  void setSlot(uint32_t S) { Slot = S; }
+
+  /// Initializer, used by globals only (locals initialize through their
+  /// VarDeclStmt).
+  Expr *init() const { return Init; }
+  void setInit(Expr *E) { Init = E; }
+
+private:
+  Kind K;
+  std::string Name;
+  const Type *Ty;
+  SourceLoc Loc;
+  uint32_t Slot = 0;
+  Expr *Init = nullptr;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+class BlockStmt;
+
+/// Base class of all HJ-mini statements. Every statement has a stable id
+/// (unique within its AstContext) that the S-DPST uses to tie dynamic nodes
+/// back to static program points.
+class Stmt {
+public:
+  enum class Kind {
+    Block, VarDecl, Assign, Expr, If, While, For, Return, Async, Finish
+  };
+
+  Kind kind() const { return K; }
+  SourceLoc loc() const { return Loc; }
+  void setLoc(SourceLoc L) { Loc = L; }
+  uint32_t id() const { return Id; }
+
+protected:
+  Stmt(Kind K, SourceLoc Loc) : K(K), Loc(Loc) {}
+  ~Stmt() = default;
+
+private:
+  friend class AstContext;
+  Kind K;
+  SourceLoc Loc;
+  uint32_t Id = 0;
+};
+
+/// { s1; s2; ... } — introduces a declaration scope. The statement list is
+/// mutable: the repair tool edits it in place when inserting finishes.
+class BlockStmt : public Stmt {
+public:
+  explicit BlockStmt(std::vector<Stmt *> Stmts, SourceLoc Loc)
+      : Stmt(Kind::Block, Loc), Stmts(std::move(Stmts)) {}
+
+  const std::vector<Stmt *> &stmts() const { return Stmts; }
+  std::vector<Stmt *> &stmts() { return Stmts; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Block; }
+
+private:
+  std::vector<Stmt *> Stmts;
+};
+
+/// var T name = init; — a local declaration.
+class VarDeclStmt : public Stmt {
+public:
+  VarDeclStmt(VarDecl *Decl, Expr *Init, SourceLoc Loc)
+      : Stmt(Kind::VarDecl, Loc), Decl(Decl), Init(Init) {}
+
+  VarDecl *decl() const { return Decl; }
+  Expr *init() const { return Init; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::VarDecl; }
+
+private:
+  VarDecl *Decl;
+  Expr *Init; ///< may be null (default-initialized)
+};
+
+/// target = value; or target op= value;  The target is a VarRefExpr or an
+/// IndexExpr (checked by sema).
+class AssignStmt : public Stmt {
+public:
+  /// CompoundOp is the op of "op=", or nullopt for plain "=".
+  AssignStmt(Expr *Target, Expr *Value, SourceLoc Loc)
+      : Stmt(Kind::Assign, Loc), Target(Target), Value(Value) {}
+
+  Expr *target() const { return Target; }
+  Expr *value() const { return Value; }
+  bool isCompound() const { return Compound; }
+  BinaryOp compoundOp() const { return CompoundOp; }
+  void setCompound(BinaryOp Op) {
+    Compound = true;
+    CompoundOp = Op;
+  }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Assign; }
+
+private:
+  Expr *Target;
+  Expr *Value;
+  bool Compound = false;
+  BinaryOp CompoundOp = BinaryOp::Add;
+};
+
+/// An expression evaluated for effect (a call).
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(Expr *E, SourceLoc Loc) : Stmt(Kind::Expr, Loc), E(E) {}
+
+  Expr *expr() const { return E; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Expr; }
+
+private:
+  Expr *E;
+};
+
+/// if (cond) then else else?
+class IfStmt : public Stmt {
+public:
+  IfStmt(Expr *Cond, Stmt *Then, Stmt *Else, SourceLoc Loc)
+      : Stmt(Kind::If, Loc), Cond(Cond), Then(Then), Else(Else) {}
+
+  Expr *cond() const { return Cond; }
+  Stmt *thenStmt() const { return Then; }
+  Stmt *elseStmt() const { return Else; } ///< may be null
+  void setThenStmt(Stmt *S) { Then = S; }
+  void setElseStmt(Stmt *S) { Else = S; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::If; }
+
+private:
+  Expr *Cond;
+  Stmt *Then;
+  Stmt *Else;
+};
+
+/// while (cond) body
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(Expr *Cond, Stmt *Body, SourceLoc Loc)
+      : Stmt(Kind::While, Loc), Cond(Cond), Body(Body) {}
+
+  Expr *cond() const { return Cond; }
+  Stmt *body() const { return Body; }
+  void setBody(Stmt *S) { Body = S; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::While; }
+
+private:
+  Expr *Cond;
+  Stmt *Body;
+};
+
+/// for (init; cond; step) body — init and step are statements (a var decl
+/// or assignment for init; an assignment for step); any of the three header
+/// parts may be null.
+class ForStmt : public Stmt {
+public:
+  ForStmt(Stmt *Init, Expr *Cond, Stmt *Step, Stmt *Body, SourceLoc Loc)
+      : Stmt(Kind::For, Loc), Init(Init), Cond(Cond), Step(Step), Body(Body) {}
+
+  Stmt *init() const { return Init; }
+  Expr *cond() const { return Cond; }
+  Stmt *step() const { return Step; }
+  Stmt *body() const { return Body; }
+  void setBody(Stmt *S) { Body = S; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::For; }
+
+private:
+  Stmt *Init;
+  Expr *Cond;
+  Stmt *Step;
+  Stmt *Body;
+};
+
+/// return expr?;
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(Expr *Value, SourceLoc Loc)
+      : Stmt(Kind::Return, Loc), Value(Value) {}
+
+  Expr *value() const { return Value; } ///< may be null
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Return; }
+
+private:
+  Expr *Value;
+};
+
+/// async body — creates a child task that may run in parallel with the
+/// remainder of the parent task.
+class AsyncStmt : public Stmt {
+public:
+  AsyncStmt(Stmt *Body, SourceLoc Loc) : Stmt(Kind::Async, Loc), Body(Body) {}
+
+  Stmt *body() const { return Body; }
+  void setBody(Stmt *S) { Body = S; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Async; }
+
+private:
+  Stmt *Body;
+};
+
+/// finish body — the parent task waits for all tasks transitively created
+/// inside the body. FinishStmt nodes are both user-written and synthesized
+/// by the repair tool.
+class FinishStmt : public Stmt {
+public:
+  FinishStmt(Stmt *Body, SourceLoc Loc)
+      : Stmt(Kind::Finish, Loc), Body(Body) {}
+
+  Stmt *body() const { return Body; }
+  void setBody(Stmt *S) { Body = S; }
+
+  /// True when this finish was inserted by the repair tool (used by
+  /// reports and tests to distinguish repairs from original code).
+  bool isSynthesized() const { return Synthesized; }
+  void setSynthesized(bool B) { Synthesized = B; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Finish; }
+
+private:
+  Stmt *Body;
+  bool Synthesized = false;
+};
+
+//===----------------------------------------------------------------------===//
+// Functions and programs
+//===----------------------------------------------------------------------===//
+
+/// func name(params): ret { body }
+class FuncDecl {
+public:
+  FuncDecl(std::string Name, std::vector<VarDecl *> Params,
+           const Type *ReturnType, BlockStmt *Body, SourceLoc Loc)
+      : Name(std::move(Name)), Params(std::move(Params)),
+        ReturnType(ReturnType), Body(Body), Loc(Loc) {}
+
+  const std::string &name() const { return Name; }
+  const std::vector<VarDecl *> &params() const { return Params; }
+  const Type *returnType() const { return ReturnType; }
+  BlockStmt *body() const { return Body; }
+  SourceLoc loc() const { return Loc; }
+
+  /// Number of frame slots (params + all locals), assigned by sema.
+  uint32_t numFrameSlots() const { return NumFrameSlots; }
+  void setNumFrameSlots(uint32_t N) { NumFrameSlots = N; }
+
+private:
+  std::string Name;
+  std::vector<VarDecl *> Params;
+  const Type *ReturnType;
+  BlockStmt *Body;
+  SourceLoc Loc;
+  uint32_t NumFrameSlots = 0;
+};
+
+/// A whole HJ-mini compilation unit.
+class Program {
+public:
+  std::vector<VarDecl *> &globals() { return Globals; }
+  const std::vector<VarDecl *> &globals() const { return Globals; }
+  std::vector<FuncDecl *> &funcs() { return Funcs; }
+  const std::vector<FuncDecl *> &funcs() const { return Funcs; }
+
+  /// Finds a function by name; null if absent.
+  FuncDecl *findFunc(const std::string &Name) const {
+    for (FuncDecl *F : Funcs)
+      if (F->name() == Name)
+        return F;
+    return nullptr;
+  }
+
+  /// The entry point, conventionally "main".
+  FuncDecl *mainFunc() const { return findFunc("main"); }
+
+private:
+  std::vector<VarDecl *> Globals;
+  std::vector<FuncDecl *> Funcs;
+};
+
+} // namespace tdr
+
+#endif // TDR_AST_AST_H

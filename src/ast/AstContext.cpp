@@ -1,0 +1,59 @@
+//===- AstContext.cpp -----------------------------------------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/AstContext.h"
+
+using namespace tdr;
+
+AstContext::AstContext() {
+  IntTy.reset(new Type(Type::Kind::Int));
+  DoubleTy.reset(new Type(Type::Kind::Double));
+  BoolTy.reset(new Type(Type::Kind::Bool));
+  VoidTy.reset(new Type(Type::Kind::Void));
+}
+
+AstContext::~AstContext() = default;
+
+const Type *AstContext::arrayType(const Type *Elem) {
+  for (const auto &T : ArrayTys)
+    if (T->elem() == Elem)
+      return T.get();
+  ArrayTys.push_back(std::unique_ptr<Type>(new Type(Type::Kind::Array, Elem)));
+  return ArrayTys.back().get();
+}
+
+const char *tdr::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add: return "+";
+  case BinaryOp::Sub: return "-";
+  case BinaryOp::Mul: return "*";
+  case BinaryOp::Div: return "/";
+  case BinaryOp::Mod: return "%";
+  case BinaryOp::Lt: return "<";
+  case BinaryOp::Le: return "<=";
+  case BinaryOp::Gt: return ">";
+  case BinaryOp::Ge: return ">=";
+  case BinaryOp::Eq: return "==";
+  case BinaryOp::Ne: return "!=";
+  case BinaryOp::LAnd: return "&&";
+  case BinaryOp::LOr: return "||";
+  case BinaryOp::BAnd: return "&";
+  case BinaryOp::BOr: return "|";
+  case BinaryOp::BXor: return "^";
+  case BinaryOp::Shl: return "<<";
+  case BinaryOp::Shr: return ">>";
+  }
+  return "?";
+}
+
+const char *tdr::unaryOpSpelling(UnaryOp Op) {
+  switch (Op) {
+  case UnaryOp::Neg: return "-";
+  case UnaryOp::Not: return "!";
+  case UnaryOp::BNot: return "~";
+  }
+  return "?";
+}

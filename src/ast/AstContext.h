@@ -1,0 +1,109 @@
+//===- AstContext.h - AST node ownership ------------------------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Arena ownership for AST nodes and interning for types. All nodes created
+/// through an AstContext stay alive as long as the context does, so the
+/// repair pipeline can freely hold raw Stmt pointers across AST edits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_AST_ASTCONTEXT_H
+#define TDR_AST_ASTCONTEXT_H
+
+#include "ast/Ast.h"
+
+#include <deque>
+#include <memory>
+
+namespace tdr {
+
+/// Owns every AST node of one program and interns types.
+class AstContext {
+public:
+  AstContext();
+  ~AstContext();
+  AstContext(const AstContext &) = delete;
+  AstContext &operator=(const AstContext &) = delete;
+
+  //===--------------------------------------------------------------------==//
+  // Types (interned; pointer equality is type equality)
+  //===--------------------------------------------------------------------==//
+
+  const Type *intType() const { return IntTy.get(); }
+  const Type *doubleType() const { return DoubleTy.get(); }
+  const Type *boolType() const { return BoolTy.get(); }
+  const Type *voidType() const { return VoidTy.get(); }
+  const Type *arrayType(const Type *Elem);
+
+  //===--------------------------------------------------------------------==//
+  // Node creation
+  //===--------------------------------------------------------------------==//
+
+  template <typename T, typename... ArgTs> T *createExpr(ArgTs &&...Args) {
+    auto Node = std::make_unique<T>(std::forward<ArgTs>(Args)...);
+    T *Raw = Node.get();
+    Exprs.push_back(ExprPtr(Node.release(), &destroyExpr<T>));
+    return Raw;
+  }
+
+  template <typename T, typename... ArgTs> T *createStmt(ArgTs &&...Args) {
+    auto Node = std::make_unique<T>(std::forward<ArgTs>(Args)...);
+    T *Raw = Node.get();
+    Raw->Id = NextStmtId++;
+    Stmts.push_back(StmtPtr(Node.release(), &destroyStmt<T>));
+    return Raw;
+  }
+
+  VarDecl *createVarDecl(VarDecl::Kind K, std::string Name, const Type *Ty,
+                         SourceLoc Loc) {
+    VarDecls.push_back(
+        std::make_unique<VarDecl>(K, std::move(Name), Ty, Loc));
+    return VarDecls.back().get();
+  }
+
+  FuncDecl *createFuncDecl(std::string Name, std::vector<VarDecl *> Params,
+                           const Type *ReturnType, BlockStmt *Body,
+                           SourceLoc Loc) {
+    FuncDecls.push_back(std::make_unique<FuncDecl>(
+        std::move(Name), std::move(Params), ReturnType, Body, Loc));
+    return FuncDecls.back().get();
+  }
+
+  Program *createProgram() {
+    Programs.push_back(std::make_unique<Program>());
+    return Programs.back().get();
+  }
+
+  /// Number of statements created so far (ids are 1..numStmts()).
+  uint32_t numStmts() const { return NextStmtId - 1; }
+
+private:
+  // Exprs and Stmts are non-polymorphic bases (no virtual destructor by
+  // design, per the no-RTTI style), so each node remembers its own deleter.
+  using ExprPtr = std::unique_ptr<Expr, void (*)(Expr *)>;
+  using StmtPtr = std::unique_ptr<Stmt, void (*)(Stmt *)>;
+
+  template <typename T> static void destroyExpr(Expr *E) {
+    delete static_cast<T *>(E);
+  }
+  template <typename T> static void destroyStmt(Stmt *S) {
+    delete static_cast<T *>(S);
+  }
+
+  std::unique_ptr<Type> IntTy, DoubleTy, BoolTy, VoidTy;
+  std::deque<std::unique_ptr<Type>> ArrayTys;
+  std::deque<ExprPtr> Exprs;
+  std::deque<StmtPtr> Stmts;
+  std::deque<std::unique_ptr<VarDecl>> VarDecls;
+  std::deque<std::unique_ptr<FuncDecl>> FuncDecls;
+  std::deque<std::unique_ptr<Program>> Programs;
+  uint32_t NextStmtId = 1;
+};
+
+} // namespace tdr
+
+#endif // TDR_AST_ASTCONTEXT_H

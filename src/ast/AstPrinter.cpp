@@ -1,0 +1,328 @@
+//===- AstPrinter.cpp -----------------------------------------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/AstPrinter.h"
+
+#include "ast/Ast.h"
+#include "support/StringUtils.h"
+
+#include <cmath>
+
+using namespace tdr;
+
+namespace {
+
+/// Binding strength used to decide where parentheses are required.
+int precedenceOf(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::LOr: return 1;
+  case BinaryOp::LAnd: return 2;
+  case BinaryOp::BOr: return 3;
+  case BinaryOp::BXor: return 4;
+  case BinaryOp::BAnd: return 5;
+  case BinaryOp::Eq:
+  case BinaryOp::Ne: return 6;
+  case BinaryOp::Lt:
+  case BinaryOp::Le:
+  case BinaryOp::Gt:
+  case BinaryOp::Ge: return 7;
+  case BinaryOp::Shl:
+  case BinaryOp::Shr: return 8;
+  case BinaryOp::Add:
+  case BinaryOp::Sub: return 9;
+  case BinaryOp::Mul:
+  case BinaryOp::Div:
+  case BinaryOp::Mod: return 10;
+  }
+  return 0;
+}
+
+class Printer {
+public:
+  std::string Out;
+
+  void indent(unsigned Level) { Out.append(Level * 2, ' '); }
+
+  void expr(const Expr *E, int ParentPrec = 0) {
+    switch (E->kind()) {
+    case Expr::Kind::IntLit:
+      Out += std::to_string(cast<IntLitExpr>(E)->value());
+      return;
+    case Expr::Kind::DoubleLit: {
+      double V = cast<DoubleLitExpr>(E)->value();
+      std::string S = strFormat("%.17g", V);
+      // Keep the literal recognizably floating point on round-trip.
+      if (S.find('.') == std::string::npos &&
+          S.find('e') == std::string::npos &&
+          S.find("inf") == std::string::npos &&
+          S.find("nan") == std::string::npos)
+        S += ".0";
+      Out += S;
+      return;
+    }
+    case Expr::Kind::BoolLit:
+      Out += cast<BoolLitExpr>(E)->value() ? "true" : "false";
+      return;
+    case Expr::Kind::VarRef:
+      Out += cast<VarRefExpr>(E)->name();
+      return;
+    case Expr::Kind::Index: {
+      const auto *I = cast<IndexExpr>(E);
+      expr(I->base(), 100);
+      Out += '[';
+      expr(I->index());
+      Out += ']';
+      return;
+    }
+    case Expr::Kind::Call: {
+      const auto *C = cast<CallExpr>(E);
+      Out += C->calleeName();
+      Out += '(';
+      bool First = true;
+      for (const Expr *A : C->args()) {
+        if (!First)
+          Out += ", ";
+        First = false;
+        expr(A);
+      }
+      Out += ')';
+      return;
+    }
+    case Expr::Kind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      Out += unaryOpSpelling(U->op());
+      expr(U->operand(), 99);
+      return;
+    }
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      int Prec = precedenceOf(B->op());
+      bool Paren = Prec < ParentPrec;
+      if (Paren)
+        Out += '(';
+      expr(B->lhs(), Prec);
+      Out += ' ';
+      Out += binaryOpSpelling(B->op());
+      Out += ' ';
+      // Right operand binds tighter: a - b - c prints as-is, but the tree
+      // (a - (b - c)) needs parentheses on the right.
+      expr(B->rhs(), Prec + 1);
+      if (Paren)
+        Out += ')';
+      return;
+    }
+    case Expr::Kind::NewArray: {
+      const auto *N = cast<NewArrayExpr>(E);
+      Out += "new ";
+      Out += N->elemType()->str();
+      for (const Expr *D : N->dims()) {
+        Out += '[';
+        expr(D);
+        Out += ']';
+      }
+      return;
+    }
+    }
+  }
+
+  /// Prints \p S starting at the current position (caller has indented);
+  /// ends with a newline.
+  void stmt(const Stmt *S, unsigned Level) {
+    switch (S->kind()) {
+    case Stmt::Kind::Block: {
+      Out += "{\n";
+      for (const Stmt *Child : cast<BlockStmt>(S)->stmts()) {
+        indent(Level + 1);
+        stmt(Child, Level + 1);
+      }
+      indent(Level);
+      Out += "}\n";
+      return;
+    }
+    case Stmt::Kind::VarDecl: {
+      const auto *V = cast<VarDeclStmt>(S);
+      Out += "var ";
+      Out += V->decl()->name();
+      Out += ": ";
+      Out += V->decl()->type()->str();
+      if (V->init()) {
+        Out += " = ";
+        expr(V->init());
+      }
+      Out += ";\n";
+      return;
+    }
+    case Stmt::Kind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      expr(A->target());
+      if (A->isCompound()) {
+        Out += ' ';
+        Out += binaryOpSpelling(A->compoundOp());
+        Out += "= ";
+      } else {
+        Out += " = ";
+      }
+      expr(A->value());
+      Out += ";\n";
+      return;
+    }
+    case Stmt::Kind::Expr:
+      expr(cast<ExprStmt>(S)->expr());
+      Out += ";\n";
+      return;
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      Out += "if (";
+      expr(I->cond());
+      Out += ") ";
+      inlineBody(I->thenStmt(), Level);
+      if (I->elseStmt()) {
+        // The then-branch print ended with a newline; continue on a fresh
+        // indented line.
+        indent(Level);
+        Out += "else ";
+        inlineBody(I->elseStmt(), Level);
+      }
+      return;
+    }
+    case Stmt::Kind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      Out += "while (";
+      expr(W->cond());
+      Out += ") ";
+      inlineBody(W->body(), Level);
+      return;
+    }
+    case Stmt::Kind::For: {
+      const auto *F = cast<ForStmt>(S);
+      Out += "for (";
+      if (F->init())
+        headerStmt(F->init());
+      Out += "; ";
+      if (F->cond())
+        expr(F->cond());
+      Out += "; ";
+      if (F->step())
+        headerStmt(F->step());
+      Out += ") ";
+      inlineBody(F->body(), Level);
+      return;
+    }
+    case Stmt::Kind::Return: {
+      const auto *R = cast<ReturnStmt>(S);
+      Out += "return";
+      if (R->value()) {
+        Out += ' ';
+        expr(R->value());
+      }
+      Out += ";\n";
+      return;
+    }
+    case Stmt::Kind::Async:
+      Out += "async ";
+      inlineBody(cast<AsyncStmt>(S)->body(), Level);
+      return;
+    case Stmt::Kind::Finish:
+      Out += "finish ";
+      inlineBody(cast<FinishStmt>(S)->body(), Level);
+      return;
+    }
+  }
+
+private:
+  /// Prints the body of a structured statement on the same line when it is
+  /// a block, or on a fresh indented line otherwise.
+  void inlineBody(const Stmt *Body, unsigned Level) {
+    switch (Body->kind()) {
+    case Stmt::Kind::Block:
+    case Stmt::Kind::VarDecl:
+    case Stmt::Kind::Assign:
+    case Stmt::Kind::Expr:
+    case Stmt::Kind::Return:
+    case Stmt::Kind::Async:
+    case Stmt::Kind::Finish:
+      // Simple or chainable bodies stay on the same line:
+      // "async quicksort(a, lo, j);" / "finish async f();".
+      stmt(Body, Level);
+      return;
+    case Stmt::Kind::If:
+    case Stmt::Kind::While:
+    case Stmt::Kind::For:
+      Out += "\n";
+      indent(Level + 1);
+      stmt(Body, Level + 1);
+      return;
+    }
+  }
+
+  /// Prints a for-header init/step statement without the ";\n" terminator.
+  void headerStmt(const Stmt *S) {
+    std::string Saved = std::move(Out);
+    Out.clear();
+    stmt(S, 0);
+    // Drop the ";\n" the statement printer appended.
+    while (!Out.empty() && (Out.back() == '\n' || Out.back() == ';'))
+      Out.pop_back();
+    std::string Inner = std::move(Out);
+    Out = std::move(Saved);
+    Out += Inner;
+  }
+};
+
+} // namespace
+
+std::string tdr::printExpr(const Expr *E) {
+  Printer P;
+  P.expr(E);
+  return std::move(P.Out);
+}
+
+std::string tdr::printStmt(const Stmt *S, unsigned Indent) {
+  Printer P;
+  P.indent(Indent);
+  P.stmt(S, Indent);
+  return std::move(P.Out);
+}
+
+std::string tdr::printProgram(const Program &Prog) {
+  Printer P;
+  for (const VarDecl *G : Prog.globals()) {
+    P.Out += "var ";
+    P.Out += G->name();
+    P.Out += ": ";
+    P.Out += G->type()->str();
+    if (G->init()) {
+      P.Out += " = ";
+      P.expr(G->init());
+    }
+    P.Out += ";\n";
+  }
+  if (!Prog.globals().empty())
+    P.Out += "\n";
+  for (const FuncDecl *F : Prog.funcs()) {
+    P.Out += "func ";
+    P.Out += F->name();
+    P.Out += '(';
+    bool First = true;
+    for (const VarDecl *Param : F->params()) {
+      if (!First)
+        P.Out += ", ";
+      First = false;
+      P.Out += Param->name();
+      P.Out += ": ";
+      P.Out += Param->type()->str();
+    }
+    P.Out += ')';
+    if (!F->returnType()->isVoid()) {
+      P.Out += ": ";
+      P.Out += F->returnType()->str();
+    }
+    P.Out += ' ';
+    P.stmt(F->body(), 0);
+    P.Out += "\n";
+  }
+  return std::move(P.Out);
+}

@@ -1,0 +1,37 @@
+//===- AstPrinter.h - HJ-mini pretty printer --------------------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints an AST back to HJ-mini source text. The output is parseable: the
+/// repair pipeline prints the repaired program and re-parses it both to
+/// verify well-formedness and to hand downstream passes fresh source
+/// locations for the synthesized finish statements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_AST_ASTPRINTER_H
+#define TDR_AST_ASTPRINTER_H
+
+#include <string>
+
+namespace tdr {
+
+class Program;
+class Stmt;
+class Expr;
+
+/// Renders the whole program as source text.
+std::string printProgram(const Program &P);
+
+/// Renders a single statement (multi-line, \p Indent leading levels).
+std::string printStmt(const Stmt *S, unsigned Indent = 0);
+
+/// Renders an expression on one line.
+std::string printExpr(const Expr *E);
+
+} // namespace tdr
+
+#endif // TDR_AST_ASTPRINTER_H

@@ -1,0 +1,290 @@
+//===- Transforms.cpp -----------------------------------------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Transforms.h"
+
+#include "ast/AstContext.h"
+
+#include <cassert>
+#include <functional>
+
+using namespace tdr;
+
+namespace {
+
+/// Rewrites every statement slot of a program, bottom-up and in place.
+/// The Rewrite callback receives each statement after its children have
+/// been processed and returns the statement to put in its slot.
+class StmtRewriter {
+public:
+  explicit StmtRewriter(std::function<Stmt *(Stmt *)> Rewrite)
+      : Rewrite(std::move(Rewrite)) {}
+
+  void run(Program &P) {
+    for (FuncDecl *F : P.funcs()) {
+      Stmt *NewBody = rewriteTree(F->body());
+      assert(NewBody == F->body() &&
+             "rewrites must not replace a function body block");
+      (void)NewBody;
+    }
+  }
+
+  Stmt *rewriteTree(Stmt *S) {
+    switch (S->kind()) {
+    case Stmt::Kind::Block: {
+      auto *B = cast<BlockStmt>(S);
+      for (Stmt *&Child : B->stmts())
+        Child = rewriteTree(Child);
+      break;
+    }
+    case Stmt::Kind::If: {
+      auto *I = cast<IfStmt>(S);
+      I->setThenStmt(rewriteTree(I->thenStmt()));
+      if (I->elseStmt())
+        I->setElseStmt(rewriteTree(I->elseStmt()));
+      break;
+    }
+    case Stmt::Kind::While: {
+      auto *W = cast<WhileStmt>(S);
+      W->setBody(rewriteTree(W->body()));
+      break;
+    }
+    case Stmt::Kind::For: {
+      auto *F = cast<ForStmt>(S);
+      F->setBody(rewriteTree(F->body()));
+      break;
+    }
+    case Stmt::Kind::Async: {
+      auto *A = cast<AsyncStmt>(S);
+      A->setBody(rewriteTree(A->body()));
+      break;
+    }
+    case Stmt::Kind::Finish: {
+      auto *F = cast<FinishStmt>(S);
+      F->setBody(rewriteTree(F->body()));
+      break;
+    }
+    case Stmt::Kind::VarDecl:
+    case Stmt::Kind::Assign:
+    case Stmt::Kind::Expr:
+    case Stmt::Kind::Return:
+      break;
+    }
+    return Rewrite(S);
+  }
+
+private:
+  std::function<Stmt *(Stmt *)> Rewrite;
+};
+
+} // namespace
+
+unsigned tdr::stripFinishes(Program &P) {
+  unsigned Removed = 0;
+  StmtRewriter R([&](Stmt *S) -> Stmt * {
+    if (auto *F = dyn_cast<FinishStmt>(S)) {
+      ++Removed;
+      return F->body();
+    }
+    return S;
+  });
+  R.run(P);
+  return Removed;
+}
+
+unsigned tdr::elideParallelism(Program &P) {
+  unsigned Removed = 0;
+  StmtRewriter R([&](Stmt *S) -> Stmt * {
+    if (auto *F = dyn_cast<FinishStmt>(S)) {
+      ++Removed;
+      return F->body();
+    }
+    if (auto *A = dyn_cast<AsyncStmt>(S)) {
+      ++Removed;
+      return A->body();
+    }
+    return S;
+  });
+  R.run(P);
+  return Removed;
+}
+
+FinishStmt *tdr::wrapInFinish(AstContext &Ctx, BlockStmt *B, size_t Begin,
+                              size_t End) {
+  assert(Begin <= End && End < B->stmts().size() &&
+         "finish range out of bounds");
+  Stmt *Body;
+  SourceLoc Loc = B->stmts()[Begin]->loc();
+  if (Begin == End) {
+    Body = B->stmts()[Begin];
+  } else {
+    std::vector<Stmt *> Inner(B->stmts().begin() + Begin,
+                              B->stmts().begin() + End + 1);
+    Body = Ctx.createStmt<BlockStmt>(std::move(Inner), Loc);
+  }
+  auto *Finish = Ctx.createStmt<FinishStmt>(Body, Loc);
+  Finish->setSynthesized(true);
+  auto &Stmts = B->stmts();
+  Stmts.erase(Stmts.begin() + Begin, Stmts.begin() + End + 1);
+  Stmts.insert(Stmts.begin() + Begin, Finish);
+  return Finish;
+}
+
+namespace {
+template <typename Fn> void walkStmts(Stmt *S, Fn &&Visit) {
+  Visit(S);
+  switch (S->kind()) {
+  case Stmt::Kind::Block:
+    for (Stmt *Child : cast<BlockStmt>(S)->stmts())
+      walkStmts(Child, Visit);
+    break;
+  case Stmt::Kind::If: {
+    auto *I = cast<IfStmt>(S);
+    walkStmts(I->thenStmt(), Visit);
+    if (I->elseStmt())
+      walkStmts(I->elseStmt(), Visit);
+    break;
+  }
+  case Stmt::Kind::While:
+    walkStmts(cast<WhileStmt>(S)->body(), Visit);
+    break;
+  case Stmt::Kind::For:
+    walkStmts(cast<ForStmt>(S)->body(), Visit);
+    break;
+  case Stmt::Kind::Async:
+    walkStmts(cast<AsyncStmt>(S)->body(), Visit);
+    break;
+  case Stmt::Kind::Finish:
+    walkStmts(cast<FinishStmt>(S)->body(), Visit);
+    break;
+  case Stmt::Kind::VarDecl:
+  case Stmt::Kind::Assign:
+  case Stmt::Kind::Expr:
+  case Stmt::Kind::Return:
+    break;
+  }
+}
+} // namespace
+
+std::vector<AsyncStmt *> tdr::collectAsyncs(Program &P) {
+  std::vector<AsyncStmt *> Result;
+  for (FuncDecl *F : P.funcs())
+    walkStmts(F->body(), [&](Stmt *S) {
+      if (auto *A = dyn_cast<AsyncStmt>(S))
+        Result.push_back(A);
+    });
+  return Result;
+}
+
+std::vector<FinishStmt *> tdr::collectFinishes(Program &P) {
+  std::vector<FinishStmt *> Result;
+  for (FuncDecl *F : P.funcs())
+    walkStmts(F->body(), [&](Stmt *S) {
+      if (auto *Fin = dyn_cast<FinishStmt>(S))
+        Result.push_back(Fin);
+    });
+  return Result;
+}
+
+unsigned tdr::countStmts(const Program &P) {
+  unsigned N = 0;
+  for (const FuncDecl *F : P.funcs())
+    walkStmts(static_cast<Stmt *>(F->body()), [&](Stmt *) { ++N; });
+  return N;
+}
+
+namespace {
+void walkExpr(const Expr *E, const std::function<void(const Expr *)> &Fn) {
+  if (!E)
+    return;
+  Fn(E);
+  switch (E->kind()) {
+  case Expr::Kind::Index: {
+    const auto *I = cast<IndexExpr>(E);
+    walkExpr(I->base(), Fn);
+    walkExpr(I->index(), Fn);
+    break;
+  }
+  case Expr::Kind::Call:
+    for (const Expr *A : cast<CallExpr>(E)->args())
+      walkExpr(A, Fn);
+    break;
+  case Expr::Kind::Unary:
+    walkExpr(cast<UnaryExpr>(E)->operand(), Fn);
+    break;
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    walkExpr(B->lhs(), Fn);
+    walkExpr(B->rhs(), Fn);
+    break;
+  }
+  case Expr::Kind::NewArray:
+    for (const Expr *D : cast<NewArrayExpr>(E)->dims())
+      walkExpr(D, Fn);
+    break;
+  case Expr::Kind::IntLit:
+  case Expr::Kind::DoubleLit:
+  case Expr::Kind::BoolLit:
+  case Expr::Kind::VarRef:
+    break;
+  }
+}
+} // namespace
+
+void tdr::forEachExpr(const Stmt *S,
+                      const std::function<void(const Expr *)> &Fn) {
+  switch (S->kind()) {
+  case Stmt::Kind::Block:
+    for (const Stmt *C : cast<BlockStmt>(S)->stmts())
+      forEachExpr(C, Fn);
+    break;
+  case Stmt::Kind::VarDecl:
+    walkExpr(cast<VarDeclStmt>(S)->init(), Fn);
+    break;
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    walkExpr(A->target(), Fn);
+    walkExpr(A->value(), Fn);
+    break;
+  }
+  case Stmt::Kind::Expr:
+    walkExpr(cast<ExprStmt>(S)->expr(), Fn);
+    break;
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(S);
+    walkExpr(I->cond(), Fn);
+    forEachExpr(I->thenStmt(), Fn);
+    if (I->elseStmt())
+      forEachExpr(I->elseStmt(), Fn);
+    break;
+  }
+  case Stmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    walkExpr(W->cond(), Fn);
+    forEachExpr(W->body(), Fn);
+    break;
+  }
+  case Stmt::Kind::For: {
+    const auto *F = cast<ForStmt>(S);
+    if (F->init())
+      forEachExpr(F->init(), Fn);
+    walkExpr(F->cond(), Fn);
+    if (F->step())
+      forEachExpr(F->step(), Fn);
+    forEachExpr(F->body(), Fn);
+    break;
+  }
+  case Stmt::Kind::Return:
+    walkExpr(cast<ReturnStmt>(S)->value(), Fn);
+    break;
+  case Stmt::Kind::Async:
+    forEachExpr(cast<AsyncStmt>(S)->body(), Fn);
+    break;
+  case Stmt::Kind::Finish:
+    forEachExpr(cast<FinishStmt>(S)->body(), Fn);
+    break;
+  }
+}

@@ -1,0 +1,69 @@
+//===- Type.h - HJ-mini types ------------------------------------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The HJ-mini type system: int (64-bit), double, bool, and arrays of any
+/// element type (arrays nest, giving int[][] etc.). Types are interned by
+/// the AstContext, so pointer equality is type equality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_AST_TYPE_H
+#define TDR_AST_TYPE_H
+
+#include <cassert>
+#include <string>
+
+namespace tdr {
+
+/// An interned HJ-mini type.
+class Type {
+public:
+  enum class Kind { Int, Double, Bool, Array, Void };
+
+  Kind kind() const { return K; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isDouble() const { return K == Kind::Double; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isVoid() const { return K == Kind::Void; }
+  bool isNumeric() const { return isInt() || isDouble(); }
+  bool isScalar() const { return isInt() || isDouble() || isBool(); }
+
+  /// Element type; only valid for arrays.
+  const Type *elem() const {
+    assert(isArray() && "elem() on non-array type");
+    return Elem;
+  }
+
+  /// Renders the type as it appears in source, e.g. "int[][]".
+  std::string str() const {
+    switch (K) {
+    case Kind::Int:
+      return "int";
+    case Kind::Double:
+      return "double";
+    case Kind::Bool:
+      return "bool";
+    case Kind::Void:
+      return "void";
+    case Kind::Array:
+      return Elem->str() + "[]";
+    }
+    return "?";
+  }
+
+private:
+  friend class AstContext;
+  explicit Type(Kind K, const Type *Elem = nullptr) : K(K), Elem(Elem) {}
+
+  Kind K;
+  const Type *Elem;
+};
+
+} // namespace tdr
+
+#endif // TDR_AST_TYPE_H

@@ -1,0 +1,319 @@
+//===- Dpst.cpp -----------------------------------------------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dpst/Dpst.h"
+
+#include "ast/Ast.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace tdr;
+
+std::string DpstNode::label() const {
+  const char *K = Kind == DpstKind::Root     ? "Root"
+                  : Kind == DpstKind::Async  ? "Async"
+                  : Kind == DpstKind::Finish ? "Finish"
+                  : Kind == DpstKind::Scope
+                      ? (SKind == ScopeKind::Call ? "Call" : "Scope")
+                      : "Step";
+  std::string S = strFormat("%s:%u", K, Id);
+  if (Kind == DpstKind::Scope && Callee)
+    S += strFormat("(%s)", Callee->name().c_str());
+  if (Kind == DpstKind::Step && Weight)
+    S += strFormat("[w=%llu]", static_cast<unsigned long long>(Weight));
+  return S;
+}
+
+Dpst::Dpst() {
+  Root = createNode(DpstKind::Root, nullptr);
+}
+
+DpstNode *Dpst::createNode(DpstKind K, DpstNode *Parent) {
+  Nodes.emplace_back();
+  DpstNode *N = &Nodes.back();
+  N->Id = NextId++;
+  N->Kind = K;
+  N->Parent = Parent;
+  if (Parent) {
+    N->IndexInParent = static_cast<uint32_t>(Parent->Children.size());
+    N->Depth = Parent->Depth + 1;
+    Parent->Children.push_back(N);
+  }
+  return N;
+}
+
+const DpstNode *Dpst::lca(const DpstNode *A, const DpstNode *B) const {
+  while (A != B) {
+    if (A->depth() >= B->depth())
+      A = A->parent();
+    else
+      B = B->parent();
+    assert(A && B && "nodes from different trees");
+  }
+  return A;
+}
+
+const DpstNode *Dpst::nsLca(const DpstNode *A, const DpstNode *B) const {
+  const DpstNode *L = lca(A, B);
+  while (L->isScope())
+    L = L->parent();
+  return L;
+}
+
+const DpstNode *Dpst::childToward(const DpstNode *Ancestor,
+                                  const DpstNode *Descendant) const {
+  const DpstNode *Prev = nullptr;
+  const DpstNode *Cur = Descendant;
+  while (Cur && Cur != Ancestor) {
+    Prev = Cur;
+    Cur = Cur->parent();
+  }
+  return Cur == Ancestor ? Prev : nullptr;
+}
+
+const DpstNode *Dpst::nonScopeChildToward(const DpstNode *N,
+                                          const DpstNode *Descendant) const {
+  // Walk down from N toward Descendant, skipping scope nodes.
+  const DpstNode *Cur = childToward(N, Descendant);
+  while (Cur && Cur->isScope())
+    Cur = childToward(Cur, Descendant);
+  return Cur;
+}
+
+bool Dpst::isLeftOf(const DpstNode *A, const DpstNode *B) const {
+  if (A == B)
+    return false;
+  const DpstNode *L = lca(A, B);
+  if (L == A)
+    return true; // ancestor precedes descendants
+  if (L == B)
+    return false;
+  const DpstNode *CA = childToward(L, A);
+  const DpstNode *CB = childToward(L, B);
+  return CA->indexInParent() < CB->indexInParent();
+}
+
+bool Dpst::mayHappenInParallel(const DpstNode *S1, const DpstNode *S2) const {
+  assert(S1 != S2 && "parallelism query on a single node");
+  const DpstNode *Left = S1, *Right = S2;
+  if (!isLeftOf(Left, Right))
+    std::swap(Left, Right);
+  const DpstNode *N = nsLca(Left, Right);
+  const DpstNode *A = nonScopeChildToward(N, Left);
+  assert(A && "left node must be a strict descendant of the NS-LCA");
+  return A->isAsync();
+}
+
+std::vector<DpstNode *> Dpst::nonScopeChildren(const DpstNode *N) const {
+  std::vector<DpstNode *> Result;
+  // Iterative DFS preserving left-to-right order: descend through scope
+  // nodes, collect the first non-scope node on each path.
+  std::vector<const DpstNode *> Work(N->children().rbegin(),
+                                     N->children().rend());
+  while (!Work.empty()) {
+    const DpstNode *Cur = Work.back();
+    Work.pop_back();
+    if (Cur->isScope()) {
+      Work.insert(Work.end(), Cur->children().rbegin(),
+                  Cur->children().rend());
+      continue;
+    }
+    Result.push_back(const_cast<DpstNode *>(Cur));
+  }
+  return Result;
+}
+
+DpstNode *Dpst::insertFinish(DpstNode *Parent, size_t Begin, size_t End,
+                             const FinishStmt *Site) {
+  assert(Begin <= End && End < Parent->Children.size() &&
+         "finish insertion range out of bounds");
+
+  Nodes.emplace_back();
+  DpstNode *F = &Nodes.back();
+  F->Id = NextId++;
+  F->Kind = DpstKind::Finish;
+  F->FinishS = Site;
+  F->Parent = Parent;
+  F->Depth = Parent->Depth + 1;
+  F->Owner = Parent->Children[Begin]->Owner;
+  F->OwnerLast = Parent->Children[End]->OwnerLast;
+
+  // Adopt the range.
+  F->Children.assign(Parent->Children.begin() + Begin,
+                     Parent->Children.begin() + End + 1);
+  for (size_t I = 0; I != F->Children.size(); ++I) {
+    DpstNode *C = F->Children[I];
+    C->Parent = F;
+    C->IndexInParent = static_cast<uint32_t>(I);
+    // The whole adopted subtree gets one level deeper.
+    std::vector<DpstNode *> Stack{C};
+    while (!Stack.empty()) {
+      DpstNode *X = Stack.back();
+      Stack.pop_back();
+      ++X->Depth;
+      Stack.insert(Stack.end(), X->Children.begin(), X->Children.end());
+    }
+  }
+
+  auto &PC = Parent->Children;
+  PC.erase(PC.begin() + Begin, PC.begin() + End + 1);
+  PC.insert(PC.begin() + Begin, F);
+  for (size_t I = Begin; I != PC.size(); ++I)
+    PC[I]->IndexInParent = static_cast<uint32_t>(I);
+  return F;
+}
+
+uint64_t Dpst::subtreeWork(const DpstNode *N) const {
+  uint64_t Total = 0;
+  std::vector<const DpstNode *> Stack{N};
+  while (!Stack.empty()) {
+    const DpstNode *X = Stack.back();
+    Stack.pop_back();
+    if (X->isStep())
+      Total += X->weight();
+    Stack.insert(Stack.end(), X->children().begin(), X->children().end());
+  }
+  return Total;
+}
+
+namespace {
+/// Recursive completion-time evaluation. Returns the pair (SerialEnd,
+/// Pending): SerialEnd is when the node's own sequential thread finishes,
+/// relative to its start; Pending is the completion offset of spawned-and-
+/// not-yet-joined asyncs.
+struct CplResult {
+  uint64_t SerialEnd;
+  uint64_t Pending;
+};
+
+CplResult cplWalk(const DpstNode *N) {
+  uint64_t Cur = 0;
+  uint64_t Pending = 0;
+  for (const DpstNode *C : N->children()) {
+    switch (C->kind()) {
+    case DpstKind::Step:
+      Cur += C->weight();
+      break;
+    case DpstKind::Scope: {
+      CplResult R = cplWalk(C);
+      Pending = std::max(Pending, Cur + R.Pending);
+      Cur += R.SerialEnd;
+      break;
+    }
+    case DpstKind::Async: {
+      CplResult R = cplWalk(C);
+      // The child task runs concurrently from the spawn point.
+      Pending = std::max({Pending, Cur + R.SerialEnd, Cur + R.Pending});
+      break;
+    }
+    case DpstKind::Finish: {
+      CplResult R = cplWalk(C);
+      // The parent resumes only after everything inside completes.
+      Cur += std::max(R.SerialEnd, R.Pending);
+      break;
+    }
+    case DpstKind::Root:
+      assert(false && "root cannot be a child");
+      break;
+    }
+  }
+  return {Cur, Pending};
+}
+} // namespace
+
+uint64_t Dpst::subtreeCpl(const DpstNode *N) const {
+  CplResult R = cplWalk(N);
+  return std::max(R.SerialEnd, R.Pending);
+}
+
+std::string Dpst::dumpDot() const {
+  std::string Out = "digraph sdpst {\n  node [shape=box];\n";
+  for (const DpstNode &N : Nodes) {
+    Out += strFormat("  n%u [label=\"%s\"];\n", N.id(), N.label().c_str());
+    if (N.parent())
+      Out += strFormat("  n%u -> n%u;\n", N.parent()->id(), N.id());
+  }
+  Out += "}\n";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// DpstBuilder
+//===----------------------------------------------------------------------===//
+
+DpstBuilder::DpstBuilder(Dpst &D) : D(D), Cur(D.root()) {
+  TaskStack.push_back(D.root());
+}
+
+void DpstBuilder::onAsyncEnter(const AsyncStmt *S, const Stmt *Owner) {
+  closeStep();
+  DpstNode *N = D.createNode(DpstKind::Async, Cur);
+  N->Owner = Owner;
+  N->OwnerLast = Owner;
+  N->AsyncS = S;
+  if (const auto *B = dyn_cast<BlockStmt>(S->body()))
+    N->Container = B; // informational; the body block still gets a scope
+  Cur = N;
+  TaskStack.push_back(N);
+}
+
+void DpstBuilder::onAsyncExit(const AsyncStmt *) {
+  closeStep();
+  TaskStack.pop_back();
+  Cur = Cur->Parent;
+}
+
+void DpstBuilder::onFinishEnter(const FinishStmt *S, const Stmt *Owner) {
+  closeStep();
+  DpstNode *N = D.createNode(DpstKind::Finish, Cur);
+  N->Owner = Owner;
+  N->OwnerLast = Owner;
+  N->FinishS = S;
+  if (const auto *B = dyn_cast<BlockStmt>(S->body()))
+    N->Container = B;
+  Cur = N;
+}
+
+void DpstBuilder::onFinishExit(const FinishStmt *) {
+  closeStep();
+  Cur = Cur->Parent;
+}
+
+void DpstBuilder::onScopeEnter(ScopeKind K, const Stmt *Owner,
+                               const BlockStmt *Body, const FuncDecl *Callee) {
+  closeStep();
+  DpstNode *N = D.createNode(DpstKind::Scope, Cur);
+  N->Owner = Owner;
+  N->OwnerLast = Owner;
+  N->SKind = K;
+  N->Container = Body;
+  N->Callee = Callee;
+  Cur = N;
+}
+
+void DpstBuilder::onScopeExit() {
+  closeStep();
+  Cur = Cur->Parent;
+}
+
+void DpstBuilder::onStepPoint(const Stmt *Owner) {
+  PendingOwner = Owner;
+  if (CurStep)
+    CurStep->OwnerLast = Owner;
+}
+
+void DpstBuilder::onWork(uint64_t Units) { currentStep()->Weight += Units; }
+
+DpstNode *DpstBuilder::currentStep() {
+  if (!CurStep) {
+    CurStep = D.createNode(DpstKind::Step, Cur);
+    CurStep->Owner = PendingOwner;
+    CurStep->OwnerLast = PendingOwner;
+  }
+  return CurStep;
+}

@@ -1,0 +1,212 @@
+//===- Dpst.h - Scoped Dynamic Program Structure Tree ------------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Scoped Dynamic Program Structure Tree (paper §4.2, Definition 2).
+/// Leaves are step instances; interior nodes are async, finish, and scope
+/// instances (plus one root task node). Children are ordered left-to-right
+/// in execution order. Scope nodes record the lexical container (block or
+/// call body) they execute, and every node records the *owner statement*
+/// that created it inside its parent's container — the information the
+/// static finish placement needs to map S-DPST positions back to source.
+///
+/// The tree is mutable: the repair pipeline inserts finish nodes
+/// (Dpst::insertFinish) and re-asks the parallelism query afterwards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_DPST_DPST_H
+#define TDR_DPST_DPST_H
+
+#include "interp/Monitor.h"
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace tdr {
+
+class AsyncStmt;
+class FinishStmt;
+
+/// Kind of an S-DPST node.
+enum class DpstKind : uint8_t { Root, Async, Finish, Scope, Step };
+
+/// One S-DPST node.
+class DpstNode {
+public:
+  uint32_t id() const { return Id; }
+  DpstKind kind() const { return Kind; }
+  bool isStep() const { return Kind == DpstKind::Step; }
+  bool isScope() const { return Kind == DpstKind::Scope; }
+  bool isAsync() const { return Kind == DpstKind::Async; }
+  bool isFinish() const { return Kind == DpstKind::Finish; }
+  bool isRoot() const { return Kind == DpstKind::Root; }
+  /// Non-scope means async, finish, step, or root.
+  bool isNonScope() const { return Kind != DpstKind::Scope; }
+
+  DpstNode *parent() const { return Parent; }
+  const std::vector<DpstNode *> &children() const { return Children; }
+  uint32_t indexInParent() const { return IndexInParent; }
+  uint32_t depth() const { return Depth; }
+
+  /// The statement in the parent's container that created this node; null
+  /// for the root and for root-level steps. For steps, [owner, ownerLast]
+  /// is the range of statements merged into the step.
+  const Stmt *owner() const { return Owner; }
+  const Stmt *ownerLast() const { return OwnerLast; }
+
+  /// For scope nodes: why the scope exists.
+  ScopeKind scopeKind() const { return SKind; }
+  /// The statement list this node executes: the block itself for Block
+  /// scopes, the callee body for Call scopes and the root, the async or
+  /// finish body when that body is a block; null otherwise.
+  const BlockStmt *container() const { return Container; }
+  const FuncDecl *callee() const { return Callee; }
+  const AsyncStmt *asyncStmt() const { return AsyncS; }
+  const FinishStmt *finishStmt() const { return FinishS; }
+
+  /// Step weight in abstract work units (steps only).
+  uint64_t weight() const { return Weight; }
+
+  /// Short description for dumps, e.g. "Async:12".
+  std::string label() const;
+
+private:
+  friend class Dpst;
+  friend class DpstBuilder;
+
+  uint32_t Id = 0;
+  DpstKind Kind = DpstKind::Step;
+  DpstNode *Parent = nullptr;
+  std::vector<DpstNode *> Children;
+  uint32_t IndexInParent = 0;
+  uint32_t Depth = 0;
+
+  const Stmt *Owner = nullptr;
+  const Stmt *OwnerLast = nullptr;
+  ScopeKind SKind = ScopeKind::Block;
+  const BlockStmt *Container = nullptr;
+  const FuncDecl *Callee = nullptr;
+  const AsyncStmt *AsyncS = nullptr;
+  const FinishStmt *FinishS = nullptr;
+  uint64_t Weight = 0;
+};
+
+/// Owns the nodes of one S-DPST and answers the structural queries the
+/// analyses need. Node ids reflect creation order of the original
+/// execution; ordering queries are structural (child indices), so they stay
+/// correct after finish insertion.
+class Dpst {
+public:
+  Dpst();
+
+  DpstNode *root() { return Root; }
+  const DpstNode *root() const { return Root; }
+  size_t numNodes() const { return Nodes.size(); }
+
+  /// Least common ancestor.
+  const DpstNode *lca(const DpstNode *A, const DpstNode *B) const;
+
+  /// Non-scope least common ancestor (Definition 4): the first non-scope
+  /// node on the path from lca(A, B) to the root.
+  const DpstNode *nsLca(const DpstNode *A, const DpstNode *B) const;
+
+  /// True when \p A precedes \p B in the left-to-right (depth-first)
+  /// order. A node precedes its own descendants.
+  bool isLeftOf(const DpstNode *A, const DpstNode *B) const;
+
+  /// True when \p Anc is \p N or an ancestor of \p N.
+  bool isAncestorOrSelf(const DpstNode *Anc, const DpstNode *N) const {
+    while (N && N->depth() > Anc->depth())
+      N = N->parent();
+    return N == Anc;
+  }
+
+  /// The child of \p Ancestor on the path down to \p Descendant; null when
+  /// Descendant == Ancestor or not a descendant.
+  const DpstNode *childToward(const DpstNode *Ancestor,
+                              const DpstNode *Descendant) const;
+
+  /// The *non-scope child* of \p N (Definition 3) that is an ancestor of
+  /// (or equal to) \p Descendant: the first non-scope node walking down
+  /// from N toward Descendant.
+  const DpstNode *nonScopeChildToward(const DpstNode *N,
+                                      const DpstNode *Descendant) const;
+
+  /// Theorem 1: steps \p S1 (left of) \p S2 may execute in parallel iff the
+  /// non-scope child of their NS-LCA on S1's side is an async.
+  bool mayHappenInParallel(const DpstNode *S1, const DpstNode *S2) const;
+
+  /// Collects the non-scope children of \p N in left-to-right order
+  /// (Definition 3: direct descendants with only scope nodes in between).
+  std::vector<DpstNode *> nonScopeChildren(const DpstNode *N) const;
+
+  /// Inserts a new finish node as a child of \p Parent adopting the child
+  /// range [Begin, End] (inclusive). \p Site is the synthesized finish
+  /// statement this dynamic node corresponds to. Subtree depths are
+  /// updated. Returns the new node.
+  DpstNode *insertFinish(DpstNode *Parent, size_t Begin, size_t End,
+                         const FinishStmt *Site);
+
+  /// Sum of step weights under \p N (inclusive).
+  uint64_t subtreeWork(const DpstNode *N) const;
+
+  /// Critical path length of the subtree rooted at \p N assuming the node
+  /// itself joins all its descendants (i.e. the completion time of N when
+  /// started at time 0 and followed by a join of everything it spawned).
+  uint64_t subtreeCpl(const DpstNode *N) const;
+
+  /// Graphviz dump (small trees; tests and debugging).
+  std::string dumpDot() const;
+
+private:
+  friend class DpstBuilder;
+
+  DpstNode *createNode(DpstKind K, DpstNode *Parent);
+
+  std::deque<DpstNode> Nodes;
+  DpstNode *Root = nullptr;
+  uint32_t NextId = 0;
+};
+
+/// Builds an S-DPST from interpreter events.
+class DpstBuilder : public ExecMonitor {
+public:
+  explicit DpstBuilder(Dpst &D);
+
+  void onAsyncEnter(const AsyncStmt *S, const Stmt *Owner) override;
+  void onAsyncExit(const AsyncStmt *S) override;
+  void onFinishEnter(const FinishStmt *S, const Stmt *Owner) override;
+  void onFinishExit(const FinishStmt *S) override;
+  void onScopeEnter(ScopeKind K, const Stmt *Owner, const BlockStmt *Body,
+                    const FuncDecl *Callee) override;
+  void onScopeExit() override;
+  void onStepPoint(const Stmt *Owner) override;
+  void onWork(uint64_t Units) override;
+
+  /// The step receiving the current accesses, creating it if needed. Race
+  /// detectors call this instead of relying on monitor ordering.
+  DpstNode *currentStep();
+
+  /// The innermost task node (root or async) currently executing — the
+  /// "current task" of the canonical sequential execution.
+  DpstNode *currentTask() const { return TaskStack.back(); }
+
+private:
+  void closeStep() { CurStep = nullptr; }
+
+  Dpst &D;
+  DpstNode *Cur;
+  DpstNode *CurStep = nullptr;
+  const Stmt *PendingOwner = nullptr;
+  std::vector<DpstNode *> TaskStack;
+};
+
+} // namespace tdr
+
+#endif // TDR_DPST_DPST_H

@@ -1,0 +1,255 @@
+//===- Lexer.cpp ----------------------------------------------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include "support/Diagnostics.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+
+using namespace tdr;
+
+const char *tdr::tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::Eof: return "end of input";
+  case TokenKind::Unknown: return "invalid character";
+  case TokenKind::Identifier: return "identifier";
+  case TokenKind::IntLiteral: return "integer literal";
+  case TokenKind::DoubleLiteral: return "floating point literal";
+  case TokenKind::KwVar: return "'var'";
+  case TokenKind::KwFunc: return "'func'";
+  case TokenKind::KwIf: return "'if'";
+  case TokenKind::KwElse: return "'else'";
+  case TokenKind::KwWhile: return "'while'";
+  case TokenKind::KwFor: return "'for'";
+  case TokenKind::KwReturn: return "'return'";
+  case TokenKind::KwAsync: return "'async'";
+  case TokenKind::KwFinish: return "'finish'";
+  case TokenKind::KwNew: return "'new'";
+  case TokenKind::KwTrue: return "'true'";
+  case TokenKind::KwFalse: return "'false'";
+  case TokenKind::KwInt: return "'int'";
+  case TokenKind::KwDouble: return "'double'";
+  case TokenKind::KwBool: return "'bool'";
+  case TokenKind::KwVoid: return "'void'";
+  case TokenKind::LParen: return "'('";
+  case TokenKind::RParen: return "')'";
+  case TokenKind::LBrace: return "'{'";
+  case TokenKind::RBrace: return "'}'";
+  case TokenKind::LBracket: return "'['";
+  case TokenKind::RBracket: return "']'";
+  case TokenKind::Comma: return "','";
+  case TokenKind::Semi: return "';'";
+  case TokenKind::Colon: return "':'";
+  case TokenKind::Plus: return "'+'";
+  case TokenKind::Minus: return "'-'";
+  case TokenKind::Star: return "'*'";
+  case TokenKind::Slash: return "'/'";
+  case TokenKind::Percent: return "'%'";
+  case TokenKind::Less: return "'<'";
+  case TokenKind::LessEq: return "'<='";
+  case TokenKind::Greater: return "'>'";
+  case TokenKind::GreaterEq: return "'>='";
+  case TokenKind::EqEq: return "'=='";
+  case TokenKind::NotEq: return "'!='";
+  case TokenKind::AmpAmp: return "'&&'";
+  case TokenKind::PipePipe: return "'||'";
+  case TokenKind::Bang: return "'!'";
+  case TokenKind::Amp: return "'&'";
+  case TokenKind::Pipe: return "'|'";
+  case TokenKind::Caret: return "'^'";
+  case TokenKind::Shl: return "'<<'";
+  case TokenKind::Shr: return "'>>'";
+  case TokenKind::Tilde: return "'~'";
+  case TokenKind::Assign: return "'='";
+  case TokenKind::PlusAssign: return "'+='";
+  case TokenKind::MinusAssign: return "'-='";
+  case TokenKind::StarAssign: return "'*='";
+  case TokenKind::SlashAssign: return "'/='";
+  case TokenKind::PercentAssign: return "'%='";
+  }
+  return "token";
+}
+
+void Lexer::skipTrivia() {
+  while (Pos < Buffer.size()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      ++Pos;
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Buffer.size() && peek() != '\n')
+        ++Pos;
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      uint32_t Begin = Pos;
+      Pos += 2;
+      while (Pos < Buffer.size() && !(peek() == '*' && peek(1) == '/'))
+        ++Pos;
+      if (Pos >= Buffer.size()) {
+        Diags.error(SourceLoc(Begin), "unterminated block comment");
+        return;
+      }
+      Pos += 2;
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind K, uint32_t Begin) const {
+  Token T;
+  T.Kind = K;
+  T.Loc = SourceLoc(Begin);
+  return T;
+}
+
+Token Lexer::lexNumber() {
+  uint32_t Begin = Pos;
+  // Hex integer.
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    Pos += 2;
+    uint32_t DigitsBegin = Pos;
+    while (std::isxdigit(static_cast<unsigned char>(peek())))
+      ++Pos;
+    Token T = makeToken(TokenKind::IntLiteral, Begin);
+    if (Pos == DigitsBegin) {
+      Diags.error(SourceLoc(Begin), "hex literal requires at least one digit");
+      return T;
+    }
+    std::string Digits(Buffer.substr(DigitsBegin, Pos - DigitsBegin));
+    T.IntValue = static_cast<int64_t>(std::strtoull(Digits.c_str(), nullptr, 16));
+    return T;
+  }
+
+  while (std::isdigit(static_cast<unsigned char>(peek())))
+    ++Pos;
+  bool IsDouble = false;
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    IsDouble = true;
+    ++Pos;
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      ++Pos;
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    unsigned Ahead = 1;
+    if (peek(1) == '+' || peek(1) == '-')
+      Ahead = 2;
+    if (std::isdigit(static_cast<unsigned char>(peek(Ahead)))) {
+      IsDouble = true;
+      Pos += Ahead;
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+  }
+  std::string Spelling(Buffer.substr(Begin, Pos - Begin));
+  if (IsDouble) {
+    Token T = makeToken(TokenKind::DoubleLiteral, Begin);
+    T.DoubleValue = std::strtod(Spelling.c_str(), nullptr);
+    return T;
+  }
+  Token T = makeToken(TokenKind::IntLiteral, Begin);
+  T.IntValue = static_cast<int64_t>(std::strtoll(Spelling.c_str(), nullptr, 10));
+  return T;
+}
+
+Token Lexer::lexIdentifier() {
+  static const std::unordered_map<std::string_view, TokenKind> Keywords = {
+      {"var", TokenKind::KwVar},       {"func", TokenKind::KwFunc},
+      {"if", TokenKind::KwIf},         {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile},   {"for", TokenKind::KwFor},
+      {"return", TokenKind::KwReturn}, {"async", TokenKind::KwAsync},
+      {"finish", TokenKind::KwFinish}, {"new", TokenKind::KwNew},
+      {"true", TokenKind::KwTrue},     {"false", TokenKind::KwFalse},
+      {"int", TokenKind::KwInt},       {"double", TokenKind::KwDouble},
+      {"bool", TokenKind::KwBool},     {"void", TokenKind::KwVoid}};
+
+  uint32_t Begin = Pos;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    ++Pos;
+  std::string_view Spelling = Buffer.substr(Begin, Pos - Begin);
+  auto It = Keywords.find(Spelling);
+  if (It != Keywords.end())
+    return makeToken(It->second, Begin);
+  Token T = makeToken(TokenKind::Identifier, Begin);
+  T.Text = std::string(Spelling);
+  return T;
+}
+
+Token Lexer::lex() {
+  skipTrivia();
+  uint32_t Begin = Pos;
+  if (Pos >= Buffer.size())
+    return makeToken(TokenKind::Eof, Begin);
+
+  char C = peek();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifier();
+
+  advance();
+  switch (C) {
+  case '(': return makeToken(TokenKind::LParen, Begin);
+  case ')': return makeToken(TokenKind::RParen, Begin);
+  case '{': return makeToken(TokenKind::LBrace, Begin);
+  case '}': return makeToken(TokenKind::RBrace, Begin);
+  case '[': return makeToken(TokenKind::LBracket, Begin);
+  case ']': return makeToken(TokenKind::RBracket, Begin);
+  case ',': return makeToken(TokenKind::Comma, Begin);
+  case ';': return makeToken(TokenKind::Semi, Begin);
+  case ':': return makeToken(TokenKind::Colon, Begin);
+  case '~': return makeToken(TokenKind::Tilde, Begin);
+  case '+':
+    return makeToken(match('=') ? TokenKind::PlusAssign : TokenKind::Plus,
+                     Begin);
+  case '-':
+    return makeToken(match('=') ? TokenKind::MinusAssign : TokenKind::Minus,
+                     Begin);
+  case '*':
+    return makeToken(match('=') ? TokenKind::StarAssign : TokenKind::Star,
+                     Begin);
+  case '/':
+    return makeToken(match('=') ? TokenKind::SlashAssign : TokenKind::Slash,
+                     Begin);
+  case '%':
+    return makeToken(match('=') ? TokenKind::PercentAssign
+                                : TokenKind::Percent,
+                     Begin);
+  case '<':
+    if (match('='))
+      return makeToken(TokenKind::LessEq, Begin);
+    if (match('<'))
+      return makeToken(TokenKind::Shl, Begin);
+    return makeToken(TokenKind::Less, Begin);
+  case '>':
+    if (match('='))
+      return makeToken(TokenKind::GreaterEq, Begin);
+    if (match('>'))
+      return makeToken(TokenKind::Shr, Begin);
+    return makeToken(TokenKind::Greater, Begin);
+  case '=':
+    return makeToken(match('=') ? TokenKind::EqEq : TokenKind::Assign, Begin);
+  case '!':
+    return makeToken(match('=') ? TokenKind::NotEq : TokenKind::Bang, Begin);
+  case '&':
+    return makeToken(match('&') ? TokenKind::AmpAmp : TokenKind::Amp, Begin);
+  case '|':
+    return makeToken(match('|') ? TokenKind::PipePipe : TokenKind::Pipe,
+                     Begin);
+  case '^':
+    return makeToken(TokenKind::Caret, Begin);
+  default:
+    Diags.error(SourceLoc(Begin),
+                std::string("unexpected character '") + C + "'");
+    return makeToken(TokenKind::Unknown, Begin);
+  }
+}

@@ -1,0 +1,57 @@
+//===- Lexer.h - HJ-mini lexer -----------------------------------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for HJ-mini. Supports // line comments and
+/// /* block */ comments, decimal and hex integer literals, and floating
+/// point literals with fraction and/or exponent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_FRONTEND_LEXER_H
+#define TDR_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+
+#include <string_view>
+
+namespace tdr {
+
+class DiagnosticsEngine;
+
+/// Produces one token at a time from a source buffer.
+class Lexer {
+public:
+  Lexer(std::string_view Buffer, DiagnosticsEngine &Diags)
+      : Buffer(Buffer), Diags(Diags) {}
+
+  /// Lexes the next token. At end of input returns Eof tokens forever.
+  Token lex();
+
+private:
+  char peek(unsigned Ahead = 0) const {
+    return Pos + Ahead < Buffer.size() ? Buffer[Pos + Ahead] : '\0';
+  }
+  char advance() { return Buffer[Pos++]; }
+  bool match(char C) {
+    if (peek() != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+  void skipTrivia();
+  Token makeToken(TokenKind K, uint32_t Begin) const;
+  Token lexNumber();
+  Token lexIdentifier();
+
+  std::string_view Buffer;
+  DiagnosticsEngine &Diags;
+  uint32_t Pos = 0;
+};
+
+} // namespace tdr
+
+#endif // TDR_FRONTEND_LEXER_H

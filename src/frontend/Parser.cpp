@@ -1,0 +1,471 @@
+//===- Parser.cpp ---------------------------------------------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include "support/Diagnostics.h"
+#include "support/StringUtils.h"
+
+using namespace tdr;
+
+Parser::Parser(std::string_view Buffer, AstContext &Ctx,
+               DiagnosticsEngine &Diags)
+    : Ctx(Ctx), Diags(Diags), Lex(Buffer, Diags) {
+  Tok = Lex.lex();
+}
+
+void Parser::consume() { Tok = Lex.lex(); }
+
+bool Parser::consumeIf(TokenKind K) {
+  if (Tok.isNot(K))
+    return false;
+  consume();
+  return true;
+}
+
+bool Parser::expect(TokenKind K, const char *Context) {
+  if (Tok.is(K))
+    return true;
+  Diags.error(Tok.Loc, strFormat("expected %s %s, found %s", tokenKindName(K),
+                                 Context, tokenKindName(Tok.Kind)));
+  return false;
+}
+
+bool Parser::expectAndConsume(TokenKind K, const char *Context) {
+  if (!expect(K, Context))
+    return false;
+  consume();
+  return true;
+}
+
+void Parser::skipToStmtBoundary() {
+  unsigned Depth = 0;
+  while (Tok.isNot(TokenKind::Eof)) {
+    if (Tok.is(TokenKind::LBrace))
+      ++Depth;
+    if (Tok.is(TokenKind::RBrace)) {
+      if (Depth == 0)
+        return;
+      --Depth;
+    }
+    if (Tok.is(TokenKind::Semi) && Depth == 0) {
+      consume();
+      return;
+    }
+    consume();
+  }
+}
+
+Program *Parser::parseProgram() {
+  Program *P = Ctx.createProgram();
+  while (Tok.isNot(TokenKind::Eof)) {
+    if (Tok.is(TokenKind::KwVar)) {
+      parseGlobalVar(*P);
+    } else if (Tok.is(TokenKind::KwFunc)) {
+      parseFuncDecl(*P);
+    } else {
+      Diags.error(Tok.Loc,
+                  strFormat("expected 'var' or 'func' at top level, found %s",
+                            tokenKindName(Tok.Kind)));
+      consume();
+      skipToStmtBoundary();
+    }
+  }
+  return P;
+}
+
+void Parser::parseGlobalVar(Program &P) {
+  SourceLoc Loc = Tok.Loc;
+  consume(); // var
+  if (!expect(TokenKind::Identifier, "in global variable declaration")) {
+    skipToStmtBoundary();
+    return;
+  }
+  std::string Name = Tok.Text;
+  consume();
+  if (!expectAndConsume(TokenKind::Colon, "after global variable name")) {
+    skipToStmtBoundary();
+    return;
+  }
+  const Type *Ty = parseType();
+  VarDecl *D = Ctx.createVarDecl(VarDecl::Kind::Global, std::move(Name), Ty, Loc);
+  if (consumeIf(TokenKind::Assign))
+    D->setInit(parseExpr());
+  expectAndConsume(TokenKind::Semi, "after global variable declaration");
+  P.globals().push_back(D);
+}
+
+void Parser::parseFuncDecl(Program &P) {
+  SourceLoc Loc = Tok.Loc;
+  consume(); // func
+  if (!expect(TokenKind::Identifier, "in function declaration")) {
+    skipToStmtBoundary();
+    return;
+  }
+  std::string Name = Tok.Text;
+  consume();
+  expectAndConsume(TokenKind::LParen, "after function name");
+  std::vector<VarDecl *> Params;
+  if (Tok.isNot(TokenKind::RParen)) {
+    do {
+      if (!expect(TokenKind::Identifier, "in parameter list"))
+        break;
+      SourceLoc PLoc = Tok.Loc;
+      std::string PName = Tok.Text;
+      consume();
+      expectAndConsume(TokenKind::Colon, "after parameter name");
+      const Type *PTy = parseType();
+      Params.push_back(
+          Ctx.createVarDecl(VarDecl::Kind::Param, std::move(PName), PTy, PLoc));
+    } while (consumeIf(TokenKind::Comma));
+  }
+  expectAndConsume(TokenKind::RParen, "after parameter list");
+  const Type *Ret = Ctx.voidType();
+  if (consumeIf(TokenKind::Colon))
+    Ret = parseType();
+  if (!expect(TokenKind::LBrace, "to begin function body")) {
+    skipToStmtBoundary();
+    return;
+  }
+  BlockStmt *Body = parseBlock();
+  P.funcs().push_back(
+      Ctx.createFuncDecl(std::move(Name), std::move(Params), Ret, Body, Loc));
+}
+
+const Type *Parser::parseType() {
+  const Type *Base = nullptr;
+  switch (Tok.Kind) {
+  case TokenKind::KwInt:
+    Base = Ctx.intType();
+    break;
+  case TokenKind::KwDouble:
+    Base = Ctx.doubleType();
+    break;
+  case TokenKind::KwBool:
+    Base = Ctx.boolType();
+    break;
+  case TokenKind::KwVoid:
+    Base = Ctx.voidType();
+    break;
+  default:
+    Diags.error(Tok.Loc, strFormat("expected a type, found %s",
+                                   tokenKindName(Tok.Kind)));
+    return Ctx.intType();
+  }
+  consume();
+  while (Tok.is(TokenKind::LBracket)) {
+    consume();
+    expectAndConsume(TokenKind::RBracket, "in array type");
+    Base = Ctx.arrayType(Base);
+  }
+  return Base;
+}
+
+BlockStmt *Parser::parseBlock() {
+  SourceLoc Loc = Tok.Loc;
+  expectAndConsume(TokenKind::LBrace, "to begin block");
+  std::vector<Stmt *> Stmts;
+  while (Tok.isNot(TokenKind::RBrace) && Tok.isNot(TokenKind::Eof))
+    Stmts.push_back(parseStmt());
+  expectAndConsume(TokenKind::RBrace, "to end block");
+  return Ctx.createStmt<BlockStmt>(std::move(Stmts), Loc);
+}
+
+Stmt *Parser::parseStmt() {
+  switch (Tok.Kind) {
+  case TokenKind::LBrace:
+    return parseBlock();
+  case TokenKind::KwVar:
+    return parseVarDeclStmt();
+  case TokenKind::KwIf:
+    return parseIfStmt();
+  case TokenKind::KwWhile:
+    return parseWhileStmt();
+  case TokenKind::KwFor:
+    return parseForStmt();
+  case TokenKind::KwReturn:
+    return parseReturnStmt();
+  case TokenKind::KwAsync: {
+    SourceLoc Loc = Tok.Loc;
+    consume();
+    Stmt *Body = parseStmt();
+    return Ctx.createStmt<AsyncStmt>(Body, Loc);
+  }
+  case TokenKind::KwFinish: {
+    SourceLoc Loc = Tok.Loc;
+    consume();
+    Stmt *Body = parseStmt();
+    return Ctx.createStmt<FinishStmt>(Body, Loc);
+  }
+  default: {
+    Stmt *S = parseSimpleStmt();
+    expectAndConsume(TokenKind::Semi, "after statement");
+    return S;
+  }
+  }
+}
+
+Stmt *Parser::parseVarDeclStmt() {
+  SourceLoc Loc = Tok.Loc;
+  consume(); // var
+  std::string Name = "<error>";
+  if (expect(TokenKind::Identifier, "in variable declaration")) {
+    Name = Tok.Text;
+    consume();
+  }
+  expectAndConsume(TokenKind::Colon, "after variable name");
+  const Type *Ty = parseType();
+  Expr *Init = nullptr;
+  if (consumeIf(TokenKind::Assign))
+    Init = parseExpr();
+  expectAndConsume(TokenKind::Semi, "after variable declaration");
+  VarDecl *D = Ctx.createVarDecl(VarDecl::Kind::Local, std::move(Name), Ty, Loc);
+  return Ctx.createStmt<VarDeclStmt>(D, Init, Loc);
+}
+
+Stmt *Parser::parseIfStmt() {
+  SourceLoc Loc = Tok.Loc;
+  consume(); // if
+  expectAndConsume(TokenKind::LParen, "after 'if'");
+  Expr *Cond = parseExpr();
+  expectAndConsume(TokenKind::RParen, "after if condition");
+  Stmt *Then = parseStmt();
+  Stmt *Else = nullptr;
+  if (consumeIf(TokenKind::KwElse))
+    Else = parseStmt();
+  return Ctx.createStmt<IfStmt>(Cond, Then, Else, Loc);
+}
+
+Stmt *Parser::parseWhileStmt() {
+  SourceLoc Loc = Tok.Loc;
+  consume(); // while
+  expectAndConsume(TokenKind::LParen, "after 'while'");
+  Expr *Cond = parseExpr();
+  expectAndConsume(TokenKind::RParen, "after while condition");
+  Stmt *Body = parseStmt();
+  return Ctx.createStmt<WhileStmt>(Cond, Body, Loc);
+}
+
+Stmt *Parser::parseForStmt() {
+  SourceLoc Loc = Tok.Loc;
+  consume(); // for
+  expectAndConsume(TokenKind::LParen, "after 'for'");
+  Stmt *Init = nullptr;
+  if (Tok.isNot(TokenKind::Semi)) {
+    if (Tok.is(TokenKind::KwVar)) {
+      // parseVarDeclStmt consumes the ';' itself.
+      Init = parseVarDeclStmt();
+    } else {
+      Init = parseSimpleStmt();
+      expectAndConsume(TokenKind::Semi, "after for-init");
+    }
+  } else {
+    consume(); // ';'
+  }
+  Expr *Cond = nullptr;
+  if (Tok.isNot(TokenKind::Semi))
+    Cond = parseExpr();
+  expectAndConsume(TokenKind::Semi, "after for-condition");
+  Stmt *Step = nullptr;
+  if (Tok.isNot(TokenKind::RParen))
+    Step = parseSimpleStmt();
+  expectAndConsume(TokenKind::RParen, "after for header");
+  Stmt *Body = parseStmt();
+  return Ctx.createStmt<ForStmt>(Init, Cond, Step, Body, Loc);
+}
+
+Stmt *Parser::parseReturnStmt() {
+  SourceLoc Loc = Tok.Loc;
+  consume(); // return
+  Expr *Value = nullptr;
+  if (Tok.isNot(TokenKind::Semi))
+    Value = parseExpr();
+  expectAndConsume(TokenKind::Semi, "after return statement");
+  return Ctx.createStmt<ReturnStmt>(Value, Loc);
+}
+
+namespace {
+/// Maps a compound-assignment token to its binary op, or returns false.
+bool compoundOpFor(TokenKind K, BinaryOp &Op) {
+  switch (K) {
+  case TokenKind::PlusAssign: Op = BinaryOp::Add; return true;
+  case TokenKind::MinusAssign: Op = BinaryOp::Sub; return true;
+  case TokenKind::StarAssign: Op = BinaryOp::Mul; return true;
+  case TokenKind::SlashAssign: Op = BinaryOp::Div; return true;
+  case TokenKind::PercentAssign: Op = BinaryOp::Mod; return true;
+  default: return false;
+  }
+}
+} // namespace
+
+Stmt *Parser::parseSimpleStmt() {
+  SourceLoc Loc = Tok.Loc;
+  Expr *E = parseExpr();
+  if (consumeIf(TokenKind::Assign)) {
+    Expr *Value = parseExpr();
+    return Ctx.createStmt<AssignStmt>(E, Value, Loc);
+  }
+  BinaryOp Op;
+  if (compoundOpFor(Tok.Kind, Op)) {
+    consume();
+    Expr *Value = parseExpr();
+    auto *A = Ctx.createStmt<AssignStmt>(E, Value, Loc);
+    A->setCompound(Op);
+    return A;
+  }
+  return Ctx.createStmt<ExprStmt>(E, Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Precedence of a binary operator token; 0 when not a binary operator.
+int binaryPrecedence(TokenKind K, BinaryOp &Op) {
+  switch (K) {
+  case TokenKind::PipePipe: Op = BinaryOp::LOr; return 1;
+  case TokenKind::AmpAmp: Op = BinaryOp::LAnd; return 2;
+  case TokenKind::Pipe: Op = BinaryOp::BOr; return 3;
+  case TokenKind::Caret: Op = BinaryOp::BXor; return 4;
+  case TokenKind::Amp: Op = BinaryOp::BAnd; return 5;
+  case TokenKind::EqEq: Op = BinaryOp::Eq; return 6;
+  case TokenKind::NotEq: Op = BinaryOp::Ne; return 6;
+  case TokenKind::Less: Op = BinaryOp::Lt; return 7;
+  case TokenKind::LessEq: Op = BinaryOp::Le; return 7;
+  case TokenKind::Greater: Op = BinaryOp::Gt; return 7;
+  case TokenKind::GreaterEq: Op = BinaryOp::Ge; return 7;
+  case TokenKind::Shl: Op = BinaryOp::Shl; return 8;
+  case TokenKind::Shr: Op = BinaryOp::Shr; return 8;
+  case TokenKind::Plus: Op = BinaryOp::Add; return 9;
+  case TokenKind::Minus: Op = BinaryOp::Sub; return 9;
+  case TokenKind::Star: Op = BinaryOp::Mul; return 10;
+  case TokenKind::Slash: Op = BinaryOp::Div; return 10;
+  case TokenKind::Percent: Op = BinaryOp::Mod; return 10;
+  default: return 0;
+  }
+}
+} // namespace
+
+Expr *Parser::parseExpr() { return parseBinaryRhs(1, parseUnary()); }
+
+Expr *Parser::parseBinaryRhs(int MinPrec, Expr *Lhs) {
+  while (true) {
+    BinaryOp Op;
+    int Prec = binaryPrecedence(Tok.Kind, Op);
+    if (Prec < MinPrec)
+      return Lhs;
+    SourceLoc OpLoc = Tok.Loc;
+    consume();
+    Expr *Rhs = parseUnary();
+    BinaryOp NextOp;
+    int NextPrec = binaryPrecedence(Tok.Kind, NextOp);
+    if (NextPrec > Prec)
+      Rhs = parseBinaryRhs(Prec + 1, Rhs);
+    Lhs = Ctx.createExpr<BinaryExpr>(Op, Lhs, Rhs, OpLoc);
+  }
+}
+
+Expr *Parser::parseUnary() {
+  SourceLoc Loc = Tok.Loc;
+  if (consumeIf(TokenKind::Minus))
+    return Ctx.createExpr<UnaryExpr>(UnaryOp::Neg, parseUnary(), Loc);
+  if (consumeIf(TokenKind::Bang))
+    return Ctx.createExpr<UnaryExpr>(UnaryOp::Not, parseUnary(), Loc);
+  if (consumeIf(TokenKind::Tilde))
+    return Ctx.createExpr<UnaryExpr>(UnaryOp::BNot, parseUnary(), Loc);
+  return parsePostfix();
+}
+
+Expr *Parser::parsePostfix() {
+  Expr *E = parsePrimary();
+  while (true) {
+    if (Tok.is(TokenKind::LBracket)) {
+      SourceLoc Loc = Tok.Loc;
+      consume();
+      Expr *Index = parseExpr();
+      expectAndConsume(TokenKind::RBracket, "after array index");
+      E = Ctx.createExpr<IndexExpr>(E, Index, Loc);
+      continue;
+    }
+    return E;
+  }
+}
+
+Expr *Parser::errorExpr(SourceLoc Loc) {
+  return Ctx.createExpr<IntLitExpr>(0, Loc);
+}
+
+Expr *Parser::parsePrimary() {
+  SourceLoc Loc = Tok.Loc;
+  switch (Tok.Kind) {
+  case TokenKind::IntLiteral: {
+    int64_t V = Tok.IntValue;
+    consume();
+    return Ctx.createExpr<IntLitExpr>(V, Loc);
+  }
+  case TokenKind::DoubleLiteral: {
+    double V = Tok.DoubleValue;
+    consume();
+    return Ctx.createExpr<DoubleLitExpr>(V, Loc);
+  }
+  case TokenKind::KwTrue:
+    consume();
+    return Ctx.createExpr<BoolLitExpr>(true, Loc);
+  case TokenKind::KwFalse:
+    consume();
+    return Ctx.createExpr<BoolLitExpr>(false, Loc);
+  case TokenKind::LParen: {
+    consume();
+    Expr *E = parseExpr();
+    expectAndConsume(TokenKind::RParen, "to close parenthesized expression");
+    return E;
+  }
+  case TokenKind::KwNew: {
+    consume();
+    const Type *Elem = nullptr;
+    switch (Tok.Kind) {
+    case TokenKind::KwInt: Elem = Ctx.intType(); break;
+    case TokenKind::KwDouble: Elem = Ctx.doubleType(); break;
+    case TokenKind::KwBool: Elem = Ctx.boolType(); break;
+    default:
+      Diags.error(Tok.Loc, "expected scalar element type after 'new'");
+      return errorExpr(Loc);
+    }
+    consume();
+    std::vector<Expr *> Dims;
+    if (!expect(TokenKind::LBracket, "after 'new' element type"))
+      return errorExpr(Loc);
+    while (Tok.is(TokenKind::LBracket)) {
+      consume();
+      Dims.push_back(parseExpr());
+      expectAndConsume(TokenKind::RBracket, "after array dimension");
+    }
+    return Ctx.createExpr<NewArrayExpr>(Elem, std::move(Dims), Loc);
+  }
+  case TokenKind::Identifier: {
+    std::string Name = Tok.Text;
+    consume();
+    if (Tok.is(TokenKind::LParen)) {
+      consume();
+      std::vector<Expr *> Args;
+      if (Tok.isNot(TokenKind::RParen)) {
+        do {
+          Args.push_back(parseExpr());
+        } while (consumeIf(TokenKind::Comma));
+      }
+      expectAndConsume(TokenKind::RParen, "after call arguments");
+      return Ctx.createExpr<CallExpr>(std::move(Name), std::move(Args), Loc);
+    }
+    return Ctx.createExpr<VarRefExpr>(std::move(Name), Loc);
+  }
+  default:
+    Diags.error(Loc, strFormat("expected an expression, found %s",
+                               tokenKindName(Tok.Kind)));
+    consume();
+    return errorExpr(Loc);
+  }
+}

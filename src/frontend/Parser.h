@@ -1,0 +1,90 @@
+//===- Parser.h - HJ-mini recursive descent parser ---------------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive descent parser for HJ-mini. Grammar sketch:
+///
+/// \code
+///   program   := (globalVar | funcDecl)*
+///   globalVar := 'var' ident ':' type ('=' expr)? ';'
+///   funcDecl  := 'func' ident '(' params? ')' (':' type)? block
+///   type      := ('int' | 'double' | 'bool') ('[' ']')*
+///   stmt      := block | varDecl | ifStmt | whileStmt | forStmt
+///              | returnStmt | 'async' stmt | 'finish' stmt | simpleStmt ';'
+///   simpleStmt:= expr (assignOp expr)?     -- assignment or call
+///   expr      := precedence-climbing over || && | ^ & ==/!= rel shifts
+///                addsub muldiv, unary ! - ~, postfix call/index
+///   primary   := literal | ident | '(' expr ')' | 'new' scalarType dims
+/// \endcode
+///
+/// The parser produces an unresolved AST; sema binds names and types.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_FRONTEND_PARSER_H
+#define TDR_FRONTEND_PARSER_H
+
+#include "ast/AstContext.h"
+#include "frontend/Lexer.h"
+
+#include <memory>
+
+namespace tdr {
+
+class DiagnosticsEngine;
+
+/// Parses one HJ-mini compilation unit.
+class Parser {
+public:
+  Parser(std::string_view Buffer, AstContext &Ctx, DiagnosticsEngine &Diags);
+
+  /// Parses the whole buffer. Returns the program even when diagnostics
+  /// were reported (callers must check Diags.hasErrors()); never null.
+  Program *parseProgram();
+
+private:
+  // Token stream helpers.
+  const Token &tok() const { return Tok; }
+  void consume();
+  bool consumeIf(TokenKind K);
+  /// Reports an error and returns false when the current token is not \p K.
+  bool expect(TokenKind K, const char *Context);
+  /// expect + consume.
+  bool expectAndConsume(TokenKind K, const char *Context);
+
+  // Grammar productions.
+  void parseGlobalVar(Program &P);
+  void parseFuncDecl(Program &P);
+  const Type *parseType();
+  BlockStmt *parseBlock();
+  Stmt *parseStmt();
+  Stmt *parseVarDeclStmt();
+  Stmt *parseIfStmt();
+  Stmt *parseWhileStmt();
+  Stmt *parseForStmt();
+  Stmt *parseReturnStmt();
+  /// Assignment or expression statement, without the trailing ';'.
+  Stmt *parseSimpleStmt();
+  Expr *parseExpr();
+  Expr *parseBinaryRhs(int MinPrec, Expr *Lhs);
+  Expr *parseUnary();
+  Expr *parsePostfix();
+  Expr *parsePrimary();
+
+  /// Fabricates a placeholder expression after an error.
+  Expr *errorExpr(SourceLoc Loc);
+  /// Skips tokens until a statement boundary to recover from errors.
+  void skipToStmtBoundary();
+
+  AstContext &Ctx;
+  DiagnosticsEngine &Diags;
+  Lexer Lex;
+  Token Tok;
+};
+
+} // namespace tdr
+
+#endif // TDR_FRONTEND_PARSER_H

@@ -1,0 +1,57 @@
+//===- Token.h - HJ-mini tokens ----------------------------------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds produced by the HJ-mini lexer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_FRONTEND_TOKEN_H
+#define TDR_FRONTEND_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace tdr {
+
+enum class TokenKind {
+  // Special
+  Eof, Unknown,
+  // Literals and identifiers
+  Identifier, IntLiteral, DoubleLiteral,
+  // Keywords
+  KwVar, KwFunc, KwIf, KwElse, KwWhile, KwFor, KwReturn, KwAsync, KwFinish,
+  KwNew, KwTrue, KwFalse, KwInt, KwDouble, KwBool, KwVoid,
+  // Punctuation
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket, Comma, Semi, Colon,
+  // Operators
+  Plus, Minus, Star, Slash, Percent,
+  Less, LessEq, Greater, GreaterEq, EqEq, NotEq,
+  AmpAmp, PipePipe, Bang,
+  Amp, Pipe, Caret, Shl, Shr, Tilde,
+  Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign
+};
+
+/// Returns a human-readable name for diagnostics ("';'", "identifier", ...).
+const char *tokenKindName(TokenKind K);
+
+/// One lexed token. Literal payloads are stored decoded.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  std::string Text;     ///< identifier spelling (empty otherwise)
+  int64_t IntValue = 0; ///< valid for IntLiteral
+  double DoubleValue = 0.0; ///< valid for DoubleLiteral
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isNot(TokenKind K) const { return Kind != K; }
+};
+
+} // namespace tdr
+
+#endif // TDR_FRONTEND_TOKEN_H

@@ -1,0 +1,145 @@
+//===- Monitor.h - Execution instrumentation hooks ---------------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instrumentation contract between the sequential interpreter and the
+/// analyses (paper §7: "Programs were instrumented for race detection,
+/// S-DPST construction and computation of execution time of steps"). The
+/// interpreter performs the canonical depth-first execution and reports:
+///
+///  * task structure — async/finish enter/exit;
+///  * scope structure — block instances and call bodies, which become the
+///    scope nodes of the S-DPST and enforce lexical-scope-respecting
+///    repairs;
+///  * step content — per-statement attribution, abstract work units (the
+///    step execution times used by the finish placement cost model), and
+///    every shared-memory read/write.
+///
+/// Every structure event carries the *owner statement*: the statement of
+/// the innermost enclosing statement list that gave rise to the construct.
+/// The static finish placement uses owners to map S-DPST positions back to
+/// statement ranges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_INTERP_MONITOR_H
+#define TDR_INTERP_MONITOR_H
+
+#include "interp/Value.h"
+
+#include <cstdint>
+
+namespace tdr {
+
+class AsyncStmt;
+class BlockStmt;
+class FinishStmt;
+class FuncDecl;
+class Stmt;
+
+/// Why a scope node exists.
+enum class ScopeKind {
+  Block, ///< a block statement instance (if/else branch, loop iteration
+         ///  body, bare block)
+  Call   ///< a user-function call body instance
+};
+
+/// Receives execution events from the sequential interpreter. All hooks
+/// default to no-ops; analyses override what they need.
+class ExecMonitor {
+public:
+  virtual ~ExecMonitor() = default;
+
+  /// \p Owner is the statement owning this construct in the enclosing
+  /// statement-list container (see file comment); null at the root level.
+  virtual void onAsyncEnter(const AsyncStmt *S, const Stmt *Owner) {
+    (void)S;
+    (void)Owner;
+  }
+  virtual void onAsyncExit(const AsyncStmt *S) { (void)S; }
+  virtual void onFinishEnter(const FinishStmt *S, const Stmt *Owner) {
+    (void)S;
+    (void)Owner;
+  }
+  virtual void onFinishExit(const FinishStmt *S) { (void)S; }
+
+  /// \p Body is the statement list the scope executes (the block itself,
+  /// or the callee body); \p Callee is non-null for Call scopes.
+  virtual void onScopeEnter(ScopeKind K, const Stmt *Owner,
+                            const BlockStmt *Body, const FuncDecl *Callee) {
+    (void)K;
+    (void)Owner;
+    (void)Body;
+    (void)Callee;
+  }
+  virtual void onScopeExit() {}
+
+  /// A statement instance begins executing within the current step;
+  /// \p Owner attributes it (and subsequent work/accesses) for the static
+  /// placement maps.
+  virtual void onStepPoint(const Stmt *Owner) { (void)Owner; }
+
+  /// \p Units of abstract work performed by the current step.
+  virtual void onWork(uint64_t Units) { (void)Units; }
+
+  virtual void onRead(MemLoc L) { (void)L; }
+  virtual void onWrite(MemLoc L) { (void)L; }
+};
+
+/// Fans events out to several monitors in order.
+class MonitorPipeline : public ExecMonitor {
+public:
+  void add(ExecMonitor *M) { Monitors.push_back(M); }
+
+  void onAsyncEnter(const AsyncStmt *S, const Stmt *Owner) override {
+    for (ExecMonitor *M : Monitors)
+      M->onAsyncEnter(S, Owner);
+  }
+  void onAsyncExit(const AsyncStmt *S) override {
+    for (ExecMonitor *M : Monitors)
+      M->onAsyncExit(S);
+  }
+  void onFinishEnter(const FinishStmt *S, const Stmt *Owner) override {
+    for (ExecMonitor *M : Monitors)
+      M->onFinishEnter(S, Owner);
+  }
+  void onFinishExit(const FinishStmt *S) override {
+    for (ExecMonitor *M : Monitors)
+      M->onFinishExit(S);
+  }
+  void onScopeEnter(ScopeKind K, const Stmt *Owner, const BlockStmt *Body,
+                    const FuncDecl *Callee) override {
+    for (ExecMonitor *M : Monitors)
+      M->onScopeEnter(K, Owner, Body, Callee);
+  }
+  void onScopeExit() override {
+    for (ExecMonitor *M : Monitors)
+      M->onScopeExit();
+  }
+  void onStepPoint(const Stmt *Owner) override {
+    for (ExecMonitor *M : Monitors)
+      M->onStepPoint(Owner);
+  }
+  void onWork(uint64_t Units) override {
+    for (ExecMonitor *M : Monitors)
+      M->onWork(Units);
+  }
+  void onRead(MemLoc L) override {
+    for (ExecMonitor *M : Monitors)
+      M->onRead(L);
+  }
+  void onWrite(MemLoc L) override {
+    for (ExecMonitor *M : Monitors)
+      M->onWrite(L);
+  }
+
+private:
+  std::vector<ExecMonitor *> Monitors;
+};
+
+} // namespace tdr
+
+#endif // TDR_INTERP_MONITOR_H

@@ -1,0 +1,691 @@
+//===- ParallelInterpreter.cpp --------------------------------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+// A second, independent HJ-mini evaluator: where the sequential engine
+// executes asyncs inline depth-first, this one spawns them on the
+// work-stealing runtime. The expression/statement semantics deliberately
+// mirror interp/Interpreter.cpp; the engines cross-check each other in the
+// pinterp tests (same program, same input, same output).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pinterp/ParallelInterpreter.h"
+
+#include "ast/Ast.h"
+#include "runtime/Runtime.h"
+#include "support/StringUtils.h"
+
+#include <atomic>
+#include <cmath>
+#include <deque>
+#include <mutex>
+
+using namespace tdr;
+
+namespace {
+
+/// State shared by all tasks of one parallel execution.
+struct SharedState {
+  const Program &P;
+  const ExecOptions &Opts;
+
+  std::vector<Value> Globals;
+
+  std::mutex HeapMutex;
+  std::deque<ArrayObj> Heap;
+  uint32_t NextArrayId = 1;
+
+  std::mutex OutputMutex;
+  std::string Output;
+
+  std::mutex RandMutex;
+  Rng Rand;
+
+  std::atomic<uint64_t> Work{0};
+  std::atomic<bool> Aborted{false};
+  std::mutex ErrorMutex;
+  std::string Error;
+  SourceLoc ErrorLoc;
+
+  SharedState(const Program &P, const ExecOptions &Opts)
+      : P(P), Opts(Opts), Rand(Opts.Seed) {}
+
+  void fail(SourceLoc Loc, std::string Msg) {
+    std::lock_guard<std::mutex> Lock(ErrorMutex);
+    if (Error.empty()) {
+      Error = std::move(Msg);
+      ErrorLoc = Loc;
+    }
+    Aborted.store(true, std::memory_order_release);
+  }
+
+  ArrayObj *allocArrayObj(size_t N, Value Fill) {
+    std::lock_guard<std::mutex> Lock(HeapMutex);
+    Heap.emplace_back(NextArrayId++, N, Fill);
+    return &Heap.back();
+  }
+};
+
+Value defaultValue(const Type *T) {
+  switch (T->kind()) {
+  case Type::Kind::Int:
+    return Value::makeInt(0);
+  case Type::Kind::Double:
+    return Value::makeDouble(0.0);
+  case Type::Kind::Bool:
+    return Value::makeBool(false);
+  case Type::Kind::Array:
+    return Value::makeArray(nullptr);
+  case Type::Kind::Void:
+    break;
+  }
+  return Value::makeInt(0);
+}
+
+/// Per-task evaluator: owns a call stack; shares everything else.
+class TaskExec {
+public:
+  explicit TaskExec(SharedState &S) : S(S) {}
+
+  enum class Flow { Normal, Return, Error };
+
+  /// Entry: runs \p Body with a copy of \p Snapshot as the frame.
+  void runTaskBody(const Stmt *Body, std::vector<Value> Snapshot) {
+    Stack.push_back(std::move(Snapshot));
+    execStmt(Body);
+    Stack.pop_back();
+  }
+
+  /// Evaluates a global initializer (no enclosing function frame).
+  bool evalInit(const Expr *E, Value &Out) {
+    Stack.emplace_back();
+    bool Ok = evalExpr(E, Out);
+    Stack.pop_back();
+    return Ok;
+  }
+
+  Flow execStmt(const Stmt *St) {
+    if (S.Aborted.load(std::memory_order_acquire))
+      return Flow::Error;
+    if ((S.Work.fetch_add(1, std::memory_order_relaxed) + 1) >
+        S.Opts.WorkLimit) {
+      S.fail(St->loc(), "work limit exceeded (possible runaway loop)");
+      return Flow::Error;
+    }
+
+    switch (St->kind()) {
+    case Stmt::Kind::Block: {
+      for (const Stmt *C : cast<BlockStmt>(St)->stmts()) {
+        Flow F = execStmt(C);
+        if (F != Flow::Normal)
+          return F;
+      }
+      return Flow::Normal;
+    }
+    case Stmt::Kind::VarDecl: {
+      const auto *V = cast<VarDeclStmt>(St);
+      Value Init = defaultValue(V->decl()->type());
+      if (V->init() && !evalExpr(V->init(), Init))
+        return Flow::Error;
+      Stack.back()[V->decl()->slot()] = Init;
+      return Flow::Normal;
+    }
+    case Stmt::Kind::Assign:
+      return execAssign(cast<AssignStmt>(St));
+    case Stmt::Kind::Expr: {
+      Value Ignored;
+      return evalExpr(cast<ExprStmt>(St)->expr(), Ignored) ? Flow::Normal
+                                                           : Flow::Error;
+    }
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(St);
+      Value Cond;
+      if (!evalExpr(I->cond(), Cond))
+        return Flow::Error;
+      if (Cond.asBool())
+        return execStmt(I->thenStmt());
+      if (I->elseStmt())
+        return execStmt(I->elseStmt());
+      return Flow::Normal;
+    }
+    case Stmt::Kind::While: {
+      const auto *W = cast<WhileStmt>(St);
+      while (true) {
+        if (S.Aborted.load(std::memory_order_acquire))
+          return Flow::Error;
+        Value Cond;
+        if (!evalExpr(W->cond(), Cond))
+          return Flow::Error;
+        if (!Cond.asBool())
+          return Flow::Normal;
+        Flow F = execStmt(W->body());
+        if (F != Flow::Normal)
+          return F;
+      }
+    }
+    case Stmt::Kind::For: {
+      const auto *F = cast<ForStmt>(St);
+      if (F->init()) {
+        Flow Fl = execStmt(F->init());
+        if (Fl != Flow::Normal)
+          return Fl;
+      }
+      while (true) {
+        if (S.Aborted.load(std::memory_order_acquire))
+          return Flow::Error;
+        if (F->cond()) {
+          Value Cond;
+          if (!evalExpr(F->cond(), Cond))
+            return Flow::Error;
+          if (!Cond.asBool())
+            return Flow::Normal;
+        }
+        Flow Fl = execStmt(F->body());
+        if (Fl != Flow::Normal)
+          return Fl;
+        if (F->step()) {
+          Fl = execStmt(F->step());
+          if (Fl != Flow::Normal)
+            return Fl;
+        }
+      }
+    }
+    case Stmt::Kind::Return: {
+      const auto *R = cast<ReturnStmt>(St);
+      if (R->value()) {
+        if (!evalExpr(R->value(), RetVal))
+          return Flow::Error;
+        HasRetVal = true;
+      }
+      return Flow::Return;
+    }
+    case Stmt::Kind::Async: {
+      const auto *A = cast<AsyncStmt>(St);
+      // Snapshot the frame; the child task runs on its own TaskExec.
+      std::vector<Value> Snapshot = Stack.back();
+      SharedState *Shared = &S;
+      const Stmt *Body = A->body();
+      tdr::async([Shared, Body, Snapshot = std::move(Snapshot)]() mutable {
+        TaskExec Child(*Shared);
+        Child.runTaskBody(Body, std::move(Snapshot));
+      });
+      return Flow::Normal;
+    }
+    case Stmt::Kind::Finish: {
+      const auto *Fin = cast<FinishStmt>(St);
+      FinishScope Scope;
+      Flow F = execStmt(Fin->body());
+      Scope.wait();
+      return F;
+    }
+    }
+    return Flow::Normal;
+  }
+
+private:
+  Flow execAssign(const AssignStmt *A) {
+    const Expr *Target = A->target();
+    if (const auto *Ref = dyn_cast<VarRefExpr>(Target)) {
+      const VarDecl *D = Ref->decl();
+      Value V;
+      if (A->isCompound()) {
+        Value Current;
+        if (!evalExpr(Target, Current))
+          return Flow::Error;
+        Value Rhs;
+        if (!evalExpr(A->value(), Rhs))
+          return Flow::Error;
+        if (!applyBinary(A->compoundOp(), Current, Rhs, V, A->loc()))
+          return Flow::Error;
+      } else if (!evalExpr(A->value(), V)) {
+        return Flow::Error;
+      }
+      if (D->isGlobal())
+        S.Globals[D->slot()] = V;
+      else
+        Stack.back()[D->slot()] = V;
+      return Flow::Normal;
+    }
+
+    const auto *Idx = cast<IndexExpr>(Target);
+    Value BaseV;
+    if (!evalExpr(Idx->base(), BaseV))
+      return Flow::Error;
+    Value IndexV;
+    if (!evalExpr(Idx->index(), IndexV))
+      return Flow::Error;
+    int64_t I = IndexV.asInt();
+    ArrayObj *Arr = checkedArray(BaseV, I, Idx->loc());
+    if (!Arr)
+      return Flow::Error;
+    Value V;
+    if (A->isCompound()) {
+      Value Current = Arr->elem(static_cast<size_t>(I));
+      Value Rhs;
+      if (!evalExpr(A->value(), Rhs))
+        return Flow::Error;
+      if (!applyBinary(A->compoundOp(), Current, Rhs, V, A->loc()))
+        return Flow::Error;
+    } else if (!evalExpr(A->value(), V)) {
+      return Flow::Error;
+    }
+    Arr->elem(static_cast<size_t>(I)) = V;
+    return Flow::Normal;
+  }
+
+  ArrayObj *checkedArray(const Value &BaseV, int64_t Index, SourceLoc Loc) {
+    ArrayObj *Arr = BaseV.asArray();
+    if (!Arr) {
+      S.fail(Loc, "null array dereference");
+      return nullptr;
+    }
+    if (Index < 0 || static_cast<size_t>(Index) >= Arr->size()) {
+      S.fail(Loc, strFormat("array index %lld out of bounds [0, %zu)",
+                            static_cast<long long>(Index), Arr->size()));
+      return nullptr;
+    }
+    return Arr;
+  }
+
+  bool applyBinary(BinaryOp Op, const Value &L, const Value &R, Value &Out,
+                   SourceLoc Loc) {
+    switch (Op) {
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+    case BinaryOp::Mul:
+    case BinaryOp::Div:
+      if (L.isInt()) {
+        int64_t A = L.asInt(), B = R.asInt();
+        switch (Op) {
+        case BinaryOp::Add: Out = Value::makeInt(A + B); return true;
+        case BinaryOp::Sub: Out = Value::makeInt(A - B); return true;
+        case BinaryOp::Mul: Out = Value::makeInt(A * B); return true;
+        default:
+          if (B == 0) {
+            S.fail(Loc, "integer division by zero");
+            return false;
+          }
+          if (A == INT64_MIN && B == -1) {
+            S.fail(Loc, "integer division overflow");
+            return false;
+          }
+          Out = Value::makeInt(A / B);
+          return true;
+        }
+      } else {
+        double A = L.asDouble(), B = R.asDouble();
+        switch (Op) {
+        case BinaryOp::Add: Out = Value::makeDouble(A + B); return true;
+        case BinaryOp::Sub: Out = Value::makeDouble(A - B); return true;
+        case BinaryOp::Mul: Out = Value::makeDouble(A * B); return true;
+        default: Out = Value::makeDouble(A / B); return true;
+        }
+      }
+    case BinaryOp::Mod: {
+      int64_t A = L.asInt(), B = R.asInt();
+      if (B == 0) {
+        S.fail(Loc, "integer modulo by zero");
+        return false;
+      }
+      if (A == INT64_MIN && B == -1) {
+        S.fail(Loc, "integer modulo overflow");
+        return false;
+      }
+      Out = Value::makeInt(A % B);
+      return true;
+    }
+    case BinaryOp::BAnd:
+      Out = Value::makeInt(L.asInt() & R.asInt());
+      return true;
+    case BinaryOp::BOr:
+      Out = Value::makeInt(L.asInt() | R.asInt());
+      return true;
+    case BinaryOp::BXor:
+      Out = Value::makeInt(L.asInt() ^ R.asInt());
+      return true;
+    case BinaryOp::Shl: {
+      uint64_t Sh = static_cast<uint64_t>(R.asInt()) & 63;
+      Out = Value::makeInt(
+          static_cast<int64_t>(static_cast<uint64_t>(L.asInt()) << Sh));
+      return true;
+    }
+    case BinaryOp::Shr: {
+      uint64_t Sh = static_cast<uint64_t>(R.asInt()) & 63;
+      Out = Value::makeInt(L.asInt() >> Sh);
+      return true;
+    }
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge: {
+      bool B;
+      if (L.isInt()) {
+        int64_t A = L.asInt(), C = R.asInt();
+        B = Op == BinaryOp::Lt   ? A < C
+            : Op == BinaryOp::Le ? A <= C
+            : Op == BinaryOp::Gt ? A > C
+                                 : A >= C;
+      } else {
+        double A = L.asDouble(), C = R.asDouble();
+        B = Op == BinaryOp::Lt   ? A < C
+            : Op == BinaryOp::Le ? A <= C
+            : Op == BinaryOp::Gt ? A > C
+                                 : A >= C;
+      }
+      Out = Value::makeBool(B);
+      return true;
+    }
+    case BinaryOp::Eq:
+    case BinaryOp::Ne: {
+      bool Equal;
+      if (L.isInt())
+        Equal = L.asInt() == R.asInt();
+      else if (L.isDouble())
+        Equal = L.asDouble() == R.asDouble();
+      else
+        Equal = L.asBool() == R.asBool();
+      Out = Value::makeBool(Op == BinaryOp::Eq ? Equal : !Equal);
+      return true;
+    }
+    case BinaryOp::LAnd:
+    case BinaryOp::LOr:
+      Out = Value::makeBool(Op == BinaryOp::LAnd
+                                ? (L.asBool() && R.asBool())
+                                : (L.asBool() || R.asBool()));
+      return true;
+    }
+    S.fail(Loc, "unsupported binary operator");
+    return false;
+  }
+
+  bool evalExpr(const Expr *E, Value &Out) {
+    S.Work.fetch_add(1, std::memory_order_relaxed);
+    switch (E->kind()) {
+    case Expr::Kind::IntLit:
+      Out = Value::makeInt(cast<IntLitExpr>(E)->value());
+      return true;
+    case Expr::Kind::DoubleLit:
+      Out = Value::makeDouble(cast<DoubleLitExpr>(E)->value());
+      return true;
+    case Expr::Kind::BoolLit:
+      Out = Value::makeBool(cast<BoolLitExpr>(E)->value());
+      return true;
+    case Expr::Kind::VarRef: {
+      const VarDecl *D = cast<VarRefExpr>(E)->decl();
+      Out = D->isGlobal() ? S.Globals[D->slot()] : Stack.back()[D->slot()];
+      return true;
+    }
+    case Expr::Kind::Index: {
+      const auto *I = cast<IndexExpr>(E);
+      Value BaseV, IndexV;
+      if (!evalExpr(I->base(), BaseV) || !evalExpr(I->index(), IndexV))
+        return false;
+      int64_t Idx = IndexV.asInt();
+      ArrayObj *Arr = checkedArray(BaseV, Idx, I->loc());
+      if (!Arr)
+        return false;
+      Out = Arr->elem(static_cast<size_t>(Idx));
+      return true;
+    }
+    case Expr::Kind::Call:
+      return evalCall(cast<CallExpr>(E), Out);
+    case Expr::Kind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      Value V;
+      if (!evalExpr(U->operand(), V))
+        return false;
+      switch (U->op()) {
+      case UnaryOp::Neg:
+        Out = V.isInt() ? Value::makeInt(-V.asInt())
+                        : Value::makeDouble(-V.asDouble());
+        return true;
+      case UnaryOp::Not:
+        Out = Value::makeBool(!V.asBool());
+        return true;
+      case UnaryOp::BNot:
+        Out = Value::makeInt(~V.asInt());
+        return true;
+      }
+      return false;
+    }
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      if (B->op() == BinaryOp::LAnd || B->op() == BinaryOp::LOr) {
+        Value L;
+        if (!evalExpr(B->lhs(), L))
+          return false;
+        bool LB = L.asBool();
+        if ((B->op() == BinaryOp::LAnd && !LB) ||
+            (B->op() == BinaryOp::LOr && LB)) {
+          Out = Value::makeBool(LB);
+          return true;
+        }
+        return evalExpr(B->rhs(), Out);
+      }
+      Value L, R;
+      if (!evalExpr(B->lhs(), L) || !evalExpr(B->rhs(), R))
+        return false;
+      return applyBinary(B->op(), L, R, Out, B->loc());
+    }
+    case Expr::Kind::NewArray: {
+      const auto *N = cast<NewArrayExpr>(E);
+      std::vector<int64_t> Dims;
+      for (const Expr *D : N->dims()) {
+        Value V;
+        if (!evalExpr(D, V))
+          return false;
+        if (V.asInt() < 0) {
+          S.fail(D->loc(), "negative array dimension");
+          return false;
+        }
+        Dims.push_back(V.asInt());
+      }
+      return allocArray(N->elemType(), Dims, 0, Out);
+    }
+    }
+    return false;
+  }
+
+  bool allocArray(const Type *ElemTy, const std::vector<int64_t> &Dims,
+                  size_t Level, Value &Out) {
+    size_t N = static_cast<size_t>(Dims[Level]);
+    if (Level + 1 == Dims.size()) {
+      Out = Value::makeArray(S.allocArrayObj(N, defaultValue(ElemTy)));
+      return true;
+    }
+    ArrayObj *Arr = S.allocArrayObj(N, Value::makeArray(nullptr));
+    for (size_t I = 0; I != N; ++I) {
+      Value Sub;
+      if (!allocArray(ElemTy, Dims, Level + 1, Sub))
+        return false;
+      Arr->elem(I) = Sub;
+    }
+    Out = Value::makeArray(Arr);
+    return true;
+  }
+
+  bool evalCall(const CallExpr *C, Value &Out) {
+    if (C->builtin() != Builtin::None)
+      return evalBuiltin(C, Out);
+    const FuncDecl *F = C->callee();
+    if (Stack.size() >= S.Opts.MaxCallDepth) {
+      S.fail(C->loc(), "call depth limit exceeded (runaway recursion?)");
+      return false;
+    }
+    std::vector<Value> Frame(F->numFrameSlots());
+    for (size_t I = 0; I != C->args().size(); ++I) {
+      Value V;
+      if (!evalExpr(C->args()[I], V))
+        return false;
+      Frame[F->params()[I]->slot()] = V;
+    }
+    bool SavedHas = HasRetVal;
+    Value SavedRet = RetVal;
+    HasRetVal = false;
+    Stack.push_back(std::move(Frame));
+    Flow Fl = Flow::Normal;
+    for (const Stmt *St : F->body()->stmts()) {
+      Fl = execStmt(St);
+      if (Fl != Flow::Normal)
+        break;
+    }
+    Stack.pop_back();
+    if (Fl == Flow::Error) {
+      HasRetVal = SavedHas;
+      RetVal = SavedRet;
+      return false;
+    }
+    Out = HasRetVal ? RetVal : defaultValue(F->returnType());
+    HasRetVal = SavedHas;
+    RetVal = SavedRet;
+    return true;
+  }
+
+  bool evalBuiltin(const CallExpr *C, Value &Out) {
+    std::vector<Value> A;
+    A.reserve(C->args().size());
+    for (const Expr *ArgE : C->args()) {
+      Value V;
+      if (!evalExpr(ArgE, V))
+        return false;
+      A.push_back(V);
+    }
+    Out = Value::makeInt(0);
+    switch (C->builtin()) {
+    case Builtin::None:
+      break;
+    case Builtin::Print: {
+      std::lock_guard<std::mutex> Lock(S.OutputMutex);
+      S.Output += A[0].str();
+      S.Output += '\n';
+      return true;
+    }
+    case Builtin::Len: {
+      ArrayObj *Arr = A[0].asArray();
+      if (!Arr) {
+        S.fail(C->loc(), "len() of null array");
+        return false;
+      }
+      Out = Value::makeInt(static_cast<int64_t>(Arr->size()));
+      return true;
+    }
+    case Builtin::Sqrt:
+      Out = Value::makeDouble(std::sqrt(A[0].asDouble()));
+      return true;
+    case Builtin::Sin:
+      Out = Value::makeDouble(std::sin(A[0].asDouble()));
+      return true;
+    case Builtin::Cos:
+      Out = Value::makeDouble(std::cos(A[0].asDouble()));
+      return true;
+    case Builtin::Exp:
+      Out = Value::makeDouble(std::exp(A[0].asDouble()));
+      return true;
+    case Builtin::Log:
+      Out = Value::makeDouble(std::log(A[0].asDouble()));
+      return true;
+    case Builtin::Floor:
+      Out = Value::makeDouble(std::floor(A[0].asDouble()));
+      return true;
+    case Builtin::Abs:
+      Out = A[0].isInt() ? Value::makeInt(std::llabs(A[0].asInt()))
+                         : Value::makeDouble(std::fabs(A[0].asDouble()));
+      return true;
+    case Builtin::Min:
+      Out = A[0].isInt()
+                ? Value::makeInt(std::min(A[0].asInt(), A[1].asInt()))
+                : Value::makeDouble(std::min(A[0].asDouble(), A[1].asDouble()));
+      return true;
+    case Builtin::Max:
+      Out = A[0].isInt()
+                ? Value::makeInt(std::max(A[0].asInt(), A[1].asInt()))
+                : Value::makeDouble(std::max(A[0].asDouble(), A[1].asDouble()));
+      return true;
+    case Builtin::Pow:
+      Out = Value::makeDouble(std::pow(A[0].asDouble(), A[1].asDouble()));
+      return true;
+    case Builtin::ToInt:
+      Out = Value::makeInt(static_cast<int64_t>(A[0].asDouble()));
+      return true;
+    case Builtin::ToDouble:
+      Out = Value::makeDouble(static_cast<double>(A[0].asInt()));
+      return true;
+    case Builtin::RandInt: {
+      int64_t Bound = A[0].asInt();
+      if (Bound <= 0) {
+        S.fail(C->loc(), "randInt bound must be positive");
+        return false;
+      }
+      std::lock_guard<std::mutex> Lock(S.RandMutex);
+      Out = Value::makeInt(static_cast<int64_t>(
+          S.Rand.nextBelow(static_cast<uint64_t>(Bound))));
+      return true;
+    }
+    case Builtin::RandSeed: {
+      std::lock_guard<std::mutex> Lock(S.RandMutex);
+      S.Rand = Rng(static_cast<uint64_t>(A[0].asInt()));
+      return true;
+    }
+    case Builtin::Arg: {
+      int64_t I = A[0].asInt();
+      Out = Value::makeInt(I >= 0 &&
+                                   static_cast<size_t>(I) < S.Opts.Args.size()
+                               ? S.Opts.Args[static_cast<size_t>(I)]
+                               : 0);
+      return true;
+    }
+    }
+    S.fail(C->loc(), "unknown builtin");
+    return false;
+  }
+
+  SharedState &S;
+  std::vector<std::vector<Value>> Stack;
+  Value RetVal;
+  bool HasRetVal = false;
+};
+
+} // namespace
+
+ExecResult tdr::runProgramParallel(const Program &P, Runtime &RT,
+                                   const ExecOptions &Opts) {
+  assert(!Opts.Monitor && "instrumentation requires sequential execution");
+  SharedState S(P, Opts);
+
+  const FuncDecl *Main = P.mainFunc();
+  assert(Main && "sema guarantees a main function");
+
+  RT.run([&] {
+    TaskExec Root(S);
+    // Global initializers, in order.
+    S.Globals.reserve(P.globals().size());
+    for (const VarDecl *G : P.globals())
+      S.Globals.push_back(defaultValue(G->type()));
+    bool InitOk = true;
+    {
+      TaskExec Init(S);
+      for (const VarDecl *G : P.globals()) {
+        if (!G->init())
+          continue;
+        Value V = defaultValue(G->type());
+        if (!Init.evalInit(G->init(), V)) {
+          InitOk = false;
+          break;
+        }
+        S.Globals[G->slot()] = V;
+      }
+    }
+    if (InitOk)
+      Root.runTaskBody(Main->body(), std::vector<Value>(
+                                          Main->numFrameSlots()));
+  });
+
+  ExecResult R;
+  R.Ok = S.Error.empty();
+  R.Error = S.Error;
+  R.ErrorLoc = S.ErrorLoc;
+  R.Output = std::move(S.Output);
+  R.TotalWork = S.Work.load(std::memory_order_relaxed);
+  return R;
+}

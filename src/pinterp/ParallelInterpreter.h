@@ -1,0 +1,41 @@
+//===- ParallelInterpreter.h - Parallel HJ-mini execution --------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes an HJ-mini program on the work-stealing runtime: async
+/// statements become runtime tasks (capturing a by-value snapshot of the
+/// enclosing frame, as in the sequential semantics), finish statements
+/// become FinishScopes.
+///
+/// Shared state (globals, array elements) is accessed without locks — by
+/// design: the point of the repair pipeline is that *repaired programs are
+/// data race free*, and only race-free programs may be run here. Running a
+/// racy program through this engine is undefined (just as it would be on
+/// the paper's JVM runtime with a weak memory model). Use the sequential
+/// interpreter + detector to establish race freedom first.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_PINTERP_PARALLELINTERPRETER_H
+#define TDR_PINTERP_PARALLELINTERPRETER_H
+
+#include "interp/Interpreter.h"
+
+namespace tdr {
+
+class Runtime;
+
+/// Executes \p P in parallel on \p RT. Options' Monitor must be null
+/// (instrumentation is a sequential-execution concept). The deterministic
+/// RNG is shared and lock-protected: programs that call randInt
+/// concurrently from parallel tasks are ordering-dependent, so benchmarks
+/// seed and draw only in sequential sections.
+ExecResult runProgramParallel(const Program &P, Runtime &RT,
+                              const ExecOptions &Opts = ExecOptions());
+
+} // namespace tdr
+
+#endif // TDR_PINTERP_PARALLELINTERPRETER_H

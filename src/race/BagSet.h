@@ -1,0 +1,79 @@
+//===- BagSet.h - Tagged union-find for ESP-bags -----------------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The disjoint-set structure underlying ESP-bags. Every set ("bag") is
+/// tagged S (serial: its members are ordered before the currently
+/// executing step) or P (parallel: its members may run in parallel with
+/// it). Path compression + union by rank give effectively O(1) operations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_RACE_BAGSET_H
+#define TDR_RACE_BAGSET_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace tdr {
+
+/// Union-find over dense element ids with an S/P tag per set.
+class BagSet {
+public:
+  enum class Tag : uint8_t { S, P };
+
+  /// Creates a singleton set with the given tag; returns its element id.
+  uint32_t makeSet(Tag T) {
+    uint32_t Id = static_cast<uint32_t>(Parent.size());
+    Parent.push_back(Id);
+    Rank.push_back(0);
+    Tags.push_back(T);
+    return Id;
+  }
+
+  uint32_t find(uint32_t X) {
+    assert(X < Parent.size());
+    uint32_t Root = X;
+    while (Parent[Root] != Root)
+      Root = Parent[Root];
+    while (Parent[X] != Root) {
+      uint32_t Next = Parent[X];
+      Parent[X] = Root;
+      X = Next;
+    }
+    return Root;
+  }
+
+  /// Merges the sets of \p A and \p B; the merged set gets tag \p T.
+  void merge(uint32_t A, uint32_t B, Tag T) {
+    uint32_t RA = find(A), RB = find(B);
+    if (RA == RB) {
+      Tags[RA] = T;
+      return;
+    }
+    if (Rank[RA] < Rank[RB])
+      std::swap(RA, RB);
+    Parent[RB] = RA;
+    if (Rank[RA] == Rank[RB])
+      ++Rank[RA];
+    Tags[RA] = T;
+  }
+
+  Tag tagOf(uint32_t X) { return Tags[find(X)]; }
+  bool isP(uint32_t X) { return tagOf(X) == Tag::P; }
+
+  size_t size() const { return Parent.size(); }
+
+private:
+  std::vector<uint32_t> Parent;
+  std::vector<uint8_t> Rank;
+  std::vector<Tag> Tags;
+};
+
+} // namespace tdr
+
+#endif // TDR_RACE_BAGSET_H

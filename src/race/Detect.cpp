@@ -1,0 +1,40 @@
+//===- Detect.cpp ---------------------------------------------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "race/Detect.h"
+
+#include "race/OracleDetector.h"
+
+using namespace tdr;
+
+Detection tdr::detectRaces(const Program &P, EspBagsDetector::Mode Mode,
+                           ExecOptions Exec) {
+  Detection D;
+  D.Tree = std::make_unique<Dpst>();
+  DpstBuilder Builder(*D.Tree);
+  EspBagsDetector Detector(Mode, Builder);
+  MonitorPipeline Pipeline;
+  Pipeline.add(&Builder);
+  Pipeline.add(&Detector);
+  Exec.Monitor = &Pipeline;
+  D.Exec = runProgram(P, std::move(Exec));
+  D.Report = Detector.takeReport();
+  return D;
+}
+
+Detection tdr::detectRacesOracle(const Program &P, ExecOptions Exec) {
+  Detection D;
+  D.Tree = std::make_unique<Dpst>();
+  DpstBuilder Builder(*D.Tree);
+  OracleDetector Detector(*D.Tree, Builder);
+  MonitorPipeline Pipeline;
+  Pipeline.add(&Builder);
+  Pipeline.add(&Detector);
+  Exec.Monitor = &Pipeline;
+  D.Exec = runProgram(P, std::move(Exec));
+  D.Report = Detector.takeReport();
+  return D;
+}

@@ -1,0 +1,45 @@
+//===- Detect.h - One-call race detection driver -----------------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wires the sequential interpreter, the S-DPST builder, and an ESP-bags
+/// detector into the single "instrument and execute" stage of the tool
+/// (paper Figure 6, first box).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_RACE_DETECT_H
+#define TDR_RACE_DETECT_H
+
+#include "interp/Interpreter.h"
+#include "race/EspBags.h"
+
+#include <memory>
+
+namespace tdr {
+
+/// Everything one detection run produces.
+struct Detection {
+  std::unique_ptr<Dpst> Tree; ///< the S-DPST of the execution
+  RaceReport Report;          ///< detected races (steps point into Tree)
+  ExecResult Exec;            ///< program outcome (output, errors, work)
+
+  bool ok() const { return Exec.Ok; }
+};
+
+/// Executes \p P sequentially with the given input, building the S-DPST
+/// and detecting races with the chosen ESP-bags variant.
+Detection detectRaces(const Program &P,
+                      EspBagsDetector::Mode Mode = EspBagsDetector::Mode::MRW,
+                      ExecOptions Exec = ExecOptions());
+
+/// Like detectRaces but using the Theorem-1 oracle detector (slow;
+/// validation only).
+Detection detectRacesOracle(const Program &P, ExecOptions Exec = ExecOptions());
+
+} // namespace tdr
+
+#endif // TDR_RACE_DETECT_H

@@ -1,0 +1,105 @@
+//===- EspBags.cpp --------------------------------------------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "race/EspBags.h"
+
+using namespace tdr;
+
+EspBagsDetector::EspBagsDetector(Mode M, DpstBuilder &Builder)
+    : M(M), Builder(Builder) {
+  // The root task's S-bag and the implicit root finish's P-bag.
+  TaskElems.push_back(Bags.makeSet(BagSet::Tag::S));
+  FinishElems.push_back(Bags.makeSet(BagSet::Tag::P));
+}
+
+void EspBagsDetector::onAsyncEnter(const AsyncStmt *, const Stmt *) {
+  TaskElems.push_back(Bags.makeSet(BagSet::Tag::S));
+}
+
+void EspBagsDetector::onAsyncExit(const AsyncStmt *) {
+  uint32_t TaskElem = TaskElems.back();
+  TaskElems.pop_back();
+  // The completed task's S-bag joins the P-bag of the innermost enclosing
+  // finish: it is now parallel to everything the parent does until that
+  // finish joins it.
+  Bags.merge(FinishElems.back(), TaskElem, BagSet::Tag::P);
+}
+
+void EspBagsDetector::onFinishEnter(const FinishStmt *, const Stmt *) {
+  FinishElems.push_back(Bags.makeSet(BagSet::Tag::P));
+}
+
+void EspBagsDetector::onFinishExit(const FinishStmt *) {
+  uint32_t FinishElem = FinishElems.back();
+  FinishElems.pop_back();
+  // Everything the finish joined is now serialized before the parent task.
+  Bags.merge(TaskElems.back(), FinishElem, BagSet::Tag::S);
+}
+
+void EspBagsDetector::recordRace(const Access &Prev, AccessKind PrevKind,
+                                 DpstNode *CurStep, AccessKind CurKind,
+                                 MemLoc L) {
+  ++Report.RawCount;
+  uint64_t Key = (static_cast<uint64_t>(Prev.Step->id()) << 32) |
+                 CurStep->id();
+  if (!SeenPairs.insert(Key).second)
+    return;
+  RacePair R;
+  R.Src = Prev.Step;
+  R.Snk = CurStep;
+  R.Loc = L;
+  R.SrcKind = PrevKind;
+  R.SnkKind = CurKind;
+  Report.Pairs.push_back(R);
+}
+
+void EspBagsDetector::onRead(MemLoc L) {
+  DpstNode *Step = Builder.currentStep();
+  Shadow &S = ShadowMem[L];
+
+  for (const Access &W : S.Writers)
+    if (W.Step != Step && Bags.isP(W.Elem))
+      recordRace(W, AccessKind::Write, Step, AccessKind::Read, L);
+
+  if (M == Mode::SRW) {
+    // Keep a single reader; replace it only when it is serialized with the
+    // current step (a parallel reader is the more dangerous witness for
+    // future writes).
+    if (S.Readers.empty())
+      S.Readers.push_back(Access{curTaskElem(), Step});
+    else if (!Bags.isP(S.Readers[0].Elem))
+      S.Readers[0] = Access{curTaskElem(), Step};
+    return;
+  }
+  // MRW: track every reader, deduplicating per step (accesses between two
+  // step boundaries come from one step, so checking the tail suffices).
+  if (S.Readers.empty() || S.Readers.back().Step != Step)
+    S.Readers.push_back(Access{curTaskElem(), Step});
+}
+
+void EspBagsDetector::onWrite(MemLoc L) {
+  DpstNode *Step = Builder.currentStep();
+  Shadow &S = ShadowMem[L];
+
+  for (const Access &W : S.Writers)
+    if (W.Step != Step && Bags.isP(W.Elem))
+      recordRace(W, AccessKind::Write, Step, AccessKind::Write, L);
+  for (const Access &R : S.Readers)
+    if (R.Step != Step && Bags.isP(R.Elem))
+      recordRace(R, AccessKind::Read, Step, AccessKind::Write, L);
+
+  if (M == Mode::SRW) {
+    if (S.Writers.empty())
+      S.Writers.push_back(Access{curTaskElem(), Step});
+    else
+      S.Writers[0] = Access{curTaskElem(), Step};
+    return;
+  }
+  if (S.Writers.empty() || S.Writers.back().Step != Step)
+    S.Writers.push_back(Access{curTaskElem(), Step});
+}
+
+RaceReport EspBagsDetector::takeReport() { return std::move(Report); }

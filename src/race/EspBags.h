@@ -1,0 +1,95 @@
+//===- EspBags.h - SRW and MRW ESP-bags race detection -----------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ESP-bags data race detector for async-finish programs (Raman et
+/// al., FMSD 2012), in the two variants the paper compares (§4.1):
+///
+///  * SRW (Single Reader-Writer) — the original algorithm: one writer and
+///    one reader tracked per memory location. Sound and complete for
+///    *detecting whether* a race exists, but reports only a subset of all
+///    racing pairs per run, so repair may need multiple iterations.
+///  * MRW (Multiple Reader-Writer) — the paper's modification: all readers
+///    and writers are tracked, so every racing step pair is reported in a
+///    single run.
+///
+/// The algorithm piggybacks on the canonical sequential depth-first
+/// execution. Each async task has an S-bag; each finish (plus the implicit
+/// root finish) has a P-bag:
+///
+///  * async enter: the task's S-bag is the singleton {task};
+///  * async exit:  its S-bag merges into the P-bag of the innermost
+///    enclosing finish;
+///  * finish exit: its P-bag merges into the S-bag of the executing task.
+///
+/// A recorded access races with the current step iff its task element is
+/// currently in a P-tagged bag.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_RACE_ESPBAGS_H
+#define TDR_RACE_ESPBAGS_H
+
+#include "dpst/Dpst.h"
+#include "race/BagSet.h"
+#include "race/RaceReport.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace tdr {
+
+/// ESP-bags detector; install in the same monitor pipeline as (and after)
+/// the DpstBuilder it reads the current step from.
+class EspBagsDetector : public ExecMonitor {
+public:
+  enum class Mode { SRW, MRW };
+
+  EspBagsDetector(Mode M, DpstBuilder &Builder);
+
+  void onAsyncEnter(const AsyncStmt *S, const Stmt *Owner) override;
+  void onAsyncExit(const AsyncStmt *S) override;
+  void onFinishEnter(const FinishStmt *S, const Stmt *Owner) override;
+  void onFinishExit(const FinishStmt *S) override;
+  void onRead(MemLoc L) override;
+  void onWrite(MemLoc L) override;
+
+  /// The detection outcome (valid once execution finished).
+  RaceReport takeReport();
+
+  /// Number of distinct racing pairs found so far.
+  size_t numPairs() const { return Report.Pairs.size(); }
+
+private:
+  struct Access {
+    uint32_t Elem = 0;
+    DpstNode *Step = nullptr;
+  };
+
+  /// Per-location shadow state. SRW uses [0] of each vector.
+  struct Shadow {
+    std::vector<Access> Writers;
+    std::vector<Access> Readers;
+  };
+
+  void recordRace(const Access &Prev, AccessKind PrevKind, DpstNode *CurStep,
+                  AccessKind CurKind, MemLoc L);
+
+  uint32_t curTaskElem() const { return TaskElems.back(); }
+
+  Mode M;
+  DpstBuilder &Builder;
+  BagSet Bags;
+  std::vector<uint32_t> TaskElems;   ///< S-bag element per active task
+  std::vector<uint32_t> FinishElems; ///< P-bag element per active finish
+  std::unordered_map<MemLoc, Shadow, MemLocHash> ShadowMem;
+  RaceReport Report;
+  std::unordered_set<uint64_t> SeenPairs;
+};
+
+} // namespace tdr
+
+#endif // TDR_RACE_ESPBAGS_H

@@ -1,0 +1,58 @@
+//===- OracleDetector.h - DPST-based reference race detector -----*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An independent reference detector used to validate ESP-bags: it keeps
+/// the same multiple-reader-writer shadow memory but decides "may these two
+/// steps run in parallel?" with the S-DPST structural criterion (Theorem 1,
+/// from Raman et al. PLDI 2012) instead of bags. Slower — O(tree depth) per
+/// query — but with no shared state with ESP-bags, so agreement between the
+/// two is strong evidence of correctness. Property tests assert that this
+/// oracle and MRW ESP-bags report identical race pair sets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_RACE_ORACLEDETECTOR_H
+#define TDR_RACE_ORACLEDETECTOR_H
+
+#include "dpst/Dpst.h"
+#include "race/RaceReport.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace tdr {
+
+/// MRW-style detector using Theorem-1 parallelism queries.
+class OracleDetector : public ExecMonitor {
+public:
+  OracleDetector(Dpst &Tree, DpstBuilder &Builder)
+      : Tree(Tree), Builder(Builder) {}
+
+  void onRead(MemLoc L) override;
+  void onWrite(MemLoc L) override;
+
+  RaceReport takeReport() { return std::move(Report); }
+
+private:
+  struct Shadow {
+    std::vector<DpstNode *> Writers;
+    std::vector<DpstNode *> Readers;
+  };
+
+  void check(const std::vector<DpstNode *> &Prev, AccessKind PrevKind,
+             DpstNode *Step, AccessKind CurKind, MemLoc L);
+
+  Dpst &Tree;
+  DpstBuilder &Builder;
+  std::unordered_map<MemLoc, Shadow, MemLocHash> ShadowMem;
+  RaceReport Report;
+  std::unordered_set<uint64_t> SeenPairs;
+};
+
+} // namespace tdr
+
+#endif // TDR_RACE_ORACLEDETECTOR_H

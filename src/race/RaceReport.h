@@ -1,0 +1,51 @@
+//===- RaceReport.h - Data race records --------------------------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Race records shared by the detectors and the repair pipeline. A race is
+/// an ordered pair of S-DPST steps: the *source* executes first in the
+/// canonical depth-first order, the *sink* second (paper §4.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_RACE_RACEREPORT_H
+#define TDR_RACE_RACEREPORT_H
+
+#include "interp/Value.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace tdr {
+
+class DpstNode;
+
+enum class AccessKind : uint8_t { Read, Write };
+
+/// One detected data race between two steps.
+struct RacePair {
+  const DpstNode *Src = nullptr; ///< earlier step (depth-first order)
+  const DpstNode *Snk = nullptr; ///< later step
+  MemLoc Loc;                    ///< one location they both touch
+  AccessKind SrcKind = AccessKind::Write;
+  AccessKind SnkKind = AccessKind::Write;
+};
+
+/// Result of one detection run.
+struct RaceReport {
+  /// Distinct racing step pairs (the input to repair). Deduplicated on
+  /// (Src, Snk); Loc/kinds describe one witness access pair.
+  std::vector<RacePair> Pairs;
+  /// Total race reports before deduplication (every conflicting access
+  /// pair observed) — the "number of data races" the paper's tables count.
+  uint64_t RawCount = 0;
+
+  bool empty() const { return Pairs.empty(); }
+};
+
+} // namespace tdr
+
+#endif // TDR_RACE_RACEREPORT_H

@@ -1,0 +1,51 @@
+//===- DepGraph.h - Dependence graphs at NS-LCAs ------------------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dependence graph construction (paper §5.1): races are grouped by the
+/// NS-LCA of their source and sink steps; within a group, the graph's
+/// vertices are the NS-LCA's non-scope children in left-to-right order and
+/// each race becomes an edge between the children that are ancestors of its
+/// source and sink.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_REPAIR_DEPGRAPH_H
+#define TDR_REPAIR_DEPGRAPH_H
+
+#include "dpst/Dpst.h"
+#include "race/RaceReport.h"
+#include "repair/FinishPlacement.h"
+
+#include <vector>
+
+namespace tdr {
+
+/// The dependence graph of one NS-LCA, plus the races it covers.
+struct DepGroup {
+  DpstNode *Lca = nullptr;
+  /// Non-scope children of Lca, left-to-right. Graph/problem indices refer
+  /// to this vector.
+  std::vector<DpstNode *> Nodes;
+  /// The DP input: times, async flags, and deduplicated edges.
+  PlacementProblem Problem;
+  /// Races grouped here.
+  std::vector<RacePair> Races;
+  /// Per race, the (source, sink) vertex indices in Nodes/Problem (after
+  /// coarsening). Parallel to Races.
+  std::vector<std::pair<uint32_t, uint32_t>> RaceIdx;
+};
+
+/// Groups \p Races by NS-LCA and builds each group's dependence graph.
+/// Node times use step weights and subtree critical path lengths (an async
+/// vertex's execution time is the time to complete its whole subtree).
+/// Groups are ordered deepest-NS-LCA first.
+std::vector<DepGroup> buildDepGroups(const Dpst &Tree,
+                                     const std::vector<RacePair> &Races);
+
+} // namespace tdr
+
+#endif // TDR_REPAIR_DEPGRAPH_H

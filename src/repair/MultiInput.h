@@ -1,0 +1,93 @@
+//===- MultiInput.h - Multi-input repair and coverage analysis ---*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two pieces around the single-input core:
+///
+///  * Multi-input repair — the tool "is applied iteratively for different
+///    test inputs" (paper §2): repair for input 1, re-detect with input 2,
+///    repair the residue, and so on, until every test input is race free.
+///
+///  * Test-coverage analysis — a §9 future-work item ("test coverage
+///    analysis to evaluate the suitability of a given set of test cases
+///    for program repair"): a repair is only as trustworthy as the inputs
+///    that drove it, so report which async sites the inputs actually
+///    exercised. An async statement that never spawned cannot have had
+///    its races observed or repaired.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_REPAIR_MULTIINPUT_H
+#define TDR_REPAIR_MULTIINPUT_H
+
+#include "repair/RepairDriver.h"
+
+#include <string>
+#include <vector>
+
+namespace tdr {
+
+class AsyncStmt;
+
+/// Outcome of a multi-input repair.
+struct MultiRepairResult {
+  bool Success = false;     ///< race free for every input
+  std::string Error;
+  unsigned FinishesInserted = 0;
+  /// Per input: detection runs the driver needed (1 = already race free).
+  std::vector<unsigned> IterationsPerInput;
+  /// Inputs (indices) that triggered at least one new finish.
+  std::vector<size_t> InputsThatContributed;
+};
+
+/// Repairs \p P for every input in \p Inputs, in order. Later inputs see
+/// the finishes earlier inputs introduced, so the finish set only grows.
+MultiRepairResult repairProgramForInputs(Program &P, AstContext &Ctx,
+                                         const std::vector<ExecOptions> &Inputs,
+                                         EspBagsDetector::Mode Mode =
+                                             EspBagsDetector::Mode::MRW);
+
+/// Coverage of one async site across a set of test inputs.
+struct AsyncSiteCoverage {
+  const AsyncStmt *Site = nullptr;
+  SourceLoc Loc;
+  /// Dynamic instances per input (parallel to the inputs vector).
+  std::vector<uint64_t> InstancesPerInput;
+
+  uint64_t totalInstances() const {
+    uint64_t T = 0;
+    for (uint64_t I : InstancesPerInput)
+      T += I;
+    return T;
+  }
+  bool exercised() const { return totalInstances() != 0; }
+};
+
+/// Suitability report for a test-input set (paper §9 future work).
+struct CoverageReport {
+  std::vector<AsyncSiteCoverage> Sites;
+  size_t NumExercised = 0;
+  size_t NumUnexercised = 0;
+
+  /// Fraction of async sites exercised by at least one input.
+  double asyncCoverage() const {
+    size_t N = Sites.size();
+    return N ? static_cast<double>(NumExercised) / static_cast<double>(N)
+             : 1.0;
+  }
+  /// A test set is suitable for repair when every async site spawned at
+  /// least once (otherwise some potential races were never observable).
+  bool suitable() const { return NumUnexercised == 0; }
+};
+
+/// Runs \p P on every input, counting dynamic instances of every async
+/// statement. The program must execute successfully on each input.
+CoverageReport analyzeTestCoverage(Program &P,
+                                   const std::vector<ExecOptions> &Inputs);
+
+} // namespace tdr
+
+#endif // TDR_REPAIR_MULTIINPUT_H

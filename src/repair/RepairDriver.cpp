@@ -1,0 +1,176 @@
+//===- RepairDriver.cpp ---------------------------------------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "repair/RepairDriver.h"
+
+#include "ast/AstPrinter.h"
+#include "frontend/Parser.h"
+#include "sema/Sema.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+#include "support/StringUtils.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+
+using namespace tdr;
+
+namespace {
+
+/// Applies the DP solution for one NS-LCA group. Returns the number of
+/// finishes successfully applied.
+unsigned solveGroup(const Dpst &Tree, const DepGroup &G, StaticPlacer &Placer,
+                    RepairResult &Result) {
+  if (G.Problem.Edges.empty())
+    return 0;
+
+  PlacementResult DP = placeFinishes(
+      G.Problem, [&](uint32_t I, uint32_t K) {
+        return Placer.isValidRange(G, I, K);
+      });
+
+  std::vector<std::pair<uint32_t, uint32_t>> Ranges;
+  if (DP.Feasible) {
+    Ranges = DP.Finishes;
+  } else {
+    // The DP is feasible whenever single-node wraps are valid, so this is
+    // a defensive path: serialize every race source individually.
+    for (auto [X, Y] : G.Problem.Edges) {
+      (void)Y;
+      Ranges.push_back({X, X});
+    }
+    std::sort(Ranges.begin(), Ranges.end());
+    Ranges.erase(std::unique(Ranges.begin(), Ranges.end()), Ranges.end());
+  }
+
+  // Apply innermost-first so statement indices of outer ranges account for
+  // the finishes inner ranges introduce.
+  std::sort(Ranges.begin(), Ranges.end(),
+            [](const auto &A, const auto &B) {
+              uint32_t LenA = A.second - A.first;
+              uint32_t LenB = B.second - B.first;
+              if (LenA != LenB)
+                return LenA < LenB;
+              return A.first < B.first;
+            });
+
+  // One static edit can resolve many dynamic ranges at once (it applies to
+  // every instance of the site), so before applying a range check that it
+  // still resolves a live race; otherwise the same statement would collect
+  // redundant nested finishes.
+  std::vector<char> Alive(G.Races.size(), 1);
+  auto RefreshAlive = [&] {
+    for (size_t R = 0; R != G.Races.size(); ++R)
+      if (Alive[R] &&
+          !Tree.mayHappenInParallel(G.Races[R].Src, G.Races[R].Snk))
+        Alive[R] = 0;
+  };
+  RefreshAlive();
+
+  unsigned AppliedCount = 0;
+  for (auto [S, E] : Ranges) {
+    bool Needed = false;
+    for (size_t R = 0; R != G.Races.size() && !Needed; ++R) {
+      auto [X, Y] = G.RaceIdx[R];
+      Needed = Alive[R] && S <= X && X <= E && E < Y;
+    }
+    if (!Needed)
+      continue;
+    if (auto A = Placer.apply(G, S, E)) {
+      Result.InsertedAt.push_back(A->AnchorLoc);
+      ++AppliedCount;
+      RefreshAlive();
+    }
+  }
+  return AppliedCount;
+}
+
+} // namespace
+
+RepairResult tdr::repairProgram(Program &P, AstContext &Ctx,
+                                const RepairOptions &Opts) {
+  RepairResult Result;
+  RepairStats &Stats = Result.Stats;
+
+  for (unsigned Iter = 0; Iter != Opts.MaxIterations; ++Iter) {
+    Timer DetectTimer;
+    Detection D = detectRaces(P, Opts.Mode, Opts.Exec);
+    Stats.DetectMs.push_back(DetectTimer.elapsedMs());
+    ++Stats.Iterations;
+
+    if (!D.ok()) {
+      Result.Error = strFormat("test input failed at run time: %s",
+                               D.Exec.Error.c_str());
+      return Result;
+    }
+    if (Iter == 0) {
+      Stats.DpstNodes = D.Tree->numNodes();
+      Stats.RawRaces = D.Report.RawCount;
+      Stats.RacePairs = D.Report.Pairs.size();
+    }
+    if (D.Report.Pairs.empty()) {
+      Result.Success = true;
+      return Result;
+    }
+
+    Timer RepairTimer;
+    StaticPlacer Placer(*D.Tree, Ctx, P);
+    std::vector<RacePair> Pending = D.Report.Pairs;
+
+    // Process NS-LCA groups deepest-first, regrouping after each since
+    // inserted finishes can change the NS-LCA of remaining races.
+    bool Progress = true;
+    while (!Pending.empty() && Progress) {
+      Progress = false;
+      std::vector<DepGroup> Groups = buildDepGroups(*D.Tree, Pending);
+      assert(!Groups.empty());
+      unsigned Applied = solveGroup(*D.Tree, Groups.front(), Placer, Result);
+      Stats.FinishesInserted += Applied;
+
+      size_t Before = Pending.size();
+      Pending.erase(std::remove_if(Pending.begin(), Pending.end(),
+                                   [&](const RacePair &R) {
+                                     return !D.Tree->mayHappenInParallel(
+                                         R.Src, R.Snk);
+                                   }),
+                    Pending.end());
+      Progress = Applied != 0 && Pending.size() < Before;
+    }
+    Stats.RepairMs.push_back(RepairTimer.elapsedMs());
+
+    if (!Pending.empty() && Stats.FinishesInserted == 0) {
+      Result.Error = "no applicable finish placement was found for the "
+                     "remaining races";
+      return Result;
+    }
+    // Loop: the next detection run verifies (and, for SRW, finds races the
+    // single-reader-writer shadow memory missed).
+  }
+
+  Result.Error = strFormat("races remained after %u repair iterations",
+                           Opts.MaxIterations);
+  return Result;
+}
+
+RepairResult tdr::repairSource(const std::string &Source,
+                               std::string &RepairedOut,
+                               const RepairOptions &Opts) {
+  RepairResult Result;
+  SourceManager SM("input.hj", Source);
+  DiagnosticsEngine Diags;
+  AstContext Ctx;
+  Parser Parse(SM.buffer(), Ctx, Diags);
+  Program *P = Parse.parseProgram();
+  if (!Diags.hasErrors())
+    runSema(*P, Ctx, Diags);
+  if (Diags.hasErrors()) {
+    Result.Error = Diags.render(SM);
+    return Result;
+  }
+  Result = repairProgram(*P, Ctx, Opts);
+  RepairedOut = printProgram(*P);
+  return Result;
+}

@@ -1,0 +1,87 @@
+//===- RepairDriver.h - Test-driven repair tool driver -----------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top of the tool (paper Figure 6): iterate { detect races on the
+/// test input -> dynamic finish placement -> static finish placement }
+/// until the program is race free for that input.
+///
+/// Within one detection run, races are grouped by NS-LCA; groups are
+/// solved deepest-first with the placement DP, each solution is applied to
+/// the AST and replicated across the S-DPST, resolved races are dropped,
+/// and remaining races are regrouped (their NS-LCAs may have changed —
+/// paper step 3(f)). With the MRW detector one run normally suffices; with
+/// SRW the outer loop iterates (paper §7.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_REPAIR_REPAIRDRIVER_H
+#define TDR_REPAIR_REPAIRDRIVER_H
+
+#include "race/Detect.h"
+#include "repair/StaticPlacer.h"
+
+#include <string>
+#include <vector>
+
+namespace tdr {
+
+/// Repair configuration.
+struct RepairOptions {
+  EspBagsDetector::Mode Mode = EspBagsDetector::Mode::MRW;
+  ExecOptions Exec;            ///< the test input (args, seed, limits)
+  unsigned MaxIterations = 8;  ///< outer detect/repair rounds
+};
+
+/// Per-run measurements (the columns of Tables 2 and 3).
+struct RepairStats {
+  /// Wall-clock of each detection run (S-DPST construction + detection).
+  std::vector<double> DetectMs;
+  /// Wall-clock of each repair phase (grouping + DP + static placement).
+  std::vector<double> RepairMs;
+  size_t DpstNodes = 0;     ///< S-DPST nodes in the first detection run
+  uint64_t RawRaces = 0;    ///< races reported (first run, pre-dedup)
+  size_t RacePairs = 0;     ///< distinct racing step pairs (first run)
+  unsigned Iterations = 0;  ///< detection runs performed
+  unsigned FinishesInserted = 0;
+
+  double totalDetectMs() const {
+    double T = 0;
+    for (double D : DetectMs)
+      T += D;
+    return T;
+  }
+  double totalRepairMs() const {
+    double T = 0;
+    for (double D : RepairMs)
+      T += D;
+    return T;
+  }
+};
+
+/// Outcome of a repair.
+struct RepairResult {
+  bool Success = false;      ///< race free for the input after repair
+  std::string Error;         ///< failure description when !Success
+  RepairStats Stats;
+  /// Locations (in the pre-repair program text) where finishes were added.
+  std::vector<SourceLoc> InsertedAt;
+};
+
+/// Repairs \p P in place for the test input in \p Opts. The program must
+/// have passed sema. On success the AST contains the synthesized finish
+/// statements (print it with printProgram to obtain the repaired source).
+RepairResult repairProgram(Program &P, AstContext &Ctx,
+                           const RepairOptions &Opts = RepairOptions());
+
+/// Full source-to-source pipeline: parse + sema + repair + print. Returns
+/// the repaired source in \p RepairedOut. Convenience for tools/tests.
+RepairResult repairSource(const std::string &Source, std::string &RepairedOut,
+                          const RepairOptions &Opts = RepairOptions());
+
+} // namespace tdr
+
+#endif // TDR_REPAIR_REPAIRDRIVER_H

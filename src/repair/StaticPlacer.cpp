@@ -1,0 +1,500 @@
+//===- StaticPlacer.cpp ---------------------------------------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "repair/StaticPlacer.h"
+
+#include "ast/Transforms.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+using namespace tdr;
+
+namespace {
+constexpr size_t Npos = static_cast<size_t>(-1);
+} // namespace
+
+StaticPlacer::StaticPlacer(Dpst &Tree, AstContext &Ctx, Program &Prog)
+    : Tree(Tree), Ctx(Ctx), Prog(Prog) {
+  indexProgram();
+  indexTree();
+}
+
+//===----------------------------------------------------------------------===//
+// Indexing
+//===----------------------------------------------------------------------===//
+
+void StaticPlacer::indexProgram() {
+  Parents.clear();
+  // Record, for every statement, the slot it occupies.
+  struct Walker {
+    StaticPlacer &SP;
+    void block(BlockStmt *B) {
+      for (Stmt *S : B->stmts()) {
+        SP.Parents[S] = ParentSlot{B, nullptr, Edit::SlotKind::None};
+        visit(S);
+      }
+    }
+    void slot(Stmt *Child, Stmt *Owner, Edit::SlotKind K) {
+      SP.Parents[Child] = ParentSlot{nullptr, Owner, K};
+      visit(Child);
+    }
+    void visit(Stmt *S) {
+      switch (S->kind()) {
+      case Stmt::Kind::Block:
+        block(cast<BlockStmt>(S));
+        break;
+      case Stmt::Kind::If: {
+        auto *I = cast<IfStmt>(S);
+        slot(I->thenStmt(), I, Edit::SlotKind::IfThen);
+        if (I->elseStmt())
+          slot(I->elseStmt(), I, Edit::SlotKind::IfElse);
+        break;
+      }
+      case Stmt::Kind::While:
+        slot(cast<WhileStmt>(S)->body(), S, Edit::SlotKind::WhileBody);
+        break;
+      case Stmt::Kind::For:
+        slot(cast<ForStmt>(S)->body(), S, Edit::SlotKind::ForBody);
+        break;
+      case Stmt::Kind::Async:
+        slot(cast<AsyncStmt>(S)->body(), S, Edit::SlotKind::AsyncBody);
+        break;
+      case Stmt::Kind::Finish:
+        slot(cast<FinishStmt>(S)->body(), S, Edit::SlotKind::FinishBody);
+        break;
+      case Stmt::Kind::VarDecl:
+      case Stmt::Kind::Assign:
+      case Stmt::Kind::Expr:
+      case Stmt::Kind::Return:
+        break;
+      }
+    }
+  } W{*this};
+  for (FuncDecl *F : Prog.funcs())
+    W.block(F->body());
+}
+
+void StaticPlacer::indexTree() {
+  BlockInstances.clear();
+  StmtInstances.clear();
+  std::vector<DpstNode *> Stack{Tree.root()};
+  while (!Stack.empty()) {
+    DpstNode *N = Stack.back();
+    Stack.pop_back();
+    if (N->isScope() && N->container())
+      BlockInstances[N->container()].push_back(N);
+    if (N->isAsync() && N->asyncStmt())
+      StmtInstances[N->asyncStmt()].push_back(N);
+    if (N->isFinish() && N->finishStmt())
+      StmtInstances[N->finishStmt()].push_back(N);
+    for (DpstNode *C : N->children())
+      Stack.push_back(C);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Statement lookup helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// True when \p S lives inside \p Container, looking only through
+/// synthesized finishes and the blocks they created.
+bool containsThroughSynthesized(const Stmt *Container, const Stmt *S) {
+  if (Container == S)
+    return true;
+  if (const auto *F = dyn_cast<FinishStmt>(Container); F && F->isSynthesized())
+    return containsThroughSynthesized(F->body(), S);
+  if (const auto *B = dyn_cast<BlockStmt>(Container)) {
+    for (const Stmt *C : B->stmts())
+      if (containsThroughSynthesized(C, S))
+        return true;
+  }
+  return false;
+}
+
+/// Collects \p S and, through synthesized finishes, the statements earlier
+/// edits moved under it.
+void addOwners(const Stmt *S, std::unordered_set<const Stmt *> &Set) {
+  Set.insert(S);
+  if (const auto *F = dyn_cast<FinishStmt>(S); F && F->isSynthesized()) {
+    addOwners(F->body(), Set);
+    return;
+  }
+  if (const auto *B = dyn_cast<BlockStmt>(S))
+    for (const Stmt *C : B->stmts())
+      addOwners(C, Set);
+}
+} // namespace
+
+size_t StaticPlacer::findStmtIndex(const BlockStmt *B, const Stmt *S) const {
+  const auto &Stmts = B->stmts();
+  for (size_t I = 0; I != Stmts.size(); ++I) {
+    if (Stmts[I] == S)
+      return I;
+    if (const auto *F = dyn_cast<FinishStmt>(Stmts[I]);
+        F && F->isSynthesized() && containsThroughSynthesized(F, S))
+      return I;
+  }
+  return Npos;
+}
+
+bool StaticPlacer::declEscapes(const BlockStmt *B, size_t First,
+                               size_t Last) const {
+  std::unordered_set<const VarDecl *> Decls;
+  for (size_t I = First; I <= Last; ++I)
+    if (const auto *V = dyn_cast<VarDeclStmt>(B->stmts()[I]))
+      Decls.insert(V->decl());
+  if (Decls.empty())
+    return false;
+  bool Escapes = false;
+  for (size_t I = Last + 1; I != B->stmts().size() && !Escapes; ++I)
+    forEachExpr(B->stmts()[I], [&](const Expr *E) {
+      if (const auto *Ref = dyn_cast<VarRefExpr>(E))
+        if (Decls.count(Ref->decl()))
+          Escapes = true;
+    });
+  return Escapes;
+}
+
+//===----------------------------------------------------------------------===//
+// Insertion point (paper §5.2, bottom-up traversal)
+//===----------------------------------------------------------------------===//
+
+std::vector<StaticPlacer::InsertionPoint>
+StaticPlacer::findInsertionPoints(const DpstNode *L, DpstNode *First,
+                                  DpstNode *Last, const DpstNode *LeftN,
+                                  const DpstNode *RightN) {
+  DpstNode *P;
+  size_t B, E;
+  if (First == Last) {
+    P = First->parent();
+    B = E = First->indexInParent();
+  } else {
+    P = const_cast<DpstNode *>(Tree.lca(First, Last));
+    const DpstNode *CB = Tree.childToward(P, First);
+    const DpstNode *CE = Tree.childToward(P, Last);
+    assert(CB && CE && "range endpoints must be strict descendants");
+    B = CB->indexInParent();
+    E = CE->indexInParent();
+  }
+
+  // The finish must separate the range from its DP neighbors: reject when
+  // a neighbor lives inside a boundary subtree (the Fig. 5 condition).
+  if (LeftN && Tree.isAncestorOrSelf(P->children()[B], LeftN))
+    return {};
+  if (RightN && Tree.isAncestorOrSelf(P->children()[E], RightN))
+    return {};
+
+  // Bottom-up (paper §5.2): collect every position up to the highest node
+  // whose whole child list is covered; wrapping that node at its parent is
+  // dynamically equivalent, but the AST mapping may only be expressible at
+  // some of the levels, so the caller tries them highest first.
+  std::vector<InsertionPoint> Points;
+  Points.push_back(InsertionPoint{P, B, E});
+  while (P != L && B == 0 && E + 1 == P->children().size()) {
+    B = E = P->indexInParent();
+    P = P->parent();
+    Points.push_back(InsertionPoint{P, B, E});
+  }
+  return Points;
+}
+
+//===----------------------------------------------------------------------===//
+// Range -> AST edit mapping
+//===----------------------------------------------------------------------===//
+
+std::optional<StaticPlacer::Edit>
+StaticPlacer::mapBlockEdit(const DepGroup &G, uint32_t I, uint32_t K,
+                           const InsertionPoint &IP) {
+  DpstNode *P = IP.Parent;
+  const BlockStmt *CB = P->container();
+  assert(CB && "block edits need a container");
+
+  const Stmt *FirstStmt = P->children()[IP.Begin]->owner();
+  const Stmt *LastStmt = P->children()[IP.End]->ownerLast();
+  if (!FirstStmt || !LastStmt)
+    return std::nullopt;
+  size_t IF = findStmtIndex(CB, FirstStmt);
+  size_t IL = findStmtIndex(CB, LastStmt);
+  if (IF == Npos || IL == Npos || IF > IL)
+    return std::nullopt;
+
+  // Owner set of the statement range (through synthesized finishes).
+  std::unordered_set<const Stmt *> OwnerSet;
+  for (size_t S = IF; S <= IL; ++S)
+    addOwners(CB->stmts()[S], OwnerSet);
+
+  // Classify P's children against the wrap and find the covered run.
+  size_t CoverBegin = Npos, CoverEnd = Npos;
+  const auto &Kids = P->children();
+  for (size_t Idx = 0; Idx != Kids.size(); ++Idx) {
+    const DpstNode *C = Kids[Idx];
+    bool In1 = C->owner() && OwnerSet.count(C->owner());
+    bool In2 = C->ownerLast() && OwnerSet.count(C->ownerLast());
+    if (In1 != In2) {
+      // A statement boundary splits this child. Steps carry no
+      // synchronization structure, so they may safely stay outside the
+      // finish; anything else is unmappable.
+      if (!C->isStep())
+        return std::nullopt;
+      continue;
+    }
+    if (!In1)
+      continue;
+    if (CoverBegin == Npos)
+      CoverBegin = Idx;
+    else if (CoverEnd + 1 != Idx)
+      return std::nullopt; // covered children must be consecutive
+    CoverEnd = Idx;
+  }
+  if (CoverBegin == Npos || CoverBegin > IP.Begin || CoverEnd < IP.End)
+    return std::nullopt;
+
+  // The wrap's dynamic extent may exceed [Begin, End] (whole statements
+  // only). That is harmless — a finish only adds joins — except that the
+  // sinks of the edges this finish is meant to resolve must stay outside,
+  // or those races stay inside the finish and remain unresolved.
+  std::vector<const DpstNode *> ForbiddenNodes;
+  for (auto [X, Y] : G.Problem.Edges)
+    if (X >= I && X <= K && Y > K)
+      ForbiddenNodes.push_back(G.Nodes[Y]);
+  auto RangeContains = [&](size_t Lo, size_t Hi) {
+    for (size_t Idx = Lo; Idx <= Hi; ++Idx)
+      for (const DpstNode *F : ForbiddenNodes)
+        if (Tree.isAncestorOrSelf(Kids[Idx], F))
+          return true;
+    return false;
+  };
+  if (CoverBegin < IP.Begin && RangeContains(CoverBegin, IP.Begin - 1))
+    return std::nullopt;
+  if (CoverEnd > IP.End && RangeContains(IP.End + 1, CoverEnd))
+    return std::nullopt;
+
+  if (declEscapes(CB, IF, IL))
+    return std::nullopt;
+
+  Edit E;
+  E.Block = const_cast<BlockStmt *>(CB);
+  E.FirstIdx = IF;
+  E.LastIdx = IL;
+  return E;
+}
+
+std::optional<StaticPlacer::Edit> StaticPlacer::deepWrapEdit(DpstNode *X) {
+  const Stmt *A = X->isAsync() ? static_cast<const Stmt *>(X->asyncStmt())
+                               : static_cast<const Stmt *>(X->finishStmt());
+  if (!A)
+    return std::nullopt;
+  auto It = Parents.find(A);
+  if (It == Parents.end())
+    return std::nullopt;
+  const ParentSlot &PS = It->second;
+  Edit E;
+  if (PS.Block) {
+    size_t Idx = findStmtIndex(PS.Block, A);
+    if (Idx == Npos)
+      return std::nullopt;
+    E.Block = PS.Block;
+    E.FirstIdx = E.LastIdx = Idx;
+    return E;
+  }
+  if (!PS.Owner)
+    return std::nullopt;
+  E.SlotOwner = PS.Owner;
+  E.Slot = PS.Slot;
+  E.Wrapped = const_cast<Stmt *>(A);
+  return E;
+}
+
+std::optional<StaticPlacer::Edit>
+StaticPlacer::mapRange(const DepGroup &G, uint32_t I, uint32_t K) {
+  DpstNode *First = G.Nodes[I];
+  DpstNode *Last = G.Nodes[K];
+  const DpstNode *LeftN = I > 0 ? G.Nodes[I - 1] : nullptr;
+  const DpstNode *RightN = K + 1 < G.Nodes.size() ? G.Nodes[K + 1] : nullptr;
+
+  std::vector<InsertionPoint> Points =
+      findInsertionPoints(G.Lca, First, Last, LeftN, RightN);
+  for (auto It = Points.rbegin(), End = Points.rend(); It != End; ++It) {
+    const InsertionPoint &IP = *It;
+    DpstNode *P = IP.Parent;
+    if (P->isScope() && P->container()) {
+      if (auto E = mapBlockEdit(G, I, K, IP))
+        return E;
+    } else if ((P->isAsync() || P->isFinish()) && IP.Begin == 0 &&
+               IP.End + 1 == P->children().size()) {
+      // Wrap the whole body of the async/finish statement.
+      const Stmt *OwnerStmt =
+          P->isAsync() ? static_cast<const Stmt *>(P->asyncStmt())
+                       : static_cast<const Stmt *>(P->finishStmt());
+      if (OwnerStmt) {
+        Edit E;
+        E.SlotOwner = const_cast<Stmt *>(OwnerStmt);
+        E.Slot = P->isAsync() ? Edit::SlotKind::AsyncBody
+                              : Edit::SlotKind::FinishBody;
+        E.Wrapped = P->isAsync()
+                        ? cast<AsyncStmt>(E.SlotOwner)->body()
+                        : cast<FinishStmt>(E.SlotOwner)->body();
+        return E;
+      }
+    }
+  }
+
+  // Single async/finish nodes can always be repaired by wrapping their own
+  // statement, which keeps the DP feasible.
+  if (I == K && (First->isAsync() || First->isFinish()))
+    return deepWrapEdit(First);
+  return std::nullopt;
+}
+
+bool StaticPlacer::isValidRange(const DepGroup &G, uint32_t I, uint32_t K) {
+  return mapRange(G, I, K).has_value();
+}
+
+//===----------------------------------------------------------------------===//
+// Applying edits
+//===----------------------------------------------------------------------===//
+
+FinishStmt *StaticPlacer::applyEdit(const Edit &E) {
+  if (E.Block) {
+    std::vector<Stmt *> Moved(E.Block->stmts().begin() +
+                                  static_cast<ptrdiff_t>(E.FirstIdx),
+                              E.Block->stmts().begin() +
+                                  static_cast<ptrdiff_t>(E.LastIdx) + 1);
+    FinishStmt *NF = wrapInFinish(Ctx, E.Block, E.FirstIdx, E.LastIdx);
+    // Keep the parent map usable for later deep wraps.
+    if (Moved.size() == 1) {
+      Parents[Moved[0]] =
+          ParentSlot{nullptr, NF, Edit::SlotKind::FinishBody};
+    } else {
+      auto *Inner = cast<BlockStmt>(NF->body());
+      for (Stmt *S : Moved)
+        Parents[S] = ParentSlot{Inner, nullptr, Edit::SlotKind::None};
+    }
+    Parents[NF] = ParentSlot{E.Block, nullptr, Edit::SlotKind::None};
+    return NF;
+  }
+
+  auto *NF = Ctx.createStmt<FinishStmt>(E.Wrapped, E.Wrapped->loc());
+  NF->setSynthesized(true);
+  switch (E.Slot) {
+  case Edit::SlotKind::IfThen:
+    cast<IfStmt>(E.SlotOwner)->setThenStmt(NF);
+    break;
+  case Edit::SlotKind::IfElse:
+    cast<IfStmt>(E.SlotOwner)->setElseStmt(NF);
+    break;
+  case Edit::SlotKind::WhileBody:
+    cast<WhileStmt>(E.SlotOwner)->setBody(NF);
+    break;
+  case Edit::SlotKind::ForBody:
+    cast<ForStmt>(E.SlotOwner)->setBody(NF);
+    break;
+  case Edit::SlotKind::AsyncBody:
+    cast<AsyncStmt>(E.SlotOwner)->setBody(NF);
+    break;
+  case Edit::SlotKind::FinishBody:
+    cast<FinishStmt>(E.SlotOwner)->setBody(NF);
+    break;
+  case Edit::SlotKind::None:
+    assert(false && "slot edit without a slot");
+    return nullptr;
+  }
+  Parents[E.Wrapped] = ParentSlot{nullptr, NF, Edit::SlotKind::FinishBody};
+  Parents[NF] = ParentSlot{nullptr, E.SlotOwner, E.Slot};
+  return NF;
+}
+
+unsigned StaticPlacer::replicate(const Edit &E, FinishStmt *NewFinish) {
+  unsigned Count = 0;
+
+  if (E.Block) {
+    // The wrapped statements moved under NewFinish; recover them for the
+    // coverage predicate.
+    std::unordered_set<const Stmt *> OwnerSet;
+    addOwners(NewFinish, OwnerSet);
+    OwnerSet.erase(NewFinish); // owners predate the edit
+
+    auto It = BlockInstances.find(E.Block);
+    if (It == BlockInstances.end())
+      return 0;
+    for (DpstNode *Q : It->second) {
+      const auto &Kids = Q->children();
+      size_t Lo = Npos, Hi = Npos;
+      for (size_t Idx = 0; Idx != Kids.size(); ++Idx) {
+        const DpstNode *C = Kids[Idx];
+        bool In1 = C->owner() && OwnerSet.count(C->owner());
+        bool In2 = C->ownerLast() && OwnerSet.count(C->ownerLast());
+        if (!(In1 && In2))
+          continue;
+        if (Lo == Npos)
+          Lo = Idx;
+        Hi = Idx;
+      }
+      if (Lo == Npos)
+        continue;
+      DpstNode *F = Tree.insertFinish(Q, Lo, Hi, NewFinish);
+      StmtInstances[NewFinish].push_back(F);
+      ++Count;
+    }
+    return Count;
+  }
+
+  // Slot edits.
+  if (E.Slot == Edit::SlotKind::AsyncBody ||
+      E.Slot == Edit::SlotKind::FinishBody) {
+    // Wrapping the whole body of an async/finish: at every instance of the
+    // owner, the new finish adopts all children.
+    auto It = StmtInstances.find(E.SlotOwner);
+    if (It == StmtInstances.end())
+      return 0;
+    for (DpstNode *X : It->second) {
+      if (X->children().empty())
+        continue;
+      DpstNode *F =
+          Tree.insertFinish(X, 0, X->children().size() - 1, NewFinish);
+      StmtInstances[NewFinish].push_back(F);
+      ++Count;
+    }
+    return Count;
+  }
+
+  // Deep wrap of an async/finish statement in a structured body slot: wrap
+  // each dynamic instance of the statement individually.
+  auto It = StmtInstances.find(E.Wrapped);
+  if (It == StmtInstances.end())
+    return 0;
+  for (DpstNode *X : It->second) {
+    DpstNode *F = Tree.insertFinish(X->parent(), X->indexInParent(),
+                                    X->indexInParent(), NewFinish);
+    StmtInstances[NewFinish].push_back(F);
+    ++Count;
+  }
+  return Count;
+}
+
+std::optional<AppliedFinish> StaticPlacer::apply(const DepGroup &G,
+                                                 uint32_t I, uint32_t K) {
+  auto E = mapRange(G, I, K);
+  if (!E)
+    return std::nullopt;
+
+  AppliedFinish Result;
+  if (E->Block)
+    Result.AnchorLoc = E->Block->stmts()[E->FirstIdx]->loc();
+  else
+    Result.AnchorLoc = E->Wrapped->loc();
+
+  FinishStmt *NF = applyEdit(*E);
+  if (!NF)
+    return std::nullopt;
+  Result.Stmt = NF;
+  Result.DynamicInstances = replicate(*E, NF);
+  Applied.push_back(Result);
+  return Result;
+}

@@ -1,0 +1,143 @@
+//===- StaticPlacer.h - Static finish placement ------------------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static finish placement (paper §6): maps a dynamic finish placement —
+/// "enclose non-scope children [i..k] of this NS-LCA in a finish" — to an
+/// edit of the input program, and replicates the resulting finish node at
+/// every dynamic instance of the edited static site so the S-DPST stays
+/// consistent without re-execution (paper steps 3(d)-(f)).
+///
+/// The mapping pipeline per range:
+///
+///  1. findInsertionPoint — the paper's bottom-up traversal: the highest
+///     S-DPST position whose child range covers exactly the requested
+///     nodes, rejecting ranges whose neighbors share a subtree (the Fig. 5
+///     scoping condition, stricter than Algorithm 2's depth test because it
+///     also guarantees AST expressibility).
+///  2. mapRange — turns the insertion point into an AST edit: either a
+///     consecutive statement range of one block (the common case), or
+///     wrapping the body slot of a structured statement. Rejects edits
+///     whose dynamic extent would swallow a race sink or a DP neighbor,
+///     edits that split a statement between instances, and edits that
+///     would capture a local declaration referenced after the range.
+///  3. apply — performs the edit and inserts a matching finish node at
+///     every dynamic instance of the site.
+///
+/// A single async/finish graph node can always be repaired by wrapping its
+/// own statement (deep wrap), which is what makes the DP feasible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_REPAIR_STATICPLACER_H
+#define TDR_REPAIR_STATICPLACER_H
+
+#include "ast/AstContext.h"
+#include "repair/DepGraph.h"
+
+#include <optional>
+#include <unordered_map>
+
+namespace tdr {
+
+/// One applied repair, for reporting.
+struct AppliedFinish {
+  FinishStmt *Stmt = nullptr;   ///< the synthesized statement
+  SourceLoc AnchorLoc;          ///< location of the first wrapped statement
+  unsigned DynamicInstances = 0;///< S-DPST nodes inserted
+};
+
+/// Performs static placement against one (program, S-DPST) pair. The
+/// program and tree are mutated by apply(); validity queries are pure.
+class StaticPlacer {
+public:
+  StaticPlacer(Dpst &Tree, AstContext &Ctx, Program &Prog);
+
+  /// DP validity oracle: can a finish be placed around graph nodes [I, K]
+  /// of \p G and mapped back to the program?
+  bool isValidRange(const DepGroup &G, uint32_t I, uint32_t K);
+
+  /// Applies the finish around [I, K]: edits the AST and replicates finish
+  /// nodes across the S-DPST. Returns the applied record, or nullopt when
+  /// mapping fails (callers fall back to re-detection).
+  std::optional<AppliedFinish> apply(const DepGroup &G, uint32_t I,
+                                     uint32_t K);
+
+  const std::vector<AppliedFinish> &applied() const { return Applied; }
+
+private:
+  struct InsertionPoint {
+    DpstNode *Parent = nullptr;
+    size_t Begin = 0, End = 0;
+  };
+
+  /// Statement-level description of the edit.
+  struct Edit {
+    /// Block edit: wrap Block->stmts()[FirstIdx..LastIdx].
+    BlockStmt *Block = nullptr;
+    size_t FirstIdx = 0, LastIdx = 0;
+    /// Slot edit: wrap the statement *Slot points at (a body slot of a
+    /// structured statement). Wrapped is the current occupant.
+    Stmt *SlotOwner = nullptr;
+    enum class SlotKind {
+      None, IfThen, IfElse, WhileBody, ForBody, AsyncBody, FinishBody
+    } Slot = SlotKind::None;
+    Stmt *Wrapped = nullptr;
+  };
+
+  /// Candidate insertion positions from the initial LCA position up to the
+  /// highest equivalent one; empty when the range cannot be separated from
+  /// its neighbors at all.
+  std::vector<InsertionPoint> findInsertionPoints(const DpstNode *L,
+                                                  DpstNode *First,
+                                                  DpstNode *Last,
+                                                  const DpstNode *LeftN,
+                                                  const DpstNode *RightN);
+
+  std::optional<Edit> mapRange(const DepGroup &G, uint32_t I, uint32_t K);
+  std::optional<Edit> mapBlockEdit(const DepGroup &G, uint32_t I, uint32_t K,
+                                   const InsertionPoint &IP);
+  /// Fallback for single async/finish nodes: wrap their own statement.
+  std::optional<Edit> deepWrapEdit(DpstNode *X);
+
+  /// Index of \p S in \p B, looking through synthesized finishes that
+  /// earlier edits may have wrapped around it; npos when absent.
+  size_t findStmtIndex(const BlockStmt *B, const Stmt *S) const;
+
+  /// True when a local declared in B[First..Last] is referenced by
+  /// statements after Last (wrapping would break scoping).
+  bool declEscapes(const BlockStmt *B, size_t First, size_t Last) const;
+
+  FinishStmt *applyEdit(const Edit &E);
+  unsigned replicate(const Edit &E, FinishStmt *NewFinish);
+
+  /// Rebuilds the statement parent-slot map and block instance map.
+  void indexProgram();
+  void indexTree();
+
+  Dpst &Tree;
+  AstContext &Ctx;
+  Program &Prog;
+
+  /// All scope instances per container block (for replication).
+  std::unordered_map<const BlockStmt *, std::vector<DpstNode *>>
+      BlockInstances;
+  /// All async/finish nodes per statement (for slot-wrap replication).
+  std::unordered_map<const Stmt *, std::vector<DpstNode *>> StmtInstances;
+  /// Parent slot of each statement (for deep wraps).
+  struct ParentSlot {
+    BlockStmt *Block = nullptr;
+    Stmt *Owner = nullptr;
+    Edit::SlotKind Slot = Edit::SlotKind::None;
+  };
+  std::unordered_map<const Stmt *, ParentSlot> Parents;
+
+  std::vector<AppliedFinish> Applied;
+};
+
+} // namespace tdr
+
+#endif // TDR_REPAIR_STATICPLACER_H

@@ -1,0 +1,163 @@
+//===- Runtime.cpp --------------------------------------------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Runtime.h"
+
+#include <cassert>
+
+using namespace tdr;
+using detail::FinishNode;
+using detail::Task;
+
+namespace {
+/// Per-thread execution context.
+thread_local Runtime *CurRuntime = nullptr;
+thread_local unsigned CurWorker = 0;
+thread_local FinishNode *CurFinish = nullptr;
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// FinishScope / async
+//===----------------------------------------------------------------------===//
+
+FinishScope::FinishScope() {
+  assert(CurRuntime && "FinishScope outside Runtime::run");
+  Node.Parent = CurFinish;
+  CurFinish = &Node;
+}
+
+void FinishScope::async(std::function<void()> Fn) {
+  assert(CurRuntime && "async outside Runtime::run");
+  auto *T = new Task{std::move(Fn), &Node};
+  Node.Pending.fetch_add(1, std::memory_order_relaxed);
+  CurRuntime->spawn(T);
+}
+
+void FinishScope::wait() {
+  if (Done)
+    return;
+  Done = true;
+  assert(CurFinish == &Node && "finish scopes must nest (stack discipline)");
+  CurRuntime->helpUntil(Node);
+  CurFinish = Node.Parent;
+}
+
+void tdr::async(std::function<void()> Fn) {
+  assert(CurRuntime && CurFinish && "async outside Runtime::run");
+  auto *T = new Task{std::move(Fn), CurFinish};
+  CurFinish->Pending.fetch_add(1, std::memory_order_relaxed);
+  CurRuntime->spawn(T);
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime
+//===----------------------------------------------------------------------===//
+
+Runtime::Runtime(unsigned NumWorkers) {
+  if (NumWorkers == 0)
+    NumWorkers = 1;
+  Deques.reserve(NumWorkers);
+  for (unsigned I = 0; I != NumWorkers; ++I)
+    Deques.push_back(std::make_unique<WorkStealingDeque<Task *>>());
+  // Worker 0 is the thread that calls run(); start the rest.
+  for (unsigned I = 1; I != NumWorkers; ++I)
+    Threads.emplace_back([this, I] { workerLoop(I); });
+}
+
+Runtime::~Runtime() {
+  ShuttingDown.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> Lock(IdleMutex);
+    WorkEpoch.fetch_add(1, std::memory_order_release);
+  }
+  IdleCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void Runtime::spawn(Task *T) {
+  Deques[CurWorker]->push(T);
+  WorkEpoch.fetch_add(1, std::memory_order_release);
+  IdleCv.notify_one();
+}
+
+Task *Runtime::findWork() {
+  Task *T = nullptr;
+  if (Deques[CurWorker]->pop(T))
+    return T;
+  // Random victim order, xorshift over a shared state (contention is
+  // unimportant; this just decorrelates thieves).
+  unsigned N = numWorkers();
+  uint64_t X = RngState.fetch_add(0x9e3779b97f4a7c15ull,
+                                  std::memory_order_relaxed);
+  X ^= X >> 33;
+  for (unsigned I = 0; I != N; ++I) {
+    unsigned Victim = static_cast<unsigned>((X + I) % N);
+    if (Victim == CurWorker)
+      continue;
+    if (Deques[Victim]->steal(T)) {
+      Steals.fetch_add(1, std::memory_order_relaxed);
+      return T;
+    }
+  }
+  return nullptr;
+}
+
+void Runtime::execute(Task *T) {
+  FinishNode *SavedFinish = CurFinish;
+  CurFinish = T->Finish;
+  T->Fn();
+  CurFinish = SavedFinish;
+  FinishNode *F = T->Finish;
+  delete T;
+  TasksExecuted.fetch_add(1, std::memory_order_relaxed);
+  if (F)
+    F->Pending.fetch_sub(1, std::memory_order_acq_rel);
+  // A waiter may be spinning on this count or parked.
+  WorkEpoch.fetch_add(1, std::memory_order_release);
+  IdleCv.notify_all();
+}
+
+void Runtime::workerLoop(unsigned Id) {
+  CurRuntime = this;
+  CurWorker = Id;
+  while (!ShuttingDown.load(std::memory_order_acquire)) {
+    if (Task *T = findWork()) {
+      execute(T);
+      continue;
+    }
+    // Park until spawn/completion activity.
+    uint64_t Epoch = WorkEpoch.load(std::memory_order_acquire);
+    std::unique_lock<std::mutex> Lock(IdleMutex);
+    IdleCv.wait_for(Lock, std::chrono::milliseconds(1), [&] {
+      return ShuttingDown.load(std::memory_order_acquire) ||
+             WorkEpoch.load(std::memory_order_acquire) != Epoch;
+    });
+  }
+  CurRuntime = nullptr;
+}
+
+void Runtime::helpUntil(FinishNode &Node) {
+  while (Node.Pending.load(std::memory_order_acquire) != 0) {
+    if (Task *T = findWork()) {
+      execute(T);
+      continue;
+    }
+    std::this_thread::yield();
+  }
+}
+
+void Runtime::run(std::function<void()> Root) {
+  assert(!CurRuntime && "Runtime::run is not reentrant");
+  CurRuntime = this;
+  CurWorker = 0;
+  {
+    FinishScope RootScope; // implicit finish around the whole program
+    Root();
+  } // joins everything
+  CurRuntime = nullptr;
+  CurFinish = nullptr;
+}

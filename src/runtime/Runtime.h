@@ -1,0 +1,132 @@
+//===- Runtime.h - Async-finish work-stealing runtime ------------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A work-stealing runtime for async-finish task parallelism, the
+/// execution substrate the paper assumes (Habanero Java's runtime). Usage:
+///
+/// \code
+///   Runtime RT(8);
+///   RT.run([] {
+///     FinishScope Fin;
+///     Fin.async([] { left(); });
+///     Fin.async([] { right(); });
+///   }); // FinishScope joins at scope exit; run() joins everything
+/// \endcode
+///
+/// Tasks may spawn nested asyncs and open nested finish scopes; a
+/// FinishScope joins every task transitively spawned inside it
+/// (terminally-strict semantics). Waiting workers help by running other
+/// ready tasks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_RUNTIME_RUNTIME_H
+#define TDR_RUNTIME_RUNTIME_H
+
+#include "runtime/WorkStealingDeque.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tdr {
+
+class Runtime;
+
+namespace detail {
+/// Join counter of one finish scope. Counts every task transitively
+/// spawned inside the scope that has not yet completed.
+struct FinishNode {
+  std::atomic<uint64_t> Pending{0};
+  FinishNode *Parent = nullptr;
+};
+
+struct Task {
+  std::function<void()> Fn;
+  FinishNode *Finish = nullptr;
+};
+} // namespace detail
+
+/// Joins every async transitively spawned while the scope is current.
+/// Must be used inside Runtime::run (stack discipline: scopes nest).
+class FinishScope {
+public:
+  FinishScope();
+  ~FinishScope() { wait(); }
+
+  FinishScope(const FinishScope &) = delete;
+  FinishScope &operator=(const FinishScope &) = delete;
+
+  /// Spawns a child task inside this scope. Equivalent to the free
+  /// function async() when this scope is innermost.
+  void async(std::function<void()> Fn);
+
+  /// Blocks until all tasks in the scope completed, helping with other
+  /// ready tasks meanwhile. Idempotent; the destructor calls it.
+  void wait();
+
+private:
+  detail::FinishNode Node;
+  bool Done = false;
+};
+
+/// Spawns a task in the innermost active finish scope (or the implicit
+/// root scope of Runtime::run). Must be called from inside run().
+void async(std::function<void()> Fn);
+
+/// A pool of worker threads executing async-finish task graphs.
+class Runtime {
+public:
+  explicit Runtime(unsigned NumWorkers);
+  ~Runtime();
+
+  Runtime(const Runtime &) = delete;
+  Runtime &operator=(const Runtime &) = delete;
+
+  /// Executes \p Root and waits for it and everything it spawned. The
+  /// calling thread participates as a worker. Not reentrant.
+  void run(std::function<void()> Root);
+
+  unsigned numWorkers() const { return static_cast<unsigned>(Deques.size()); }
+
+  /// Total tasks executed since construction (statistics).
+  uint64_t tasksExecuted() const {
+    return TasksExecuted.load(std::memory_order_relaxed);
+  }
+  /// Total successful steals since construction (statistics).
+  uint64_t steals() const { return Steals.load(std::memory_order_relaxed); }
+
+private:
+  friend class FinishScope;
+  friend void async(std::function<void()> Fn);
+
+  void spawn(detail::Task *T);
+  detail::Task *findWork();
+  void execute(detail::Task *T);
+  void workerLoop(unsigned Id);
+  /// Helps until \p Node 's count drops to zero.
+  void helpUntil(detail::FinishNode &Node);
+
+  std::vector<std::unique_ptr<WorkStealingDeque<detail::Task *>>> Deques;
+  std::vector<std::thread> Threads;
+  std::atomic<bool> ShuttingDown{false};
+  std::atomic<uint64_t> TasksExecuted{0};
+  std::atomic<uint64_t> Steals{0};
+  std::atomic<uint64_t> RngState{0x853c49e6748fea9bull};
+
+  // Idle-worker parking.
+  std::mutex IdleMutex;
+  std::condition_variable IdleCv;
+  std::atomic<uint64_t> WorkEpoch{0};
+};
+
+} // namespace tdr
+
+#endif // TDR_RUNTIME_RUNTIME_H

@@ -1,0 +1,142 @@
+//===- WorkStealingDeque.h - Chase-Lev work-stealing deque -------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Chase-Lev work-stealing deque (Chase & Lev, SPAA 2005, with the
+/// sequentially-consistent fence placement of Lê et al., PPoPP 2013). The
+/// owner pushes and pops at the bottom; thieves steal from the top. This
+/// is the scheduling substrate of the async-finish runtime that executes
+/// repaired programs in parallel (the paper runs on the Habanero Java
+/// work-stealing runtime).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_RUNTIME_WORKSTEALINGDEQUE_H
+#define TDR_RUNTIME_WORKSTEALINGDEQUE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace tdr {
+
+/// Lock-free deque of pointers. T must be a pointer-sized trivially
+/// copyable handle (we store raw task pointers).
+template <typename T> class WorkStealingDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "deque elements must be trivially copyable");
+
+  /// Ring buffer with power-of-two capacity.
+  struct Ring {
+    explicit Ring(size_t LogCap)
+        : LogCap(LogCap), Slots(new std::atomic<T>[size_t(1) << LogCap]) {}
+
+    size_t capacity() const { return size_t(1) << LogCap; }
+    T get(int64_t I) const {
+      return Slots[static_cast<size_t>(I) & (capacity() - 1)].load(
+          std::memory_order_relaxed);
+    }
+    void put(int64_t I, T V) {
+      Slots[static_cast<size_t>(I) & (capacity() - 1)].store(
+          V, std::memory_order_relaxed);
+    }
+
+    size_t LogCap;
+    std::unique_ptr<std::atomic<T>[]> Slots;
+  };
+
+public:
+  explicit WorkStealingDeque(size_t LogInitialCap = 8)
+      : Top(0), Bottom(0), Buffer(new Ring(LogInitialCap)) {}
+
+  ~WorkStealingDeque() {
+    delete Buffer.load(std::memory_order_relaxed);
+    for (Ring *R : Retired)
+      delete R;
+  }
+
+  WorkStealingDeque(const WorkStealingDeque &) = delete;
+  WorkStealingDeque &operator=(const WorkStealingDeque &) = delete;
+
+  /// Owner-only: push a task at the bottom.
+  void push(T Item) {
+    int64_t B = Bottom.load(std::memory_order_relaxed);
+    int64_t TTop = Top.load(std::memory_order_acquire);
+    Ring *R = Buffer.load(std::memory_order_relaxed);
+    if (B - TTop > static_cast<int64_t>(R->capacity()) - 1) {
+      R = grow(R, TTop, B);
+    }
+    R->put(B, Item);
+    std::atomic_thread_fence(std::memory_order_release);
+    Bottom.store(B + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner-only: pop from the bottom. Returns false when empty.
+  bool pop(T &Out) {
+    int64_t B = Bottom.load(std::memory_order_relaxed) - 1;
+    Ring *R = Buffer.load(std::memory_order_relaxed);
+    Bottom.store(B, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    int64_t TTop = Top.load(std::memory_order_relaxed);
+    if (TTop > B) {
+      // Deque was already empty; restore.
+      Bottom.store(B + 1, std::memory_order_relaxed);
+      return false;
+    }
+    Out = R->get(B);
+    if (TTop != B)
+      return true; // more than one element: uncontended
+    // Last element: race against thieves for it.
+    bool Won = Top.compare_exchange_strong(TTop, TTop + 1,
+                                           std::memory_order_seq_cst,
+                                           std::memory_order_relaxed);
+    Bottom.store(B + 1, std::memory_order_relaxed);
+    return Won;
+  }
+
+  /// Thief: steal from the top. Returns false when empty or lost a race.
+  bool steal(T &Out) {
+    int64_t TTop = Top.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    int64_t B = Bottom.load(std::memory_order_acquire);
+    if (TTop >= B)
+      return false;
+    Ring *R = Buffer.load(std::memory_order_consume);
+    Out = R->get(TTop);
+    return Top.compare_exchange_strong(TTop, TTop + 1,
+                                       std::memory_order_seq_cst,
+                                       std::memory_order_relaxed);
+  }
+
+  /// Approximate size (racy; monitoring only).
+  size_t sizeApprox() const {
+    int64_t B = Bottom.load(std::memory_order_relaxed);
+    int64_t TTop = Top.load(std::memory_order_relaxed);
+    return B > TTop ? static_cast<size_t>(B - TTop) : 0;
+  }
+
+private:
+  Ring *grow(Ring *Old, int64_t TTop, int64_t B) {
+    Ring *New = new Ring(Old->LogCap + 1);
+    for (int64_t I = TTop; I != B; ++I)
+      New->put(I, Old->get(I));
+    Buffer.store(New, std::memory_order_release);
+    // Old buffers are retired, not freed: in-flight thieves may still read
+    // them. They are reclaimed with the deque.
+    Retired.push_back(Old);
+    return New;
+  }
+
+  std::atomic<int64_t> Top;
+  std::atomic<int64_t> Bottom;
+  std::atomic<Ring *> Buffer;
+  std::vector<Ring *> Retired;
+};
+
+} // namespace tdr
+
+#endif // TDR_RUNTIME_WORKSTEALINGDEQUE_H

@@ -1,0 +1,591 @@
+//===- Sema.cpp -----------------------------------------------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sema/Sema.h"
+
+#include "ast/AstContext.h"
+#include "support/Diagnostics.h"
+#include "support/StringUtils.h"
+
+#include <unordered_map>
+#include <vector>
+
+using namespace tdr;
+
+namespace {
+
+/// Builtin signature table entry.
+struct BuiltinInfo {
+  Builtin Kind;
+  const char *Name;
+};
+
+const BuiltinInfo Builtins[] = {
+    {Builtin::Print, "print"},       {Builtin::Len, "len"},
+    {Builtin::Sqrt, "sqrt"},         {Builtin::Abs, "abs"},
+    {Builtin::Min, "min"},           {Builtin::Max, "max"},
+    {Builtin::Pow, "pow"},           {Builtin::Sin, "sin"},
+    {Builtin::Cos, "cos"},           {Builtin::Exp, "exp"},
+    {Builtin::Log, "log"},           {Builtin::Floor, "floor"},
+    {Builtin::ToInt, "toInt"},       {Builtin::ToDouble, "toDouble"},
+    {Builtin::RandInt, "randInt"},   {Builtin::RandSeed, "randSeed"},
+    {Builtin::Arg, "arg"},
+};
+
+Builtin lookupBuiltin(const std::string &Name) {
+  for (const BuiltinInfo &B : Builtins)
+    if (Name == B.Name)
+      return B.Kind;
+  return Builtin::None;
+}
+
+/// Lexically scoped symbol table for variables.
+class ScopedSymbols {
+public:
+  void push() { Scopes.emplace_back(); }
+  void pop() { Scopes.pop_back(); }
+
+  /// Declares in the innermost scope; returns false on redeclaration
+  /// within the same scope (shadowing outer scopes is allowed).
+  bool declare(VarDecl *D) {
+    auto &Inner = Scopes.back();
+    auto [It, Inserted] = Inner.try_emplace(D->name(), D);
+    (void)It;
+    return Inserted;
+  }
+
+  VarDecl *lookup(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(), E = Scopes.rend(); It != E; ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return Found->second;
+    }
+    return nullptr;
+  }
+
+private:
+  std::vector<std::unordered_map<std::string, VarDecl *>> Scopes;
+};
+
+class Sema {
+public:
+  Sema(Program &P, AstContext &Ctx, DiagnosticsEngine &Diags)
+      : P(P), Ctx(Ctx), Diags(Diags) {}
+
+  bool run();
+
+private:
+  // Statement and expression checking.
+  void checkFunc(FuncDecl *F);
+  void checkStmt(Stmt *S);
+  void checkBlock(BlockStmt *B);
+  const Type *checkExpr(Expr *E);
+  const Type *checkCall(CallExpr *C);
+  const Type *checkBuiltinCall(CallExpr *C, Builtin B);
+  void checkAssign(AssignStmt *A);
+
+  void error(SourceLoc Loc, std::string Msg) {
+    Diags.error(Loc, std::move(Msg));
+  }
+
+  /// Declares a variable, diagnosing same-scope redeclaration, and records
+  /// the async depth at which it was declared.
+  void declareVar(VarDecl *D) {
+    if (!Symbols.declare(D))
+      error(D->loc(), strFormat("redeclaration of '%s'", D->name().c_str()));
+    DeclAsyncDepth[D] = AsyncDepth;
+  }
+
+  Program &P;
+  AstContext &Ctx;
+  DiagnosticsEngine &Diags;
+
+  ScopedSymbols Symbols;
+  std::unordered_map<std::string, FuncDecl *> Funcs;
+  std::unordered_map<const VarDecl *, unsigned> DeclAsyncDepth;
+
+  FuncDecl *CurFunc = nullptr;
+  uint32_t NextLocalSlot = 0;
+  unsigned AsyncDepth = 0;
+};
+
+bool Sema::run() {
+  unsigned ErrorsBefore = Diags.numErrors();
+
+  // Register functions first so calls resolve regardless of order.
+  for (FuncDecl *F : P.funcs()) {
+    if (lookupBuiltin(F->name()) != Builtin::None)
+      error(F->loc(), strFormat("function '%s' shadows a builtin",
+                                F->name().c_str()));
+    auto [It, Inserted] = Funcs.try_emplace(F->name(), F);
+    (void)It;
+    if (!Inserted)
+      error(F->loc(),
+            strFormat("redefinition of function '%s'", F->name().c_str()));
+  }
+
+  // Globals: assign slots, check initializers. Global initializers run in
+  // order at program start; they may reference earlier globals but not
+  // call user functions.
+  Symbols.push();
+  uint32_t GlobalSlot = 0;
+  for (VarDecl *G : P.globals()) {
+    if (G->init()) {
+      const Type *T = checkExpr(G->init());
+      if (T && T != G->type())
+        error(G->loc(), strFormat("global '%s' declared %s but initialized "
+                                  "with %s",
+                                  G->name().c_str(), G->type()->str().c_str(),
+                                  T->str().c_str()));
+    }
+    G->setSlot(GlobalSlot++);
+    declareVar(G);
+  }
+
+  for (FuncDecl *F : P.funcs())
+    checkFunc(F);
+
+  Symbols.pop();
+
+  if (!P.mainFunc())
+    error(SourceLoc(0u), "program has no 'main' function");
+  else if (!P.mainFunc()->params().empty())
+    error(P.mainFunc()->loc(), "'main' must take no parameters");
+
+  return Diags.numErrors() == ErrorsBefore;
+}
+
+void Sema::checkFunc(FuncDecl *F) {
+  CurFunc = F;
+  NextLocalSlot = 0;
+  AsyncDepth = 0;
+  Symbols.push();
+  for (VarDecl *Param : F->params()) {
+    Param->setSlot(NextLocalSlot++);
+    declareVar(Param);
+  }
+  checkBlock(F->body());
+  Symbols.pop();
+  F->setNumFrameSlots(NextLocalSlot);
+  CurFunc = nullptr;
+}
+
+void Sema::checkBlock(BlockStmt *B) {
+  Symbols.push();
+  for (Stmt *S : B->stmts())
+    checkStmt(S);
+  Symbols.pop();
+}
+
+void Sema::checkStmt(Stmt *S) {
+  switch (S->kind()) {
+  case Stmt::Kind::Block:
+    checkBlock(cast<BlockStmt>(S));
+    return;
+  case Stmt::Kind::VarDecl: {
+    auto *V = cast<VarDeclStmt>(S);
+    if (V->init()) {
+      const Type *T = checkExpr(V->init());
+      if (T && T != V->decl()->type())
+        error(S->loc(),
+              strFormat("variable '%s' declared %s but initialized with %s",
+                        V->decl()->name().c_str(),
+                        V->decl()->type()->str().c_str(), T->str().c_str()));
+    }
+    V->decl()->setSlot(NextLocalSlot++);
+    declareVar(V->decl());
+    return;
+  }
+  case Stmt::Kind::Assign:
+    checkAssign(cast<AssignStmt>(S));
+    return;
+  case Stmt::Kind::Expr: {
+    Expr *E = cast<ExprStmt>(S)->expr();
+    if (!isa<CallExpr>(E))
+      error(S->loc(), "expression statement must be a call");
+    checkExpr(E);
+    return;
+  }
+  case Stmt::Kind::If: {
+    auto *I = cast<IfStmt>(S);
+    const Type *T = checkExpr(I->cond());
+    if (T && !T->isBool())
+      error(I->cond()->loc(), "if condition must be bool");
+    checkStmt(I->thenStmt());
+    if (I->elseStmt())
+      checkStmt(I->elseStmt());
+    return;
+  }
+  case Stmt::Kind::While: {
+    auto *W = cast<WhileStmt>(S);
+    const Type *T = checkExpr(W->cond());
+    if (T && !T->isBool())
+      error(W->cond()->loc(), "while condition must be bool");
+    checkStmt(W->body());
+    return;
+  }
+  case Stmt::Kind::For: {
+    auto *F = cast<ForStmt>(S);
+    // The for header introduces a scope for its induction variable.
+    Symbols.push();
+    if (F->init())
+      checkStmt(F->init());
+    if (F->cond()) {
+      const Type *T = checkExpr(F->cond());
+      if (T && !T->isBool())
+        error(F->cond()->loc(), "for condition must be bool");
+    }
+    if (F->step())
+      checkStmt(F->step());
+    checkStmt(F->body());
+    Symbols.pop();
+    return;
+  }
+  case Stmt::Kind::Return: {
+    auto *R = cast<ReturnStmt>(S);
+    if (AsyncDepth != 0) {
+      error(S->loc(), "return is not allowed inside an async");
+      return;
+    }
+    const Type *Expected = CurFunc->returnType();
+    if (R->value()) {
+      const Type *T = checkExpr(R->value());
+      if (Expected->isVoid())
+        error(S->loc(), "void function must not return a value");
+      else if (T && T != Expected)
+        error(S->loc(), strFormat("returning %s from a function returning %s",
+                                  T->str().c_str(),
+                                  Expected->str().c_str()));
+    } else if (!Expected->isVoid()) {
+      error(S->loc(), "non-void function must return a value");
+    }
+    return;
+  }
+  case Stmt::Kind::Async: {
+    ++AsyncDepth;
+    checkStmt(cast<AsyncStmt>(S)->body());
+    --AsyncDepth;
+    return;
+  }
+  case Stmt::Kind::Finish:
+    checkStmt(cast<FinishStmt>(S)->body());
+    return;
+  }
+}
+
+void Sema::checkAssign(AssignStmt *A) {
+  Expr *Target = A->target();
+  const Type *TargetTy = nullptr;
+
+  if (auto *Ref = dyn_cast<VarRefExpr>(Target)) {
+    TargetTy = checkExpr(Ref);
+    VarDecl *D = Ref->decl();
+    if (D && !D->isGlobal()) {
+      auto It = DeclAsyncDepth.find(D);
+      if (It != DeclAsyncDepth.end() && It->second < AsyncDepth)
+        error(A->loc(),
+              strFormat("cannot assign to '%s': locals captured by an async "
+                        "are read-only (assign to a global or an array "
+                        "element instead)",
+                        D->name().c_str()));
+    }
+  } else if (isa<IndexExpr>(Target)) {
+    TargetTy = checkExpr(Target);
+  } else {
+    error(A->loc(), "assignment target must be a variable or array element");
+    checkExpr(A->value());
+    return;
+  }
+
+  const Type *ValueTy = checkExpr(A->value());
+  if (!TargetTy || !ValueTy)
+    return;
+  if (TargetTy != ValueTy) {
+    error(A->loc(), strFormat("assigning %s to a target of type %s",
+                              ValueTy->str().c_str(),
+                              TargetTy->str().c_str()));
+    return;
+  }
+  if (A->isCompound()) {
+    BinaryOp Op = A->compoundOp();
+    bool IntOnly = Op == BinaryOp::Mod;
+    if (IntOnly && !TargetTy->isInt())
+      error(A->loc(), "'%=' requires int operands");
+    else if (!TargetTy->isNumeric())
+      error(A->loc(), "compound assignment requires numeric operands");
+  }
+}
+
+const Type *Sema::checkExpr(Expr *E) {
+  const Type *Result = nullptr;
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    Result = Ctx.intType();
+    break;
+  case Expr::Kind::DoubleLit:
+    Result = Ctx.doubleType();
+    break;
+  case Expr::Kind::BoolLit:
+    Result = Ctx.boolType();
+    break;
+  case Expr::Kind::VarRef: {
+    auto *Ref = cast<VarRefExpr>(E);
+    VarDecl *D = Symbols.lookup(Ref->name());
+    if (!D) {
+      error(E->loc(),
+            strFormat("use of undeclared variable '%s'", Ref->name().c_str()));
+      return nullptr;
+    }
+    Ref->setDecl(D);
+    Result = D->type();
+    break;
+  }
+  case Expr::Kind::Index: {
+    auto *I = cast<IndexExpr>(E);
+    const Type *BaseTy = checkExpr(I->base());
+    const Type *IdxTy = checkExpr(I->index());
+    if (IdxTy && !IdxTy->isInt())
+      error(I->index()->loc(), "array index must be int");
+    if (!BaseTy)
+      return nullptr;
+    if (!BaseTy->isArray()) {
+      error(E->loc(), strFormat("subscripted value has non-array type %s",
+                                BaseTy->str().c_str()));
+      return nullptr;
+    }
+    Result = BaseTy->elem();
+    break;
+  }
+  case Expr::Kind::Call:
+    Result = checkCall(cast<CallExpr>(E));
+    break;
+  case Expr::Kind::Unary: {
+    auto *U = cast<UnaryExpr>(E);
+    const Type *T = checkExpr(U->operand());
+    if (!T)
+      return nullptr;
+    switch (U->op()) {
+    case UnaryOp::Neg:
+      if (!T->isNumeric())
+        error(E->loc(), "unary '-' requires a numeric operand");
+      break;
+    case UnaryOp::Not:
+      if (!T->isBool())
+        error(E->loc(), "'!' requires a bool operand");
+      break;
+    case UnaryOp::BNot:
+      if (!T->isInt())
+        error(E->loc(), "'~' requires an int operand");
+      break;
+    }
+    Result = T;
+    break;
+  }
+  case Expr::Kind::Binary: {
+    auto *B = cast<BinaryExpr>(E);
+    const Type *L = checkExpr(B->lhs());
+    const Type *R = checkExpr(B->rhs());
+    if (!L || !R)
+      return nullptr;
+    if (L != R) {
+      error(E->loc(),
+            strFormat("operands of '%s' have mismatched types %s and %s "
+                      "(HJ-mini has no implicit conversions; use toInt or "
+                      "toDouble)",
+                      binaryOpSpelling(B->op()), L->str().c_str(),
+                      R->str().c_str()));
+      return nullptr;
+    }
+    switch (B->op()) {
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+    case BinaryOp::Mul:
+    case BinaryOp::Div:
+      if (!L->isNumeric())
+        error(E->loc(), strFormat("'%s' requires numeric operands",
+                                  binaryOpSpelling(B->op())));
+      Result = L;
+      break;
+    case BinaryOp::Mod:
+    case BinaryOp::BAnd:
+    case BinaryOp::BOr:
+    case BinaryOp::BXor:
+    case BinaryOp::Shl:
+    case BinaryOp::Shr:
+      if (!L->isInt())
+        error(E->loc(), strFormat("'%s' requires int operands",
+                                  binaryOpSpelling(B->op())));
+      Result = Ctx.intType();
+      break;
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge:
+      if (!L->isNumeric())
+        error(E->loc(), strFormat("'%s' requires numeric operands",
+                                  binaryOpSpelling(B->op())));
+      Result = Ctx.boolType();
+      break;
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+      if (!L->isScalar())
+        error(E->loc(), "equality comparison requires scalar operands");
+      Result = Ctx.boolType();
+      break;
+    case BinaryOp::LAnd:
+    case BinaryOp::LOr:
+      if (!L->isBool())
+        error(E->loc(), strFormat("'%s' requires bool operands",
+                                  binaryOpSpelling(B->op())));
+      Result = Ctx.boolType();
+      break;
+    }
+    break;
+  }
+  case Expr::Kind::NewArray: {
+    auto *N = cast<NewArrayExpr>(E);
+    for (Expr *D : N->dims()) {
+      const Type *T = checkExpr(D);
+      if (T && !T->isInt())
+        error(D->loc(), "array dimension must be int");
+    }
+    const Type *T = N->elemType();
+    for (size_t I = 0; I != N->dims().size(); ++I)
+      T = Ctx.arrayType(T);
+    Result = T;
+    break;
+  }
+  }
+  E->setType(Result);
+  return Result;
+}
+
+const Type *Sema::checkCall(CallExpr *C) {
+  Builtin B = lookupBuiltin(C->calleeName());
+  if (B != Builtin::None) {
+    C->setBuiltin(B);
+    return checkBuiltinCall(C, B);
+  }
+
+  auto It = Funcs.find(C->calleeName());
+  if (It == Funcs.end()) {
+    error(C->loc(), strFormat("call to undeclared function '%s'",
+                              C->calleeName().c_str()));
+    for (Expr *A : C->args())
+      checkExpr(A);
+    return nullptr;
+  }
+  FuncDecl *F = It->second;
+  C->setCallee(F);
+  if (C->args().size() != F->params().size()) {
+    error(C->loc(),
+          strFormat("'%s' expects %zu arguments, got %zu",
+                    F->name().c_str(), F->params().size(), C->args().size()));
+  }
+  size_t N = std::min(C->args().size(), F->params().size());
+  for (size_t I = 0; I != C->args().size(); ++I) {
+    const Type *T = checkExpr(C->args()[I]);
+    if (I < N && T && T != F->params()[I]->type())
+      error(C->args()[I]->loc(),
+            strFormat("argument %zu of '%s' expects %s, got %s", I + 1,
+                      F->name().c_str(),
+                      F->params()[I]->type()->str().c_str(),
+                      T->str().c_str()));
+  }
+  return F->returnType();
+}
+
+const Type *Sema::checkBuiltinCall(CallExpr *C, Builtin B) {
+  std::vector<const Type *> ArgTys;
+  for (Expr *A : C->args())
+    ArgTys.push_back(checkExpr(A));
+
+  auto RequireArgs = [&](size_t N) {
+    if (C->args().size() == N)
+      return true;
+    error(C->loc(), strFormat("'%s' expects %zu argument(s), got %zu",
+                              C->calleeName().c_str(), N, C->args().size()));
+    return false;
+  };
+  auto IsKnown = [&](size_t I) { return I < ArgTys.size() && ArgTys[I]; };
+
+  switch (B) {
+  case Builtin::None:
+    break;
+  case Builtin::Print:
+    if (RequireArgs(1) && IsKnown(0) && !ArgTys[0]->isScalar())
+      error(C->loc(), "print expects a scalar value");
+    return Ctx.voidType();
+  case Builtin::Len:
+    if (RequireArgs(1) && IsKnown(0) && !ArgTys[0]->isArray())
+      error(C->loc(), "len expects an array");
+    return Ctx.intType();
+  case Builtin::Sqrt:
+  case Builtin::Sin:
+  case Builtin::Cos:
+  case Builtin::Exp:
+  case Builtin::Log:
+  case Builtin::Floor:
+    if (RequireArgs(1) && IsKnown(0) && !ArgTys[0]->isDouble())
+      error(C->loc(), strFormat("'%s' expects a double",
+                                C->calleeName().c_str()));
+    return Ctx.doubleType();
+  case Builtin::Abs:
+    if (!RequireArgs(1) || !IsKnown(0))
+      return nullptr;
+    if (!ArgTys[0]->isNumeric()) {
+      error(C->loc(), "abs expects a numeric value");
+      return nullptr;
+    }
+    return ArgTys[0];
+  case Builtin::Min:
+  case Builtin::Max:
+    if (!RequireArgs(2) || !IsKnown(0) || !IsKnown(1))
+      return nullptr;
+    if (ArgTys[0] != ArgTys[1] || !ArgTys[0]->isNumeric()) {
+      error(C->loc(), strFormat("'%s' expects two numeric values of the "
+                                "same type",
+                                C->calleeName().c_str()));
+      return nullptr;
+    }
+    return ArgTys[0];
+  case Builtin::Pow:
+    if (RequireArgs(2)) {
+      if (IsKnown(0) && !ArgTys[0]->isDouble())
+        error(C->loc(), "pow expects double arguments");
+      if (IsKnown(1) && !ArgTys[1]->isDouble())
+        error(C->loc(), "pow expects double arguments");
+    }
+    return Ctx.doubleType();
+  case Builtin::ToInt:
+    if (RequireArgs(1) && IsKnown(0) && !ArgTys[0]->isDouble())
+      error(C->loc(), "toInt expects a double");
+    return Ctx.intType();
+  case Builtin::ToDouble:
+    if (RequireArgs(1) && IsKnown(0) && !ArgTys[0]->isInt())
+      error(C->loc(), "toDouble expects an int");
+    return Ctx.doubleType();
+  case Builtin::RandInt:
+    if (RequireArgs(1) && IsKnown(0) && !ArgTys[0]->isInt())
+      error(C->loc(), "randInt expects an int bound");
+    return Ctx.intType();
+  case Builtin::RandSeed:
+    if (RequireArgs(1) && IsKnown(0) && !ArgTys[0]->isInt())
+      error(C->loc(), "randSeed expects an int seed");
+    return Ctx.voidType();
+  case Builtin::Arg:
+    if (RequireArgs(1) && IsKnown(0) && !ArgTys[0]->isInt())
+      error(C->loc(), "arg expects an int index");
+    return Ctx.intType();
+  }
+  return nullptr;
+}
+
+} // namespace
+
+bool tdr::runSema(Program &P, AstContext &Ctx, DiagnosticsEngine &Diags) {
+  return Sema(P, Ctx, Diags).run();
+}

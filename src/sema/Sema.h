@@ -1,0 +1,36 @@
+//===- Sema.h - HJ-mini semantic analysis ------------------------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name resolution and type checking for HJ-mini.
+///
+/// Beyond the usual checks, sema enforces the async capture discipline that
+/// makes the race-detection memory model tractable (and mirrors Habanero
+/// Java, where captured locals are final): an async body may *read*
+/// enclosing locals (captured by value at spawn) but may only *write*
+/// variables it declared itself, or globals and array elements — which are
+/// the shared, race-checked locations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_SEMA_SEMA_H
+#define TDR_SEMA_SEMA_H
+
+namespace tdr {
+
+class AstContext;
+class DiagnosticsEngine;
+class Program;
+
+/// Resolves names, checks types, and assigns storage slots. Returns true
+/// when the program is well formed (no errors reported).
+///
+/// Sema is idempotent: the repair pipeline re-runs it after AST edits.
+bool runSema(Program &P, AstContext &Ctx, DiagnosticsEngine &Diags);
+
+} // namespace tdr
+
+#endif // TDR_SEMA_SEMA_H

@@ -1,0 +1,51 @@
+//===- Benchmarks.h - The paper's 12-benchmark suite -------------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark suite of paper Table 1, rewritten in HJ-mini: Fibonacci,
+/// Quicksort, Mergesort and Spanning Tree (HJ Bench), Nqueens (BOTS),
+/// Series, SOR, Crypt, Sparse and LUFact (JGF), FannKuch and Mandelbrot
+/// (Shootout). Every program is the *correct* version (with finishes);
+/// the experiment harness strips the finishes to obtain the buggy inputs
+/// the repair tool is evaluated on (paper §7.1).
+///
+/// Input sizes: the "repair" sizes mirror the paper's Table 1 column 4
+/// where the interpreter allows; the "perf" sizes replace the paper's
+/// native-scale column 5 (e.g. 100,000,000 element sorts) with
+/// interpreter-scale inputs — see DESIGN.md, substitutions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_SUITE_BENCHMARKS_H
+#define TDR_SUITE_BENCHMARKS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tdr {
+
+/// One benchmark of Table 1.
+struct BenchmarkSpec {
+  const char *Name;        ///< e.g. "Fibonacci"
+  const char *Suite;       ///< "HJ Bench", "BOTS", "JGF", "Shootout"
+  const char *Description; ///< Table 1 description column
+  const char *Source;      ///< correct HJ-mini program (with finishes)
+  std::vector<int64_t> RepairArgs; ///< arg() values, repair mode
+  std::vector<int64_t> PerfArgs;   ///< arg() values, performance mode
+  const char *RepairInputDesc;     ///< human-readable input size (repair)
+  const char *PerfInputDesc;       ///< human-readable input size (perf)
+};
+
+/// All 12 benchmarks, in Table 1 order.
+const std::vector<BenchmarkSpec> &allBenchmarks();
+
+/// Lookup by name; null when unknown.
+const BenchmarkSpec *findBenchmark(const std::string &Name);
+
+} // namespace tdr
+
+#endif // TDR_SUITE_BENCHMARKS_H

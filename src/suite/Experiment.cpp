@@ -1,0 +1,194 @@
+//===- Experiment.cpp -----------------------------------------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Experiment.h"
+
+#include "ast/AstPrinter.h"
+#include "ast/Transforms.h"
+#include "frontend/Parser.h"
+#include "sema/Sema.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+#include "support/StringUtils.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace tdr;
+
+LoadedBenchmark tdr::loadBenchmark(const char *Source) {
+  LoadedBenchmark L;
+  L.Ctx = std::make_unique<AstContext>();
+  SourceManager SM("bench.hj", Source);
+  DiagnosticsEngine Diags;
+  Parser P(SM.buffer(), *L.Ctx, Diags);
+  L.Prog = P.parseProgram();
+  if (!Diags.hasErrors())
+    runSema(*L.Prog, *L.Ctx, Diags);
+  if (Diags.hasErrors()) {
+    std::fprintf(stderr, "benchmark program failed to compile:\n%s\n",
+                 Diags.render(SM).c_str());
+    std::abort();
+  }
+  return L;
+}
+
+static ExecOptions execFor(const BenchmarkSpec &Spec, bool Perf) {
+  ExecOptions E;
+  E.Args = Perf ? Spec.PerfArgs : Spec.RepairArgs;
+  return E;
+}
+
+RepairExperiment tdr::runRepairExperiment(const BenchmarkSpec &Spec,
+                                          EspBagsDetector::Mode Mode,
+                                          bool UsePerfInput) {
+  RepairExperiment R;
+  R.Spec = &Spec;
+  ExecOptions Exec = execFor(Spec, UsePerfInput);
+
+  // HJ-Seq: uninstrumented sequential time of the correct program.
+  LoadedBenchmark Orig = loadBenchmark(Spec.Source);
+  {
+    Timer T;
+    ExecResult Seq = runProgram(*Orig.Prog, Exec);
+    R.HjSeqMs = T.elapsedMs();
+    if (!Seq.Ok) {
+      R.Error = strFormat("original program failed: %s", Seq.Error.c_str());
+      return R;
+    }
+  }
+
+  // The expert baseline's parallelism.
+  {
+    Detection D = detectRaces(*Orig.Prog, EspBagsDetector::Mode::MRW, Exec);
+    if (!D.ok() || !D.Report.Pairs.empty()) {
+      R.Error = strFormat("original benchmark is not race free (%zu pairs)",
+                          D.Report.Pairs.size());
+      return R;
+    }
+    R.Original = analyzeDpst(*D.Tree, 12);
+  }
+
+  // The serial elision output is the specification.
+  std::string SpecOutput;
+  {
+    LoadedBenchmark Elided = loadBenchmark(Spec.Source);
+    elideParallelism(*Elided.Prog);
+    // Re-run sema to keep decl bindings coherent after the rewrite.
+    DiagnosticsEngine Diags;
+    runSema(*Elided.Prog, *Elided.Ctx, Diags);
+    ExecResult E = runProgram(*Elided.Prog, Exec);
+    if (!E.Ok) {
+      R.Error = strFormat("serial elision failed: %s", E.Error.c_str());
+      return R;
+    }
+    SpecOutput = E.Output;
+  }
+
+  // Build the buggy program (paper §7.1) and repair it.
+  LoadedBenchmark Buggy = loadBenchmark(Spec.Source);
+  stripFinishes(*Buggy.Prog);
+  {
+    DiagnosticsEngine Diags;
+    runSema(*Buggy.Prog, *Buggy.Ctx, Diags);
+  }
+
+  RepairOptions Opts;
+  Opts.Mode = Mode;
+  Opts.Exec = Exec;
+  RepairResult Repair = repairProgram(*Buggy.Prog, *Buggy.Ctx, Opts);
+  R.Iterations = Repair.Stats.Iterations;
+  R.Finishes = Repair.Stats.FinishesInserted;
+  R.DpstNodes = Repair.Stats.DpstNodes;
+  R.RawRaces = Repair.Stats.RawRaces;
+  R.RacePairs = Repair.Stats.RacePairs;
+  R.RepairSecs = Repair.Stats.totalRepairMs() / 1000.0;
+  if (!Repair.Stats.DetectMs.empty()) {
+    R.DetectMs = Repair.Stats.DetectMs.front();
+    R.SecondDetectMs = Repair.Stats.DetectMs.back();
+  }
+  if (!Repair.Success) {
+    R.Error = strFormat("repair failed: %s", Repair.Error.c_str());
+    return R;
+  }
+  R.RepairedSource = printProgram(*Buggy.Prog);
+
+  // Verify: race free, same output as the serial elision, and measure the
+  // repaired program's parallelism.
+  Detection After = detectRaces(*Buggy.Prog, EspBagsDetector::Mode::MRW, Exec);
+  R.RaceFreeAfter = After.ok() && After.Report.Pairs.empty();
+  R.OutputMatchesElision = After.ok() && After.Exec.Output == SpecOutput;
+  if (After.ok())
+    R.Repaired = analyzeDpst(*After.Tree, 12);
+
+  R.Ok = R.RaceFreeAfter && R.OutputMatchesElision;
+  if (!R.Ok && R.Error.empty())
+    R.Error = !R.RaceFreeAfter ? "races remained after repair"
+                               : "repaired output differs from elision";
+  return R;
+}
+
+PerfPoint tdr::runPerfExperiment(const BenchmarkSpec &Spec,
+                                 unsigned NumProcs) {
+  PerfPoint P;
+  P.Spec = &Spec;
+  ExecOptions Exec = execFor(Spec, /*Perf=*/true);
+
+  // Sequential wall clock (uninstrumented, averaged over 3 runs).
+  LoadedBenchmark Orig = loadBenchmark(Spec.Source);
+  {
+    Timer T;
+    for (int I = 0; I != 3; ++I) {
+      ExecResult Seq = runProgram(*Orig.Prog, Exec);
+      if (!Seq.Ok) {
+        P.Error = Seq.Error;
+        return P;
+      }
+    }
+    P.SeqMs = T.elapsedMs() / 3.0;
+  }
+
+  // Original parallel structure.
+  {
+    Detection D = detectRaces(*Orig.Prog, EspBagsDetector::Mode::SRW, Exec);
+    if (!D.ok()) {
+      P.Error = D.Exec.Error;
+      return P;
+    }
+    ParallelismStats S = analyzeDpst(*D.Tree, NumProcs);
+    P.SeqWork = S.T1;
+    P.OriginalT12 = S.TP;
+    P.OriginalTinf = S.Tinf;
+  }
+
+  // Repaired program's parallel structure.
+  LoadedBenchmark Buggy = loadBenchmark(Spec.Source);
+  stripFinishes(*Buggy.Prog);
+  {
+    DiagnosticsEngine Diags;
+    runSema(*Buggy.Prog, *Buggy.Ctx, Diags);
+  }
+  RepairOptions Opts;
+  Opts.Exec = Exec;
+  RepairResult Repair = repairProgram(*Buggy.Prog, *Buggy.Ctx, Opts);
+  if (!Repair.Success) {
+    P.Error = Repair.Error;
+    return P;
+  }
+  {
+    Detection D = detectRaces(*Buggy.Prog, EspBagsDetector::Mode::SRW, Exec);
+    if (!D.ok()) {
+      P.Error = D.Exec.Error;
+      return P;
+    }
+    ParallelismStats S = analyzeDpst(*D.Tree, NumProcs);
+    P.RepairedT12 = S.TP;
+    P.RepairedTinf = S.Tinf;
+  }
+  P.Ok = true;
+  return P;
+}

@@ -1,0 +1,103 @@
+//===- Experiment.h - Strip/repair/measure workflows -------------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The evaluation workflow of paper §7.1: take a correct benchmark, remove
+/// all finish statements, run the repair tool on the buggy program, then
+/// measure (a) that the repair is race free and semantics preserving and
+/// (b) how the repaired program's parallelism compares with the original
+/// expert version. These runners feed every table and figure bench.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_SUITE_EXPERIMENT_H
+#define TDR_SUITE_EXPERIMENT_H
+
+#include "race/EspBags.h"
+#include "repair/RepairDriver.h"
+#include "sched/Schedule.h"
+#include "suite/Benchmarks.h"
+
+#include <string>
+
+namespace tdr {
+
+/// Everything one strip-and-repair run produces (Tables 2-4 columns).
+struct RepairExperiment {
+  const BenchmarkSpec *Spec = nullptr;
+  bool Ok = false;
+  std::string Error;
+
+  double HjSeqMs = 0;        ///< uninstrumented sequential run (HJ-Seq)
+  double DetectMs = 0;       ///< first detection run (S-DPST + races)
+  double SecondDetectMs = 0; ///< the confirming detection run
+  size_t DpstNodes = 0;
+  uint64_t RawRaces = 0;     ///< races reported by the detector (pre-dedup)
+  size_t RacePairs = 0;      ///< distinct racing step pairs
+  double RepairSecs = 0;     ///< dynamic + static placement time
+  unsigned Iterations = 0;   ///< detection runs the driver needed
+  unsigned Finishes = 0;     ///< finish statements inserted
+
+  bool RaceFreeAfter = false;
+  bool OutputMatchesElision = false;
+
+  /// Work/CPL/greedy-T12 of the original and the repaired program on the
+  /// same input.
+  ParallelismStats Original;
+  ParallelismStats Repaired;
+
+  /// The repaired program text.
+  std::string RepairedSource;
+};
+
+/// Strips the benchmark's finishes and repairs it with the given detector
+/// mode, on the repair-mode input (or the performance input).
+RepairExperiment runRepairExperiment(const BenchmarkSpec &Spec,
+                                     EspBagsDetector::Mode Mode,
+                                     bool UsePerfInput = false);
+
+/// Figure 16 data point: execution measures for sequential, original
+/// parallel, and repaired parallel versions on the performance input.
+struct PerfPoint {
+  const BenchmarkSpec *Spec = nullptr;
+  bool Ok = false;
+  std::string Error;
+
+  double SeqMs = 0;          ///< measured wall-clock of a sequential run
+  uint64_t SeqWork = 0;      ///< T1 in work units
+  uint64_t OriginalT12 = 0;  ///< greedy 12-processor schedule, original
+  uint64_t RepairedT12 = 0;  ///< greedy 12-processor schedule, repaired
+  uint64_t OriginalTinf = 0;
+  uint64_t RepairedTinf = 0;
+
+  /// Modeled wall-clock for P processors: SeqMs scaled by TP/T1.
+  double originalParMs() const {
+    return SeqWork ? SeqMs * static_cast<double>(OriginalT12) /
+                         static_cast<double>(SeqWork)
+                   : 0;
+  }
+  double repairedParMs() const {
+    return SeqWork ? SeqMs * static_cast<double>(RepairedT12) /
+                         static_cast<double>(SeqWork)
+                   : 0;
+  }
+};
+
+/// Runs the Figure 16 measurement for one benchmark with \p NumProcs
+/// simulated processors (12 in the paper).
+PerfPoint runPerfExperiment(const BenchmarkSpec &Spec, unsigned NumProcs = 12);
+
+/// Parses and checks a benchmark source; aborts the process with a message
+/// on failure (suite programs are expected to be valid).
+struct LoadedBenchmark {
+  std::unique_ptr<AstContext> Ctx;
+  Program *Prog = nullptr;
+};
+LoadedBenchmark loadBenchmark(const char *Source);
+
+} // namespace tdr
+
+#endif // TDR_SUITE_EXPERIMENT_H

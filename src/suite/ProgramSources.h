@@ -1,0 +1,29 @@
+//===- ProgramSources.h - HJ-mini sources of the suite (private) -*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_SUITE_PROGRAMSOURCES_H
+#define TDR_SUITE_PROGRAMSOURCES_H
+
+namespace tdr {
+namespace suite {
+
+extern const char *FibonacciSrc;
+extern const char *QuicksortSrc;
+extern const char *MergesortSrc;
+extern const char *SpanningTreeSrc;
+extern const char *NqueensSrc;
+extern const char *SeriesSrc;
+extern const char *SorSrc;
+extern const char *CryptSrc;
+extern const char *SparseSrc;
+extern const char *LUFactSrc;
+extern const char *FannKuchSrc;
+extern const char *MandelbrotSrc;
+
+} // namespace suite
+} // namespace tdr
+
+#endif // TDR_SUITE_PROGRAMSOURCES_H

@@ -1,0 +1,234 @@
+//===- ProgramsBasic.cpp - HJ Bench programs ------------------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+// The four HJ Bench programs of Table 1. Each is the correct version; the
+// harness strips finishes to produce the repair tool's inputs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/ProgramSources.h"
+
+using namespace tdr;
+
+/// Paper Figure 8/15: recursive Fibonacci; BoxInteger becomes int[1].
+/// arg(0) = n.
+const char *suite::FibonacciSrc = R"(
+func fib(ret: int[], n: int) {
+  if (n < 2) {
+    ret[0] = n;
+    return;
+  }
+  var x: int[] = new int[1];
+  var y: int[] = new int[1];
+  finish {
+    async fib(x, n - 1);
+    async fib(y, n - 2);
+  }
+  ret[0] = x[0] + y[0];
+}
+
+func main() {
+  var result: int[] = new int[1];
+  fib(result, arg(0));
+  print(result[0]);
+}
+)";
+
+/// Paper Figure 2: parallel quicksort. The expert placement is a single
+/// finish around the top-level call (the recursive asyncs work on disjoint
+/// ranges, so they need no finish of their own). arg(0) = n.
+const char *suite::QuicksortSrc = R"(
+var A: int[];
+
+func partition(lo: int, hi: int, out: int[]) {
+  var pivot: int = A[(lo + hi) / 2];
+  var i: int = lo;
+  var j: int = hi;
+  while (i <= j) {
+    while (A[i] < pivot) { i = i + 1; }
+    while (A[j] > pivot) { j = j - 1; }
+    if (i <= j) {
+      var t: int = A[i];
+      A[i] = A[j];
+      A[j] = t;
+      i = i + 1;
+      j = j - 1;
+    }
+  }
+  out[0] = i;
+  out[1] = j;
+}
+
+func quicksort(m: int, n: int) {
+  if (m < n) {
+    var p: int[] = new int[2];
+    partition(m, n, p);
+    async quicksort(m, p[1]);
+    async quicksort(p[0], n);
+  }
+}
+
+func main() {
+  var n: int = arg(0);
+  A = new int[n];
+  randSeed(42);
+  for (var i: int = 0; i < n; i = i + 1) { A[i] = randInt(100000); }
+  finish quicksort(0, n - 1);
+  var sorted: bool = true;
+  var sum: int = 0;
+  for (var i: int = 0; i < n; i = i + 1) {
+    if (i > 0 && A[i - 1] > A[i]) { sorted = false; }
+    sum = sum + A[i] * (i % 17 + 1);
+  }
+  print(sorted);
+  print(sum);
+}
+)";
+
+/// Paper Figure 1: parallel mergesort; the recursive asyncs must be joined
+/// before the merge. arg(0) = n.
+const char *suite::MergesortSrc = R"(
+var A: int[];
+
+func merge(lo: int, mid: int, hi: int) {
+  var tmp: int[] = new int[hi - lo + 1];
+  var i: int = lo;
+  var j: int = mid + 1;
+  var k: int = 0;
+  while (i <= mid && j <= hi) {
+    if (A[i] <= A[j]) {
+      tmp[k] = A[i];
+      i = i + 1;
+    } else {
+      tmp[k] = A[j];
+      j = j + 1;
+    }
+    k = k + 1;
+  }
+  while (i <= mid) { tmp[k] = A[i]; i = i + 1; k = k + 1; }
+  while (j <= hi) { tmp[k] = A[j]; j = j + 1; k = k + 1; }
+  for (var t: int = 0; t < k; t = t + 1) { A[lo + t] = tmp[t]; }
+}
+
+func mergesort(m: int, n: int) {
+  if (m < n) {
+    var mid: int = m + (n - m) / 2;
+    finish {
+      async mergesort(m, mid);
+      async mergesort(mid + 1, n);
+    }
+    merge(m, mid, n);
+  }
+}
+
+func main() {
+  var n: int = arg(0);
+  A = new int[n];
+  randSeed(7);
+  for (var i: int = 0; i < n; i = i + 1) { A[i] = randInt(100000); }
+  mergesort(0, n - 1);
+  var sorted: bool = true;
+  var sum: int = 0;
+  for (var i: int = 0; i < n; i = i + 1) {
+    if (i > 0 && A[i - 1] > A[i]) { sorted = false; }
+    sum = sum + A[i] * (i % 13 + 1);
+  }
+  print(sorted);
+  print(sum);
+}
+)";
+
+/// Spanning tree (BFS forest) of a random undirected graph, level-
+/// synchronous: each level, every unvisited vertex scans its neighbors and
+/// adopts the lowest-numbered frontier neighbor as parent. Writes are
+/// per-vertex (disjoint); the finish between levels orders the level[]
+/// reads after the previous level's writes. arg(0) = nodes, arg(1) = max
+/// neighbors per node.
+const char *suite::SpanningTreeSrc = R"(
+var NumNodes: int;
+var Deg: int[];
+var Nbr: int[][];
+var Level: int[];
+var Parent: int[];
+var Chosen: int[];
+
+func buildGraph(maxDeg: int) {
+  Deg = new int[NumNodes];
+  Nbr = new int[NumNodes][maxDeg * 2];
+  randSeed(1234);
+  for (var u: int = 0; u < NumNodes; u = u + 1) { Deg[u] = 0; }
+  for (var u: int = 0; u < NumNodes; u = u + 1) {
+    var want: int = 1 + randInt(maxDeg);
+    for (var e: int = 0; e < want; e = e + 1) {
+      var v: int = randInt(NumNodes);
+      if (v != u && Deg[u] < maxDeg * 2 && Deg[v] < maxDeg * 2) {
+        Nbr[u][Deg[u]] = v;
+        Deg[u] = Deg[u] + 1;
+        Nbr[v][Deg[v]] = u;
+        Deg[v] = Deg[v] + 1;
+      }
+    }
+  }
+}
+
+func chooseParents(lo: int, hi: int, cur: int) {
+  for (var v: int = lo; v < hi; v = v + 1) {
+    var best: int = -1;
+    if (Level[v] < 0) {
+      for (var e: int = 0; e < Deg[v]; e = e + 1) {
+        var u: int = Nbr[v][e];
+        if (Level[u] == cur) {
+          if (best < 0 || u < best) { best = u; }
+        }
+      }
+    }
+    Chosen[v] = best;
+  }
+}
+
+func main() {
+  NumNodes = arg(0);
+  var chunk: int = arg(2);
+  buildGraph(arg(1));
+  Level = new int[NumNodes];
+  Parent = new int[NumNodes];
+  Chosen = new int[NumNodes];
+  for (var v: int = 0; v < NumNodes; v = v + 1) {
+    Level[v] = -1;
+    Parent[v] = -1;
+  }
+  Level[0] = 0;
+  Parent[0] = 0;
+  var cur: int = 0;
+  var grew: bool = true;
+  while (grew) {
+    // Parallel phase: every vertex picks a prospective parent from the
+    // current frontier, writing only its own Chosen slot and reading
+    // Level[], which this phase never writes.
+    finish {
+      for (var lo: int = 0; lo < NumNodes; lo = lo + chunk) {
+        async chooseParents(lo, min(lo + chunk, NumNodes), cur);
+      }
+    }
+    // Sequential commit of the new level.
+    grew = false;
+    for (var v: int = 0; v < NumNodes; v = v + 1) {
+      if (Chosen[v] >= 0 && Level[v] < 0) {
+        Level[v] = cur + 1;
+        Parent[v] = Chosen[v];
+        grew = true;
+      }
+    }
+    cur = cur + 1;
+  }
+  var visited: int = 0;
+  var checksum: int = 0;
+  for (var v: int = 0; v < NumNodes; v = v + 1) {
+    if (Level[v] >= 0) { visited = visited + 1; }
+    checksum = checksum + Parent[v] * (v % 11 + 1);
+  }
+  print(visited);
+  print(checksum);
+}
+)";

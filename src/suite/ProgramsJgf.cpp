@@ -1,0 +1,296 @@
+//===- ProgramsJgf.cpp - Java Grande Forum programs -----------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+// HJ-mini versions of the JGF benchmarks in Table 1: Series, SOR, Crypt,
+// Sparse, LUFact.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/ProgramSources.h"
+
+using namespace tdr;
+
+/// Fourier coefficient analysis: rows independent coefficient pairs of
+/// f(x) = (x+1)^x over [0,2], trapezoid rule. arg(0) = rows.
+const char *suite::SeriesSrc = R"(
+var CoefA: double[];
+var CoefB: double[];
+var Rows: int;
+
+func fx(x: double): double {
+  return exp(x * log(x + 1.0));
+}
+
+func trapezoidA(k: int): double {
+  var n: int = 64;
+  var dx: double = 2.0 / toDouble(n);
+  var s: double = 0.0;
+  var omega: double = 3.1415926535897931 * toDouble(k);
+  for (var i: int = 0; i <= n; i = i + 1) {
+    var x: double = dx * toDouble(i);
+    var w: double = 1.0;
+    if (i == 0 || i == n) { w = 0.5; }
+    s = s + w * fx(x) * cos(omega * x);
+  }
+  return s * dx;
+}
+
+func trapezoidB(k: int): double {
+  var n: int = 64;
+  var dx: double = 2.0 / toDouble(n);
+  var s: double = 0.0;
+  var omega: double = 3.1415926535897931 * toDouble(k);
+  for (var i: int = 0; i <= n; i = i + 1) {
+    var x: double = dx * toDouble(i);
+    var w: double = 1.0;
+    if (i == 0 || i == n) { w = 0.5; }
+    s = s + w * fx(x) * sin(omega * x);
+  }
+  return s * dx;
+}
+
+func computeRow(k: int) {
+  CoefA[k] = trapezoidA(k);
+  CoefB[k] = trapezoidB(k);
+}
+
+func main() {
+  Rows = arg(0);
+  CoefA = new double[Rows];
+  CoefB = new double[Rows];
+  finish {
+    for (var k: int = 0; k < Rows; k = k + 1) {
+      async computeRow(k);
+    }
+  }
+  var sum: double = 0.0;
+  for (var k: int = 0; k < Rows; k = k + 1) {
+    sum = sum + CoefA[k] + CoefB[k];
+  }
+  print(toInt(sum * 1000000.0));
+}
+)";
+
+/// Red-black successive over-relaxation on an n x n grid; each color phase
+/// updates disjoint cells reading the opposite color, so the finish
+/// between phases carries the dependence. arg(0) = n, arg(1) = iterations.
+const char *suite::SorSrc = R"(
+var G: double[][];
+var N: int;
+
+func updateRows(lo: int, hi: int, color: int, omega: double) {
+  for (var i: int = lo; i < hi; i = i + 1) {
+  for (var j: int = 1; j < N - 1; j = j + 1) {
+    if ((i + j) % 2 == color) {
+      G[i][j] = omega / 4.0 * (G[i - 1][j] + G[i + 1][j] + G[i][j - 1]
+                               + G[i][j + 1])
+                + (1.0 - omega) * G[i][j];
+    }
+  }
+  }
+}
+
+func main() {
+  N = arg(0);
+  var iters: int = arg(1);
+  var chunk: int = arg(2);
+  G = new double[N][N];
+  randSeed(99);
+  for (var i: int = 0; i < N; i = i + 1) {
+    for (var j: int = 0; j < N; j = j + 1) {
+      G[i][j] = toDouble(randInt(1000)) / 1000.0;
+    }
+  }
+  var omega: double = 1.25;
+  for (var it: int = 0; it < iters; it = it + 1) {
+    for (var color: int = 0; color < 2; color = color + 1) {
+      finish {
+        for (var lo: int = 1; lo < N - 1; lo = lo + chunk) {
+          async updateRows(lo, min(lo + chunk, N - 1), color, omega);
+        }
+      }
+    }
+  }
+  var sum: double = 0.0;
+  for (var i: int = 0; i < N; i = i + 1) {
+    for (var j: int = 0; j < N; j = j + 1) { sum = sum + G[i][j]; }
+  }
+  print(toInt(sum * 1000.0));
+}
+)";
+
+/// IDEA-style block cipher (JGF Crypt): 8 rounds over 64-bit blocks held
+/// as four 16-bit words, with the IDEA multiply in GF(2^16 + 1). Blocks
+/// are encrypted in parallel chunks. arg(0) = number of 4-word blocks,
+/// arg(1) = chunk size.
+const char *suite::CryptSrc = R"(
+var Data: int[];
+var Key: int[];
+var NumBlocks: int;
+
+func ideaMul(a: int, b: int): int {
+  var x: int = a;
+  var y: int = b;
+  if (x == 0) { x = 65536; }
+  if (y == 0) { y = 65536; }
+  var p: int = x * y % 65537;
+  return p % 65536;
+}
+
+func encryptBlock(b: int) {
+  var x0: int = Data[b * 4];
+  var x1: int = Data[b * 4 + 1];
+  var x2: int = Data[b * 4 + 2];
+  var x3: int = Data[b * 4 + 3];
+  for (var r: int = 0; r < 8; r = r + 1) {
+    var k: int = r * 6;
+    x0 = ideaMul(x0, Key[k]);
+    x1 = (x1 + Key[k + 1]) % 65536;
+    x2 = (x2 + Key[k + 2]) % 65536;
+    x3 = ideaMul(x3, Key[k + 3]);
+    var t0: int = x0 ^ x2;
+    var t1: int = x1 ^ x3;
+    t0 = ideaMul(t0, Key[k + 4]);
+    t1 = (t1 + t0) % 65536;
+    t1 = ideaMul(t1, Key[k + 5]);
+    t0 = (t0 + t1) % 65536;
+    x0 = x0 ^ t1;
+    x2 = x2 ^ t1;
+    x1 = x1 ^ t0;
+    x3 = x3 ^ t0;
+  }
+  Data[b * 4] = ideaMul(x0, Key[48]);
+  Data[b * 4 + 1] = (x1 + Key[49]) % 65536;
+  Data[b * 4 + 2] = (x2 + Key[50]) % 65536;
+  Data[b * 4 + 3] = ideaMul(x3, Key[51]);
+}
+
+func encryptChunk(lo: int, hi: int) {
+  for (var b: int = lo; b < hi; b = b + 1) { encryptBlock(b); }
+}
+
+func main() {
+  NumBlocks = arg(0);
+  var chunk: int = arg(1);
+  Data = new int[NumBlocks * 4];
+  Key = new int[52];
+  randSeed(2024);
+  for (var i: int = 0; i < 52; i = i + 1) { Key[i] = randInt(65536); }
+  for (var i: int = 0; i < NumBlocks * 4; i = i + 1) {
+    Data[i] = randInt(65536);
+  }
+  finish {
+    for (var lo: int = 0; lo < NumBlocks; lo = lo + chunk) {
+      async encryptChunk(lo, min(lo + chunk, NumBlocks));
+    }
+  }
+  var sum: int = 0;
+  for (var i: int = 0; i < NumBlocks * 4; i = i + 1) {
+    sum = sum + Data[i] * (i % 7 + 1);
+  }
+  print(sum);
+}
+)";
+
+/// Sparse matrix-vector multiplication (CRS), repeated; rows are divided
+/// among asyncs and y feeds back into x between iterations. arg(0) = n,
+/// arg(1) = nonzeros per row, arg(2) = iterations, arg(3) = chunk.
+const char *suite::SparseSrc = R"(
+var RowPtr: int[];
+var ColIdx: int[];
+var ValNum: int[];
+var X: int[];
+var Y: int[];
+var N: int;
+
+func multRows(lo: int, hi: int) {
+  for (var r: int = lo; r < hi; r = r + 1) {
+    var acc: int = 0;
+    for (var e: int = RowPtr[r]; e < RowPtr[r + 1]; e = e + 1) {
+      acc = acc + ValNum[e] * X[ColIdx[e]];
+    }
+    Y[r] = acc % 1000003;
+  }
+}
+
+func main() {
+  N = arg(0);
+  var perRow: int = arg(1);
+  var iters: int = arg(2);
+  var chunk: int = arg(3);
+  RowPtr = new int[N + 1];
+  ColIdx = new int[N * perRow];
+  ValNum = new int[N * perRow];
+  X = new int[N];
+  Y = new int[N];
+  randSeed(5150);
+  var e: int = 0;
+  for (var r: int = 0; r < N; r = r + 1) {
+    RowPtr[r] = e;
+    for (var k: int = 0; k < perRow; k = k + 1) {
+      ColIdx[e] = randInt(N);
+      ValNum[e] = randInt(100) + 1;
+      e = e + 1;
+    }
+  }
+  RowPtr[N] = e;
+  for (var i: int = 0; i < N; i = i + 1) { X[i] = randInt(1000); }
+  for (var it: int = 0; it < iters; it = it + 1) {
+    finish {
+      for (var lo: int = 0; lo < N; lo = lo + chunk) {
+        async multRows(lo, min(lo + chunk, N));
+      }
+    }
+    for (var i: int = 0; i < N; i = i + 1) { X[i] = Y[i]; }
+  }
+  var sum: int = 0;
+  for (var i: int = 0; i < N; i = i + 1) { sum = sum + Y[i] * (i % 5 + 1); }
+  print(sum);
+}
+)";
+
+/// LU factorization without pivoting on a diagonally dominant matrix; at
+/// each elimination step the trailing rows update in parallel, reading the
+/// pivot row produced by the previous step. arg(0) = n, arg(1) = chunk.
+const char *suite::LUFactSrc = R"(
+var M: double[][];
+var N: int;
+
+func eliminateRows(k: int, lo: int, hi: int) {
+  for (var i: int = lo; i < hi; i = i + 1) {
+    var f: double = M[i][k] / M[k][k];
+    M[i][k] = f;
+    for (var j: int = k + 1; j < N; j = j + 1) {
+      M[i][j] = M[i][j] - f * M[k][j];
+    }
+  }
+}
+
+func main() {
+  N = arg(0);
+  var chunk: int = arg(1);
+  M = new double[N][N];
+  randSeed(314159);
+  for (var i: int = 0; i < N; i = i + 1) {
+    var rowSum: double = 0.0;
+    for (var j: int = 0; j < N; j = j + 1) {
+      M[i][j] = toDouble(randInt(2000)) / 1000.0 - 1.0;
+      rowSum = rowSum + abs(M[i][j]);
+    }
+    M[i][i] = rowSum + 1.0;
+  }
+  for (var k: int = 0; k < N - 1; k = k + 1) {
+    finish {
+      for (var lo: int = k + 1; lo < N; lo = lo + chunk) {
+        async eliminateRows(k, lo, min(lo + chunk, N));
+      }
+    }
+  }
+  var sum: double = 0.0;
+  for (var i: int = 0; i < N; i = i + 1) {
+    for (var j: int = 0; j < N; j = j + 1) { sum = sum + M[i][j]; }
+  }
+  print(toInt(sum * 1000.0));
+}
+)";

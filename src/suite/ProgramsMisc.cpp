@@ -1,0 +1,184 @@
+//===- ProgramsMisc.cpp - BOTS and Shootout programs ----------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+// Nqueens (BOTS), FannKuch and Mandelbrot (Shootout).
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/ProgramSources.h"
+
+using namespace tdr;
+
+/// N-Queens solution counting; each row placement spawns a task with its
+/// own copy of the column assignment, counts merge through per-branch
+/// slots after the finish. arg(0) = n.
+const char *suite::NqueensSrc = R"(
+var Size: int;
+
+func safe(pos: int[], row: int, col: int): bool {
+  for (var r: int = 0; r < row; r = r + 1) {
+    var c: int = pos[r];
+    if (c == col) { return false; }
+    if (c - col == row - r) { return false; }
+    if (col - c == row - r) { return false; }
+  }
+  return true;
+}
+
+func solve(pos: int[], row: int, out: int[], slot: int) {
+  if (row == Size) {
+    out[slot] = 1;
+    return;
+  }
+  var counts: int[] = new int[Size];
+  finish {
+    for (var c: int = 0; c < Size; c = c + 1) {
+      if (safe(pos, row, c)) {
+        async {
+          var p2: int[] = new int[Size];
+          for (var r: int = 0; r < row; r = r + 1) { p2[r] = pos[r]; }
+          p2[row] = c;
+          solve(p2, row + 1, counts, c);
+        }
+      }
+    }
+  }
+  var total: int = 0;
+  for (var c: int = 0; c < Size; c = c + 1) { total = total + counts[c]; }
+  out[slot] = total;
+}
+
+func main() {
+  Size = arg(0);
+  var result: int[] = new int[1];
+  var root: int[] = new int[Size];
+  solve(root, 0, result, 0);
+  print(result[0]);
+}
+)";
+
+/// FannKuch: maximum pancake-flip count over permutations of 1..n. Each
+/// choice of first element is explored by a task over its own permutation
+/// buffer; per-task maxima merge after the finish. arg(0) = n.
+const char *suite::FannKuchSrc = R"(
+var Size: int;
+var MaxFlips: int[];
+
+func countFlips(perm: int[]): int {
+  var flips: int = 0;
+  var first: int = perm[0];
+  while (first != 0) {
+    var i: int = 0;
+    var j: int = first;
+    while (i < j) {
+      var t: int = perm[i];
+      perm[i] = perm[j];
+      perm[j] = t;
+      i = i + 1;
+      j = j - 1;
+    }
+    flips = flips + 1;
+    first = perm[0];
+  }
+  return flips;
+}
+
+func explore(prefix: int[], used: int[], depth: int, branch: int) {
+  if (depth == Size) {
+    var work: int[] = new int[Size];
+    for (var i: int = 0; i < Size; i = i + 1) { work[i] = prefix[i]; }
+    var f: int = countFlips(work);
+    if (f > MaxFlips[branch]) { MaxFlips[branch] = f; }
+    return;
+  }
+  for (var v: int = 0; v < Size; v = v + 1) {
+    if (used[v] == 0) {
+      var p2: int[] = new int[Size];
+      for (var i: int = 0; i < depth; i = i + 1) { p2[i] = prefix[i]; }
+      p2[depth] = v;
+      var u2: int[] = new int[Size];
+      for (var i: int = 0; i < Size; i = i + 1) { u2[i] = used[i]; }
+      u2[v] = 1;
+      explore(p2, u2, depth + 1, branch);
+    }
+  }
+}
+
+func main() {
+  Size = arg(0);
+  MaxFlips = new int[Size];
+  finish {
+    for (var first: int = 0; first < Size; first = first + 1) {
+      async {
+        var prefix: int[] = new int[Size];
+        var used: int[] = new int[Size];
+        prefix[0] = first;
+        used[first] = 1;
+        explore(prefix, used, 1, first);
+      }
+    }
+  }
+  var best: int = 0;
+  for (var b: int = 0; b < Size; b = b + 1) {
+    if (MaxFlips[b] > best) { best = MaxFlips[b]; }
+  }
+  print(best);
+}
+)";
+
+/// Mandelbrot escape-time over a w x h grid, one task per row writing its
+/// own row of iteration counts. arg(0) = width, arg(1) = height,
+/// arg(2) = max iterations.
+const char *suite::MandelbrotSrc = R"(
+var Counts: int[][];
+var W: int;
+var H: int;
+var MaxIter: int;
+
+func computeRow(y: int) {
+  var ci: double = toDouble(y) * 2.0 / toDouble(H) - 1.0;
+  for (var x: int = 0; x < W; x = x + 1) {
+    var cr: double = toDouble(x) * 3.0 / toDouble(W) - 2.0;
+    var zr: double = 0.0;
+    var zi: double = 0.0;
+    var it: int = 0;
+    var done: bool = false;
+    while (!done) {
+      if (it >= MaxIter) { done = true; }
+      else {
+        if (zr * zr + zi * zi > 4.0) { done = true; }
+        else {
+          var nzr: double = zr * zr - zi * zi + cr;
+          zi = 2.0 * zr * zi + ci;
+          zr = nzr;
+          it = it + 1;
+        }
+      }
+    }
+    Counts[y][x] = it;
+  }
+}
+
+func main() {
+  W = arg(0);
+  H = arg(1);
+  MaxIter = arg(2);
+  Counts = new int[H][W];
+  finish {
+    for (var y: int = 0; y < H; y = y + 1) {
+      async computeRow(y);
+    }
+  }
+  var inside: int = 0;
+  var checksum: int = 0;
+  for (var y: int = 0; y < H; y = y + 1) {
+    for (var x: int = 0; x < W; x = x + 1) {
+      if (Counts[y][x] == MaxIter) { inside = inside + 1; }
+      checksum = checksum + Counts[y][x] * ((x + y) % 9 + 1);
+    }
+  }
+  print(inside);
+  print(checksum);
+}
+)";

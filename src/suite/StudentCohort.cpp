@@ -1,0 +1,232 @@
+//===- StudentCohort.cpp --------------------------------------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/StudentCohort.h"
+
+#include "ast/Transforms.h"
+#include "race/Detect.h"
+#include "repair/RepairDriver.h"
+#include "sched/Schedule.h"
+#include "suite/Benchmarks.h"
+#include "suite/Experiment.h"
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace tdr;
+
+const char *tdr::studentClassName(StudentClass C) {
+  switch (C) {
+  case StudentClass::Racy:
+    return "racy";
+  case StudentClass::OverSync:
+    return "over-synchronized";
+  case StudentClass::Match:
+    return "matches tool";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Builds a quicksort submission. The assignment skeleton (asyncs, no
+/// finishes) is fixed; the flags encode where the student put finishes.
+struct PlacementChoice {
+  const char *Archetype;
+  StudentClass Intended;
+  bool FinishAroundBothAsyncs;  ///< finish { async; async; } in quicksort
+  bool FinishAroundEachAsync;   ///< finish async; finish async;
+  bool FinishAroundFirstAsync;  ///< finish async; async;
+  bool FinishAroundCallInMain;  ///< finish quicksort(...); (tool's answer)
+  bool FinishAroundInitLoop;    ///< harmless extra finish in main
+};
+
+std::string buildSubmission(const PlacementChoice &C) {
+  std::string Recursion;
+  if (C.FinishAroundBothAsyncs) {
+    Recursion = "    finish {\n"
+                "      async quicksort(m, p[1]);\n"
+                "      async quicksort(p[0], n);\n"
+                "    }\n";
+  } else if (C.FinishAroundEachAsync) {
+    Recursion = "    finish async quicksort(m, p[1]);\n"
+                "    finish async quicksort(p[0], n);\n";
+  } else if (C.FinishAroundFirstAsync) {
+    Recursion = "    finish async quicksort(m, p[1]);\n"
+                "    async quicksort(p[0], n);\n";
+  } else {
+    Recursion = "    async quicksort(m, p[1]);\n"
+                "    async quicksort(p[0], n);\n";
+  }
+
+  std::string InitLoop =
+      "  for (var i: int = 0; i < n; i = i + 1) { A[i] = randInt(100000); }\n";
+  if (C.FinishAroundInitLoop)
+    InitLoop = "  finish\n  " + InitLoop;
+
+  std::string Call = C.FinishAroundCallInMain
+                         ? "  finish quicksort(0, n - 1);\n"
+                         : "  quicksort(0, n - 1);\n";
+
+  return std::string(R"(
+var A: int[];
+
+func partition(lo: int, hi: int, out: int[]) {
+  var pivot: int = A[(lo + hi) / 2];
+  var i: int = lo;
+  var j: int = hi;
+  while (i <= j) {
+    while (A[i] < pivot) { i = i + 1; }
+    while (A[j] > pivot) { j = j - 1; }
+    if (i <= j) {
+      var t: int = A[i];
+      A[i] = A[j];
+      A[j] = t;
+      i = i + 1;
+      j = j - 1;
+    }
+  }
+  out[0] = i;
+  out[1] = j;
+}
+
+func quicksort(m: int, n: int) {
+  if (m < n) {
+    var p: int[] = new int[2];
+    partition(m, n, p);
+)") + Recursion +
+         R"(  }
+}
+
+func main() {
+  var n: int = arg(0);
+  A = new int[n];
+  randSeed(42);
+)" + InitLoop +
+         Call + R"(  var sorted: bool = true;
+  var sum: int = 0;
+  for (var i: int = 0; i < n; i = i + 1) {
+    if (i > 0 && A[i - 1] > A[i]) { sorted = false; }
+    sum = sum + A[i] * (i % 17 + 1);
+  }
+  print(sorted);
+  print(sum);
+}
+)";
+}
+
+/// The archetype pool, grouped by intended class.
+const PlacementChoice RacyChoices[] = {
+    {"no synchronization at all", StudentClass::Racy, false, false, false,
+     false, false},
+    {"finish around the first async only", StudentClass::Racy, false, false,
+     true, false, false},
+};
+
+// Over-synchronization means a measurably longer critical path. Note that
+// a per-level finish around *both* recursive asyncs is NOT over-synchronized
+// for quicksort — the parent does nothing after spawning, so CPL =
+// partition + max(children) either way. Serializing placements are.
+const PlacementChoice OverSyncChoices[] = {
+    {"finish around each async (serializes the recursion)",
+     StudentClass::OverSync, false, true, false, false, false},
+    {"finish around each async plus finish in main", StudentClass::OverSync,
+     false, true, false, true, false},
+    {"finish around the first async, finish around the call",
+     StudentClass::OverSync, false, false, true, true, false},
+};
+
+const PlacementChoice MatchChoices[] = {
+    {"single finish around the call in main", StudentClass::Match, false,
+     false, false, true, false},
+    {"finish around the call plus harmless finish on init",
+     StudentClass::Match, false, false, false, true, true},
+    {"per-level finish inside quicksort", StudentClass::Match, true, false,
+     false, false, false},
+    {"per-level finish plus finish in main", StudentClass::Match, true,
+     false, false, true, false},
+};
+
+} // namespace
+
+CohortResult tdr::runStudentCohort(unsigned NumStudents, uint64_t Seed,
+                                   int64_t InputSize) {
+  CohortResult Result;
+  ExecOptions Exec;
+  Exec.Args = {InputSize};
+
+  // The tool's own repair of the unsynchronized skeleton sets the grading
+  // baseline (as in the paper, students are evaluated "against the finish
+  // statements automatically generated by the tool").
+  {
+    PlacementChoice None = RacyChoices[0];
+    std::string Skeleton = buildSubmission(None);
+    LoadedBenchmark B = loadBenchmark(Skeleton.c_str());
+    RepairOptions Opts;
+    Opts.Exec = Exec;
+    RepairResult R = repairProgram(*B.Prog, *B.Ctx, Opts);
+    if (!R.Success)
+      return Result; // empty cohort signals baseline failure
+    Detection D = detectRaces(*B.Prog, EspBagsDetector::Mode::SRW, Exec);
+    Result.ToolCpl = D.Tree->subtreeCpl(D.Tree->root());
+  }
+
+  // Deal the paper's class proportions (5 : 29 : 25 at 59 students),
+  // drawing archetypes within each class, then shuffle.
+  unsigned NumRacy = NumStudents * 5 / 59;
+  unsigned NumOver = NumStudents * 29 / 59;
+  unsigned NumMatch = NumStudents - NumRacy - NumOver;
+  Rng R(Seed);
+  std::vector<PlacementChoice> Cohort;
+  for (unsigned I = 0; I != NumRacy; ++I)
+    Cohort.push_back(RacyChoices[R.nextBelow(std::size(RacyChoices))]);
+  for (unsigned I = 0; I != NumOver; ++I)
+    Cohort.push_back(OverSyncChoices[R.nextBelow(std::size(OverSyncChoices))]);
+  for (unsigned I = 0; I != NumMatch; ++I)
+    Cohort.push_back(MatchChoices[R.nextBelow(std::size(MatchChoices))]);
+  for (size_t I = Cohort.size(); I > 1; --I)
+    std::swap(Cohort[I - 1], Cohort[R.nextBelow(I)]);
+
+  for (const PlacementChoice &C : Cohort) {
+    StudentResult S;
+    S.Archetype = C.Archetype;
+    S.Intended = C.Intended;
+
+    std::string Src = buildSubmission(C);
+    LoadedBenchmark B = loadBenchmark(Src.c_str());
+    Detection D = detectRaces(*B.Prog, EspBagsDetector::Mode::MRW, Exec);
+    S.Ok = D.ok();
+    S.RacePairs = D.Report.Pairs.size();
+    if (!D.Report.Pairs.empty()) {
+      S.Graded = StudentClass::Racy;
+    } else {
+      S.Cpl = D.Tree->subtreeCpl(D.Tree->root());
+      // Over-synchronized means measurably longer critical path than the
+      // tool's repair (0.5% tolerance absorbs step-attribution noise).
+      S.Graded = S.Cpl >
+                         Result.ToolCpl + Result.ToolCpl / 200
+                     ? StudentClass::OverSync
+                     : StudentClass::Match;
+    }
+
+    switch (S.Graded) {
+    case StudentClass::Racy:
+      ++Result.NumRacy;
+      break;
+    case StudentClass::OverSync:
+      ++Result.NumOverSync;
+      break;
+    case StudentClass::Match:
+      ++Result.NumMatch;
+      break;
+    }
+    if (S.Graded == S.Intended)
+      ++Result.GradingAgreements;
+    Result.Students.push_back(std::move(S));
+  }
+  return Result;
+}

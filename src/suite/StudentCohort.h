@@ -1,0 +1,63 @@
+//===- StudentCohort.h - Synthetic student homework cohort -------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The student homework evaluation of paper §7.4: 59 submissions of a
+/// "insert finish statements into this parallel quicksort" assignment,
+/// graded against the repair tool's own output. Out of 59, the paper
+/// reports 5 still racy, 29 over-synchronized, and 25 matching the tool.
+///
+/// The original submissions are not public, so this module synthesizes a
+/// cohort from placement archetypes observed in such assignments (no
+/// synchronization, partial synchronization, per-call joins, per-level
+/// joins, fully serializing joins, the optimal single finish, harmless
+/// extra finishes), in the paper's class proportions. What is *measured*,
+/// not assumed, is the grading: the tool's race detector decides "racy"
+/// and the critical-path comparison against the tool's repair decides
+/// "over-synchronized" vs "matches the tool".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_SUITE_STUDENTCOHORT_H
+#define TDR_SUITE_STUDENTCOHORT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tdr {
+
+/// Grading classes (paper §7.4).
+enum class StudentClass { Racy, OverSync, Match };
+
+const char *studentClassName(StudentClass C);
+
+/// One synthesized submission and its grading.
+struct StudentResult {
+  std::string Archetype;       ///< which placement pattern was generated
+  StudentClass Intended;       ///< class the archetype was designed to be
+  StudentClass Graded;         ///< class the tool assigned
+  size_t RacePairs = 0;        ///< races the detector found
+  uint64_t Cpl = 0;            ///< critical path length (race-free only)
+  bool Ok = false;             ///< program compiled and ran
+};
+
+/// Cohort outcome.
+struct CohortResult {
+  std::vector<StudentResult> Students;
+  uint64_t ToolCpl = 0;        ///< CPL of the tool's own repair
+  int NumRacy = 0, NumOverSync = 0, NumMatch = 0;
+  int GradingAgreements = 0;   ///< students where Graded == Intended
+};
+
+/// Generates and grades a cohort. \p InputSize is the quicksort input the
+/// detector/grader runs on.
+CohortResult runStudentCohort(unsigned NumStudents = 59,
+                              uint64_t Seed = 2014, int64_t InputSize = 200);
+
+} // namespace tdr
+
+#endif // TDR_SUITE_STUDENTCOHORT_H

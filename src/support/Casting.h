@@ -1,0 +1,60 @@
+//===- Casting.h - LLVM-style isa/cast/dyn_cast -----------------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled RTTI in the LLVM style. Classes participate by providing a
+/// kind discriminator and a static classof(const Base *). The library is
+/// built without dynamic_cast-style RTTI dependence; all AST and S-DPST
+/// hierarchies use these templates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_SUPPORT_CASTING_H
+#define TDR_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace tdr {
+
+/// Returns true if \p Val is an instance of To (or a subclass).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast; asserts that the cast is valid.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast; returns null when the dynamic type does not match.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// dyn_cast that tolerates a null argument.
+template <typename To, typename From> To *dyn_cast_or_null(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast_or_null(const From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace tdr
+
+#endif // TDR_SUPPORT_CASTING_H

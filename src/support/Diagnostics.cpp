@@ -1,0 +1,25 @@
+//===- Diagnostics.cpp ----------------------------------------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include "support/SourceManager.h"
+#include "support/StringUtils.h"
+
+using namespace tdr;
+
+std::string DiagnosticsEngine::render(const SourceManager &SM) const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    const char *Severity = D.Kind == DiagKind::Error     ? "error"
+                           : D.Kind == DiagKind::Warning ? "warning"
+                                                         : "note";
+    LineCol LC = SM.lineCol(D.Loc);
+    Out += strFormat("%s:%u:%u: %s: %s\n", SM.name().c_str(), LC.Line, LC.Col,
+                     Severity, D.Message.c_str());
+  }
+  return Out;
+}

@@ -1,0 +1,70 @@
+//===- Diagnostics.h - Diagnostic collection --------------------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostics engine. Library code never prints or aborts on user
+/// errors: the lexer, parser and semantic analysis report through this
+/// engine and the caller decides how to render the collected diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_SUPPORT_DIAGNOSTICS_H
+#define TDR_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace tdr {
+
+class SourceManager;
+
+/// Severity of a diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagKind Kind = DiagKind::Error;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics emitted by the frontend and semantic analysis.
+class DiagnosticsEngine {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned numErrors() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+  /// Renders every collected diagnostic as "<name>:<line>:<col>: <severity>:
+  /// <message>\n", one per line, suitable for a terminal.
+  std::string render(const SourceManager &SM) const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace tdr
+
+#endif // TDR_SUPPORT_DIAGNOSTICS_H

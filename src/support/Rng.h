@@ -1,0 +1,57 @@
+//===- Rng.h - Deterministic pseudo-random numbers ---------------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A SplitMix64 generator. Everything random in this repository (benchmark
+/// inputs, the synthetic student cohort, property-test programs) is seeded
+/// through this class so that runs are reproducible bit-for-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_SUPPORT_RNG_H
+#define TDR_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace tdr {
+
+/// SplitMix64: tiny, fast, and high quality for non-cryptographic use.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform in [0, Bound). Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) { return next() % Bound; }
+
+  /// Uniform in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(nextBelow(
+                    static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability \p P.
+  bool nextBool(double P = 0.5) { return nextDouble() < P; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace tdr
+
+#endif // TDR_SUPPORT_RNG_H

@@ -1,0 +1,73 @@
+//===- SourceLoc.h - Source locations and ranges ----------------*- C++ -*-===//
+//
+// Part of the tdr project: test-driven repair of data races in structured
+// parallel programs (reproduction of Surendran et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight source locations used throughout the HJ-mini frontend and the
+/// repair pipeline. A SourceLoc is a byte offset into the source buffer; the
+/// SourceManager translates offsets into line/column pairs for diagnostics
+/// and for reporting where a finish statement should be inserted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_SUPPORT_SOURCELOC_H
+#define TDR_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+
+namespace tdr {
+
+/// A position in a source buffer, encoded as a byte offset.
+///
+/// An invalid location is represented by the all-ones offset; it is what a
+/// synthesized AST node (for example a finish statement inserted by the
+/// repair tool) carries before it has been pretty-printed back to text.
+class SourceLoc {
+public:
+  SourceLoc() = default;
+  explicit SourceLoc(uint32_t Offset) : Offset(Offset) {}
+
+  static SourceLoc invalid() { return SourceLoc(); }
+
+  bool isValid() const { return Offset != ~0u; }
+  uint32_t offset() const { return Offset; }
+
+  friend bool operator==(SourceLoc A, SourceLoc B) {
+    return A.Offset == B.Offset;
+  }
+  friend bool operator!=(SourceLoc A, SourceLoc B) { return !(A == B); }
+  friend bool operator<(SourceLoc A, SourceLoc B) {
+    return A.Offset < B.Offset;
+  }
+
+private:
+  uint32_t Offset = ~0u;
+};
+
+/// A half-open range [Begin, End) of source text.
+struct SourceRange {
+  SourceLoc Begin;
+  SourceLoc End;
+
+  SourceRange() = default;
+  SourceRange(SourceLoc Begin, SourceLoc End) : Begin(Begin), End(End) {}
+
+  bool isValid() const { return Begin.isValid() && End.isValid(); }
+};
+
+/// A human-readable line/column pair (both 1-based).
+struct LineCol {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  friend bool operator==(const LineCol &A, const LineCol &B) {
+    return A.Line == B.Line && A.Col == B.Col;
+  }
+};
+
+} // namespace tdr
+
+#endif // TDR_SUPPORT_SOURCELOC_H

@@ -1,0 +1,48 @@
+//===- SourceManager.cpp --------------------------------------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SourceManager.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace tdr;
+
+SourceManager::SourceManager(std::string Name, std::string Text) {
+  setBuffer(std::move(Name), std::move(Text));
+}
+
+void SourceManager::setBuffer(std::string NewName, std::string NewText) {
+  Name = std::move(NewName);
+  Text = std::move(NewText);
+  LineOffsets.clear();
+  LineOffsets.push_back(0);
+  for (uint32_t I = 0, E = static_cast<uint32_t>(Text.size()); I != E; ++I)
+    if (Text[I] == '\n')
+      LineOffsets.push_back(I + 1);
+}
+
+LineCol SourceManager::lineCol(SourceLoc Loc) const {
+  if (!Loc.isValid() || Loc.offset() > Text.size())
+    return LineCol();
+  // Find the last line offset <= Loc.
+  auto It = std::upper_bound(LineOffsets.begin(), LineOffsets.end(),
+                             Loc.offset());
+  assert(It != LineOffsets.begin() && "line table always holds offset 0");
+  uint32_t Line = static_cast<uint32_t>(It - LineOffsets.begin());
+  uint32_t Col = Loc.offset() - LineOffsets[Line - 1] + 1;
+  return LineCol{Line, Col};
+}
+
+std::string_view SourceManager::lineText(uint32_t Line) const {
+  if (Line == 0 || Line > LineOffsets.size())
+    return std::string_view();
+  uint32_t Begin = LineOffsets[Line - 1];
+  uint32_t End = Line < LineOffsets.size()
+                     ? LineOffsets[Line] - 1 // exclude the '\n'
+                     : static_cast<uint32_t>(Text.size());
+  return std::string_view(Text).substr(Begin, End - Begin);
+}

@@ -1,0 +1,58 @@
+//===- SourceManager.h - Source buffer ownership ----------------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Owns a single source buffer and maps byte offsets to line/column pairs.
+/// HJ-mini programs are small, so one buffer per SourceManager is enough;
+/// the repair driver creates a fresh manager each time it re-parses a
+/// repaired program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_SUPPORT_SOURCEMANAGER_H
+#define TDR_SUPPORT_SOURCEMANAGER_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tdr {
+
+/// Owns the text of one HJ-mini compilation unit.
+class SourceManager {
+public:
+  SourceManager() = default;
+  SourceManager(std::string Name, std::string Text);
+
+  /// Replaces the buffer contents, recomputing the line table.
+  void setBuffer(std::string Name, std::string Text);
+
+  std::string_view buffer() const { return Text; }
+  const std::string &name() const { return Name; }
+
+  /// Translates \p Loc to a 1-based line/column pair. Invalid or
+  /// out-of-range locations map to {0, 0}.
+  LineCol lineCol(SourceLoc Loc) const;
+
+  /// Returns the full text of the (1-based) line \p Line, without the
+  /// trailing newline, or an empty view if out of range.
+  std::string_view lineText(uint32_t Line) const;
+
+  /// Number of lines in the buffer (a trailing partial line counts).
+  uint32_t numLines() const { return static_cast<uint32_t>(LineOffsets.size()); }
+
+private:
+  std::string Name;
+  std::string Text;
+  /// Byte offset of the first character of each line.
+  std::vector<uint32_t> LineOffsets;
+};
+
+} // namespace tdr
+
+#endif // TDR_SUPPORT_SOURCEMANAGER_H

@@ -1,0 +1,57 @@
+//===- StringUtils.cpp ----------------------------------------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace tdr;
+
+std::string tdr::strFormatV(const char *Fmt, va_list Args) {
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  if (Needed <= 0)
+    return std::string();
+  std::string Out(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Out.data(), Out.size() + 1, Fmt, Args);
+  return Out;
+}
+
+std::string tdr::strFormat(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string Out = strFormatV(Fmt, Args);
+  va_end(Args);
+  return Out;
+}
+
+std::vector<std::string> tdr::splitString(const std::string &Text, char Sep) {
+  std::vector<std::string> Parts;
+  size_t Begin = 0;
+  while (true) {
+    size_t End = Text.find(Sep, Begin);
+    if (End == std::string::npos) {
+      Parts.push_back(Text.substr(Begin));
+      return Parts;
+    }
+    Parts.push_back(Text.substr(Begin, End - Begin));
+    Begin = End + 1;
+  }
+}
+
+std::string tdr::withThousandsSep(uint64_t Value) {
+  std::string Digits = std::to_string(Value);
+  std::string Out;
+  size_t N = Digits.size();
+  for (size_t I = 0; I != N; ++I) {
+    if (I != 0 && (N - I) % 3 == 0)
+      Out += ',';
+    Out += Digits[I];
+  }
+  return Out;
+}

@@ -1,0 +1,40 @@
+//===- StringUtils.h - printf-style formatting helpers ----------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style std::string formatting. libstdc++ shipped with GCC 12 does
+/// not provide std::format, so benches and reports use these helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_SUPPORT_STRINGUTILS_H
+#define TDR_SUPPORT_STRINGUTILS_H
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace tdr {
+
+/// Formats like vsnprintf into a std::string.
+std::string strFormatV(const char *Fmt, va_list Args);
+
+/// Formats like snprintf into a std::string.
+#if defined(__GNUC__)
+__attribute__((format(printf, 1, 2)))
+#endif
+std::string strFormat(const char *Fmt, ...);
+
+/// Splits \p Text on \p Sep, keeping empty fields.
+std::vector<std::string> splitString(const std::string &Text, char Sep);
+
+/// Returns \p Value formatted with thousands separators, e.g. 424436 ->
+/// "424,436" (matches how the paper prints race counts).
+std::string withThousandsSep(uint64_t Value);
+
+} // namespace tdr
+
+#endif // TDR_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,43 @@
+//===- Timer.h - Wall-clock timing -------------------------------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Millisecond wall-clock timer used by the benchmark harnesses to report
+/// the timing columns of Tables 2 and 3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_SUPPORT_TIMER_H
+#define TDR_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace tdr {
+
+/// Measures elapsed wall-clock time from construction (or the last reset).
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed milliseconds as a double.
+  double elapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+        .count();
+  }
+
+  /// Elapsed seconds as a double.
+  double elapsedSec() const { return elapsedMs() / 1000.0; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace tdr
+
+#endif // TDR_SUPPORT_TIMER_H

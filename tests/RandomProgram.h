@@ -1,0 +1,133 @@
+//===- RandomProgram.h - Random async-finish program generator ---*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates random HJ-mini programs for property tests: nested async /
+/// finish / block / if / loop structure around reads and writes of shared
+/// global array cells. The generator aims for racy programs (no
+/// synchronization discipline), exercising the detectors and the repair
+/// pipeline far beyond the hand-written corpus.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_TESTS_RANDOMPROGRAM_H
+#define TDR_TESTS_RANDOMPROGRAM_H
+
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+
+#include <string>
+
+namespace tdr {
+namespace test {
+
+class RandomProgramGen {
+public:
+  explicit RandomProgramGen(uint64_t Seed) : R(Seed) {}
+
+  /// Returns a full HJ-mini program. Shared state: global int arrays
+  /// D0..D2 of size Cells; every statement touches random cells.
+  std::string generate() {
+    std::string Body = stmts(/*Depth=*/0, /*Budget=*/3 + R.nextBelow(12));
+    return strFormat(R"(
+var D0: int[];
+var D1: int[];
+var D2: int[];
+
+func touch(i: int, v: int) {
+  D2[i %% %d] = v + D1[(v + i) %% %d];
+}
+
+func main() {
+  D0 = new int[%d];
+  D1 = new int[%d];
+  D2 = new int[%d];
+%s  var sum: int = 0;
+  for (var i: int = 0; i < %d; i = i + 1) {
+    sum = sum + D0[i] + D1[i] * 3 + D2[i] * 7;
+  }
+  print(sum);
+}
+)",
+                     Cells, Cells, Cells, Cells, Cells, Body.c_str(), Cells);
+  }
+
+private:
+  std::string cell(const char *Arr) {
+    return strFormat("%s[%llu]", Arr,
+                     static_cast<unsigned long long>(R.nextBelow(Cells)));
+  }
+
+  const char *arr() {
+    const char *Names[3] = {"D0", "D1", "D2"};
+    return Names[R.nextBelow(3)];
+  }
+
+  /// One random statement at nesting depth Depth.
+  std::string stmt(unsigned Depth) {
+    unsigned Kind = static_cast<unsigned>(R.nextBelow(10));
+    std::string Ind(2 * (Depth + 1), ' ');
+    if (Depth >= 4)
+      Kind %= 4; // bottom out: only simple statements
+    switch (Kind) {
+    case 0:
+    case 1: // write
+      return Ind + cell(arr()) + " = " + cell(arr()) + " + " +
+             std::to_string(R.nextBelow(100)) + ";\n";
+    case 2: // call that reads and writes
+      return Ind +
+             strFormat("touch(%llu, %llu);\n",
+                       static_cast<unsigned long long>(R.nextBelow(Cells)),
+                       static_cast<unsigned long long>(R.nextBelow(50)));
+    case 3: // compound write
+      return Ind + cell(arr()) + " += " + std::to_string(R.nextBelow(9) + 1) +
+             ";\n";
+    case 4: { // loop of writes
+      std::string Var = strFormat("k%u", VarCounter++);
+      return Ind +
+             strFormat("for (var %s: int = 0; %s < %llu; %s = %s + 1) {\n",
+                       Var.c_str(), Var.c_str(),
+                       static_cast<unsigned long long>(1 + R.nextBelow(4)),
+                       Var.c_str(), Var.c_str()) +
+             stmts(Depth + 1, 1 + R.nextBelow(2)) + Ind + "}\n";
+    }
+    case 5: { // if
+      return Ind +
+             strFormat("if (%s > %llu) {\n", cell(arr()).c_str(),
+                       static_cast<unsigned long long>(R.nextBelow(60))) +
+             stmts(Depth + 1, 1 + R.nextBelow(2)) + Ind + "}\n";
+    }
+    case 6:
+    case 7: { // async
+      return Ind + "async {\n" + stmts(Depth + 1, 1 + R.nextBelow(3)) + Ind +
+             "}\n";
+    }
+    case 8: { // finish
+      return Ind + "finish {\n" + stmts(Depth + 1, 1 + R.nextBelow(3)) + Ind +
+             "}\n";
+    }
+    default: { // bare block
+      return Ind + "{\n" + stmts(Depth + 1, 1 + R.nextBelow(2)) + Ind + "}\n";
+    }
+    }
+  }
+
+  std::string stmts(unsigned Depth, unsigned Count) {
+    std::string Out;
+    for (unsigned I = 0; I != Count; ++I)
+      Out += stmt(Depth);
+    return Out;
+  }
+
+  Rng R;
+  unsigned VarCounter = 0;
+  static constexpr int Cells = 8;
+};
+
+} // namespace test
+} // namespace tdr
+
+#endif // TDR_TESTS_RANDOMPROGRAM_H

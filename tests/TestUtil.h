@@ -1,0 +1,57 @@
+//===- TestUtil.h - Shared test helpers --------------------------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_TESTS_TESTUTIL_H
+#define TDR_TESTS_TESTUTIL_H
+
+#include "ast/AstContext.h"
+#include "frontend/Parser.h"
+#include "sema/Sema.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace tdr {
+namespace test {
+
+/// A parsed-and-checked program plus everything that owns it.
+struct ParsedProgram {
+  std::unique_ptr<SourceManager> SM;
+  std::unique_ptr<DiagnosticsEngine> Diags;
+  std::unique_ptr<AstContext> Ctx;
+  Program *Prog = nullptr;
+
+  bool ok() const { return Prog && !Diags->hasErrors(); }
+  std::string errors() const { return Diags->render(*SM); }
+};
+
+/// Parses \p Source; does not run sema.
+inline ParsedProgram parseOnly(const std::string &Source) {
+  ParsedProgram R;
+  R.SM = std::make_unique<SourceManager>("test.hj", Source);
+  R.Diags = std::make_unique<DiagnosticsEngine>();
+  R.Ctx = std::make_unique<AstContext>();
+  Parser P(R.SM->buffer(), *R.Ctx, *R.Diags);
+  R.Prog = P.parseProgram();
+  return R;
+}
+
+/// Parses and type-checks \p Source; use ASSERT_TRUE(R.ok()) << R.errors().
+inline ParsedProgram parseAndCheck(const std::string &Source) {
+  ParsedProgram R = parseOnly(Source);
+  if (!R.Diags->hasErrors())
+    runSema(*R.Prog, *R.Ctx, *R.Diags);
+  return R;
+}
+
+} // namespace test
+} // namespace tdr
+
+#endif // TDR_TESTS_TESTUTIL_H

@@ -1,0 +1,326 @@
+//===- dpst_test.cpp - S-DPST structure and query tests -------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+// Structure checks on the paper's Fibonacci example (Figure 9), LCA /
+// NS-LCA queries (Definitions 3-5), the Theorem-1 parallelism criterion,
+// and finish-node insertion (Figure 14).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "dpst/Dpst.h"
+#include "race/Detect.h"
+
+using namespace tdr;
+using namespace tdr::test;
+
+namespace {
+
+/// Builds the S-DPST of a program (no race detection).
+struct BuiltTree {
+  ParsedProgram P;
+  std::unique_ptr<Dpst> Tree;
+  ExecResult Exec;
+};
+
+BuiltTree buildTree(const std::string &Src, std::vector<int64_t> Args = {}) {
+  BuiltTree B;
+  B.P = parseAndCheck(Src);
+  EXPECT_TRUE(B.P.ok()) << B.P.errors();
+  B.Tree = std::make_unique<Dpst>();
+  DpstBuilder Builder(*B.Tree);
+  ExecOptions Opts;
+  Opts.Args = std::move(Args);
+  Opts.Monitor = &Builder;
+  B.Exec = runProgram(*B.P.Prog, Opts);
+  EXPECT_TRUE(B.Exec.Ok) << B.Exec.Error;
+  return B;
+}
+
+/// Collects all step leaves in left-to-right order.
+void collectSteps(const DpstNode *N, std::vector<const DpstNode *> &Out) {
+  if (N->isStep()) {
+    Out.push_back(N);
+    return;
+  }
+  for (const DpstNode *C : N->children())
+    collectSteps(C, Out);
+}
+
+/// Collects all nodes of a kind.
+void collectKind(const DpstNode *N, DpstKind K,
+                 std::vector<const DpstNode *> &Out) {
+  if (N->kind() == K)
+    Out.push_back(N);
+  for (const DpstNode *C : N->children())
+    collectKind(C, K, Out);
+}
+
+TEST(Dpst, SequentialProgramIsOneStepUnderMainScope) {
+  BuiltTree B = buildTree(R"(
+var X: int = 0;
+func main() {
+  X = 1;
+  X = X + 2;
+  print(X);
+}
+)");
+  // Root -> init step? (X's initializer runs as a root-level step) and the
+  // main call scope containing one merged step.
+  const DpstNode *Root = B.Tree->root();
+  ASSERT_TRUE(Root->isRoot());
+  std::vector<const DpstNode *> Steps;
+  collectSteps(Root, Steps);
+  ASSERT_EQ(Steps.size(), 2u); // global-init step + main body step
+  EXPECT_EQ(Steps[1]->parent()->kind(), DpstKind::Scope);
+  EXPECT_EQ(Steps[1]->parent()->scopeKind(), ScopeKind::Call);
+}
+
+TEST(Dpst, AsyncAndScopeNodesForFibonacci) {
+  // The Figure 8/9 program shape (n = 3): each fib call scope contains a
+  // step, two asyncs, and a trailing step (the If scope appears on the
+  // base-case path).
+  BuiltTree B = buildTree(R"(
+func fib(ret: int[], n: int) {
+  if (n < 2) {
+    ret[0] = n;
+    return;
+  }
+  var x: int[] = new int[1];
+  var y: int[] = new int[1];
+  async fib(x, n - 1);
+  async fib(y, n - 2);
+  ret[0] = x[0] + y[0];
+}
+func main() {
+  var result: int[] = new int[1];
+  async fib(result, 3);
+  print(result[0]);
+}
+)");
+  std::vector<const DpstNode *> Asyncs;
+  collectKind(B.Tree->root(), DpstKind::Async, Asyncs);
+  // fib(3): asyncs = 1 (main) + 2 (n=3) + 2 (n=2) = 5.
+  EXPECT_EQ(Asyncs.size(), 5u);
+
+  std::vector<const DpstNode *> Scopes;
+  collectKind(B.Tree->root(), DpstKind::Scope, Scopes);
+  // Call scopes: main, fib(3), fib(2), fib(1) x2, fib(0); block scopes for
+  // the taken if-branches (n<2 three times).
+  unsigned CallScopes = 0, BlockScopes = 0;
+  for (const DpstNode *S : Scopes)
+    if (S->scopeKind() == ScopeKind::Call)
+      ++CallScopes;
+    else
+      ++BlockScopes;
+  EXPECT_EQ(CallScopes, 6u);
+  EXPECT_EQ(BlockScopes, 3u);
+}
+
+TEST(Dpst, LcaAndNsLcaSkipScopeChains) {
+  BuiltTree B = buildTree(R"(
+var X: int = 0;
+func main() {
+  if (true) {
+    async { X = 1; }
+  }
+  print(X);
+}
+)");
+  std::vector<const DpstNode *> Asyncs;
+  collectKind(B.Tree->root(), DpstKind::Async, Asyncs);
+  ASSERT_EQ(Asyncs.size(), 1u);
+  std::vector<const DpstNode *> Steps;
+  collectSteps(Asyncs[0], Steps);
+  ASSERT_EQ(Steps.size(), 1u);
+  const DpstNode *WriteStep = Steps[0];
+
+  // The print step is the last step overall.
+  std::vector<const DpstNode *> AllSteps;
+  collectSteps(B.Tree->root(), AllSteps);
+  const DpstNode *ReadStep = AllSteps.back();
+
+  const DpstNode *L = B.Tree->lca(WriteStep, ReadStep);
+  EXPECT_TRUE(L->isScope()); // the main call scope
+  const DpstNode *NL = B.Tree->nsLca(WriteStep, ReadStep);
+  EXPECT_TRUE(NL->isRoot()); // first non-scope above it
+
+  // Theorem 1: parallel, because the write's non-scope child of the
+  // NS-LCA is the async.
+  EXPECT_EQ(B.Tree->nonScopeChildToward(NL, WriteStep), Asyncs[0]);
+  EXPECT_TRUE(B.Tree->mayHappenInParallel(WriteStep, ReadStep));
+}
+
+TEST(Dpst, MayHappenInParallelMatrix) {
+  BuiltTree B = buildTree(R"(
+var A: int[];
+func main() {
+  A = new int[8];
+  A[0] = 1;          // S0 (with init)
+  finish {
+    async { A[1] = 1; }  // S1
+    async { A[2] = 1; }  // S2
+  }
+  A[3] = 1;          // S3 (+ finish continuation)
+  async { A[4] = 1; }    // S4
+  A[5] = 1;          // S5
+}
+)");
+  std::vector<const DpstNode *> Steps;
+  collectSteps(B.Tree->root(), Steps);
+  // Locate the step writing each cell by weight order; simpler: use the
+  // async steps directly.
+  std::vector<const DpstNode *> Asyncs;
+  collectKind(B.Tree->root(), DpstKind::Async, Asyncs);
+  ASSERT_EQ(Asyncs.size(), 3u);
+  std::vector<const DpstNode *> S1, S2, S4;
+  collectSteps(Asyncs[0], S1);
+  collectSteps(Asyncs[1], S2);
+  collectSteps(Asyncs[2], S4);
+
+  // Siblings in one finish are parallel.
+  EXPECT_TRUE(B.Tree->mayHappenInParallel(S1[0], S2[0]));
+  // Steps after the finish are ordered after the finish's asyncs.
+  const DpstNode *Last = Steps.back();
+  EXPECT_FALSE(B.Tree->mayHappenInParallel(S1[0], Last->parent()->isRoot()
+                                                      ? Last
+                                                      : Last));
+  EXPECT_FALSE(B.Tree->mayHappenInParallel(S2[0], Last));
+  // The unfinished async is parallel with the trailing step.
+  EXPECT_TRUE(B.Tree->mayHappenInParallel(S4[0], Last));
+  // Order query.
+  EXPECT_TRUE(B.Tree->isLeftOf(S1[0], S2[0]));
+  EXPECT_FALSE(B.Tree->isLeftOf(S2[0], S1[0]));
+}
+
+TEST(Dpst, InsertFinishChangesParallelism) {
+  // Figure 14: inserting a finish above the two asyncs serializes them
+  // against the trailing step.
+  BuiltTree B = buildTree(R"(
+var X: int = 0;
+var Y: int = 0;
+func main() {
+  async { X = 1; }
+  async { Y = 2; }
+  print(X + Y);
+}
+)");
+  std::vector<const DpstNode *> Asyncs;
+  collectKind(B.Tree->root(), DpstKind::Async, Asyncs);
+  ASSERT_EQ(Asyncs.size(), 2u);
+  std::vector<const DpstNode *> WX, WY, All;
+  collectSteps(Asyncs[0], WX);
+  collectSteps(Asyncs[1], WY);
+  collectSteps(B.Tree->root(), All);
+  const DpstNode *ReadStep = All.back();
+
+  ASSERT_TRUE(B.Tree->mayHappenInParallel(WX[0], ReadStep));
+  ASSERT_TRUE(B.Tree->mayHappenInParallel(WY[0], ReadStep));
+
+  // Insert a finish adopting both asyncs under their common parent.
+  DpstNode *Parent = const_cast<DpstNode *>(Asyncs[0]->parent());
+  ASSERT_EQ(Parent, Asyncs[1]->parent());
+  size_t B0 = Asyncs[0]->indexInParent();
+  size_t E0 = Asyncs[1]->indexInParent();
+  DpstNode *F = B.Tree->insertFinish(Parent, B0, E0, nullptr);
+  ASSERT_TRUE(F->isFinish());
+  EXPECT_EQ(F->children().size(), 2u);
+  EXPECT_EQ(Asyncs[0]->parent(), F);
+  EXPECT_EQ(Asyncs[0]->depth(), F->depth() + 1);
+
+  // Now the writes are ordered before the read, but still mutually
+  // parallel.
+  EXPECT_FALSE(B.Tree->mayHappenInParallel(WX[0], ReadStep));
+  EXPECT_FALSE(B.Tree->mayHappenInParallel(WY[0], ReadStep));
+  EXPECT_TRUE(B.Tree->mayHappenInParallel(WX[0], WY[0]));
+}
+
+TEST(Dpst, StepWeightsAccumulateWork) {
+  BuiltTree B = buildTree(R"(
+func main() {
+  var s: int = 0;
+  for (var i: int = 0; i < 10; i = i + 1) { s = s + i; }
+  print(s);
+}
+)");
+  EXPECT_GT(B.Tree->subtreeWork(B.Tree->root()), 50u);
+  EXPECT_EQ(B.Tree->subtreeWork(B.Tree->root()), B.Exec.TotalWork);
+}
+
+TEST(Dpst, CplOfSequentialEqualsWork) {
+  BuiltTree B = buildTree(R"(
+func main() {
+  var s: int = 0;
+  for (var i: int = 0; i < 20; i = i + 1) { s = s + i; }
+  print(s);
+}
+)");
+  EXPECT_EQ(B.Tree->subtreeCpl(B.Tree->root()),
+            B.Tree->subtreeWork(B.Tree->root()));
+}
+
+TEST(Dpst, CplOfParallelIsLessThanWork) {
+  BuiltTree B = buildTree(R"(
+var A: int[];
+func work(i: int) {
+  var s: int = 0;
+  for (var k: int = 0; k < 200; k = k + 1) { s = s + k; }
+  A[i] = s;
+}
+func main() {
+  A = new int[4];
+  finish {
+    async work(0);
+    async work(1);
+    async work(2);
+    async work(3);
+  }
+  print(A[0]);
+}
+)");
+  uint64_t Work = B.Tree->subtreeWork(B.Tree->root());
+  uint64_t Cpl = B.Tree->subtreeCpl(B.Tree->root());
+  EXPECT_LT(Cpl * 2, Work); // at least 2x parallelism from 4 equal tasks
+}
+
+TEST(Dpst, OwnersPointIntoTheirContainers) {
+  BuiltTree B = buildTree(R"(
+var X: int = 0;
+func main() {
+  X = 1;
+  async { X = 2; }
+  X = 3;
+}
+)");
+  // The main call scope's children: step(X=1), async, step(X=3); the
+  // steps' owners must be statements of main's body block.
+  std::vector<const DpstNode *> Scopes;
+  collectKind(B.Tree->root(), DpstKind::Scope, Scopes);
+  const DpstNode *MainScope = nullptr;
+  for (const DpstNode *S : Scopes)
+    if (S->scopeKind() == ScopeKind::Call)
+      MainScope = S;
+  ASSERT_NE(MainScope, nullptr);
+  ASSERT_EQ(MainScope->children().size(), 3u);
+  const BlockStmt *Body = MainScope->container();
+  ASSERT_NE(Body, nullptr);
+  for (const DpstNode *C : MainScope->children()) {
+    ASSERT_NE(C->owner(), nullptr);
+    bool Found = false;
+    for (const Stmt *S : Body->stmts())
+      if (S == C->owner())
+        Found = true;
+    EXPECT_TRUE(Found);
+  }
+}
+
+TEST(Dpst, DotDumpContainsAllNodes) {
+  BuiltTree B = buildTree("func main() { print(1); }");
+  std::string Dot = B.Tree->dumpDot();
+  EXPECT_NE(Dot.find("digraph"), std::string::npos);
+  EXPECT_NE(Dot.find("Root:0"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,217 @@
+//===- frontend_test.cpp - Lexer and parser tests -------------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "ast/AstPrinter.h"
+#include "frontend/Lexer.h"
+#include "interp/Interpreter.h"
+
+using namespace tdr;
+using namespace tdr::test;
+
+namespace {
+
+std::vector<TokenKind> lexAll(const std::string &Src) {
+  DiagnosticsEngine Diags;
+  Lexer L(Src, Diags);
+  std::vector<TokenKind> Kinds;
+  while (true) {
+    Token T = L.lex();
+    if (T.is(TokenKind::Eof))
+      return Kinds;
+    Kinds.push_back(T.Kind);
+  }
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  auto K = lexAll("async finish var foo finishx");
+  ASSERT_EQ(K.size(), 5u);
+  EXPECT_EQ(K[0], TokenKind::KwAsync);
+  EXPECT_EQ(K[1], TokenKind::KwFinish);
+  EXPECT_EQ(K[2], TokenKind::KwVar);
+  EXPECT_EQ(K[3], TokenKind::Identifier);
+  EXPECT_EQ(K[4], TokenKind::Identifier); // keyword prefix is an identifier
+}
+
+TEST(Lexer, IntAndDoubleLiterals) {
+  DiagnosticsEngine Diags;
+  Lexer L("42 3.5 1e3 0x1F 7.25e-2 10", Diags);
+  Token T = L.lex();
+  EXPECT_EQ(T.Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(T.IntValue, 42);
+  T = L.lex();
+  EXPECT_EQ(T.Kind, TokenKind::DoubleLiteral);
+  EXPECT_DOUBLE_EQ(T.DoubleValue, 3.5);
+  T = L.lex();
+  EXPECT_EQ(T.Kind, TokenKind::DoubleLiteral);
+  EXPECT_DOUBLE_EQ(T.DoubleValue, 1000.0);
+  T = L.lex();
+  EXPECT_EQ(T.Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(T.IntValue, 31);
+  T = L.lex();
+  EXPECT_EQ(T.Kind, TokenKind::DoubleLiteral);
+  EXPECT_DOUBLE_EQ(T.DoubleValue, 0.0725);
+  T = L.lex();
+  EXPECT_EQ(T.Kind, TokenKind::IntLiteral);
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(Lexer, OperatorsIncludingCompound) {
+  auto K = lexAll("+ += == = <= << < && & | || ! != ~ ^ %= >>");
+  std::vector<TokenKind> Expected = {
+      TokenKind::Plus,      TokenKind::PlusAssign, TokenKind::EqEq,
+      TokenKind::Assign,    TokenKind::LessEq,     TokenKind::Shl,
+      TokenKind::Less,      TokenKind::AmpAmp,     TokenKind::Amp,
+      TokenKind::Pipe,      TokenKind::PipePipe,   TokenKind::Bang,
+      TokenKind::NotEq,     TokenKind::Tilde,      TokenKind::Caret,
+      TokenKind::PercentAssign, TokenKind::Shr};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  auto K = lexAll("a // line comment\n b /* block\n comment */ c");
+  EXPECT_EQ(K.size(), 3u);
+}
+
+TEST(Lexer, UnterminatedBlockCommentDiagnosed) {
+  DiagnosticsEngine Diags;
+  Lexer L("a /* never closed", Diags);
+  while (L.lex().isNot(TokenKind::Eof))
+    ;
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Parser, MinimalProgram) {
+  ParsedProgram P = parseOnly("func main() { }");
+  ASSERT_TRUE(P.Prog);
+  EXPECT_FALSE(P.Diags->hasErrors());
+  ASSERT_EQ(P.Prog->funcs().size(), 1u);
+  EXPECT_EQ(P.Prog->funcs()[0]->name(), "main");
+}
+
+TEST(Parser, PrecedenceShapesTheTree) {
+  ParsedProgram P = parseAndCheck(R"(
+func main() {
+  var x: int = 1 + 2 * 3;
+  var y: bool = 1 < 2 && 3 < 4 || false;
+  var z: int = 1 | 2 ^ 3 & 4 << 1;
+  print(x);
+  print(y);
+  print(z);
+}
+)");
+  ASSERT_TRUE(P.ok()) << P.errors();
+  ExecResult R = runProgram(*P.Prog);
+  // 1 + (2*3) = 7 ; ((1<2)&&(3<4))||false = true ;
+  // 1 | (2 ^ (3 & (4<<1))) = 1 | (2^0) = 3.
+  EXPECT_EQ(R.Output, "7\ntrue\n3\n");
+}
+
+TEST(Parser, AsyncAndFinishBodies) {
+  ParsedProgram P = parseOnly(R"(
+func f() { }
+func main() {
+  async f();
+  finish async { f(); }
+  finish {
+    async f();
+    async f();
+  }
+}
+)");
+  EXPECT_FALSE(P.Diags->hasErrors()) << P.errors();
+}
+
+TEST(Parser, ForHeaderVariants) {
+  ParsedProgram P = parseAndCheck(R"(
+func main() {
+  var s: int = 0;
+  for (var i: int = 0; i < 3; i = i + 1) { s = s + i; }
+  var j: int = 0;
+  for (; j < 2; j += 1) { s = s + 10; }
+  for (j = 0; j < 1; j = j + 1) s = s + 100;
+  print(s);
+}
+)");
+  ASSERT_TRUE(P.ok()) << P.errors();
+  ExecResult R = runProgram(*P.Prog);
+  EXPECT_EQ(R.Output, "123\n");
+}
+
+TEST(Parser, ErrorsAreReportedWithLocation) {
+  ParsedProgram P = parseOnly("func main() { var x: int = ; }");
+  EXPECT_TRUE(P.Diags->hasErrors());
+  std::string Rendered = P.errors();
+  EXPECT_NE(Rendered.find("test.hj:1:"), std::string::npos) << Rendered;
+}
+
+TEST(Parser, MissingSemicolonRecovered) {
+  ParsedProgram P = parseOnly(R"(
+func main() {
+  var x: int = 1
+  var y: int = 2;
+}
+)");
+  EXPECT_TRUE(P.Diags->hasErrors());
+  // The parser keeps going and still builds a program.
+  ASSERT_EQ(P.Prog->funcs().size(), 1u);
+}
+
+TEST(Parser, NestedArrayTypesAndNew) {
+  ParsedProgram P = parseAndCheck(R"(
+var M: double[][];
+func main() {
+  M = new double[3][4];
+  M[2][3] = 1.5;
+  print(M[2][3]);
+  print(len(M));
+  print(len(M[0]));
+}
+)");
+  ASSERT_TRUE(P.ok()) << P.errors();
+  ExecResult R = runProgram(*P.Prog);
+  EXPECT_EQ(R.Output, "1.5\n3\n4\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Round-trip: print(parse(print(parse(src)))) is a fixpoint
+//===----------------------------------------------------------------------===//
+
+class RoundTrip : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(RoundTrip, PrintParsePrintIsFixpoint) {
+  ParsedProgram P1 = parseAndCheck(GetParam());
+  ASSERT_TRUE(P1.ok()) << P1.errors();
+  std::string S1 = printProgram(*P1.Prog);
+  ParsedProgram P2 = parseAndCheck(S1);
+  ASSERT_TRUE(P2.ok()) << P2.errors() << "\n" << S1;
+  std::string S2 = printProgram(*P2.Prog);
+  EXPECT_EQ(S1, S2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Snippets, RoundTrip,
+    ::testing::Values(
+        "func main() { print(1 + 2 * -3); }",
+        "func main() { print((1 + 2) * 3); }",
+        "func main() { var b: bool = !(1 < 2) || 3 >= 4; print(b); }",
+        R"(var G: int[];
+func main() {
+  G = new int[4];
+  finish {
+    async G[0] = 1;
+    async { G[1] = 2; }
+  }
+  if (G[0] > 0) { print(G[0]); } else print(G[1]);
+  while (false) { }
+  for (var i: int = 0; i < 2; i = i + 1) print(i);
+})",
+        "func f(x: double): double { return x * 2.0; }\n"
+        "func main() { print(f(2.25)); }",
+        "func main() { print(1.0e10); print(0.5); print(1000000.0); }"));
+
+} // namespace

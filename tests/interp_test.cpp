@@ -1,0 +1,266 @@
+//===- interp_test.cpp - Sequential interpreter tests ---------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "interp/Interpreter.h"
+
+using namespace tdr;
+using namespace tdr::test;
+
+namespace {
+
+std::string runOutput(const std::string &Src,
+                      std::vector<int64_t> Args = {}) {
+  ParsedProgram P = parseAndCheck(Src);
+  EXPECT_TRUE(P.ok()) << P.errors();
+  if (!P.ok())
+    return "<compile error>";
+  ExecOptions Opts;
+  Opts.Args = std::move(Args);
+  ExecResult R = runProgram(*P.Prog, Opts);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  return R.Output;
+}
+
+std::string runError(const std::string &Src) {
+  ParsedProgram P = parseAndCheck(Src);
+  EXPECT_TRUE(P.ok()) << P.errors();
+  ExecResult R = runProgram(*P.Prog);
+  EXPECT_FALSE(R.Ok);
+  return R.Error;
+}
+
+TEST(Interp, IntegerArithmetic) {
+  EXPECT_EQ(runOutput(R"(
+func main() {
+  print(7 / 2);
+  print(-7 / 2);
+  print(7 % 3);
+  print(-7 % 3);
+  print(1 << 10);
+  print(-8 >> 1);
+  print(5 & 3);
+  print(5 | 3);
+  print(5 ^ 3);
+  print(~0);
+}
+)"),
+            "3\n-3\n1\n-1\n1024\n-4\n1\n7\n6\n-1\n");
+}
+
+TEST(Interp, DoubleArithmeticAndBuiltins) {
+  EXPECT_EQ(runOutput(R"(
+func main() {
+  print(1.5 + 2.25);
+  print(sqrt(16.0));
+  print(abs(-2.5));
+  print(min(1.5, 2.5));
+  print(max(1, 2));
+  print(floor(2.9));
+  print(pow(2.0, 10.0));
+  print(toInt(3.99));
+  print(toDouble(4));
+}
+)"),
+            "3.75\n4\n2.5\n1.5\n2\n2\n1024\n3\n4\n");
+}
+
+TEST(Interp, ShortCircuitEvaluation) {
+  // The second operand must not run: it would divide by zero.
+  EXPECT_EQ(runOutput(R"(
+func boom(): bool { return 1 / 0 > 0; }
+func main() {
+  var zero: int = 0;
+  if (false && boom()) { print(1); } else { print(2); }
+  if (true || boom()) { print(3); }
+}
+)"),
+            "2\n3\n");
+}
+
+TEST(Interp, GlobalInitializersRunInOrder) {
+  EXPECT_EQ(runOutput(R"(
+var A: int = 5;
+var B: int = A * 2;
+var C: int = A + B;
+func main() { print(C); }
+)"),
+            "15\n");
+}
+
+TEST(Interp, RecursionAndReturns) {
+  EXPECT_EQ(runOutput(R"(
+func fact(n: int): int {
+  if (n <= 1) { return 1; }
+  return n * fact(n - 1);
+}
+func main() { print(fact(10)); }
+)"),
+            "3628800\n");
+}
+
+TEST(Interp, FunctionWithoutReturnYieldsDefault) {
+  EXPECT_EQ(runOutput(R"(
+func f(x: int): int {
+  if (x > 0) { return 7; }
+}
+func main() { print(f(0)); print(f(1)); }
+)"),
+            "0\n7\n");
+}
+
+TEST(Interp, AsyncSeesSnapshotOfLocals) {
+  // Depth-first semantics: the async runs at its spawn point with a copy
+  // of the frame; the parent's later writes are unobservable either way,
+  // but the snapshot is what makes that well-defined in parallel runs.
+  EXPECT_EQ(runOutput(R"(
+var Out: int[];
+func main() {
+  Out = new int[2];
+  var x: int = 10;
+  finish {
+    async { Out[0] = x; }
+  }
+  x = 20;
+  finish {
+    async { Out[1] = x; }
+  }
+  print(Out[0]);
+  print(Out[1]);
+}
+)"),
+            "10\n20\n");
+}
+
+TEST(Interp, ArraysAreSharedReferences) {
+  EXPECT_EQ(runOutput(R"(
+func fill(a: int[], v: int) {
+  for (var i: int = 0; i < len(a); i = i + 1) { a[i] = v; }
+}
+func main() {
+  var a: int[] = new int[3];
+  var b: int[] = a;
+  fill(b, 9);
+  print(a[0] + a[1] + a[2]);
+}
+)"),
+            "27\n");
+}
+
+TEST(Interp, DeterministicRand) {
+  std::string First = runOutput(R"(
+func main() {
+  randSeed(42);
+  print(randInt(1000));
+  print(randInt(1000));
+}
+)");
+  std::string Second = runOutput(R"(
+func main() {
+  randSeed(42);
+  print(randInt(1000));
+  print(randInt(1000));
+}
+)");
+  EXPECT_EQ(First, Second);
+}
+
+TEST(Interp, ArgsBuiltin) {
+  EXPECT_EQ(runOutput("func main() { print(arg(0) + arg(1)); print(arg(9)); }",
+                      {30, 12}),
+            "42\n0\n");
+}
+
+TEST(Interp, DivisionByZeroFails) {
+  EXPECT_NE(runError("func main() { print(1 / 0); }").find("division by zero"),
+            std::string::npos);
+  EXPECT_NE(runError("func main() { print(1 % 0); }").find("modulo by zero"),
+            std::string::npos);
+}
+
+TEST(Interp, IndexOutOfBoundsFails) {
+  std::string E = runError(R"(
+func main() {
+  var a: int[] = new int[3];
+  a[3] = 1;
+}
+)");
+  EXPECT_NE(E.find("out of bounds"), std::string::npos) << E;
+}
+
+TEST(Interp, NullArrayFails) {
+  std::string E = runError(R"(
+var A: int[];
+func main() { A[0] = 1; }
+)");
+  EXPECT_NE(E.find("null array"), std::string::npos) << E;
+}
+
+TEST(Interp, RunawayLoopHitsWorkLimit) {
+  ParsedProgram P = parseAndCheck("func main() { while (true) { } }");
+  ASSERT_TRUE(P.ok());
+  ExecOptions Opts;
+  Opts.WorkLimit = 10000;
+  ExecResult R = runProgram(*P.Prog, Opts);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("work limit"), std::string::npos);
+}
+
+TEST(Interp, RunawayRecursionHitsDepthLimit) {
+  ParsedProgram P = parseAndCheck(R"(
+func f(n: int): int { return f(n + 1); }
+func main() { print(f(0)); }
+)");
+  ASSERT_TRUE(P.ok());
+  ExecOptions Opts;
+  Opts.MaxCallDepth = 100;
+  ExecResult R = runProgram(*P.Prog, Opts);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("call depth"), std::string::npos);
+}
+
+TEST(Interp, CompoundAssignOnArrayReadsThenWrites) {
+  EXPECT_EQ(runOutput(R"(
+var A: int[];
+func main() {
+  A = new int[1];
+  A[0] = 5;
+  A[0] += 3;
+  A[0] *= 2;
+  print(A[0]);
+}
+)"),
+            "16\n");
+}
+
+TEST(Interp, SerialElisionEquivalence) {
+  // async/finish contribute nothing to a sequential execution.
+  const char *WithPar = R"(
+var S: int = 0;
+func main() {
+  finish {
+    async { S = S + 1; }
+    async { S = S + 2; }
+  }
+  print(S);
+}
+)";
+  EXPECT_EQ(runOutput(WithPar), "3\n");
+}
+
+TEST(Interp, WorkIsDeterministic) {
+  ParsedProgram P1 = parseAndCheck("func main() { print(arg(0) * 2); }");
+  ParsedProgram P2 = parseAndCheck("func main() { print(arg(0) * 2); }");
+  ExecOptions O;
+  O.Args = {21};
+  ExecResult R1 = runProgram(*P1.Prog, O);
+  ExecResult R2 = runProgram(*P2.Prog, O);
+  EXPECT_EQ(R1.TotalWork, R2.TotalWork);
+  EXPECT_EQ(R1.Output, "42\n");
+}
+
+} // namespace

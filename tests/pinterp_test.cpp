@@ -1,0 +1,117 @@
+//===- pinterp_test.cpp - Parallel interpreter tests ----------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+// The parallel engine must agree with the sequential engine on race-free
+// programs: same program, same input, same output. The benchmark suite's
+// correct versions (which the detector certifies race free) are the
+// cross-check corpus.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "pinterp/ParallelInterpreter.h"
+#include "runtime/Runtime.h"
+#include "suite/Benchmarks.h"
+#include "suite/Experiment.h"
+
+using namespace tdr;
+using namespace tdr::test;
+
+namespace {
+
+TEST(ParallelInterp, SimpleFinishAsync) {
+  const char *Src = R"(
+var A: int[];
+func main() {
+  A = new int[100];
+  finish {
+    for (var i: int = 0; i < 100; i = i + 1) {
+      async {
+        A[i] = i * i;
+      }
+    }
+  }
+  var sum: int = 0;
+  for (var i: int = 0; i < 100; i = i + 1) { sum = sum + A[i]; }
+  print(sum);
+}
+)";
+  ParsedProgram P = parseAndCheck(Src);
+  ASSERT_TRUE(P.ok()) << P.errors();
+  Runtime RT(4);
+  ExecResult R = runProgramParallel(*P.Prog, RT);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, "328350\n");
+}
+
+TEST(ParallelInterp, RuntimeErrorPropagates) {
+  const char *Src = R"(
+var A: int[];
+func main() {
+  A = new int[4];
+  finish {
+    async { A[9] = 1; }
+  }
+  print(0);
+}
+)";
+  ParsedProgram P = parseAndCheck(Src);
+  ASSERT_TRUE(P.ok()) << P.errors();
+  Runtime RT(2);
+  ExecResult R = runProgramParallel(*P.Prog, RT);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("out of bounds"), std::string::npos) << R.Error;
+}
+
+class ParallelVsSequential : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(ParallelVsSequential, SameOutputAsSequential) {
+  const BenchmarkSpec *Spec = findBenchmark(GetParam());
+  ASSERT_NE(Spec, nullptr);
+  LoadedBenchmark B = loadBenchmark(Spec->Source);
+  ExecOptions Exec;
+  Exec.Args = Spec->RepairArgs;
+
+  ExecResult Seq = runProgram(*B.Prog, Exec);
+  ASSERT_TRUE(Seq.Ok) << Seq.Error;
+
+  Runtime RT(4);
+  ExecResult Par = runProgramParallel(*B.Prog, RT, Exec);
+  ASSERT_TRUE(Par.Ok) << Par.Error;
+  EXPECT_EQ(Par.Output, Seq.Output) << Spec->Name;
+}
+
+// Benchmarks that draw random numbers only in sequential sections and are
+// race free, so the parallel engine must be output-deterministic.
+INSTANTIATE_TEST_SUITE_P(
+    Suite, ParallelVsSequential,
+    ::testing::Values("Fibonacci", "Quicksort", "Mergesort", "Spanning Tree",
+                      "Nqueens", "Series", "SOR", "Crypt", "Sparse", "LUFact",
+                      "FannKuch", "Mandelbrot"),
+    [](const ::testing::TestParamInfo<const char *> &Info) {
+      std::string Name = Info.param;
+      Name.erase(std::remove(Name.begin(), Name.end(), ' '), Name.end());
+      return Name;
+    });
+
+TEST(ParallelInterp, RepeatedRunsAreDeterministic) {
+  const BenchmarkSpec *Spec = findBenchmark("Mergesort");
+  ASSERT_NE(Spec, nullptr);
+  LoadedBenchmark B = loadBenchmark(Spec->Source);
+  ExecOptions Exec;
+  Exec.Args = {128};
+  std::string First;
+  for (int I = 0; I != 5; ++I) {
+    Runtime RT(4);
+    ExecResult R = runProgramParallel(*B.Prog, RT, Exec);
+    ASSERT_TRUE(R.Ok) << R.Error;
+    if (I == 0)
+      First = R.Output;
+    else
+      EXPECT_EQ(R.Output, First) << "run " << I;
+  }
+}
+
+} // namespace

@@ -1,0 +1,221 @@
+//===- placement_test.cpp - Finish placement DP tests ---------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+// Unit and property tests for Algorithms 1-3: the paper's Figures 3/4
+// worked example, hand-built graphs, and randomized comparison against the
+// exhaustive reference search.
+//
+//===----------------------------------------------------------------------===//
+
+#include "repair/FinishPlacement.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace tdr;
+
+namespace {
+
+/// The paper's Figure 3 program: asyncs A..F with execution times
+/// 500, 10, 10, 400, 600, 500 and dependences B->D, A->F, D->F.
+PlacementProblem figure3Problem() {
+  PlacementProblem P;
+  P.Times = {500, 10, 10, 400, 600, 500};
+  P.IsAsync = {true, true, true, true, true, true};
+  P.Edges = {{1, 3}, {0, 5}, {3, 5}};
+  return P;
+}
+
+ValidRangeFn alwaysValid() {
+  return [](uint32_t, uint32_t) { return true; };
+}
+
+TEST(PlacementEval, Figure4CriticalPathLengths) {
+  // Figure 4 lists four placements with their CPLs. Parenthesized groups
+  // are finish ranges over A..F = indices 0..5.
+  PlacementProblem P = figure3Problem();
+  // ( A ) ( B ) C ( D ) E F  -> 1510
+  EXPECT_EQ(evalPlacementCost(P, {{0, 0}, {1, 1}, {3, 3}}), 1510u);
+  // ( A B ) C ( D ) E F      -> 1500
+  EXPECT_EQ(evalPlacementCost(P, {{0, 1}, {3, 3}}), 1500u);
+  // ( A B C ) ( D ) E F      -> 1500
+  EXPECT_EQ(evalPlacementCost(P, {{0, 2}, {3, 3}}), 1500u);
+  // ( A ( B ) C D E ) F      -> 1110
+  EXPECT_EQ(evalPlacementCost(P, {{0, 4}, {1, 1}}), 1110u);
+}
+
+TEST(PlacementDp, BeatsEveryFigure4Placement) {
+  // Figure 4 lists four placements, the best at CPL 1110. The DP finds
+  // ( A ( B ) C D ) E F: the inner finish orders B before D, the outer
+  // finish orders A and D before F, and E never blocks F — CPL 1100,
+  // strictly better than all the placements the figure enumerates (the
+  // figure is illustrative, not exhaustive).
+  PlacementProblem P = figure3Problem();
+  PlacementResult R = placeFinishes(P, alwaysValid());
+  ASSERT_TRUE(R.Feasible);
+  EXPECT_EQ(R.Cost, 1100u);
+  EXPECT_TRUE(placementResolvesAllEdges(P, R.Finishes));
+  EXPECT_EQ(evalPlacementCost(P, R.Finishes), R.Cost);
+}
+
+TEST(PlacementDp, EmptyAndSingletonProblems) {
+  PlacementProblem Empty;
+  PlacementResult R = placeFinishes(Empty, alwaysValid());
+  EXPECT_TRUE(R.Feasible);
+  EXPECT_TRUE(R.Finishes.empty());
+
+  PlacementProblem One;
+  One.Times = {7};
+  One.IsAsync = {true};
+  R = placeFinishes(One, alwaysValid());
+  EXPECT_TRUE(R.Feasible);
+  EXPECT_EQ(R.Cost, 7u);
+  EXPECT_TRUE(R.Finishes.empty());
+}
+
+TEST(PlacementDp, NoEdgesMeansNoFinishes) {
+  PlacementProblem P;
+  P.Times = {5, 10, 20, 5};
+  P.IsAsync = {true, true, true, false};
+  PlacementResult R = placeFinishes(P, alwaysValid());
+  ASSERT_TRUE(R.Feasible);
+  EXPECT_TRUE(R.Finishes.empty());
+  // Three asyncs spawn instantly; the final step runs after zero delay.
+  EXPECT_EQ(R.Cost, 20u);
+}
+
+TEST(PlacementDp, SingleDependenceJoinsOnlyTheSource) {
+  // async(100) async(1) step(1), edge async0 -> step2. Optimal wraps only
+  // the first async... except wrapping [0,0] serializes it before async1
+  // spawns; [0,1] delays nothing extra because async1 is instant spawn.
+  PlacementProblem P;
+  P.Times = {100, 50, 1};
+  P.IsAsync = {true, true, false};
+  P.Edges = {{0, 2}};
+  PlacementResult R = placeFinishes(P, alwaysValid());
+  ASSERT_TRUE(R.Feasible);
+  EXPECT_TRUE(placementResolvesAllEdges(P, R.Finishes));
+  // Either {(0,0)} or {(0,1)} costs max(100 + 1, 50-ish) = 101.
+  EXPECT_EQ(R.Cost, 101u);
+}
+
+TEST(PlacementDp, ValidityRestrictionForcesWiderFinish) {
+  // Figure 5 scenario: A1 A2 A3 A4 with races A2->A4, A3->A4, and the
+  // scope forbids any range that starts at A2 without covering A1.
+  PlacementProblem P;
+  P.Times = {10, 10, 10, 10};
+  P.IsAsync = {true, true, true, true};
+  P.Edges = {{1, 3}, {2, 3}};
+  auto Valid = [](uint32_t I, uint32_t K) {
+    if (I == K)
+      return true;
+    return !(I == 1 && K >= 1); // ranges starting at A2 are unmappable
+  };
+  PlacementResult R = placeFinishes(P, Valid);
+  ASSERT_TRUE(R.Feasible);
+  EXPECT_TRUE(placementResolvesAllEdges(P, R.Finishes));
+  EXPECT_EQ(evalPlacementCost(P, R.Finishes), R.Cost);
+}
+
+TEST(PlacementDp, ChainOfDependencesSerializes) {
+  // a0 -> a1 -> a2: each must finish before the next starts.
+  PlacementProblem P;
+  P.Times = {10, 20, 30};
+  P.IsAsync = {true, true, true};
+  P.Edges = {{0, 1}, {1, 2}};
+  PlacementResult R = placeFinishes(P, alwaysValid());
+  ASSERT_TRUE(R.Feasible);
+  EXPECT_EQ(R.Cost, 60u);
+  EXPECT_TRUE(placementResolvesAllEdges(P, R.Finishes));
+}
+
+TEST(PlacementDp, PreexistingFinishChildBlocksLikeAStep) {
+  // A finish child (IsAsync = false) delays its successors.
+  PlacementProblem P;
+  P.Times = {100, 50};
+  P.IsAsync = {false, true};
+  PlacementResult R = placeFinishes(P, alwaysValid());
+  ASSERT_TRUE(R.Feasible);
+  EXPECT_EQ(R.Cost, 150u);
+}
+
+//===----------------------------------------------------------------------===//
+// Property tests: DP vs exhaustive reference on random problems
+//===----------------------------------------------------------------------===//
+
+class PlacementProperty : public ::testing::TestWithParam<uint64_t> {};
+
+PlacementProblem randomProblem(Rng &R, size_t N) {
+  PlacementProblem P;
+  for (size_t I = 0; I != N; ++I) {
+    P.Times.push_back(R.nextInRange(1, 100) * 10);
+    P.IsAsync.push_back(R.nextBool(0.7));
+  }
+  // Random forward edges whose sources are asyncs.
+  size_t MaxEdges = R.nextBelow(N) + 1;
+  for (size_t E = 0; E != MaxEdges; ++E) {
+    uint32_t X = static_cast<uint32_t>(R.nextBelow(N - 1));
+    uint32_t Y =
+        static_cast<uint32_t>(X + 1 + R.nextBelow(N - X - 1));
+    if (!P.IsAsync[X])
+      continue;
+    P.Edges.push_back({X, Y});
+  }
+  std::sort(P.Edges.begin(), P.Edges.end());
+  P.Edges.erase(std::unique(P.Edges.begin(), P.Edges.end()), P.Edges.end());
+  return P;
+}
+
+TEST_P(PlacementProperty, DpMatchesExhaustiveSearch) {
+  Rng R(GetParam());
+  for (int Trial = 0; Trial != 40; ++Trial) {
+    size_t N = 2 + R.nextBelow(7); // up to 8 nodes: brute force tractable
+    PlacementProblem P = randomProblem(R, N);
+
+    // A random validity oracle (deterministic per range).
+    uint64_t ValSeed = R.next();
+    auto Valid = [ValSeed](uint32_t I, uint32_t K) {
+      if (I == K)
+        return true;
+      Rng VR(ValSeed ^ (static_cast<uint64_t>(I) << 32 | K));
+      return VR.nextBool(0.8);
+    };
+
+    PlacementResult Dp = placeFinishes(P, Valid);
+    PlacementResult Brute = bruteForcePlacement(P, Valid);
+    ASSERT_EQ(Dp.Feasible, Brute.Feasible) << "trial " << Trial;
+    if (!Dp.Feasible)
+      continue;
+    EXPECT_EQ(Dp.Cost, Brute.Cost) << "trial " << Trial;
+    EXPECT_TRUE(placementResolvesAllEdges(P, Dp.Finishes))
+        << "trial " << Trial;
+    EXPECT_EQ(evalPlacementCost(P, Dp.Finishes), Dp.Cost)
+        << "trial " << Trial;
+  }
+}
+
+TEST_P(PlacementProperty, SolutionsAreSoundOnLargerProblems) {
+  Rng R(GetParam() * 7919 + 13);
+  for (int Trial = 0; Trial != 15; ++Trial) {
+    size_t N = 10 + R.nextBelow(60);
+    PlacementProblem P = randomProblem(R, N);
+    PlacementResult Dp = placeFinishes(P, [](uint32_t, uint32_t) {
+      return true;
+    });
+    ASSERT_TRUE(Dp.Feasible);
+    EXPECT_TRUE(placementResolvesAllEdges(P, Dp.Finishes));
+    EXPECT_EQ(evalPlacementCost(P, Dp.Finishes), Dp.Cost);
+    // Never worse than fully serializing everything.
+    uint64_t Serial = 0;
+    for (uint64_t T : P.Times)
+      Serial += T;
+    EXPECT_LE(Dp.Cost, Serial);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlacementProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 17u, 99u,
+                                           1234u));
+
+} // namespace

@@ -1,0 +1,93 @@
+//===- repair_property_test.cpp - Randomized end-to-end repair tests ------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+// The pipeline's central guarantees, checked on random async-finish
+// programs: after repair the program (1) is race free for the test input,
+// (2) produces the serial elision's output, (3) does no extra work, and
+// (4) the repaired source round-trips through the parser.
+//
+//===----------------------------------------------------------------------===//
+
+#include "RandomProgram.h"
+#include "TestUtil.h"
+
+#include "ast/AstPrinter.h"
+#include "ast/Transforms.h"
+#include "race/Detect.h"
+#include "repair/RepairDriver.h"
+
+using namespace tdr;
+using namespace tdr::test;
+
+namespace {
+
+class RepairProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RepairProperty, RepairedProgramsAreRaceFreeAndEquivalent) {
+  Rng SeedGen(GetParam());
+  for (int Trial = 0; Trial != 20; ++Trial) {
+    RandomProgramGen Gen(SeedGen.next());
+    std::string Src = Gen.generate();
+
+    // Specification: the serial elision's output.
+    ParsedProgram Elided = parseAndCheck(Src);
+    ASSERT_TRUE(Elided.ok()) << Elided.errors() << "\n" << Src;
+    elideParallelism(*Elided.Prog);
+    ASSERT_TRUE(runSema(*Elided.Prog, *Elided.Ctx, *Elided.Diags));
+    ExecResult Spec = runProgram(*Elided.Prog);
+    ASSERT_TRUE(Spec.Ok) << Spec.Error;
+
+    // Repair the racy program.
+    ParsedProgram P = parseAndCheck(Src);
+    ASSERT_TRUE(P.ok());
+    RepairOptions Opts;
+    RepairResult R = repairProgram(*P.Prog, *P.Ctx, Opts);
+    ASSERT_TRUE(R.Success) << R.Error << "\ntrial " << Trial << "\n" << Src;
+
+    // (1) race free now.
+    Detection After = detectRaces(*P.Prog);
+    ASSERT_TRUE(After.ok()) << After.Exec.Error;
+    EXPECT_TRUE(After.Report.Pairs.empty())
+        << "trial " << Trial << "\n"
+        << Src << "\nrepaired:\n"
+        << printProgram(*P.Prog);
+
+    // (2) elision semantics preserved.
+    EXPECT_EQ(After.Exec.Output, Spec.Output)
+        << "trial " << Trial << "\n"
+        << Src << "\nrepaired:\n"
+        << printProgram(*P.Prog);
+
+    // (3) the repaired source round-trips.
+    std::string Printed = printProgram(*P.Prog);
+    ParsedProgram P2 = parseAndCheck(Printed);
+    ASSERT_TRUE(P2.ok()) << P2.errors() << "\n" << Printed;
+    Detection D2 = detectRaces(*P2.Prog);
+    ASSERT_TRUE(D2.ok()) << D2.Exec.Error;
+    EXPECT_TRUE(D2.Report.Pairs.empty()) << Printed;
+    EXPECT_EQ(D2.Exec.Output, Spec.Output) << Printed;
+  }
+}
+
+TEST_P(RepairProperty, SrwModeConvergesToRaceFreedom) {
+  Rng SeedGen(GetParam() * 31 + 7);
+  for (int Trial = 0; Trial != 10; ++Trial) {
+    RandomProgramGen Gen(SeedGen.next());
+    std::string Src = Gen.generate();
+    ParsedProgram P = parseAndCheck(Src);
+    ASSERT_TRUE(P.ok());
+    RepairOptions Opts;
+    Opts.Mode = EspBagsDetector::Mode::SRW;
+    Opts.MaxIterations = 20; // SRW may need several repair rounds
+    RepairResult R = repairProgram(*P.Prog, *P.Ctx, Opts);
+    ASSERT_TRUE(R.Success) << R.Error << "\n" << Src;
+    Detection After = detectRaces(*P.Prog);
+    EXPECT_TRUE(After.Report.Pairs.empty()) << Src;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RepairProperty,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+} // namespace

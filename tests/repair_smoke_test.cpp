@@ -1,0 +1,173 @@
+//===- repair_smoke_test.cpp - End-to-end pipeline smoke tests ------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+// End-to-end checks on the paper's running examples: strip the finishes
+// from a correct program, repair it, and verify the result is race free
+// and equivalent to the serial elision.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "ast/AstPrinter.h"
+#include "ast/Transforms.h"
+#include "race/Detect.h"
+#include "repair/RepairDriver.h"
+#include "sched/Schedule.h"
+
+using namespace tdr;
+using namespace tdr::test;
+
+namespace {
+
+/// The Fibonacci program of paper Figure 8 (BoxInteger fields become
+/// single-element arrays in HJ-mini).
+const char *FibSource = R"(
+func fib(ret: int[], n: int) {
+  if (n < 2) {
+    ret[0] = n;
+    return;
+  }
+  var x: int[] = new int[1];
+  var y: int[] = new int[1];
+  async fib(x, n - 1);
+  async fib(y, n - 2);
+  ret[0] = x[0] + y[0];
+}
+
+func main() {
+  var result: int[] = new int[1];
+  async fib(result, arg(0));
+  print(result[0]);
+}
+)";
+
+TEST(RepairSmoke, FibonacciHasRacesWithoutFinish) {
+  ParsedProgram P = parseAndCheck(FibSource);
+  ASSERT_TRUE(P.ok()) << P.errors();
+  ExecOptions Exec;
+  Exec.Args = {8};
+  Detection D = detectRaces(*P.Prog, EspBagsDetector::Mode::MRW, Exec);
+  ASSERT_TRUE(D.ok()) << D.Exec.Error;
+  EXPECT_GT(D.Report.Pairs.size(), 0u);
+}
+
+TEST(RepairSmoke, FibonacciRepairMakesRaceFree) {
+  ParsedProgram P = parseAndCheck(FibSource);
+  ASSERT_TRUE(P.ok()) << P.errors();
+
+  RepairOptions Opts;
+  Opts.Exec.Args = {8};
+  RepairResult R = repairProgram(*P.Prog, *P.Ctx, Opts);
+  ASSERT_TRUE(R.Success) << R.Error;
+  EXPECT_GT(R.Stats.FinishesInserted, 0u);
+
+  // The repaired program is race free and computes fib(8) = 21.
+  Detection D = detectRaces(*P.Prog, EspBagsDetector::Mode::MRW, Opts.Exec);
+  ASSERT_TRUE(D.ok()) << D.Exec.Error;
+  EXPECT_TRUE(D.Report.Pairs.empty());
+  EXPECT_EQ(D.Exec.Output, "21\n");
+}
+
+TEST(RepairSmoke, RepairedSourceRoundTrips) {
+  std::string Repaired;
+  RepairOptions Opts;
+  Opts.Exec.Args = {8};
+  RepairResult R = repairSource(FibSource, Repaired, Opts);
+  ASSERT_TRUE(R.Success) << R.Error;
+  ASSERT_FALSE(Repaired.empty());
+
+  // The printed repaired program parses, checks, and is race free.
+  ParsedProgram P2 = parseAndCheck(Repaired);
+  ASSERT_TRUE(P2.ok()) << P2.errors() << "\n" << Repaired;
+  Detection D = detectRaces(*P2.Prog, EspBagsDetector::Mode::MRW, Opts.Exec);
+  ASSERT_TRUE(D.ok()) << D.Exec.Error;
+  EXPECT_TRUE(D.Report.Pairs.empty()) << Repaired;
+  EXPECT_EQ(D.Exec.Output, "21\n");
+}
+
+TEST(RepairSmoke, RepairPreservesSerialElisionSemantics) {
+  ParsedProgram P = parseAndCheck(FibSource);
+  ASSERT_TRUE(P.ok()) << P.errors();
+  ExecOptions Exec;
+  Exec.Args = {10};
+
+  // Serial elision output (the spec the repair must preserve).
+  ParsedProgram Elided = parseAndCheck(FibSource);
+  ASSERT_TRUE(Elided.ok());
+  elideParallelism(*Elided.Prog);
+  ASSERT_TRUE(runSema(*Elided.Prog, *Elided.Ctx, *Elided.Diags));
+  ExecResult Spec = runProgram(*Elided.Prog, Exec);
+  ASSERT_TRUE(Spec.Ok) << Spec.Error;
+
+  RepairOptions Opts;
+  Opts.Exec = Exec;
+  RepairResult R = repairProgram(*P.Prog, *P.Ctx, Opts);
+  ASSERT_TRUE(R.Success) << R.Error;
+  ExecResult Got = runProgram(*P.Prog, Exec);
+  ASSERT_TRUE(Got.Ok) << Got.Error;
+  EXPECT_EQ(Got.Output, Spec.Output);
+}
+
+TEST(RepairSmoke, MergesortExampleFromFigure1) {
+  // Paper Figure 1: a finish around the two recursive asyncs is needed.
+  const char *Src = R"(
+var A: int[];
+
+func merge(lo: int, mid: int, hi: int) {
+  var tmp: int[] = new int[hi - lo + 1];
+  var i: int = lo;
+  var j: int = mid + 1;
+  var k: int = 0;
+  while (i <= mid && j <= hi) {
+    if (A[i] <= A[j]) { tmp[k] = A[i]; i = i + 1; }
+    else { tmp[k] = A[j]; j = j + 1; }
+    k = k + 1;
+  }
+  while (i <= mid) { tmp[k] = A[i]; i = i + 1; k = k + 1; }
+  while (j <= hi) { tmp[k] = A[j]; j = j + 1; k = k + 1; }
+  for (var t: int = 0; t < k; t = t + 1) { A[lo + t] = tmp[t]; }
+}
+
+func mergesort(m: int, n: int) {
+  if (m < n) {
+    var mid: int = m + (n - m) / 2;
+    async mergesort(m, mid);
+    async mergesort(mid + 1, n);
+    merge(m, mid, n);
+  }
+}
+
+func main() {
+  var n: int = arg(0);
+  A = new int[n];
+  randSeed(7);
+  for (var i: int = 0; i < n; i = i + 1) { A[i] = randInt(1000); }
+  mergesort(0, n - 1);
+  var sorted: bool = true;
+  for (var i: int = 1; i < n; i = i + 1) {
+    if (A[i - 1] > A[i]) { sorted = false; }
+  }
+  print(sorted);
+}
+)";
+  ParsedProgram P = parseAndCheck(Src);
+  ASSERT_TRUE(P.ok()) << P.errors();
+
+  RepairOptions Opts;
+  Opts.Exec.Args = {64};
+  RepairResult R = repairProgram(*P.Prog, *P.Ctx, Opts);
+  ASSERT_TRUE(R.Success) << R.Error;
+
+  Detection D = detectRaces(*P.Prog, EspBagsDetector::Mode::MRW, Opts.Exec);
+  ASSERT_TRUE(D.ok()) << D.Exec.Error;
+  EXPECT_TRUE(D.Report.Pairs.empty()) << printProgram(*P.Prog);
+  EXPECT_EQ(D.Exec.Output, "true\n");
+
+  // The repair keeps the recursive calls parallel: T1/Tinf well above 1.
+  ParallelismStats S = analyzeDpst(*D.Tree, 12);
+  EXPECT_GT(S.parallelism(), 1.5) << printProgram(*P.Prog);
+}
+
+} // namespace

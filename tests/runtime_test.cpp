@@ -1,0 +1,209 @@
+//===- runtime_test.cpp - Work-stealing runtime tests ---------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Runtime.h"
+#include "runtime/WorkStealingDeque.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+using namespace tdr;
+
+namespace {
+
+TEST(WorkStealingDeque, OwnerPushPopLifo) {
+  WorkStealingDeque<int *> D;
+  int Vals[4] = {1, 2, 3, 4};
+  for (int *V = Vals; V != Vals + 4; ++V)
+    D.push(V);
+  int *Out = nullptr;
+  for (int I = 3; I >= 0; --I) {
+    ASSERT_TRUE(D.pop(Out));
+    EXPECT_EQ(Out, &Vals[I]);
+  }
+  EXPECT_FALSE(D.pop(Out));
+}
+
+TEST(WorkStealingDeque, ThiefStealsFifo) {
+  WorkStealingDeque<int *> D;
+  int Vals[3] = {1, 2, 3};
+  for (int *V = Vals; V != Vals + 3; ++V)
+    D.push(V);
+  int *Out = nullptr;
+  ASSERT_TRUE(D.steal(Out));
+  EXPECT_EQ(Out, &Vals[0]);
+  ASSERT_TRUE(D.steal(Out));
+  EXPECT_EQ(Out, &Vals[1]);
+  ASSERT_TRUE(D.pop(Out));
+  EXPECT_EQ(Out, &Vals[2]);
+  EXPECT_FALSE(D.steal(Out));
+}
+
+TEST(WorkStealingDeque, GrowsPastInitialCapacity) {
+  WorkStealingDeque<int *> D(/*LogInitialCap=*/2);
+  std::vector<int> Vals(1000);
+  for (int &V : Vals)
+    D.push(&V);
+  int *Out = nullptr;
+  size_t Count = 0;
+  while (D.pop(Out))
+    ++Count;
+  EXPECT_EQ(Count, Vals.size());
+}
+
+TEST(WorkStealingDeque, ConcurrentStealersDrainExactlyOnce) {
+  WorkStealingDeque<int *> D;
+  constexpr int N = 20000;
+  std::vector<int> Vals(N);
+  std::atomic<int> Taken{0};
+  std::vector<char> Seen(N, 0);
+
+  std::thread Owner([&] {
+    for (int I = 0; I != N; ++I)
+      D.push(&Vals[I]);
+    int *Out = nullptr;
+    while (D.pop(Out)) {
+      size_t Idx = static_cast<size_t>(Out - Vals.data());
+      Seen[Idx]++;
+      Taken.fetch_add(1);
+    }
+  });
+  std::vector<std::thread> Thieves;
+  std::vector<std::vector<size_t>> Stolen(3);
+  for (int T = 0; T != 3; ++T)
+    Thieves.emplace_back([&, T] {
+      int *Out = nullptr;
+      while (Taken.load() < N) {
+        if (D.steal(Out)) {
+          Stolen[static_cast<size_t>(T)].push_back(
+              static_cast<size_t>(Out - Vals.data()));
+          Taken.fetch_add(1);
+        }
+      }
+    });
+  Owner.join();
+  for (auto &T : Thieves)
+    T.join();
+
+  for (int T = 0; T != 3; ++T)
+    for (size_t Idx : Stolen[static_cast<size_t>(T)])
+      Seen[Idx]++;
+  EXPECT_EQ(Taken.load(), N);
+  // Every element taken exactly once (no loss, no duplication).
+  for (int I = 0; I != N; ++I)
+    EXPECT_EQ(Seen[static_cast<size_t>(I)], 1) << "element " << I;
+}
+
+TEST(Runtime, RunsRootToCompletion) {
+  Runtime RT(2);
+  std::atomic<int> X{0};
+  RT.run([&] { X = 42; });
+  EXPECT_EQ(X.load(), 42);
+}
+
+TEST(Runtime, FinishJoinsAllChildren) {
+  Runtime RT(4);
+  constexpr int N = 500;
+  std::vector<int> Out(N, 0);
+  RT.run([&] {
+    FinishScope Fin;
+    for (int I = 0; I != N; ++I)
+      Fin.async([&Out, I] { Out[static_cast<size_t>(I)] = I + 1; });
+  });
+  for (int I = 0; I != N; ++I)
+    EXPECT_EQ(Out[static_cast<size_t>(I)], I + 1);
+}
+
+TEST(Runtime, NestedFinishScopes) {
+  Runtime RT(4);
+  std::atomic<int> Stage{0};
+  std::vector<int> Order;
+  RT.run([&] {
+    {
+      FinishScope Outer;
+      Outer.async([&] {
+        FinishScope Inner;
+        for (int I = 0; I != 50; ++I)
+          Inner.async([&] { Stage.fetch_add(1); });
+        Inner.wait();
+        // All 50 increments joined before the outer task finishes.
+        EXPECT_GE(Stage.load(), 50);
+      });
+    }
+    EXPECT_GE(Stage.load(), 50);
+  });
+}
+
+TEST(Runtime, RecursiveFibonacciSpawns) {
+  // fib via async-finish, the canonical stress test for join counters.
+  struct Fib {
+    static void compute(int N, long &Out) {
+      if (N < 2) {
+        Out = N;
+        return;
+      }
+      long A = 0, B = 0;
+      {
+        FinishScope Fin;
+        Fin.async([N, &A] { compute(N - 1, A); });
+        Fin.async([N, &B] { compute(N - 2, B); });
+      }
+      Out = A + B;
+    }
+  };
+  Runtime RT(4);
+  long Result = 0;
+  RT.run([&] { Fib::compute(18, Result); });
+  EXPECT_EQ(Result, 2584);
+}
+
+TEST(Runtime, TransitiveJoinTerminallyStrict) {
+  // A finish must join grandchildren spawned by children (without their
+  // own finish), per terminally-strict async-finish semantics.
+  Runtime RT(4);
+  std::atomic<int> Count{0};
+  RT.run([&] {
+    {
+      FinishScope Fin;
+      for (int I = 0; I != 10; ++I)
+        Fin.async([&] {
+          for (int J = 0; J != 10; ++J)
+            async([&] { Count.fetch_add(1); });
+        });
+    }
+    EXPECT_EQ(Count.load(), 100);
+  });
+  EXPECT_EQ(Count.load(), 100);
+}
+
+TEST(Runtime, ManyTasksAccumulateCorrectSum) {
+  Runtime RT(4);
+  constexpr int N = 2000;
+  std::vector<long> Parts(N, 0);
+  RT.run([&] {
+    FinishScope Fin;
+    for (int I = 0; I != N; ++I)
+      Fin.async([&Parts, I] { Parts[static_cast<size_t>(I)] = I; });
+  });
+  long Sum = std::accumulate(Parts.begin(), Parts.end(), 0L);
+  EXPECT_EQ(Sum, static_cast<long>(N) * (N - 1) / 2);
+  EXPECT_GE(RT.tasksExecuted(), static_cast<uint64_t>(N));
+}
+
+TEST(Runtime, SingleWorkerStillCompletes) {
+  Runtime RT(1);
+  std::atomic<int> Count{0};
+  RT.run([&] {
+    FinishScope Fin;
+    for (int I = 0; I != 100; ++I)
+      Fin.async([&] { Count.fetch_add(1); });
+  });
+  EXPECT_EQ(Count.load(), 100);
+}
+
+} // namespace

@@ -1,0 +1,214 @@
+//===- sema_test.cpp - Semantic analysis tests ----------------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "interp/Interpreter.h"
+
+using namespace tdr;
+using namespace tdr::test;
+
+namespace {
+
+/// Checks that sema rejects the program with a message containing \p Needle.
+void expectSemaError(const std::string &Src, const std::string &Needle) {
+  ParsedProgram P = parseAndCheck(Src);
+  ASSERT_TRUE(P.Diags->hasErrors()) << "expected an error mentioning '"
+                                    << Needle << "'";
+  EXPECT_NE(P.errors().find(Needle), std::string::npos) << P.errors();
+}
+
+TEST(Sema, AcceptsWellTypedProgram) {
+  ParsedProgram P = parseAndCheck(R"(
+var G: double[] ;
+func scale(a: double[], f: double) {
+  for (var i: int = 0; i < len(a); i = i + 1) { a[i] = a[i] * f; }
+}
+func main() {
+  G = new double[3];
+  scale(G, 2.0);
+}
+)");
+  EXPECT_TRUE(P.ok()) << P.errors();
+}
+
+TEST(Sema, UndeclaredVariable) {
+  expectSemaError("func main() { x = 1; }", "undeclared variable 'x'");
+}
+
+TEST(Sema, UndeclaredFunction) {
+  expectSemaError("func main() { foo(); }", "undeclared function 'foo'");
+}
+
+TEST(Sema, NoImplicitIntDoubleConversion) {
+  expectSemaError("func main() { var x: double = 1 + 2.0; }",
+                  "mismatched types");
+}
+
+TEST(Sema, ConditionMustBeBool) {
+  expectSemaError("func main() { if (1) { } }", "must be bool");
+  expectSemaError("func main() { while (1.5) { } }", "must be bool");
+}
+
+TEST(Sema, ArgumentTypeMismatch) {
+  expectSemaError(R"(
+func f(x: int) { }
+func main() { f(true); }
+)",
+                  "expects int, got bool");
+}
+
+TEST(Sema, ArgumentCountMismatch) {
+  expectSemaError(R"(
+func f(x: int) { }
+func main() { f(1, 2); }
+)",
+                  "expects 1 arguments, got 2");
+}
+
+TEST(Sema, ReturnTypeChecked) {
+  expectSemaError("func f(): int { return true; } func main() { f(); }",
+                  "returning bool");
+  expectSemaError("func f() { return 1; } func main() { f(); }",
+                  "void function");
+  expectSemaError("func f(): int { return; } func main() { f(); }",
+                  "must return a value");
+}
+
+TEST(Sema, ReturnInsideAsyncRejected) {
+  expectSemaError(R"(
+func f(): int {
+  async { return 1; }
+  return 0;
+}
+func main() { f(); }
+)",
+                  "return is not allowed inside an async");
+}
+
+TEST(Sema, AsyncCapturedLocalsAreReadOnly) {
+  // Writing a captured local inside an async is the memory-model hazard
+  // the language forbids (mirrors final captures in Habanero Java).
+  expectSemaError(R"(
+func main() {
+  var x: int = 0;
+  async { x = 1; }
+}
+)",
+                  "read-only");
+}
+
+TEST(Sema, AsyncMayWriteOwnLocalsGlobalsAndElements) {
+  ParsedProgram P = parseAndCheck(R"(
+var G: int = 0;
+var A: int[];
+func main() {
+  A = new int[2];
+  var x: int = 5;
+  async {
+    var y: int = x;  // reading a captured local is fine
+    y = y + 1;       // writing an async-local is fine
+    G = y;           // globals are shared
+    A[0] = y;        // array elements are shared
+  }
+}
+)");
+  EXPECT_TRUE(P.ok()) << P.errors();
+}
+
+TEST(Sema, RedeclarationInSameScope) {
+  expectSemaError("func main() { var x: int = 1; var x: int = 2; }",
+                  "redeclaration of 'x'");
+}
+
+TEST(Sema, ShadowingInNestedScopeAllowed) {
+  ParsedProgram P = parseAndCheck(R"(
+func main() {
+  var x: int = 1;
+  {
+    var x: int = 2;
+    print(x);
+  }
+  print(x);
+}
+)");
+  ASSERT_TRUE(P.ok()) << P.errors();
+  ExecResult R = runProgram(*P.Prog);
+  EXPECT_EQ(R.Output, "2\n1\n");
+}
+
+TEST(Sema, ForInductionVariableScopedToLoop) {
+  expectSemaError(R"(
+func main() {
+  for (var i: int = 0; i < 3; i = i + 1) { }
+  print(i);
+}
+)",
+                  "undeclared variable 'i'");
+}
+
+TEST(Sema, AssignToArrayWholeRequiresMatchingType) {
+  expectSemaError(R"(
+var A: int[];
+func main() { A = new double[3]; }
+)",
+                  "assigning double[]");
+}
+
+TEST(Sema, MissingMain) {
+  expectSemaError("func f() { }", "no 'main' function");
+}
+
+TEST(Sema, MainTakesNoParams) {
+  expectSemaError("func main(x: int) { }", "'main' must take no parameters");
+}
+
+TEST(Sema, DuplicateFunction) {
+  expectSemaError("func f() { } func f() { } func main() { }",
+                  "redefinition of function 'f'");
+}
+
+TEST(Sema, BuiltinShadowRejected) {
+  expectSemaError("func print(x: int) { } func main() { }",
+                  "shadows a builtin");
+}
+
+TEST(Sema, BitwiseRequiresInt) {
+  expectSemaError("func main() { var x: double = 1.0 & 2.0; }",
+                  "requires int operands");
+}
+
+TEST(Sema, ExpressionStatementMustBeCall) {
+  expectSemaError("func main() { 1 + 2; }", "must be a call");
+}
+
+TEST(Sema, IndexingNonArray) {
+  expectSemaError("func main() { var x: int = 3; print(x[0]); }",
+                  "non-array type int");
+}
+
+TEST(Sema, ArrayIndexMustBeInt) {
+  expectSemaError(R"(
+var A: int[];
+func main() { A = new int[3]; print(A[1.5]); }
+)",
+                  "index must be int");
+}
+
+TEST(Sema, IsIdempotentAcrossReruns) {
+  ParsedProgram P = parseAndCheck(R"(
+var G: int = 1;
+func f(x: int): int { return x + G; }
+func main() { print(f(2)); }
+)");
+  ASSERT_TRUE(P.ok()) << P.errors();
+  // Re-running sema (as the repair driver does after AST edits) is fine.
+  EXPECT_TRUE(runSema(*P.Prog, *P.Ctx, *P.Diags));
+  ExecResult R = runProgram(*P.Prog);
+  EXPECT_EQ(R.Output, "3\n");
+}
+
+} // namespace

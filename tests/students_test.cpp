@@ -1,0 +1,60 @@
+//===- students_test.cpp - §7.4 cohort grading tests ----------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/StudentCohort.h"
+
+#include <gtest/gtest.h>
+
+using namespace tdr;
+
+namespace {
+
+TEST(StudentCohort, ReproducesPaperClassCounts) {
+  CohortResult R = runStudentCohort(59, 2014, 120);
+  ASSERT_EQ(R.Students.size(), 59u);
+  // Paper §7.4: 5 racy, 29 over-synchronized, 25 matching the tool. The
+  // cohort is synthesized in these proportions; what this asserts is that
+  // the *tool's grading* assigns every archetype its intended class.
+  EXPECT_EQ(R.NumRacy, 5);
+  EXPECT_EQ(R.NumOverSync, 29);
+  EXPECT_EQ(R.NumMatch, 25);
+  EXPECT_EQ(R.GradingAgreements, 59);
+  EXPECT_GT(R.ToolCpl, 0u);
+}
+
+TEST(StudentCohort, GradingIsSeedStableInTotals) {
+  CohortResult A = runStudentCohort(59, 1, 120);
+  CohortResult B = runStudentCohort(59, 99, 120);
+  // Different seeds draw different archetype mixes, but the class totals
+  // are fixed by the dealing proportions.
+  EXPECT_EQ(A.NumRacy, B.NumRacy);
+  EXPECT_EQ(A.NumOverSync, B.NumOverSync);
+  EXPECT_EQ(A.NumMatch, B.NumMatch);
+}
+
+TEST(StudentCohort, SmallCohortScalesProportions) {
+  CohortResult R = runStudentCohort(12, 7, 120);
+  ASSERT_EQ(R.Students.size(), 12u);
+  EXPECT_EQ(R.NumRacy + R.NumOverSync + R.NumMatch, 12);
+  EXPECT_EQ(R.GradingAgreements, 12);
+}
+
+TEST(StudentCohort, OverSynchronizedHaveLongerCpl) {
+  CohortResult R = runStudentCohort(59, 2014, 120);
+  for (const StudentResult &S : R.Students) {
+    if (S.Graded == StudentClass::OverSync) {
+      EXPECT_GT(S.Cpl, R.ToolCpl) << S.Archetype;
+    }
+    if (S.Graded == StudentClass::Match) {
+      EXPECT_LE(S.Cpl, R.ToolCpl + R.ToolCpl / 200) << S.Archetype;
+    }
+    if (S.Graded == StudentClass::Racy) {
+      EXPECT_GT(S.RacePairs, 0u) << S.Archetype;
+    }
+  }
+}
+
+} // namespace

@@ -1,0 +1,129 @@
+//===- support_test.cpp - Support library tests ---------------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Casting.h"
+#include "support/Diagnostics.h"
+#include "support/Rng.h"
+#include "support/SourceManager.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace tdr;
+
+namespace {
+
+TEST(SourceManager, LineColMapping) {
+  SourceManager SM("t", "ab\ncde\n\nf");
+  EXPECT_EQ(SM.lineCol(SourceLoc(0)), (LineCol{1, 1}));
+  EXPECT_EQ(SM.lineCol(SourceLoc(1)), (LineCol{1, 2}));
+  EXPECT_EQ(SM.lineCol(SourceLoc(3)), (LineCol{2, 1}));
+  EXPECT_EQ(SM.lineCol(SourceLoc(5)), (LineCol{2, 3}));
+  EXPECT_EQ(SM.lineCol(SourceLoc(7)), (LineCol{3, 1}));
+  EXPECT_EQ(SM.lineCol(SourceLoc(8)), (LineCol{4, 1}));
+  EXPECT_EQ(SM.lineCol(SourceLoc()), (LineCol{0, 0})); // invalid
+}
+
+TEST(SourceManager, LineText) {
+  SourceManager SM("t", "first\nsecond\nthird");
+  EXPECT_EQ(SM.lineText(1), "first");
+  EXPECT_EQ(SM.lineText(2), "second");
+  EXPECT_EQ(SM.lineText(3), "third");
+  EXPECT_EQ(SM.lineText(4), "");
+  EXPECT_EQ(SM.numLines(), 3u);
+}
+
+TEST(Diagnostics, RenderIncludesSeverityAndLocation) {
+  SourceManager SM("file.hj", "hello\nworld\n");
+  DiagnosticsEngine D;
+  D.error(SourceLoc(6), "something is wrong");
+  D.warning(SourceLoc(0), "be careful");
+  D.note(SourceLoc(0), "see here");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.numErrors(), 1u);
+  std::string Out = D.render(SM);
+  EXPECT_NE(Out.find("file.hj:2:1: error: something is wrong"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("warning: be careful"), std::string::npos);
+  EXPECT_NE(Out.find("note: see here"), std::string::npos);
+}
+
+TEST(StringUtils, Format) {
+  EXPECT_EQ(strFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strFormat("%s", std::string(500, 'a').c_str()),
+            std::string(500, 'a'));
+}
+
+TEST(StringUtils, Split) {
+  auto Parts = splitString("a,b,,c", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[2], "");
+  EXPECT_EQ(Parts[3], "c");
+  EXPECT_EQ(splitString("", ',').size(), 1u);
+}
+
+TEST(StringUtils, ThousandsSeparators) {
+  EXPECT_EQ(withThousandsSep(0), "0");
+  EXPECT_EQ(withThousandsSep(999), "999");
+  EXPECT_EQ(withThousandsSep(1000), "1,000");
+  EXPECT_EQ(withThousandsSep(424436), "424,436");
+  EXPECT_EQ(withThousandsSep(1234567890), "1,234,567,890");
+}
+
+TEST(Rng, DeterministicAndSeedSensitive) {
+  Rng A(1), B(1), C(2);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+  bool Differs = false;
+  Rng A2(1);
+  for (int I = 0; I != 10; ++I)
+    Differs |= A2.next() != C.next();
+  EXPECT_TRUE(Differs);
+}
+
+TEST(Rng, RangesRespectBounds) {
+  Rng R(7);
+  for (int I = 0; I != 1000; ++I) {
+    uint64_t V = R.nextBelow(17);
+    EXPECT_LT(V, 17u);
+    int64_t W = R.nextInRange(-5, 5);
+    EXPECT_GE(W, -5);
+    EXPECT_LE(W, 5);
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+// A tiny hierarchy to exercise the casting helpers.
+struct Base {
+  enum class Kind { A, B } K;
+  explicit Base(Kind K) : K(K) {}
+};
+struct DerivedA : Base {
+  DerivedA() : Base(Kind::A) {}
+  static bool classof(const Base *B) { return B->K == Kind::A; }
+};
+struct DerivedB : Base {
+  DerivedB() : Base(Kind::B) {}
+  static bool classof(const Base *B) { return B->K == Kind::B; }
+};
+
+TEST(Casting, IsaCastDynCast) {
+  DerivedA A;
+  Base *B = &A;
+  EXPECT_TRUE(isa<DerivedA>(B));
+  EXPECT_FALSE(isa<DerivedB>(B));
+  EXPECT_EQ(cast<DerivedA>(B), &A);
+  EXPECT_EQ(dyn_cast<DerivedB>(B), nullptr);
+  EXPECT_EQ(dyn_cast<DerivedA>(B), &A);
+  Base *Null = nullptr;
+  EXPECT_EQ(dyn_cast_or_null<DerivedA>(Null), nullptr);
+}
+
+} // namespace

@@ -1,0 +1,151 @@
+//===- transforms_test.cpp - AST transform tests --------------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "ast/AstPrinter.h"
+#include "ast/Transforms.h"
+#include "interp/Interpreter.h"
+
+using namespace tdr;
+using namespace tdr::test;
+
+namespace {
+
+const char *Sample = R"(
+var X: int = 0;
+func main() {
+  finish {
+    async { X = X + 1; }
+    async { X = X + 2; }
+  }
+  if (X > 0)
+    finish async { X = X + 10; }
+  for (var i: int = 0; i < 2; i = i + 1) {
+    finish { async { X = X + 100; } }
+  }
+  print(X);
+}
+)";
+
+TEST(Transforms, StripFinishesRemovesAll) {
+  ParsedProgram P = parseAndCheck(Sample);
+  ASSERT_TRUE(P.ok()) << P.errors();
+  EXPECT_EQ(collectFinishes(*P.Prog).size(), 3u);
+  unsigned Removed = stripFinishes(*P.Prog);
+  EXPECT_EQ(Removed, 3u);
+  EXPECT_TRUE(collectFinishes(*P.Prog).empty());
+  // Asyncs are untouched.
+  EXPECT_EQ(collectAsyncs(*P.Prog).size(), 4u);
+}
+
+TEST(Transforms, StripPreservesSequentialSemantics) {
+  ParsedProgram P = parseAndCheck(Sample);
+  ASSERT_TRUE(P.ok());
+  ExecResult Before = runProgram(*P.Prog);
+  stripFinishes(*P.Prog);
+  ASSERT_TRUE(runSema(*P.Prog, *P.Ctx, *P.Diags));
+  ExecResult After = runProgram(*P.Prog);
+  // Sequential depth-first semantics do not depend on finish statements.
+  EXPECT_EQ(Before.Output, After.Output);
+  EXPECT_EQ(After.Output, "213\n");
+}
+
+TEST(Transforms, ElideRemovesAsyncAndFinish) {
+  ParsedProgram P = parseAndCheck(Sample);
+  ASSERT_TRUE(P.ok());
+  unsigned Removed = elideParallelism(*P.Prog);
+  EXPECT_EQ(Removed, 7u); // 3 finishes + 4 asyncs
+  EXPECT_TRUE(collectFinishes(*P.Prog).empty());
+  EXPECT_TRUE(collectAsyncs(*P.Prog).empty());
+  ASSERT_TRUE(runSema(*P.Prog, *P.Ctx, *P.Diags));
+  ExecResult R = runProgram(*P.Prog);
+  EXPECT_EQ(R.Output, "213\n");
+}
+
+TEST(Transforms, StrippedSourceStillParses) {
+  ParsedProgram P = parseAndCheck(Sample);
+  ASSERT_TRUE(P.ok());
+  stripFinishes(*P.Prog);
+  std::string Printed = printProgram(*P.Prog);
+  ParsedProgram P2 = parseAndCheck(Printed);
+  EXPECT_TRUE(P2.ok()) << P2.errors() << "\n" << Printed;
+}
+
+TEST(Transforms, WrapInFinishSingleStatement) {
+  ParsedProgram P = parseAndCheck(R"(
+var X: int = 0;
+func main() {
+  async { X = 1; }
+  print(X);
+}
+)");
+  ASSERT_TRUE(P.ok());
+  BlockStmt *Body = P.Prog->mainFunc()->body();
+  ASSERT_EQ(Body->stmts().size(), 2u);
+  FinishStmt *F = wrapInFinish(*P.Ctx, Body, 0, 0);
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(F->isSynthesized());
+  EXPECT_EQ(Body->stmts().size(), 2u);
+  EXPECT_EQ(Body->stmts()[0], F);
+  // Single-statement wrap keeps the statement as the direct body.
+  EXPECT_TRUE(isa<AsyncStmt>(F->body()));
+}
+
+TEST(Transforms, WrapInFinishRangeCreatesBlock) {
+  ParsedProgram P = parseAndCheck(R"(
+var X: int = 0;
+func main() {
+  X = 1;
+  X = 2;
+  X = 3;
+  print(X);
+}
+)");
+  ASSERT_TRUE(P.ok());
+  BlockStmt *Body = P.Prog->mainFunc()->body();
+  FinishStmt *F = wrapInFinish(*P.Ctx, Body, 1, 2);
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(Body->stmts().size(), 3u);
+  auto *Inner = dyn_cast<BlockStmt>(F->body());
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_EQ(Inner->stmts().size(), 2u);
+  // The edited program still runs (no re-sema needed for slots).
+  ExecResult R = runProgram(*P.Prog);
+  EXPECT_EQ(R.Output, "3\n");
+}
+
+TEST(Transforms, CountStmtsWalksEverything) {
+  ParsedProgram P = parseAndCheck(Sample);
+  ASSERT_TRUE(P.ok());
+  unsigned Before = countStmts(*P.Prog);
+  EXPECT_GT(Before, 10u);
+  elideParallelism(*P.Prog);
+  EXPECT_EQ(countStmts(*P.Prog), Before - 7);
+}
+
+TEST(Transforms, ForEachExprVisitsNestedExpressions) {
+  ParsedProgram P = parseAndCheck(R"(
+var A: int[];
+func main() {
+  A = new int[4];
+  if (A[0] + 1 > 2) { A[1] = len(A) * 3; }
+}
+)");
+  ASSERT_TRUE(P.ok());
+  unsigned VarRefs = 0, Calls = 0;
+  for (const Stmt *S : P.Prog->mainFunc()->body()->stmts())
+    forEachExpr(S, [&](const Expr *E) {
+      if (isa<VarRefExpr>(E))
+        ++VarRefs;
+      if (isa<CallExpr>(E))
+        ++Calls;
+    });
+  EXPECT_EQ(VarRefs, 4u); // A in new-assign, A[0], A[1], len(A)
+  EXPECT_EQ(Calls, 1u);   // len
+}
+
+} // namespace

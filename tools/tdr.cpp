@@ -1,0 +1,320 @@
+//===- tdr.cpp - Command-line driver for the repair tool ------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+// The command-line face of the pipeline, mirroring the paper's artifact
+// workflow (Appendix A: instrument, execute to pinpoint races, analyze to
+// place finishes):
+//
+//   tdr repair  prog.hj [--arg N]... [--srw] [-o out.hj]   repair races
+//   tdr races   prog.hj [--arg N]... [--srw]               detect and list
+//   tdr run     prog.hj [--arg N]... [--workers K]         run (par if K>1)
+//   tdr stats   prog.hj [--arg N]... [--procs P]           T1/Tinf/TP
+//   tdr dot     prog.hj [--arg N]...                       S-DPST Graphviz
+//   tdr dump    <benchmark-name>                           suite source
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/AstPrinter.h"
+#include "frontend/Parser.h"
+#include "pinterp/ParallelInterpreter.h"
+#include "race/Detect.h"
+#include "repair/MultiInput.h"
+#include "repair/RepairDriver.h"
+#include "runtime/Runtime.h"
+#include "sched/Schedule.h"
+#include "sema/Sema.h"
+#include "suite/Benchmarks.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace tdr;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: tdr <command> [options]\n"
+      "  tdr repair  prog.hj [--arg N]... [--srw] [-o out.hj]\n"
+      "  tdr races   prog.hj [--arg N]... [--srw]\n"
+      "  tdr run     prog.hj [--arg N]... [--workers K]\n"
+      "  tdr stats   prog.hj [--arg N]... [--procs P]\n"
+      "  tdr dot     prog.hj [--arg N]...\n"
+      "  tdr coverage prog.hj --arg N [--arg M]... (one input per --arg)\n"
+      "  tdr dump    <benchmark>   (e.g. Mergesort; see bench_table1)\n");
+  return 2;
+}
+
+struct Options {
+  std::string File;
+  std::vector<int64_t> Args;
+  bool Srw = false;
+  unsigned Workers = 1;
+  unsigned Procs = 12;
+  std::string OutFile;
+};
+
+bool parseOptions(int Argc, char **Argv, Options &O) {
+  for (int I = 0; I != Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--arg") && I + 1 != Argc) {
+      O.Args.push_back(std::atoll(Argv[++I]));
+    } else if (!std::strcmp(Argv[I], "--srw")) {
+      O.Srw = true;
+    } else if (!std::strcmp(Argv[I], "--workers") && I + 1 != Argc) {
+      O.Workers = static_cast<unsigned>(std::atoi(Argv[++I]));
+    } else if (!std::strcmp(Argv[I], "--procs") && I + 1 != Argc) {
+      O.Procs = static_cast<unsigned>(std::atoi(Argv[++I]));
+    } else if (!std::strcmp(Argv[I], "-o") && I + 1 != Argc) {
+      O.OutFile = Argv[++I];
+    } else if (Argv[I][0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", Argv[I]);
+      return false;
+    } else if (O.File.empty()) {
+      O.File = Argv[I];
+    } else {
+      std::fprintf(stderr, "unexpected argument '%s'\n", Argv[I]);
+      return false;
+    }
+  }
+  return !O.File.empty();
+}
+
+struct Loaded {
+  std::unique_ptr<SourceManager> SM;
+  std::unique_ptr<AstContext> Ctx;
+  Program *Prog = nullptr;
+};
+
+bool load(const std::string &Path, Loaded &L) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
+    return false;
+  }
+  std::stringstream SS;
+  SS << In.rdbuf();
+  L.SM = std::make_unique<SourceManager>(Path, SS.str());
+  L.Ctx = std::make_unique<AstContext>();
+  DiagnosticsEngine Diags;
+  Parser P(L.SM->buffer(), *L.Ctx, Diags);
+  L.Prog = P.parseProgram();
+  if (!Diags.hasErrors())
+    runSema(*L.Prog, *L.Ctx, Diags);
+  if (Diags.hasErrors()) {
+    std::fprintf(stderr, "%s", Diags.render(*L.SM).c_str());
+    return false;
+  }
+  return true;
+}
+
+ExecOptions execOptions(const Options &O) {
+  ExecOptions E;
+  E.Args = O.Args;
+  return E;
+}
+
+int cmdRepair(const Options &O) {
+  Loaded L;
+  if (!load(O.File, L))
+    return 1;
+  RepairOptions Opts;
+  Opts.Mode =
+      O.Srw ? EspBagsDetector::Mode::SRW : EspBagsDetector::Mode::MRW;
+  Opts.Exec = execOptions(O);
+  RepairResult R = repairProgram(*L.Prog, *L.Ctx, Opts);
+  if (!R.Success) {
+    std::fprintf(stderr, "repair failed: %s\n", R.Error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "%s: %zu S-DPST nodes, %llu race reports (%zu pairs), "
+               "%u finish(es) inserted, %u detection run(s)\n",
+               O.File.c_str(), R.Stats.DpstNodes,
+               static_cast<unsigned long long>(R.Stats.RawRaces),
+               R.Stats.RacePairs, R.Stats.FinishesInserted,
+               R.Stats.Iterations);
+  for (SourceLoc Loc : R.InsertedAt) {
+    LineCol LC = L.SM->lineCol(Loc);
+    if (LC.Line)
+      std::fprintf(stderr, "  finish inserted at %s:%u:%u\n",
+                   O.File.c_str(), LC.Line, LC.Col);
+  }
+  std::string Out = printProgram(*L.Prog);
+  if (O.OutFile.empty()) {
+    std::fputs(Out.c_str(), stdout);
+  } else {
+    std::ofstream OutStream(O.OutFile);
+    OutStream << Out;
+    std::fprintf(stderr, "wrote %s\n", O.OutFile.c_str());
+  }
+  return 0;
+}
+
+int cmdRaces(const Options &O) {
+  Loaded L;
+  if (!load(O.File, L))
+    return 1;
+  Detection D = detectRaces(*L.Prog,
+                            O.Srw ? EspBagsDetector::Mode::SRW
+                                  : EspBagsDetector::Mode::MRW,
+                            execOptions(O));
+  if (!D.ok()) {
+    std::fprintf(stderr, "execution failed: %s\n", D.Exec.Error.c_str());
+    return 1;
+  }
+  std::printf("%zu racing step pair(s), %llu report(s), %zu S-DPST nodes\n",
+              D.Report.Pairs.size(),
+              static_cast<unsigned long long>(D.Report.RawCount),
+              D.Tree->numNodes());
+  for (const RacePair &R : D.Report.Pairs) {
+    const Stmt *SrcStmt = R.Src->owner();
+    const Stmt *SnkStmt = R.Snk->owner();
+    LineCol SrcLC =
+        SrcStmt ? L.SM->lineCol(SrcStmt->loc()) : LineCol();
+    LineCol SnkLC =
+        SnkStmt ? L.SM->lineCol(SnkStmt->loc()) : LineCol();
+    std::printf("  %s on %s: line %u -> line %u\n",
+                R.SrcKind == AccessKind::Write &&
+                        R.SnkKind == AccessKind::Write
+                    ? "write-write"
+                    : "read-write",
+                R.Loc.str().c_str(), SrcLC.Line, SnkLC.Line);
+  }
+  return D.Report.Pairs.empty() ? 0 : 1;
+}
+
+int cmdRun(const Options &O) {
+  Loaded L;
+  if (!load(O.File, L))
+    return 1;
+  ExecResult R;
+  if (O.Workers > 1) {
+    Runtime RT(O.Workers);
+    R = runProgramParallel(*L.Prog, RT, execOptions(O));
+  } else {
+    R = runProgram(*L.Prog, execOptions(O));
+  }
+  std::fputs(R.Output.c_str(), stdout);
+  if (!R.Ok) {
+    LineCol LC = L.SM->lineCol(R.ErrorLoc);
+    std::fprintf(stderr, "runtime error at %s:%u:%u: %s\n", O.File.c_str(),
+                 LC.Line, LC.Col, R.Error.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int cmdStats(const Options &O) {
+  Loaded L;
+  if (!load(O.File, L))
+    return 1;
+  Detection D =
+      detectRaces(*L.Prog, EspBagsDetector::Mode::SRW, execOptions(O));
+  if (!D.ok()) {
+    std::fprintf(stderr, "execution failed: %s\n", D.Exec.Error.c_str());
+    return 1;
+  }
+  ParallelismStats S = analyzeDpst(*D.Tree, O.Procs);
+  std::printf("T1   (work):            %llu\n",
+              static_cast<unsigned long long>(S.T1));
+  std::printf("Tinf (critical path):   %llu\n",
+              static_cast<unsigned long long>(S.Tinf));
+  std::printf("T%-3u (greedy schedule): %llu\n", O.Procs,
+              static_cast<unsigned long long>(S.TP));
+  std::printf("parallelism T1/Tinf:    %.2f\n", S.parallelism());
+  std::printf("speedup T1/T%u:          %.2f\n", O.Procs, S.speedup());
+  std::printf("races:                  %zu pair(s)\n",
+              D.Report.Pairs.size());
+  return 0;
+}
+
+int cmdDot(const Options &O) {
+  Loaded L;
+  if (!load(O.File, L))
+    return 1;
+  Detection D =
+      detectRaces(*L.Prog, EspBagsDetector::Mode::SRW, execOptions(O));
+  if (!D.ok()) {
+    std::fprintf(stderr, "execution failed: %s\n", D.Exec.Error.c_str());
+    return 1;
+  }
+  std::fputs(D.Tree->dumpDot().c_str(), stdout);
+  return 0;
+}
+
+int cmdCoverage(const Options &O) {
+  Loaded L;
+  if (!load(O.File, L))
+    return 1;
+  // Each --arg value is one single-argument test input.
+  std::vector<ExecOptions> Inputs;
+  for (int64_t A : O.Args) {
+    ExecOptions E;
+    E.Args = {A};
+    Inputs.push_back(E);
+  }
+  if (Inputs.empty()) {
+    std::fprintf(stderr, "coverage needs at least one --arg input\n");
+    return 2;
+  }
+  CoverageReport C = analyzeTestCoverage(*L.Prog, Inputs);
+  for (const AsyncSiteCoverage &Site : C.Sites) {
+    LineCol LC = L.SM->lineCol(Site.Loc);
+    std::printf("async at %s:%u:%u  instances:", O.File.c_str(), LC.Line,
+                LC.Col);
+    for (uint64_t N : Site.InstancesPerInput)
+      std::printf(" %llu", static_cast<unsigned long long>(N));
+    std::printf("%s\n", Site.exercised() ? "" : "   <- NEVER EXERCISED");
+  }
+  std::printf("async coverage: %.0f%% (%zu/%zu sites); test set %s for "
+              "repair\n",
+              C.asyncCoverage() * 100.0, C.NumExercised, C.Sites.size(),
+              C.suitable() ? "is suitable" : "is NOT suitable");
+  return C.suitable() ? 0 : 1;
+}
+
+int cmdDump(const std::string &Name) {
+  const BenchmarkSpec *B = findBenchmark(Name);
+  if (!B) {
+    std::fprintf(stderr, "unknown benchmark '%s'; known:", Name.c_str());
+    for (const BenchmarkSpec &S : allBenchmarks())
+      std::fprintf(stderr, " '%s'", S.Name);
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+  std::fputs(B->Source, stdout);
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 3)
+    return usage();
+  std::string Cmd = Argv[1];
+  if (Cmd == "dump")
+    return cmdDump(Argv[2]);
+
+  Options O;
+  if (!parseOptions(Argc - 2, Argv + 2, O))
+    return usage();
+  if (Cmd == "repair")
+    return cmdRepair(O);
+  if (Cmd == "races")
+    return cmdRaces(O);
+  if (Cmd == "run")
+    return cmdRun(O);
+  if (Cmd == "stats")
+    return cmdStats(O);
+  if (Cmd == "dot")
+    return cmdDot(O);
+  if (Cmd == "coverage")
+    return cmdCoverage(O);
+  return usage();
+}
