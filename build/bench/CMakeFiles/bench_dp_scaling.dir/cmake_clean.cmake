@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dp_scaling.dir/bench_dp_scaling.cpp.o"
+  "CMakeFiles/bench_dp_scaling.dir/bench_dp_scaling.cpp.o.d"
+  "bench_dp_scaling"
+  "bench_dp_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dp_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_students.dir/bench_students.cpp.o"
+  "CMakeFiles/bench_students.dir/bench_students.cpp.o.d"
+  "bench_students"
+  "bench_students.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_students.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

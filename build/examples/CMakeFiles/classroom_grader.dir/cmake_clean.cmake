@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classroom_grader.dir/classroom_grader.cpp.o"
+  "CMakeFiles/classroom_grader.dir/classroom_grader.cpp.o.d"
+  "classroom_grader"
+  "classroom_grader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classroom_grader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

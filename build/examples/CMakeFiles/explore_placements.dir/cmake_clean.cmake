@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_placements.dir/explore_placements.cpp.o"
+  "CMakeFiles/explore_placements.dir/explore_placements.cpp.o.d"
+  "explore_placements"
+  "explore_placements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_placements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repair_mergesort.dir/repair_mergesort.cpp.o"
+  "CMakeFiles/repair_mergesort.dir/repair_mergesort.cpp.o.d"
+  "repair_mergesort"
+  "repair_mergesort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repair_mergesort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

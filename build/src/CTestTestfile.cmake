@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("frontend")
+subdirs("ast")
+subdirs("sema")
+subdirs("interp")
+subdirs("dpst")
+subdirs("race")
+subdirs("sched")
+subdirs("repair")
+subdirs("runtime")
+subdirs("pinterp")
+subdirs("suite")

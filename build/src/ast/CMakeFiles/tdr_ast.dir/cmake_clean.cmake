@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdr_ast.dir/AstContext.cpp.o"
+  "CMakeFiles/tdr_ast.dir/AstContext.cpp.o.d"
+  "CMakeFiles/tdr_ast.dir/AstPrinter.cpp.o"
+  "CMakeFiles/tdr_ast.dir/AstPrinter.cpp.o.d"
+  "CMakeFiles/tdr_ast.dir/Transforms.cpp.o"
+  "CMakeFiles/tdr_ast.dir/Transforms.cpp.o.d"
+  "libtdr_ast.a"
+  "libtdr_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdr_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dpst/Dpst.cpp" "src/dpst/CMakeFiles/tdr_dpst.dir/Dpst.cpp.o" "gcc" "src/dpst/CMakeFiles/tdr_dpst.dir/Dpst.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interp/CMakeFiles/tdr_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/tdr_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tdr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

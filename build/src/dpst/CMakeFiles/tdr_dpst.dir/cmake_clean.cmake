@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdr_dpst.dir/Dpst.cpp.o"
+  "CMakeFiles/tdr_dpst.dir/Dpst.cpp.o.d"
+  "libtdr_dpst.a"
+  "libtdr_dpst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdr_dpst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

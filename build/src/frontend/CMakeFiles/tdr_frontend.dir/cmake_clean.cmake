@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdr_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/tdr_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/tdr_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/tdr_frontend.dir/Parser.cpp.o.d"
+  "libtdr_frontend.a"
+  "libtdr_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdr_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdr_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/tdr_interp.dir/Interpreter.cpp.o.d"
+  "libtdr_interp.a"
+  "libtdr_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdr_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

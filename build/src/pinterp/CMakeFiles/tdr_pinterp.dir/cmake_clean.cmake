@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdr_pinterp.dir/ParallelInterpreter.cpp.o"
+  "CMakeFiles/tdr_pinterp.dir/ParallelInterpreter.cpp.o.d"
+  "libtdr_pinterp.a"
+  "libtdr_pinterp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdr_pinterp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

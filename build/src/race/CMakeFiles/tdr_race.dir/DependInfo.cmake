@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/race/Detect.cpp" "src/race/CMakeFiles/tdr_race.dir/Detect.cpp.o" "gcc" "src/race/CMakeFiles/tdr_race.dir/Detect.cpp.o.d"
+  "/root/repo/src/race/EspBags.cpp" "src/race/CMakeFiles/tdr_race.dir/EspBags.cpp.o" "gcc" "src/race/CMakeFiles/tdr_race.dir/EspBags.cpp.o.d"
+  "/root/repo/src/race/OracleDetector.cpp" "src/race/CMakeFiles/tdr_race.dir/OracleDetector.cpp.o" "gcc" "src/race/CMakeFiles/tdr_race.dir/OracleDetector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dpst/CMakeFiles/tdr_dpst.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/tdr_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tdr_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/tdr_ast.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdr_race.dir/Detect.cpp.o"
+  "CMakeFiles/tdr_race.dir/Detect.cpp.o.d"
+  "CMakeFiles/tdr_race.dir/EspBags.cpp.o"
+  "CMakeFiles/tdr_race.dir/EspBags.cpp.o.d"
+  "CMakeFiles/tdr_race.dir/OracleDetector.cpp.o"
+  "CMakeFiles/tdr_race.dir/OracleDetector.cpp.o.d"
+  "libtdr_race.a"
+  "libtdr_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdr_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

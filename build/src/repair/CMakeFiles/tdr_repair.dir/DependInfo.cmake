@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/repair/DepGraph.cpp" "src/repair/CMakeFiles/tdr_repair.dir/DepGraph.cpp.o" "gcc" "src/repair/CMakeFiles/tdr_repair.dir/DepGraph.cpp.o.d"
+  "/root/repo/src/repair/FinishPlacement.cpp" "src/repair/CMakeFiles/tdr_repair.dir/FinishPlacement.cpp.o" "gcc" "src/repair/CMakeFiles/tdr_repair.dir/FinishPlacement.cpp.o.d"
+  "/root/repo/src/repair/MultiInput.cpp" "src/repair/CMakeFiles/tdr_repair.dir/MultiInput.cpp.o" "gcc" "src/repair/CMakeFiles/tdr_repair.dir/MultiInput.cpp.o.d"
+  "/root/repo/src/repair/RepairDriver.cpp" "src/repair/CMakeFiles/tdr_repair.dir/RepairDriver.cpp.o" "gcc" "src/repair/CMakeFiles/tdr_repair.dir/RepairDriver.cpp.o.d"
+  "/root/repo/src/repair/StaticPlacer.cpp" "src/repair/CMakeFiles/tdr_repair.dir/StaticPlacer.cpp.o" "gcc" "src/repair/CMakeFiles/tdr_repair.dir/StaticPlacer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/race/CMakeFiles/tdr_race.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpst/CMakeFiles/tdr_dpst.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/tdr_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/tdr_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/tdr_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tdr_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/tdr_interp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdr_repair.dir/DepGraph.cpp.o"
+  "CMakeFiles/tdr_repair.dir/DepGraph.cpp.o.d"
+  "CMakeFiles/tdr_repair.dir/FinishPlacement.cpp.o"
+  "CMakeFiles/tdr_repair.dir/FinishPlacement.cpp.o.d"
+  "CMakeFiles/tdr_repair.dir/MultiInput.cpp.o"
+  "CMakeFiles/tdr_repair.dir/MultiInput.cpp.o.d"
+  "CMakeFiles/tdr_repair.dir/RepairDriver.cpp.o"
+  "CMakeFiles/tdr_repair.dir/RepairDriver.cpp.o.d"
+  "CMakeFiles/tdr_repair.dir/StaticPlacer.cpp.o"
+  "CMakeFiles/tdr_repair.dir/StaticPlacer.cpp.o.d"
+  "libtdr_repair.a"
+  "libtdr_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdr_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtdr_repair.a"
+)

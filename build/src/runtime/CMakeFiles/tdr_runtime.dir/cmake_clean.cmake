@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdr_runtime.dir/Runtime.cpp.o"
+  "CMakeFiles/tdr_runtime.dir/Runtime.cpp.o.d"
+  "libtdr_runtime.a"
+  "libtdr_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdr_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

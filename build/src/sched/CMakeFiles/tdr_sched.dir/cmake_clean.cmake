@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdr_sched.dir/Schedule.cpp.o"
+  "CMakeFiles/tdr_sched.dir/Schedule.cpp.o.d"
+  "libtdr_sched.a"
+  "libtdr_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdr_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

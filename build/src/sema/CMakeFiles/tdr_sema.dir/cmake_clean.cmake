@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdr_sema.dir/Sema.cpp.o"
+  "CMakeFiles/tdr_sema.dir/Sema.cpp.o.d"
+  "libtdr_sema.a"
+  "libtdr_sema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdr_sema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/suite/Benchmarks.cpp" "src/suite/CMakeFiles/tdr_suite.dir/Benchmarks.cpp.o" "gcc" "src/suite/CMakeFiles/tdr_suite.dir/Benchmarks.cpp.o.d"
+  "/root/repo/src/suite/Experiment.cpp" "src/suite/CMakeFiles/tdr_suite.dir/Experiment.cpp.o" "gcc" "src/suite/CMakeFiles/tdr_suite.dir/Experiment.cpp.o.d"
+  "/root/repo/src/suite/ProgramsBasic.cpp" "src/suite/CMakeFiles/tdr_suite.dir/ProgramsBasic.cpp.o" "gcc" "src/suite/CMakeFiles/tdr_suite.dir/ProgramsBasic.cpp.o.d"
+  "/root/repo/src/suite/ProgramsJgf.cpp" "src/suite/CMakeFiles/tdr_suite.dir/ProgramsJgf.cpp.o" "gcc" "src/suite/CMakeFiles/tdr_suite.dir/ProgramsJgf.cpp.o.d"
+  "/root/repo/src/suite/ProgramsMisc.cpp" "src/suite/CMakeFiles/tdr_suite.dir/ProgramsMisc.cpp.o" "gcc" "src/suite/CMakeFiles/tdr_suite.dir/ProgramsMisc.cpp.o.d"
+  "/root/repo/src/suite/StudentCohort.cpp" "src/suite/CMakeFiles/tdr_suite.dir/StudentCohort.cpp.o" "gcc" "src/suite/CMakeFiles/tdr_suite.dir/StudentCohort.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/repair/CMakeFiles/tdr_repair.dir/DependInfo.cmake"
+  "/root/repo/build/src/race/CMakeFiles/tdr_race.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/tdr_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpst/CMakeFiles/tdr_dpst.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/tdr_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/tdr_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/tdr_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/tdr_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tdr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

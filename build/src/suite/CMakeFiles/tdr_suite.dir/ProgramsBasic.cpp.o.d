@@ -1,0 +1,3 @@
+src/suite/CMakeFiles/tdr_suite.dir/ProgramsBasic.cpp.o: \
+ /root/repo/src/suite/ProgramsBasic.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/suite/ProgramSources.h

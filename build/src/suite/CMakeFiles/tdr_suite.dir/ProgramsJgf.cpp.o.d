@@ -1,0 +1,3 @@
+src/suite/CMakeFiles/tdr_suite.dir/ProgramsJgf.cpp.o: \
+ /root/repo/src/suite/ProgramsJgf.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/suite/ProgramSources.h

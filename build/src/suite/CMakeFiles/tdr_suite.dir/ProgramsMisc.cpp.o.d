@@ -1,0 +1,3 @@
+src/suite/CMakeFiles/tdr_suite.dir/ProgramsMisc.cpp.o: \
+ /root/repo/src/suite/ProgramsMisc.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/suite/ProgramSources.h

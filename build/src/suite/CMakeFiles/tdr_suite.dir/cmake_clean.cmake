@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdr_suite.dir/Benchmarks.cpp.o"
+  "CMakeFiles/tdr_suite.dir/Benchmarks.cpp.o.d"
+  "CMakeFiles/tdr_suite.dir/Experiment.cpp.o"
+  "CMakeFiles/tdr_suite.dir/Experiment.cpp.o.d"
+  "CMakeFiles/tdr_suite.dir/ProgramsBasic.cpp.o"
+  "CMakeFiles/tdr_suite.dir/ProgramsBasic.cpp.o.d"
+  "CMakeFiles/tdr_suite.dir/ProgramsJgf.cpp.o"
+  "CMakeFiles/tdr_suite.dir/ProgramsJgf.cpp.o.d"
+  "CMakeFiles/tdr_suite.dir/ProgramsMisc.cpp.o"
+  "CMakeFiles/tdr_suite.dir/ProgramsMisc.cpp.o.d"
+  "CMakeFiles/tdr_suite.dir/StudentCohort.cpp.o"
+  "CMakeFiles/tdr_suite.dir/StudentCohort.cpp.o.d"
+  "libtdr_suite.a"
+  "libtdr_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdr_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

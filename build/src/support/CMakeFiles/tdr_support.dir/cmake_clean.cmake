@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdr_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/tdr_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/tdr_support.dir/SourceManager.cpp.o"
+  "CMakeFiles/tdr_support.dir/SourceManager.cpp.o.d"
+  "CMakeFiles/tdr_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/tdr_support.dir/StringUtils.cpp.o.d"
+  "libtdr_support.a"
+  "libtdr_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdr_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

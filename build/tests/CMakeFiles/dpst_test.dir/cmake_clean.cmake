@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpst_test.dir/dpst_test.cpp.o"
+  "CMakeFiles/dpst_test.dir/dpst_test.cpp.o.d"
+  "dpst_test"
+  "dpst_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

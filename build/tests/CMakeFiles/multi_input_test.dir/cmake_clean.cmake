@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_input_test.dir/multi_input_test.cpp.o"
+  "CMakeFiles/multi_input_test.dir/multi_input_test.cpp.o.d"
+  "multi_input_test"
+  "multi_input_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_input_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinterp_test.dir/pinterp_test.cpp.o"
+  "CMakeFiles/pinterp_test.dir/pinterp_test.cpp.o.d"
+  "pinterp_test"
+  "pinterp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinterp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

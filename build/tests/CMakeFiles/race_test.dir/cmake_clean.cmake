@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/race_test.dir/race_test.cpp.o"
+  "CMakeFiles/race_test.dir/race_test.cpp.o.d"
+  "race_test"
+  "race_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/race_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

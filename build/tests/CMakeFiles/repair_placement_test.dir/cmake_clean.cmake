@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repair_placement_test.dir/repair_placement_test.cpp.o"
+  "CMakeFiles/repair_placement_test.dir/repair_placement_test.cpp.o.d"
+  "repair_placement_test"
+  "repair_placement_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repair_placement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/students_test.dir/students_test.cpp.o"
+  "CMakeFiles/students_test.dir/students_test.cpp.o.d"
+  "students_test"
+  "students_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/students_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_repair_test.dir/suite_repair_test.cpp.o"
+  "CMakeFiles/suite_repair_test.dir/suite_repair_test.cpp.o.d"
+  "suite_repair_test"
+  "suite_repair_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_repair_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

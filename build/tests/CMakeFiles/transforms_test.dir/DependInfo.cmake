@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/transforms_test.cpp" "tests/CMakeFiles/transforms_test.dir/transforms_test.cpp.o" "gcc" "tests/CMakeFiles/transforms_test.dir/transforms_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/suite/CMakeFiles/tdr_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/pinterp/CMakeFiles/tdr_pinterp.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tdr_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/repair/CMakeFiles/tdr_repair.dir/DependInfo.cmake"
+  "/root/repo/build/src/race/CMakeFiles/tdr_race.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/tdr_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpst/CMakeFiles/tdr_dpst.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/tdr_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/tdr_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/tdr_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/tdr_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tdr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdr_cli.dir/tdr.cpp.o"
+  "CMakeFiles/tdr_cli.dir/tdr.cpp.o.d"
+  "tdr"
+  "tdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
