@@ -14,7 +14,11 @@
 #ifndef TDR_BENCH_BENCHUTIL_H
 #define TDR_BENCH_BENCHUTIL_H
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -32,6 +36,56 @@ inline void banner(const std::string &Title) {
   std::printf("\n%s\n", Title.c_str());
   rule(static_cast<int>(Title.size()));
 }
+
+/// Attaches the tracer / metrics sinks to a bench harness so table
+/// reproductions emit flamegraph-able traces. Construct it first thing in
+/// main with argc/argv; it understands
+///
+///   --trace FILE         enable tracing, write FILE at exit (Chrome trace
+///                        JSON, or JSONL when FILE ends in .jsonl)
+///   --metrics-json FILE  dump the metrics registry at exit
+///
+/// The TDR_TRACE environment variable (handled by obs::Tracer itself)
+/// keeps working with or without this helper.
+class ObsSession {
+public:
+  ObsSession(int Argc, char **Argv) {
+    for (int I = 1; I != Argc; ++I) {
+      if (!std::strcmp(Argv[I], "--trace") && I + 1 != Argc) {
+        TracePath = Argv[++I];
+        obs::Tracer::global().enable();
+      } else if (!std::strcmp(Argv[I], "--metrics-json") && I + 1 != Argc) {
+        MetricsPath = Argv[++I];
+      }
+    }
+  }
+
+  ~ObsSession() {
+    if (!TracePath.empty()) {
+      if (obs::Tracer::global().writeTo(TracePath))
+        std::fprintf(stderr, "bench: wrote trace to %s (%zu events)\n",
+                     TracePath.c_str(), obs::Tracer::global().numEvents());
+      else
+        std::fprintf(stderr, "bench: failed to write trace to %s\n",
+                     TracePath.c_str());
+    }
+    if (!MetricsPath.empty()) {
+      if (obs::MetricsRegistry::global().writeJson(MetricsPath))
+        std::fprintf(stderr, "bench: wrote metrics to %s\n",
+                     MetricsPath.c_str());
+      else
+        std::fprintf(stderr, "bench: failed to write metrics to %s\n",
+                     MetricsPath.c_str());
+    }
+  }
+
+  ObsSession(const ObsSession &) = delete;
+  ObsSession &operator=(const ObsSession &) = delete;
+
+private:
+  std::string TracePath;
+  std::string MetricsPath;
+};
 
 } // namespace bench
 } // namespace tdr

@@ -22,7 +22,8 @@
 using namespace tdr;
 using namespace tdr::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  ObsSession Obs(Argc, Argv);
   banner("Figure 16: execution times (performance input, P = 12 modeled)");
   std::printf("%-14s %12s %16s %16s %10s %10s %12s\n", "Benchmark",
               "Seq (ms)", "Original (ms)", "Repaired (ms)", "Spd orig",

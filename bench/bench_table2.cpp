@@ -19,7 +19,8 @@
 using namespace tdr;
 using namespace tdr::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  ObsSession Obs(Argc, Argv);
   banner("Table 2: Time for Program Repair (MRW ESP-bags, repair input)");
   std::printf("%-14s %10s %14s %12s %14s %12s %9s %8s\n", "Benchmark",
               "HJ-Seq(ms)", "Detection(ms)", "S-DPST", "Races(raw)",

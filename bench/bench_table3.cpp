@@ -18,7 +18,8 @@
 using namespace tdr;
 using namespace tdr::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  ObsSession Obs(Argc, Argv);
   banner("Table 3: Comparison of SRW ESP-Bags and MRW ESP-Bags "
          "(repair input)");
   std::printf("%-14s | %12s %12s | %12s %12s | %12s | %10s %10s\n",

@@ -7,6 +7,7 @@
 #include "dpst/Dpst.h"
 
 #include "ast/Ast.h"
+#include "obs/Metrics.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -34,6 +35,8 @@ Dpst::Dpst() {
 }
 
 DpstNode *Dpst::createNode(DpstKind K, DpstNode *Parent) {
+  static obs::Counter &CNodes = obs::counter("dpst.nodes");
+  CNodes.inc();
   Nodes.emplace_back();
   DpstNode *N = &Nodes.back();
   N->Id = NextId++;
@@ -99,6 +102,8 @@ bool Dpst::isLeftOf(const DpstNode *A, const DpstNode *B) const {
 }
 
 bool Dpst::mayHappenInParallel(const DpstNode *S1, const DpstNode *S2) const {
+  static obs::Counter &CQueries = obs::counter("dpst.mhp_queries");
+  CQueries.inc();
   assert(S1 != S2 && "parallelism query on a single node");
   const DpstNode *Left = S1, *Right = S2;
   if (!isLeftOf(Left, Right))
@@ -133,6 +138,8 @@ DpstNode *Dpst::insertFinish(DpstNode *Parent, size_t Begin, size_t End,
   assert(Begin <= End && End < Parent->Children.size() &&
          "finish insertion range out of bounds");
 
+  static obs::Counter &CInserts = obs::counter("dpst.finish_inserts");
+  CInserts.inc();
   Nodes.emplace_back();
   DpstNode *F = &Nodes.back();
   F->Id = NextId++;

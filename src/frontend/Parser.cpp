@@ -6,6 +6,8 @@
 
 #include "frontend/Parser.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Diagnostics.h"
 #include "support/StringUtils.h"
 
@@ -60,11 +62,18 @@ void Parser::skipToStmtBoundary() {
 }
 
 Program *Parser::parseProgram() {
+  obs::ScopedSpan Span("parse", "frontend");
+  static obs::Counter &CParses = obs::counter("frontend.parses");
+  static obs::Counter &CFuncs = obs::counter("frontend.funcs");
+  static obs::Counter &CGlobals = obs::counter("frontend.globals");
+  CParses.inc();
   Program *P = Ctx.createProgram();
   while (Tok.isNot(TokenKind::Eof)) {
     if (Tok.is(TokenKind::KwVar)) {
+      CGlobals.inc();
       parseGlobalVar(*P);
     } else if (Tok.is(TokenKind::KwFunc)) {
+      CFuncs.inc();
       parseFuncDecl(*P);
     } else {
       Diags.error(Tok.Loc,

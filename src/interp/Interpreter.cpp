@@ -7,6 +7,8 @@
 #include "interp/Interpreter.h"
 
 #include "ast/Ast.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/StringUtils.h"
 
 #include <cmath>
@@ -75,6 +77,9 @@ static Value defaultValue(const Type *T) {
 ExecResult Interpreter::run() {
   assert(!Ran && "Interpreter::run() called twice");
   Ran = true;
+  obs::ScopedSpan Span("interp.run", "interp");
+  static obs::Counter &CRuns = obs::counter("interp.runs");
+  CRuns.inc();
 
   const FuncDecl *Main = P.mainFunc();
   assert(Main && "sema guarantees a main function");
@@ -111,6 +116,9 @@ ExecResult Interpreter::run() {
   R.ErrorLoc = ErrorLoc;
   R.Output = std::move(Output);
   R.TotalWork = Work;
+  static obs::Counter &CWork = obs::counter("interp.work");
+  CWork.inc(Work);
+  obs::gauge("interp.last_work").set(static_cast<int64_t>(Work));
   return R;
 }
 
@@ -304,6 +312,8 @@ Interpreter::Flow Interpreter::execStmt(const Stmt *S, const Stmt *Owner) {
 
   case Stmt::Kind::Async: {
     const auto *A = cast<AsyncStmt>(S);
+    static obs::Counter &CAsyncs = obs::counter("interp.asyncs");
+    CAsyncs.inc();
     if (Mon)
       Mon->onAsyncEnter(A, Owner);
     // Depth-first semantics: execute the body now, on a snapshot of the
@@ -319,6 +329,8 @@ Interpreter::Flow Interpreter::execStmt(const Stmt *S, const Stmt *Owner) {
 
   case Stmt::Kind::Finish: {
     const auto *Fin = cast<FinishStmt>(S);
+    static obs::Counter &CFinishes = obs::counter("interp.finishes");
+    CFinishes.inc();
     if (Mon)
       Mon->onFinishEnter(Fin, Owner);
     Flow F = execBody(Fin->body(), Fin);

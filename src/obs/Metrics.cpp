@@ -1,0 +1,187 @@
+//===- Metrics.cpp --------------------------------------------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+using namespace tdr;
+using namespace tdr::obs;
+
+void Histogram::observe(double X) {
+  std::lock_guard<std::mutex> Lock(M);
+  if (S.Count == 0) {
+    S.Min = S.Max = X;
+  } else {
+    S.Min = std::min(S.Min, X);
+    S.Max = std::max(S.Max, X);
+  }
+  ++S.Count;
+  S.Sum += X;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return S;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> Lock(M);
+  S = Snapshot();
+}
+
+MetricsRegistry &MetricsRegistry::global() {
+  // Leaked on purpose: hook sites cache references and atexit-registered
+  // trace flushes may dump metrics after static destruction began.
+  static MetricsRegistry *R = new MetricsRegistry();
+  return *R;
+}
+
+Counter &MetricsRegistry::counter(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Counters.find(Name);
+  if (It == Counters.end())
+    It = Counters.emplace(std::string(Name), std::make_unique<Counter>())
+             .first;
+  return *It->second;
+}
+
+Gauge &MetricsRegistry::gauge(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Gauges.find(Name);
+  if (It == Gauges.end())
+    It = Gauges.emplace(std::string(Name), std::make_unique<Gauge>()).first;
+  return *It->second;
+}
+
+Histogram &MetricsRegistry::histogram(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Histograms.find(Name);
+  if (It == Histograms.end())
+    It = Histograms.emplace(std::string(Name), std::make_unique<Histogram>())
+             .first;
+  return *It->second;
+}
+
+uint64_t MetricsRegistry::counterValue(std::string_view Name) const {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? 0 : It->second->value();
+}
+
+int64_t MetricsRegistry::gaugeValue(std::string_view Name) const {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Gauges.find(Name);
+  return It == Gauges.end() ? 0 : It->second->value();
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Counters.size() + Gauges.size() + Histograms.size();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> Lock(M);
+  for (auto &[Name, C] : Counters)
+    C->reset();
+  for (auto &[Name, G] : Gauges)
+    G->reset();
+  for (auto &[Name, H] : Histograms)
+    H->reset();
+}
+
+namespace {
+
+void appendJsonString(std::string &Out, std::string_view S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+void appendJsonDouble(std::string &Out, double X) {
+  if (!std::isfinite(X)) {
+    Out += "0";
+    return;
+  }
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", X);
+  Out += Buf;
+}
+
+} // namespace
+
+std::string MetricsRegistry::dumpJson() const {
+  std::lock_guard<std::mutex> Lock(M);
+  // Merge all kinds into one sorted key space (names are disjoint by
+  // convention: counters/gauges/histograms never share a name).
+  std::map<std::string_view, std::string> Entries;
+  for (const auto &[Name, C] : Counters)
+    Entries[Name] = std::to_string(C->value());
+  for (const auto &[Name, G] : Gauges)
+    Entries[Name] = std::to_string(G->value());
+  for (const auto &[Name, H] : Histograms) {
+    Histogram::Snapshot S = H->snapshot();
+    std::string V = "{\"count\":" + std::to_string(S.Count) + ",\"sum\":";
+    appendJsonDouble(V, S.Sum);
+    V += ",\"min\":";
+    appendJsonDouble(V, S.Min);
+    V += ",\"max\":";
+    appendJsonDouble(V, S.Max);
+    V += ",\"mean\":";
+    appendJsonDouble(V, S.mean());
+    V += "}";
+    Entries[Name] = std::move(V);
+  }
+
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &[Name, Value] : Entries) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\n  ";
+    appendJsonString(Out, Name);
+    Out += ": ";
+    Out += Value;
+  }
+  Out += "\n}\n";
+  return Out;
+}
+
+bool MetricsRegistry::writeJson(const std::string &Path) const {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << dumpJson();
+  return static_cast<bool>(Out);
+}

@@ -1,0 +1,137 @@
+//===- Metrics.h - Named counters, gauges, and histograms --------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The process-wide metrics registry: named counters, gauges, and
+/// histograms the pipeline increments at its hook points (S-DPST nodes
+/// built, ESP-bags shadow checks, DP subproblems solved, runtime steals,
+/// ...) and dumps as one JSON object (`tdr ... --metrics-json m.json`).
+///
+/// Instruments are registered on first use and never destroyed, so hook
+/// sites bind them once through a function-local static and then touch a
+/// single relaxed atomic per event:
+///
+/// \code
+///   static obs::Counter &Checks = obs::counter("espbags.checks");
+///   Checks.inc();
+/// \endcode
+///
+/// Counters and gauges are safe to update from any thread (the runtime's
+/// workers update theirs concurrently). Histograms take a mutex and are
+/// meant for per-phase observations, not per-event hot paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_OBS_METRICS_H
+#define TDR_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace tdr {
+namespace obs {
+
+/// Monotonically increasing event count.
+class Counter {
+public:
+  void inc(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Last-written value (e.g. S-DPST nodes of the most recent detection run).
+class Gauge {
+public:
+  void set(int64_t X) { V.store(X, std::memory_order_relaxed); }
+  int64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> V{0};
+};
+
+/// Count/sum/min/max summary of a stream of observations (per-phase wall
+/// times and the like).
+class Histogram {
+public:
+  struct Snapshot {
+    uint64_t Count = 0;
+    double Sum = 0;
+    double Min = 0;
+    double Max = 0;
+    double mean() const { return Count ? Sum / static_cast<double>(Count) : 0; }
+  };
+
+  void observe(double X);
+  Snapshot snapshot() const;
+  void reset();
+
+private:
+  mutable std::mutex M;
+  Snapshot S;
+};
+
+/// Owns every named instrument of the process. Use the global() instance
+/// (or the counter()/gauge()/histogram() shorthands below); separate
+/// instances exist only so tests can exercise the registry in isolation.
+class MetricsRegistry {
+public:
+  /// The process-wide registry. Never destroyed.
+  static MetricsRegistry &global();
+
+  /// Finds or registers an instrument. References stay valid for the
+  /// lifetime of the registry.
+  Counter &counter(std::string_view Name);
+  Gauge &gauge(std::string_view Name);
+  Histogram &histogram(std::string_view Name);
+
+  /// Current value of a counter, or 0 when it was never registered.
+  uint64_t counterValue(std::string_view Name) const;
+  /// Current value of a gauge, or 0 when it was never registered.
+  int64_t gaugeValue(std::string_view Name) const;
+
+  /// Number of registered instruments (all kinds).
+  size_t size() const;
+
+  /// Zeroes every instrument, keeping registrations.
+  void reset();
+
+  /// One JSON object, keys sorted: counters and gauges map to integers,
+  /// histograms to {"count","sum","min","max","mean"} objects.
+  std::string dumpJson() const;
+  /// Writes dumpJson() to \p Path. Returns false on I/O failure.
+  bool writeJson(const std::string &Path) const;
+
+private:
+  mutable std::mutex M;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> Gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> Histograms;
+};
+
+/// Shorthands against the global registry, for hook sites.
+inline Counter &counter(std::string_view Name) {
+  return MetricsRegistry::global().counter(Name);
+}
+inline Gauge &gauge(std::string_view Name) {
+  return MetricsRegistry::global().gauge(Name);
+}
+inline Histogram &histogram(std::string_view Name) {
+  return MetricsRegistry::global().histogram(Name);
+}
+
+} // namespace obs
+} // namespace tdr
+
+#endif // TDR_OBS_METRICS_H

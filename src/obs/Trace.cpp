@@ -1,0 +1,194 @@
+//===- Trace.cpp ----------------------------------------------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+using namespace tdr;
+using namespace tdr::obs;
+
+namespace {
+
+/// Small dense per-thread ids so traces group spans by thread.
+uint32_t currentTid() {
+  static std::atomic<uint32_t> NextTid{0};
+  thread_local uint32_t Tid = NextTid.fetch_add(1, std::memory_order_relaxed);
+  return Tid;
+}
+
+void appendJsonString(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+/// One trace_event object. Timestamps are microseconds in Chrome's format;
+/// keep nanosecond precision with a fractional part.
+void appendEvent(std::string &Out, const TraceEvent &E) {
+  char Buf[128];
+  Out += "{\"name\":";
+  appendJsonString(Out, E.Name);
+  Out += ",\"cat\":";
+  appendJsonString(Out, E.Cat);
+  std::snprintf(Buf, sizeof(Buf),
+                ",\"ph\":\"%c\",\"ts\":%llu.%03llu", E.Ph,
+                static_cast<unsigned long long>(E.TsNs / 1000),
+                static_cast<unsigned long long>(E.TsNs % 1000));
+  Out += Buf;
+  if (E.Ph == 'X') {
+    std::snprintf(Buf, sizeof(Buf), ",\"dur\":%llu.%03llu",
+                  static_cast<unsigned long long>(E.DurNs / 1000),
+                  static_cast<unsigned long long>(E.DurNs % 1000));
+    Out += Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf), ",\"pid\":1,\"tid\":%u}", E.Tid);
+  Out += Buf;
+}
+
+} // namespace
+
+namespace tdr {
+namespace obs {
+/// atexit hook for the TDR_TRACE env sink. Registered from the Tracer
+/// constructor, so it runs while the (leaked) tracer is still alive.
+void flushEnvSink() {
+  Tracer &T = Tracer::global();
+  if (T.EnvSinkPath.empty())
+    return;
+  if (T.writeTo(T.EnvSinkPath))
+    std::fprintf(stderr, "tdr: wrote trace to %s (%zu events)\n",
+                 T.EnvSinkPath.c_str(), T.numEvents());
+  else
+    std::fprintf(stderr, "tdr: failed to write trace to %s\n",
+                 T.EnvSinkPath.c_str());
+}
+} // namespace obs
+} // namespace tdr
+
+Tracer::Tracer() {
+  if (const char *Env = std::getenv("TDR_TRACE"); Env && *Env) {
+    EnvSinkPath = Env;
+    EnabledFlag.store(true, std::memory_order_relaxed);
+    std::atexit(flushEnvSink);
+  }
+}
+
+Tracer &Tracer::global() {
+  // Leaked on purpose: the atexit env-sink flush must outlive static
+  // destruction, and hook sites may race shutdown.
+  static Tracer *T = new Tracer();
+  return *T;
+}
+
+void Tracer::recordSpan(std::string Name, const char *Cat, uint64_t StartNs,
+                        uint64_t EndNs) {
+  TraceEvent E;
+  E.Name = std::move(Name);
+  E.Cat = Cat;
+  E.TsNs = StartNs;
+  E.DurNs = EndNs >= StartNs ? EndNs - StartNs : 0;
+  E.Tid = currentTid();
+  E.Ph = 'X';
+  std::lock_guard<std::mutex> Lock(M);
+  Events.push_back(std::move(E));
+}
+
+void Tracer::recordInstant(std::string Name, const char *Cat) {
+  if (!enabled())
+    return;
+  TraceEvent E;
+  E.Name = std::move(Name);
+  E.Cat = Cat;
+  E.TsNs = Timer::nowNs();
+  E.Tid = currentTid();
+  E.Ph = 'i';
+  std::lock_guard<std::mutex> Lock(M);
+  Events.push_back(std::move(E));
+}
+
+size_t Tracer::numEvents() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Events.size();
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Events;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> Lock(M);
+  Events.clear();
+}
+
+std::string Tracer::renderChromeJson() const {
+  std::vector<TraceEvent> Snap = snapshot();
+  std::string Out = "{\"traceEvents\":[";
+  for (size_t I = 0; I != Snap.size(); ++I) {
+    Out += I ? ",\n  " : "\n  ";
+    appendEvent(Out, Snap[I]);
+  }
+  Out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return Out;
+}
+
+std::string Tracer::renderJsonl() const {
+  std::vector<TraceEvent> Snap = snapshot();
+  std::string Out;
+  for (const TraceEvent &E : Snap) {
+    appendEvent(Out, E);
+    Out += '\n';
+  }
+  return Out;
+}
+
+bool Tracer::writeChromeTrace(const std::string &Path) const {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << renderChromeJson();
+  return static_cast<bool>(Out);
+}
+
+bool Tracer::writeJsonl(const std::string &Path) const {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << renderJsonl();
+  return static_cast<bool>(Out);
+}
+
+bool Tracer::writeTo(const std::string &Path) const {
+  bool Jsonl =
+      Path.size() > 6 && Path.compare(Path.size() - 6, 6, ".jsonl") == 0;
+  return Jsonl ? writeJsonl(Path) : writeChromeTrace(Path);
+}

@@ -1,0 +1,125 @@
+//===- Trace.h - Phase-scoped tracing in Chrome trace format -----*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Phase-scoped tracing for the repair pipeline. Hook points open RAII
+/// ScopedSpans ("parse", "sema", "detect", "placement", ...); the global
+/// Tracer buffers the completed spans and serializes them as Chrome
+/// `trace_event` JSON (loadable in chrome://tracing or Perfetto) or as a
+/// one-event-per-line JSONL stream.
+///
+/// Tracing is off by default and must stay near-free when off: a disabled
+/// ScopedSpan costs one relaxed atomic load and records nothing. Enable it
+/// programmatically (Tracer::global().enable()), via `tdr ... --trace
+/// out.json`, or by setting the TDR_TRACE environment variable to an
+/// output path — the env var enables tracing in any tdr binary (benches
+/// included) and flushes the trace at process exit.
+///
+/// Timestamps come from Timer::nowNs(), the same monotonic clock the
+/// benchmark harnesses time with, so span durations and bench columns
+/// agree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_OBS_TRACE_H
+#define TDR_OBS_TRACE_H
+
+#include "support/Timer.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tdr {
+namespace obs {
+
+/// One buffered trace event. Ph follows the Chrome trace_event phase
+/// codes: 'X' complete (span), 'i' instant.
+struct TraceEvent {
+  std::string Name;
+  const char *Cat = "tdr"; ///< static category string
+  uint64_t TsNs = 0;       ///< start time, Timer::nowNs()
+  uint64_t DurNs = 0;      ///< duration ('X' events; 0 for instants)
+  uint32_t Tid = 0;        ///< small per-thread id
+  char Ph = 'X';
+};
+
+/// Buffers trace events and renders them. Thread safe.
+class Tracer {
+public:
+  /// The process-wide tracer. First use reads TDR_TRACE; never destroyed.
+  static Tracer &global();
+
+  /// The single branch every hook point takes when tracing is off.
+  static bool enabled() {
+    return global().EnabledFlag.load(std::memory_order_relaxed);
+  }
+
+  void enable() { EnabledFlag.store(true, std::memory_order_relaxed); }
+  void disable() { EnabledFlag.store(false, std::memory_order_relaxed); }
+
+  /// Records a completed span [StartNs, EndNs] on the calling thread.
+  void recordSpan(std::string Name, const char *Cat, uint64_t StartNs,
+                  uint64_t EndNs);
+  /// Records an instant event at the current time.
+  void recordInstant(std::string Name, const char *Cat = "tdr");
+
+  size_t numEvents() const;
+  std::vector<TraceEvent> snapshot() const;
+  void clear();
+
+  /// Chrome trace_event JSON: {"traceEvents":[...]} with microsecond
+  /// timestamps, loadable in chrome://tracing / Perfetto.
+  std::string renderChromeJson() const;
+  /// One JSON object per line (event sink for log shippers).
+  std::string renderJsonl() const;
+
+  bool writeChromeTrace(const std::string &Path) const;
+  bool writeJsonl(const std::string &Path) const;
+  /// Dispatches on extension: ".jsonl" writes JSONL, anything else Chrome
+  /// trace JSON.
+  bool writeTo(const std::string &Path) const;
+
+private:
+  Tracer();
+
+  std::atomic<bool> EnabledFlag{false};
+  std::string EnvSinkPath; ///< TDR_TRACE target flushed at exit
+  mutable std::mutex M;
+  std::vector<TraceEvent> Events;
+
+  friend void flushEnvSink();
+};
+
+/// RAII phase span. When tracing is disabled at construction the whole
+/// object is a no-op (one relaxed load, no clock reads).
+class ScopedSpan {
+public:
+  explicit ScopedSpan(const char *Name, const char *Cat = "tdr")
+      : Name(Name), Cat(Cat), Active(Tracer::enabled()),
+        StartNs(Active ? Timer::nowNs() : 0) {}
+
+  ScopedSpan(const ScopedSpan &) = delete;
+  ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  ~ScopedSpan() {
+    if (Active)
+      Tracer::global().recordSpan(Name, Cat, StartNs, Timer::nowNs());
+  }
+
+private:
+  const char *Name;
+  const char *Cat;
+  bool Active;
+  uint64_t StartNs;
+};
+
+} // namespace obs
+} // namespace tdr
+
+#endif // TDR_OBS_TRACE_H

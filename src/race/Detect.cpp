@@ -6,12 +6,30 @@
 
 #include "race/Detect.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "race/OracleDetector.h"
 
 using namespace tdr;
 
+namespace {
+
+/// Publishes the per-run gauges a finished detection derives its stats
+/// from (see RepairStats).
+void publishDetection(const Detection &D) {
+  obs::gauge("detect.dpst_nodes").set(static_cast<int64_t>(D.Tree->numNodes()));
+  obs::gauge("detect.races_raw").set(static_cast<int64_t>(D.Report.RawCount));
+  obs::gauge("detect.race_pairs")
+      .set(static_cast<int64_t>(D.Report.Pairs.size()));
+}
+
+} // namespace
+
 Detection tdr::detectRaces(const Program &P, EspBagsDetector::Mode Mode,
                            ExecOptions Exec) {
+  obs::ScopedSpan Span("detect", "race");
+  static obs::Counter &CRuns = obs::counter("detect.runs");
+  CRuns.inc();
   Detection D;
   D.Tree = std::make_unique<Dpst>();
   DpstBuilder Builder(*D.Tree);
@@ -22,10 +40,12 @@ Detection tdr::detectRaces(const Program &P, EspBagsDetector::Mode Mode,
   Exec.Monitor = &Pipeline;
   D.Exec = runProgram(P, std::move(Exec));
   D.Report = Detector.takeReport();
+  publishDetection(D);
   return D;
 }
 
 Detection tdr::detectRacesOracle(const Program &P, ExecOptions Exec) {
+  obs::ScopedSpan Span("detect.oracle", "race");
   Detection D;
   D.Tree = std::make_unique<Dpst>();
   DpstBuilder Builder(*D.Tree);
@@ -36,5 +56,6 @@ Detection tdr::detectRacesOracle(const Program &P, ExecOptions Exec) {
   Exec.Monitor = &Pipeline;
   D.Exec = runProgram(P, std::move(Exec));
   D.Report = Detector.takeReport();
+  publishDetection(D);
   return D;
 }

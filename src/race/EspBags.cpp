@@ -6,7 +6,25 @@
 
 #include "race/EspBags.h"
 
+#include "obs/Metrics.h"
+
 using namespace tdr;
+
+namespace {
+// Hook-site instruments, bound once (see obs/Metrics.h).
+obs::Counter &espChecks() {
+  static obs::Counter &C = obs::counter("espbags.checks");
+  return C;
+}
+obs::Counter &espReads() {
+  static obs::Counter &C = obs::counter("espbags.reads");
+  return C;
+}
+obs::Counter &espWrites() {
+  static obs::Counter &C = obs::counter("espbags.writes");
+  return C;
+}
+} // namespace
 
 EspBagsDetector::EspBagsDetector(Mode M, DpstBuilder &Builder)
     : M(M), Builder(Builder) {
@@ -42,11 +60,15 @@ void EspBagsDetector::onFinishExit(const FinishStmt *) {
 void EspBagsDetector::recordRace(const Access &Prev, AccessKind PrevKind,
                                  DpstNode *CurStep, AccessKind CurKind,
                                  MemLoc L) {
+  static obs::Counter &CRaw = obs::counter("race.reports_raw");
+  CRaw.inc();
   ++Report.RawCount;
   uint64_t Key = (static_cast<uint64_t>(Prev.Step->id()) << 32) |
                  CurStep->id();
   if (!SeenPairs.insert(Key).second)
     return;
+  static obs::Counter &CPairs = obs::counter("race.pairs");
+  CPairs.inc();
   RacePair R;
   R.Src = Prev.Step;
   R.Snk = CurStep;
@@ -59,6 +81,8 @@ void EspBagsDetector::recordRace(const Access &Prev, AccessKind PrevKind,
 void EspBagsDetector::onRead(MemLoc L) {
   DpstNode *Step = Builder.currentStep();
   Shadow &S = ShadowMem[L];
+  espReads().inc();
+  espChecks().inc(S.Writers.size());
 
   for (const Access &W : S.Writers)
     if (W.Step != Step && Bags.isP(W.Elem))
@@ -83,6 +107,8 @@ void EspBagsDetector::onRead(MemLoc L) {
 void EspBagsDetector::onWrite(MemLoc L) {
   DpstNode *Step = Builder.currentStep();
   Shadow &S = ShadowMem[L];
+  espWrites().inc();
+  espChecks().inc(S.Writers.size() + S.Readers.size());
 
   for (const Access &W : S.Writers)
     if (W.Step != Step && Bags.isP(W.Elem))

@@ -6,6 +6,9 @@
 
 #include "repair/DepGraph.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 #include <algorithm>
 #include <cassert>
 #include <map>
@@ -95,6 +98,8 @@ struct Coarsener {
 
 std::vector<DepGroup> tdr::buildDepGroups(const Dpst &Tree,
                                           const std::vector<RacePair> &Races) {
+  obs::ScopedSpan Span("dpst.group", "repair");
+  static obs::Counter &CGroups = obs::counter("repair.groups");
   // Bucket races by NS-LCA.
   std::unordered_map<const DpstNode *, std::vector<RacePair>> Buckets;
   for (const RacePair &R : Races) {
@@ -155,6 +160,7 @@ std::vector<DepGroup> tdr::buildDepGroups(const Dpst &Tree,
     Groups.push_back(std::move(G));
   }
 
+  CGroups.inc(Groups.size());
   // Deepest NS-LCA first; ties by id for determinism.
   std::sort(Groups.begin(), Groups.end(),
             [](const DepGroup &A, const DepGroup &B) {

@@ -6,6 +6,9 @@
 
 #include "repair/FinishPlacement.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 #include <algorithm>
 #include <cassert>
 #include <limits>
@@ -78,6 +81,11 @@ private:
 
 PlacementResult tdr::placeFinishes(const PlacementProblem &Problem,
                                    const ValidRangeFn &Valid) {
+  obs::ScopedSpan Span("placement.dp", "repair");
+  static obs::Counter &CRuns = obs::counter("dp.runs");
+  static obs::Counter &CSubproblems = obs::counter("dp.subproblems");
+  static obs::Counter &CTried = obs::counter("dp.placements_tried");
+  CRuns.inc();
   size_t N = Problem.size();
   PlacementResult Result;
   if (N == 0) {
@@ -87,6 +95,8 @@ PlacementResult tdr::placeFinishes(const PlacementProblem &Problem,
 
   CrossingTable Cross(Problem);
   ValidCache IsValid(N, Valid);
+  uint64_t Subproblems = N; // the N base cases below
+  uint64_t PartitionsTried = 0;
 
   // Opt[i][j]: minimal completion time of block i..j.
   // Est[i][j]: earliest start of the node following block i..j, relative
@@ -105,6 +115,8 @@ PlacementResult tdr::placeFinishes(const PlacementProblem &Problem,
   for (size_t S = 2; S <= N; ++S) {
     for (size_t I = 0; I + S - 1 < N; ++I) {
       size_t J = I + S - 1;
+      ++Subproblems;
+      PartitionsTried += J - I;
       uint64_t CMin = Infinite;
       uint64_t EBest = Infinite;
       uint32_t PBest = 0;
@@ -147,6 +159,9 @@ PlacementResult tdr::placeFinishes(const PlacementProblem &Problem,
       }
     }
   }
+
+  CSubproblems.inc(Subproblems);
+  CTried.inc(PartitionsTried);
 
   if (Opt[Idx(0, N - 1)] == Infinite)
     return Result; // infeasible under the validity oracle

@@ -8,6 +8,8 @@
 
 #include "ast/AstPrinter.h"
 #include "frontend/Parser.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "sema/Sema.h"
 #include "support/Diagnostics.h"
 #include "support/SourceManager.h"
@@ -92,14 +94,33 @@ unsigned solveGroup(const Dpst &Tree, const DepGroup &G, StaticPlacer &Placer,
 
 RepairResult tdr::repairProgram(Program &P, AstContext &Ctx,
                                 const RepairOptions &Opts) {
+  obs::ScopedSpan RepairSpan("repair", "repair");
+  // The driver's instrument set. RepairStats is derived from these (and
+  // the detect.* gauges the detector publishes), not hand-maintained: the
+  // hook points are the single source of truth and the registry dump, the
+  // trace, and the returned stats all agree.
+  static obs::Counter &CIterations = obs::counter("repair.iterations");
+  static obs::Counter &CFinishes = obs::counter("repair.finishes_inserted");
+  obs::MetricsRegistry &Reg = obs::MetricsRegistry::global();
+  const uint64_t ItersBase = CIterations.value();
+  const uint64_t FinishesBase = CFinishes.value();
+
   RepairResult Result;
   RepairStats &Stats = Result.Stats;
+  auto DeriveStats = [&] {
+    Stats.Iterations = static_cast<unsigned>(CIterations.value() - ItersBase);
+    Stats.FinishesInserted =
+        static_cast<unsigned>(CFinishes.value() - FinishesBase);
+  };
 
   for (unsigned Iter = 0; Iter != Opts.MaxIterations; ++Iter) {
     Timer DetectTimer;
     Detection D = detectRaces(P, Opts.Mode, Opts.Exec);
-    Stats.DetectMs.push_back(DetectTimer.elapsedMs());
-    ++Stats.Iterations;
+    double DetectMs = DetectTimer.elapsedMs();
+    Stats.DetectMs.push_back(DetectMs);
+    obs::histogram("repair.detect_ms").observe(DetectMs);
+    CIterations.inc();
+    DeriveStats();
 
     if (!D.ok()) {
       Result.Error = strFormat("test input failed at run time: %s",
@@ -107,9 +128,13 @@ RepairResult tdr::repairProgram(Program &P, AstContext &Ctx,
       return Result;
     }
     if (Iter == 0) {
-      Stats.DpstNodes = D.Tree->numNodes();
-      Stats.RawRaces = D.Report.RawCount;
-      Stats.RacePairs = D.Report.Pairs.size();
+      // First-run shape columns of Tables 2/3, read back from the gauges
+      // detectRaces just published.
+      Stats.DpstNodes =
+          static_cast<size_t>(Reg.gaugeValue("detect.dpst_nodes"));
+      Stats.RawRaces = static_cast<uint64_t>(Reg.gaugeValue("detect.races_raw"));
+      Stats.RacePairs =
+          static_cast<size_t>(Reg.gaugeValue("detect.race_pairs"));
     }
     if (D.Report.Pairs.empty()) {
       Result.Success = true;
@@ -117,6 +142,7 @@ RepairResult tdr::repairProgram(Program &P, AstContext &Ctx,
     }
 
     Timer RepairTimer;
+    obs::ScopedSpan PlaceSpan("placement", "repair");
     StaticPlacer Placer(*D.Tree, Ctx, P);
     std::vector<RacePair> Pending = D.Report.Pairs;
 
@@ -128,7 +154,8 @@ RepairResult tdr::repairProgram(Program &P, AstContext &Ctx,
       std::vector<DepGroup> Groups = buildDepGroups(*D.Tree, Pending);
       assert(!Groups.empty());
       unsigned Applied = solveGroup(*D.Tree, Groups.front(), Placer, Result);
-      Stats.FinishesInserted += Applied;
+      CFinishes.inc(Applied);
+      DeriveStats();
 
       size_t Before = Pending.size();
       Pending.erase(std::remove_if(Pending.begin(), Pending.end(),
@@ -139,7 +166,9 @@ RepairResult tdr::repairProgram(Program &P, AstContext &Ctx,
                     Pending.end());
       Progress = Applied != 0 && Pending.size() < Before;
     }
-    Stats.RepairMs.push_back(RepairTimer.elapsedMs());
+    double RepairMs = RepairTimer.elapsedMs();
+    Stats.RepairMs.push_back(RepairMs);
+    obs::histogram("repair.repair_ms").observe(RepairMs);
 
     if (!Pending.empty() && Stats.FinishesInserted == 0) {
       Result.Error = "no applicable finish placement was found for the "

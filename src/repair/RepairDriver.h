@@ -37,6 +37,12 @@ struct RepairOptions {
 };
 
 /// Per-run measurements (the columns of Tables 2 and 3).
+///
+/// Derived from the obs metrics registry rather than hand-maintained:
+/// Iterations and FinishesInserted are deltas of the `repair.iterations` /
+/// `repair.finishes_inserted` counters over this run, and the first-run
+/// shape fields read the `detect.*` gauges the detector publishes. The
+/// same numbers therefore appear in `--metrics-json` dumps.
 struct RepairStats {
   /// Wall-clock of each detection run (S-DPST construction + detection).
   std::vector<double> DetectMs;

@@ -6,6 +6,9 @@
 
 #include "runtime/Runtime.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 #include <cassert>
 
 using namespace tdr;
@@ -79,6 +82,8 @@ Runtime::~Runtime() {
 }
 
 void Runtime::spawn(Task *T) {
+  static obs::Counter &CPushes = obs::counter("runtime.deque_pushes");
+  CPushes.inc();
   Deques[CurWorker]->push(T);
   WorkEpoch.fetch_add(1, std::memory_order_release);
   IdleCv.notify_one();
@@ -99,6 +104,8 @@ Task *Runtime::findWork() {
     if (Victim == CurWorker)
       continue;
     if (Deques[Victim]->steal(T)) {
+      static obs::Counter &CSteals = obs::counter("runtime.steals");
+      CSteals.inc();
       Steals.fetch_add(1, std::memory_order_relaxed);
       return T;
     }
@@ -113,6 +120,8 @@ void Runtime::execute(Task *T) {
   CurFinish = SavedFinish;
   FinishNode *F = T->Finish;
   delete T;
+  static obs::Counter &CTasks = obs::counter("runtime.tasks");
+  CTasks.inc();
   TasksExecuted.fetch_add(1, std::memory_order_relaxed);
   if (F)
     F->Pending.fetch_sub(1, std::memory_order_acq_rel);
@@ -152,6 +161,7 @@ void Runtime::helpUntil(FinishNode &Node) {
 
 void Runtime::run(std::function<void()> Root) {
   assert(!CurRuntime && "Runtime::run is not reentrant");
+  obs::ScopedSpan Span("runtime.run", "runtime");
   CurRuntime = this;
   CurWorker = 0;
   {

@@ -7,6 +7,8 @@
 #include "sema/Sema.h"
 
 #include "ast/AstContext.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Diagnostics.h"
 #include "support/StringUtils.h"
 
@@ -587,5 +589,8 @@ const Type *Sema::checkBuiltinCall(CallExpr *C, Builtin B) {
 } // namespace
 
 bool tdr::runSema(Program &P, AstContext &Ctx, DiagnosticsEngine &Diags) {
+  obs::ScopedSpan Span("sema", "frontend");
+  static obs::Counter &CRuns = obs::counter("sema.runs");
+  CRuns.inc();
   return Sema(P, Ctx, Diags).run();
 }

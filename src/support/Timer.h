@@ -5,8 +5,10 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Millisecond wall-clock timer used by the benchmark harnesses to report
-/// the timing columns of Tables 2 and 3.
+/// Wall-clock timing built on one monotonic clock source, Timer::nowNs().
+/// The benchmark harnesses report the timing columns of Tables 2 and 3
+/// through elapsedMs(), and the tracer (obs/Trace.h) stamps its spans with
+/// nowNs() directly, so bench timings and trace timestamps agree.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -14,28 +16,38 @@
 #define TDR_SUPPORT_TIMER_H
 
 #include <chrono>
+#include <cstdint>
 
 namespace tdr {
 
 /// Measures elapsed wall-clock time from construction (or the last reset).
 class Timer {
 public:
-  Timer() : Start(Clock::now()) {}
+  Timer() : StartNs(nowNs()) {}
 
-  void reset() { Start = Clock::now(); }
+  void reset() { StartNs = nowNs(); }
+
+  /// Monotonic nanoseconds since an arbitrary epoch: the single clock
+  /// source for timers and trace spans.
+  static uint64_t nowNs() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
 
   /// Elapsed milliseconds as a double.
   double elapsedMs() const {
-    return std::chrono::duration<double, std::milli>(Clock::now() - Start)
-        .count();
+    return static_cast<double>(nowNs() - StartNs) / 1e6;
   }
 
   /// Elapsed seconds as a double.
-  double elapsedSec() const { return elapsedMs() / 1000.0; }
+  double elapsedSec() const {
+    return static_cast<double>(nowNs() - StartNs) / 1e9;
+  }
 
 private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point Start;
+  uint64_t StartNs;
 };
 
 } // namespace tdr

@@ -1,0 +1,413 @@
+//===- obs_test.cpp - Tracer, metrics registry, and pipeline hooks --------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+// The observability layer: span recording and nesting, Chrome trace / JSONL
+// rendering, the metrics registry, end-to-end counter increments from a
+// repairSource run, and the near-zero disabled path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "repair/RepairDriver.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace tdr;
+
+namespace {
+
+/// Minimal recursive-descent JSON validity checker (values, objects,
+/// arrays, strings with escapes, numbers, true/false/null). Enough to
+/// assert the emitters produce well-formed JSON without a dependency.
+class JsonChecker {
+public:
+  explicit JsonChecker(const std::string &S) : S(S) {}
+
+  bool valid() {
+    skipWs();
+    return value() && (skipWs(), Pos == S.size());
+  }
+
+private:
+  bool value() {
+    if (Pos >= S.size())
+      return false;
+    switch (S[Pos]) {
+    case '{':
+      return object();
+    case '[':
+      return array();
+    case '"':
+      return string();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    case 'n':
+      return literal("null");
+    default:
+      return number();
+    }
+  }
+
+  bool object() {
+    ++Pos; // '{'
+    skipWs();
+    if (peek() == '}')
+      return ++Pos, true;
+    while (true) {
+      skipWs();
+      if (!string())
+        return false;
+      skipWs();
+      if (peek() != ':')
+        return false;
+      ++Pos;
+      skipWs();
+      if (!value())
+        return false;
+      skipWs();
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      if (peek() == '}')
+        return ++Pos, true;
+      return false;
+    }
+  }
+
+  bool array() {
+    ++Pos; // '['
+    skipWs();
+    if (peek() == ']')
+      return ++Pos, true;
+    while (true) {
+      skipWs();
+      if (!value())
+        return false;
+      skipWs();
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      if (peek() == ']')
+        return ++Pos, true;
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"')
+      return false;
+    ++Pos;
+    while (Pos < S.size() && S[Pos] != '"') {
+      if (S[Pos] == '\\') {
+        ++Pos;
+        if (Pos >= S.size())
+          return false;
+      }
+      ++Pos;
+    }
+    if (Pos >= S.size())
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  bool number() {
+    size_t Start = Pos;
+    if (peek() == '-')
+      ++Pos;
+    while (Pos < S.size() &&
+           (std::isdigit(static_cast<unsigned char>(S[Pos])) ||
+            S[Pos] == '.' || S[Pos] == 'e' || S[Pos] == 'E' ||
+            S[Pos] == '+' || S[Pos] == '-'))
+      ++Pos;
+    return Pos > Start;
+  }
+
+  bool literal(const char *L) {
+    size_t Len = std::strlen(L);
+    if (S.compare(Pos, Len, L) != 0)
+      return false;
+    Pos += Len;
+    return true;
+  }
+
+  void skipWs() {
+    while (Pos < S.size() &&
+           std::isspace(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+  }
+
+  char peek() const { return Pos < S.size() ? S[Pos] : '\0'; }
+
+  const std::string &S;
+  size_t Pos = 0;
+};
+
+/// A two-async racy accumulator; repairSource inserts at least one finish.
+const char *RacySource = R"(
+func main() {
+  var a: int[] = new int[1];
+  async a[0] = a[0] + 1;
+  async a[0] = a[0] + 2;
+  print(a[0]);
+}
+)";
+
+/// RAII guard: enables tracing for one test and restores the disabled
+/// state (and an empty buffer) afterwards so tests stay independent.
+struct TracingOn {
+  TracingOn() {
+    obs::Tracer::global().clear();
+    obs::Tracer::global().enable();
+  }
+  ~TracingOn() {
+    obs::Tracer::global().disable();
+    obs::Tracer::global().clear();
+  }
+};
+
+TEST(Timer, NowNsMonotonic) {
+  uint64_t A = Timer::nowNs();
+  uint64_t B = Timer::nowNs();
+  EXPECT_LE(A, B);
+  Timer T;
+  EXPECT_GE(T.elapsedMs(), 0.0);
+}
+
+TEST(Tracer, SpanNestingAndOrdering) {
+  TracingOn Guard;
+  {
+    obs::ScopedSpan Outer("outer", "test");
+    {
+      obs::ScopedSpan Inner("inner", "test");
+    }
+    {
+      obs::ScopedSpan Inner2("inner2", "test");
+    }
+  }
+  std::vector<obs::TraceEvent> Events = obs::Tracer::global().snapshot();
+  ASSERT_EQ(Events.size(), 3u);
+
+  // Spans complete innermost-first.
+  EXPECT_EQ(Events[0].Name, "inner");
+  EXPECT_EQ(Events[1].Name, "inner2");
+  EXPECT_EQ(Events[2].Name, "outer");
+
+  const obs::TraceEvent &Inner = Events[0];
+  const obs::TraceEvent &Inner2 = Events[1];
+  const obs::TraceEvent &Outer = Events[2];
+  // Nesting: both inner spans lie within the outer span's interval.
+  EXPECT_GE(Inner.TsNs, Outer.TsNs);
+  EXPECT_LE(Inner.TsNs + Inner.DurNs, Outer.TsNs + Outer.DurNs);
+  EXPECT_GE(Inner2.TsNs, Outer.TsNs);
+  EXPECT_LE(Inner2.TsNs + Inner2.DurNs, Outer.TsNs + Outer.DurNs);
+  // Ordering: inner precedes inner2.
+  EXPECT_LE(Inner.TsNs + Inner.DurNs, Inner2.TsNs);
+  // All on the same thread.
+  EXPECT_EQ(Inner.Tid, Outer.Tid);
+  EXPECT_EQ(Inner2.Tid, Outer.Tid);
+}
+
+TEST(Tracer, DisabledSpansRecordNothing) {
+  obs::Tracer::global().disable();
+  obs::Tracer::global().clear();
+  size_t Before = obs::Tracer::global().numEvents();
+  {
+    obs::ScopedSpan Span("ignored", "test");
+    obs::Tracer::global().recordInstant("also-ignored");
+  }
+  EXPECT_EQ(obs::Tracer::global().numEvents(), Before);
+  EXPECT_EQ(Before, 0u);
+}
+
+TEST(Tracer, ChromeTraceIsValidJsonWithRequiredFields) {
+  TracingOn Guard;
+  {
+    obs::ScopedSpan Span("phase \"quoted\"\n", "test");
+  }
+  obs::Tracer::global().recordInstant("marker");
+  std::string Json = obs::Tracer::global().renderChromeJson();
+  EXPECT_TRUE(JsonChecker(Json).valid()) << Json;
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(Json.find("\\\"quoted\\\""), std::string::npos);
+
+  // Every JSONL line is itself valid JSON.
+  std::string Jsonl = obs::Tracer::global().renderJsonl();
+  std::istringstream Lines(Jsonl);
+  std::string Line;
+  size_t NumLines = 0;
+  while (std::getline(Lines, Line)) {
+    EXPECT_TRUE(JsonChecker(Line).valid()) << Line;
+    ++NumLines;
+  }
+  EXPECT_EQ(NumLines, 2u);
+}
+
+TEST(Tracer, WriteToDispatchesOnExtension) {
+  TracingOn Guard;
+  {
+    obs::ScopedSpan Span("io", "test");
+  }
+  std::string Chrome = testing::TempDir() + "obs_test_trace.json";
+  std::string Jsonl = testing::TempDir() + "obs_test_trace.jsonl";
+  ASSERT_TRUE(obs::Tracer::global().writeTo(Chrome));
+  ASSERT_TRUE(obs::Tracer::global().writeTo(Jsonl));
+
+  auto Slurp = [](const std::string &Path) {
+    std::ifstream In(Path);
+    std::stringstream SS;
+    SS << In.rdbuf();
+    return SS.str();
+  };
+  std::string ChromeText = Slurp(Chrome);
+  std::string JsonlText = Slurp(Jsonl);
+  EXPECT_TRUE(JsonChecker(ChromeText).valid());
+  EXPECT_NE(ChromeText.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(JsonlText.find("\"traceEvents\""), std::string::npos);
+  std::remove(Chrome.c_str());
+  std::remove(Jsonl.c_str());
+}
+
+TEST(Metrics, CountersGaugesHistograms) {
+  obs::MetricsRegistry R;
+  obs::Counter &C = R.counter("test.counter");
+  C.inc();
+  C.inc(4);
+  EXPECT_EQ(C.value(), 5u);
+  EXPECT_EQ(&R.counter("test.counter"), &C);
+  EXPECT_EQ(R.counterValue("test.counter"), 5u);
+  EXPECT_EQ(R.counterValue("test.missing"), 0u);
+
+  obs::Gauge &G = R.gauge("test.gauge");
+  G.set(-7);
+  EXPECT_EQ(G.value(), -7);
+  EXPECT_EQ(R.gaugeValue("test.gauge"), -7);
+
+  obs::Histogram &H = R.histogram("test.hist");
+  H.observe(2.0);
+  H.observe(4.0);
+  obs::Histogram::Snapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 2u);
+  EXPECT_DOUBLE_EQ(S.Sum, 6.0);
+  EXPECT_DOUBLE_EQ(S.Min, 2.0);
+  EXPECT_DOUBLE_EQ(S.Max, 4.0);
+  EXPECT_DOUBLE_EQ(S.mean(), 3.0);
+
+  EXPECT_EQ(R.size(), 3u);
+  std::string Json = R.dumpJson();
+  EXPECT_TRUE(JsonChecker(Json).valid()) << Json;
+  EXPECT_NE(Json.find("\"test.counter\": 5"), std::string::npos);
+  EXPECT_NE(Json.find("\"test.gauge\": -7"), std::string::npos);
+  EXPECT_NE(Json.find("\"count\":2"), std::string::npos);
+
+  R.reset();
+  EXPECT_EQ(C.value(), 0u);
+  EXPECT_EQ(G.value(), 0);
+  EXPECT_EQ(H.snapshot().Count, 0u);
+  EXPECT_EQ(R.size(), 3u); // registrations survive reset
+}
+
+TEST(Metrics, EndToEndRepairIncrementsPipelineCounters) {
+  obs::MetricsRegistry &Reg = obs::MetricsRegistry::global();
+  const char *PipelineCounters[] = {
+      "frontend.parses",  "sema.runs",          "interp.runs",
+      "interp.asyncs",    "dpst.nodes",         "espbags.checks",
+      "espbags.writes",   "race.reports_raw",   "race.pairs",
+      "detect.runs",      "repair.iterations",  "repair.finishes_inserted",
+      "repair.groups",    "dp.runs",            "dp.subproblems",
+  };
+  std::map<std::string, uint64_t> Before;
+  for (const char *Name : PipelineCounters)
+    Before[Name] = Reg.counterValue(Name);
+
+  std::string Repaired;
+  RepairResult R = repairSource(RacySource, Repaired);
+  ASSERT_TRUE(R.Success) << R.Error;
+  ASSERT_GT(R.Stats.FinishesInserted, 0u);
+
+  for (const char *Name : PipelineCounters)
+    EXPECT_GT(Reg.counterValue(Name), Before[Name])
+        << Name << " did not move over an end-to-end repair";
+
+  // RepairStats is derived from the registry: the driver's numbers and the
+  // counter deltas must agree.
+  EXPECT_EQ(Reg.counterValue("repair.iterations") -
+                Before["repair.iterations"],
+            R.Stats.Iterations);
+  EXPECT_EQ(Reg.counterValue("repair.finishes_inserted") -
+                Before["repair.finishes_inserted"],
+            R.Stats.FinishesInserted);
+  // The last detection run of a successful repair is race free, and its
+  // gauges describe it.
+  EXPECT_EQ(Reg.gaugeValue("detect.race_pairs"), 0);
+  EXPECT_GT(Reg.gaugeValue("detect.dpst_nodes"), 0);
+
+  // The global dump stays valid JSON with the whole pipeline registered.
+  EXPECT_TRUE(JsonChecker(Reg.dumpJson()).valid());
+  EXPECT_GE(Reg.size(), 15u);
+}
+
+TEST(Metrics, DisabledTracerStillCountsButBuffersNoEvents) {
+  obs::Tracer::global().disable();
+  obs::Tracer::global().clear();
+  obs::MetricsRegistry &Reg = obs::MetricsRegistry::global();
+  uint64_t DetectBefore = Reg.counterValue("detect.runs");
+
+  std::string Repaired;
+  RepairResult R = repairSource(RacySource, Repaired);
+  ASSERT_TRUE(R.Success) << R.Error;
+
+  // Counters moved (metrics are always on)...
+  EXPECT_GT(Reg.counterValue("detect.runs"), DetectBefore);
+  // ...but the disabled tracer recorded nothing.
+  EXPECT_EQ(obs::Tracer::global().numEvents(), 0u);
+}
+
+TEST(Tracer, EndToEndRepairEmitsPhaseSpans) {
+  TracingOn Guard;
+  std::string Repaired;
+  RepairResult R = repairSource(RacySource, Repaired);
+  ASSERT_TRUE(R.Success) << R.Error;
+
+  std::vector<obs::TraceEvent> Events = obs::Tracer::global().snapshot();
+  auto Has = [&](const char *Name) {
+    return std::any_of(Events.begin(), Events.end(),
+                       [&](const obs::TraceEvent &E) { return E.Name == Name; });
+  };
+  EXPECT_TRUE(Has("parse"));
+  EXPECT_TRUE(Has("sema"));
+  EXPECT_TRUE(Has("detect"));
+  EXPECT_TRUE(Has("interp.run"));
+  EXPECT_TRUE(Has("repair"));
+  EXPECT_TRUE(Has("placement"));
+  EXPECT_TRUE(Has("dpst.group"));
+
+  // Nesting: every detect span lies inside the repair span.
+  auto RepairIt =
+      std::find_if(Events.begin(), Events.end(),
+                   [](const obs::TraceEvent &E) { return E.Name == "repair"; });
+  ASSERT_NE(RepairIt, Events.end());
+  for (const obs::TraceEvent &E : Events)
+    if (E.Name == "detect") {
+      EXPECT_GE(E.TsNs, RepairIt->TsNs);
+      EXPECT_LE(E.TsNs + E.DurNs, RepairIt->TsNs + RepairIt->DurNs);
+    }
+}
+
+} // namespace

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Validate the tdr CLI's --trace / --metrics-json output.
+
+Runs `tdr races <racy program> --trace ... --metrics-json ...` and checks
+that the emitted trace is well-formed Chrome trace_event JSON (loadable in
+chrome://tracing / Perfetto) and that the metrics dump is a flat JSON
+object covering the pipeline. Invoked from CTest (see tools/CMakeLists.txt)
+but also usable standalone:
+
+    python3 tools/check_trace.py build/tools/tdr
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+RACY_PROGRAM = """\
+func work(a: int[], i: int) {
+  a[i] = a[i] + 1;
+  a[0] = a[0] + i;
+}
+
+func main() {
+  var n: int = arg(0);
+  var a: int[] = new int[n + 1];
+  for (var i: int = 1; i <= n; i = i + 1) {
+    async work(a, i);
+  }
+  print(a[0]);
+}
+"""
+
+# Phase spans the pipeline must emit for a detection run.
+REQUIRED_SPANS = {"parse", "sema", "detect"}
+
+MIN_METRICS = 8
+
+FAILURES = []
+
+
+def check(cond, msg):
+    if not cond:
+        FAILURES.append(msg)
+
+
+def validate_trace(path):
+    with open(path) as f:
+        doc = json.load(f)  # raises on malformed JSON -> test failure
+    check(isinstance(doc, dict), "trace root must be a JSON object")
+    events = doc.get("traceEvents")
+    check(isinstance(events, list), "trace must have a traceEvents array")
+    if not isinstance(events, list):
+        return
+    check(len(events) > 0, "traceEvents must not be empty")
+    names = set()
+    for i, ev in enumerate(events):
+        for field in ("name", "ph", "ts", "pid", "tid"):
+            check(field in ev, f"event {i} missing required field '{field}'")
+        if ev.get("ph") == "X":
+            check("dur" in ev, f"complete event {i} missing 'dur'")
+            check(ev.get("dur", -1) >= 0, f"event {i} has negative dur")
+        check(ev.get("ts", -1) >= 0, f"event {i} has negative ts")
+        check(isinstance(ev.get("cat", ""), str), f"event {i} cat not a string")
+        names.add(ev.get("name"))
+    missing = REQUIRED_SPANS - names
+    check(not missing, f"trace missing phase spans: {sorted(missing)}")
+
+
+def validate_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    check(isinstance(doc, dict), "metrics dump must be a JSON object")
+    if not isinstance(doc, dict):
+        return
+    check(
+        len(doc) >= MIN_METRICS,
+        f"expected >= {MIN_METRICS} metrics, got {len(doc)}",
+    )
+    for key, value in doc.items():
+        check(isinstance(key, str) and key, "metric names must be strings")
+        ok = isinstance(value, (int, float)) or (
+            isinstance(value, dict)
+            and {"count", "sum", "min", "max", "mean"} <= set(value)
+        )
+        check(ok, f"metric '{key}' is neither a number nor a histogram object")
+    for name in ("dpst.nodes", "espbags.checks", "detect.runs"):
+        check(name in doc, f"metrics dump missing '{name}'")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} <path-to-tdr-binary>", file=sys.stderr)
+        return 2
+    tdr = sys.argv[1]
+
+    with tempfile.TemporaryDirectory(prefix="tdr-check-trace-") as tmp:
+        prog = os.path.join(tmp, "racy.hj")
+        trace = os.path.join(tmp, "trace.json")
+        metrics = os.path.join(tmp, "metrics.json")
+        with open(prog, "w") as f:
+            f.write(RACY_PROGRAM)
+
+        cmd = [
+            tdr, "races", prog, "--arg", "6",
+            "--trace", trace, "--metrics-json", metrics,
+        ]
+        result = subprocess.run(cmd, capture_output=True, text=True)
+        # `tdr races` exits 1 when races are found -- that is the expected
+        # outcome on a racy input; anything else is a tool failure.
+        check(
+            result.returncode in (0, 1),
+            f"tdr races exited {result.returncode}: {result.stderr.strip()}",
+        )
+        check(os.path.exists(trace), "--trace produced no file")
+        check(os.path.exists(metrics), "--metrics-json produced no file")
+
+        if os.path.exists(trace):
+            validate_trace(trace)
+        if os.path.exists(metrics):
+            validate_metrics(metrics)
+
+    if FAILURES:
+        for msg in FAILURES:
+            print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+        return 1
+    print("check_trace: OK (trace schema and metrics dump are valid)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,8 @@
 
 #include "ast/AstPrinter.h"
 #include "frontend/Parser.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "pinterp/ParallelInterpreter.h"
 #include "race/Detect.h"
 #include "repair/MultiInput.h"
@@ -28,7 +30,9 @@
 #include "support/Diagnostics.h"
 #include "support/SourceManager.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -47,7 +51,12 @@ int usage() {
       "  tdr stats   prog.hj [--arg N]... [--procs P]\n"
       "  tdr dot     prog.hj [--arg N]...\n"
       "  tdr coverage prog.hj --arg N [--arg M]... (one input per --arg)\n"
-      "  tdr dump    <benchmark>   (e.g. Mergesort; see bench_table1)\n");
+      "  tdr dump    <benchmark>   (e.g. Mergesort; see bench_table1)\n"
+      "observability (any command):\n"
+      "  --trace FILE         phase spans as Chrome trace JSON (.jsonl for\n"
+      "                       line-delimited events); TDR_TRACE=FILE works\n"
+      "                       for any tdr binary\n"
+      "  --metrics-json FILE  dump the metrics registry as one JSON object\n");
   return 2;
 }
 
@@ -58,7 +67,25 @@ struct Options {
   unsigned Workers = 1;
   unsigned Procs = 12;
   std::string OutFile;
+  std::string TraceFile;
+  std::string MetricsFile;
 };
+
+/// Parses a strictly positive integer flag value; diagnoses garbage,
+/// negatives, and zero instead of letting atoi cast them through.
+bool parsePositive(const char *Flag, const char *Text, unsigned &Out) {
+  char *End = nullptr;
+  errno = 0;
+  long V = std::strtol(Text, &End, 10);
+  if (End == Text || *End != '\0' || errno == ERANGE || V <= 0 ||
+      V > 1 << 20) {
+    std::fprintf(stderr, "error: %s expects a positive integer, got '%s'\n",
+                 Flag, Text);
+    return false;
+  }
+  Out = static_cast<unsigned>(V);
+  return true;
+}
 
 bool parseOptions(int Argc, char **Argv, Options &O) {
   for (int I = 0; I != Argc; ++I) {
@@ -67,11 +94,17 @@ bool parseOptions(int Argc, char **Argv, Options &O) {
     } else if (!std::strcmp(Argv[I], "--srw")) {
       O.Srw = true;
     } else if (!std::strcmp(Argv[I], "--workers") && I + 1 != Argc) {
-      O.Workers = static_cast<unsigned>(std::atoi(Argv[++I]));
+      if (!parsePositive("--workers", Argv[++I], O.Workers))
+        return false;
     } else if (!std::strcmp(Argv[I], "--procs") && I + 1 != Argc) {
-      O.Procs = static_cast<unsigned>(std::atoi(Argv[++I]));
+      if (!parsePositive("--procs", Argv[++I], O.Procs))
+        return false;
     } else if (!std::strcmp(Argv[I], "-o") && I + 1 != Argc) {
       O.OutFile = Argv[++I];
+    } else if (!std::strcmp(Argv[I], "--trace") && I + 1 != Argc) {
+      O.TraceFile = Argv[++I];
+    } else if (!std::strcmp(Argv[I], "--metrics-json") && I + 1 != Argc) {
+      O.MetricsFile = Argv[++I];
     } else if (Argv[I][0] == '-') {
       std::fprintf(stderr, "unknown option '%s'\n", Argv[I]);
       return false;
@@ -292,18 +325,7 @@ int cmdDump(const std::string &Name) {
   return 0;
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
-  if (Argc < 3)
-    return usage();
-  std::string Cmd = Argv[1];
-  if (Cmd == "dump")
-    return cmdDump(Argv[2]);
-
-  Options O;
-  if (!parseOptions(Argc - 2, Argv + 2, O))
-    return usage();
+int dispatch(const std::string &Cmd, const Options &O) {
   if (Cmd == "repair")
     return cmdRepair(O);
   if (Cmd == "races")
@@ -317,4 +339,46 @@ int main(int Argc, char **Argv) {
   if (Cmd == "coverage")
     return cmdCoverage(O);
   return usage();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 3)
+    return usage();
+  std::string Cmd = Argv[1];
+  if (Cmd == "dump")
+    return cmdDump(Argv[2]);
+
+  Options O;
+  if (!parseOptions(Argc - 2, Argv + 2, O))
+    return usage();
+
+  if (!O.TraceFile.empty())
+    obs::Tracer::global().enable();
+
+  int Ret = dispatch(Cmd, O);
+
+  if (!O.TraceFile.empty()) {
+    obs::Tracer &T = obs::Tracer::global();
+    if (T.writeTo(O.TraceFile))
+      std::fprintf(stderr, "tdr: wrote trace to %s (%zu events)\n",
+                   O.TraceFile.c_str(), T.numEvents());
+    else {
+      std::fprintf(stderr, "tdr: failed to write trace to %s\n",
+                   O.TraceFile.c_str());
+      Ret = Ret ? Ret : 1;
+    }
+  }
+  if (!O.MetricsFile.empty()) {
+    if (obs::MetricsRegistry::global().writeJson(O.MetricsFile))
+      std::fprintf(stderr, "tdr: wrote metrics to %s\n",
+                   O.MetricsFile.c_str());
+    else {
+      std::fprintf(stderr, "tdr: failed to write metrics to %s\n",
+                   O.MetricsFile.c_str());
+      Ret = Ret ? Ret : 1;
+    }
+  }
+  return Ret;
 }
