@@ -18,12 +18,27 @@
 #include "obs/Trace.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
 namespace tdr {
 namespace bench {
+
+/// Parses the shared `--jobs N` flag (how many repair/grading jobs run
+/// concurrently); defaults to 1 (serial), matching the paper's setup.
+inline unsigned parseJobsFlag(int Argc, char **Argv) {
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (!std::strcmp(Argv[I], "--jobs")) {
+      long V = std::atol(Argv[I + 1]);
+      if (V >= 1 && V <= 1 << 10)
+        return static_cast<unsigned>(V);
+      std::fprintf(stderr, "bench: ignoring invalid --jobs '%s'\n",
+                   Argv[I + 1]);
+    }
+  return 1;
+}
 
 /// Prints a horizontal rule sized to the previous header.
 inline void rule(int Width) {

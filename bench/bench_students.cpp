@@ -22,9 +22,11 @@
 using namespace tdr;
 using namespace tdr::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  ObsSession Obs(Argc, Argv);
+  unsigned Jobs = parseJobsFlag(Argc, Argv);
   banner("Section 7.4: grading 59 student quicksort submissions");
-  CohortResult R = runStudentCohort(59, 2014, 200);
+  CohortResult R = runStudentCohort(59, 2014, 200, Jobs);
   if (R.Students.empty()) {
     std::printf("FAILED: could not build the tool baseline\n");
     return 1;

@@ -19,6 +19,7 @@
 #include "ast/Transforms.h"
 #include "frontend/Parser.h"
 #include "race/Detect.h"
+#include "repair/MultiInput.h"
 #include "repair/RepairDriver.h"
 #include "sema/Sema.h"
 #include "suite/StudentCohort.h"
@@ -144,6 +145,36 @@ std::string withMainFinish(const std::string &S) {
   return Out;
 }
 
+/// Before trusting grades, check the test-input set itself (paper §9):
+/// every async site must spawn at least once, and every input must
+/// actually execute — a crashing input observes nothing, which is not the
+/// same as observing no races.
+void checkTestSuitability() {
+  SourceManager SM("skeleton.hj", Skeleton);
+  DiagnosticsEngine Diags;
+  AstContext Ctx;
+  Parser P(SM.buffer(), Ctx, Diags);
+  Program *Prog = P.parseProgram();
+  runSema(*Prog, Ctx, Diags);
+
+  // The grading input plus a deliberately broken one (negative array
+  // size), to show crashing inputs are reported rather than silently
+  // counted as zero coverage.
+  std::vector<ExecOptions> Inputs(2);
+  Inputs[0].Args = {InputSize};
+  Inputs[1].Args = {-5};
+  CoverageReport C = analyzeTestCoverage(*Prog, Inputs);
+  std::printf("test-set check: %zu/%zu async sites exercised, %zu input(s) "
+              "failed to execute\n",
+              C.NumExercised, C.Sites.size(), C.FailedInputs.size());
+  for (const CoverageReport::FailedInput &F : C.FailedInputs)
+    std::printf("  input %zu (arg %lld) failed: %s\n", F.Index,
+                static_cast<long long>(Inputs[F.Index].Args[0]),
+                F.Error.c_str());
+  std::printf("  -> grading below uses only the good input (n=%lld)\n\n",
+              static_cast<long long>(InputSize));
+}
+
 std::string withSerializingFinishes(const std::string &S) {
   std::string Out = S;
   auto Pos = Out.find("    async quicksort(m, p[1]);\n"
@@ -165,6 +196,8 @@ int main(int argc, char **argv) {
   std::printf("tool repair CPL on n=%lld: %llu work units\n\n",
               static_cast<long long>(InputSize),
               static_cast<unsigned long long>(ToolCpl));
+
+  checkTestSuitability();
 
   if (argc > 1) {
     std::ifstream In(argv[1]);

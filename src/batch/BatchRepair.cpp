@@ -1,0 +1,77 @@
+//===- BatchRepair.cpp ----------------------------------------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "batch/BatchRepair.h"
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+using namespace tdr;
+
+void tdr::runJobsOrdered(size_t N, unsigned Workers,
+                         const std::function<void(size_t)> &Fn) {
+  if (N == 0)
+    return;
+  if (Workers == 0)
+    Workers = 1;
+  if (static_cast<size_t>(Workers) > N)
+    Workers = static_cast<unsigned>(N);
+
+  std::atomic<size_t> Next{0};
+  auto WorkerLoop = [&] {
+    for (size_t I = Next.fetch_add(1, std::memory_order_relaxed); I < N;
+         I = Next.fetch_add(1, std::memory_order_relaxed))
+      Fn(I);
+  };
+
+  std::vector<std::thread> Threads;
+  Threads.reserve(Workers);
+  for (unsigned W = 0; W != Workers; ++W)
+    Threads.emplace_back(WorkerLoop);
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+BatchSummary BatchRepairRunner::run(const std::vector<RepairJob> &Jobs) const {
+  obs::ScopedSpan Span("batch.run", "batch");
+  obs::counter("batch.runs").inc();
+
+  // The registry metrics of the whole batch fold into: captured before the
+  // workers start, because current() on a worker thread would resolve to
+  // the worker's own scope.
+  obs::MetricsRegistry &Parent = obs::MetricsRegistry::current();
+
+  BatchSummary Summary;
+  Summary.Results.resize(Jobs.size());
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> JobRegistries(
+      Jobs.size());
+
+  runJobsOrdered(Jobs.size(), Workers, [&](size_t I) {
+    auto Registry = std::make_unique<obs::MetricsRegistry>();
+    obs::ScopedMetrics Scope(*Registry);
+    BatchJobResult &R = Summary.Results[I];
+    R.Name = Jobs[I].Name;
+    R.Repair = repairSource(Jobs[I].Source, R.RepairedSource, Jobs[I].Opts);
+    R.MetricsJson = Registry->dumpJson();
+    JobRegistries[I] = std::move(Registry);
+  });
+
+  // Submission-order merge: counters add (order-independent), gauges take
+  // the last job's value — the same value a sequential run would leave.
+  for (size_t I = 0; I != Jobs.size(); ++I) {
+    Parent.mergeFrom(*JobRegistries[I]);
+    if (Summary.Results[I].Repair.Success)
+      ++Summary.NumSucceeded;
+    else
+      ++Summary.NumFailed;
+  }
+  Parent.counter("batch.jobs").inc(Jobs.size());
+  return Summary;
+}

@@ -30,13 +30,15 @@ std::string DpstNode::label() const {
   return S;
 }
 
-Dpst::Dpst() {
+Dpst::Dpst()
+    : CNodes(&obs::counter("dpst.nodes")),
+      CQueries(&obs::counter("dpst.mhp_queries")),
+      CInserts(&obs::counter("dpst.finish_inserts")) {
   Root = createNode(DpstKind::Root, nullptr);
 }
 
 DpstNode *Dpst::createNode(DpstKind K, DpstNode *Parent) {
-  static obs::Counter &CNodes = obs::counter("dpst.nodes");
-  CNodes.inc();
+  CNodes->inc();
   Nodes.emplace_back();
   DpstNode *N = &Nodes.back();
   N->Id = NextId++;
@@ -102,8 +104,7 @@ bool Dpst::isLeftOf(const DpstNode *A, const DpstNode *B) const {
 }
 
 bool Dpst::mayHappenInParallel(const DpstNode *S1, const DpstNode *S2) const {
-  static obs::Counter &CQueries = obs::counter("dpst.mhp_queries");
-  CQueries.inc();
+  CQueries->inc();
   assert(S1 != S2 && "parallelism query on a single node");
   const DpstNode *Left = S1, *Right = S2;
   if (!isLeftOf(Left, Right))
@@ -138,8 +139,7 @@ DpstNode *Dpst::insertFinish(DpstNode *Parent, size_t Begin, size_t End,
   assert(Begin <= End && End < Parent->Children.size() &&
          "finish insertion range out of bounds");
 
-  static obs::Counter &CInserts = obs::counter("dpst.finish_inserts");
-  CInserts.inc();
+  CInserts->inc();
   Nodes.emplace_back();
   DpstNode *F = &Nodes.back();
   F->Id = NextId++;

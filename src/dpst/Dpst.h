@@ -33,6 +33,10 @@ namespace tdr {
 class AsyncStmt;
 class FinishStmt;
 
+namespace obs {
+class Counter;
+} // namespace obs
+
 /// Kind of an S-DPST node.
 enum class DpstKind : uint8_t { Root, Async, Finish, Scope, Step };
 
@@ -169,6 +173,11 @@ private:
 
   DpstNode *createNode(DpstKind K, DpstNode *Parent);
 
+  // Per-event instruments, bound at construction so node creation and the
+  // MHP query touch one relaxed atomic each (see obs/Metrics.h).
+  obs::Counter *CNodes;
+  obs::Counter *CQueries;
+  obs::Counter *CInserts;
   std::deque<DpstNode> Nodes;
   DpstNode *Root = nullptr;
   uint32_t NextId = 0;

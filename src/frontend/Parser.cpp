@@ -63,10 +63,11 @@ void Parser::skipToStmtBoundary() {
 
 Program *Parser::parseProgram() {
   obs::ScopedSpan Span("parse", "frontend");
-  static obs::Counter &CParses = obs::counter("frontend.parses");
-  static obs::Counter &CFuncs = obs::counter("frontend.funcs");
-  static obs::Counter &CGlobals = obs::counter("frontend.globals");
-  CParses.inc();
+  // Per-call lookups (not statics): see the scoping contract in
+  // obs/Metrics.h. One parse runs within one registry scope.
+  obs::Counter &CFuncs = obs::counter("frontend.funcs");
+  obs::Counter &CGlobals = obs::counter("frontend.globals");
+  obs::counter("frontend.parses").inc();
   Program *P = Ctx.createProgram();
   while (Tok.isNot(TokenKind::Eof)) {
     if (Tok.is(TokenKind::KwVar)) {

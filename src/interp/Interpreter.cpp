@@ -36,7 +36,9 @@ std::string MemLoc::str() const {
 }
 
 Interpreter::Interpreter(const Program &P, ExecOptions OptsIn)
-    : P(P), Opts(std::move(OptsIn)), Mon(Opts.Monitor), Rand(Opts.Seed) {}
+    : P(P), Opts(std::move(OptsIn)), Mon(Opts.Monitor),
+      CAsyncs(&obs::counter("interp.asyncs")),
+      CFinishes(&obs::counter("interp.finishes")), Rand(Opts.Seed) {}
 
 Interpreter::~Interpreter() = default;
 
@@ -78,8 +80,7 @@ ExecResult Interpreter::run() {
   assert(!Ran && "Interpreter::run() called twice");
   Ran = true;
   obs::ScopedSpan Span("interp.run", "interp");
-  static obs::Counter &CRuns = obs::counter("interp.runs");
-  CRuns.inc();
+  obs::counter("interp.runs").inc();
 
   const FuncDecl *Main = P.mainFunc();
   assert(Main && "sema guarantees a main function");
@@ -116,8 +117,7 @@ ExecResult Interpreter::run() {
   R.ErrorLoc = ErrorLoc;
   R.Output = std::move(Output);
   R.TotalWork = Work;
-  static obs::Counter &CWork = obs::counter("interp.work");
-  CWork.inc(Work);
+  obs::counter("interp.work").inc(Work);
   obs::gauge("interp.last_work").set(static_cast<int64_t>(Work));
   return R;
 }
@@ -312,8 +312,7 @@ Interpreter::Flow Interpreter::execStmt(const Stmt *S, const Stmt *Owner) {
 
   case Stmt::Kind::Async: {
     const auto *A = cast<AsyncStmt>(S);
-    static obs::Counter &CAsyncs = obs::counter("interp.asyncs");
-    CAsyncs.inc();
+    CAsyncs->inc();
     if (Mon)
       Mon->onAsyncEnter(A, Owner);
     // Depth-first semantics: execute the body now, on a snapshot of the
@@ -329,8 +328,7 @@ Interpreter::Flow Interpreter::execStmt(const Stmt *S, const Stmt *Owner) {
 
   case Stmt::Kind::Finish: {
     const auto *Fin = cast<FinishStmt>(S);
-    static obs::Counter &CFinishes = obs::counter("interp.finishes");
-    CFinishes.inc();
+    CFinishes->inc();
     if (Mon)
       Mon->onFinishEnter(Fin, Owner);
     Flow F = execBody(Fin->body(), Fin);

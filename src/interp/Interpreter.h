@@ -38,6 +38,10 @@ class Program;
 class Type;
 enum class BinaryOp;
 
+namespace obs {
+class Counter;
+} // namespace obs
+
 /// Knobs for one execution.
 struct ExecOptions {
   /// Values returned by the arg(i) builtin; out-of-range reads are 0.
@@ -113,6 +117,9 @@ private:
   const Program &P;
   ExecOptions Opts;
   ExecMonitor *Mon;
+  // Per-event instruments, bound at construction (see obs/Metrics.h).
+  obs::Counter *CAsyncs;
+  obs::Counter *CFinishes;
 
   std::vector<Value> Globals;
   std::deque<ArrayObj> Heap;

@@ -27,6 +27,20 @@ void Histogram::observe(double X) {
   S.Sum += X;
 }
 
+void Histogram::merge(const Snapshot &Other) {
+  if (Other.Count == 0)
+    return;
+  std::lock_guard<std::mutex> Lock(M);
+  if (S.Count == 0) {
+    S = Other;
+    return;
+  }
+  S.Min = std::min(S.Min, Other.Min);
+  S.Max = std::max(S.Max, Other.Max);
+  S.Count += Other.Count;
+  S.Sum += Other.Sum;
+}
+
 Histogram::Snapshot Histogram::snapshot() const {
   std::lock_guard<std::mutex> Lock(M);
   return S;
@@ -42,6 +56,21 @@ MetricsRegistry &MetricsRegistry::global() {
   // trace flushes may dump metrics after static destruction began.
   static MetricsRegistry *R = new MetricsRegistry();
   return *R;
+}
+
+namespace {
+/// The innermost ScopedMetrics registry of this thread (null = global()).
+thread_local MetricsRegistry *CurrentRegistry = nullptr;
+} // namespace
+
+MetricsRegistry &MetricsRegistry::current() {
+  return CurrentRegistry ? *CurrentRegistry : global();
+}
+
+MetricsRegistry *MetricsRegistry::exchangeCurrent(MetricsRegistry *R) {
+  MetricsRegistry *Prev = CurrentRegistry;
+  CurrentRegistry = R;
+  return Prev;
 }
 
 Counter &MetricsRegistry::counter(std::string_view Name) {
@@ -95,6 +124,23 @@ void MetricsRegistry::reset() {
     G->reset();
   for (auto &[Name, H] : Histograms)
     H->reset();
+}
+
+void MetricsRegistry::mergeFrom(const MetricsRegistry &Other) {
+  if (&Other == this)
+    return;
+  // counter()/gauge()/histogram() lock this->M per lookup, so only hold
+  // Other's mutex here (consistent order: the source registry is a
+  // completed job no hook site touches anymore).
+  std::lock_guard<std::mutex> Lock(Other.M);
+  for (const auto &[Name, C] : Other.Counters)
+    if (uint64_t V = C->value())
+      counter(Name).inc(V);
+  for (const auto &[Name, G] : Other.Gauges)
+    if (int64_t V = G->value())
+      gauge(Name).set(V);
+  for (const auto &[Name, H] : Other.Histograms)
+    histogram(Name).merge(H->snapshot());
 }
 
 namespace {

@@ -5,18 +5,36 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The process-wide metrics registry: named counters, gauges, and
-/// histograms the pipeline increments at its hook points (S-DPST nodes
-/// built, ESP-bags shadow checks, DP subproblems solved, runtime steals,
-/// ...) and dumps as one JSON object (`tdr ... --metrics-json m.json`).
+/// The metrics registry: named counters, gauges, and histograms the
+/// pipeline increments at its hook points (S-DPST nodes built, ESP-bags
+/// shadow checks, DP subproblems solved, runtime steals, ...) and dumps as
+/// one JSON object (`tdr ... --metrics-json m.json`).
 ///
-/// Instruments are registered on first use and never destroyed, so hook
-/// sites bind them once through a function-local static and then touch a
-/// single relaxed atomic per event:
+/// Scoping contract: hook sites resolve instruments against the *current*
+/// registry — a thread-local override installed by ScopedMetrics, falling
+/// back to the process-wide global() instance. This is what makes the
+/// pipeline re-entrant: a batch worker installs its own registry, runs a
+/// full parse/detect/repair, and every metric of that run lands in the
+/// job's registry instead of racing with the other workers' runs on
+/// process-global counters. When no ScopedMetrics is active, everything
+/// lands in global(), preserving the one-process-one-run behavior.
+///
+/// Because the current registry can change between runs, hook sites must
+/// NOT cache instrument references in function-local statics. Cheap sites
+/// look the instrument up per call:
 ///
 /// \code
-///   static obs::Counter &Checks = obs::counter("espbags.checks");
-///   Checks.inc();
+///   obs::counter("detect.runs").inc();
+/// \endcode
+///
+/// Per-event hot paths (shadow checks, node creation) bind instruments
+/// once per *object* at construction time and then touch a single relaxed
+/// atomic per event — the object lives within one run, so the binding
+/// inherits the right registry:
+///
+/// \code
+///   Detector::Detector() : CChecks(&obs::counter("espbags.checks")) {}
+///   ... CChecks->inc(); ...
 /// \endcode
 ///
 /// Counters and gauges are safe to update from any thread (the runtime's
@@ -74,6 +92,8 @@ public:
   };
 
   void observe(double X);
+  /// Folds another histogram's summary into this one.
+  void merge(const Snapshot &Other);
   Snapshot snapshot() const;
   void reset();
 
@@ -82,13 +102,18 @@ private:
   Snapshot S;
 };
 
-/// Owns every named instrument of the process. Use the global() instance
-/// (or the counter()/gauge()/histogram() shorthands below); separate
-/// instances exist only so tests can exercise the registry in isolation.
+/// Owns a set of named instruments. The process-wide global() instance is
+/// the default sink; per-run instances are installed with ScopedMetrics
+/// (batch repair gives every job its own) and folded back into a parent
+/// with mergeFrom().
 class MetricsRegistry {
 public:
   /// The process-wide registry. Never destroyed.
   static MetricsRegistry &global();
+
+  /// The registry hook sites resolve against: the innermost ScopedMetrics
+  /// registry of the calling thread, or global() when none is active.
+  static MetricsRegistry &current();
 
   /// Finds or registers an instrument. References stay valid for the
   /// lifetime of the registry.
@@ -107,6 +132,12 @@ public:
   /// Zeroes every instrument, keeping registrations.
   void reset();
 
+  /// Folds \p Other into this registry: counter values add, gauges take
+  /// Other's value when it is nonzero (so merging in submission order
+  /// keeps "last run" semantics deterministic), histograms merge their
+  /// summaries. Instruments missing here are registered.
+  void mergeFrom(const MetricsRegistry &Other);
+
   /// One JSON object, keys sorted: counters and gauges map to integers,
   /// histograms to {"count","sum","min","max","mean"} objects.
   std::string dumpJson() const;
@@ -114,21 +145,44 @@ public:
   bool writeJson(const std::string &Path) const;
 
 private:
+  friend class ScopedMetrics;
+
+  /// The thread's override stack top (null = use global()). Returned so
+  /// ScopedMetrics can restore the previous registry on destruction.
+  static MetricsRegistry *exchangeCurrent(MetricsRegistry *R);
+
   mutable std::mutex M;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> Counters;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> Gauges;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> Histograms;
 };
 
-/// Shorthands against the global registry, for hook sites.
+/// RAII: makes \p R the calling thread's current registry for the guard's
+/// lifetime (nests; the previous registry is restored on destruction).
+/// Other threads are unaffected — a registry is only "current" on threads
+/// that installed it, so every batch worker scopes its own job.
+class ScopedMetrics {
+public:
+  explicit ScopedMetrics(MetricsRegistry &R)
+      : Prev(MetricsRegistry::exchangeCurrent(&R)) {}
+  ~ScopedMetrics() { MetricsRegistry::exchangeCurrent(Prev); }
+
+  ScopedMetrics(const ScopedMetrics &) = delete;
+  ScopedMetrics &operator=(const ScopedMetrics &) = delete;
+
+private:
+  MetricsRegistry *Prev;
+};
+
+/// Shorthands against the current registry, for hook sites.
 inline Counter &counter(std::string_view Name) {
-  return MetricsRegistry::global().counter(Name);
+  return MetricsRegistry::current().counter(Name);
 }
 inline Gauge &gauge(std::string_view Name) {
-  return MetricsRegistry::global().gauge(Name);
+  return MetricsRegistry::current().gauge(Name);
 }
 inline Histogram &histogram(std::string_view Name) {
-  return MetricsRegistry::global().histogram(Name);
+  return MetricsRegistry::current().histogram(Name);
 }
 
 } // namespace obs

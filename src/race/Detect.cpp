@@ -28,13 +28,16 @@ void publishDetection(const Detection &D) {
 Detection tdr::detectRaces(const Program &P, EspBagsDetector::Mode Mode,
                            ExecOptions Exec) {
   obs::ScopedSpan Span("detect", "race");
-  static obs::Counter &CRuns = obs::counter("detect.runs");
-  CRuns.inc();
+  obs::counter("detect.runs").inc();
   Detection D;
   D.Tree = std::make_unique<Dpst>();
   DpstBuilder Builder(*D.Tree);
   EspBagsDetector Detector(Mode, Builder);
   MonitorPipeline Pipeline;
+  // A caller-supplied monitor keeps observing the instrumented execution;
+  // it runs ahead of the builder/detector so it sees events untouched.
+  if (Exec.Monitor)
+    Pipeline.add(Exec.Monitor);
   Pipeline.add(&Builder);
   Pipeline.add(&Detector);
   Exec.Monitor = &Pipeline;
@@ -51,6 +54,8 @@ Detection tdr::detectRacesOracle(const Program &P, ExecOptions Exec) {
   DpstBuilder Builder(*D.Tree);
   OracleDetector Detector(*D.Tree, Builder);
   MonitorPipeline Pipeline;
+  if (Exec.Monitor)
+    Pipeline.add(Exec.Monitor);
   Pipeline.add(&Builder);
   Pipeline.add(&Detector);
   Exec.Monitor = &Pipeline;

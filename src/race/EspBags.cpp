@@ -10,24 +10,12 @@
 
 using namespace tdr;
 
-namespace {
-// Hook-site instruments, bound once (see obs/Metrics.h).
-obs::Counter &espChecks() {
-  static obs::Counter &C = obs::counter("espbags.checks");
-  return C;
-}
-obs::Counter &espReads() {
-  static obs::Counter &C = obs::counter("espbags.reads");
-  return C;
-}
-obs::Counter &espWrites() {
-  static obs::Counter &C = obs::counter("espbags.writes");
-  return C;
-}
-} // namespace
-
 EspBagsDetector::EspBagsDetector(Mode M, DpstBuilder &Builder)
-    : M(M), Builder(Builder) {
+    : M(M), Builder(Builder), CChecks(&obs::counter("espbags.checks")),
+      CReads(&obs::counter("espbags.reads")),
+      CWrites(&obs::counter("espbags.writes")),
+      CRaw(&obs::counter("race.reports_raw")),
+      CPairs(&obs::counter("race.pairs")) {
   // The root task's S-bag and the implicit root finish's P-bag.
   TaskElems.push_back(Bags.makeSet(BagSet::Tag::S));
   FinishElems.push_back(Bags.makeSet(BagSet::Tag::P));
@@ -60,15 +48,13 @@ void EspBagsDetector::onFinishExit(const FinishStmt *) {
 void EspBagsDetector::recordRace(const Access &Prev, AccessKind PrevKind,
                                  DpstNode *CurStep, AccessKind CurKind,
                                  MemLoc L) {
-  static obs::Counter &CRaw = obs::counter("race.reports_raw");
-  CRaw.inc();
+  CRaw->inc();
   ++Report.RawCount;
   uint64_t Key = (static_cast<uint64_t>(Prev.Step->id()) << 32) |
                  CurStep->id();
   if (!SeenPairs.insert(Key).second)
     return;
-  static obs::Counter &CPairs = obs::counter("race.pairs");
-  CPairs.inc();
+  CPairs->inc();
   RacePair R;
   R.Src = Prev.Step;
   R.Snk = CurStep;
@@ -81,8 +67,8 @@ void EspBagsDetector::recordRace(const Access &Prev, AccessKind PrevKind,
 void EspBagsDetector::onRead(MemLoc L) {
   DpstNode *Step = Builder.currentStep();
   Shadow &S = ShadowMem[L];
-  espReads().inc();
-  espChecks().inc(S.Writers.size());
+  CReads->inc();
+  CChecks->inc(S.Writers.size());
 
   for (const Access &W : S.Writers)
     if (W.Step != Step && Bags.isP(W.Elem))
@@ -107,8 +93,8 @@ void EspBagsDetector::onRead(MemLoc L) {
 void EspBagsDetector::onWrite(MemLoc L) {
   DpstNode *Step = Builder.currentStep();
   Shadow &S = ShadowMem[L];
-  espWrites().inc();
-  espChecks().inc(S.Writers.size() + S.Readers.size());
+  CWrites->inc();
+  CChecks->inc(S.Writers.size() + S.Readers.size());
 
   for (const Access &W : S.Writers)
     if (W.Step != Step && Bags.isP(W.Elem))

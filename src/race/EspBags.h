@@ -42,6 +42,10 @@
 
 namespace tdr {
 
+namespace obs {
+class Counter;
+} // namespace obs
+
 /// ESP-bags detector; install in the same monitor pipeline as (and after)
 /// the DpstBuilder it reads the current step from.
 class EspBagsDetector : public ExecMonitor {
@@ -82,6 +86,13 @@ private:
 
   Mode M;
   DpstBuilder &Builder;
+  // Per-event instruments, bound at construction so each per-access hook
+  // touches one relaxed atomic (see the scoping contract in obs/Metrics.h).
+  obs::Counter *CChecks;
+  obs::Counter *CReads;
+  obs::Counter *CWrites;
+  obs::Counter *CRaw;
+  obs::Counter *CPairs;
   BagSet Bags;
   std::vector<uint32_t> TaskElems;   ///< S-bag element per active task
   std::vector<uint32_t> FinishElems; ///< P-bag element per active finish

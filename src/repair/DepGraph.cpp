@@ -99,7 +99,7 @@ struct Coarsener {
 std::vector<DepGroup> tdr::buildDepGroups(const Dpst &Tree,
                                           const std::vector<RacePair> &Races) {
   obs::ScopedSpan Span("dpst.group", "repair");
-  static obs::Counter &CGroups = obs::counter("repair.groups");
+  obs::Counter &CGroups = obs::counter("repair.groups");
   // Bucket races by NS-LCA.
   std::unordered_map<const DpstNode *, std::vector<RacePair>> Buckets;
   for (const RacePair &R : Races) {

@@ -27,8 +27,9 @@ public:
   }
 
   bool operator()(uint32_t I, uint32_t K) {
-    if (I == K)
-      return true; // single-node ranges are always placeable
+    // Single-node ranges go through the oracle too: a wrap the AST mapping
+    // cannot realize (StaticPlacer::apply would reject it) must make the
+    // DP report infeasible rather than hand back an unapplicable plan.
     uint8_t &Slot = Cache[I * N + K];
     if (Slot == 0)
       Slot = Valid(I, K) ? 1 : 2;
@@ -82,10 +83,7 @@ private:
 PlacementResult tdr::placeFinishes(const PlacementProblem &Problem,
                                    const ValidRangeFn &Valid) {
   obs::ScopedSpan Span("placement.dp", "repair");
-  static obs::Counter &CRuns = obs::counter("dp.runs");
-  static obs::Counter &CSubproblems = obs::counter("dp.subproblems");
-  static obs::Counter &CTried = obs::counter("dp.placements_tried");
-  CRuns.inc();
+  obs::counter("dp.runs").inc();
   size_t N = Problem.size();
   PlacementResult Result;
   if (N == 0) {
@@ -160,8 +158,8 @@ PlacementResult tdr::placeFinishes(const PlacementProblem &Problem,
     }
   }
 
-  CSubproblems.inc(Subproblems);
-  CTried.inc(PartitionsTried);
+  obs::counter("dp.subproblems").inc(Subproblems);
+  obs::counter("dp.placements_tried").inc(PartitionsTried);
 
   if (Opt[Idx(0, N - 1)] == Infinite)
     return Result; // infeasible under the validity oracle

@@ -52,8 +52,10 @@ struct PlacementProblem {
 };
 
 /// Lexical validity oracle: may a finish be placed around nodes [I, K]
-/// (inclusive, 0-based)? Single-node ranges must always be valid, which
-/// guarantees feasibility of the DP.
+/// (inclusive, 0-based)? The oracle is consulted for every range,
+/// single-node ranges included — when it rejects even those, the DP
+/// reports the problem infeasible instead of returning a plan the AST
+/// mapping would later refuse to apply.
 using ValidRangeFn = std::function<bool(uint32_t I, uint32_t K)>;
 
 /// DP outcome.

@@ -33,6 +33,28 @@ tdr::repairProgramForInputs(Program &P, AstContext &Ctx,
       R.InputsThatContributed.push_back(I);
     }
   }
+
+  // Final verification: re-detect on every input against the finished
+  // program. The per-input loop above proves each input race free *at the
+  // time it was processed*; this pass proves the conjunction holds for the
+  // final finish set and names the offending input when it does not.
+  for (size_t I = 0; I != Inputs.size(); ++I) {
+    Detection D = detectRaces(P, Mode, Inputs[I]);
+    if (!D.ok()) {
+      R.FailedVerifyInput = I;
+      R.Error = strFormat("verification: input %zu failed at run time: %s", I,
+                          D.Exec.Error.c_str());
+      return R;
+    }
+    if (!D.Report.Pairs.empty()) {
+      R.FailedVerifyInput = I;
+      R.Error = strFormat("verification: input %zu still has %zu racing "
+                          "pair(s) after repair",
+                          I, D.Report.Pairs.size());
+      return R;
+    }
+  }
+  R.FinalVerified = true;
   R.Success = true;
   return R;
 }
@@ -67,8 +89,12 @@ CoverageReport tdr::analyzeTestCoverage(Program &P,
     ExecOptions Opts = Inputs[I];
     Opts.Monitor = &Counter;
     ExecResult R = runProgram(P, Opts);
-    if (!R.Ok)
-      continue; // a crashing input exercises nothing reliably
+    if (!R.Ok) {
+      // A crashing input exercises nothing reliably — record it so callers
+      // can distinguish "ran and spawned nothing" from "never ran".
+      Report.FailedInputs.push_back({I, R.Error});
+      continue;
+    }
     for (AsyncSiteCoverage &C : Report.Sites) {
       auto It = Counter.Counts.find(C.Site);
       if (It != Counter.Counts.end())

@@ -34,17 +34,28 @@ class AsyncStmt;
 
 /// Outcome of a multi-input repair.
 struct MultiRepairResult {
-  bool Success = false;     ///< race free for every input
+  bool Success = false;     ///< race free for every input, verified
   std::string Error;
   unsigned FinishesInserted = 0;
   /// Per input: detection runs the driver needed (1 = already race free).
   std::vector<unsigned> IterationsPerInput;
   /// Inputs (indices) that triggered at least one new finish.
   std::vector<size_t> InputsThatContributed;
+  /// True once the final verification pass re-checked every input against
+  /// the fully repaired program.
+  bool FinalVerified = false;
+  /// Index of the input the final verification found racy (or failing at
+  /// run time); SIZE_MAX when verification passed or was never reached.
+  size_t FailedVerifyInput = static_cast<size_t>(-1);
 };
 
 /// Repairs \p P for every input in \p Inputs, in order. Later inputs see
 /// the finishes earlier inputs introduced, so the finish set only grows.
+/// Finish insertion is strictly restrictive (it only adds ordering), but
+/// SRW detection may surface races for an earlier input only after a later
+/// input reshaped the tree — so a final verification pass re-detects on
+/// every input and Success is claimed only when all of them come back
+/// race free.
 MultiRepairResult repairProgramForInputs(Program &P, AstContext &Ctx,
                                          const std::vector<ExecOptions> &Inputs,
                                          EspBagsDetector::Mode Mode =
@@ -68,7 +79,15 @@ struct AsyncSiteCoverage {
 
 /// Suitability report for a test-input set (paper §9 future work).
 struct CoverageReport {
+  /// An input the program failed to execute: it contributes no coverage,
+  /// which is different from executing and spawning nothing.
+  struct FailedInput {
+    size_t Index = 0;
+    std::string Error;
+  };
+
   std::vector<AsyncSiteCoverage> Sites;
+  std::vector<FailedInput> FailedInputs;
   size_t NumExercised = 0;
   size_t NumUnexercised = 0;
 
@@ -79,12 +98,14 @@ struct CoverageReport {
              : 1.0;
   }
   /// A test set is suitable for repair when every async site spawned at
-  /// least once (otherwise some potential races were never observable).
-  bool suitable() const { return NumUnexercised == 0; }
+  /// least once (otherwise some potential races were never observable) and
+  /// every input actually executed (a crashing input observed nothing).
+  bool suitable() const { return NumUnexercised == 0 && FailedInputs.empty(); }
 };
 
 /// Runs \p P on every input, counting dynamic instances of every async
-/// statement. The program must execute successfully on each input.
+/// statement. Inputs that fail at run time are recorded in
+/// CoverageReport::FailedInputs rather than silently skipped.
 CoverageReport analyzeTestCoverage(Program &P,
                                    const std::vector<ExecOptions> &Inputs);
 

@@ -38,8 +38,11 @@ unsigned solveGroup(const Dpst &Tree, const DepGroup &G, StaticPlacer &Placer,
   if (DP.Feasible) {
     Ranges = DP.Finishes;
   } else {
-    // The DP is feasible whenever single-node wraps are valid, so this is
-    // a defensive path: serialize every race source individually.
+    // Infeasible: the oracle rejected every partition, including some
+    // single-node wraps. Still try to serialize each race source
+    // individually — Placer.apply re-checks per range, so unapplicable
+    // wraps are skipped and the iteration loop decides whether the
+    // remaining races make the repair fail.
     for (auto [X, Y] : G.Problem.Edges) {
       (void)Y;
       Ranges.push_back({X, X});
@@ -98,10 +101,12 @@ RepairResult tdr::repairProgram(Program &P, AstContext &Ctx,
   // The driver's instrument set. RepairStats is derived from these (and
   // the detect.* gauges the detector publishes), not hand-maintained: the
   // hook points are the single source of truth and the registry dump, the
-  // trace, and the returned stats all agree.
-  static obs::Counter &CIterations = obs::counter("repair.iterations");
-  static obs::Counter &CFinishes = obs::counter("repair.finishes_inserted");
-  obs::MetricsRegistry &Reg = obs::MetricsRegistry::global();
+  // trace, and the returned stats all agree. Resolved against the current
+  // (per-run under ScopedMetrics) registry so concurrent repairs don't
+  // perturb each other's deltas.
+  obs::MetricsRegistry &Reg = obs::MetricsRegistry::current();
+  obs::Counter &CIterations = Reg.counter("repair.iterations");
+  obs::Counter &CFinishes = Reg.counter("repair.finishes_inserted");
   const uint64_t ItersBase = CIterations.value();
   const uint64_t FinishesBase = CFinishes.value();
 

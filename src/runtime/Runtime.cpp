@@ -59,7 +59,10 @@ void tdr::async(std::function<void()> Fn) {
 // Runtime
 //===----------------------------------------------------------------------===//
 
-Runtime::Runtime(unsigned NumWorkers) {
+Runtime::Runtime(unsigned NumWorkers)
+    : CPushes(&obs::counter("runtime.deque_pushes")),
+      CSteals(&obs::counter("runtime.steals")),
+      CTasks(&obs::counter("runtime.tasks")) {
   if (NumWorkers == 0)
     NumWorkers = 1;
   Deques.reserve(NumWorkers);
@@ -82,8 +85,7 @@ Runtime::~Runtime() {
 }
 
 void Runtime::spawn(Task *T) {
-  static obs::Counter &CPushes = obs::counter("runtime.deque_pushes");
-  CPushes.inc();
+  CPushes->inc();
   Deques[CurWorker]->push(T);
   WorkEpoch.fetch_add(1, std::memory_order_release);
   IdleCv.notify_one();
@@ -104,8 +106,7 @@ Task *Runtime::findWork() {
     if (Victim == CurWorker)
       continue;
     if (Deques[Victim]->steal(T)) {
-      static obs::Counter &CSteals = obs::counter("runtime.steals");
-      CSteals.inc();
+      CSteals->inc();
       Steals.fetch_add(1, std::memory_order_relaxed);
       return T;
     }
@@ -120,8 +121,7 @@ void Runtime::execute(Task *T) {
   CurFinish = SavedFinish;
   FinishNode *F = T->Finish;
   delete T;
-  static obs::Counter &CTasks = obs::counter("runtime.tasks");
-  CTasks.inc();
+  CTasks->inc();
   TasksExecuted.fetch_add(1, std::memory_order_relaxed);
   if (F)
     F->Pending.fetch_sub(1, std::memory_order_acq_rel);

@@ -40,6 +40,10 @@ namespace tdr {
 
 class Runtime;
 
+namespace obs {
+class Counter;
+} // namespace obs
+
 namespace detail {
 /// Join counter of one finish scope. Counts every task transitively
 /// spawned inside the scope that has not yet completed.
@@ -114,6 +118,12 @@ private:
   /// Helps until \p Node 's count drops to zero.
   void helpUntil(detail::FinishNode &Node);
 
+  // Bound on the constructing thread: worker threads do not inherit the
+  // constructing thread's ScopedMetrics registry, so they must go through
+  // these pointers rather than resolve obs::counter() themselves.
+  obs::Counter *CPushes;
+  obs::Counter *CSteals;
+  obs::Counter *CTasks;
   std::vector<std::unique_ptr<WorkStealingDeque<detail::Task *>>> Deques;
   std::vector<std::thread> Threads;
   std::atomic<bool> ShuttingDown{false};

@@ -590,7 +590,6 @@ const Type *Sema::checkBuiltinCall(CallExpr *C, Builtin B) {
 
 bool tdr::runSema(Program &P, AstContext &Ctx, DiagnosticsEngine &Diags) {
   obs::ScopedSpan Span("sema", "frontend");
-  static obs::Counter &CRuns = obs::counter("sema.runs");
-  CRuns.inc();
+  obs::counter("sema.runs").inc();
   return Sema(P, Ctx, Diags).run();
 }

@@ -7,6 +7,8 @@
 #include "suite/StudentCohort.h"
 
 #include "ast/Transforms.h"
+#include "batch/BatchRepair.h"
+#include "obs/Metrics.h"
 #include "race/Detect.h"
 #include "repair/RepairDriver.h"
 #include "sched/Schedule.h"
@@ -154,7 +156,7 @@ const PlacementChoice MatchChoices[] = {
 } // namespace
 
 CohortResult tdr::runStudentCohort(unsigned NumStudents, uint64_t Seed,
-                                   int64_t InputSize) {
+                                   int64_t InputSize, unsigned Jobs) {
   CohortResult Result;
   ExecOptions Exec;
   Exec.Args = {InputSize};
@@ -191,8 +193,20 @@ CohortResult tdr::runStudentCohort(unsigned NumStudents, uint64_t Seed,
   for (size_t I = Cohort.size(); I > 1; --I)
     std::swap(Cohort[I - 1], Cohort[R.nextBelow(I)]);
 
-  for (const PlacementChoice &C : Cohort) {
-    StudentResult S;
+  // Each submission is graded independently — its own program, detection,
+  // and metrics registry — so the grading loop shards across workers. The
+  // per-student registries fold back in submission order, keeping the
+  // global metrics dump identical to the sequential run.
+  obs::MetricsRegistry &Parent = obs::MetricsRegistry::current();
+  Result.Students.resize(Cohort.size());
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> Registries(
+      Cohort.size());
+
+  runJobsOrdered(Cohort.size(), Jobs, [&](size_t I) {
+    auto Registry = std::make_unique<obs::MetricsRegistry>();
+    obs::ScopedMetrics Scope(*Registry);
+    const PlacementChoice &C = Cohort[I];
+    StudentResult &S = Result.Students[I];
     S.Archetype = C.Archetype;
     S.Intended = C.Intended;
 
@@ -212,7 +226,12 @@ CohortResult tdr::runStudentCohort(unsigned NumStudents, uint64_t Seed,
                      ? StudentClass::OverSync
                      : StudentClass::Match;
     }
+    Registries[I] = std::move(Registry);
+  });
 
+  for (size_t I = 0; I != Result.Students.size(); ++I) {
+    Parent.mergeFrom(*Registries[I]);
+    const StudentResult &S = Result.Students[I];
     switch (S.Graded) {
     case StudentClass::Racy:
       ++Result.NumRacy;
@@ -226,7 +245,6 @@ CohortResult tdr::runStudentCohort(unsigned NumStudents, uint64_t Seed,
     }
     if (S.Graded == S.Intended)
       ++Result.GradingAgreements;
-    Result.Students.push_back(std::move(S));
   }
   return Result;
 }

@@ -54,9 +54,12 @@ struct CohortResult {
 };
 
 /// Generates and grades a cohort. \p InputSize is the quicksort input the
-/// detector/grader runs on.
+/// detector/grader runs on. \p Jobs > 1 grades that many submissions
+/// concurrently (each on its own program and metrics registry); the result
+/// is identical to the sequential run.
 CohortResult runStudentCohort(unsigned NumStudents = 59,
-                              uint64_t Seed = 2014, int64_t InputSize = 200);
+                              uint64_t Seed = 2014, int64_t InputSize = 200,
+                              unsigned Jobs = 1);
 
 } // namespace tdr
 

@@ -93,6 +93,41 @@ TEST(MultiInput, LaterInputsSeeEarlierFinishes) {
   EXPECT_EQ(R.IterationsPerInput[2], 1u);
 }
 
+TEST(MultiInput, SuccessfulRepairIsFinallyVerified) {
+  // Satellite of the repair loop: after the last input's repair, every
+  // earlier input is re-verified (a later repair could in principle
+  // interact with earlier inputs), and the result says so.
+  ParsedProgram P = parseAndCheck(InputDependent);
+  ASSERT_TRUE(P.ok());
+  std::vector<ExecOptions> Inputs(2);
+  Inputs[0].Args = {5};
+  Inputs[1].Args = {20};
+  MultiRepairResult R = repairProgramForInputs(*P.Prog, *P.Ctx, Inputs);
+  ASSERT_TRUE(R.Success) << R.Error;
+  EXPECT_TRUE(R.FinalVerified);
+  EXPECT_EQ(R.FailedVerifyInput, static_cast<size_t>(-1));
+}
+
+TEST(MultiInput, CrashingInputFailsBeforeVerification) {
+  const char *CrashesOnNegative = R"(
+var X: int = 0;
+func main() {
+  var a: int[] = new int[arg(0)];
+  async { X = 1; }
+  print(X);
+}
+)";
+  ParsedProgram P = parseAndCheck(CrashesOnNegative);
+  ASSERT_TRUE(P.ok()) << P.errors();
+  std::vector<ExecOptions> Inputs(2);
+  Inputs[0].Args = {4};
+  Inputs[1].Args = {-5}; // negative array dimension: runtime error
+  MultiRepairResult R = repairProgramForInputs(*P.Prog, *P.Ctx, Inputs);
+  EXPECT_FALSE(R.Success);
+  EXPECT_FALSE(R.FinalVerified);
+  EXPECT_FALSE(R.Error.empty());
+}
+
 TEST(Coverage, DetectsUnexercisedAsyncSites) {
   ParsedProgram P = parseAndCheck(InputDependent);
   ASSERT_TRUE(P.ok());
@@ -118,6 +153,44 @@ TEST(Coverage, FullCoverageWithAdequateInputs) {
   // The unconditional async ran on both inputs; the guarded one on one.
   EXPECT_EQ(C.Sites[0].totalInstances(), 2u);
   EXPECT_EQ(C.Sites[1].totalInstances(), 1u);
+}
+
+TEST(Coverage, CrashingInputIsReportedNotSkipped) {
+  // Regression: analyzeTestCoverage used to `continue` over inputs that
+  // failed to execute, so a test set full of crashing inputs could still
+  // look "suitable". Failures must be recorded and veto suitability.
+  const char *CrashesOnNegative = R"(
+var X: int = 0;
+func main() {
+  var a: int[] = new int[arg(0)];
+  async { X = 1; }
+  if (arg(0) > 10) {
+    async { X = 2; }
+  }
+}
+)";
+  ParsedProgram P = parseAndCheck(CrashesOnNegative);
+  ASSERT_TRUE(P.ok()) << P.errors();
+
+  std::vector<ExecOptions> Inputs(3);
+  Inputs[0].Args = {4};
+  Inputs[1].Args = {-5}; // crashes: negative array dimension
+  Inputs[2].Args = {20};
+  CoverageReport C = analyzeTestCoverage(*P.Prog, Inputs);
+
+  // Both async sites are exercised by the good inputs...
+  EXPECT_EQ(C.NumUnexercised, 0u);
+  // ...but the crashing input is on record and vetoes suitability.
+  ASSERT_EQ(C.FailedInputs.size(), 1u);
+  EXPECT_EQ(C.FailedInputs[0].Index, 1u);
+  EXPECT_FALSE(C.FailedInputs[0].Error.empty());
+  EXPECT_FALSE(C.suitable());
+
+  // Dropping the bad input restores suitability.
+  std::vector<ExecOptions> Good{Inputs[0], Inputs[2]};
+  CoverageReport C2 = analyzeTestCoverage(*P.Prog, Good);
+  EXPECT_TRUE(C2.FailedInputs.empty());
+  EXPECT_TRUE(C2.suitable());
 }
 
 TEST(Coverage, CountsRecursiveInstances) {

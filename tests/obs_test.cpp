@@ -21,6 +21,7 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 using namespace tdr;
 
@@ -321,6 +322,118 @@ TEST(Metrics, CountersGaugesHistograms) {
   EXPECT_EQ(G.value(), 0);
   EXPECT_EQ(H.snapshot().Count, 0u);
   EXPECT_EQ(R.size(), 3u); // registrations survive reset
+}
+
+TEST(Metrics, ScopedMetricsRedirectsAndNests) {
+  EXPECT_EQ(&obs::MetricsRegistry::current(), &obs::MetricsRegistry::global());
+
+  obs::MetricsRegistry Outer, Inner;
+  {
+    obs::ScopedMetrics OuterScope(Outer);
+    EXPECT_EQ(&obs::MetricsRegistry::current(), &Outer);
+    obs::counter("scoped.hits").inc();
+    {
+      obs::ScopedMetrics InnerScope(Inner);
+      EXPECT_EQ(&obs::MetricsRegistry::current(), &Inner);
+      obs::counter("scoped.hits").inc(10);
+    }
+    // Nesting restores the previous scope, not the global.
+    EXPECT_EQ(&obs::MetricsRegistry::current(), &Outer);
+    obs::counter("scoped.hits").inc();
+  }
+  EXPECT_EQ(&obs::MetricsRegistry::current(), &obs::MetricsRegistry::global());
+
+  EXPECT_EQ(Outer.counterValue("scoped.hits"), 2u);
+  EXPECT_EQ(Inner.counterValue("scoped.hits"), 10u);
+  EXPECT_EQ(obs::MetricsRegistry::global().counterValue("scoped.hits"), 0u);
+}
+
+TEST(Metrics, ScopedMetricsIsPerThread) {
+  obs::MetricsRegistry Mine;
+  obs::ScopedMetrics Scope(Mine);
+  obs::MetricsRegistry *SeenOnOtherThread = nullptr;
+  std::thread T([&] { SeenOnOtherThread = &obs::MetricsRegistry::current(); });
+  T.join();
+  // The scope only covers the installing thread.
+  EXPECT_EQ(SeenOnOtherThread, &obs::MetricsRegistry::global());
+  EXPECT_EQ(&obs::MetricsRegistry::current(), &Mine);
+}
+
+TEST(Metrics, ScopedRepairLandsInScopedRegistryOnly) {
+  obs::MetricsRegistry &Global = obs::MetricsRegistry::global();
+  uint64_t GlobalDetectBefore = Global.counterValue("detect.runs");
+
+  obs::MetricsRegistry JobRegistry;
+  std::string Repaired;
+  RepairResult R;
+  {
+    obs::ScopedMetrics Scope(JobRegistry);
+    R = repairSource(RacySource, Repaired);
+  }
+  ASSERT_TRUE(R.Success) << R.Error;
+  // The whole pipeline reported into the scoped registry...
+  EXPECT_GT(JobRegistry.counterValue("detect.runs"), 0u);
+  EXPECT_GT(JobRegistry.counterValue("espbags.checks"), 0u);
+  EXPECT_GT(JobRegistry.counterValue("dpst.nodes"), 0u);
+  EXPECT_EQ(JobRegistry.counterValue("repair.finishes_inserted"),
+            R.Stats.FinishesInserted);
+  // ...and the global registry did not move.
+  EXPECT_EQ(Global.counterValue("detect.runs"), GlobalDetectBefore);
+}
+
+TEST(Metrics, HistogramMerge) {
+  obs::Histogram A, B;
+  A.observe(1.0);
+  A.observe(3.0);
+  B.observe(10.0);
+  A.merge(B.snapshot());
+  obs::Histogram::Snapshot S = A.snapshot();
+  EXPECT_EQ(S.Count, 3u);
+  EXPECT_DOUBLE_EQ(S.Min, 1.0);
+  EXPECT_DOUBLE_EQ(S.Max, 10.0);
+  EXPECT_DOUBLE_EQ(S.Sum, 14.0);
+
+  // Merging an empty snapshot is a no-op; merging into empty copies.
+  obs::Histogram Empty;
+  A.merge(Empty.snapshot());
+  EXPECT_EQ(A.snapshot().Count, 3u);
+  Empty.merge(A.snapshot());
+  EXPECT_EQ(Empty.snapshot().Count, 3u);
+  EXPECT_DOUBLE_EQ(Empty.snapshot().Max, 10.0);
+}
+
+TEST(Metrics, MergeFromFoldsCountersGaugesHistograms) {
+  obs::MetricsRegistry Parent, Job1, Job2;
+  Parent.counter("c").inc(5);
+  Job1.counter("c").inc(2);
+  Job1.gauge("g").set(7);
+  Job1.histogram("h").observe(1.0);
+  Job2.counter("c").inc(3);
+  Job2.counter("only2").inc(1);
+  Job2.gauge("g").set(9);
+  Job2.histogram("h").observe(5.0);
+
+  Parent.mergeFrom(Job1);
+  Parent.mergeFrom(Job2);
+
+  // Counters add; gauges take the later (submission-order) value;
+  // histograms fold their summaries; new instruments register.
+  EXPECT_EQ(Parent.counterValue("c"), 10u);
+  EXPECT_EQ(Parent.counterValue("only2"), 1u);
+  EXPECT_EQ(Parent.gaugeValue("g"), 9);
+  obs::Histogram::Snapshot S = Parent.histogram("h").snapshot();
+  EXPECT_EQ(S.Count, 2u);
+  EXPECT_DOUBLE_EQ(S.Sum, 6.0);
+
+  // A zero gauge in a later job does not clobber the merged value.
+  obs::MetricsRegistry Job3;
+  Job3.gauge("g").set(0);
+  Parent.mergeFrom(Job3);
+  EXPECT_EQ(Parent.gaugeValue("g"), 9);
+
+  // Self-merge is a no-op (no double counting, no deadlock).
+  Parent.mergeFrom(Parent);
+  EXPECT_EQ(Parent.counterValue("c"), 10u);
 }
 
 TEST(Metrics, EndToEndRepairIncrementsPipelineCounters) {

@@ -140,6 +140,52 @@ TEST(PlacementDp, PreexistingFinishChildBlocksLikeAStep) {
   EXPECT_EQ(R.Cost, 150u);
 }
 
+TEST(PlacementDp, InfeasibleWhenOracleRejectsEveryRange) {
+  // Regression: single-node ranges used to bypass the validity oracle, so
+  // a problem whose every range — including [i,i] — is unmappable came
+  // back "solved" with a plan the AST layer would then reject. The DP
+  // must consult the oracle for single-node ranges too and report
+  // infeasibility.
+  PlacementProblem P;
+  P.Times = {10, 20};
+  P.IsAsync = {true, false};
+  P.Edges = {{0, 1}};
+  ValidRangeFn Nothing = [](uint32_t, uint32_t) { return false; };
+  PlacementResult Dp = placeFinishes(P, Nothing);
+  EXPECT_FALSE(Dp.Feasible);
+  PlacementResult Brute = bruteForcePlacement(P, Nothing);
+  EXPECT_FALSE(Brute.Feasible);
+}
+
+TEST(PlacementDp, InfeasibleWhenOnlySingleNodeRangesRejected) {
+  // Edge a0 -> a1 can only be resolved by a finish over exactly [0,0]:
+  // a wider range would cover the sink, which leaves a0 and a1 unordered.
+  // Rejecting single-node ranges therefore makes the problem infeasible —
+  // but only if the degenerate [i,i] case actually flows through the
+  // oracle.
+  PlacementProblem P;
+  P.Times = {10, 20};
+  P.IsAsync = {true, true};
+  P.Edges = {{0, 1}};
+  ValidRangeFn NoSingles = [](uint32_t I, uint32_t K) { return I != K; };
+  PlacementResult Dp = placeFinishes(P, NoSingles);
+  PlacementResult Brute = bruteForcePlacement(P, NoSingles);
+  EXPECT_EQ(Dp.Feasible, Brute.Feasible);
+  EXPECT_FALSE(Dp.Feasible);
+}
+
+TEST(PlacementDp, FeasibleSingleNodeWrapStillFound) {
+  // Sanity: with the oracle allowing single-node ranges the same problem
+  // is solved by wrapping the edge source alone.
+  PlacementProblem P;
+  P.Times = {10, 20};
+  P.IsAsync = {true, true};
+  P.Edges = {{0, 1}};
+  PlacementResult R = placeFinishes(P, alwaysValid());
+  ASSERT_TRUE(R.Feasible);
+  EXPECT_TRUE(placementResolvesAllEdges(P, R.Finishes));
+}
+
 //===----------------------------------------------------------------------===//
 // Property tests: DP vs exhaustive reference on random problems
 //===----------------------------------------------------------------------===//

@@ -246,6 +246,70 @@ func main() {
 }
 
 //===----------------------------------------------------------------------===//
+// Caller-supplied monitors keep observing through a detection run
+//===----------------------------------------------------------------------===//
+
+/// Counts the events it sees; stands in for a caller's tracer/profiler.
+struct CountingMonitor : ExecMonitor {
+  unsigned Asyncs = 0, Reads = 0, Writes = 0, Work = 0;
+  void onAsyncEnter(const AsyncStmt *, const Stmt *) override { ++Asyncs; }
+  void onRead(MemLoc) override { ++Reads; }
+  void onWrite(MemLoc) override { ++Writes; }
+  void onWork(uint64_t) override { ++Work; }
+};
+
+TEST(Detect, CallerMonitorStillObservesExecution) {
+  // Regression: detectRaces used to overwrite Exec.Monitor with its own
+  // builder/detector pipeline, silently disconnecting the caller's
+  // monitor. It must be chained in front instead.
+  ParsedProgram P = parseAndCheck(R"(
+var X: int = 0;
+func main() {
+  async { X = 1; }
+  print(X);
+}
+)");
+  ASSERT_TRUE(P.ok()) << P.errors();
+
+  CountingMonitor Mon;
+  ExecOptions Exec;
+  Exec.Monitor = &Mon;
+  Detection D = detectRaces(*P.Prog, EspBagsDetector::Mode::MRW, Exec);
+
+  // Detection itself still works...
+  ASSERT_TRUE(D.ok());
+  EXPECT_EQ(D.Report.Pairs.size(), 1u);
+  // ...and the caller's monitor saw the same execution.
+  EXPECT_EQ(Mon.Asyncs, 1u);
+  EXPECT_GE(Mon.Writes, 1u);
+  EXPECT_GE(Mon.Reads, 1u);
+  EXPECT_GT(Mon.Work, 0u);
+}
+
+TEST(Detect, CallerMonitorStillObservesOracleExecution) {
+  ParsedProgram P = parseAndCheck(R"(
+var X: int = 0;
+func main() {
+  finish {
+    async { X = 1; }
+    async { X = 2; }
+  }
+}
+)");
+  ASSERT_TRUE(P.ok()) << P.errors();
+
+  CountingMonitor Mon;
+  ExecOptions Exec;
+  Exec.Monitor = &Mon;
+  Detection D = detectRacesOracle(*P.Prog, Exec);
+  ASSERT_TRUE(D.ok());
+  EXPECT_EQ(D.Report.Pairs.size(), 1u);
+  EXPECT_EQ(Mon.Asyncs, 2u);
+  // Two async writes plus the global's initialization.
+  EXPECT_GE(Mon.Writes, 2u);
+}
+
+//===----------------------------------------------------------------------===//
 // Property: MRW ESP-bags == Theorem-1 oracle on random programs
 //===----------------------------------------------------------------------===//
 

@@ -11,11 +11,13 @@
 //   tdr run     prog.hj [--arg N]... [--workers K]         run (par if K>1)
 //   tdr stats   prog.hj [--arg N]... [--procs P]           T1/Tinf/TP
 //   tdr dot     prog.hj [--arg N]...                       S-DPST Graphviz
+//   tdr batch   manifest [--jobs N] [--srw] [-o outdir]    parallel repairs
 //   tdr dump    <benchmark-name>                           suite source
 //
 //===----------------------------------------------------------------------===//
 
 #include "ast/AstPrinter.h"
+#include "batch/BatchRepair.h"
 #include "frontend/Parser.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
@@ -51,6 +53,8 @@ int usage() {
       "  tdr stats   prog.hj [--arg N]... [--procs P]\n"
       "  tdr dot     prog.hj [--arg N]...\n"
       "  tdr coverage prog.hj --arg N [--arg M]... (one input per --arg)\n"
+      "  tdr batch   manifest [--jobs N] [--srw] [-o outdir]\n"
+      "              manifest lines: <prog.hj> [int args...]\n"
       "  tdr dump    <benchmark>   (e.g. Mergesort; see bench_table1)\n"
       "observability (any command):\n"
       "  --trace FILE         phase spans as Chrome trace JSON (.jsonl for\n"
@@ -65,6 +69,7 @@ struct Options {
   std::vector<int64_t> Args;
   bool Srw = false;
   unsigned Workers = 1;
+  unsigned Jobs = 1;
   unsigned Procs = 12;
   std::string OutFile;
   std::string TraceFile;
@@ -95,6 +100,9 @@ bool parseOptions(int Argc, char **Argv, Options &O) {
       O.Srw = true;
     } else if (!std::strcmp(Argv[I], "--workers") && I + 1 != Argc) {
       if (!parsePositive("--workers", Argv[++I], O.Workers))
+        return false;
+    } else if (!std::strcmp(Argv[I], "--jobs") && I + 1 != Argc) {
+      if (!parsePositive("--jobs", Argv[++I], O.Jobs))
         return false;
     } else if (!std::strcmp(Argv[I], "--procs") && I + 1 != Argc) {
       if (!parsePositive("--procs", Argv[++I], O.Procs))
@@ -297,6 +305,9 @@ int cmdCoverage(const Options &O) {
     return 2;
   }
   CoverageReport C = analyzeTestCoverage(*L.Prog, Inputs);
+  for (const CoverageReport::FailedInput &F : C.FailedInputs)
+    std::printf("input %zu (--arg %lld) FAILED to execute: %s\n", F.Index,
+                static_cast<long long>(O.Args[F.Index]), F.Error.c_str());
   for (const AsyncSiteCoverage &Site : C.Sites) {
     LineCol LC = L.SM->lineCol(Site.Loc);
     std::printf("async at %s:%u:%u  instances:", O.File.c_str(), LC.Line,
@@ -305,11 +316,93 @@ int cmdCoverage(const Options &O) {
       std::printf(" %llu", static_cast<unsigned long long>(N));
     std::printf("%s\n", Site.exercised() ? "" : "   <- NEVER EXERCISED");
   }
-  std::printf("async coverage: %.0f%% (%zu/%zu sites); test set %s for "
-              "repair\n",
+  std::printf("async coverage: %.0f%% (%zu/%zu sites); %zu input(s) failed; "
+              "test set %s for repair\n",
               C.asyncCoverage() * 100.0, C.NumExercised, C.Sites.size(),
+              C.FailedInputs.size(),
               C.suitable() ? "is suitable" : "is NOT suitable");
   return C.suitable() ? 0 : 1;
+}
+
+/// Reads a batch manifest: one job per line, `<path> [int args...]`; blank
+/// lines and lines starting with '#' are skipped.
+bool loadManifest(const Options &O, std::vector<RepairJob> &Jobs) {
+  std::ifstream In(O.File);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open manifest '%s'\n",
+                 O.File.c_str());
+    return false;
+  }
+  std::string Line;
+  while (std::getline(In, Line)) {
+    std::istringstream LS(Line);
+    std::string Path;
+    if (!(LS >> Path) || Path[0] == '#')
+      continue;
+    RepairJob J;
+    J.Name = Path;
+    std::ifstream Src(Path);
+    if (!Src) {
+      std::fprintf(stderr, "error: cannot open '%s' (from manifest)\n",
+                   Path.c_str());
+      return false;
+    }
+    std::stringstream SS;
+    SS << Src.rdbuf();
+    J.Source = SS.str();
+    J.Opts.Mode =
+        O.Srw ? EspBagsDetector::Mode::SRW : EspBagsDetector::Mode::MRW;
+    int64_t A;
+    while (LS >> A)
+      J.Opts.Exec.Args.push_back(A);
+    Jobs.push_back(std::move(J));
+  }
+  return true;
+}
+
+int cmdBatch(const Options &O) {
+  std::vector<RepairJob> Jobs;
+  if (!loadManifest(O, Jobs))
+    return 1;
+  if (Jobs.empty()) {
+    std::fprintf(stderr, "error: manifest '%s' has no jobs\n",
+                 O.File.c_str());
+    return 1;
+  }
+
+  BatchRepairRunner Runner(O.Jobs);
+  BatchSummary Summary = Runner.run(Jobs);
+
+  bool WriteFailed = false;
+  for (const BatchJobResult &R : Summary.Results) {
+    if (R.Repair.Success)
+      std::fprintf(stderr,
+                   "%s: ok, %u finish(es) inserted, %u detection run(s)\n",
+                   R.Name.c_str(), R.Repair.Stats.FinishesInserted,
+                   R.Repair.Stats.Iterations);
+    else
+      std::fprintf(stderr, "%s: FAILED: %s\n", R.Name.c_str(),
+                   R.Repair.Error.c_str());
+    if (!O.OutFile.empty()) {
+      // -o names a directory; each repaired program keeps its base name.
+      std::string Base = R.Name;
+      if (size_t Slash = Base.find_last_of('/'); Slash != std::string::npos)
+        Base = Base.substr(Slash + 1);
+      std::string OutPath = O.OutFile + "/" + Base;
+      std::ofstream Out(OutPath);
+      Out << R.RepairedSource;
+      if (!Out) {
+        std::fprintf(stderr, "error: cannot write '%s'\n", OutPath.c_str());
+        WriteFailed = true;
+      }
+    } else {
+      std::fputs(R.RepairedSource.c_str(), stdout);
+    }
+  }
+  std::fprintf(stderr, "batch: %zu job(s), %u worker(s): %zu ok, %zu failed\n",
+               Summary.Results.size(), Runner.numWorkers(),
+               Summary.NumSucceeded, Summary.NumFailed);
+  return Summary.NumFailed == 0 && !WriteFailed ? 0 : 1;
 }
 
 int cmdDump(const std::string &Name) {
@@ -338,6 +431,8 @@ int dispatch(const std::string &Cmd, const Options &O) {
     return cmdDot(O);
   if (Cmd == "coverage")
     return cmdCoverage(O);
+  if (Cmd == "batch")
+    return cmdBatch(O);
   return usage();
 }
 
