@@ -102,6 +102,109 @@ private:
   std::string MetricsPath;
 };
 
+//===----------------------------------------------------------------------===//
+// Machine-readable benchmark reports
+//===----------------------------------------------------------------------===//
+
+/// One result row of a JSON benchmark report: an ordered set of key/value
+/// fields rendered into a flat JSON object.
+class JsonRecord {
+public:
+  JsonRecord &str(const char *Key, const std::string &V) {
+    std::string Quoted = "\"";
+    Quoted += escape(V);
+    Quoted += '"';
+    return raw(Key, Quoted);
+  }
+  JsonRecord &num(const char *Key, double V) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+    return raw(Key, Buf);
+  }
+  JsonRecord &num(const char *Key, uint64_t V) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%llu",
+                  static_cast<unsigned long long>(V));
+    return raw(Key, Buf);
+  }
+  JsonRecord &boolean(const char *Key, bool V) {
+    return raw(Key, V ? "true" : "false");
+  }
+
+  std::string render() const {
+    std::string Out = "{";
+    for (size_t I = 0; I != Fields.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += "\"" + Fields[I].first + "\": " + Fields[I].second;
+    }
+    Out += "}";
+    return Out;
+  }
+
+private:
+  static std::string escape(const std::string &S) {
+    std::string Out;
+    for (char C : S) {
+      if (C == '"' || C == '\\')
+        Out += '\\';
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+        continue;
+      }
+      Out += C;
+    }
+    return Out;
+  }
+
+  JsonRecord &raw(const char *Key, const std::string &Rendered) {
+    Fields.emplace_back(Key, Rendered);
+    return *this;
+  }
+
+  std::vector<std::pair<std::string, std::string>> Fields;
+};
+
+/// Collects JSON records and writes the shared BENCH_*.json layout:
+///
+///   { "bench": "<name>", "schema_version": 1,
+///     "results": [ {...}, {...} ] }
+///
+/// tools/check_bench.py validates this schema in CI; perf PRs diff the
+/// emitted files to leave a measured trajectory (see README "Performance").
+class JsonReport {
+public:
+  explicit JsonReport(std::string BenchName) : Bench(std::move(BenchName)) {}
+
+  JsonRecord &add() {
+    Records.emplace_back();
+    return Records.back();
+  }
+
+  size_t numRecords() const { return Records.size(); }
+
+  bool writeTo(const std::string &Path) const {
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F)
+      return false;
+    std::fprintf(F, "{\n  \"bench\": \"%s\",\n  \"schema_version\": 1,\n"
+                    "  \"results\": [\n",
+                 Bench.c_str());
+    for (size_t I = 0; I != Records.size(); ++I)
+      std::fprintf(F, "    %s%s\n", Records[I].render().c_str(),
+                   I + 1 == Records.size() ? "" : ",");
+    std::fprintf(F, "  ]\n}\n");
+    std::fclose(F);
+    return true;
+  }
+
+private:
+  std::string Bench;
+  std::vector<JsonRecord> Records;
+};
+
 } // namespace bench
 } // namespace tdr
 

@@ -1,0 +1,235 @@
+//===- bench_detector.cpp - Detector fast-path microbenchmark -------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+// Measures raw race-detector throughput (shared-memory accesses checked per
+// second) by driving the DPST builder + detector with synthetic monitor
+// event streams — no parser or interpreter in the loop, so the numbers
+// isolate the per-access detector cost the paper's scalability story (§4.1,
+// Table 2) hinges on.
+//
+// The sweep covers locations × writer-steps × readers-per-location for the
+// SRW and MRW variants, comparing:
+//
+//   map          the frozen pre-fast-path detector (hash-map shadow memory,
+//                vector access lists, MonitorPipeline dispatch)
+//   flat         the flat-shadow fast path (paged direct-map shadow,
+//                inline-capacity-2 small vectors, fused monitor dispatch)
+//   flat-compact flat + MRW reader-list compaction (threshold 8)
+//
+// The event pattern per repetition is race-free — parallel readers joined
+// by a finish, then serial writer steps that scan the reader lists — so no
+// time is spent in race recording and the numbers are pure detection
+// overhead, the common case when validating repaired programs.
+//
+// Emits BENCH_detector.json (see --out) in the shared schema validated by
+// tools/check_bench.py, so perf work on the detector leaves a measured
+// trajectory.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "race/Detect.h"
+#include "race/RefDetectors.h"
+#include "support/StringUtils.h"
+#include "support/Timer.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace tdr;
+
+namespace {
+
+struct Config {
+  uint32_t Locs;        ///< distinct array elements touched
+  uint32_t Readers;     ///< parallel reader tasks per repetition
+  uint32_t WriteSteps;  ///< serial writer steps per repetition
+};
+
+/// Streams one repetition of the workload into \p Mon:
+///
+///   finish { Readers × async { read all Locs } }   // builds reader lists
+///   WriteSteps × scope { write all Locs }          // scans reader lists
+///
+/// Returns the number of read/write accesses emitted.
+uint64_t emitRound(ExecMonitor &Mon, const Config &C) {
+  Mon.onFinishEnter(nullptr, nullptr);
+  for (uint32_t R = 0; R != C.Readers; ++R) {
+    Mon.onAsyncEnter(nullptr, nullptr);
+    Mon.onStepPoint(nullptr);
+    for (uint32_t L = 0; L != C.Locs; ++L)
+      Mon.onRead(MemLoc::elem(1, L));
+    Mon.onAsyncExit(nullptr);
+  }
+  Mon.onFinishExit(nullptr);
+  for (uint32_t W = 0; W != C.WriteSteps; ++W) {
+    Mon.onScopeEnter(ScopeKind::Block, nullptr, nullptr, nullptr);
+    Mon.onStepPoint(nullptr);
+    for (uint32_t L = 0; L != C.Locs; ++L)
+      Mon.onWrite(MemLoc::elem(1, L));
+    Mon.onScopeExit();
+  }
+  return static_cast<uint64_t>(C.Locs) * (C.Readers + C.WriteSteps);
+}
+
+struct Measure {
+  double Sec = 0;
+  uint64_t Accesses = 0;
+
+  double accessesPerSec() const { return Accesses / (Sec > 0 ? Sec : 1e-9); }
+};
+
+/// Repeats \p OneRep (fresh detector state per call) until \p MinSec of
+/// wall-clock time accumulates, growing the batch geometrically, and
+/// returns the fastest timed window. One untimed warmup rep faults in
+/// lazily allocated state so a cold-start stall in the first window cannot
+/// masquerade as steady-state throughput.
+template <typename Fn> Measure measure(Fn OneRep, double MinSec) {
+  OneRep();
+  Measure Best;
+  uint64_t Batch = 1;
+  double Spent = 0;
+  while (Spent < MinSec) {
+    Timer T;
+    uint64_t Acc = 0;
+    for (uint64_t I = 0; I != Batch; ++I)
+      Acc += OneRep();
+    double Sec = T.elapsedSec();
+    Spent += Sec;
+    if (Best.Sec == 0 || Acc / Sec > Best.accessesPerSec()) {
+      Best.Sec = Sec;
+      Best.Accesses = Acc;
+    }
+    Batch *= 2;
+  }
+  return Best;
+}
+
+/// Pre-fast-path wiring: builder and map-shadow detector fanned out by a
+/// MonitorPipeline, exactly as detectRaces dispatched before the change.
+Measure runMap(EspBagsDetector::Mode Mode, const Config &C, double MinSec) {
+  return measure(
+      [&] {
+        Dpst Tree;
+        DpstBuilder Builder(Tree);
+        RefEspBagsDetector Det(Mode, Builder);
+        MonitorPipeline Pipeline;
+        Pipeline.add(&Builder);
+        Pipeline.add(&Det);
+        ExecMonitor &Mon = Pipeline;
+        return emitRound(Mon, C);
+      },
+      MinSec);
+}
+
+/// Fast-path wiring: flat-shadow detector behind the fused monitor, as
+/// detectRaces dispatches today. \p CompactThreshold 0 disables reader
+/// compaction.
+Measure runFlat(EspBagsDetector::Mode Mode, const Config &C, double MinSec,
+                uint32_t CompactThreshold) {
+  return measure(
+      [&] {
+        Dpst Tree;
+        DpstBuilder Builder(Tree);
+        EspBagsDetector Det(Mode, Builder);
+        Det.setReaderCompaction(CompactThreshold);
+        FusedDetectMonitor<EspBagsDetector> Fused(Builder, Det);
+        ExecMonitor &Mon = Fused;
+        return emitRound(Mon, C);
+      },
+      MinSec);
+}
+
+const char *modeName(EspBagsDetector::Mode M) {
+  return M == EspBagsDetector::Mode::SRW ? "SRW" : "MRW";
+}
+
+void report(bench::JsonReport &Report, EspBagsDetector::Mode Mode,
+            const Config &C, const char *Impl, const Measure &M,
+            double SpeedupVsMap) {
+  std::string Name = strFormat("%s/locs%u/r%u/w%u/%s", modeName(Mode), C.Locs,
+                               C.Readers, C.WriteSteps, Impl);
+  bench::JsonRecord &Rec = Report.add();
+  Rec.str("name", Name)
+      .str("mode", modeName(Mode))
+      .str("impl", Impl)
+      .num("locs", static_cast<uint64_t>(C.Locs))
+      .num("readers", static_cast<uint64_t>(C.Readers))
+      .num("write_steps", static_cast<uint64_t>(C.WriteSteps))
+      .num("total_accesses", M.Accesses)
+      .num("seconds", M.Sec)
+      .num("accesses_per_sec", M.accessesPerSec());
+  if (SpeedupVsMap > 0)
+    Rec.num("speedup_vs_map", SpeedupVsMap);
+  std::printf("%-28s %12.0f acc/s%s\n", Name.c_str(), M.accessesPerSec(),
+              SpeedupVsMap > 0
+                  ? strFormat("  (%.2fx vs map)", SpeedupVsMap).c_str()
+                  : "");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bench::ObsSession Obs(Argc, Argv);
+  bool Quick = false;
+  std::string OutPath = "BENCH_detector.json";
+  uint32_t CompactThreshold = 8;
+  for (int I = 1; I != Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--quick"))
+      Quick = true;
+    else if (!std::strcmp(Argv[I], "--out") && I + 1 != Argc)
+      OutPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--compact") && I + 1 != Argc)
+      CompactThreshold = static_cast<uint32_t>(std::atol(Argv[++I]));
+  }
+
+  const double MinSec = Quick ? 0.002 : 0.08;
+  std::vector<uint32_t> LocSweep = Quick ? std::vector<uint32_t>{64, 256}
+                                         : std::vector<uint32_t>{64, 4096, 65536};
+  std::vector<uint32_t> ReaderSweep =
+      Quick ? std::vector<uint32_t>{1, 4} : std::vector<uint32_t>{1, 4, 16};
+  const uint32_t WriteSteps = Quick ? 2 : 4;
+
+  bench::JsonReport Report("detector");
+  double LargeArrayMrwSpeedup = 0;
+  uint32_t LargestLocs = LocSweep.back();
+
+  for (EspBagsDetector::Mode Mode :
+       {EspBagsDetector::Mode::SRW, EspBagsDetector::Mode::MRW}) {
+    bench::banner(strFormat("%s detector throughput (accesses/sec)",
+                            modeName(Mode)));
+    for (uint32_t Locs : LocSweep) {
+      for (uint32_t Readers : ReaderSweep) {
+        Config C{Locs, Readers, WriteSteps};
+        Measure Map = runMap(Mode, C, MinSec);
+        Measure Flat = runFlat(Mode, C, MinSec, /*CompactThreshold=*/0);
+        double Speedup = Flat.accessesPerSec() / Map.accessesPerSec();
+        report(Report, Mode, C, "map", Map, 0);
+        report(Report, Mode, C, "flat", Flat, Speedup);
+        if (Mode == EspBagsDetector::Mode::MRW) {
+          if (Locs == LargestLocs && Speedup > LargeArrayMrwSpeedup)
+            LargeArrayMrwSpeedup = Speedup;
+          Measure Compact = runFlat(Mode, C, MinSec, CompactThreshold);
+          report(Report, Mode, C, "flat-compact", Compact,
+                 Compact.accessesPerSec() / Map.accessesPerSec());
+        }
+      }
+    }
+  }
+
+  bench::banner("Summary");
+  std::printf("large-array MRW sweep (locs=%u) best flat speedup: %.2fx\n",
+              LargestLocs, LargeArrayMrwSpeedup);
+
+  if (!Report.writeTo(OutPath)) {
+    std::fprintf(stderr, "bench_detector: failed to write %s\n",
+                 OutPath.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu records)\n", OutPath.c_str(),
+              Report.numRecords());
+  return 0;
+}

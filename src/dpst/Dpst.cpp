@@ -72,22 +72,35 @@ const DpstNode *Dpst::nsLca(const DpstNode *A, const DpstNode *B) const {
 
 const DpstNode *Dpst::childToward(const DpstNode *Ancestor,
                                   const DpstNode *Descendant) const {
-  const DpstNode *Prev = nullptr;
+  // Depth-directed: hop straight to the ancestor of Descendant one level
+  // below Ancestor instead of scanning the whole path to the root.
+  uint32_t AD = Ancestor->depth();
   const DpstNode *Cur = Descendant;
-  while (Cur && Cur != Ancestor) {
-    Prev = Cur;
+  if (Cur->depth() <= AD)
+    return nullptr;
+  while (Cur->depth() > AD + 1)
     Cur = Cur->parent();
-  }
-  return Cur == Ancestor ? Prev : nullptr;
+  return Cur->parent() == Ancestor ? Cur : nullptr;
 }
 
 const DpstNode *Dpst::nonScopeChildToward(const DpstNode *N,
                                           const DpstNode *Descendant) const {
-  // Walk down from N toward Descendant, skipping scope nodes.
-  const DpstNode *Cur = childToward(N, Descendant);
-  while (Cur && Cur->isScope())
-    Cur = childToward(Cur, Descendant);
-  return Cur;
+  // One upward walk: the first non-scope node on the way *down* from N is
+  // the shallowest non-scope node strictly below N on the path, i.e. the
+  // last one seen walking *up* from Descendant. The old implementation
+  // descended with repeated childToward calls, each re-walking from
+  // Descendant — O(depth^2) on scope chains.
+  uint32_t ND = N->depth();
+  const DpstNode *Cur = Descendant;
+  if (Cur->depth() <= ND)
+    return nullptr;
+  const DpstNode *Answer = nullptr;
+  while (Cur->depth() > ND) {
+    if (Cur->isNonScope())
+      Answer = Cur;
+    Cur = Cur->parent();
+  }
+  return Cur == N ? Answer : nullptr;
 }
 
 bool Dpst::isLeftOf(const DpstNode *A, const DpstNode *B) const {
@@ -106,13 +119,36 @@ bool Dpst::isLeftOf(const DpstNode *A, const DpstNode *B) const {
 bool Dpst::mayHappenInParallel(const DpstNode *S1, const DpstNode *S2) const {
   CQueries->inc();
   assert(S1 != S2 && "parallelism query on a single node");
-  const DpstNode *Left = S1, *Right = S2;
-  if (!isLeftOf(Left, Right))
-    std::swap(Left, Right);
-  const DpstNode *N = nsLca(Left, Right);
-  const DpstNode *A = nonScopeChildToward(N, Left);
-  assert(A && "left node must be a strict descendant of the NS-LCA");
-  return A->isAsync();
+  assert(S1->isStep() && S2->isStep() && "MHP is defined on step leaves");
+  // Single walk to the LCA, tracking per side the shallowest non-scope
+  // node strictly below it. Because every node between the LCA and the
+  // NS-LCA is a scope by definition, that tracked node IS the non-scope
+  // child of the NS-LCA toward that side (Definition 3) — no second pass
+  // needed. Steps are leaves, so neither argument is the LCA itself.
+  const DpstNode *A = S1, *B = S2;
+  const DpstNode *AChild = nullptr, *BChild = nullptr;
+  const DpstNode *ANs = nullptr, *BNs = nullptr;
+  while (A != B) {
+    if (A->depth() >= B->depth()) {
+      if (A->isNonScope())
+        ANs = A;
+      AChild = A;
+      A = A->parent();
+    } else {
+      if (B->isNonScope())
+        BNs = B;
+      BChild = B;
+      B = B->parent();
+    }
+    assert(A && B && "nodes from different trees");
+  }
+  assert(AChild && BChild && ANs && BNs &&
+         "steps must be strict descendants of their LCA");
+  // Theorem 1: the pair may run in parallel iff the NS-LCA's non-scope
+  // child toward the left (earlier) step is an async.
+  const DpstNode *LeftNs =
+      AChild->indexInParent() < BChild->indexInParent() ? ANs : BNs;
+  return LeftNs->isAsync();
 }
 
 std::vector<DpstNode *> Dpst::nonScopeChildren(const DpstNode *N) const {
@@ -263,8 +299,10 @@ void DpstBuilder::onAsyncEnter(const AsyncStmt *S, const Stmt *Owner) {
   N->Owner = Owner;
   N->OwnerLast = Owner;
   N->AsyncS = S;
-  if (const auto *B = dyn_cast<BlockStmt>(S->body()))
-    N->Container = B; // informational; the body block still gets a scope
+  // Null S happens only in synthetic event streams (bench/tests).
+  if (S)
+    if (const auto *B = dyn_cast<BlockStmt>(S->body()))
+      N->Container = B; // informational; the body block still gets a scope
   Cur = N;
   TaskStack.push_back(N);
 }
@@ -281,8 +319,9 @@ void DpstBuilder::onFinishEnter(const FinishStmt *S, const Stmt *Owner) {
   N->Owner = Owner;
   N->OwnerLast = Owner;
   N->FinishS = S;
-  if (const auto *B = dyn_cast<BlockStmt>(S->body()))
-    N->Container = B;
+  if (S)
+    if (const auto *B = dyn_cast<BlockStmt>(S->body()))
+      N->Container = B;
   Cur = N;
 }
 

@@ -89,55 +89,86 @@ public:
   virtual void onWrite(MemLoc L) { (void)L; }
 };
 
-/// Fans events out to several monitors in order.
+/// Fans events out to several monitors in order. A pipeline holding
+/// exactly one monitor forwards every event through a cached pointer —
+/// one branch and one virtual call, no vector iteration — so wrapping a
+/// single (possibly fused, see Detect.cpp) monitor costs next to nothing
+/// on the per-access hot path.
 class MonitorPipeline : public ExecMonitor {
 public:
-  void add(ExecMonitor *M) { Monitors.push_back(M); }
+  void add(ExecMonitor *M) {
+    Monitors.push_back(M);
+    Single = Monitors.size() == 1 ? M : nullptr;
+  }
+
+  /// The sole registered monitor, or null when the pipeline fans out.
+  ExecMonitor *single() const { return Single; }
 
   void onAsyncEnter(const AsyncStmt *S, const Stmt *Owner) override {
+    if (Single)
+      return Single->onAsyncEnter(S, Owner);
     for (ExecMonitor *M : Monitors)
       M->onAsyncEnter(S, Owner);
   }
   void onAsyncExit(const AsyncStmt *S) override {
+    if (Single)
+      return Single->onAsyncExit(S);
     for (ExecMonitor *M : Monitors)
       M->onAsyncExit(S);
   }
   void onFinishEnter(const FinishStmt *S, const Stmt *Owner) override {
+    if (Single)
+      return Single->onFinishEnter(S, Owner);
     for (ExecMonitor *M : Monitors)
       M->onFinishEnter(S, Owner);
   }
   void onFinishExit(const FinishStmt *S) override {
+    if (Single)
+      return Single->onFinishExit(S);
     for (ExecMonitor *M : Monitors)
       M->onFinishExit(S);
   }
   void onScopeEnter(ScopeKind K, const Stmt *Owner, const BlockStmt *Body,
                     const FuncDecl *Callee) override {
+    if (Single)
+      return Single->onScopeEnter(K, Owner, Body, Callee);
     for (ExecMonitor *M : Monitors)
       M->onScopeEnter(K, Owner, Body, Callee);
   }
   void onScopeExit() override {
+    if (Single)
+      return Single->onScopeExit();
     for (ExecMonitor *M : Monitors)
       M->onScopeExit();
   }
   void onStepPoint(const Stmt *Owner) override {
+    if (Single)
+      return Single->onStepPoint(Owner);
     for (ExecMonitor *M : Monitors)
       M->onStepPoint(Owner);
   }
   void onWork(uint64_t Units) override {
+    if (Single)
+      return Single->onWork(Units);
     for (ExecMonitor *M : Monitors)
       M->onWork(Units);
   }
   void onRead(MemLoc L) override {
+    if (Single)
+      return Single->onRead(L);
     for (ExecMonitor *M : Monitors)
       M->onRead(L);
   }
   void onWrite(MemLoc L) override {
+    if (Single)
+      return Single->onWrite(L);
     for (ExecMonitor *M : Monitors)
       M->onWrite(L);
   }
 
 private:
   std::vector<ExecMonitor *> Monitors;
+  ExecMonitor *Single = nullptr;
 };
 
 } // namespace tdr

@@ -33,14 +33,19 @@ Detection tdr::detectRaces(const Program &P, EspBagsDetector::Mode Mode,
   D.Tree = std::make_unique<Dpst>();
   DpstBuilder Builder(*D.Tree);
   EspBagsDetector Detector(Mode, Builder);
+  FusedDetectMonitor<EspBagsDetector> Fused(Builder, Detector);
   MonitorPipeline Pipeline;
-  // A caller-supplied monitor keeps observing the instrumented execution;
+  // Fast path: with no caller monitor the interpreter talks to the fused
+  // builder+detector directly — one virtual dispatch per event. A
+  // caller-supplied monitor keeps observing the instrumented execution;
   // it runs ahead of the builder/detector so it sees events untouched.
-  if (Exec.Monitor)
+  if (Exec.Monitor) {
     Pipeline.add(Exec.Monitor);
-  Pipeline.add(&Builder);
-  Pipeline.add(&Detector);
-  Exec.Monitor = &Pipeline;
+    Pipeline.add(&Fused);
+    Exec.Monitor = &Pipeline;
+  } else {
+    Exec.Monitor = &Fused;
+  }
   D.Exec = runProgram(P, std::move(Exec));
   D.Report = Detector.takeReport();
   publishDetection(D);
@@ -53,12 +58,15 @@ Detection tdr::detectRacesOracle(const Program &P, ExecOptions Exec) {
   D.Tree = std::make_unique<Dpst>();
   DpstBuilder Builder(*D.Tree);
   OracleDetector Detector(*D.Tree, Builder);
+  FusedDetectMonitor<OracleDetector> Fused(Builder, Detector);
   MonitorPipeline Pipeline;
-  if (Exec.Monitor)
+  if (Exec.Monitor) {
     Pipeline.add(Exec.Monitor);
-  Pipeline.add(&Builder);
-  Pipeline.add(&Detector);
-  Exec.Monitor = &Pipeline;
+    Pipeline.add(&Fused);
+    Exec.Monitor = &Pipeline;
+  } else {
+    Exec.Monitor = &Fused;
+  }
   D.Exec = runProgram(P, std::move(Exec));
   D.Report = Detector.takeReport();
   publishDetection(D);

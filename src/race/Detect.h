@@ -21,6 +21,60 @@
 
 namespace tdr {
 
+/// Fuses the S-DPST builder and a detector into ONE monitor: the
+/// interpreter pays a single virtual dispatch per event, and the inner
+/// builder/detector calls are devirtualized (statically qualified). This
+/// is the detection fast path — when the caller supplies no extra monitor,
+/// detectRaces hands this object to the interpreter directly instead of
+/// routing every access through a MonitorPipeline fan-out.
+template <typename DetectorT> class FusedDetectMonitor final : public ExecMonitor {
+public:
+  FusedDetectMonitor(DpstBuilder &B, DetectorT &D) : B(B), D(D) {}
+
+  void onAsyncEnter(const AsyncStmt *S, const Stmt *Owner) override {
+    B.DpstBuilder::onAsyncEnter(S, Owner);
+    D.DetectorT::onAsyncEnter(S, Owner);
+  }
+  void onAsyncExit(const AsyncStmt *S) override {
+    B.DpstBuilder::onAsyncExit(S);
+    D.DetectorT::onAsyncExit(S);
+  }
+  void onFinishEnter(const FinishStmt *S, const Stmt *Owner) override {
+    B.DpstBuilder::onFinishEnter(S, Owner);
+    D.DetectorT::onFinishEnter(S, Owner);
+  }
+  void onFinishExit(const FinishStmt *S) override {
+    B.DpstBuilder::onFinishExit(S);
+    D.DetectorT::onFinishExit(S);
+  }
+  void onScopeEnter(ScopeKind K, const Stmt *Owner, const BlockStmt *Body,
+                    const FuncDecl *Callee) override {
+    B.DpstBuilder::onScopeEnter(K, Owner, Body, Callee);
+    D.DetectorT::onScopeEnter(K, Owner, Body, Callee);
+  }
+  void onScopeExit() override {
+    B.DpstBuilder::onScopeExit();
+    D.DetectorT::onScopeExit();
+  }
+  void onStepPoint(const Stmt *Owner) override {
+    B.DpstBuilder::onStepPoint(Owner);
+    D.DetectorT::onStepPoint(Owner);
+  }
+  void onWork(uint64_t Units) override {
+    B.DpstBuilder::onWork(Units);
+    D.DetectorT::onWork(Units);
+  }
+  // The builder ignores accesses (steps are created lazily by the
+  // detector's currentStep() pull), so reads/writes go straight to the
+  // detector.
+  void onRead(MemLoc L) override { D.DetectorT::onRead(L); }
+  void onWrite(MemLoc L) override { D.DetectorT::onWrite(L); }
+
+private:
+  DpstBuilder &B;
+  DetectorT &D;
+};
+
 /// Everything one detection run produces.
 struct Detection {
   std::unique_ptr<Dpst> Tree; ///< the S-DPST of the execution

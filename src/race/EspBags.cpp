@@ -19,15 +19,20 @@ EspBagsDetector::EspBagsDetector(Mode M, DpstBuilder &Builder)
   // The root task's S-bag and the implicit root finish's P-bag.
   TaskElems.push_back(Bags.makeSet(BagSet::Tag::S));
   FinishElems.push_back(Bags.makeSet(BagSet::Tag::P));
+  CurElem = TaskElems.back();
 }
 
 void EspBagsDetector::onAsyncEnter(const AsyncStmt *, const Stmt *) {
+  CachedStep = nullptr;
   TaskElems.push_back(Bags.makeSet(BagSet::Tag::S));
+  CurElem = TaskElems.back();
 }
 
 void EspBagsDetector::onAsyncExit(const AsyncStmt *) {
+  CachedStep = nullptr;
   uint32_t TaskElem = TaskElems.back();
   TaskElems.pop_back();
+  CurElem = TaskElems.back();
   // The completed task's S-bag joins the P-bag of the innermost enclosing
   // finish: it is now parallel to everything the parent does until that
   // finish joins it.
@@ -35,24 +40,34 @@ void EspBagsDetector::onAsyncExit(const AsyncStmt *) {
 }
 
 void EspBagsDetector::onFinishEnter(const FinishStmt *, const Stmt *) {
+  CachedStep = nullptr;
   FinishElems.push_back(Bags.makeSet(BagSet::Tag::P));
 }
 
 void EspBagsDetector::onFinishExit(const FinishStmt *) {
+  CachedStep = nullptr;
   uint32_t FinishElem = FinishElems.back();
   FinishElems.pop_back();
   // Everything the finish joined is now serialized before the parent task.
   Bags.merge(TaskElems.back(), FinishElem, BagSet::Tag::S);
 }
 
+void EspBagsDetector::onScopeEnter(ScopeKind, const Stmt *, const BlockStmt *,
+                                   const FuncDecl *) {
+  // Scope boundaries close the builder's current step; drop the cache so
+  // the next access re-resolves it.
+  CachedStep = nullptr;
+}
+
+void EspBagsDetector::onScopeExit() { CachedStep = nullptr; }
+
 void EspBagsDetector::recordRace(const Access &Prev, AccessKind PrevKind,
                                  DpstNode *CurStep, AccessKind CurKind,
                                  MemLoc L) {
   CRaw->inc();
   ++Report.RawCount;
-  uint64_t Key = (static_cast<uint64_t>(Prev.Step->id()) << 32) |
-                 CurStep->id();
-  if (!SeenPairs.insert(Key).second)
+  if (!SeenPairs.insert(packRacePairKey(Prev.Step->id(), CurStep->id()))
+           .second)
     return;
   CPairs->inc();
   RacePair R;
@@ -64,9 +79,36 @@ void EspBagsDetector::recordRace(const Access &Prev, AccessKind PrevKind,
   Report.Pairs.push_back(R);
 }
 
+void EspBagsDetector::compactReaders(Shadow &S) {
+  // Entries whose bags have merged share one union-find representative and
+  // — since bags only ever merge — will be classified identically (S vs P)
+  // against every future access. Keep the first entry per representative
+  // as the surviving race witness for that task group.
+  RootScratch.clear();
+  uint32_t Kept = 0;
+  for (uint32_t I = 0; I != S.Readers.size(); ++I) {
+    uint32_t Root = Bags.find(S.Readers[I].Elem);
+    bool Seen = false;
+    for (uint32_t R : RootScratch)
+      if (R == Root) {
+        Seen = true;
+        break;
+      }
+    if (Seen)
+      continue;
+    RootScratch.push_back(Root);
+    S.Readers[Kept++] = S.Readers[I];
+  }
+  S.Readers.truncate(Kept);
+  // Amortize: only re-compact once the list doubles past this point, so a
+  // location with many live representatives is not rescanned per access.
+  uint32_t Doubled = 2 * (Kept < CompactThreshold ? CompactThreshold : Kept);
+  S.CompactLimit = Doubled;
+}
+
 void EspBagsDetector::onRead(MemLoc L) {
-  DpstNode *Step = Builder.currentStep();
-  Shadow &S = ShadowMem[L];
+  DpstNode *Step = curStep();
+  Shadow &S = Shadows.slot(L);
   CReads->inc();
   CChecks->inc(S.Writers.size());
 
@@ -88,11 +130,16 @@ void EspBagsDetector::onRead(MemLoc L) {
   // step boundaries come from one step, so checking the tail suffices).
   if (S.Readers.empty() || S.Readers.back().Step != Step)
     S.Readers.push_back(Access{curTaskElem(), Step});
+  if (CompactThreshold &&
+      S.Readers.size() >=
+          (S.CompactLimit > CompactThreshold ? S.CompactLimit
+                                             : CompactThreshold))
+    compactReaders(S);
 }
 
 void EspBagsDetector::onWrite(MemLoc L) {
-  DpstNode *Step = Builder.currentStep();
-  Shadow &S = ShadowMem[L];
+  DpstNode *Step = curStep();
+  Shadow &S = Shadows.slot(L);
   CWrites->inc();
   CChecks->inc(S.Writers.size() + S.Readers.size());
 

@@ -28,6 +28,18 @@
 /// A recorded access races with the current step iff its task element is
 /// currently in a P-tagged bag.
 ///
+/// Detection is the inner loop of the whole repair pipeline, so the
+/// per-access path is kept flat:
+///
+///  * shadow state lives in a paged direct-map ShadowMemory (no hashing);
+///  * access lists are SmallVectors with inline capacity 2, so SRW and the
+///    common MRW case never heap-allocate;
+///  * the current step node and task element are cached across each step
+///    (invalidated at structure-event boundaries) instead of being
+///    re-derived per access;
+///  * optionally, MRW reader lists past a threshold are compacted down to
+///    one entry per BagSet representative (see setReaderCompaction).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TDR_RACE_ESPBAGS_H
@@ -36,8 +48,9 @@
 #include "dpst/Dpst.h"
 #include "race/BagSet.h"
 #include "race/RaceReport.h"
+#include "race/ShadowMemory.h"
+#include "support/SmallVector.h"
 
-#include <unordered_map>
 #include <unordered_set>
 
 namespace tdr {
@@ -54,10 +67,25 @@ public:
 
   EspBagsDetector(Mode M, DpstBuilder &Builder);
 
+  /// Enables MRW reader-list compaction: once a location's reader list
+  /// reaches \p Threshold entries, it is deduplicated down to one entry
+  /// per BagSet::find representative (union-find sets only ever merge, so
+  /// same-representative entries stay classified identically forever).
+  /// This bounds reader-list growth on read-heavy locations but reports
+  /// only one racing pair per merged task group instead of all of them —
+  /// an enumeration/throughput trade in the spirit of SRW vs MRW (§4.1).
+  /// Off by default (0) so MRW keeps its report-every-pair guarantee.
+  void setReaderCompaction(uint32_t Threshold) {
+    CompactThreshold = Threshold;
+  }
+
   void onAsyncEnter(const AsyncStmt *S, const Stmt *Owner) override;
   void onAsyncExit(const AsyncStmt *S) override;
   void onFinishEnter(const FinishStmt *S, const Stmt *Owner) override;
   void onFinishExit(const FinishStmt *S) override;
+  void onScopeEnter(ScopeKind K, const Stmt *Owner, const BlockStmt *Body,
+                    const FuncDecl *Callee) override;
+  void onScopeExit() override;
   void onRead(MemLoc L) override;
   void onWrite(MemLoc L) override;
 
@@ -73,16 +101,36 @@ private:
     DpstNode *Step = nullptr;
   };
 
-  /// Per-location shadow state. SRW uses [0] of each vector.
+  /// Per-location shadow state. SRW uses [0] of each vector. Inline
+  /// capacity 2 keeps the hot path allocation-free until a location sees
+  /// three parallel accessors.
   struct Shadow {
-    std::vector<Access> Writers;
-    std::vector<Access> Readers;
+    /// Valid when all-zero, so shadow pages materialize with one memset
+    /// (see IsAllZeroInit in PagedArray.h).
+    static constexpr bool AllZeroInit = true;
+
+    SmallVector<Access, 2> Writers;
+    SmallVector<Access, 2> Readers;
+    /// Next reader-list size that triggers compaction (amortization; see
+    /// compactReaders).
+    uint32_t CompactLimit = 0;
   };
 
   void recordRace(const Access &Prev, AccessKind PrevKind, DpstNode *CurStep,
                   AccessKind CurKind, MemLoc L);
 
-  uint32_t curTaskElem() const { return TaskElems.back(); }
+  void compactReaders(Shadow &S);
+
+  /// The step receiving the current access; cached until the next
+  /// structure event closes the step.
+  DpstNode *curStep() {
+    if (DpstNode *S = CachedStep)
+      return S;
+    return CachedStep = Builder.currentStep();
+  }
+
+  /// The executing task's S-bag element, cached across async boundaries.
+  uint32_t curTaskElem() const { return CurElem; }
 
   Mode M;
   DpstBuilder &Builder;
@@ -94,9 +142,13 @@ private:
   obs::Counter *CRaw;
   obs::Counter *CPairs;
   BagSet Bags;
+  DpstNode *CachedStep = nullptr;    ///< step-boundary-cached current step
+  uint32_t CurElem = 0;              ///< cached TaskElems.back()
+  uint32_t CompactThreshold = 0;     ///< 0 = compaction off
   std::vector<uint32_t> TaskElems;   ///< S-bag element per active task
   std::vector<uint32_t> FinishElems; ///< P-bag element per active finish
-  std::unordered_map<MemLoc, Shadow, MemLocHash> ShadowMem;
+  ShadowMemory<Shadow> Shadows;
+  std::vector<uint32_t> RootScratch; ///< compaction scratch (reused)
   RaceReport Report;
   std::unordered_set<uint64_t> SeenPairs;
 };

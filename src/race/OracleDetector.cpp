@@ -8,15 +8,27 @@
 
 using namespace tdr;
 
-void OracleDetector::check(const std::vector<DpstNode *> &Prev,
-                           AccessKind PrevKind, DpstNode *Step,
-                           AccessKind CurKind, MemLoc L) {
+void OracleDetector::onAsyncEnter(const AsyncStmt *, const Stmt *) {
+  CachedStep = nullptr;
+}
+void OracleDetector::onAsyncExit(const AsyncStmt *) { CachedStep = nullptr; }
+void OracleDetector::onFinishEnter(const FinishStmt *, const Stmt *) {
+  CachedStep = nullptr;
+}
+void OracleDetector::onFinishExit(const FinishStmt *) { CachedStep = nullptr; }
+void OracleDetector::onScopeEnter(ScopeKind, const Stmt *, const BlockStmt *,
+                                  const FuncDecl *) {
+  CachedStep = nullptr;
+}
+void OracleDetector::onScopeExit() { CachedStep = nullptr; }
+
+void OracleDetector::check(const AccessList &Prev, AccessKind PrevKind,
+                           DpstNode *Step, AccessKind CurKind, MemLoc L) {
   for (DpstNode *P : Prev) {
     if (P == Step || !Tree.mayHappenInParallel(P, Step))
       continue;
     ++Report.RawCount;
-    uint64_t Key = (static_cast<uint64_t>(P->id()) << 32) | Step->id();
-    if (!SeenPairs.insert(Key).second)
+    if (!SeenPairs.insert(packRacePairKey(P->id(), Step->id())).second)
       continue;
     RacePair R;
     R.Src = P;
@@ -29,16 +41,16 @@ void OracleDetector::check(const std::vector<DpstNode *> &Prev,
 }
 
 void OracleDetector::onRead(MemLoc L) {
-  DpstNode *Step = Builder.currentStep();
-  Shadow &S = ShadowMem[L];
+  DpstNode *Step = curStep();
+  Shadow &S = Shadows.slot(L);
   check(S.Writers, AccessKind::Write, Step, AccessKind::Read, L);
   if (S.Readers.empty() || S.Readers.back() != Step)
     S.Readers.push_back(Step);
 }
 
 void OracleDetector::onWrite(MemLoc L) {
-  DpstNode *Step = Builder.currentStep();
-  Shadow &S = ShadowMem[L];
+  DpstNode *Step = curStep();
+  Shadow &S = Shadows.slot(L);
   check(S.Writers, AccessKind::Write, Step, AccessKind::Write, L);
   check(S.Readers, AccessKind::Read, Step, AccessKind::Write, L);
   if (S.Writers.empty() || S.Writers.back() != Step)

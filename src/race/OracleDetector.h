@@ -13,6 +13,9 @@
 /// two is strong evidence of correctness. Property tests assert that this
 /// oracle and MRW ESP-bags report identical race pair sets.
 ///
+/// Shares the flat paged ShadowMemory and small-vector access lists with
+/// the ESP-bags fast path; the parallelism query stays the structural one.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TDR_RACE_ORACLEDETECTOR_H
@@ -20,8 +23,9 @@
 
 #include "dpst/Dpst.h"
 #include "race/RaceReport.h"
+#include "race/ShadowMemory.h"
+#include "support/SmallVector.h"
 
-#include <unordered_map>
 #include <unordered_set>
 
 namespace tdr {
@@ -32,23 +36,43 @@ public:
   OracleDetector(Dpst &Tree, DpstBuilder &Builder)
       : Tree(Tree), Builder(Builder) {}
 
+  void onAsyncEnter(const AsyncStmt *S, const Stmt *Owner) override;
+  void onAsyncExit(const AsyncStmt *S) override;
+  void onFinishEnter(const FinishStmt *S, const Stmt *Owner) override;
+  void onFinishExit(const FinishStmt *S) override;
+  void onScopeEnter(ScopeKind K, const Stmt *Owner, const BlockStmt *Body,
+                    const FuncDecl *Callee) override;
+  void onScopeExit() override;
   void onRead(MemLoc L) override;
   void onWrite(MemLoc L) override;
 
   RaceReport takeReport() { return std::move(Report); }
 
 private:
+  using AccessList = SmallVector<DpstNode *, 2>;
+
   struct Shadow {
-    std::vector<DpstNode *> Writers;
-    std::vector<DpstNode *> Readers;
+    /// Valid when all-zero, so shadow pages materialize with one memset
+    /// (see IsAllZeroInit in PagedArray.h).
+    static constexpr bool AllZeroInit = true;
+
+    AccessList Writers;
+    AccessList Readers;
   };
 
-  void check(const std::vector<DpstNode *> &Prev, AccessKind PrevKind,
-             DpstNode *Step, AccessKind CurKind, MemLoc L);
+  void check(const AccessList &Prev, AccessKind PrevKind, DpstNode *Step,
+             AccessKind CurKind, MemLoc L);
+
+  DpstNode *curStep() {
+    if (DpstNode *S = CachedStep)
+      return S;
+    return CachedStep = Builder.currentStep();
+  }
 
   Dpst &Tree;
   DpstBuilder &Builder;
-  std::unordered_map<MemLoc, Shadow, MemLocHash> ShadowMem;
+  DpstNode *CachedStep = nullptr; ///< step-boundary-cached current step
+  ShadowMemory<Shadow> Shadows;
   RaceReport Report;
   std::unordered_set<uint64_t> SeenPairs;
 };

@@ -34,6 +34,18 @@ struct RacePair {
   AccessKind SnkKind = AccessKind::Write;
 };
 
+/// Packs two step ids into the 64-bit key the detectors dedupe racing
+/// pairs on. Normalized on the unordered pair — (A,B) and (B,A) yield the
+/// same key — so the same race observed under different access orders
+/// (e.g. across re-detection after a partial repair) dedupes consistently.
+/// Each id keeps its own 32-bit half, so distinct unordered pairs never
+/// collide even when ids coincide across the halves.
+inline uint64_t packRacePairKey(uint32_t A, uint32_t B) {
+  uint32_t Lo = A < B ? A : B;
+  uint32_t Hi = A < B ? B : A;
+  return (static_cast<uint64_t>(Lo) << 32) | Hi;
+}
+
 /// Result of one detection run.
 struct RaceReport {
   /// Distinct racing step pairs (the input to repair). Deduplicated on

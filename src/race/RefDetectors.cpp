@@ -1,0 +1,140 @@
+//===- RefDetectors.cpp ---------------------------------------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+// Frozen pre-fast-path detector implementations; see RefDetectors.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "race/RefDetectors.h"
+
+using namespace tdr;
+
+//===----------------------------------------------------------------------===//
+// RefEspBagsDetector — verbatim pre-flat-shadow ESP-bags
+//===----------------------------------------------------------------------===//
+
+RefEspBagsDetector::RefEspBagsDetector(Mode M, DpstBuilder &Builder)
+    : M(M), Builder(Builder) {
+  TaskElems.push_back(Bags.makeSet(BagSet::Tag::S));
+  FinishElems.push_back(Bags.makeSet(BagSet::Tag::P));
+}
+
+void RefEspBagsDetector::onAsyncEnter(const AsyncStmt *, const Stmt *) {
+  TaskElems.push_back(Bags.makeSet(BagSet::Tag::S));
+}
+
+void RefEspBagsDetector::onAsyncExit(const AsyncStmt *) {
+  uint32_t TaskElem = TaskElems.back();
+  TaskElems.pop_back();
+  Bags.merge(FinishElems.back(), TaskElem, BagSet::Tag::P);
+}
+
+void RefEspBagsDetector::onFinishEnter(const FinishStmt *, const Stmt *) {
+  FinishElems.push_back(Bags.makeSet(BagSet::Tag::P));
+}
+
+void RefEspBagsDetector::onFinishExit(const FinishStmt *) {
+  uint32_t FinishElem = FinishElems.back();
+  FinishElems.pop_back();
+  Bags.merge(TaskElems.back(), FinishElem, BagSet::Tag::S);
+}
+
+void RefEspBagsDetector::recordRace(const Access &Prev, AccessKind PrevKind,
+                                    DpstNode *CurStep, AccessKind CurKind,
+                                    MemLoc L) {
+  ++Report.RawCount;
+  uint64_t Key =
+      (static_cast<uint64_t>(Prev.Step->id()) << 32) | CurStep->id();
+  if (!SeenPairs.insert(Key).second)
+    return;
+  RacePair R;
+  R.Src = Prev.Step;
+  R.Snk = CurStep;
+  R.Loc = L;
+  R.SrcKind = PrevKind;
+  R.SnkKind = CurKind;
+  Report.Pairs.push_back(R);
+}
+
+void RefEspBagsDetector::onRead(MemLoc L) {
+  DpstNode *Step = Builder.currentStep();
+  Shadow &S = ShadowMem[L];
+
+  for (const Access &W : S.Writers)
+    if (W.Step != Step && Bags.isP(W.Elem))
+      recordRace(W, AccessKind::Write, Step, AccessKind::Read, L);
+
+  if (M == Mode::SRW) {
+    if (S.Readers.empty())
+      S.Readers.push_back(Access{curTaskElem(), Step});
+    else if (!Bags.isP(S.Readers[0].Elem))
+      S.Readers[0] = Access{curTaskElem(), Step};
+    return;
+  }
+  if (S.Readers.empty() || S.Readers.back().Step != Step)
+    S.Readers.push_back(Access{curTaskElem(), Step});
+}
+
+void RefEspBagsDetector::onWrite(MemLoc L) {
+  DpstNode *Step = Builder.currentStep();
+  Shadow &S = ShadowMem[L];
+
+  for (const Access &W : S.Writers)
+    if (W.Step != Step && Bags.isP(W.Elem))
+      recordRace(W, AccessKind::Write, Step, AccessKind::Write, L);
+  for (const Access &R : S.Readers)
+    if (R.Step != Step && Bags.isP(R.Elem))
+      recordRace(R, AccessKind::Read, Step, AccessKind::Write, L);
+
+  if (M == Mode::SRW) {
+    if (S.Writers.empty())
+      S.Writers.push_back(Access{curTaskElem(), Step});
+    else
+      S.Writers[0] = Access{curTaskElem(), Step};
+    return;
+  }
+  if (S.Writers.empty() || S.Writers.back().Step != Step)
+    S.Writers.push_back(Access{curTaskElem(), Step});
+}
+
+//===----------------------------------------------------------------------===//
+// RefOracleDetector — verbatim pre-flat-shadow Theorem-1 oracle
+//===----------------------------------------------------------------------===//
+
+void RefOracleDetector::check(const std::vector<DpstNode *> &Prev,
+                              AccessKind PrevKind, DpstNode *Step,
+                              AccessKind CurKind, MemLoc L) {
+  for (DpstNode *P : Prev) {
+    if (P == Step || !Tree.mayHappenInParallel(P, Step))
+      continue;
+    ++Report.RawCount;
+    uint64_t Key = (static_cast<uint64_t>(P->id()) << 32) | Step->id();
+    if (!SeenPairs.insert(Key).second)
+      continue;
+    RacePair R;
+    R.Src = P;
+    R.Snk = Step;
+    R.Loc = L;
+    R.SrcKind = PrevKind;
+    R.SnkKind = CurKind;
+    Report.Pairs.push_back(R);
+  }
+}
+
+void RefOracleDetector::onRead(MemLoc L) {
+  DpstNode *Step = Builder.currentStep();
+  Shadow &S = ShadowMem[L];
+  check(S.Writers, AccessKind::Write, Step, AccessKind::Read, L);
+  if (S.Readers.empty() || S.Readers.back() != Step)
+    S.Readers.push_back(Step);
+}
+
+void RefOracleDetector::onWrite(MemLoc L) {
+  DpstNode *Step = Builder.currentStep();
+  Shadow &S = ShadowMem[L];
+  check(S.Writers, AccessKind::Write, Step, AccessKind::Write, L);
+  check(S.Readers, AccessKind::Read, Step, AccessKind::Write, L);
+  if (S.Writers.empty() || S.Writers.back() != Step)
+    S.Writers.push_back(Step);
+}

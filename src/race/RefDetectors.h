@@ -1,0 +1,107 @@
+//===- RefDetectors.h - Frozen map-based reference detectors -----*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-for-byte copies of the ESP-bags and Theorem-1 oracle detectors as
+/// they existed before the flat-shadow fast path: shadow state lives in a
+/// std::unordered_map<MemLoc, Shadow> and access lists are plain
+/// std::vectors. Kept for two purposes only:
+///
+///  * differential tests assert the flat-shadow detectors report the
+///    identical RaceReport as these baselines on random programs;
+///  * bench_detector measures before/after throughput against them.
+///
+/// Do not use in the pipeline and do not "improve" them — their value is
+/// being frozen.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_RACE_REFDETECTORS_H
+#define TDR_RACE_REFDETECTORS_H
+
+#include "dpst/Dpst.h"
+#include "race/BagSet.h"
+#include "race/EspBags.h"
+#include "race/RaceReport.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace tdr {
+
+/// Pre-fast-path ESP-bags detector (hash-map shadow, vector access lists,
+/// per-access currentStep()/TaskElems.back() lookups).
+class RefEspBagsDetector : public ExecMonitor {
+public:
+  using Mode = EspBagsDetector::Mode;
+
+  RefEspBagsDetector(Mode M, DpstBuilder &Builder);
+
+  void onAsyncEnter(const AsyncStmt *S, const Stmt *Owner) override;
+  void onAsyncExit(const AsyncStmt *S) override;
+  void onFinishEnter(const FinishStmt *S, const Stmt *Owner) override;
+  void onFinishExit(const FinishStmt *S) override;
+  void onRead(MemLoc L) override;
+  void onWrite(MemLoc L) override;
+
+  RaceReport takeReport() { return std::move(Report); }
+
+private:
+  struct Access {
+    uint32_t Elem = 0;
+    DpstNode *Step = nullptr;
+  };
+
+  struct Shadow {
+    std::vector<Access> Writers;
+    std::vector<Access> Readers;
+  };
+
+  void recordRace(const Access &Prev, AccessKind PrevKind, DpstNode *CurStep,
+                  AccessKind CurKind, MemLoc L);
+
+  uint32_t curTaskElem() const { return TaskElems.back(); }
+
+  Mode M;
+  DpstBuilder &Builder;
+  BagSet Bags;
+  std::vector<uint32_t> TaskElems;
+  std::vector<uint32_t> FinishElems;
+  std::unordered_map<MemLoc, Shadow, MemLocHash> ShadowMem;
+  RaceReport Report;
+  std::unordered_set<uint64_t> SeenPairs;
+};
+
+/// Pre-fast-path Theorem-1 oracle detector (hash-map shadow).
+class RefOracleDetector : public ExecMonitor {
+public:
+  RefOracleDetector(Dpst &Tree, DpstBuilder &Builder)
+      : Tree(Tree), Builder(Builder) {}
+
+  void onRead(MemLoc L) override;
+  void onWrite(MemLoc L) override;
+
+  RaceReport takeReport() { return std::move(Report); }
+
+private:
+  struct Shadow {
+    std::vector<DpstNode *> Writers;
+    std::vector<DpstNode *> Readers;
+  };
+
+  void check(const std::vector<DpstNode *> &Prev, AccessKind PrevKind,
+             DpstNode *Step, AccessKind CurKind, MemLoc L);
+
+  Dpst &Tree;
+  DpstBuilder &Builder;
+  std::unordered_map<MemLoc, Shadow, MemLocHash> ShadowMem;
+  RaceReport Report;
+  std::unordered_set<uint64_t> SeenPairs;
+};
+
+} // namespace tdr
+
+#endif // TDR_RACE_REFDETECTORS_H

@@ -1,0 +1,65 @@
+//===- ShadowMemory.h - Flat per-location shadow state store -----*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The detectors' shadow memory, keyed by MemLoc without hashing. MemLoc
+/// already names locations structurally — a dense global slot, or a dense
+/// array id plus an element index — so the store mirrors that structure
+/// directly:
+///
+///  * globals: one PagedArray indexed by slot id;
+///  * arrays:  a vector indexed by array id of PagedArrays indexed by
+///             element index.
+///
+/// Every probe is bounds checks plus direct indexing (O(1), no hash, no
+/// collision chains), and all pages share one MonotonicArena so teardown is
+/// wholesale. This replaces the previous
+/// std::unordered_map<MemLoc, Shadow> whose probe cost dominated the
+/// per-access detector hot path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_RACE_SHADOWMEMORY_H
+#define TDR_RACE_SHADOWMEMORY_H
+
+#include "interp/Value.h"
+#include "support/PagedArray.h"
+
+#include <deque>
+
+namespace tdr {
+
+template <typename T> class ShadowMemory {
+public:
+  ShadowMemory() : Globals(Arena) {}
+
+  /// Shadow state for \p L, created value-initialized on first touch.
+  T &slot(MemLoc L) {
+    if (L.K == MemLoc::Kind::Global)
+      return Globals.getOrCreate(L.Id);
+    assert(L.Index >= 0 && "negative element index reached the detector");
+    if (L.Id >= ArrayTable.size())
+      ArrayTable.resize(L.Id + 1, nullptr);
+    PagedArray<T> *&PA = ArrayTable[L.Id];
+    if (!PA) {
+      Arrays.emplace_back(Arena);
+      PA = &Arrays.back();
+    }
+    return PA->getOrCreate(static_cast<uint64_t>(L.Index));
+  }
+
+  size_t bytesReserved() const { return Arena.bytesReserved(); }
+
+private:
+  MonotonicArena Arena;
+  PagedArray<T> Globals;
+  std::vector<PagedArray<T> *> ArrayTable; ///< array id -> per-array pages
+  std::deque<PagedArray<T>> Arrays;        ///< stable storage for the above
+};
+
+} // namespace tdr
+
+#endif // TDR_RACE_SHADOWMEMORY_H

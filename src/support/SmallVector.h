@@ -1,0 +1,118 @@
+//===- SmallVector.h - Vector with inline small-size storage -----*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A vector that stores its first \p N elements inline, deferring the first
+/// heap allocation until the inline capacity overflows. The race detectors
+/// keep one reader list and one writer list per shadow-memory slot; with
+/// inline capacity 2 the SRW detector (one tracked access per list) and the
+/// common MRW case never touch the heap on the per-access hot path.
+///
+/// Restricted to trivially copyable element types so growth is a memcpy and
+/// destruction is free — exactly the Access/pointer records the detectors
+/// store. Not a general-purpose container.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_SUPPORT_SMALLVECTOR_H
+#define TDR_SUPPORT_SMALLVECTOR_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <type_traits>
+
+namespace tdr {
+
+template <typename T, unsigned N> class SmallVector {
+  static_assert(std::is_trivially_copyable<T>::value,
+                "SmallVector requires trivially copyable elements");
+  static_assert(N > 0, "inline capacity must be non-zero");
+
+public:
+  /// The default-constructed state is all-zero bytes (Data null means "in
+  /// inline storage"), so aggregates of SmallVectors can opt into
+  /// PagedArray's memset page materialization (see IsAllZeroInit).
+  SmallVector() = default;
+  ~SmallVector() {
+    if (Data)
+      std::free(Data);
+  }
+
+  SmallVector(const SmallVector &) = delete;
+  SmallVector &operator=(const SmallVector &) = delete;
+
+  bool empty() const { return Size == 0; }
+  uint32_t size() const { return Size; }
+  uint32_t capacity() const { return Data ? Cap : N; }
+  /// True while no heap allocation has happened.
+  bool isInline() const { return Data == nullptr; }
+
+  T *begin() { return ptr(); }
+  T *end() { return ptr() + Size; }
+  const T *begin() const { return ptr(); }
+  const T *end() const { return ptr() + Size; }
+
+  T &operator[](uint32_t I) {
+    assert(I < Size);
+    return ptr()[I];
+  }
+  const T &operator[](uint32_t I) const {
+    assert(I < Size);
+    return ptr()[I];
+  }
+
+  T &back() {
+    assert(Size > 0);
+    return ptr()[Size - 1];
+  }
+  const T &back() const {
+    assert(Size > 0);
+    return ptr()[Size - 1];
+  }
+
+  void push_back(const T &V) {
+    if (Size == capacity())
+      grow();
+    ptr()[Size++] = V;
+  }
+
+  void clear() { Size = 0; }
+
+  /// Shrinks to the first \p NewSize elements (compaction); never grows.
+  void truncate(uint32_t NewSize) {
+    assert(NewSize <= Size);
+    Size = NewSize;
+  }
+
+private:
+  T *inlineBuf() { return reinterpret_cast<T *>(Inline); }
+  const T *inlineBuf() const { return reinterpret_cast<const T *>(Inline); }
+
+  T *ptr() { return Data ? Data : inlineBuf(); }
+  const T *ptr() const { return Data ? Data : inlineBuf(); }
+
+  void grow() {
+    uint32_t NewCap = capacity() * 2;
+    T *NewData = static_cast<T *>(std::malloc(sizeof(T) * NewCap));
+    std::memcpy(NewData, ptr(), sizeof(T) * Size);
+    if (Data)
+      std::free(Data);
+    Data = NewData;
+    Cap = NewCap;
+  }
+
+  T *Data = nullptr;
+  uint32_t Size = 0;
+  /// Heap capacity; meaningful only when Data is non-null.
+  uint32_t Cap = 0;
+  alignas(T) unsigned char Inline[N * sizeof(T)];
+};
+
+} // namespace tdr
+
+#endif // TDR_SUPPORT_SMALLVECTOR_H

@@ -323,4 +323,70 @@ TEST(Dpst, DotDumpContainsAllNodes) {
   EXPECT_NE(Dot.find("Root:0"), std::string::npos);
 }
 
+TEST(Dpst, DeepChainQueriesStayCorrect) {
+  // Regression for the walk-once childToward / nonScopeChildToward /
+  // mayHappenInParallel rewrite: a path of thousands of scope nodes
+  // between the queried ancestor and the step leaves. The old
+  // hop-from-the-top formulation was quadratic in this depth; answers must
+  // be identical now that each query walks the chain once. Built from raw
+  // monitor events (null statements) — no program needed.
+  const int Depth = 4000;
+  Dpst Tree;
+  DpstBuilder B(Tree);
+
+  // finish { scopes^Depth { async { SA } } } ... SB
+  B.onFinishEnter(nullptr, nullptr);
+  for (int I = 0; I != Depth; ++I)
+    B.onScopeEnter(ScopeKind::Block, nullptr, nullptr, nullptr);
+  B.onAsyncEnter(nullptr, nullptr);
+  const DpstNode *SA = B.currentStep();
+  B.onAsyncExit(nullptr);
+  for (int I = 0; I != Depth; ++I)
+    B.onScopeExit();
+  B.onFinishExit(nullptr);
+  const DpstNode *SB = B.currentStep();
+
+  ASSERT_NE(SA, nullptr);
+  ASSERT_NE(SB, nullptr);
+  ASSERT_GE(SA->depth(), static_cast<uint32_t>(Depth));
+
+  const DpstNode *Root = Tree.root();
+  const DpstNode *Finish = Tree.childToward(Root, SA);
+  ASSERT_NE(Finish, nullptr);
+  EXPECT_EQ(Finish->kind(), DpstKind::Finish);
+  // childToward from the deep chain's top returns its first scope...
+  const DpstNode *TopScope = Tree.childToward(Finish, SA);
+  ASSERT_NE(TopScope, nullptr);
+  EXPECT_EQ(TopScope->kind(), DpstKind::Scope);
+  // ...while the non-scope child skips the whole chain down to the async.
+  const DpstNode *Ns = Tree.nonScopeChildToward(Finish, SA);
+  ASSERT_NE(Ns, nullptr);
+  EXPECT_EQ(Ns->kind(), DpstKind::Async);
+
+  EXPECT_EQ(Tree.lca(SA, SB), Root);
+  // The LCA (root) is itself non-scope, so it is its own NS-LCA.
+  EXPECT_EQ(Tree.nsLca(SA, SB), Root);
+  // SA runs in an async joined by the finish; SB is the continuation after
+  // it, so they are ordered.
+  EXPECT_FALSE(Tree.mayHappenInParallel(SA, SB));
+
+  // Same deep chain without the joining finish: async { scopes^Depth
+  // { SC } } ... SD — now the deep step and the continuation step are
+  // parallel and the NS-LCA's left non-scope child is the async itself.
+  B.onAsyncEnter(nullptr, nullptr);
+  for (int I = 0; I != Depth; ++I)
+    B.onScopeEnter(ScopeKind::Block, nullptr, nullptr, nullptr);
+  const DpstNode *SC = B.currentStep();
+  for (int I = 0; I != Depth; ++I)
+    B.onScopeExit();
+  B.onAsyncExit(nullptr);
+  const DpstNode *SD = B.currentStep();
+
+  const DpstNode *DeepAsync = Tree.childToward(Root, SC);
+  ASSERT_NE(DeepAsync, nullptr);
+  EXPECT_EQ(DeepAsync->kind(), DpstKind::Async);
+  EXPECT_EQ(Tree.nonScopeChildToward(DeepAsync, SC), SC);
+  EXPECT_TRUE(Tree.mayHappenInParallel(SC, SD));
+}
+
 } // namespace

@@ -1,0 +1,213 @@
+//===- shadow_diff_test.cpp - Flat vs map shadow differential tests -------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+// The flat-shadow fast path (paged direct-map shadow memory, small-vector
+// access lists, fused monitor dispatch, step caching) is a pure
+// representation change: on every program it must produce the IDENTICAL
+// RaceReport as the frozen pre-change detectors in RefDetectors.h. These
+// tests check that on ~100 random programs per detector variant, plus the
+// pair-key packing and the opt-in MRW reader compaction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "RandomProgram.h"
+#include "TestUtil.h"
+
+#include "race/Detect.h"
+#include "race/RefDetectors.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace tdr;
+using namespace tdr::test;
+
+namespace {
+
+/// A report plus the tree its step pointers live in (the pairs point into
+/// the Dpst, so it must outlive them).
+struct RefRun {
+  std::unique_ptr<Dpst> Tree = std::make_unique<Dpst>();
+  RaceReport Report;
+};
+
+/// Runs \p P under the frozen map-shadow ESP-bags detector with the exact
+/// pre-fast-path wiring (builder and detector fanned out by a pipeline).
+RefRun runRefEspBags(ParsedProgram &P, EspBagsDetector::Mode Mode) {
+  RefRun Run;
+  DpstBuilder Builder(*Run.Tree);
+  RefEspBagsDetector Det(Mode, Builder);
+  MonitorPipeline Pipeline;
+  Pipeline.add(&Builder);
+  Pipeline.add(&Det);
+  ExecOptions Exec;
+  Exec.Monitor = &Pipeline;
+  ExecResult R = runProgram(*P.Prog, std::move(Exec));
+  EXPECT_TRUE(R.Ok) << R.Error;
+  Run.Report = Det.takeReport();
+  return Run;
+}
+
+/// Ditto for the frozen map-shadow Theorem-1 oracle.
+RefRun runRefOracle(ParsedProgram &P) {
+  RefRun Run;
+  DpstBuilder Builder(*Run.Tree);
+  RefOracleDetector Det(*Run.Tree, Builder);
+  MonitorPipeline Pipeline;
+  Pipeline.add(&Builder);
+  Pipeline.add(&Det);
+  ExecOptions Exec;
+  Exec.Monitor = &Pipeline;
+  ExecResult R = runProgram(*P.Prog, std::move(Exec));
+  EXPECT_TRUE(R.Ok) << R.Error;
+  Run.Report = Det.takeReport();
+  return Run;
+}
+
+/// Runs \p P under the flat-shadow ESP-bags detector with an explicit
+/// reader-compaction threshold (detectRaces always leaves compaction off).
+RefRun runFlatCompacting(ParsedProgram &P, uint32_t Threshold) {
+  RefRun Run;
+  DpstBuilder Builder(*Run.Tree);
+  EspBagsDetector Det(EspBagsDetector::Mode::MRW, Builder);
+  Det.setReaderCompaction(Threshold);
+  FusedDetectMonitor<EspBagsDetector> Fused(Builder, Det);
+  ExecOptions Exec;
+  Exec.Monitor = &Fused;
+  ExecResult R = runProgram(*P.Prog, std::move(Exec));
+  EXPECT_TRUE(R.Ok) << R.Error;
+  Run.Report = Det.takeReport();
+  return Run;
+}
+
+/// Asserts the two reports are identical record for record. Steps live in
+/// different trees, so they are compared by id — node ids are assigned in
+/// the canonical execution order and thus stable across runs of the same
+/// program.
+void expectIdenticalReports(const RaceReport &Flat, const RaceReport &Map,
+                            const std::string &Src) {
+  EXPECT_EQ(Flat.RawCount, Map.RawCount) << Src;
+  ASSERT_EQ(Flat.Pairs.size(), Map.Pairs.size()) << Src;
+  for (size_t I = 0; I != Flat.Pairs.size(); ++I) {
+    const RacePair &F = Flat.Pairs[I];
+    const RacePair &M = Map.Pairs[I];
+    EXPECT_EQ(F.Src->id(), M.Src->id()) << "pair " << I << "\n" << Src;
+    EXPECT_EQ(F.Snk->id(), M.Snk->id()) << "pair " << I << "\n" << Src;
+    EXPECT_TRUE(F.Loc == M.Loc) << "pair " << I << "\n" << Src;
+    EXPECT_EQ(F.SrcKind, M.SrcKind) << "pair " << I << "\n" << Src;
+    EXPECT_EQ(F.SnkKind, M.SnkKind) << "pair " << I << "\n" << Src;
+  }
+}
+
+std::set<std::pair<uint32_t, uint32_t>> pairIdSet(const RaceReport &R) {
+  std::set<std::pair<uint32_t, uint32_t>> S;
+  for (const RacePair &P : R.Pairs)
+    S.insert({P.Src->id(), P.Snk->id()});
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Differential: flat shadow == frozen map shadow on random programs
+//===----------------------------------------------------------------------===//
+
+class FlatVsMapShadow : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FlatVsMapShadow, EspBagsReportsAreIdentical) {
+  Rng SeedGen(GetParam());
+  for (int Trial = 0; Trial != 25; ++Trial) {
+    RandomProgramGen Gen(SeedGen.next());
+    std::string Src = Gen.generate();
+    ParsedProgram P = parseAndCheck(Src);
+    ASSERT_TRUE(P.ok()) << P.errors() << "\n" << Src;
+
+    for (EspBagsDetector::Mode Mode :
+         {EspBagsDetector::Mode::SRW, EspBagsDetector::Mode::MRW}) {
+      Detection Flat = detectRaces(*P.Prog, Mode);
+      ASSERT_TRUE(Flat.ok()) << Flat.Exec.Error << "\n" << Src;
+      RefRun Map = runRefEspBags(P, Mode);
+      expectIdenticalReports(Flat.Report, Map.Report, Src);
+    }
+  }
+}
+
+TEST_P(FlatVsMapShadow, OracleReportsAreIdentical) {
+  Rng SeedGen(GetParam() ^ 0x9e3779b9);
+  // The Theorem-1 oracle is O(tree depth) per access pair; fewer trials.
+  for (int Trial = 0; Trial != 10; ++Trial) {
+    RandomProgramGen Gen(SeedGen.next());
+    std::string Src = Gen.generate();
+    ParsedProgram P = parseAndCheck(Src);
+    ASSERT_TRUE(P.ok()) << P.errors() << "\n" << Src;
+
+    Detection Flat = detectRacesOracle(*P.Prog);
+    ASSERT_TRUE(Flat.ok()) << Flat.Exec.Error << "\n" << Src;
+    RefRun Map = runRefOracle(P);
+    expectIdenticalReports(Flat.Report, Map.Report, Src);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlatVsMapShadow,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+//===----------------------------------------------------------------------===//
+// MRW reader compaction: lossy enumeration, lossless detection
+//===----------------------------------------------------------------------===//
+
+TEST(ReaderCompaction, PairsSubsetAndDetectionPreserved) {
+  Rng SeedGen(777);
+  for (int Trial = 0; Trial != 25; ++Trial) {
+    RandomProgramGen Gen(SeedGen.next());
+    std::string Src = Gen.generate();
+    ParsedProgram P = parseAndCheck(Src);
+    ASSERT_TRUE(P.ok()) << P.errors() << "\n" << Src;
+
+    Detection Full = detectRaces(*P.Prog, EspBagsDetector::Mode::MRW);
+    ASSERT_TRUE(Full.ok());
+    // Aggressive threshold so compaction actually fires on the 8-cell
+    // random programs.
+    RefRun Compacted = runFlatCompacting(P, /*Threshold=*/2);
+
+    auto FullSet = pairIdSet(Full.Report);
+    auto CompactSet = pairIdSet(Compacted.Report);
+    EXPECT_TRUE(std::includes(FullSet.begin(), FullSet.end(),
+                              CompactSet.begin(), CompactSet.end()))
+        << Src;
+    // Compaction keeps one reader per union-find representative, which is
+    // enough to keep *detecting* every race even when it no longer
+    // *enumerates* every racing pair.
+    EXPECT_EQ(CompactSet.empty(), FullSet.empty()) << Src;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Pair-key packing
+//===----------------------------------------------------------------------===//
+
+TEST(RacePairKey, DistinctPairsGetDistinctKeys) {
+  // Regression: a key built by hashing or xor-folding the two ids would
+  // collide when halves coincide across pairs; keeping each id in its own
+  // 32-bit half must not.
+  EXPECT_NE(packRacePairKey(1, 2), packRacePairKey(1, 3));
+  EXPECT_NE(packRacePairKey(1, 2), packRacePairKey(2, 2));
+  // Same multiset of halves in different positions: {0,x} vs {x,x}.
+  EXPECT_NE(packRacePairKey(0, 7), packRacePairKey(7, 7));
+  // Swapping which id contributes which half must not alias another pair.
+  EXPECT_NE(packRacePairKey(2, 1), packRacePairKey(1, 1));
+  EXPECT_NE(packRacePairKey(0, 1), packRacePairKey(1, 0x10000));
+}
+
+TEST(RacePairKey, NormalizedOnUnorderedPair) {
+  EXPECT_EQ(packRacePairKey(3, 9), packRacePairKey(9, 3));
+  EXPECT_EQ(packRacePairKey(0, 0xffffffffu), packRacePairKey(0xffffffffu, 0));
+  EXPECT_EQ(packRacePairKey(5, 5), packRacePairKey(5, 5));
+}
+
+TEST(RacePairKey, LargeIdsKeepTheirBits) {
+  uint32_t A = 0xdeadbeefu, B = 0x12345678u;
+  uint64_t K = packRacePairKey(A, B);
+  EXPECT_EQ(static_cast<uint32_t>(K >> 32), B); // smaller id in high half
+  EXPECT_EQ(static_cast<uint32_t>(K), A);
+}
+
+} // namespace

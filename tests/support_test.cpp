@@ -6,11 +6,15 @@
 
 #include "support/Casting.h"
 #include "support/Diagnostics.h"
+#include "support/PagedArray.h"
 #include "support/Rng.h"
+#include "support/SmallVector.h"
 #include "support/SourceManager.h"
 #include "support/StringUtils.h"
 
 #include <gtest/gtest.h>
+
+#include <vector>
 
 using namespace tdr;
 
@@ -98,6 +102,106 @@ TEST(Rng, RangesRespectBounds) {
     EXPECT_GE(D, 0.0);
     EXPECT_LT(D, 1.0);
   }
+}
+
+TEST(SmallVector, StaysInlineUpToCapacity) {
+  SmallVector<int, 2> V;
+  EXPECT_TRUE(V.empty());
+  EXPECT_TRUE(V.isInline());
+  EXPECT_EQ(V.capacity(), 2u);
+  V.push_back(10);
+  V.push_back(20);
+  EXPECT_TRUE(V.isInline());
+  EXPECT_EQ(V.size(), 2u);
+  EXPECT_EQ(V[0], 10);
+  EXPECT_EQ(V.back(), 20);
+}
+
+TEST(SmallVector, SpillsToHeapAndKeepsContents) {
+  SmallVector<int, 2> V;
+  for (int I = 0; I != 100; ++I)
+    V.push_back(I);
+  EXPECT_FALSE(V.isInline());
+  EXPECT_EQ(V.size(), 100u);
+  EXPECT_GE(V.capacity(), 100u);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(V[I], I);
+  int Expect = 0;
+  for (int X : V)
+    EXPECT_EQ(X, Expect++);
+}
+
+TEST(SmallVector, ClearAndTruncateKeepStorage) {
+  SmallVector<int, 2> V;
+  for (int I = 0; I != 8; ++I)
+    V.push_back(I);
+  uint32_t Cap = V.capacity();
+  V.truncate(3);
+  EXPECT_EQ(V.size(), 3u);
+  EXPECT_EQ(V[2], 2);
+  EXPECT_EQ(V.capacity(), Cap);
+  V.clear();
+  EXPECT_TRUE(V.empty());
+  EXPECT_EQ(V.capacity(), Cap);
+  V.push_back(42);
+  EXPECT_EQ(V[0], 42);
+}
+
+TEST(MonotonicArena, BumpsWithinSlabAndHonorsAlignment) {
+  MonotonicArena A;
+  void *P1 = A.allocate(10, 1);
+  void *P2 = A.allocate(10, 64);
+  EXPECT_NE(P1, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P2) % 64, 0u);
+  EXPECT_EQ(A.numSlabs(), 1u);
+  // Oversized request gets its own dedicated slab.
+  void *Big = A.allocate(MonotonicArena::SlabBytes * 2, 8);
+  EXPECT_NE(Big, nullptr);
+  EXPECT_EQ(A.numSlabs(), 2u);
+  EXPECT_GE(A.bytesReserved(), MonotonicArena::SlabBytes * 3);
+}
+
+TEST(PagedArray, LazyPagesValueInitialize) {
+  MonotonicArena Arena;
+  PagedArray<uint64_t, 4> A(Arena); // 16-element pages
+  EXPECT_EQ(A.lookup(0), nullptr);
+  EXPECT_EQ(A.numPages(), 0u);
+  A.getOrCreate(5) = 55;
+  EXPECT_EQ(A.numPages(), 1u);
+  // Neighbors on the same page materialized zeroed.
+  EXPECT_EQ(A.getOrCreate(4), 0u);
+  ASSERT_NE(A.lookup(5), nullptr);
+  EXPECT_EQ(*A.lookup(5), 55u);
+  // A distant index lands on its own page; the gap stays unmapped.
+  A.getOrCreate(1000) = 7;
+  EXPECT_EQ(A.numPages(), 2u);
+  EXPECT_EQ(A.lookup(500), nullptr);
+  EXPECT_EQ(*A.lookup(1000), 7u);
+}
+
+// Zero state valid (SmallVector members + counter), so pages of it may be
+// materialized by memset — the detector Shadow shape.
+struct ZeroSlot {
+  static constexpr bool AllZeroInit = true;
+  SmallVector<int, 2> List;
+  uint32_t Counter = 0;
+};
+
+TEST(PagedArray, MemsetMaterializedSlotsBehaveLikeConstructed) {
+  static_assert(IsAllZeroInit<ZeroSlot>::value, "trait not detected");
+  static_assert(!IsAllZeroInit<uint64_t>::value, "trait over-matches");
+  MonotonicArena Arena;
+  PagedArray<ZeroSlot, 4> A(Arena);
+  ZeroSlot &S = A.getOrCreate(9);
+  EXPECT_TRUE(S.List.empty());
+  EXPECT_TRUE(S.List.isInline());
+  EXPECT_EQ(S.Counter, 0u);
+  // Slots work normally after memset materialization, including heap spill
+  // and cleanup via the PagedArray destructor.
+  for (int I = 0; I != 10; ++I)
+    S.List.push_back(I);
+  EXPECT_FALSE(S.List.isInline());
+  EXPECT_EQ(S.List[9], 9);
 }
 
 // A tiny hierarchy to exercise the casting helpers.

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Validate the BENCH_*.json benchmark report schema.
+
+Runs `bench_detector --quick --out ...` and checks the emitted report
+follows the shared machine-readable layout (see bench/BenchUtil.h):
+
+    { "bench": "<name>", "schema_version": 1, "results": [ {...}, ... ] }
+
+with every result row carrying the fields perf tooling diffs across runs.
+Invoked from CTest (see tools/CMakeLists.txt) but also usable standalone:
+
+    python3 tools/check_bench.py build/bench/bench_detector
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+# Every detector result row must carry these fields.
+REQUIRED_FIELDS = {
+    "name",
+    "mode",
+    "impl",
+    "locs",
+    "readers",
+    "write_steps",
+    "total_accesses",
+    "seconds",
+    "accesses_per_sec",
+}
+
+FAILURES = []
+
+
+def check(cond, msg):
+    if not cond:
+        FAILURES.append(msg)
+
+
+def validate_report(path):
+    with open(path) as f:
+        doc = json.load(f)  # raises on malformed JSON -> test failure
+    check(isinstance(doc, dict), "report root must be a JSON object")
+    if not isinstance(doc, dict):
+        return
+    check(doc.get("bench") == "detector", "report 'bench' must be 'detector'")
+    check(doc.get("schema_version") == 1, "schema_version must be 1")
+    results = doc.get("results")
+    check(isinstance(results, list), "report must have a results array")
+    if not isinstance(results, list):
+        return
+    check(len(results) > 0, "results must not be empty")
+
+    impls = set()
+    modes = set()
+    for i, row in enumerate(results):
+        check(isinstance(row, dict), f"result {i} is not an object")
+        if not isinstance(row, dict):
+            continue
+        missing = REQUIRED_FIELDS - set(row)
+        check(not missing, f"result {i} missing fields: {sorted(missing)}")
+        if missing:
+            continue
+        impls.add(row["impl"])
+        modes.add(row["mode"])
+        check(row["accesses_per_sec"] > 0, f"result {i} has non-positive rate")
+        check(row["seconds"] > 0, f"result {i} has non-positive duration")
+        check(row["total_accesses"] > 0, f"result {i} recorded no accesses")
+        if row["impl"] != "map":
+            check(
+                row.get("speedup_vs_map", 0) > 0,
+                f"result {i} ({row['name']}) missing speedup_vs_map",
+            )
+
+    # The report's whole point is the before/after comparison: both the
+    # frozen map baseline and the flat fast path must be present, for both
+    # detector variants.
+    check("map" in impls, "no 'map' baseline rows in report")
+    check("flat" in impls, "no 'flat' fast-path rows in report")
+    check({"SRW", "MRW"} <= modes, f"expected SRW and MRW rows, got {sorted(modes)}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} <path-to-bench_detector>", file=sys.stderr)
+        return 2
+    bench = sys.argv[1]
+
+    with tempfile.TemporaryDirectory(prefix="tdr-check-bench-") as tmp:
+        out = os.path.join(tmp, "BENCH_detector.json")
+        cmd = [bench, "--quick", "--out", out]
+        result = subprocess.run(cmd, capture_output=True, text=True)
+        check(
+            result.returncode == 0,
+            f"bench_detector exited {result.returncode}: {result.stderr.strip()}",
+        )
+        check(os.path.exists(out), "--out produced no file")
+        if os.path.exists(out):
+            validate_report(out)
+
+    if FAILURES:
+        for msg in FAILURES:
+            print(f"check_bench: FAIL: {msg}", file=sys.stderr)
+        return 1
+    print("check_bench: OK (benchmark report schema is valid)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
