@@ -113,23 +113,29 @@ unsigned tdr::elideParallelism(Program &P) {
 }
 
 FinishStmt *tdr::wrapInFinish(AstContext &Ctx, BlockStmt *B, size_t Begin,
-                              size_t End) {
+                              size_t End, FinishEditSink *Edits) {
   assert(Begin <= End && End < B->stmts().size() &&
          "finish range out of bounds");
+  Stmt *First = B->stmts()[Begin];
+  Stmt *Last = B->stmts()[End];
   Stmt *Body;
-  SourceLoc Loc = B->stmts()[Begin]->loc();
+  BlockStmt *NewBody = nullptr;
+  SourceLoc Loc = First->loc();
   if (Begin == End) {
-    Body = B->stmts()[Begin];
+    Body = First;
   } else {
     std::vector<Stmt *> Inner(B->stmts().begin() + Begin,
                               B->stmts().begin() + End + 1);
-    Body = Ctx.createStmt<BlockStmt>(std::move(Inner), Loc);
+    NewBody = Ctx.createStmt<BlockStmt>(std::move(Inner), Loc);
+    Body = NewBody;
   }
   auto *Finish = Ctx.createStmt<FinishStmt>(Body, Loc);
   Finish->setSynthesized(true);
   auto &Stmts = B->stmts();
   Stmts.erase(Stmts.begin() + Begin, Stmts.begin() + End + 1);
   Stmts.insert(Stmts.begin() + Begin, Finish);
+  if (Edits)
+    Edits->noteBlockWrap(Finish, B, First, Last, NewBody);
   return Finish;
 }
 

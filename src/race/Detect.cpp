@@ -9,6 +9,8 @@
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "race/OracleDetector.h"
+#include "support/StringUtils.h"
+#include "support/Timer.h"
 
 using namespace tdr;
 
@@ -50,6 +52,56 @@ Detection tdr::detectRaces(const Program &P, EspBagsDetector::Mode Mode,
   D.Report = Detector.takeReport();
   publishDetection(D);
   return D;
+}
+
+Detection tdr::detectRaces(const Program &, EspBagsDetector::Mode Mode,
+                           const trace::InputTrace &T,
+                           const trace::ReplayPlan &Plan) {
+  obs::ScopedSpan Span("detect.replay", "race");
+  obs::counter("detect.runs").inc();
+  obs::counter("detect.replays").inc();
+  Detection D;
+  D.Tree = std::make_unique<Dpst>();
+  DpstBuilder Builder(*D.Tree);
+  EspBagsDetector Detector(Mode, Builder);
+  FusedDetectMonitor<EspBagsDetector> Fused(Builder, Detector);
+  Timer ReplayTimer;
+  trace::replayEvents(T.Log, Plan, Fused);
+  obs::histogram("trace.replay_ms").observe(ReplayTimer.elapsedMs());
+  D.Exec = T.Exec;
+  D.Report = Detector.takeReport();
+  publishDetection(D);
+  return D;
+}
+
+Detection tdr::detectRacesOracle(const Program &, const trace::InputTrace &T,
+                                 const trace::ReplayPlan &Plan) {
+  obs::ScopedSpan Span("detect.oracle.replay", "race");
+  obs::counter("detect.replays").inc();
+  Detection D;
+  D.Tree = std::make_unique<Dpst>();
+  DpstBuilder Builder(*D.Tree);
+  OracleDetector Detector(*D.Tree, Builder);
+  FusedDetectMonitor<OracleDetector> Fused(Builder, Detector);
+  Timer ReplayTimer;
+  trace::replayEvents(T.Log, Plan, Fused);
+  obs::histogram("trace.replay_ms").observe(ReplayTimer.elapsedMs());
+  D.Exec = T.Exec;
+  D.Report = Detector.takeReport();
+  publishDetection(D);
+  return D;
+}
+
+std::string tdr::renderRaceReportKey(const RaceReport &R) {
+  std::string Out = strFormat("raw=%llu\n",
+                              static_cast<unsigned long long>(R.RawCount));
+  for (const RacePair &P : R.Pairs)
+    Out += strFormat("src=%u snk=%u loc=%u:%u:%lld kinds=%u%u\n", P.Src->id(),
+                     P.Snk->id(), static_cast<unsigned>(P.Loc.K), P.Loc.Id,
+                     static_cast<long long>(P.Loc.Index),
+                     static_cast<unsigned>(P.SrcKind),
+                     static_cast<unsigned>(P.SnkKind));
+  return Out;
 }
 
 Detection tdr::detectRacesOracle(const Program &P, ExecOptions Exec) {

@@ -16,8 +16,10 @@
 
 #include "interp/Interpreter.h"
 #include "race/EspBags.h"
+#include "trace/Replay.h"
 
 #include <memory>
+#include <string>
 
 namespace tdr {
 
@@ -93,6 +95,26 @@ Detection detectRaces(const Program &P,
 /// Like detectRaces but using the Theorem-1 oracle detector (slow;
 /// validation only).
 Detection detectRacesOracle(const Program &P, ExecOptions Exec = ExecOptions());
+
+/// Log-backed detection: instead of interpreting, re-feeds the recorded
+/// event stream in \p T through the builder + detector, remapped through
+/// \p Plan (see trace/Replay.h) so the stream matches the current, edited
+/// AST. Detection.Exec is the recorded outcome — valid because finish
+/// insertion cannot change the sequential execution (serial elision).
+Detection detectRaces(const Program &P, EspBagsDetector::Mode Mode,
+                      const trace::InputTrace &T,
+                      const trace::ReplayPlan &Plan);
+
+/// Log-backed oracle detection (validation only).
+Detection detectRacesOracle(const Program &P, const trace::InputTrace &T,
+                            const trace::ReplayPlan &Plan);
+
+/// Stable textual rendering of a report — step ids, locations, access
+/// kinds, raw count — used for the byte-identical replayed-vs-fresh
+/// comparison (TDR_REPLAY_CHECK; mirrors the RefDetectors differential
+/// pattern). Node ids are creation-order indices, so identical event
+/// streams render identically across independent detection runs.
+std::string renderRaceReportKey(const RaceReport &R);
 
 } // namespace tdr
 

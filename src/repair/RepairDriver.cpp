@@ -17,10 +17,19 @@
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 using namespace tdr;
 
 namespace {
+
+/// TDR_REPLAY_CHECK in the environment (non-empty, not "0") forces the
+/// replayed-vs-fresh differential on every replayed detection — the
+/// whole-suite escape hatch (`TDR_REPLAY_CHECK=1 ctest`).
+bool replayCheckEnv() {
+  const char *V = std::getenv("TDR_REPLAY_CHECK");
+  return V && *V && !(V[0] == '0' && V[1] == '\0');
+}
 
 /// Applies the DP solution for one NS-LCA group. Returns the number of
 /// finishes successfully applied.
@@ -107,8 +116,12 @@ RepairResult tdr::repairProgram(Program &P, AstContext &Ctx,
   obs::MetricsRegistry &Reg = obs::MetricsRegistry::current();
   obs::Counter &CIterations = Reg.counter("repair.iterations");
   obs::Counter &CFinishes = Reg.counter("repair.finishes_inserted");
+  obs::Counter &CInterps = Reg.counter("repair.interpretations");
+  obs::Counter &CReplays = Reg.counter("repair.replays");
   const uint64_t ItersBase = CIterations.value();
   const uint64_t FinishesBase = CFinishes.value();
+  const uint64_t InterpsBase = CInterps.value();
+  const uint64_t ReplaysBase = CReplays.value();
 
   RepairResult Result;
   RepairStats &Stats = Result.Stats;
@@ -116,11 +129,76 @@ RepairResult tdr::repairProgram(Program &P, AstContext &Ctx,
     Stats.Iterations = static_cast<unsigned>(CIterations.value() - ItersBase);
     Stats.FinishesInserted =
         static_cast<unsigned>(CFinishes.value() - FinishesBase);
+    Stats.Interpretations =
+        static_cast<unsigned>(CInterps.value() - InterpsBase);
+    Stats.Replays = static_cast<unsigned>(CReplays.value() - ReplaysBase);
   };
 
+  // A repair needs at least one detection run: with zero iterations even a
+  // race-free program would fall out of the loop and be reported as
+  // unrepaired ("races remained after 0 repair iterations").
+  if (Opts.MaxIterations == 0) {
+    Result.Error = "MaxIterations must be at least 1: a repair cannot verify "
+                   "the program without a detection run";
+    return Result;
+  }
+
+  // Record-once / replay-many: the store owns the per-input event log and
+  // the finish edit map accumulated against it. A caller-provided store
+  // survives this call (multi-input repair); otherwise the trace lives and
+  // dies with this run.
+  trace::TraceStore LocalStore;
+  trace::TraceStore &Store = Opts.Store ? *Opts.Store : LocalStore;
+  const size_t Slot = Opts.Store ? Opts.InputIndex : 0;
+  const bool ReplayCheck = Opts.ReplayCheck || replayCheckEnv();
+
   for (unsigned Iter = 0; Iter != Opts.MaxIterations; ++Iter) {
+    trace::TraceEntry &Entry = Store.entry(Slot);
     Timer DetectTimer;
-    Detection D = detectRaces(P, Opts.Mode, Opts.Exec);
+    Detection D;
+    if (Opts.UseReplay && Entry.Recorded) {
+      trace::ReplayPlan Plan = trace::buildReplayPlan(P, Entry.Edits);
+      D = detectRaces(P, Opts.Mode, Entry.Trace, Plan);
+      CReplays.inc();
+      if (ReplayCheck) {
+        // Differential escape hatch: interpret anyway and demand the
+        // replayed report be byte-identical (the caller's monitor is not
+        // re-fed — it already observed this execution once).
+        ExecOptions FreshExec = Opts.Exec;
+        FreshExec.Monitor = nullptr;
+        Detection Fresh = detectRaces(P, Opts.Mode, std::move(FreshExec));
+        if (renderRaceReportKey(D.Report) !=
+            renderRaceReportKey(Fresh.Report)) {
+          Result.Error = strFormat(
+              "replay/fresh detection mismatch at iteration %u", Iter);
+          return Result;
+        }
+      }
+    } else if (Opts.UseReplay) {
+      // First run for this input: interpret once, recording the full event
+      // stream so later iterations (and multi-input verification) replay.
+      Entry.reset();
+      trace::RecorderMonitor Recorder(Entry.Trace.Log);
+      ExecOptions Exec = Opts.Exec;
+      MonitorPipeline Pipeline;
+      if (Exec.Monitor) {
+        Pipeline.add(Exec.Monitor);
+        Pipeline.add(&Recorder);
+        Exec.Monitor = &Pipeline;
+      } else {
+        Exec.Monitor = &Recorder;
+      }
+      D = detectRaces(P, Opts.Mode, std::move(Exec));
+      Recorder.flush();
+      Entry.Trace.Exec = D.Exec;
+      // Recorded even when the input failed at run time: coverage analysis
+      // reuses the partial log and the recorded error.
+      Entry.Recorded = true;
+      CInterps.inc();
+    } else {
+      D = detectRaces(P, Opts.Mode, Opts.Exec);
+      CInterps.inc();
+    }
     double DetectMs = DetectTimer.elapsedMs();
     Stats.DetectMs.push_back(DetectMs);
     obs::histogram("repair.detect_ms").observe(DetectMs);
@@ -148,7 +226,9 @@ RepairResult tdr::repairProgram(Program &P, AstContext &Ctx,
 
     Timer RepairTimer;
     obs::ScopedSpan PlaceSpan("placement", "repair");
-    StaticPlacer Placer(*D.Tree, Ctx, P);
+    // Every AST edit is broadcast into the store so each recorded input's
+    // edit map stays in sync with the (shared) program.
+    StaticPlacer Placer(*D.Tree, Ctx, P, &Store);
     std::vector<RacePair> Pending = D.Report.Pairs;
 
     // Process NS-LCA groups deepest-first, regrouping after each since

@@ -33,7 +33,24 @@ namespace tdr {
 struct RepairOptions {
   EspBagsDetector::Mode Mode = EspBagsDetector::Mode::MRW;
   ExecOptions Exec;            ///< the test input (args, seed, limits)
-  unsigned MaxIterations = 8;  ///< outer detect/repair rounds
+  unsigned MaxIterations = 8;  ///< outer detect/repair rounds (must be >= 1)
+  /// Record-once / replay-many: the first detection run interprets the
+  /// program and records its event stream; later iterations replay the
+  /// stream through the detector (owners remapped through the finish edit
+  /// map) instead of re-interpreting. Off = every iteration interprets
+  /// (the --no-replay escape hatch).
+  bool UseReplay = true;
+  /// Runs every replayed detection twice — replayed and freshly
+  /// interpreted — and fails the repair unless the reports are
+  /// byte-identical. Also enabled by the TDR_REPLAY_CHECK environment
+  /// variable (mirrors the RefDetectors differential pattern).
+  bool ReplayCheck = false;
+  /// Optional shared trace store: the driver records into / replays from
+  /// entry InputIndex and broadcasts every AST edit to all recorded
+  /// entries (multi-input repair keeps one log per input alive across the
+  /// whole session). Null = a private store per repairProgram call.
+  trace::TraceStore *Store = nullptr;
+  size_t InputIndex = 0;
 };
 
 /// Per-run measurements (the columns of Tables 2 and 3).
@@ -53,6 +70,8 @@ struct RepairStats {
   size_t RacePairs = 0;     ///< distinct racing step pairs (first run)
   unsigned Iterations = 0;  ///< detection runs performed
   unsigned FinishesInserted = 0;
+  unsigned Interpretations = 0; ///< detection runs that interpreted
+  unsigned Replays = 0;         ///< detection runs that replayed the log
 
   double totalDetectMs() const {
     double T = 0;

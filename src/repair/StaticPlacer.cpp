@@ -18,8 +18,9 @@ namespace {
 constexpr size_t Npos = static_cast<size_t>(-1);
 } // namespace
 
-StaticPlacer::StaticPlacer(Dpst &Tree, AstContext &Ctx, Program &Prog)
-    : Tree(Tree), Ctx(Ctx), Prog(Prog) {
+StaticPlacer::StaticPlacer(Dpst &Tree, AstContext &Ctx, Program &Prog,
+                           FinishEditSink *Edits)
+    : Tree(Tree), Ctx(Ctx), Prog(Prog), Edits(Edits) {
   indexProgram();
   indexTree();
 }
@@ -366,7 +367,7 @@ FinishStmt *StaticPlacer::applyEdit(const Edit &E) {
                                   static_cast<ptrdiff_t>(E.FirstIdx),
                               E.Block->stmts().begin() +
                                   static_cast<ptrdiff_t>(E.LastIdx) + 1);
-    FinishStmt *NF = wrapInFinish(Ctx, E.Block, E.FirstIdx, E.LastIdx);
+    FinishStmt *NF = wrapInFinish(Ctx, E.Block, E.FirstIdx, E.LastIdx, Edits);
     // Keep the parent map usable for later deep wraps.
     if (Moved.size() == 1) {
       Parents[Moved[0]] =
@@ -407,6 +408,8 @@ FinishStmt *StaticPlacer::applyEdit(const Edit &E) {
   }
   Parents[E.Wrapped] = ParentSlot{nullptr, NF, Edit::SlotKind::FinishBody};
   Parents[NF] = ParentSlot{nullptr, E.SlotOwner, E.Slot};
+  if (Edits)
+    Edits->noteSlotWrap(NF, E.SlotOwner, E.Wrapped);
   return NF;
 }
 

@@ -43,6 +43,8 @@
 
 namespace tdr {
 
+class FinishEditSink;
+
 /// One applied repair, for reporting.
 struct AppliedFinish {
   FinishStmt *Stmt = nullptr;   ///< the synthesized statement
@@ -54,7 +56,11 @@ struct AppliedFinish {
 /// program and tree are mutated by apply(); validity queries are pure.
 class StaticPlacer {
 public:
-  StaticPlacer(Dpst &Tree, AstContext &Ctx, Program &Prog);
+  /// \p Edits, when non-null, observes every finish insertion apply()
+  /// performs (both block-range and body-slot wraps) so recorded traces
+  /// stay replayable against the edited program.
+  StaticPlacer(Dpst &Tree, AstContext &Ctx, Program &Prog,
+               FinishEditSink *Edits = nullptr);
 
   /// DP validity oracle: can a finish be placed around graph nodes [I, K]
   /// of \p G and mapped back to the program?
@@ -121,6 +127,7 @@ private:
   Dpst &Tree;
   AstContext &Ctx;
   Program &Prog;
+  FinishEditSink *Edits = nullptr;
 
   /// All scope instances per container block (for replication).
   std::unordered_map<const BlockStmt *, std::vector<DpstNode *>>

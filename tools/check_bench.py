@@ -1,15 +1,18 @@
 #!/usr/bin/env python3
 """Validate the BENCH_*.json benchmark report schema.
 
-Runs `bench_detector --quick --out ...` and checks the emitted report
+Runs `<bench-binary> --quick --out ...` and checks the emitted report
 follows the shared machine-readable layout (see bench/BenchUtil.h):
 
     { "bench": "<name>", "schema_version": 1, "results": [ {...}, ... ] }
 
 with every result row carrying the fields perf tooling diffs across runs.
+The expected report name and row schema are selected by the binary's
+basename (bench_detector -> "detector", bench_replay -> "replay").
 Invoked from CTest (see tools/CMakeLists.txt) but also usable standalone:
 
     python3 tools/check_bench.py build/bench/bench_detector
+    python3 tools/check_bench.py build/bench/bench_replay
 """
 
 import json
@@ -17,19 +20,6 @@ import os
 import subprocess
 import sys
 import tempfile
-
-# Every detector result row must carry these fields.
-REQUIRED_FIELDS = {
-    "name",
-    "mode",
-    "impl",
-    "locs",
-    "readers",
-    "write_steps",
-    "total_accesses",
-    "seconds",
-    "accesses_per_sec",
-}
 
 FAILURES = []
 
@@ -39,30 +29,10 @@ def check(cond, msg):
         FAILURES.append(msg)
 
 
-def validate_report(path):
-    with open(path) as f:
-        doc = json.load(f)  # raises on malformed JSON -> test failure
-    check(isinstance(doc, dict), "report root must be a JSON object")
-    if not isinstance(doc, dict):
-        return
-    check(doc.get("bench") == "detector", "report 'bench' must be 'detector'")
-    check(doc.get("schema_version") == 1, "schema_version must be 1")
-    results = doc.get("results")
-    check(isinstance(results, list), "report must have a results array")
-    if not isinstance(results, list):
-        return
-    check(len(results) > 0, "results must not be empty")
-
+def validate_detector_rows(results):
     impls = set()
     modes = set()
     for i, row in enumerate(results):
-        check(isinstance(row, dict), f"result {i} is not an object")
-        if not isinstance(row, dict):
-            continue
-        missing = REQUIRED_FIELDS - set(row)
-        check(not missing, f"result {i} missing fields: {sorted(missing)}")
-        if missing:
-            continue
         impls.add(row["impl"])
         modes.add(row["mode"])
         check(row["accesses_per_sec"] > 0, f"result {i} has non-positive rate")
@@ -82,29 +52,118 @@ def validate_report(path):
     check({"SRW", "MRW"} <= modes, f"expected SRW and MRW rows, got {sorted(modes)}")
 
 
+def validate_replay_rows(results):
+    best = 0.0
+    for i, row in enumerate(results):
+        check(row["events"] > 0, f"result {i} ({row['name']}) recorded no events")
+        check(row["iterations"] >= 1, f"result {i} has no detection runs")
+        check(row["fresh_detect_ms"] > 0, f"result {i} has non-positive fresh time")
+        check(row["replay_detect_ms"] > 0, f"result {i} has non-positive replay time")
+        check(row["speedup"] > 0, f"result {i} has non-positive speedup")
+        best = max(best, row["speedup"])
+
+    # Replaying the recorded stream must beat re-interpreting the test
+    # somewhere in the suite — the compute-bound workload exists precisely
+    # to exercise the case record/replay targets.
+    check(best >= 1.0, f"no workload shows any replay speedup (best {best:.2f}x)")
+
+
+# Per-report row schema and semantic checks, keyed by the report name the
+# bench binary declares (and its basename implies).
+BENCHES = {
+    "detector": (
+        {
+            "name",
+            "mode",
+            "impl",
+            "locs",
+            "readers",
+            "write_steps",
+            "total_accesses",
+            "seconds",
+            "accesses_per_sec",
+        },
+        validate_detector_rows,
+    ),
+    "replay": (
+        {
+            "name",
+            "mode",
+            "iterations",
+            "events",
+            "repair_detect_ms_fresh",
+            "repair_detect_ms_replay",
+            "fresh_detect_ms",
+            "replay_detect_ms",
+            "speedup",
+        },
+        validate_replay_rows,
+    ),
+}
+
+
+def validate_report(path, bench_name):
+    required, validate_rows = BENCHES[bench_name]
+    with open(path) as f:
+        doc = json.load(f)  # raises on malformed JSON -> test failure
+    check(isinstance(doc, dict), "report root must be a JSON object")
+    if not isinstance(doc, dict):
+        return
+    check(
+        doc.get("bench") == bench_name,
+        f"report 'bench' must be '{bench_name}', got {doc.get('bench')!r}",
+    )
+    check(doc.get("schema_version") == 1, "schema_version must be 1")
+    results = doc.get("results")
+    check(isinstance(results, list), "report must have a results array")
+    if not isinstance(results, list):
+        return
+    check(len(results) > 0, "results must not be empty")
+
+    complete = []
+    for i, row in enumerate(results):
+        check(isinstance(row, dict), f"result {i} is not an object")
+        if not isinstance(row, dict):
+            continue
+        missing = required - set(row)
+        check(not missing, f"result {i} missing fields: {sorted(missing)}")
+        if not missing:
+            complete.append(row)
+    if len(complete) == len(results):
+        validate_rows(complete)
+
+
 def main():
     if len(sys.argv) != 2:
-        print(f"usage: {sys.argv[0]} <path-to-bench_detector>", file=sys.stderr)
+        print(f"usage: {sys.argv[0]} <path-to-bench-binary>", file=sys.stderr)
         return 2
     bench = sys.argv[1]
+    base = os.path.basename(bench)
+    name = base[len("bench_"):] if base.startswith("bench_") else base
+    if name not in BENCHES:
+        print(
+            f"check_bench: unknown bench '{name}' (known: {sorted(BENCHES)})",
+            file=sys.stderr,
+        )
+        return 2
 
     with tempfile.TemporaryDirectory(prefix="tdr-check-bench-") as tmp:
-        out = os.path.join(tmp, "BENCH_detector.json")
+        out = os.path.join(tmp, f"BENCH_{name}.json")
         cmd = [bench, "--quick", "--out", out]
         result = subprocess.run(cmd, capture_output=True, text=True)
         check(
             result.returncode == 0,
-            f"bench_detector exited {result.returncode}: {result.stderr.strip()}",
+            f"{base} exited {result.returncode}: {result.stderr.strip()}",
         )
         check(os.path.exists(out), "--out produced no file")
         if os.path.exists(out):
-            validate_report(out)
+            validate_report(out, name)
 
     if FAILURES:
         for msg in FAILURES:
             print(f"check_bench: FAIL: {msg}", file=sys.stderr)
         return 1
-    print("check_bench: OK (benchmark report schema is valid)")
+    print(f"check_bench: OK ({name} report schema is valid)")
     return 0
 
 

@@ -47,20 +47,26 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: tdr <command> [options]\n"
-      "  tdr repair  prog.hj [--arg N]... [--srw] [-o out.hj]\n"
+      "  tdr repair  prog.hj [--arg N]... [--srw] [--no-replay] [-o out.hj]\n"
       "  tdr races   prog.hj [--arg N]... [--srw]\n"
       "  tdr run     prog.hj [--arg N]... [--workers K]\n"
       "  tdr stats   prog.hj [--arg N]... [--procs P]\n"
       "  tdr dot     prog.hj [--arg N]...\n"
       "  tdr coverage prog.hj --arg N [--arg M]... (one input per --arg)\n"
-      "  tdr batch   manifest [--jobs N] [--srw] [-o outdir]\n"
+      "  tdr batch   manifest [--jobs N] [--srw] [--no-replay] [-o outdir]\n"
       "              manifest lines: <prog.hj> [int args...]\n"
       "  tdr dump    <benchmark>   (e.g. Mergesort; see bench_table1)\n"
       "observability (any command):\n"
       "  --trace FILE         phase spans as Chrome trace JSON (.jsonl for\n"
       "                       line-delimited events); TDR_TRACE=FILE works\n"
       "                       for any tdr binary\n"
-      "  --metrics-json FILE  dump the metrics registry as one JSON object\n");
+      "  --metrics-json FILE  dump the metrics registry as one JSON object\n"
+      "repair options:\n"
+      "  --no-replay          re-interpret the test input on every repair\n"
+      "                       iteration instead of replaying the recorded\n"
+      "                       event trace (TDR_REPLAY_CHECK=1 in the\n"
+      "                       environment cross-checks every replay against\n"
+      "                       a fresh run)\n");
   return 2;
 }
 
@@ -68,6 +74,7 @@ struct Options {
   std::string File;
   std::vector<int64_t> Args;
   bool Srw = false;
+  bool NoReplay = false;
   unsigned Workers = 1;
   unsigned Jobs = 1;
   unsigned Procs = 12;
@@ -98,6 +105,8 @@ bool parseOptions(int Argc, char **Argv, Options &O) {
       O.Args.push_back(std::atoll(Argv[++I]));
     } else if (!std::strcmp(Argv[I], "--srw")) {
       O.Srw = true;
+    } else if (!std::strcmp(Argv[I], "--no-replay")) {
+      O.NoReplay = true;
     } else if (!std::strcmp(Argv[I], "--workers") && I + 1 != Argc) {
       if (!parsePositive("--workers", Argv[++I], O.Workers))
         return false;
@@ -168,6 +177,7 @@ int cmdRepair(const Options &O) {
   Opts.Mode =
       O.Srw ? EspBagsDetector::Mode::SRW : EspBagsDetector::Mode::MRW;
   Opts.Exec = execOptions(O);
+  Opts.UseReplay = !O.NoReplay;
   RepairResult R = repairProgram(*L.Prog, *L.Ctx, Opts);
   if (!R.Success) {
     std::fprintf(stderr, "repair failed: %s\n", R.Error.c_str());
@@ -175,11 +185,12 @@ int cmdRepair(const Options &O) {
   }
   std::fprintf(stderr,
                "%s: %zu S-DPST nodes, %llu race reports (%zu pairs), "
-               "%u finish(es) inserted, %u detection run(s)\n",
+               "%u finish(es) inserted, %u detection run(s) "
+               "(%u interpreted, %u replayed)\n",
                O.File.c_str(), R.Stats.DpstNodes,
                static_cast<unsigned long long>(R.Stats.RawRaces),
                R.Stats.RacePairs, R.Stats.FinishesInserted,
-               R.Stats.Iterations);
+               R.Stats.Iterations, R.Stats.Interpretations, R.Stats.Replays);
   for (SourceLoc Loc : R.InsertedAt) {
     LineCol LC = L.SM->lineCol(Loc);
     if (LC.Line)
@@ -352,6 +363,7 @@ bool loadManifest(const Options &O, std::vector<RepairJob> &Jobs) {
     J.Source = SS.str();
     J.Opts.Mode =
         O.Srw ? EspBagsDetector::Mode::SRW : EspBagsDetector::Mode::MRW;
+    J.Opts.UseReplay = !O.NoReplay;
     int64_t A;
     while (LS >> A)
       J.Opts.Exec.Args.push_back(A);
