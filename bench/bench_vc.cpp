@@ -1,0 +1,254 @@
+//===- bench_vc.cpp - Vector-clock vs ESP-bags backend comparison ---------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+// Head-to-head throughput comparison of the two detection backends over
+// identical synthetic monitor streams (no parser/interpreter in the loop):
+//
+//   espbags  the ESP-bags fast path (union-find bags, flat shadow, fused
+//            monitor dispatch) — the default backend
+//   vc       the async-finish vector-clock backend (bit-degenerate clocks,
+//            COW materialization, per-finish join accumulators) behind the
+//            same fused dispatch
+//
+// Two workload families, both race-free so the numbers are pure
+// detection-side overhead:
+//
+//   access  few tasks, many shared-memory accesses — the per-access check
+//           dominates (ESP-bags: union-find lookup; vc: active-flag or
+//           clock bit test). The backends should be at parity here; CI
+//           gates vc at >= 0.9x espbags on this family
+//           (tools/check_bench.py --min-speedup access:0.9).
+//   finish  many short-lived tasks joined by sequential finish blocks,
+//           then serial scans over everything they wrote — stresses the
+//           structure-side costs (vc: clock materializations and join
+//           accumulators; espbags: bag unions). Reported for trajectory,
+//           not gated: whichever way the trade goes, the differential
+//           tests pin the reports to be identical.
+//
+// Emits BENCH_vc.json (see --out) in the shared schema validated by
+// tools/check_bench.py.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "race/Detect.h"
+#include "support/StringUtils.h"
+#include "support/Timer.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace tdr;
+
+namespace {
+
+struct Config {
+  uint32_t Locs;       ///< elements touched per task / per scan
+  uint32_t Tasks;      ///< parallel tasks per repetition (or per round)
+  uint32_t Rounds;     ///< sequential finish rounds (finish family)
+  uint32_t WriteSteps; ///< serial writer scans (access family)
+};
+
+/// Access-heavy round: one finish of parallel readers over a shared range,
+/// then serial writer scans of the same range (identical to the
+/// bench_detector workload, so numbers are comparable across reports).
+uint64_t emitAccessRound(ExecMonitor &Mon, const Config &C) {
+  Mon.onFinishEnter(nullptr, nullptr);
+  for (uint32_t T = 0; T != C.Tasks; ++T) {
+    Mon.onAsyncEnter(nullptr, nullptr);
+    Mon.onStepPoint(nullptr);
+    for (uint32_t L = 0; L != C.Locs; ++L)
+      Mon.onRead(MemLoc::elem(1, L));
+    Mon.onAsyncExit(nullptr);
+  }
+  Mon.onFinishExit(nullptr);
+  for (uint32_t W = 0; W != C.WriteSteps; ++W) {
+    Mon.onScopeEnter(ScopeKind::Block, nullptr, nullptr, nullptr);
+    Mon.onStepPoint(nullptr);
+    for (uint32_t L = 0; L != C.Locs; ++L)
+      Mon.onWrite(MemLoc::elem(1, L));
+    Mon.onScopeExit();
+  }
+  return static_cast<uint64_t>(C.Locs) * (C.Tasks + C.WriteSteps);
+}
+
+/// Finish-heavy round: Rounds sequential finish blocks, each spawning
+/// Tasks asyncs that write disjoint ranges, followed by a serial scan
+/// reading every element written so far — so each scan's checks look
+/// across the completed tasks of all earlier rounds (clock lookups for
+/// vc, path-compressed finds for ESP-bags) and every finish exit pays the
+/// join cost (clock materialization vs bag union).
+uint64_t emitFinishRound(ExecMonitor &Mon, const Config &C) {
+  uint64_t Accesses = 0;
+  for (uint32_t R = 0; R != C.Rounds; ++R) {
+    Mon.onFinishEnter(nullptr, nullptr);
+    for (uint32_t T = 0; T != C.Tasks; ++T) {
+      Mon.onAsyncEnter(nullptr, nullptr);
+      Mon.onStepPoint(nullptr);
+      uint64_t Base = static_cast<uint64_t>(R) * C.Tasks + T;
+      for (uint32_t L = 0; L != C.Locs; ++L)
+        Mon.onWrite(MemLoc::elem(1, Base * C.Locs + L));
+      Mon.onAsyncExit(nullptr);
+    }
+    Mon.onFinishExit(nullptr);
+    Mon.onScopeEnter(ScopeKind::Block, nullptr, nullptr, nullptr);
+    Mon.onStepPoint(nullptr);
+    uint64_t Written = static_cast<uint64_t>(R + 1) * C.Tasks * C.Locs;
+    for (uint64_t L = 0; L != Written; ++L)
+      Mon.onRead(MemLoc::elem(1, L));
+    Mon.onScopeExit();
+    Accesses += static_cast<uint64_t>(C.Tasks) * C.Locs + Written;
+  }
+  return Accesses;
+}
+
+struct Measure {
+  double Sec = 0;
+  uint64_t Accesses = 0;
+
+  double accessesPerSec() const { return Accesses / (Sec > 0 ? Sec : 1e-9); }
+};
+
+/// Same best-window protocol as bench_detector: repeat (fresh detector
+/// state per call) until MinSec accumulates, doubling the batch, keep the
+/// fastest window; one untimed warmup rep first.
+template <typename Fn> Measure measure(Fn OneRep, double MinSec) {
+  OneRep();
+  Measure Best;
+  uint64_t Batch = 1;
+  double Spent = 0;
+  while (Spent < MinSec) {
+    Timer T;
+    uint64_t Acc = 0;
+    for (uint64_t I = 0; I != Batch; ++I)
+      Acc += OneRep();
+    double Sec = T.elapsedSec();
+    Spent += Sec;
+    if (Best.Sec == 0 || Acc / Sec > Best.accessesPerSec()) {
+      Best.Sec = Sec;
+      Best.Accesses = Acc;
+    }
+    Batch *= 2;
+  }
+  return Best;
+}
+
+/// Runs one workload repetition through \p DetectorT behind the fused
+/// monitor — the exact wiring detectRaces uses for either backend.
+template <typename DetectorT, typename EmitFn>
+Measure run(EspBagsDetector::Mode Mode, const Config &C, EmitFn Emit,
+            double MinSec) {
+  return measure(
+      [&] {
+        Dpst Tree;
+        DpstBuilder Builder(Tree);
+        DetectorT Det(Mode, Builder);
+        FusedDetectMonitor<DetectorT> Fused(Builder, Det);
+        ExecMonitor &Mon = Fused;
+        return Emit(Mon, C);
+      },
+      MinSec);
+}
+
+const char *modeName(EspBagsDetector::Mode M) {
+  return M == EspBagsDetector::Mode::SRW ? "SRW" : "MRW";
+}
+
+void report(bench::JsonReport &Report, const char *Family,
+            EspBagsDetector::Mode Mode, const Config &C, const char *Impl,
+            const Measure &M, double SpeedupVsEspBags) {
+  std::string Name =
+      strFormat("%s/%s/locs%u/t%u/r%u/%s", Family, modeName(Mode), C.Locs,
+                C.Tasks, C.Rounds ? C.Rounds : C.WriteSteps, Impl);
+  bench::JsonRecord &Rec = Report.add();
+  Rec.str("name", Name)
+      .str("family", Family)
+      .str("mode", modeName(Mode))
+      .str("impl", Impl)
+      .num("locs", static_cast<uint64_t>(C.Locs))
+      .num("tasks", static_cast<uint64_t>(C.Tasks))
+      .num("total_accesses", M.Accesses)
+      .num("seconds", M.Sec)
+      .num("accesses_per_sec", M.accessesPerSec());
+  if (SpeedupVsEspBags > 0)
+    Rec.num("speedup_vs_espbags", SpeedupVsEspBags);
+  std::printf("%-34s %12.0f acc/s%s\n", Name.c_str(), M.accessesPerSec(),
+              SpeedupVsEspBags > 0
+                  ? strFormat("  (%.2fx vs espbags)", SpeedupVsEspBags).c_str()
+                  : "");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bench::ObsSession Obs(Argc, Argv);
+  bool Quick = false;
+  std::string OutPath = "BENCH_vc.json";
+  for (int I = 1; I != Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--quick"))
+      Quick = true;
+    else if (!std::strcmp(Argv[I], "--out") && I + 1 != Argc)
+      OutPath = Argv[++I];
+  }
+
+  const double MinSec = Quick ? 0.002 : 0.08;
+  bench::JsonReport Report("vc");
+  double WorstParity = 0;
+
+  // Access family: per-access check cost head to head.
+  std::vector<Config> AccessSweep =
+      Quick ? std::vector<Config>{{256, 4, 0, 2}, {4096, 4, 0, 2}}
+            : std::vector<Config>{{256, 4, 0, 4},
+                                  {4096, 4, 0, 4},
+                                  {65536, 16, 0, 4}};
+  for (EspBagsDetector::Mode Mode :
+       {EspBagsDetector::Mode::SRW, EspBagsDetector::Mode::MRW}) {
+    bench::banner(
+        strFormat("%s access-heavy (accesses/sec)", modeName(Mode)));
+    for (const Config &C : AccessSweep) {
+      Measure Esp =
+          run<EspBagsDetector>(Mode, C, emitAccessRound, MinSec);
+      Measure Vc =
+          run<VectorClockDetector>(Mode, C, emitAccessRound, MinSec);
+      double Parity = Vc.accessesPerSec() / Esp.accessesPerSec();
+      report(Report, "access", Mode, C, "espbags", Esp, 0);
+      report(Report, "access", Mode, C, "vc", Vc, Parity);
+      if (WorstParity == 0 || Parity < WorstParity)
+        WorstParity = Parity;
+    }
+  }
+
+  // Finish family: structure-side (join) cost head to head.
+  std::vector<Config> FinishSweep =
+      Quick ? std::vector<Config>{{16, 8, 4, 0}}
+            : std::vector<Config>{{32, 8, 8, 0}, {16, 64, 8, 0}};
+  for (EspBagsDetector::Mode Mode :
+       {EspBagsDetector::Mode::SRW, EspBagsDetector::Mode::MRW}) {
+    bench::banner(
+        strFormat("%s finish-heavy (accesses/sec)", modeName(Mode)));
+    for (const Config &C : FinishSweep) {
+      Measure Esp =
+          run<EspBagsDetector>(Mode, C, emitFinishRound, MinSec);
+      Measure Vc =
+          run<VectorClockDetector>(Mode, C, emitFinishRound, MinSec);
+      report(Report, "finish", Mode, C, "espbags", Esp, 0);
+      report(Report, "finish", Mode, C, "vc", Vc,
+             Vc.accessesPerSec() / Esp.accessesPerSec());
+    }
+  }
+
+  bench::banner("Summary");
+  std::printf("worst access-family vc parity vs espbags: %.2fx\n",
+              WorstParity);
+
+  if (!Report.writeTo(OutPath)) {
+    std::fprintf(stderr, "bench_vc: failed to write %s\n", OutPath.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu records)\n", OutPath.c_str(),
+              Report.numRecords());
+  return 0;
+}

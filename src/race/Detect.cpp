@@ -12,7 +12,37 @@
 #include "support/StringUtils.h"
 #include "support/Timer.h"
 
+#include <cstdlib>
+
 using namespace tdr;
+
+bool tdr::parseDetectBackend(std::string_view Name, DetectBackend &Out) {
+  if (Name == "espbags") {
+    Out = DetectBackend::EspBags;
+    return true;
+  }
+  if (Name == "vc") {
+    Out = DetectBackend::VectorClock;
+    return true;
+  }
+  return false;
+}
+
+const char *tdr::detectBackendName(DetectBackend B) {
+  return B == DetectBackend::EspBags ? "espbags" : "vc";
+}
+
+DetectBackend tdr::defaultDetectBackend() {
+  DetectBackend B = DetectBackend::EspBags;
+  if (const char *V = std::getenv("TDR_BACKEND"))
+    parseDetectBackend(V, B);
+  return B;
+}
+
+bool tdr::backendCheckEnv() {
+  const char *V = std::getenv("TDR_BACKEND_CHECK");
+  return V && *V && !(V[0] == '0' && V[1] == '\0');
+}
 
 namespace {
 
@@ -25,17 +55,18 @@ void publishDetection(const Detection &D) {
       .set(static_cast<int64_t>(D.Report.Pairs.size()));
 }
 
-} // namespace
-
-Detection tdr::detectRaces(const Program &P, EspBagsDetector::Mode Mode,
-                           ExecOptions Exec) {
-  obs::ScopedSpan Span("detect", "race");
-  obs::counter("detect.runs").inc();
+/// One live (interpreting) detection with detector \p DetectorT. Both
+/// backends share the constructor shape (Mode, Builder) and the fused
+/// single-monitor dispatch, so backend selection is this one template
+/// parameter.
+template <typename DetectorT>
+Detection liveDetect(const Program &P, EspBagsDetector::Mode Mode,
+                     ExecOptions Exec) {
   Detection D;
   D.Tree = std::make_unique<Dpst>();
   DpstBuilder Builder(*D.Tree);
-  EspBagsDetector Detector(Mode, Builder);
-  FusedDetectMonitor<EspBagsDetector> Fused(Builder, Detector);
+  DetectorT Detector(Mode, Builder);
+  FusedDetectMonitor<DetectorT> Fused(Builder, Detector);
   MonitorPipeline Pipeline;
   // Fast path: with no caller monitor the interpreter talks to the fused
   // builder+detector directly — one virtual dispatch per event. A
@@ -50,28 +81,133 @@ Detection tdr::detectRaces(const Program &P, EspBagsDetector::Mode Mode,
   }
   D.Exec = runProgram(P, std::move(Exec));
   D.Report = Detector.takeReport();
-  publishDetection(D);
   return D;
 }
 
-Detection tdr::detectRaces(const Program &, EspBagsDetector::Mode Mode,
-                           const trace::InputTrace &T,
-                           const trace::ReplayPlan &Plan) {
-  obs::ScopedSpan Span("detect.replay", "race");
-  obs::counter("detect.runs").inc();
-  obs::counter("detect.replays").inc();
+/// One log-backed detection with detector \p DetectorT.
+template <typename DetectorT>
+Detection replayDetect(EspBagsDetector::Mode Mode, const trace::InputTrace &T,
+                       const trace::ReplayPlan &Plan) {
   Detection D;
   D.Tree = std::make_unique<Dpst>();
   DpstBuilder Builder(*D.Tree);
-  EspBagsDetector Detector(Mode, Builder);
-  FusedDetectMonitor<EspBagsDetector> Fused(Builder, Detector);
+  DetectorT Detector(Mode, Builder);
+  FusedDetectMonitor<DetectorT> Fused(Builder, Detector);
   Timer ReplayTimer;
   trace::replayEvents(T.Log, Plan, Fused);
   obs::histogram("trace.replay_ms").observe(ReplayTimer.elapsedMs());
   D.Exec = T.Exec;
   D.Report = Detector.takeReport();
+  return D;
+}
+
+Detection liveDetectBackend(const Program &P, const DetectOptions &Opts,
+                            ExecOptions Exec) {
+  return Opts.Backend == DetectBackend::VectorClock
+             ? liveDetect<VectorClockDetector>(P, Opts.Mode, std::move(Exec))
+             : liveDetect<EspBagsDetector>(P, Opts.Mode, std::move(Exec));
+}
+
+Detection replayDetectBackend(const DetectOptions &Opts,
+                              const trace::InputTrace &T,
+                              const trace::ReplayPlan &Plan) {
+  return Opts.Backend == DetectBackend::VectorClock
+             ? replayDetect<VectorClockDetector>(Opts.Mode, T, Plan)
+             : replayDetect<EspBagsDetector>(Opts.Mode, T, Plan);
+}
+
+/// The TDR_BACKEND_CHECK differential: replays the primary run's event
+/// stream through the *other* backend and demands a byte-identical report.
+/// The secondary run executes under a throwaway metrics registry, so tests
+/// asserting exact counter values (detect.runs, espbags.*) see the same
+/// numbers with and without the check — only the verdict escapes. A
+/// mismatch fails the detection the way a run-time error would, so every
+/// caller (repair loop, CLI, tests) surfaces it.
+void crossCheckBackends(Detection &D, const DetectOptions &Opts,
+                        const trace::InputTrace &T,
+                        const trace::ReplayPlan &Plan) {
+  obs::ScopedSpan Span("detect.backend_check", "race");
+  obs::counter("detect.backend_checks").inc();
+  DetectOptions Other = Opts;
+  Other.Backend = Opts.Backend == DetectBackend::VectorClock
+                      ? DetectBackend::EspBags
+                      : DetectBackend::VectorClock;
+  std::string OtherKey;
+  {
+    obs::MetricsRegistry Scratch;
+    obs::ScopedMetrics Scoped(Scratch);
+    Detection O = replayDetectBackend(Other, T, Plan);
+    OtherKey = renderRaceReportKey(O.Report);
+  }
+  if (OtherKey == renderRaceReportKey(D.Report))
+    return;
+  D.Exec.Ok = false;
+  D.Exec.Error = strFormat(
+      "backend differential mismatch: %s and %s disagree on the race report",
+      detectBackendName(Opts.Backend), detectBackendName(Other.Backend));
+}
+
+} // namespace
+
+Detection tdr::detectRaces(const Program &P, const DetectOptions &Opts,
+                           ExecOptions Exec) {
+  obs::ScopedSpan Span("detect", "race");
+  obs::counter("detect.runs").inc();
+  if (!backendCheckEnv()) {
+    Detection D = liveDetectBackend(P, Opts, std::move(Exec));
+    publishDetection(D);
+    return D;
+  }
+  // Backend check on a live run: record the event stream alongside the
+  // primary detection so the secondary backend replays the exact same
+  // events (an empty plan re-emits the log verbatim).
+  trace::InputTrace T;
+  trace::RecorderMonitor Recorder(T.Log);
+  MonitorPipeline Pipeline;
+  if (Exec.Monitor) {
+    Pipeline.add(Exec.Monitor);
+    Pipeline.add(&Recorder);
+    Exec.Monitor = &Pipeline;
+  } else {
+    Exec.Monitor = &Recorder;
+  }
+  Detection D = liveDetectBackend(P, Opts, std::move(Exec));
+  Recorder.flush();
+  T.Exec = D.Exec;
+  if (D.Exec.Ok)
+    crossCheckBackends(D, Opts, T, trace::ReplayPlan());
   publishDetection(D);
   return D;
+}
+
+Detection tdr::detectRaces(const Program &P, EspBagsDetector::Mode Mode,
+                           ExecOptions Exec) {
+  DetectOptions Opts;
+  Opts.Mode = Mode;
+  Opts.Backend = defaultDetectBackend();
+  return detectRaces(P, Opts, std::move(Exec));
+}
+
+Detection tdr::detectRaces(const Program &, const DetectOptions &Opts,
+                           const trace::InputTrace &T,
+                           const trace::ReplayPlan &Plan) {
+  obs::ScopedSpan Span("detect.replay", "race");
+  obs::counter("detect.runs").inc();
+  obs::counter("detect.replays").inc();
+  Detection D = replayDetectBackend(Opts, T, Plan);
+  if (D.Exec.Ok && backendCheckEnv())
+    crossCheckBackends(D, Opts, T, Plan);
+  publishDetection(D);
+  return D;
+}
+
+Detection tdr::detectRaces(const Program &P, EspBagsDetector::Mode Mode,
+                           const trace::InputTrace &T,
+                           const trace::ReplayPlan &Plan) {
+  DetectOptions Opts;
+  Opts.Mode = Mode;
+  Opts.Backend = defaultDetectBackend();
+  return detectRaces(P, Opts, T, Plan);
 }
 
 Detection tdr::detectRacesOracle(const Program &, const trace::InputTrace &T,

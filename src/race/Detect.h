@@ -5,9 +5,24 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Wires the sequential interpreter, the S-DPST builder, and an ESP-bags
+/// Wires the sequential interpreter, the S-DPST builder, and a race
 /// detector into the single "instrument and execute" stage of the tool
 /// (paper Figure 6, first box).
+///
+/// Two production detection backends answer the happens-before query:
+/// ESP-bags (the paper's algorithm; see EspBags.h) and the vector-clock
+/// detector (see VectorClockDetector.h). Both run behind the same fused
+/// builder+detector monitor and produce identical race reports for
+/// identical event streams, so the backend is a pure performance choice —
+/// selected per call through DetectOptions::Backend, or process-wide
+/// through the TDR_BACKEND environment variable ("espbags" | "vc"), which
+/// the Mode-only convenience overloads consult.
+///
+/// TDR_BACKEND_CHECK=1 in the environment turns every detection into a
+/// differential: the primary run's event stream is replayed through the
+/// *other* backend (off the metrics books, so counter-exact tests are
+/// unaffected) and the two reports must render byte-identically, mirroring
+/// the TDR_REPLAY_CHECK mechanism for replayed-vs-fresh runs.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,10 +31,12 @@
 
 #include "interp/Interpreter.h"
 #include "race/EspBags.h"
+#include "race/VectorClockDetector.h"
 #include "trace/Replay.h"
 
 #include <memory>
 #include <string>
+#include <string_view>
 
 namespace tdr {
 
@@ -77,6 +94,36 @@ private:
   DetectorT &D;
 };
 
+/// Which algorithm answers the happens-before query of a detection run.
+enum class DetectBackend : uint8_t {
+  EspBags,     ///< union-find S/P bags (EspBagsDetector)
+  VectorClock, ///< COW bitset clocks (VectorClockDetector)
+};
+
+/// Parses a backend name ("espbags" | "vc"). Returns false on anything
+/// else, leaving \p Out untouched.
+bool parseDetectBackend(std::string_view Name, DetectBackend &Out);
+
+/// The canonical spelling parseDetectBackend accepts.
+const char *detectBackendName(DetectBackend B);
+
+/// The process-default backend: TDR_BACKEND in the environment, parsed
+/// with parseDetectBackend; EspBags when unset or unparsable (tools that
+/// surface flag errors validate the variable themselves — see tdr's
+/// --backend handling).
+DetectBackend defaultDetectBackend();
+
+/// TDR_BACKEND_CHECK in the environment (non-empty, not "0"): run every
+/// detection under both backends and require byte-identical reports.
+bool backendCheckEnv();
+
+/// Per-run detection configuration. Mode picks the shadow-memory policy
+/// (SRW/MRW, paper §4.1); Backend picks the happens-before machinery.
+struct DetectOptions {
+  EspBagsDetector::Mode Mode = EspBagsDetector::Mode::MRW;
+  DetectBackend Backend = DetectBackend::EspBags;
+};
+
 /// Everything one detection run produces.
 struct Detection {
   std::unique_ptr<Dpst> Tree; ///< the S-DPST of the execution
@@ -87,7 +134,13 @@ struct Detection {
 };
 
 /// Executes \p P sequentially with the given input, building the S-DPST
-/// and detecting races with the chosen ESP-bags variant.
+/// and detecting races with the configured backend and mode.
+Detection detectRaces(const Program &P, const DetectOptions &Opts,
+                      ExecOptions Exec = ExecOptions());
+
+/// Mode-only convenience: detects with the process-default backend
+/// (defaultDetectBackend(), i.e. TDR_BACKEND-selectable), so existing
+/// call sites reroute wholesale when the environment picks a backend.
 Detection detectRaces(const Program &P,
                       EspBagsDetector::Mode Mode = EspBagsDetector::Mode::MRW,
                       ExecOptions Exec = ExecOptions());
@@ -101,6 +154,12 @@ Detection detectRacesOracle(const Program &P, ExecOptions Exec = ExecOptions());
 /// \p Plan (see trace/Replay.h) so the stream matches the current, edited
 /// AST. Detection.Exec is the recorded outcome — valid because finish
 /// insertion cannot change the sequential execution (serial elision).
+Detection detectRaces(const Program &P, const DetectOptions &Opts,
+                      const trace::InputTrace &T,
+                      const trace::ReplayPlan &Plan);
+
+/// Mode-only convenience for the log-backed overload; backend from
+/// defaultDetectBackend().
 Detection detectRaces(const Program &P, EspBagsDetector::Mode Mode,
                       const trace::InputTrace &T,
                       const trace::ReplayPlan &Plan);
@@ -111,9 +170,12 @@ Detection detectRacesOracle(const Program &P, const trace::InputTrace &T,
 
 /// Stable textual rendering of a report — step ids, locations, access
 /// kinds, raw count — used for the byte-identical replayed-vs-fresh
-/// comparison (TDR_REPLAY_CHECK; mirrors the RefDetectors differential
-/// pattern). Node ids are creation-order indices, so identical event
-/// streams render identically across independent detection runs.
+/// comparison (TDR_REPLAY_CHECK) and the cross-backend comparison
+/// (TDR_BACKEND_CHECK; mirrors the RefDetectors differential pattern).
+/// Backend-agnostic: it reads only RaceReport, and node ids are creation-
+/// order indices, so identical event streams render identically across
+/// independent detection runs regardless of the backend that found the
+/// races.
 std::string renderRaceReportKey(const RaceReport &R);
 
 } // namespace tdr

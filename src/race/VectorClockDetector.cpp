@@ -1,0 +1,166 @@
+//===- VectorClockDetector.cpp --------------------------------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "race/VectorClockDetector.h"
+
+#include "obs/Metrics.h"
+
+using namespace tdr;
+
+VectorClockDetector::VectorClockDetector(Mode M, DpstBuilder &Builder)
+    : M(M), Builder(Builder), CChecks(&obs::counter("vc.checks")),
+      CReads(&obs::counter("vc.reads")), CWrites(&obs::counter("vc.writes")),
+      CJoins(&obs::counter("vc.joins")),
+      CMaterialized(&obs::counter("vc.clock_materializations")),
+      CRaw(&obs::counter("race.reports_raw")),
+      CPairs(&obs::counter("race.pairs")) {
+  // The root task (id 0) and the implicit root finish.
+  TaskFrame Root;
+  Root.Id = 0;
+  Tasks.push_back(std::move(Root));
+  Active.push_back(1);
+  Finishes.emplace_back();
+  CurId = 0;
+}
+
+void VectorClockDetector::onAsyncEnter(const AsyncStmt *, const Stmt *) {
+  CachedStep = nullptr;
+  TaskFrame F;
+  F.Id = static_cast<uint32_t>(Active.size());
+  Active.push_back(1);
+  // COW inheritance: the parent is suspended for the child's whole life
+  // (canonical depth-first execution), so its effective clock is frozen
+  // and safe to share by pointer.
+  const TaskFrame &Parent = Tasks.back();
+  F.Base = Parent.Own ? Parent.Own.get() : Parent.Base;
+  CurId = F.Id;
+  Tasks.push_back(std::move(F));
+}
+
+void VectorClockDetector::onAsyncExit(const AsyncStmt *) {
+  CachedStep = nullptr;
+  TaskFrame F = std::move(Tasks.back());
+  Tasks.pop_back();
+  Active[F.Id] = 0;
+  CurId = Tasks.back().Id;
+  // The completed task — and everything it learned beyond its inherited
+  // base — is now pending in the innermost enclosing finish: parallel to
+  // the parent's continuation until that finish joins it. This is the
+  // S-bag-into-P-bag merge, as an id-list append.
+  std::vector<uint32_t> &Acc = Finishes.back();
+  Acc.push_back(F.Id);
+  Acc.insert(Acc.end(), F.Learned.begin(), F.Learned.end());
+}
+
+void VectorClockDetector::onFinishEnter(const FinishStmt *, const Stmt *) {
+  CachedStep = nullptr;
+  Finishes.emplace_back();
+}
+
+void VectorClockDetector::onFinishExit(const FinishStmt *) {
+  CachedStep = nullptr;
+  std::vector<uint32_t> Acc = std::move(Finishes.back());
+  Finishes.pop_back();
+  if (Acc.empty())
+    return;
+  // The executing task learns every task the finish joined: materialize
+  // its private clock (first learn copies the inherited base) and set the
+  // joined bits. This is the P-bag-into-S-bag merge.
+  TaskFrame &T = Tasks.back();
+  if (!T.Own) {
+    T.Own = T.Base ? std::make_unique<Clock>(*T.Base)
+                   : std::make_unique<Clock>();
+    CMaterialized->inc();
+  }
+  Clock &C = *T.Own;
+  for (uint32_t Id : Acc) {
+    uint32_t W = Id >> 6;
+    if (W >= C.size())
+      C.resize(W + 1, 0);
+    C[W] |= uint64_t(1) << (Id & 63);
+  }
+  CJoins->inc(Acc.size());
+  T.Learned.insert(T.Learned.end(), Acc.begin(), Acc.end());
+}
+
+void VectorClockDetector::onScopeEnter(ScopeKind, const Stmt *,
+                                       const BlockStmt *, const FuncDecl *) {
+  // Scope boundaries close the builder's current step; drop the cache so
+  // the next access re-resolves it.
+  CachedStep = nullptr;
+}
+
+void VectorClockDetector::onScopeExit() { CachedStep = nullptr; }
+
+void VectorClockDetector::recordRace(const Access &Prev, AccessKind PrevKind,
+                                     DpstNode *CurStep, AccessKind CurKind,
+                                     MemLoc L) {
+  CRaw->inc();
+  ++Report.RawCount;
+  if (!SeenPairs.insert(packRacePairKey(Prev.Step->id(), CurStep->id()))
+           .second)
+    return;
+  CPairs->inc();
+  RacePair R;
+  R.Src = Prev.Step;
+  R.Snk = CurStep;
+  R.Loc = L;
+  R.SrcKind = PrevKind;
+  R.SnkKind = CurKind;
+  Report.Pairs.push_back(R);
+}
+
+void VectorClockDetector::onRead(MemLoc L) {
+  DpstNode *Step = curStep();
+  Shadow &S = Shadows.slot(L);
+  CReads->inc();
+  CChecks->inc(S.Writers.size());
+
+  for (const Access &W : S.Writers)
+    if (W.Step != Step && !ordered(W.Task))
+      recordRace(W, AccessKind::Write, Step, AccessKind::Read, L);
+
+  if (M == Mode::SRW) {
+    // Keep a single reader; replace it only when it is serialized with the
+    // current step (a parallel reader is the more dangerous witness for
+    // future writes).
+    if (S.Readers.empty())
+      S.Readers.push_back(Access{curTaskId(), Step});
+    else if (ordered(S.Readers[0].Task))
+      S.Readers[0] = Access{curTaskId(), Step};
+    return;
+  }
+  // MRW: track every reader, deduplicating per step (accesses between two
+  // step boundaries come from one step, so checking the tail suffices).
+  if (S.Readers.empty() || S.Readers.back().Step != Step)
+    S.Readers.push_back(Access{curTaskId(), Step});
+}
+
+void VectorClockDetector::onWrite(MemLoc L) {
+  DpstNode *Step = curStep();
+  Shadow &S = Shadows.slot(L);
+  CWrites->inc();
+  CChecks->inc(S.Writers.size() + S.Readers.size());
+
+  for (const Access &W : S.Writers)
+    if (W.Step != Step && !ordered(W.Task))
+      recordRace(W, AccessKind::Write, Step, AccessKind::Write, L);
+  for (const Access &R : S.Readers)
+    if (R.Step != Step && !ordered(R.Task))
+      recordRace(R, AccessKind::Read, Step, AccessKind::Write, L);
+
+  if (M == Mode::SRW) {
+    if (S.Writers.empty())
+      S.Writers.push_back(Access{curTaskId(), Step});
+    else
+      S.Writers[0] = Access{curTaskId(), Step};
+    return;
+  }
+  if (S.Writers.empty() || S.Writers.back().Step != Step)
+    S.Writers.push_back(Access{curTaskId(), Step});
+}
+
+RaceReport VectorClockDetector::takeReport() { return std::move(Report); }

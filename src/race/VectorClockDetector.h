@@ -1,0 +1,181 @@
+//===- VectorClockDetector.h - Vector-clock race detection -------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A vector-clock race detector for async-finish programs, the second
+/// production detection backend next to ESP-bags (see EspBags.h and
+/// race/Detect.h for backend selection).
+///
+/// Async-finish task joins are wholesale — a finish joins *all* tasks
+/// spawned under it at once — so per-task logical clocks degenerate to a
+/// single bit: either a completed task has been joined transitively into
+/// the current task's history or it has not. Following the vector-clock
+/// formulation for async-finish programs of Kumar, Agrawal & Biswas
+/// (arXiv:2112.04352), with the compact-representation spirit of DePa
+/// (Westrick, Wang & Acar, arXiv:2204.14168), the detector keeps:
+///
+///  * a dense id per dynamic task (creation order);
+///  * per active task a *clock*: a bitset over task ids, bit u set iff
+///    task u is serialized before the task's current point. Clocks are
+///    copy-on-write: a spawned child references its nearest materialized
+///    ancestor clock (frozen while the child runs, because the parent is
+///    suspended in the canonical depth-first execution) and only
+///    materializes a private copy when it learns new joins at a finish
+///    exit;
+///  * per active finish an accumulator: the ids of tasks (transitively)
+///    completed under it, appended on async exit and learned wholesale by
+///    the executing task when the finish exits;
+///  * an active-ancestor flag per task id — accesses by a task still on
+///    the task stack are sequentially ordered before the current step.
+///
+/// The happens-before query for a previous access by task u is then
+///
+///   ordered(u) = Active[u] || clock(current task).test(u)
+///
+/// which matches the ESP-bags classification exactly: Active[u] iff u's
+/// element is in an active task's own S-bag position, clock.test(u) iff
+/// u's bag has merged (via finish exits) into an S-bag the current task
+/// inherits, and "neither" iff u sits in a pending P-bag. The shadow-
+/// memory policy (SRW/MRW access lists, per-step dedup, race recording
+/// order) is byte-for-byte the EspBags one, so both backends render
+/// identical race reports for identical event streams — the property the
+/// TDR_BACKEND_CHECK differential gates on (see renderRaceReportKey).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_RACE_VECTORCLOCKDETECTOR_H
+#define TDR_RACE_VECTORCLOCKDETECTOR_H
+
+#include "dpst/Dpst.h"
+#include "race/EspBags.h"
+#include "race/RaceReport.h"
+#include "race/ShadowMemory.h"
+#include "support/SmallVector.h"
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+namespace tdr {
+
+namespace obs {
+class Counter;
+} // namespace obs
+
+/// Vector-clock detector; install in the same monitor pipeline as (and
+/// after) the DpstBuilder it reads the current step from — drop-in
+/// interchangeable with EspBagsDetector (same constructor shape, same
+/// SRW/MRW modes, same report semantics).
+class VectorClockDetector : public ExecMonitor {
+public:
+  /// Shares the ESP-bags mode enum: the SRW/MRW distinction is a shadow-
+  /// memory policy, independent of how happens-before is answered.
+  using Mode = EspBagsDetector::Mode;
+
+  VectorClockDetector(Mode M, DpstBuilder &Builder);
+
+  void onAsyncEnter(const AsyncStmt *S, const Stmt *Owner) override;
+  void onAsyncExit(const AsyncStmt *S) override;
+  void onFinishEnter(const FinishStmt *S, const Stmt *Owner) override;
+  void onFinishExit(const FinishStmt *S) override;
+  void onScopeEnter(ScopeKind K, const Stmt *Owner, const BlockStmt *Body,
+                    const FuncDecl *Callee) override;
+  void onScopeExit() override;
+  void onRead(MemLoc L) override;
+  void onWrite(MemLoc L) override;
+
+  /// The detection outcome (valid once execution finished).
+  RaceReport takeReport();
+
+  /// Number of distinct racing pairs found so far.
+  size_t numPairs() const { return Report.Pairs.size(); }
+
+private:
+  /// Joined-task bitset, indexed by dense task id. Heap-allocated (and the
+  /// word storage never shrinks), so a suspended ancestor's clock is a
+  /// stable referent for the COW base pointers of its live descendants.
+  using Clock = std::vector<uint64_t>;
+
+  struct Access {
+    uint32_t Task = 0; ///< dense id of the accessing task
+    DpstNode *Step = nullptr;
+  };
+
+  /// Per-location shadow state; layout and policy mirror EspBags::Shadow.
+  struct Shadow {
+    /// Valid when all-zero, so shadow pages materialize with one memset
+    /// (see IsAllZeroInit in PagedArray.h).
+    static constexpr bool AllZeroInit = true;
+
+    SmallVector<Access, 2> Writers;
+    SmallVector<Access, 2> Readers;
+  };
+
+  /// One active task. Base points at the nearest materialized ancestor
+  /// clock (null for a virgin root chain); Own is this task's private
+  /// clock once it has learned anything. Learned accumulates the ids this
+  /// task joined beyond its inherited base — exactly the content its
+  /// S-bag would have gained — and is handed to the enclosing finish's
+  /// accumulator on async exit.
+  struct TaskFrame {
+    uint32_t Id = 0;
+    const Clock *Base = nullptr;
+    std::unique_ptr<Clock> Own;
+    std::vector<uint32_t> Learned;
+  };
+
+  static bool testClock(const Clock &C, uint32_t Id) {
+    uint32_t W = Id >> 6;
+    return W < C.size() && ((C[W] >> (Id & 63)) & 1);
+  }
+
+  /// Happens-before: is a previous access by task \p Id serialized before
+  /// the current step?
+  bool ordered(uint32_t Id) const {
+    if (Active[Id])
+      return true;
+    const TaskFrame &T = Tasks.back();
+    const Clock *C = T.Own ? T.Own.get() : T.Base;
+    return C && testClock(*C, Id);
+  }
+
+  void recordRace(const Access &Prev, AccessKind PrevKind, DpstNode *CurStep,
+                  AccessKind CurKind, MemLoc L);
+
+  /// The step receiving the current access; cached until the next
+  /// structure event closes the step.
+  DpstNode *curStep() {
+    if (DpstNode *S = CachedStep)
+      return S;
+    return CachedStep = Builder.currentStep();
+  }
+
+  uint32_t curTaskId() const { return CurId; }
+
+  Mode M;
+  DpstBuilder &Builder;
+  // Per-event instruments, bound at construction so each per-access hook
+  // touches one relaxed atomic (see the scoping contract in obs/Metrics.h).
+  obs::Counter *CChecks;
+  obs::Counter *CReads;
+  obs::Counter *CWrites;
+  obs::Counter *CJoins;
+  obs::Counter *CMaterialized;
+  obs::Counter *CRaw;
+  obs::Counter *CPairs;
+  DpstNode *CachedStep = nullptr; ///< step-boundary-cached current step
+  uint32_t CurId = 0;             ///< cached Tasks.back().Id
+  std::vector<TaskFrame> Tasks;   ///< active-task stack (root at [0])
+  std::vector<std::vector<uint32_t>> Finishes; ///< per-finish accumulators
+  std::vector<uint8_t> Active;    ///< task id -> still on the task stack
+  ShadowMemory<Shadow> Shadows;
+  RaceReport Report;
+  std::unordered_set<uint64_t> SeenPairs;
+};
+
+} // namespace tdr
+
+#endif // TDR_RACE_VECTORCLOCKDETECTOR_H

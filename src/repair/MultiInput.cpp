@@ -28,8 +28,12 @@ MultiRepairResult
 tdr::repairProgramForInputs(Program &P, AstContext &Ctx,
                             const std::vector<ExecOptions> &Inputs,
                             EspBagsDetector::Mode Mode,
-                            trace::TraceStore *Store, bool UseReplay) {
+                            trace::TraceStore *Store, bool UseReplay,
+                            DetectBackend Backend) {
   MultiRepairResult R;
+  DetectOptions Detect;
+  Detect.Mode = Mode;
+  Detect.Backend = Backend;
   // One trace store for the whole session: entry I holds input I's recorded
   // stream and the edit map accumulated against it. Edits made while
   // repairing input J broadcast into every recorded entry, so input I's
@@ -39,6 +43,7 @@ tdr::repairProgramForInputs(Program &P, AstContext &Ctx,
   for (size_t I = 0; I != Inputs.size(); ++I) {
     RepairOptions Opts;
     Opts.Mode = Mode;
+    Opts.Backend = Backend;
     Opts.Exec = Inputs[I];
     Opts.UseReplay = UseReplay;
     Opts.Store = &S;
@@ -67,11 +72,11 @@ tdr::repairProgramForInputs(Program &P, AstContext &Ctx,
     const trace::TraceEntry *Entry = S.find(I);
     if (UseReplay && Entry && Entry->Recorded && Entry->Trace.Exec.Ok) {
       trace::ReplayPlan Plan = trace::buildReplayPlan(P, Entry->Edits);
-      D = detectRaces(P, Mode, Entry->Trace, Plan);
+      D = detectRaces(P, Detect, Entry->Trace, Plan);
       if (Check) {
         ExecOptions Fresh = Inputs[I];
         Fresh.Monitor = nullptr;
-        Detection FD = detectRaces(P, Mode, std::move(Fresh));
+        Detection FD = detectRaces(P, Detect, std::move(Fresh));
         if (renderRaceReportKey(D.Report) != renderRaceReportKey(FD.Report)) {
           R.FailedVerifyInput = I;
           R.Error = strFormat(
@@ -80,7 +85,7 @@ tdr::repairProgramForInputs(Program &P, AstContext &Ctx,
         }
       }
     } else {
-      D = detectRaces(P, Mode, Inputs[I]);
+      D = detectRaces(P, Detect, Inputs[I]);
     }
     if (!D.ok()) {
       R.FailedVerifyInput = I;

@@ -151,6 +151,9 @@ RepairResult tdr::repairProgram(Program &P, AstContext &Ctx,
   trace::TraceStore &Store = Opts.Store ? *Opts.Store : LocalStore;
   const size_t Slot = Opts.Store ? Opts.InputIndex : 0;
   const bool ReplayCheck = Opts.ReplayCheck || replayCheckEnv();
+  DetectOptions Detect;
+  Detect.Mode = Opts.Mode;
+  Detect.Backend = Opts.Backend;
 
   for (unsigned Iter = 0; Iter != Opts.MaxIterations; ++Iter) {
     trace::TraceEntry &Entry = Store.entry(Slot);
@@ -158,7 +161,7 @@ RepairResult tdr::repairProgram(Program &P, AstContext &Ctx,
     Detection D;
     if (Opts.UseReplay && Entry.Recorded) {
       trace::ReplayPlan Plan = trace::buildReplayPlan(P, Entry.Edits);
-      D = detectRaces(P, Opts.Mode, Entry.Trace, Plan);
+      D = detectRaces(P, Detect, Entry.Trace, Plan);
       CReplays.inc();
       if (ReplayCheck) {
         // Differential escape hatch: interpret anyway and demand the
@@ -166,7 +169,7 @@ RepairResult tdr::repairProgram(Program &P, AstContext &Ctx,
         // re-fed — it already observed this execution once).
         ExecOptions FreshExec = Opts.Exec;
         FreshExec.Monitor = nullptr;
-        Detection Fresh = detectRaces(P, Opts.Mode, std::move(FreshExec));
+        Detection Fresh = detectRaces(P, Detect, std::move(FreshExec));
         if (renderRaceReportKey(D.Report) !=
             renderRaceReportKey(Fresh.Report)) {
           Result.Error = strFormat(
@@ -188,7 +191,7 @@ RepairResult tdr::repairProgram(Program &P, AstContext &Ctx,
       } else {
         Exec.Monitor = &Recorder;
       }
-      D = detectRaces(P, Opts.Mode, std::move(Exec));
+      D = detectRaces(P, Detect, std::move(Exec));
       Recorder.flush();
       Entry.Trace.Exec = D.Exec;
       // Recorded even when the input failed at run time: coverage analysis
@@ -196,7 +199,7 @@ RepairResult tdr::repairProgram(Program &P, AstContext &Ctx,
       Entry.Recorded = true;
       CInterps.inc();
     } else {
-      D = detectRaces(P, Opts.Mode, Opts.Exec);
+      D = detectRaces(P, Detect, Opts.Exec);
       CInterps.inc();
     }
     double DetectMs = DetectTimer.elapsedMs();

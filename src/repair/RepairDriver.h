@@ -32,6 +32,10 @@ namespace tdr {
 /// Repair configuration.
 struct RepairOptions {
   EspBagsDetector::Mode Mode = EspBagsDetector::Mode::MRW;
+  /// Detection backend for every run of the repair loop (see
+  /// race/Detect.h); defaults to the TDR_BACKEND-selectable process
+  /// default, so the environment reroutes unconfigured callers wholesale.
+  DetectBackend Backend = defaultDetectBackend();
   ExecOptions Exec;            ///< the test input (args, seed, limits)
   unsigned MaxIterations = 8;  ///< outer detect/repair rounds (must be >= 1)
   /// Record-once / replay-many: the first detection run interprets the

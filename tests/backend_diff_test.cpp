@@ -1,0 +1,381 @@
+//===- backend_diff_test.cpp - EspBags vs vector-clock differential -------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+// The vector-clock backend (VectorClockDetector) must be report-identical
+// to ESP-bags: for every program, every mode (SRW/MRW), and every feed
+// (fresh interpretation or trace replay), both backends must produce the
+// IDENTICAL RaceReport — that is the property the TDR_BACKEND_CHECK
+// differential gates CI on. These tests check it on ~100 random programs
+// per mode, on replayed streams, through the repair loop end to end, and
+// cover the backend-selection plumbing (parse, env default, check mode).
+//
+//===----------------------------------------------------------------------===//
+
+#include "RandomProgram.h"
+#include "TestUtil.h"
+
+#include "obs/Metrics.h"
+#include "race/Detect.h"
+#include "repair/MultiInput.h"
+#include "repair/RepairDriver.h"
+#include "trace/EventLog.h"
+
+#include <cstdlib>
+
+using namespace tdr;
+using namespace tdr::test;
+
+namespace {
+
+/// Scoped environment variable: sets on construction, restores the prior
+/// value (or unsets) on destruction.
+class EnvVar {
+public:
+  EnvVar(const char *Name, const char *Value) : Name(Name) {
+    if (const char *Old = std::getenv(Name)) {
+      Saved = Old;
+      Had = true;
+    }
+    if (Value)
+      setenv(Name, Value, 1);
+    else
+      unsetenv(Name);
+  }
+  ~EnvVar() {
+    if (Had)
+      setenv(Name, Saved.c_str(), 1);
+    else
+      unsetenv(Name);
+  }
+
+private:
+  const char *Name;
+  std::string Saved;
+  bool Had = false;
+};
+
+DetectOptions options(EspBagsDetector::Mode Mode, DetectBackend B) {
+  DetectOptions O;
+  O.Mode = Mode;
+  O.Backend = B;
+  return O;
+}
+
+/// Asserts the two reports are identical record for record (and render to
+/// the same key — the exact comparison TDR_BACKEND_CHECK performs).
+void expectIdenticalReports(const Detection &Vc, const Detection &Esp,
+                            const std::string &Src) {
+  EXPECT_EQ(renderRaceReportKey(Vc.Report), renderRaceReportKey(Esp.Report))
+      << Src;
+  EXPECT_EQ(Vc.Report.RawCount, Esp.Report.RawCount) << Src;
+  ASSERT_EQ(Vc.Report.Pairs.size(), Esp.Report.Pairs.size()) << Src;
+  for (size_t I = 0; I != Vc.Report.Pairs.size(); ++I) {
+    const RacePair &V = Vc.Report.Pairs[I];
+    const RacePair &E = Esp.Report.Pairs[I];
+    EXPECT_EQ(V.Src->id(), E.Src->id()) << "pair " << I << "\n" << Src;
+    EXPECT_EQ(V.Snk->id(), E.Snk->id()) << "pair " << I << "\n" << Src;
+    EXPECT_TRUE(V.Loc == E.Loc) << "pair " << I << "\n" << Src;
+    EXPECT_EQ(V.SrcKind, E.SrcKind) << "pair " << I << "\n" << Src;
+    EXPECT_EQ(V.SnkKind, E.SnkKind) << "pair " << I << "\n" << Src;
+  }
+}
+
+const char *RacySource = R"(
+func work(a: int[], i: int) {
+  a[i] = a[i] + 1;
+  a[0] = a[0] + i;
+}
+
+func main() {
+  var n: int = arg(0);
+  var a: int[] = new int[n + 1];
+  for (var i: int = 1; i <= n; i = i + 1) {
+    async work(a, i);
+  }
+  print(a[0]);
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// Differential: vector clocks == ESP-bags on random programs
+//===----------------------------------------------------------------------===//
+
+class VcVsEspBags : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VcVsEspBags, FreshReportsAreIdentical) {
+  Rng SeedGen(GetParam());
+  for (int Trial = 0; Trial != 25; ++Trial) {
+    RandomProgramGen Gen(SeedGen.next());
+    std::string Src = Gen.generate();
+    ParsedProgram P = parseAndCheck(Src);
+    ASSERT_TRUE(P.ok()) << P.errors() << "\n" << Src;
+
+    for (EspBagsDetector::Mode Mode :
+         {EspBagsDetector::Mode::SRW, EspBagsDetector::Mode::MRW}) {
+      Detection Esp =
+          detectRaces(*P.Prog, options(Mode, DetectBackend::EspBags));
+      ASSERT_TRUE(Esp.ok()) << Esp.Exec.Error << "\n" << Src;
+      Detection Vc =
+          detectRaces(*P.Prog, options(Mode, DetectBackend::VectorClock));
+      ASSERT_TRUE(Vc.ok()) << Vc.Exec.Error << "\n" << Src;
+      expectIdenticalReports(Vc, Esp, Src);
+    }
+  }
+}
+
+TEST_P(VcVsEspBags, ReplayedReportsAreIdentical) {
+  Rng SeedGen(GetParam() ^ 0x5bd1e995);
+  for (int Trial = 0; Trial != 15; ++Trial) {
+    RandomProgramGen Gen(SeedGen.next());
+    std::string Src = Gen.generate();
+    ParsedProgram P = parseAndCheck(Src);
+    ASSERT_TRUE(P.ok()) << P.errors() << "\n" << Src;
+
+    for (EspBagsDetector::Mode Mode :
+         {EspBagsDetector::Mode::SRW, EspBagsDetector::Mode::MRW}) {
+      // Record the event stream once, then feed the identical stream to
+      // both backends (empty plan = verbatim re-emission). The replayed
+      // reports must match each other AND the fresh one.
+      trace::InputTrace T;
+      trace::RecorderMonitor Recorder(T.Log);
+      ExecOptions Exec;
+      Exec.Monitor = &Recorder;
+      Detection Fresh = detectRaces(
+          *P.Prog, options(Mode, DetectBackend::EspBags), std::move(Exec));
+      ASSERT_TRUE(Fresh.ok()) << Fresh.Exec.Error << "\n" << Src;
+      Recorder.flush();
+      T.Exec = Fresh.Exec;
+
+      Detection Esp = detectRaces(*P.Prog, options(Mode, DetectBackend::EspBags),
+                                  T, trace::ReplayPlan());
+      Detection Vc = detectRaces(
+          *P.Prog, options(Mode, DetectBackend::VectorClock), T,
+          trace::ReplayPlan());
+      expectIdenticalReports(Vc, Esp, Src);
+      EXPECT_EQ(renderRaceReportKey(Vc.Report),
+                renderRaceReportKey(Fresh.Report))
+          << Src;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VcVsEspBags,
+                         ::testing::Values(111u, 222u, 333u, 444u));
+
+//===----------------------------------------------------------------------===//
+// The repair loop is backend-agnostic
+//===----------------------------------------------------------------------===//
+
+TEST(VcBackend, RepairProducesIdenticalProgramAndStats) {
+  RepairOptions Esp;
+  Esp.Backend = DetectBackend::EspBags;
+  Esp.Exec.Args = {5};
+  std::string EspOut;
+  RepairResult RE = repairSource(RacySource, EspOut, Esp);
+  ASSERT_TRUE(RE.Success) << RE.Error;
+
+  RepairOptions Vc;
+  Vc.Backend = DetectBackend::VectorClock;
+  Vc.Exec.Args = {5};
+  std::string VcOut;
+  RepairResult RV = repairSource(RacySource, VcOut, Vc);
+  ASSERT_TRUE(RV.Success) << RV.Error;
+
+  // Identical reports imply identical placement decisions: same repaired
+  // text, same iteration/finish counts, same first-run shape stats.
+  EXPECT_EQ(VcOut, EspOut);
+  EXPECT_EQ(RV.Stats.Iterations, RE.Stats.Iterations);
+  EXPECT_EQ(RV.Stats.FinishesInserted, RE.Stats.FinishesInserted);
+  EXPECT_EQ(RV.Stats.DpstNodes, RE.Stats.DpstNodes);
+  EXPECT_EQ(RV.Stats.RawRaces, RE.Stats.RawRaces);
+  EXPECT_EQ(RV.Stats.RacePairs, RE.Stats.RacePairs);
+  EXPECT_GE(RV.Stats.FinishesInserted, 1u);
+}
+
+TEST(VcBackend, RandomProgramRepairsAgree) {
+  Rng SeedGen(9001);
+  for (int Trial = 0; Trial != 10; ++Trial) {
+    RandomProgramGen Gen(SeedGen.next());
+    std::string Src = Gen.generate();
+
+    RepairOptions Esp;
+    Esp.Backend = DetectBackend::EspBags;
+    std::string EspOut;
+    RepairResult RE = repairSource(Src, EspOut, Esp);
+
+    RepairOptions Vc;
+    Vc.Backend = DetectBackend::VectorClock;
+    std::string VcOut;
+    RepairResult RV = repairSource(Src, VcOut, Vc);
+
+    EXPECT_EQ(RV.Success, RE.Success) << Src;
+    EXPECT_EQ(RV.Error, RE.Error) << Src;
+    EXPECT_EQ(VcOut, EspOut) << Src;
+  }
+}
+
+TEST(VcBackend, MultiInputRepairSucceeds) {
+  ParsedProgram P = parseAndCheck(RacySource);
+  ASSERT_TRUE(P.ok()) << P.errors();
+  std::vector<ExecOptions> Inputs(2);
+  Inputs[0].Args = {3};
+  Inputs[1].Args = {6};
+  MultiRepairResult R = repairProgramForInputs(
+      *P.Prog, *P.Ctx, Inputs, EspBagsDetector::Mode::MRW,
+      /*Store=*/nullptr, /*UseReplay=*/true, DetectBackend::VectorClock);
+  EXPECT_TRUE(R.Success) << R.Error;
+  EXPECT_TRUE(R.FinalVerified);
+}
+
+//===----------------------------------------------------------------------===//
+// Backend selection plumbing
+//===----------------------------------------------------------------------===//
+
+TEST(BackendSelect, ParseAcceptsExactlyTheTwoNames) {
+  DetectBackend B = DetectBackend::EspBags;
+  EXPECT_TRUE(parseDetectBackend("espbags", B));
+  EXPECT_EQ(B, DetectBackend::EspBags);
+  EXPECT_TRUE(parseDetectBackend("vc", B));
+  EXPECT_EQ(B, DetectBackend::VectorClock);
+  for (const char *Bad : {"", "VC", "EspBags", "vectorclock", "vc ", "bags"}) {
+    DetectBackend Unchanged = DetectBackend::EspBags;
+    EXPECT_FALSE(parseDetectBackend(Bad, Unchanged)) << Bad;
+    EXPECT_EQ(Unchanged, DetectBackend::EspBags) << Bad;
+  }
+  EXPECT_STREQ(detectBackendName(DetectBackend::EspBags), "espbags");
+  EXPECT_STREQ(detectBackendName(DetectBackend::VectorClock), "vc");
+}
+
+TEST(BackendSelect, EnvPicksTheDefaultBackend) {
+  {
+    EnvVar E("TDR_BACKEND", "vc");
+    EXPECT_EQ(defaultDetectBackend(), DetectBackend::VectorClock);
+  }
+  {
+    EnvVar E("TDR_BACKEND", "espbags");
+    EXPECT_EQ(defaultDetectBackend(), DetectBackend::EspBags);
+  }
+  {
+    // The library falls back on garbage; the CLI rejects it with exit 2
+    // (see tools/check_cli.py).
+    EnvVar E("TDR_BACKEND", "warp-drive");
+    EXPECT_EQ(defaultDetectBackend(), DetectBackend::EspBags);
+  }
+  {
+    EnvVar E("TDR_BACKEND", nullptr);
+    EXPECT_EQ(defaultDetectBackend(), DetectBackend::EspBags);
+  }
+}
+
+TEST(BackendSelect, ModeOnlyOverloadFollowsTheEnv) {
+  ParsedProgram P = parseAndCheck(RacySource);
+  ASSERT_TRUE(P.ok()) << P.errors();
+  ExecOptions Exec;
+  Exec.Args = {4};
+
+  EnvVar E("TDR_BACKEND", "vc");
+  obs::MetricsRegistry Reg;
+  obs::ScopedMetrics Scope(Reg);
+  Detection D = detectRaces(*P.Prog, EspBagsDetector::Mode::MRW, Exec);
+  ASSERT_TRUE(D.ok()) << D.Exec.Error;
+  // The vc detector ran (and espbags did not).
+  EXPECT_GT(Reg.counterValue("vc.checks"), 0u);
+  EXPECT_EQ(Reg.counterValue("espbags.checks"), 0u);
+  EXPECT_GT(D.Report.Pairs.size(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// TDR_BACKEND_CHECK: every detection runs under both backends
+//===----------------------------------------------------------------------===//
+
+TEST(BackendCheck, FreshDetectionIsCrossChecked) {
+  ParsedProgram P = parseAndCheck(RacySource);
+  ASSERT_TRUE(P.ok()) << P.errors();
+  ExecOptions Exec;
+  Exec.Args = {5};
+
+  EnvVar E("TDR_BACKEND_CHECK", "1");
+  obs::MetricsRegistry Reg;
+  obs::ScopedMetrics Scope(Reg);
+  Detection D = detectRaces(
+      *P.Prog, options(EspBagsDetector::Mode::MRW, DetectBackend::EspBags),
+      std::move(Exec));
+  ASSERT_TRUE(D.ok()) << D.Exec.Error;
+  EXPECT_EQ(Reg.counterValue("detect.backend_checks"), 1u);
+  // The secondary run stays off the books: one detection run, and the
+  // other backend's counters did not move in this registry.
+  EXPECT_EQ(Reg.counterValue("detect.runs"), 1u);
+  EXPECT_EQ(Reg.counterValue("vc.checks"), 0u);
+}
+
+TEST(BackendCheck, ReplayedDetectionIsCrossChecked) {
+  ParsedProgram P = parseAndCheck(RacySource);
+  ASSERT_TRUE(P.ok()) << P.errors();
+
+  trace::InputTrace T;
+  trace::RecorderMonitor Recorder(T.Log);
+  ExecOptions Exec;
+  Exec.Args = {5};
+  Exec.Monitor = &Recorder;
+  Detection Fresh = detectRaces(
+      *P.Prog, options(EspBagsDetector::Mode::MRW, DetectBackend::EspBags),
+      std::move(Exec));
+  ASSERT_TRUE(Fresh.ok()) << Fresh.Exec.Error;
+  Recorder.flush();
+  T.Exec = Fresh.Exec;
+
+  EnvVar E("TDR_BACKEND_CHECK", "1");
+  obs::MetricsRegistry Reg;
+  obs::ScopedMetrics Scope(Reg);
+  Detection D = detectRaces(
+      *P.Prog, options(EspBagsDetector::Mode::MRW, DetectBackend::VectorClock),
+      T, trace::ReplayPlan());
+  ASSERT_TRUE(D.ok()) << D.Exec.Error;
+  EXPECT_EQ(Reg.counterValue("detect.backend_checks"), 1u);
+  EXPECT_EQ(Reg.counterValue("detect.runs"), 1u);
+  EXPECT_EQ(Reg.counterValue("espbags.checks"), 0u);
+  EXPECT_EQ(renderRaceReportKey(D.Report), renderRaceReportKey(Fresh.Report));
+}
+
+TEST(BackendCheck, ZeroAndUnsetDisableTheCheck) {
+  ParsedProgram P = parseAndCheck(RacySource);
+  ASSERT_TRUE(P.ok()) << P.errors();
+  ExecOptions Exec;
+  Exec.Args = {3};
+  for (const char *Off : {static_cast<const char *>(nullptr), "0"}) {
+    EnvVar E("TDR_BACKEND_CHECK", Off);
+    EXPECT_FALSE(backendCheckEnv());
+    obs::MetricsRegistry Reg;
+    obs::ScopedMetrics Scope(Reg);
+    Detection D = detectRaces(*P.Prog, EspBagsDetector::Mode::MRW, Exec);
+    ASSERT_TRUE(D.ok());
+    EXPECT_EQ(Reg.counterValue("detect.backend_checks"), 0u);
+  }
+  EnvVar E("TDR_BACKEND_CHECK", "1");
+  EXPECT_TRUE(backendCheckEnv());
+}
+
+TEST(BackendCheck, WholeRepairRunsCheckedUnderBothPrimaries) {
+  // End-to-end: a full (replaying) repair under TDR_BACKEND_CHECK, with
+  // each backend as the primary, still succeeds and produces the same
+  // program — every detection along the way was cross-checked.
+  EnvVar E("TDR_BACKEND_CHECK", "1");
+  std::string Outs[2];
+  int I = 0;
+  for (DetectBackend B : {DetectBackend::EspBags, DetectBackend::VectorClock}) {
+    obs::MetricsRegistry Reg;
+    obs::ScopedMetrics Scope(Reg);
+    RepairOptions Opts;
+    Opts.Backend = B;
+    Opts.Exec.Args = {5};
+    RepairResult R = repairSource(RacySource, Outs[I], Opts);
+    ASSERT_TRUE(R.Success) << R.Error;
+    EXPECT_GE(Reg.counterValue("detect.backend_checks"),
+              static_cast<uint64_t>(R.Stats.Iterations));
+    ++I;
+  }
+  EXPECT_EQ(Outs[0], Outs[1]);
+}
+
+} // namespace

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate the BENCH_*.json benchmark report schema.
+"""Validate the BENCH_*.json benchmark report schema and gate speedups.
 
 Runs `<bench-binary> --quick --out ...` and checks the emitted report
 follows the shared machine-readable layout (see bench/BenchUtil.h):
@@ -8,11 +8,24 @@ follows the shared machine-readable layout (see bench/BenchUtil.h):
 
 with every result row carrying the fields perf tooling diffs across runs.
 The expected report name and row schema are selected by the binary's
-basename (bench_detector -> "detector", bench_replay -> "replay").
-Invoked from CTest (see tools/CMakeLists.txt) but also usable standalone:
+basename (bench_detector -> "detector", bench_replay -> "replay",
+bench_vc -> "vc"). Invoked from CTest (see tools/CMakeLists.txt) but also
+usable standalone:
 
     python3 tools/check_bench.py build/bench/bench_detector
     python3 tools/check_bench.py build/bench/bench_replay
+
+Regression gates: each `--min-speedup KEY:X` requires the BEST speedup
+among result rows whose name contains KEY to be at least X (best-of so a
+single noisy window cannot flake CI; a real regression drags every row
+down). The speedup field is per-bench: detector rows carry
+`speedup_vs_map`, replay rows `speedup`, vc rows `speedup_vs_espbags`.
+CI uses this to fail perf regressions outright:
+
+    python3 tools/check_bench.py build/bench/bench_replay \\
+        --min-speedup compute-bound:1.5
+    python3 tools/check_bench.py build/bench/bench_vc \\
+        --min-speedup access:0.9
 """
 
 import json
@@ -68,8 +81,37 @@ def validate_replay_rows(results):
     check(best >= 1.0, f"no workload shows any replay speedup (best {best:.2f}x)")
 
 
-# Per-report row schema and semantic checks, keyed by the report name the
-# bench binary declares (and its basename implies).
+def validate_vc_rows(results):
+    impls = set()
+    modes = set()
+    families = set()
+    for i, row in enumerate(results):
+        impls.add(row["impl"])
+        modes.add(row["mode"])
+        families.add(row["family"])
+        check(row["accesses_per_sec"] > 0, f"result {i} has non-positive rate")
+        check(row["seconds"] > 0, f"result {i} has non-positive duration")
+        check(row["total_accesses"] > 0, f"result {i} recorded no accesses")
+        if row["impl"] == "vc":
+            check(
+                row.get("speedup_vs_espbags", 0) > 0,
+                f"result {i} ({row['name']}) missing speedup_vs_espbags",
+            )
+
+    # Head-to-head means both backends over both workload families, in
+    # both detector variants.
+    check("espbags" in impls, "no 'espbags' baseline rows in report")
+    check("vc" in impls, "no 'vc' rows in report")
+    check(
+        {"access", "finish"} <= families,
+        f"expected access and finish families, got {sorted(families)}",
+    )
+    check({"SRW", "MRW"} <= modes, f"expected SRW and MRW rows, got {sorted(modes)}")
+
+
+# Per-report row schema, semantic checks, and the field --min-speedup
+# gates on, keyed by the report name the bench binary declares (and its
+# basename implies).
 BENCHES = {
     "detector": (
         {
@@ -84,6 +126,7 @@ BENCHES = {
             "accesses_per_sec",
         },
         validate_detector_rows,
+        "speedup_vs_map",
     ),
     "replay": (
         {
@@ -98,17 +141,34 @@ BENCHES = {
             "speedup",
         },
         validate_replay_rows,
+        "speedup",
+    ),
+    "vc": (
+        {
+            "name",
+            "family",
+            "mode",
+            "impl",
+            "locs",
+            "tasks",
+            "total_accesses",
+            "seconds",
+            "accesses_per_sec",
+        },
+        validate_vc_rows,
+        "speedup_vs_espbags",
     ),
 }
 
 
 def validate_report(path, bench_name):
-    required, validate_rows = BENCHES[bench_name]
+    """Validates the report and returns its complete rows (or [])."""
+    required, validate_rows, _ = BENCHES[bench_name]
     with open(path) as f:
         doc = json.load(f)  # raises on malformed JSON -> test failure
     check(isinstance(doc, dict), "report root must be a JSON object")
     if not isinstance(doc, dict):
-        return
+        return []
     check(
         doc.get("bench") == bench_name,
         f"report 'bench' must be '{bench_name}', got {doc.get('bench')!r}",
@@ -117,7 +177,7 @@ def validate_report(path, bench_name):
     results = doc.get("results")
     check(isinstance(results, list), "report must have a results array")
     if not isinstance(results, list):
-        return
+        return []
     check(len(results) > 0, "results must not be empty")
 
     complete = []
@@ -131,13 +191,68 @@ def validate_report(path, bench_name):
             complete.append(row)
     if len(complete) == len(results):
         validate_rows(complete)
+    return complete
+
+
+def apply_speedup_gates(rows, bench_name, gates):
+    field = BENCHES[bench_name][2]
+    for key, floor in gates:
+        speedups = [
+            row[field]
+            for row in rows
+            if key in row.get("name", "") and field in row
+        ]
+        if not speedups:
+            check(False, f"--min-speedup {key}:{floor}: no rows match '{key}'")
+            continue
+        best = max(speedups)
+        check(
+            best >= floor,
+            f"--min-speedup {key}:{floor}: best {field} among "
+            f"{len(speedups)} matching row(s) is {best:.2f}x (< {floor}x)",
+        )
+
+
+def usage():
+    print(
+        f"usage: {sys.argv[0]} <path-to-bench-binary> "
+        "[--min-speedup KEY:X]...",
+        file=sys.stderr,
+    )
+    return 2
 
 
 def main():
-    if len(sys.argv) != 2:
-        print(f"usage: {sys.argv[0]} <path-to-bench-binary>", file=sys.stderr)
-        return 2
-    bench = sys.argv[1]
+    args = sys.argv[1:]
+    bench = None
+    gates = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--min-speedup":
+            if i + 1 == len(args):
+                return usage()
+            spec = args[i + 1]
+            key, sep, floor = spec.partition(":")
+            try:
+                floor = float(floor)
+            except ValueError:
+                sep = ""
+            if not key or not sep:
+                print(
+                    f"check_bench: bad --min-speedup '{spec}' (want KEY:X)",
+                    file=sys.stderr,
+                )
+                return 2
+            gates.append((key, floor))
+            i += 2
+        elif bench is None:
+            bench = args[i]
+            i += 1
+        else:
+            return usage()
+    if bench is None:
+        return usage()
+
     base = os.path.basename(bench)
     name = base[len("bench_"):] if base.startswith("bench_") else base
     if name not in BENCHES:
@@ -156,14 +271,18 @@ def main():
             f"{base} exited {result.returncode}: {result.stderr.strip()}",
         )
         check(os.path.exists(out), "--out produced no file")
+        rows = []
         if os.path.exists(out):
-            validate_report(out, name)
+            rows = validate_report(out, name)
+        if rows:
+            apply_speedup_gates(rows, name, gates)
 
     if FAILURES:
         for msg in FAILURES:
             print(f"check_bench: FAIL: {msg}", file=sys.stderr)
         return 1
-    print(f"check_bench: OK ({name} report schema is valid)")
+    gated = f", {len(gates)} speedup gate(s) passed" if gates else ""
+    print(f"check_bench: OK ({name} report schema is valid{gated})")
     return 0
 
 

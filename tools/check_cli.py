@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Validate the tdr CLI's option handling, focusing on backend selection.
+
+The CLI's contract (see tools/tdr.cpp): garbage in any validated option —
+`--backend`, `TDR_BACKEND`, `--workers`, `--procs` — exits 2 with a
+one-line diagnostic on stderr, before any input file is touched. A
+`--backend` flag that contradicts `TDR_BACKEND` in the environment is a
+conflict, not a silent precedence choice. Agreement (or either source
+alone) must run normally: `tdr races` exits 0 on a race-free input and 1
+when races are found, and both count as success here.
+
+Invoked from CTest (see tools/CMakeLists.txt) but also usable standalone:
+
+    python3 tools/check_cli.py build/tools/tdr
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+RACY_PROGRAM = """\
+func work(a: int[], i: int) {
+  a[i] = a[i] + 1;
+  a[0] = a[0] + i;
+}
+
+func main() {
+  var n: int = arg(0);
+  var a: int[] = new int[n + 1];
+  for (var i: int = 1; i <= n; i = i + 1) {
+    async work(a, i);
+  }
+  print(a[0]);
+}
+"""
+
+FAILURES = []
+
+
+def check(cond, msg):
+    if not cond:
+        FAILURES.append(msg)
+
+
+def run(cmd, env_overrides=None):
+    """Runs cmd with a scrubbed backend environment plus overrides."""
+    env = dict(os.environ)
+    env.pop("TDR_BACKEND", None)
+    env.pop("TDR_BACKEND_CHECK", None)
+    if env_overrides:
+        env.update(env_overrides)
+    return subprocess.run(cmd, capture_output=True, text=True, env=env)
+
+
+def expect_error(label, result, needle):
+    check(
+        result.returncode == 2,
+        f"{label}: expected exit 2, got {result.returncode}",
+    )
+    check(
+        needle in result.stderr,
+        f"{label}: stderr missing {needle!r}: {result.stderr.strip()!r}",
+    )
+
+
+def expect_success(label, result, ok_codes=(0, 1)):
+    check(
+        result.returncode in ok_codes,
+        f"{label}: expected exit in {ok_codes}, got {result.returncode}: "
+        f"{result.stderr.strip()}",
+    )
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} <path-to-tdr-binary>", file=sys.stderr)
+        return 2
+    tdr = sys.argv[1]
+
+    with tempfile.TemporaryDirectory(prefix="tdr-check-cli-") as tmp:
+        prog = os.path.join(tmp, "racy.hj")
+        with open(prog, "w") as f:
+            f.write(RACY_PROGRAM)
+        races = [tdr, "races", prog, "--arg", "6"]
+
+        # Rejections: exit 2 plus a diagnostic naming the offender.
+        expect_error(
+            "unknown --backend",
+            run([tdr, "races", prog, "--backend", "bogus"]),
+            "--backend expects 'espbags' or 'vc'",
+        )
+        expect_error(
+            "unknown TDR_BACKEND",
+            run(races, {"TDR_BACKEND": "warp-drive"}),
+            "TDR_BACKEND expects 'espbags' or 'vc'",
+        )
+        expect_error(
+            "flag/env conflict",
+            run(races + ["--backend", "vc"], {"TDR_BACKEND": "espbags"}),
+            "conflicts with TDR_BACKEND",
+        )
+        expect_error(
+            "flag/env conflict (reversed)",
+            run(races + ["--backend", "espbags"], {"TDR_BACKEND": "vc"}),
+            "conflicts with TDR_BACKEND",
+        )
+        # Same convention for the numeric options.
+        expect_error(
+            "garbage --workers",
+            run([tdr, "run", prog, "--workers", "banana"]),
+            "--workers expects a positive integer",
+        )
+        expect_error(
+            "garbage --procs",
+            run([tdr, "stats", prog, "--procs", "-3"]),
+            "--procs expects a positive integer",
+        )
+
+        # Acceptances: flag alone, env alone, and flag+env agreement all
+        # run the detection (exit 1 = races found on this racy input).
+        for backend in ("espbags", "vc"):
+            expect_success(
+                f"--backend {backend}",
+                run(races + ["--backend", backend]),
+            )
+            expect_success(
+                f"TDR_BACKEND={backend}",
+                run(races, {"TDR_BACKEND": backend}),
+            )
+            expect_success(
+                f"--backend {backend} agreeing with env",
+                run(races + ["--backend", backend], {"TDR_BACKEND": backend}),
+            )
+
+        # End to end: repair under each backend produces the same repaired
+        # program, and the repaired program is race free under the other.
+        outs = {}
+        for backend in ("espbags", "vc"):
+            out = os.path.join(tmp, f"repaired-{backend}.hj")
+            expect_success(
+                f"repair --backend {backend}",
+                run([tdr, "repair", prog, "--arg", "6", "--backend", backend,
+                     "-o", out]),
+                ok_codes=(0,),
+            )
+            check(os.path.exists(out), f"repair --backend {backend}: no -o file")
+            if os.path.exists(out):
+                with open(out) as f:
+                    outs[backend] = f.read()
+        if len(outs) == 2:
+            check(
+                outs["espbags"] == outs["vc"],
+                "repaired programs differ between backends",
+            )
+            expect_success(
+                "repaired program race free under the other backend",
+                run([tdr, "races", os.path.join(tmp, "repaired-espbags.hj"),
+                     "--arg", "6", "--backend", "vc"]),
+                ok_codes=(0,),
+            )
+
+    if FAILURES:
+        for msg in FAILURES:
+            print(f"check_cli: FAIL: {msg}", file=sys.stderr)
+        return 1
+    print("check_cli: OK (backend/option validation behaves as documented)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -85,7 +85,10 @@ def validate_metrics(path):
             and {"count", "sum", "min", "max", "mean"} <= set(value)
         )
         check(ok, f"metric '{key}' is neither a number nor a histogram object")
-    for name in ("dpst.nodes", "espbags.checks", "detect.runs"):
+    # The per-detector counter family follows the selected backend
+    # (TDR_BACKEND env / --backend flag).
+    detector = "vc" if os.environ.get("TDR_BACKEND") == "vc" else "espbags"
+    for name in ("dpst.nodes", f"{detector}.checks", "detect.runs"):
         check(name in doc, f"metrics dump missing '{name}'")
 
 

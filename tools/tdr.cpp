@@ -47,13 +47,15 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: tdr <command> [options]\n"
-      "  tdr repair  prog.hj [--arg N]... [--srw] [--no-replay] [-o out.hj]\n"
-      "  tdr races   prog.hj [--arg N]... [--srw]\n"
+      "  tdr repair  prog.hj [--arg N]... [--srw] [--backend B] [--no-replay]"
+      " [-o out.hj]\n"
+      "  tdr races   prog.hj [--arg N]... [--srw] [--backend B]\n"
       "  tdr run     prog.hj [--arg N]... [--workers K]\n"
       "  tdr stats   prog.hj [--arg N]... [--procs P]\n"
       "  tdr dot     prog.hj [--arg N]...\n"
       "  tdr coverage prog.hj --arg N [--arg M]... (one input per --arg)\n"
-      "  tdr batch   manifest [--jobs N] [--srw] [--no-replay] [-o outdir]\n"
+      "  tdr batch   manifest [--jobs N] [--srw] [--backend B] [--no-replay]"
+      " [-o outdir]\n"
       "              manifest lines: <prog.hj> [int args...]\n"
       "  tdr dump    <benchmark>   (e.g. Mergesort; see bench_table1)\n"
       "observability (any command):\n"
@@ -61,6 +63,13 @@ int usage() {
       "                       line-delimited events); TDR_TRACE=FILE works\n"
       "                       for any tdr binary\n"
       "  --metrics-json FILE  dump the metrics registry as one JSON object\n"
+      "detection options:\n"
+      "  --backend B          race-detection backend: 'espbags' (default)\n"
+      "                       or 'vc' (vector clocks); TDR_BACKEND in the\n"
+      "                       environment selects the same default, and\n"
+      "                       TDR_BACKEND_CHECK=1 runs every detection\n"
+      "                       under both backends, requiring identical\n"
+      "                       race reports\n"
       "repair options:\n"
       "  --no-replay          re-interpret the test input on every repair\n"
       "                       iteration instead of replaying the recorded\n"
@@ -78,6 +87,9 @@ struct Options {
   unsigned Workers = 1;
   unsigned Jobs = 1;
   unsigned Procs = 12;
+  /// Resolved detection backend (--backend flag / TDR_BACKEND env; the
+  /// flag and the environment must agree — see resolveBackend).
+  DetectBackend Backend = DetectBackend::EspBags;
   std::string OutFile;
   std::string TraceFile;
   std::string MetricsFile;
@@ -99,7 +111,41 @@ bool parsePositive(const char *Flag, const char *Text, unsigned &Out) {
   return true;
 }
 
+/// Resolves the detection backend from the --backend flag value (empty =
+/// not given) and the TDR_BACKEND environment variable, diagnosing
+/// unknown names and flag/environment conflicts — same exit-2-on-garbage
+/// convention as the --workers/--procs validation.
+bool resolveBackend(const std::string &Flag, Options &O) {
+  bool FlagSet = !Flag.empty();
+  DetectBackend FromFlag = DetectBackend::EspBags;
+  if (FlagSet && !parseDetectBackend(Flag, FromFlag)) {
+    std::fprintf(stderr,
+                 "error: --backend expects 'espbags' or 'vc', got '%s'\n",
+                 Flag.c_str());
+    return false;
+  }
+  const char *Env = std::getenv("TDR_BACKEND");
+  bool EnvSet = Env && *Env;
+  DetectBackend FromEnv = DetectBackend::EspBags;
+  if (EnvSet && !parseDetectBackend(Env, FromEnv)) {
+    std::fprintf(stderr,
+                 "error: TDR_BACKEND expects 'espbags' or 'vc', got '%s'\n",
+                 Env);
+    return false;
+  }
+  if (FlagSet && EnvSet && FromFlag != FromEnv) {
+    std::fprintf(stderr,
+                 "error: --backend %s conflicts with TDR_BACKEND=%s in the "
+                 "environment\n",
+                 Flag.c_str(), Env);
+    return false;
+  }
+  O.Backend = FlagSet ? FromFlag : FromEnv;
+  return true;
+}
+
 bool parseOptions(int Argc, char **Argv, Options &O) {
+  std::string Backend;
   for (int I = 0; I != Argc; ++I) {
     if (!std::strcmp(Argv[I], "--arg") && I + 1 != Argc) {
       O.Args.push_back(std::atoll(Argv[++I]));
@@ -107,6 +153,8 @@ bool parseOptions(int Argc, char **Argv, Options &O) {
       O.Srw = true;
     } else if (!std::strcmp(Argv[I], "--no-replay")) {
       O.NoReplay = true;
+    } else if (!std::strcmp(Argv[I], "--backend") && I + 1 != Argc) {
+      Backend = Argv[++I];
     } else if (!std::strcmp(Argv[I], "--workers") && I + 1 != Argc) {
       if (!parsePositive("--workers", Argv[++I], O.Workers))
         return false;
@@ -132,6 +180,8 @@ bool parseOptions(int Argc, char **Argv, Options &O) {
       return false;
     }
   }
+  if (!resolveBackend(Backend, O))
+    return false;
   return !O.File.empty();
 }
 
@@ -176,6 +226,7 @@ int cmdRepair(const Options &O) {
   RepairOptions Opts;
   Opts.Mode =
       O.Srw ? EspBagsDetector::Mode::SRW : EspBagsDetector::Mode::MRW;
+  Opts.Backend = O.Backend;
   Opts.Exec = execOptions(O);
   Opts.UseReplay = !O.NoReplay;
   RepairResult R = repairProgram(*L.Prog, *L.Ctx, Opts);
@@ -212,10 +263,10 @@ int cmdRaces(const Options &O) {
   Loaded L;
   if (!load(O.File, L))
     return 1;
-  Detection D = detectRaces(*L.Prog,
-                            O.Srw ? EspBagsDetector::Mode::SRW
-                                  : EspBagsDetector::Mode::MRW,
-                            execOptions(O));
+  DetectOptions Detect;
+  Detect.Mode = O.Srw ? EspBagsDetector::Mode::SRW : EspBagsDetector::Mode::MRW;
+  Detect.Backend = O.Backend;
+  Detection D = detectRaces(*L.Prog, Detect, execOptions(O));
   if (!D.ok()) {
     std::fprintf(stderr, "execution failed: %s\n", D.Exec.Error.c_str());
     return 1;
@@ -266,8 +317,9 @@ int cmdStats(const Options &O) {
   Loaded L;
   if (!load(O.File, L))
     return 1;
-  Detection D =
-      detectRaces(*L.Prog, EspBagsDetector::Mode::SRW, execOptions(O));
+  Detection D = detectRaces(
+      *L.Prog, DetectOptions{EspBagsDetector::Mode::SRW, O.Backend},
+      execOptions(O));
   if (!D.ok()) {
     std::fprintf(stderr, "execution failed: %s\n", D.Exec.Error.c_str());
     return 1;
@@ -290,8 +342,9 @@ int cmdDot(const Options &O) {
   Loaded L;
   if (!load(O.File, L))
     return 1;
-  Detection D =
-      detectRaces(*L.Prog, EspBagsDetector::Mode::SRW, execOptions(O));
+  Detection D = detectRaces(
+      *L.Prog, DetectOptions{EspBagsDetector::Mode::SRW, O.Backend},
+      execOptions(O));
   if (!D.ok()) {
     std::fprintf(stderr, "execution failed: %s\n", D.Exec.Error.c_str());
     return 1;
@@ -363,6 +416,7 @@ bool loadManifest(const Options &O, std::vector<RepairJob> &Jobs) {
     J.Source = SS.str();
     J.Opts.Mode =
         O.Srw ? EspBagsDetector::Mode::SRW : EspBagsDetector::Mode::MRW;
+    J.Opts.Backend = O.Backend;
     J.Opts.UseReplay = !O.NoReplay;
     int64_t A;
     while (LS >> A)
