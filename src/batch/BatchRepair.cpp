@@ -8,6 +8,7 @@
 
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "support/Timer.h"
 
 #include <atomic>
 #include <memory>
@@ -58,7 +59,17 @@ BatchSummary BatchRepairRunner::run(const std::vector<RepairJob> &Jobs) const {
     obs::ScopedMetrics Scope(*Registry);
     BatchJobResult &R = Summary.Results[I];
     R.Name = Jobs[I].Name;
+    // Async ('b'/'e') trace events keyed by the job index: each job gets
+    // its own lane in a Chrome/Perfetto view of the batch, spanning its
+    // whole repair regardless of which worker thread picked it up.
+    obs::Tracer::global().recordAsyncBegin("job:" + Jobs[I].Name, "batch", I);
+    Timer JobTimer;
     R.Repair = repairSource(Jobs[I].Source, R.RepairedSource, Jobs[I].Opts);
+    // Lands in the job's own registry; the submission-order merge below
+    // folds the samples into the parent's batch.job_ms histogram, so
+    // percentiles are deterministic for a given job set.
+    obs::histogram("batch.job_ms").observe(JobTimer.elapsedMs());
+    obs::Tracer::global().recordAsyncEnd("job:" + Jobs[I].Name, "batch", I);
     R.MetricsJson = Registry->dumpJson();
     JobRegistries[I] = std::move(Registry);
   });

@@ -1,0 +1,131 @@
+//===- RunReport.h - Structured run reports ----------------------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine-readable output of a tool run: a schema-versioned JSON
+/// document (`--report out.json` on `tdr races/repair/batch`) carrying,
+/// per job, the run stats, every iteration's race witnesses (see
+/// Witness.h) and the provenance of every inserted finish — which
+/// dependence edges forced it, what it cost on the critical path, and
+/// which placements the DP tried but the AST mapping rejected.
+///
+/// The schema is additive: "schema" names the document family,
+/// "version" bumps on breaking changes; validators (tools/check_report.py)
+/// and `tdr explain` accept the pair they know.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_DIAG_RUNREPORT_H
+#define TDR_DIAG_RUNREPORT_H
+
+#include "diag/Witness.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tdr {
+
+namespace json {
+class Value;
+} // namespace json
+
+namespace diag {
+
+/// Document family / version emitted by renderRunReportJson.
+inline constexpr const char *ReportSchemaName = "tdr-report";
+inline constexpr int ReportSchemaVersion = 1;
+
+/// A placement the DP proposed but the static placer could not map onto
+/// the AST (and why) — the "rejected alternatives" part of provenance.
+struct PlacementRejection {
+  uint32_t Begin = 0; ///< first covered non-scope child index
+  uint32_t End = 0;   ///< last covered non-scope child index
+  std::string Reason;
+};
+
+/// Why one synthesized finish exists.
+struct FinishProvenance {
+  unsigned Iteration = 0;    ///< repair-loop iteration that inserted it
+  uint32_t GroupLcaId = 0;   ///< NS-LCA node of the dependence group
+  SourcePos Anchor;          ///< where the finish wraps (pre-repair text)
+  unsigned DynamicInstances = 0; ///< S-DPST nodes this edit replicated to
+  /// Critical path of the group's placement problem with no finishes vs
+  /// with the chosen placement (work units; the DP's objective).
+  uint64_t CostBefore = 0;
+  uint64_t CostAfter = 0;
+  /// Dependence edges (source, sink child indices) this finish cuts —
+  /// the races that forced it.
+  std::vector<std::pair<uint32_t, uint32_t>> ForcedEdges;
+  /// Alternatives the DP probed that failed AST mapping (first finish of
+  /// the group carries them; capped).
+  std::vector<PlacementRejection> Rejected;
+};
+
+/// One detection run's worth of explanations.
+struct IterationDiag {
+  unsigned Iteration = 0;
+  bool Replayed = false; ///< detection replayed the recorded log
+  std::vector<RaceWitness> Witnesses;
+};
+
+/// Everything diagnostic a repair run produced.
+struct RunDiag {
+  std::vector<IterationDiag> Iterations;
+  std::vector<FinishProvenance> Finishes;
+};
+
+/// Table-2/3 style scalars, flattened for the report.
+struct JobStats {
+  unsigned Iterations = 0;
+  unsigned FinishesInserted = 0;
+  unsigned Interpretations = 0;
+  unsigned Replays = 0;
+  uint64_t RawRaces = 0;
+  uint64_t RacePairs = 0;
+  uint64_t DpstNodes = 0;
+};
+
+/// One program (one batch job, or the single program of races/repair).
+struct JobReport {
+  std::string Name;
+  std::vector<int64_t> Args;
+  bool Success = false;
+  std::string Error;
+  JobStats Stats;
+  RunDiag Diag;
+};
+
+/// The whole document.
+struct RunReport {
+  std::string Tool;    ///< "races" | "repair" | "batch"
+  std::string Backend; ///< detection backend name
+  std::string Mode;    ///< "mrw" | "srw"
+  std::vector<JobReport> Jobs;
+};
+
+/// Serializes \p R as the versioned JSON document (stable member order;
+/// witness sections are byte-identical across backends for identical
+/// reports).
+std::string renderRunReportJson(const RunReport &R);
+
+/// Writes the document to \p Path. False on I/O failure (message in
+/// \p Error when non-null).
+bool writeRunReport(const RunReport &R, const std::string &Path,
+                    std::string *Error = nullptr);
+
+/// Pretty-prints a parsed report document (`tdr explain`): witnesses with
+/// carets, provenance, stats. Tolerates unknown members; returns false
+/// (with a message in \p Error) when \p Doc is not a tdr-report this
+/// version understands.
+bool renderExplainText(const json::Value &Doc, bool Color, std::string &Out,
+                       std::string &Error);
+
+} // namespace diag
+} // namespace tdr
+
+#endif // TDR_DIAG_RUNREPORT_H

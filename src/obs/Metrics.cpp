@@ -6,6 +6,7 @@
 
 #include "obs/Metrics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -14,6 +15,20 @@
 
 using namespace tdr;
 using namespace tdr::obs;
+
+double Histogram::Snapshot::percentile(double P) const {
+  if (Samples.empty())
+    return 0;
+  std::vector<double> Sorted(Samples);
+  std::sort(Sorted.begin(), Sorted.end());
+  P = std::min(std::max(P, 0.0), 100.0);
+  // Nearest rank: ceil(P/100 * N), 1-based; P=0 maps to the minimum.
+  size_t Rank = static_cast<size_t>(
+      std::ceil(P / 100.0 * static_cast<double>(Sorted.size())));
+  if (Rank == 0)
+    Rank = 1;
+  return Sorted[Rank - 1];
+}
 
 void Histogram::observe(double X) {
   std::lock_guard<std::mutex> Lock(M);
@@ -25,6 +40,8 @@ void Histogram::observe(double X) {
   }
   ++S.Count;
   S.Sum += X;
+  if (S.Samples.size() < MaxSamples)
+    S.Samples.push_back(X);
 }
 
 void Histogram::merge(const Snapshot &Other) {
@@ -33,12 +50,19 @@ void Histogram::merge(const Snapshot &Other) {
   std::lock_guard<std::mutex> Lock(M);
   if (S.Count == 0) {
     S = Other;
+    if (S.Samples.size() > MaxSamples)
+      S.Samples.resize(MaxSamples);
     return;
   }
   S.Min = std::min(S.Min, Other.Min);
   S.Max = std::max(S.Max, Other.Max);
   S.Count += Other.Count;
   S.Sum += Other.Sum;
+  for (double X : Other.Samples) {
+    if (S.Samples.size() >= MaxSamples)
+      break;
+    S.Samples.push_back(X);
+  }
 }
 
 Histogram::Snapshot Histogram::snapshot() const {
@@ -205,6 +229,12 @@ std::string MetricsRegistry::dumpJson() const {
     appendJsonDouble(V, S.Max);
     V += ",\"mean\":";
     appendJsonDouble(V, S.mean());
+    V += ",\"p50\":";
+    appendJsonDouble(V, S.percentile(50));
+    V += ",\"p95\":";
+    appendJsonDouble(V, S.percentile(95));
+    V += ",\"p99\":";
+    appendJsonDouble(V, S.percentile(99));
     V += "}";
     Entries[Name] = std::move(V);
   }

@@ -53,6 +53,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace tdr {
 namespace obs {
@@ -80,19 +81,29 @@ private:
 };
 
 /// Count/sum/min/max summary of a stream of observations (per-phase wall
-/// times and the like).
+/// times and the like), plus a bounded sample reservoir for percentiles.
 class Histogram {
 public:
+  /// Samples kept per histogram for percentile estimation. Observations
+  /// past the cap still update count/sum/min/max but are not sampled.
+  static constexpr size_t MaxSamples = 1024;
+
   struct Snapshot {
     uint64_t Count = 0;
     double Sum = 0;
     double Min = 0;
     double Max = 0;
+    std::vector<double> Samples;
     double mean() const { return Count ? Sum / static_cast<double>(Count) : 0; }
+    /// Nearest-rank percentile over the retained samples (P in [0, 100]).
+    /// Returns 0 when no samples were retained.
+    double percentile(double P) const;
   };
 
   void observe(double X);
-  /// Folds another histogram's summary into this one.
+  /// Folds another histogram's summary into this one. Samples append in
+  /// call order (up to MaxSamples), so merging job registries in
+  /// submission order keeps percentiles deterministic.
   void merge(const Snapshot &Other);
   Snapshot snapshot() const;
   void reset();
@@ -139,7 +150,8 @@ public:
   void mergeFrom(const MetricsRegistry &Other);
 
   /// One JSON object, keys sorted: counters and gauges map to integers,
-  /// histograms to {"count","sum","min","max","mean"} objects.
+  /// histograms to {"count","sum","min","max","mean","p50","p95","p99"}
+  /// objects.
   std::string dumpJson() const;
   /// Writes dumpJson() to \p Path. Returns false on I/O failure.
   bool writeJson(const std::string &Path) const;

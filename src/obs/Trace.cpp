@@ -70,6 +70,11 @@ void appendEvent(std::string &Out, const TraceEvent &E) {
                   static_cast<unsigned long long>(E.DurNs % 1000));
     Out += Buf;
   }
+  if (E.Ph == 'b' || E.Ph == 'e') {
+    std::snprintf(Buf, sizeof(Buf), ",\"id\":\"0x%llx\"",
+                  static_cast<unsigned long long>(E.Id));
+    Out += Buf;
+  }
   std::snprintf(Buf, sizeof(Buf), ",\"pid\":1,\"tid\":%u}", E.Tid);
   Out += Buf;
 }
@@ -131,6 +136,35 @@ void Tracer::recordInstant(std::string Name, const char *Cat) {
   E.TsNs = Timer::nowNs();
   E.Tid = currentTid();
   E.Ph = 'i';
+  std::lock_guard<std::mutex> Lock(M);
+  Events.push_back(std::move(E));
+}
+
+void Tracer::recordAsyncBegin(std::string Name, const char *Cat,
+                              uint64_t Id) {
+  if (!enabled())
+    return;
+  TraceEvent E;
+  E.Name = std::move(Name);
+  E.Cat = Cat;
+  E.TsNs = Timer::nowNs();
+  E.Id = Id;
+  E.Tid = currentTid();
+  E.Ph = 'b';
+  std::lock_guard<std::mutex> Lock(M);
+  Events.push_back(std::move(E));
+}
+
+void Tracer::recordAsyncEnd(std::string Name, const char *Cat, uint64_t Id) {
+  if (!enabled())
+    return;
+  TraceEvent E;
+  E.Name = std::move(Name);
+  E.Cat = Cat;
+  E.TsNs = Timer::nowNs();
+  E.Id = Id;
+  E.Tid = currentTid();
+  E.Ph = 'e';
   std::lock_guard<std::mutex> Lock(M);
   Events.push_back(std::move(E));
 }

@@ -39,12 +39,13 @@ namespace tdr {
 namespace obs {
 
 /// One buffered trace event. Ph follows the Chrome trace_event phase
-/// codes: 'X' complete (span), 'i' instant.
+/// codes: 'X' complete (span), 'i' instant, 'b'/'e' async begin/end.
 struct TraceEvent {
   std::string Name;
   const char *Cat = "tdr"; ///< static category string
   uint64_t TsNs = 0;       ///< start time, Timer::nowNs()
   uint64_t DurNs = 0;      ///< duration ('X' events; 0 for instants)
+  uint64_t Id = 0;         ///< async event id ('b'/'e' events)
   uint32_t Tid = 0;        ///< small per-thread id
   char Ph = 'X';
 };
@@ -68,6 +69,12 @@ public:
                   uint64_t EndNs);
   /// Records an instant event at the current time.
   void recordInstant(std::string Name, const char *Cat = "tdr");
+  /// Records an async begin/end pair boundary ('b'/'e'). Events with the
+  /// same Name+Cat+Id form one async lane in Perfetto — batch jobs use the
+  /// job index as Id so `tdr batch --jobs N` renders per-job lanes even
+  /// when a worker thread interleaves several jobs.
+  void recordAsyncBegin(std::string Name, const char *Cat, uint64_t Id);
+  void recordAsyncEnd(std::string Name, const char *Cat, uint64_t Id);
 
   size_t numEvents() const;
   std::vector<TraceEvent> snapshot() const;

@@ -66,9 +66,18 @@ void EspBagsDetector::recordRace(const Access &Prev, AccessKind PrevKind,
                                  MemLoc L) {
   CRaw->inc();
   ++Report.RawCount;
-  if (!SeenPairs.insert(packRacePairKey(Prev.Step->id(), CurStep->id()))
-           .second)
+  auto [It, Inserted] = SeenPairs.try_emplace(
+      packRacePairKey(Prev.Step->id(), CurStep->id()),
+      static_cast<uint32_t>(Report.Pairs.size()));
+  if (!Inserted) {
+    RacePair &Kept = Report.Pairs[It->second];
+    if (witnessPreferred(Kept, L, PrevKind, CurKind)) {
+      Kept.Loc = L;
+      Kept.SrcKind = PrevKind;
+      Kept.SnkKind = CurKind;
+    }
     return;
+  }
   CPairs->inc();
   RacePair R;
   R.Src = Prev.Step;

@@ -51,7 +51,7 @@
 #include "race/ShadowMemory.h"
 #include "support/SmallVector.h"
 
-#include <unordered_set>
+#include <unordered_map>
 
 namespace tdr {
 
@@ -150,7 +150,9 @@ private:
   ShadowMemory<Shadow> Shadows;
   std::vector<uint32_t> RootScratch; ///< compaction scratch (reused)
   RaceReport Report;
-  std::unordered_set<uint64_t> SeenPairs;
+  /// Pair key -> index into Report.Pairs, so duplicate observations can
+  /// upgrade the kept witness (see witnessPreferred).
+  std::unordered_map<uint64_t, uint32_t> SeenPairs;
 };
 
 } // namespace tdr

@@ -28,8 +28,18 @@ void OracleDetector::check(const AccessList &Prev, AccessKind PrevKind,
     if (P == Step || !Tree.mayHappenInParallel(P, Step))
       continue;
     ++Report.RawCount;
-    if (!SeenPairs.insert(packRacePairKey(P->id(), Step->id())).second)
+    auto [It, Inserted] =
+        SeenPairs.try_emplace(packRacePairKey(P->id(), Step->id()),
+                              static_cast<uint32_t>(Report.Pairs.size()));
+    if (!Inserted) {
+      RacePair &Kept = Report.Pairs[It->second];
+      if (witnessPreferred(Kept, L, PrevKind, CurKind)) {
+        Kept.Loc = L;
+        Kept.SrcKind = PrevKind;
+        Kept.SnkKind = CurKind;
+      }
       continue;
+    }
     RacePair R;
     R.Src = P;
     R.Snk = Step;

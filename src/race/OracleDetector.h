@@ -26,7 +26,7 @@
 #include "race/ShadowMemory.h"
 #include "support/SmallVector.h"
 
-#include <unordered_set>
+#include <unordered_map>
 
 namespace tdr {
 
@@ -74,7 +74,9 @@ private:
   DpstNode *CachedStep = nullptr; ///< step-boundary-cached current step
   ShadowMemory<Shadow> Shadows;
   RaceReport Report;
-  std::unordered_set<uint64_t> SeenPairs;
+  /// Pair key -> index into Report.Pairs, so duplicate observations can
+  /// upgrade the kept witness (see witnessPreferred).
+  std::unordered_map<uint64_t, uint32_t> SeenPairs;
 };
 
 } // namespace tdr

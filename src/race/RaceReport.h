@@ -17,6 +17,7 @@
 #include "interp/Value.h"
 
 #include <cstdint>
+#include <tuple>
 #include <vector>
 
 namespace tdr {
@@ -46,10 +47,36 @@ inline uint64_t packRacePairKey(uint32_t A, uint32_t B) {
   return (static_cast<uint64_t>(Lo) << 32) | Hi;
 }
 
+/// True when the witness payload (\p L, \p SrcK, \p SnkK) is strictly
+/// preferred over the one currently kept in \p R for the same step pair.
+/// Every detector applies the same rule, so the witness a deduplicated
+/// pair keeps is a function of the set of conflicting accesses — not of
+/// the order a backend, shadow policy, or replay happened to visit them:
+/// more writes win (a write/write witness explains the race best), then
+/// the lowest location, then the lowest access-kind pair.
+inline bool witnessPreferred(const RacePair &R, MemLoc L, AccessKind SrcK,
+                             AccessKind SnkK) {
+  auto Writes = [](AccessKind A, AccessKind B) {
+    return (A == AccessKind::Write ? 1 : 0) + (B == AccessKind::Write ? 1 : 0);
+  };
+  if (Writes(SrcK, SnkK) != Writes(R.SrcKind, R.SnkKind))
+    return Writes(SrcK, SnkK) > Writes(R.SrcKind, R.SnkKind);
+  auto LocKey = [](MemLoc M) {
+    return std::make_tuple(static_cast<uint8_t>(M.K), M.Id, M.Index);
+  };
+  if (!(L == R.Loc))
+    return LocKey(L) < LocKey(R.Loc);
+  return std::make_tuple(static_cast<uint8_t>(SrcK),
+                         static_cast<uint8_t>(SnkK)) <
+         std::make_tuple(static_cast<uint8_t>(R.SrcKind),
+                         static_cast<uint8_t>(R.SnkKind));
+}
+
 /// Result of one detection run.
 struct RaceReport {
   /// Distinct racing step pairs (the input to repair). Deduplicated on
-  /// (Src, Snk); Loc/kinds describe one witness access pair.
+  /// (Src, Snk); Loc/kinds describe the preferred witness access pair
+  /// (see witnessPreferred — deterministic across backends and replay).
   std::vector<RacePair> Pairs;
   /// Total race reports before deduplication (every conflicting access
   /// pair observed) — the "number of data races" the paper's tables count.

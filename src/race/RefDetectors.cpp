@@ -46,8 +46,17 @@ void RefEspBagsDetector::recordRace(const Access &Prev, AccessKind PrevKind,
   ++Report.RawCount;
   uint64_t Key =
       (static_cast<uint64_t>(Prev.Step->id()) << 32) | CurStep->id();
-  if (!SeenPairs.insert(Key).second)
+  auto [It, Inserted] =
+      SeenPairs.try_emplace(Key, static_cast<uint32_t>(Report.Pairs.size()));
+  if (!Inserted) {
+    RacePair &Kept = Report.Pairs[It->second];
+    if (witnessPreferred(Kept, L, PrevKind, CurKind)) {
+      Kept.Loc = L;
+      Kept.SrcKind = PrevKind;
+      Kept.SnkKind = CurKind;
+    }
     return;
+  }
   RacePair R;
   R.Src = Prev.Step;
   R.Snk = CurStep;
@@ -110,8 +119,17 @@ void RefOracleDetector::check(const std::vector<DpstNode *> &Prev,
       continue;
     ++Report.RawCount;
     uint64_t Key = (static_cast<uint64_t>(P->id()) << 32) | Step->id();
-    if (!SeenPairs.insert(Key).second)
+    auto [It, Inserted] =
+        SeenPairs.try_emplace(Key, static_cast<uint32_t>(Report.Pairs.size()));
+    if (!Inserted) {
+      RacePair &Kept = Report.Pairs[It->second];
+      if (witnessPreferred(Kept, L, PrevKind, CurKind)) {
+        Kept.Loc = L;
+        Kept.SrcKind = PrevKind;
+        Kept.SnkKind = CurKind;
+      }
       continue;
+    }
     RacePair R;
     R.Src = P;
     R.Snk = Step;

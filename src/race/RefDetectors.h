@@ -72,7 +72,7 @@ private:
   std::vector<uint32_t> FinishElems;
   std::unordered_map<MemLoc, Shadow, MemLocHash> ShadowMem;
   RaceReport Report;
-  std::unordered_set<uint64_t> SeenPairs;
+  std::unordered_map<uint64_t, uint32_t> SeenPairs;
 };
 
 /// Pre-fast-path Theorem-1 oracle detector (hash-map shadow).
@@ -99,7 +99,7 @@ private:
   DpstBuilder &Builder;
   std::unordered_map<MemLoc, Shadow, MemLocHash> ShadowMem;
   RaceReport Report;
-  std::unordered_set<uint64_t> SeenPairs;
+  std::unordered_map<uint64_t, uint32_t> SeenPairs;
 };
 
 } // namespace tdr

@@ -56,6 +56,7 @@
 #include "support/SmallVector.h"
 
 #include <memory>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -173,7 +174,9 @@ private:
   std::vector<uint8_t> Active;    ///< task id -> still on the task stack
   ShadowMemory<Shadow> Shadows;
   RaceReport Report;
-  std::unordered_set<uint64_t> SeenPairs;
+  /// Pair key -> index into Report.Pairs, so duplicate observations can
+  /// upgrade the kept witness (see witnessPreferred).
+  std::unordered_map<uint64_t, uint32_t> SeenPairs;
 };
 
 } // namespace tdr

@@ -31,16 +31,26 @@ bool replayCheckEnv() {
   return V && *V && !(V[0] == '0' && V[1] == '\0');
 }
 
+/// Rejected-placement records kept per group when collecting provenance
+/// (the DP probes O(n^2) ranges; reports only need a taste of why the
+/// chosen placement won).
+constexpr size_t MaxRejections = 16;
+
 /// Applies the DP solution for one NS-LCA group. Returns the number of
 /// finishes successfully applied.
 unsigned solveGroup(const Dpst &Tree, const DepGroup &G, StaticPlacer &Placer,
-                    RepairResult &Result) {
+                    RepairResult &Result, const RepairOptions &Opts,
+                    unsigned Iter) {
   if (G.Problem.Edges.empty())
     return 0;
 
+  std::vector<diag::PlacementRejection> Rejected;
   PlacementResult DP = placeFinishes(
       G.Problem, [&](uint32_t I, uint32_t K) {
-        return Placer.isValidRange(G, I, K);
+        bool Ok = Placer.isValidRange(G, I, K);
+        if (!Ok && Opts.CollectDiag && Rejected.size() < MaxRejections)
+          Rejected.push_back({I, K, Placer.lastRejectReason()});
+        return Ok;
       });
 
   std::vector<std::pair<uint32_t, uint32_t>> Ranges;
@@ -58,6 +68,14 @@ unsigned solveGroup(const Dpst &Tree, const DepGroup &G, StaticPlacer &Placer,
     }
     std::sort(Ranges.begin(), Ranges.end());
     Ranges.erase(std::unique(Ranges.begin(), Ranges.end()), Ranges.end());
+  }
+
+  // Provenance cost model: the group's critical path with no finishes vs
+  // with the chosen placement (equals DP.Cost on the feasible path).
+  uint64_t CostBefore = 0, CostAfter = 0;
+  if (Opts.CollectDiag) {
+    CostBefore = evalPlacementCost(G.Problem, {});
+    CostAfter = evalPlacementCost(G.Problem, Ranges);
   }
 
   // Apply innermost-first so statement indices of outer ranges account for
@@ -95,6 +113,22 @@ unsigned solveGroup(const Dpst &Tree, const DepGroup &G, StaticPlacer &Placer,
       continue;
     if (auto A = Placer.apply(G, S, E)) {
       Result.InsertedAt.push_back(A->AnchorLoc);
+      if (Opts.CollectDiag) {
+        diag::FinishProvenance Prov;
+        Prov.Iteration = Iter;
+        Prov.GroupLcaId = G.Lca->id();
+        Prov.Anchor = diag::resolvePos(Opts.SM, A->AnchorLoc);
+        Prov.DynamicInstances = A->DynamicInstances;
+        Prov.CostBefore = CostBefore;
+        Prov.CostAfter = CostAfter;
+        for (auto [X, Y] : G.Problem.Edges)
+          if (S <= X && X <= E && E < Y)
+            Prov.ForcedEdges.push_back({X, Y});
+        // The group's rejection log rides on its first applied finish.
+        Prov.Rejected = std::move(Rejected);
+        Rejected.clear();
+        Result.Diag.Finishes.push_back(std::move(Prov));
+      }
       ++AppliedCount;
       RefreshAlive();
     }
@@ -159,10 +193,20 @@ RepairResult tdr::repairProgram(Program &P, AstContext &Ctx,
     trace::TraceEntry &Entry = Store.entry(Slot);
     Timer DetectTimer;
     Detection D;
+    // Witness-site refinement needs the event stream the detection saw
+    // and the plan it ran under (so the scratch tree's ids line up).
+    const trace::EventLog *WitLog = nullptr;
+    trace::ReplayPlan WitPlan;
+    bool Replayed = false;
     if (Opts.UseReplay && Entry.Recorded) {
       trace::ReplayPlan Plan = trace::buildReplayPlan(P, Entry.Edits);
       D = detectRaces(P, Detect, Entry.Trace, Plan);
       CReplays.inc();
+      Replayed = true;
+      if (Opts.CollectDiag) {
+        WitLog = &Entry.Trace.Log;
+        WitPlan = std::move(Plan);
+      }
       if (ReplayCheck) {
         // Differential escape hatch: interpret anyway and demand the
         // replayed report be byte-identical (the caller's monitor is not
@@ -198,6 +242,8 @@ RepairResult tdr::repairProgram(Program &P, AstContext &Ctx,
       // reuses the partial log and the recorded error.
       Entry.Recorded = true;
       CInterps.inc();
+      if (Opts.CollectDiag)
+        WitLog = &Entry.Trace.Log; // fresh recording: identity plan
     } else {
       D = detectRaces(P, Detect, Opts.Exec);
       CInterps.inc();
@@ -212,6 +258,14 @@ RepairResult tdr::repairProgram(Program &P, AstContext &Ctx,
       Result.Error = strFormat("test input failed at run time: %s",
                                D.Exec.Error.c_str());
       return Result;
+    }
+    if (Opts.CollectDiag) {
+      diag::IterationDiag ID;
+      ID.Iteration = Iter;
+      ID.Replayed = Replayed;
+      ID.Witnesses = diag::buildWitnesses(*D.Tree, D.Report, Opts.SM, WitLog,
+                                          WitLog ? &WitPlan : nullptr);
+      Result.Diag.Iterations.push_back(std::move(ID));
     }
     if (Iter == 0) {
       // First-run shape columns of Tables 2/3, read back from the gauges
@@ -241,7 +295,8 @@ RepairResult tdr::repairProgram(Program &P, AstContext &Ctx,
       Progress = false;
       std::vector<DepGroup> Groups = buildDepGroups(*D.Tree, Pending);
       assert(!Groups.empty());
-      unsigned Applied = solveGroup(*D.Tree, Groups.front(), Placer, Result);
+      unsigned Applied =
+          solveGroup(*D.Tree, Groups.front(), Placer, Result, Opts, Iter);
       CFinishes.inc(Applied);
       DeriveStats();
 
@@ -287,7 +342,11 @@ RepairResult tdr::repairSource(const std::string &Source,
     Result.Error = Diags.render(SM);
     return Result;
   }
-  Result = repairProgram(*P, Ctx, Opts);
+  // Witness positions must resolve against this parse's source manager,
+  // whatever the caller left in Opts.
+  RepairOptions LocalOpts = Opts;
+  LocalOpts.SM = &SM;
+  Result = repairProgram(*P, Ctx, LocalOpts);
   RepairedOut = printProgram(*P);
   return Result;
 }

@@ -21,6 +21,7 @@
 #ifndef TDR_REPAIR_REPAIRDRIVER_H
 #define TDR_REPAIR_REPAIRDRIVER_H
 
+#include "diag/RunReport.h"
 #include "race/Detect.h"
 #include "repair/StaticPlacer.h"
 
@@ -55,6 +56,16 @@ struct RepairOptions {
   /// whole session). Null = a private store per repairProgram call.
   trace::TraceStore *Store = nullptr;
   size_t InputIndex = 0;
+  /// Collect explainable diagnostics into RepairResult::Diag: one witness
+  /// list per detection run (race witnesses with refined access sites) and
+  /// one provenance record per inserted finish (the --report path). Off by
+  /// default — witness reconstruction replays the recorded log once more
+  /// per racy iteration.
+  bool CollectDiag = false;
+  /// Source manager used to resolve witness/provenance positions to
+  /// line/col plus line text; null degrades positions to "unknown".
+  /// repairSource supplies its own.
+  const SourceManager *SM = nullptr;
 };
 
 /// Per-run measurements (the columns of Tables 2 and 3).
@@ -98,6 +109,8 @@ struct RepairResult {
   RepairStats Stats;
   /// Locations (in the pre-repair program text) where finishes were added.
   std::vector<SourceLoc> InsertedAt;
+  /// Witnesses and provenance (populated when RepairOptions::CollectDiag).
+  diag::RunDiag Diag;
 };
 
 /// Repairs \p P in place for the test input in \p Opts. The program must

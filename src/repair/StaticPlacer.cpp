@@ -314,6 +314,7 @@ std::optional<StaticPlacer::Edit> StaticPlacer::deepWrapEdit(DpstNode *X) {
 
 std::optional<StaticPlacer::Edit>
 StaticPlacer::mapRange(const DepGroup &G, uint32_t I, uint32_t K) {
+  RejectReason.clear();
   DpstNode *First = G.Nodes[I];
   DpstNode *Last = G.Nodes[K];
   const DpstNode *LeftN = I > 0 ? G.Nodes[I - 1] : nullptr;
@@ -348,8 +349,16 @@ StaticPlacer::mapRange(const DepGroup &G, uint32_t I, uint32_t K) {
 
   // Single async/finish nodes can always be repaired by wrapping their own
   // statement, which keeps the DP feasible.
-  if (I == K && (First->isAsync() || First->isFinish()))
-    return deepWrapEdit(First);
+  if (I == K && (First->isAsync() || First->isFinish())) {
+    if (auto E = deepWrapEdit(First))
+      return E;
+  }
+  RejectReason =
+      Points.empty()
+          ? "a DP neighbor shares a boundary subtree of the range "
+            "(Fig. 5 scoping condition)"
+          : "no AST edit maps this range (statement split across "
+            "instances, swallowed race sink, or escaping declaration)";
   return std::nullopt;
 }
 

@@ -74,6 +74,11 @@ public:
 
   const std::vector<AppliedFinish> &applied() const { return Applied; }
 
+  /// Why the most recent isValidRange/apply call rejected its range
+  /// (empty after a successful mapping). Feeds placement provenance in
+  /// run reports.
+  const std::string &lastRejectReason() const { return RejectReason; }
+
 private:
   struct InsertionPoint {
     DpstNode *Parent = nullptr;
@@ -143,6 +148,7 @@ private:
   std::unordered_map<const Stmt *, ParentSlot> Parents;
 
   std::vector<AppliedFinish> Applied;
+  std::string RejectReason; ///< see lastRejectReason()
 };
 
 } // namespace tdr

@@ -1,0 +1,256 @@
+//===- Json.cpp - Minimal JSON document parser ----------------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include "support/StringUtils.h"
+
+#include <cstdlib>
+
+using namespace tdr;
+using namespace tdr::json;
+
+namespace {
+
+constexpr unsigned MaxDepth = 128;
+
+class Parser {
+public:
+  explicit Parser(const std::string &Text) : Text(Text) {}
+
+  ParseResult run() {
+    ParseResult R;
+    skipWs();
+    R.Doc = parseValue(0);
+    if (!Failed) {
+      skipWs();
+      if (Pos != Text.size())
+        fail("trailing characters after document");
+    }
+    R.Ok = !Failed;
+    R.Error = Error;
+    return R;
+  }
+
+private:
+  void fail(const std::string &Msg) {
+    if (!Failed) {
+      Failed = true;
+      Error = strFormat("json: %s (at byte %zu)", Msg.c_str(), Pos);
+    }
+  }
+
+  char peek() const { return Pos < Text.size() ? Text[Pos] : '\0'; }
+  bool eat(char C) {
+    if (peek() != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C != ' ' && C != '\t' && C != '\n' && C != '\r')
+        break;
+      ++Pos;
+    }
+  }
+
+  bool eatKeyword(const char *Word) {
+    size_t N = 0;
+    while (Word[N])
+      ++N;
+    if (Text.compare(Pos, N, Word) != 0)
+      return false;
+    Pos += N;
+    return true;
+  }
+
+  Value parseValue(unsigned Depth) {
+    if (Depth > MaxDepth) {
+      fail("nesting too deep");
+      return Value();
+    }
+    switch (peek()) {
+    case '{':
+      return parseObject(Depth);
+    case '[':
+      return parseArray(Depth);
+    case '"':
+      return Value::makeString(parseString());
+    case 't':
+      if (eatKeyword("true"))
+        return Value::makeBool(true);
+      fail("invalid token");
+      return Value();
+    case 'f':
+      if (eatKeyword("false"))
+        return Value::makeBool(false);
+      fail("invalid token");
+      return Value();
+    case 'n':
+      if (eatKeyword("null"))
+        return Value();
+      fail("invalid token");
+      return Value();
+    default:
+      return parseNumber();
+    }
+  }
+
+  Value parseObject(unsigned Depth) {
+    ++Pos; // '{'
+    std::vector<std::pair<std::string, Value>> Members;
+    skipWs();
+    if (eat('}'))
+      return Value::makeObject(std::move(Members));
+    while (!Failed) {
+      skipWs();
+      if (peek() != '"') {
+        fail("expected string key");
+        break;
+      }
+      std::string Key = parseString();
+      skipWs();
+      if (!eat(':')) {
+        fail("expected ':' after key");
+        break;
+      }
+      skipWs();
+      Members.emplace_back(std::move(Key), parseValue(Depth + 1));
+      skipWs();
+      if (eat(','))
+        continue;
+      if (eat('}'))
+        break;
+      fail("expected ',' or '}' in object");
+    }
+    return Value::makeObject(std::move(Members));
+  }
+
+  Value parseArray(unsigned Depth) {
+    ++Pos; // '['
+    std::vector<Value> Elems;
+    skipWs();
+    if (eat(']'))
+      return Value::makeArray(std::move(Elems));
+    while (!Failed) {
+      skipWs();
+      Elems.push_back(parseValue(Depth + 1));
+      skipWs();
+      if (eat(','))
+        continue;
+      if (eat(']'))
+        break;
+      fail("expected ',' or ']' in array");
+    }
+    return Value::makeArray(std::move(Elems));
+  }
+
+  std::string parseString() {
+    ++Pos; // opening quote
+    std::string Out;
+    while (true) {
+      if (Pos >= Text.size()) {
+        fail("unterminated string");
+        return Out;
+      }
+      char C = Text[Pos++];
+      if (C == '"')
+        return Out;
+      if (C != '\\') {
+        Out.push_back(C);
+        continue;
+      }
+      if (Pos >= Text.size()) {
+        fail("unterminated escape");
+        return Out;
+      }
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out.push_back(E);
+        break;
+      case 'b':
+        Out.push_back('\b');
+        break;
+      case 'f':
+        Out.push_back('\f');
+        break;
+      case 'n':
+        Out.push_back('\n');
+        break;
+      case 'r':
+        Out.push_back('\r');
+        break;
+      case 't':
+        Out.push_back('\t');
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size()) {
+          fail("truncated \\u escape");
+          return Out;
+        }
+        unsigned Code = 0;
+        for (int I = 0; I != 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else {
+            fail("invalid \\u escape");
+            return Out;
+          }
+        }
+        // UTF-8 encode the BMP code point (surrogate pairs are passed
+        // through as two separate 3-byte sequences; report text is ASCII).
+        if (Code < 0x80) {
+          Out.push_back(static_cast<char>(Code));
+        } else if (Code < 0x800) {
+          Out.push_back(static_cast<char>(0xC0 | (Code >> 6)));
+          Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+        } else {
+          Out.push_back(static_cast<char>(0xE0 | (Code >> 12)));
+          Out.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
+          Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+        }
+        break;
+      }
+      default:
+        fail("invalid escape character");
+        return Out;
+      }
+    }
+  }
+
+  Value parseNumber() {
+    const char *Begin = Text.c_str() + Pos;
+    char *End = nullptr;
+    double V = std::strtod(Begin, &End);
+    if (End == Begin) {
+      fail("invalid value");
+      return Value();
+    }
+    Pos += static_cast<size_t>(End - Begin);
+    return Value::makeNumber(V);
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+  bool Failed = false;
+  std::string Error;
+};
+
+} // namespace
+
+ParseResult json::parse(const std::string &Text) { return Parser(Text).run(); }

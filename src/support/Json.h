@@ -1,0 +1,137 @@
+//===- Json.h - Minimal JSON document parser ---------------------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small recursive-descent JSON parser producing an immutable DOM. The
+/// writers in this codebase emit JSON by hand (obs/Metrics, diag/RunReport);
+/// this is the matching reader, used by `tdr explain` to load a structured
+/// run report back in. Object member order is preserved so explain output
+/// follows the report's own ordering.
+///
+/// Scope: strict JSON except that numbers are parsed with strtod (so any
+/// strtod-accepted spelling of a number passes). No streaming, no writer —
+/// report files are small.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_SUPPORT_JSON_H
+#define TDR_SUPPORT_JSON_H
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tdr {
+namespace json {
+
+/// One JSON value; a tagged union over the seven JSON kinds (objects keep
+/// their members as an ordered vector of key/value pairs).
+class Value {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Value() = default;
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return B; }
+  double asNumber() const { return Num; }
+  const std::string &asString() const { return Str; }
+  const std::vector<Value> &elements() const { return Elems; }
+  const std::vector<std::pair<std::string, Value>> &members() const {
+    return Members;
+  }
+
+  /// Object member lookup; null when absent or when this is not an object.
+  const Value *get(const std::string &Key) const {
+    if (K != Kind::Object)
+      return nullptr;
+    for (const auto &[Name, V] : Members)
+      if (Name == Key)
+        return &V;
+    return nullptr;
+  }
+
+  /// Convenience accessors that tolerate missing/mistyped members by
+  /// returning a caller-supplied default.
+  double getNumber(const std::string &Key, double Default = 0) const {
+    const Value *V = get(Key);
+    return V && V->isNumber() ? V->Num : Default;
+  }
+  std::string getString(const std::string &Key,
+                        const std::string &Default = "") const {
+    const Value *V = get(Key);
+    return V && V->isString() ? V->Str : Default;
+  }
+  bool getBool(const std::string &Key, bool Default = false) const {
+    const Value *V = get(Key);
+    return V && V->isBool() ? V->B : Default;
+  }
+
+  static Value makeNull() { return Value(); }
+  static Value makeBool(bool V) {
+    Value R;
+    R.K = Kind::Bool;
+    R.B = V;
+    return R;
+  }
+  static Value makeNumber(double V) {
+    Value R;
+    R.K = Kind::Number;
+    R.Num = V;
+    return R;
+  }
+  static Value makeString(std::string V) {
+    Value R;
+    R.K = Kind::String;
+    R.Str = std::move(V);
+    return R;
+  }
+  static Value makeArray(std::vector<Value> V) {
+    Value R;
+    R.K = Kind::Array;
+    R.Elems = std::move(V);
+    return R;
+  }
+  static Value makeObject(std::vector<std::pair<std::string, Value>> V) {
+    Value R;
+    R.K = Kind::Object;
+    R.Members = std::move(V);
+    return R;
+  }
+
+private:
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<Value> Elems;
+  std::vector<std::pair<std::string, Value>> Members;
+};
+
+/// Parse outcome: document plus error state. On failure Ok is false and
+/// Error holds a one-line message with a byte offset.
+struct ParseResult {
+  bool Ok = false;
+  Value Doc;
+  std::string Error;
+};
+
+/// Parses one JSON document from \p Text (trailing whitespace allowed,
+/// trailing garbage is an error). Nesting depth is capped at 128.
+ParseResult parse(const std::string &Text);
+
+} // namespace json
+} // namespace tdr
+
+#endif // TDR_SUPPORT_JSON_H

@@ -409,6 +409,64 @@ TEST(Metrics, HistogramMerge) {
   EXPECT_DOUBLE_EQ(Empty.snapshot().Max, 10.0);
 }
 
+TEST(Metrics, HistogramPercentilesAreNearestRank) {
+  obs::Histogram H;
+  for (int I = 1; I <= 100; ++I)
+    H.observe(static_cast<double>(I));
+  obs::Histogram::Snapshot S = H.snapshot();
+  ASSERT_EQ(S.Samples.size(), 100u);
+  // Nearest-rank: ceil(P/100 * N)-th smallest sample.
+  EXPECT_DOUBLE_EQ(S.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(S.percentile(95), 95.0);
+  EXPECT_DOUBLE_EQ(S.percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(S.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(S.percentile(100), 100.0);
+
+  // Insertion order does not matter: percentiles sort the reservoir.
+  obs::Histogram Rev;
+  for (int I = 100; I >= 1; --I)
+    Rev.observe(static_cast<double>(I));
+  EXPECT_DOUBLE_EQ(Rev.snapshot().percentile(95), 95.0);
+
+  // The percentile fields show up in the JSON dump.
+  obs::MetricsRegistry R;
+  R.histogram("lat").observe(7.0);
+  std::string Json = R.dumpJson();
+  EXPECT_NE(Json.find("\"p50\":"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"p99\":"), std::string::npos);
+
+  // An empty histogram degrades to 0 instead of reading off the end.
+  EXPECT_DOUBLE_EQ(obs::Histogram().snapshot().percentile(99), 0.0);
+}
+
+TEST(Metrics, MergeCarriesHistogramSamplesAcrossRegistries) {
+  // The batch pattern: each job observes latencies into its own
+  // (per-thread) registry; the parent merges in submission order and
+  // must end up with percentiles over the union of the samples.
+  obs::MetricsRegistry Parent;
+  obs::MetricsRegistry Jobs[2];
+  std::thread Workers[2];
+  for (int I = 0; I != 2; ++I)
+    Workers[I] = std::thread([&Jobs, I] {
+      obs::ScopedMetrics Scope(Jobs[I]);
+      for (int S = 0; S != 5; ++S)
+        obs::histogram("job_ms").observe(I * 10.0 + S);
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  for (obs::MetricsRegistry &J : Jobs)
+    Parent.mergeFrom(J);
+
+  obs::Histogram::Snapshot S = Parent.histogram("job_ms").snapshot();
+  EXPECT_EQ(S.Count, 10u);
+  ASSERT_EQ(S.Samples.size(), 10u);
+  // Samples 0..4 and 10..14: the median and tail straddle both jobs,
+  // and are deterministic for the submission-order merge.
+  EXPECT_DOUBLE_EQ(S.percentile(50), 4.0);
+  EXPECT_DOUBLE_EQ(S.percentile(99), 14.0);
+}
+
 TEST(Metrics, MergeFromFoldsCountersGaugesHistograms) {
   obs::MetricsRegistry Parent, Job1, Job2;
   Parent.counter("c").inc(5);

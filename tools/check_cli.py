@@ -133,6 +133,36 @@ def main():
                 run(races + ["--backend", backend], {"TDR_BACKEND": backend}),
             )
 
+        # The explain/--report surface follows the same conventions: bad
+        # invocations exit 2 with a usage line, a missing report file is a
+        # runtime error (exit 1), and --report actually writes the file.
+        expect_error(
+            "explain with no file",
+            run([tdr, "explain"]),
+            "usage: tdr",
+        )
+        expect_error(
+            "--report missing its value",
+            run([tdr, "races", prog, "--report"]),
+            "--report expects a value",
+        )
+        missing = run([tdr, "explain", os.path.join(tmp, "missing.json")])
+        check(
+            missing.returncode == 1,
+            f"explain missing.json: expected exit 1, got {missing.returncode}",
+        )
+        check(
+            "cannot open" in missing.stderr,
+            f"explain missing.json: stderr missing 'cannot open': "
+            f"{missing.stderr.strip()!r}",
+        )
+        report = os.path.join(tmp, "report.json")
+        expect_success(
+            "races --report",
+            run(races + ["--report", report]),
+        )
+        check(os.path.exists(report), "races --report: no report file")
+
         # End to end: repair under each backend produces the same repaired
         # program, and the repaired program is race free under the other.
         outs = {}

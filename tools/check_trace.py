@@ -4,8 +4,11 @@
 Runs `tdr races <racy program> --trace ... --metrics-json ...` and checks
 that the emitted trace is well-formed Chrome trace_event JSON (loadable in
 chrome://tracing / Perfetto) and that the metrics dump is a flat JSON
-object covering the pipeline. Invoked from CTest (see tools/CMakeLists.txt)
-but also usable standalone:
+object covering the pipeline. Also runs `tdr batch --jobs 2 --trace` and
+checks the async ('b'/'e') per-job lane events: every begin has a matching
+end with the same (name, cat, id), timestamps are ordered, and the merged
+metrics carry a batch.job_ms histogram with percentile fields. Invoked
+from CTest (see tools/CMakeLists.txt) but also usable standalone:
 
     python3 tools/check_trace.py build/tools/tdr
 """
@@ -35,6 +38,13 @@ func main() {
 # Phase spans the pipeline must emit for a detection run.
 REQUIRED_SPANS = {"parse", "sema", "detect"}
 
+# Every phase code the tracer is allowed to emit: complete spans,
+# instants, and async begin/end pairs. Anything else is a schema break.
+KNOWN_PHASES = {"X", "i", "b", "e"}
+
+# Histogram snapshots in metrics dumps carry these summary fields.
+HISTOGRAM_FIELDS = {"count", "sum", "min", "max", "mean", "p50", "p95", "p99"}
+
 MIN_METRICS = 8
 
 FAILURES = []
@@ -45,27 +55,53 @@ def check(cond, msg):
         FAILURES.append(msg)
 
 
-def validate_trace(path):
+def validate_trace(path, min_async_lanes=0):
+    """Returns the loaded trace events (or []) after schema checks."""
     with open(path) as f:
         doc = json.load(f)  # raises on malformed JSON -> test failure
     check(isinstance(doc, dict), "trace root must be a JSON object")
     events = doc.get("traceEvents")
     check(isinstance(events, list), "trace must have a traceEvents array")
     if not isinstance(events, list):
-        return
+        return []
     check(len(events) > 0, "traceEvents must not be empty")
     names = set()
+    open_async = {}  # (name, cat, id) -> begin ts
+    lane_ids = set()
     for i, ev in enumerate(events):
         for field in ("name", "ph", "ts", "pid", "tid"):
             check(field in ev, f"event {i} missing required field '{field}'")
-        if ev.get("ph") == "X":
+        ph = ev.get("ph")
+        check(ph in KNOWN_PHASES,
+              f"event {i} has unknown phase code {ph!r}")
+        if ph == "X":
             check("dur" in ev, f"complete event {i} missing 'dur'")
             check(ev.get("dur", -1) >= 0, f"event {i} has negative dur")
         check(ev.get("ts", -1) >= 0, f"event {i} has negative ts")
         check(isinstance(ev.get("cat", ""), str), f"event {i} cat not a string")
+        if ph in ("b", "e"):
+            check("id" in ev, f"async event {i} missing 'id'")
+            key = (ev.get("name"), ev.get("cat"), ev.get("id"))
+            if ph == "b":
+                check(key not in open_async,
+                      f"event {i}: async lane {key} begun twice")
+                open_async[key] = ev.get("ts", 0)
+                lane_ids.add(ev.get("id"))
+            else:
+                begin_ts = open_async.pop(key, None)
+                if check(begin_ts is not None,
+                         f"event {i}: async end {key} without begin"):
+                    check(ev.get("ts", -1) >= begin_ts,
+                          f"event {i}: async end before its begin")
         names.add(ev.get("name"))
+    check(not open_async,
+          f"async begins without ends: {sorted(open_async)}")
+    check(len(lane_ids) >= min_async_lanes,
+          f"expected >= {min_async_lanes} distinct async lanes, "
+          f"got {len(lane_ids)}")
     missing = REQUIRED_SPANS - names
     check(not missing, f"trace missing phase spans: {sorted(missing)}")
+    return events
 
 
 def validate_metrics(path):
@@ -81,8 +117,7 @@ def validate_metrics(path):
     for key, value in doc.items():
         check(isinstance(key, str) and key, "metric names must be strings")
         ok = isinstance(value, (int, float)) or (
-            isinstance(value, dict)
-            and {"count", "sum", "min", "max", "mean"} <= set(value)
+            isinstance(value, dict) and HISTOGRAM_FIELDS <= set(value)
         )
         check(ok, f"metric '{key}' is neither a number nor a histogram object")
     # The per-detector counter family follows the selected backend
@@ -123,6 +158,42 @@ def main():
             validate_trace(trace)
         if os.path.exists(metrics):
             validate_metrics(metrics)
+
+        # Batch run: the per-job async lanes ('b'/'e' keyed by job index)
+        # and the merged batch.job_ms latency histogram.
+        manifest = os.path.join(tmp, "manifest.txt")
+        with open(manifest, "w") as f:
+            f.write(f"{prog} 4\n{prog} 6\n")
+        btrace = os.path.join(tmp, "batch-trace.json")
+        bmetrics = os.path.join(tmp, "batch-metrics.json")
+        result = subprocess.run(
+            [tdr, "batch", manifest, "--jobs", "2",
+             "--trace", btrace, "--metrics-json", bmetrics, "-o", tmp],
+            capture_output=True, text=True)
+        check(
+            result.returncode == 0,
+            f"tdr batch exited {result.returncode}: {result.stderr.strip()}",
+        )
+        check(os.path.exists(btrace), "batch --trace produced no file")
+        check(os.path.exists(bmetrics), "batch --metrics-json produced no file")
+        if os.path.exists(btrace):
+            events = validate_trace(btrace, min_async_lanes=2)
+            job_lanes = [ev for ev in events
+                         if ev.get("ph") == "b" and ev.get("cat") == "batch"]
+            check(len(job_lanes) == 2,
+                  f"expected one 'b' lane per batch job, got {len(job_lanes)}")
+        if os.path.exists(bmetrics):
+            with open(bmetrics) as f:
+                bdoc = json.load(f)
+            hist = bdoc.get("batch.job_ms")
+            if check(isinstance(hist, dict),
+                     "batch metrics missing batch.job_ms histogram"):
+                missing = HISTOGRAM_FIELDS - set(hist)
+                check(not missing,
+                      f"batch.job_ms missing fields: {sorted(missing)}")
+                check(hist.get("count") == 2,
+                      f"batch.job_ms count: expected 2, got "
+                      f"{hist.get('count')}")
 
     if FAILURES:
         for msg in FAILURES:

@@ -12,12 +12,14 @@
 //   tdr stats   prog.hj [--arg N]... [--procs P]           T1/Tinf/TP
 //   tdr dot     prog.hj [--arg N]...                       S-DPST Graphviz
 //   tdr batch   manifest [--jobs N] [--srw] [-o outdir]    parallel repairs
+//   tdr explain report.json                                explain a report
 //   tdr dump    <benchmark-name>                           suite source
 //
 //===----------------------------------------------------------------------===//
 
 #include "ast/AstPrinter.h"
 #include "batch/BatchRepair.h"
+#include "diag/RunReport.h"
 #include "frontend/Parser.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
@@ -30,7 +32,9 @@
 #include "sema/Sema.h"
 #include "suite/Benchmarks.h"
 #include "support/Diagnostics.h"
+#include "support/Json.h"
 #include "support/SourceManager.h"
+#include "trace/EventLog.h"
 
 #include <cerrno>
 #include <cstdio>
@@ -38,6 +42,8 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+
+#include <unistd.h>
 
 using namespace tdr;
 
@@ -57,12 +63,17 @@ int usage() {
       "  tdr batch   manifest [--jobs N] [--srw] [--backend B] [--no-replay]"
       " [-o outdir]\n"
       "              manifest lines: <prog.hj> [int args...]\n"
+      "  tdr explain report.json   pretty-print a --report document\n"
       "  tdr dump    <benchmark>   (e.g. Mergesort; see bench_table1)\n"
       "observability (any command):\n"
       "  --trace FILE         phase spans as Chrome trace JSON (.jsonl for\n"
       "                       line-delimited events); TDR_TRACE=FILE works\n"
       "                       for any tdr binary\n"
       "  --metrics-json FILE  dump the metrics registry as one JSON object\n"
+      "  --report FILE        (races/repair/batch) structured run report:\n"
+      "                       race witnesses, finish provenance, stats as\n"
+      "                       schema-versioned JSON; read it back with\n"
+      "                       'tdr explain'\n"
       "detection options:\n"
       "  --backend B          race-detection backend: 'espbags' (default)\n"
       "                       or 'vc' (vector clocks); TDR_BACKEND in the\n"
@@ -93,6 +104,7 @@ struct Options {
   std::string OutFile;
   std::string TraceFile;
   std::string MetricsFile;
+  std::string ReportFile;
 };
 
 /// Parses a strictly positive integer flag value; diagnoses garbage,
@@ -170,6 +182,21 @@ bool parseOptions(int Argc, char **Argv, Options &O) {
       O.TraceFile = Argv[++I];
     } else if (!std::strcmp(Argv[I], "--metrics-json") && I + 1 != Argc) {
       O.MetricsFile = Argv[++I];
+    } else if (!std::strcmp(Argv[I], "--report") && I + 1 != Argc) {
+      O.ReportFile = Argv[++I];
+    } else if (!std::strcmp(Argv[I], "--arg") ||
+               !std::strcmp(Argv[I], "--backend") ||
+               !std::strcmp(Argv[I], "--workers") ||
+               !std::strcmp(Argv[I], "--jobs") ||
+               !std::strcmp(Argv[I], "--procs") ||
+               !std::strcmp(Argv[I], "-o") ||
+               !std::strcmp(Argv[I], "--trace") ||
+               !std::strcmp(Argv[I], "--metrics-json") ||
+               !std::strcmp(Argv[I], "--report")) {
+      // A known value flag fell through the matches above: its value is
+      // missing. Say so instead of "unknown option".
+      std::fprintf(stderr, "error: %s expects a value\n", Argv[I]);
+      return false;
     } else if (Argv[I][0] == '-') {
       std::fprintf(stderr, "unknown option '%s'\n", Argv[I]);
       return false;
@@ -219,6 +246,47 @@ ExecOptions execOptions(const Options &O) {
   return E;
 }
 
+/// Flattens a repair outcome into one report job entry.
+diag::JobReport jobReportFromRepair(std::string Name, std::vector<int64_t> Args,
+                                    const RepairResult &R) {
+  diag::JobReport J;
+  J.Name = std::move(Name);
+  J.Args = std::move(Args);
+  J.Success = R.Success;
+  J.Error = R.Error;
+  J.Stats.Iterations = R.Stats.Iterations;
+  J.Stats.FinishesInserted = R.Stats.FinishesInserted;
+  J.Stats.Interpretations = R.Stats.Interpretations;
+  J.Stats.Replays = R.Stats.Replays;
+  J.Stats.RawRaces = R.Stats.RawRaces;
+  J.Stats.RacePairs = R.Stats.RacePairs;
+  J.Stats.DpstNodes = R.Stats.DpstNodes;
+  J.Diag = R.Diag;
+  return J;
+}
+
+diag::RunReport makeRunReport(const char *Tool, const Options &O) {
+  diag::RunReport Rep;
+  Rep.Tool = Tool;
+  Rep.Backend = detectBackendName(O.Backend);
+  Rep.Mode = O.Srw ? "srw" : "mrw";
+  return Rep;
+}
+
+/// Writes \p Rep to O.ReportFile (no-op when --report was not given).
+/// Returns false on I/O failure.
+bool emitReport(const diag::RunReport &Rep, const Options &O) {
+  if (O.ReportFile.empty())
+    return true;
+  std::string Err;
+  if (!diag::writeRunReport(Rep, O.ReportFile, &Err)) {
+    std::fprintf(stderr, "tdr: %s\n", Err.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "tdr: wrote report to %s\n", O.ReportFile.c_str());
+  return true;
+}
+
 int cmdRepair(const Options &O) {
   Loaded L;
   if (!load(O.File, L))
@@ -229,11 +297,20 @@ int cmdRepair(const Options &O) {
   Opts.Backend = O.Backend;
   Opts.Exec = execOptions(O);
   Opts.UseReplay = !O.NoReplay;
+  Opts.CollectDiag = !O.ReportFile.empty();
+  Opts.SM = L.SM.get();
   RepairResult R = repairProgram(*L.Prog, *L.Ctx, Opts);
+  // The report is written success or fail — diagnostics matter most when
+  // the repair could not finish.
+  diag::RunReport Rep = makeRunReport("repair", O);
+  Rep.Jobs.push_back(jobReportFromRepair(O.File, O.Args, R));
+  bool ReportOk = emitReport(Rep, O);
   if (!R.Success) {
     std::fprintf(stderr, "repair failed: %s\n", R.Error.c_str());
     return 1;
   }
+  if (!ReportOk)
+    return 1;
   std::fprintf(stderr,
                "%s: %zu S-DPST nodes, %llu race reports (%zu pairs), "
                "%u finish(es) inserted, %u detection run(s) "
@@ -266,7 +343,18 @@ int cmdRaces(const Options &O) {
   DetectOptions Detect;
   Detect.Mode = O.Srw ? EspBagsDetector::Mode::SRW : EspBagsDetector::Mode::MRW;
   Detect.Backend = O.Backend;
-  Detection D = detectRaces(*L.Prog, Detect, execOptions(O));
+  ExecOptions Exec = execOptions(O);
+  // With --report, record the event stream alongside detection so witness
+  // access sites can be refined to the exact statement (not just the step).
+  trace::EventLog Log;
+  std::unique_ptr<trace::RecorderMonitor> Recorder;
+  if (!O.ReportFile.empty()) {
+    Recorder = std::make_unique<trace::RecorderMonitor>(Log);
+    Exec.Monitor = Recorder.get();
+  }
+  Detection D = detectRaces(*L.Prog, Detect, std::move(Exec));
+  if (Recorder)
+    Recorder->flush();
   if (!D.ok()) {
     std::fprintf(stderr, "execution failed: %s\n", D.Exec.Error.c_str());
     return 1;
@@ -289,7 +377,49 @@ int cmdRaces(const Options &O) {
                     : "read-write",
                 R.Loc.str().c_str(), SrcLC.Line, SnkLC.Line);
   }
+  if (!O.ReportFile.empty()) {
+    diag::RunReport Rep = makeRunReport("races", O);
+    diag::JobReport J;
+    J.Name = O.File;
+    J.Args = O.Args;
+    J.Success = D.Report.Pairs.empty();
+    J.Stats.Iterations = 1;
+    J.Stats.Interpretations = 1;
+    J.Stats.RawRaces = D.Report.RawCount;
+    J.Stats.RacePairs = D.Report.Pairs.size();
+    J.Stats.DpstNodes = D.Tree->numNodes();
+    diag::IterationDiag ID;
+    ID.Witnesses =
+        diag::buildWitnesses(*D.Tree, D.Report, L.SM.get(), &Log);
+    J.Diag.Iterations.push_back(std::move(ID));
+    Rep.Jobs.push_back(std::move(J));
+    if (!emitReport(Rep, O))
+      return 1;
+  }
   return D.Report.Pairs.empty() ? 0 : 1;
+}
+
+int cmdExplain(const Options &O) {
+  std::ifstream In(O.File);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", O.File.c_str());
+    return 1;
+  }
+  std::stringstream SS;
+  SS << In.rdbuf();
+  json::ParseResult P = json::parse(SS.str());
+  if (!P.Ok) {
+    std::fprintf(stderr, "error: %s: %s\n", O.File.c_str(), P.Error.c_str());
+    return 1;
+  }
+  std::string Out, Err;
+  bool Color = isatty(fileno(stdout)) != 0;
+  if (!diag::renderExplainText(P.Doc, Color, Out, Err)) {
+    std::fprintf(stderr, "error: %s: %s\n", O.File.c_str(), Err.c_str());
+    return 1;
+  }
+  std::fputs(Out.c_str(), stdout);
+  return 0;
 }
 
 int cmdRun(const Options &O) {
@@ -418,6 +548,7 @@ bool loadManifest(const Options &O, std::vector<RepairJob> &Jobs) {
         O.Srw ? EspBagsDetector::Mode::SRW : EspBagsDetector::Mode::MRW;
     J.Opts.Backend = O.Backend;
     J.Opts.UseReplay = !O.NoReplay;
+    J.Opts.CollectDiag = !O.ReportFile.empty();
     int64_t A;
     while (LS >> A)
       J.Opts.Exec.Args.push_back(A);
@@ -468,6 +599,15 @@ int cmdBatch(const Options &O) {
   std::fprintf(stderr, "batch: %zu job(s), %u worker(s): %zu ok, %zu failed\n",
                Summary.Results.size(), Runner.numWorkers(),
                Summary.NumSucceeded, Summary.NumFailed);
+  if (!O.ReportFile.empty()) {
+    diag::RunReport Rep = makeRunReport("batch", O);
+    for (size_t I = 0; I != Summary.Results.size(); ++I)
+      Rep.Jobs.push_back(jobReportFromRepair(Summary.Results[I].Name,
+                                             Jobs[I].Opts.Exec.Args,
+                                             Summary.Results[I].Repair));
+    if (!emitReport(Rep, O))
+      WriteFailed = true;
+  }
   return Summary.NumFailed == 0 && !WriteFailed ? 0 : 1;
 }
 
@@ -499,6 +639,8 @@ int dispatch(const std::string &Cmd, const Options &O) {
     return cmdCoverage(O);
   if (Cmd == "batch")
     return cmdBatch(O);
+  if (Cmd == "explain")
+    return cmdExplain(O);
   return usage();
 }
 
