@@ -1,0 +1,305 @@
+//===- bench_pdetect.cpp - Partitioned detection scaling harness ----------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+// Scaling curve of the partitioned detection backend (race/ParDetect):
+// each workload is recorded ONCE into an EventLog, then parDetectReplay
+// re-detects over the identical log at 1/2/4/8 workers, so the numbers
+// isolate the partition/scan/merge pipeline (sequential label pre-pass +
+// parallel per-chunk scan + parallel per-location merge) from the
+// interpreter. An ESP-bags replay over the same log anchors the absolute
+// cost of the sequential reference.
+//
+// Two workload families:
+//
+//   large  many locations, each touched by one step per sequential round
+//          — per location the merge phase folds R summaries (O(R^2) pair
+//          checks under MRW), so the parallel phases dominate the
+//          sequential pre-pass. This is the family the CI gate holds to
+//          >= 2.0x at 4 workers (tools/check_bench.py
+//          --min-speedup large/MRW/w4:2.0 — applied on hosts with >= 4
+//          cores; a 1-core host cannot exhibit parallel speedup).
+//   suite  the shape of the test-suite programs: one finish of tasks
+//          hammering a shared counter plus private ranges, then a serial
+//          verification scan. Small and racy, so it exercises the
+//          cross-chunk witness fold; reported for trajectory, not gated.
+//
+// Every configuration also cross-checks renderRaceReportKey against the
+// ESP-bags replay before timing — a scaling number for a wrong report
+// would be meaningless.
+//
+// Emits BENCH_pdetect.json (see --out) in the shared schema validated by
+// tools/check_bench.py.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "race/Detect.h"
+#include "race/ParDetect.h"
+#include "support/StringUtils.h"
+#include "support/Timer.h"
+#include "trace/EventLog.h"
+#include "trace/Replay.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace tdr;
+
+namespace {
+
+struct Config {
+  uint32_t Tasks;  ///< asyncs per round (large) / per finish (suite)
+  uint32_t Locs;   ///< locations per async
+  uint32_t Rounds; ///< sequential rounds (large) / serial scans (suite)
+};
+
+/// Large family: Rounds sequential finishes, each spawning Tasks asyncs
+/// that write the SAME Tasks*Locs locations every round. Rounds are
+/// joined, so the log is race-free, but every location accumulates one
+/// access summary per round — the merge phase pays O(Rounds^2) ordered()
+/// checks per location under MRW while the pre-pass pays O(Rounds).
+uint64_t emitLarge(ExecMonitor &Mon, const Config &C) {
+  for (uint32_t R = 0; R != C.Rounds; ++R) {
+    Mon.onFinishEnter(nullptr, nullptr);
+    for (uint32_t T = 0; T != C.Tasks; ++T) {
+      Mon.onAsyncEnter(nullptr, nullptr);
+      Mon.onStepPoint(nullptr);
+      for (uint32_t L = 0; L != C.Locs; ++L)
+        Mon.onWrite(MemLoc::elem(1, static_cast<uint64_t>(T) * C.Locs + L));
+      Mon.onAsyncExit(nullptr);
+    }
+    Mon.onFinishExit(nullptr);
+  }
+  return static_cast<uint64_t>(C.Rounds) * C.Tasks * C.Locs;
+}
+
+/// Suite family: one unjoined-counter shape per round — Tasks asyncs each
+/// read-modify-write a shared counter and write a private range, then a
+/// serial step scans everything back. The counter accesses race pairwise
+/// across all Tasks asyncs, so the merge phase folds real witness
+/// candidates across chunks.
+uint64_t emitSuite(ExecMonitor &Mon, const Config &C) {
+  uint64_t Accesses = 0;
+  for (uint32_t R = 0; R != C.Rounds; ++R) {
+    Mon.onFinishEnter(nullptr, nullptr);
+    for (uint32_t T = 0; T != C.Tasks; ++T) {
+      Mon.onAsyncEnter(nullptr, nullptr);
+      Mon.onStepPoint(nullptr);
+      Mon.onRead(MemLoc::elem(1, 0));
+      Mon.onWrite(MemLoc::elem(1, 0));
+      for (uint32_t L = 0; L != C.Locs; ++L)
+        Mon.onWrite(MemLoc::elem(2, static_cast<uint64_t>(T) * C.Locs + L));
+      Mon.onAsyncExit(nullptr);
+    }
+    Mon.onFinishExit(nullptr);
+    Mon.onScopeEnter(ScopeKind::Block, nullptr, nullptr, nullptr);
+    Mon.onStepPoint(nullptr);
+    for (uint64_t L = 0; L != static_cast<uint64_t>(C.Tasks) * C.Locs; ++L)
+      Mon.onRead(MemLoc::elem(2, L));
+    Mon.onScopeExit();
+    Accesses += static_cast<uint64_t>(C.Tasks) * (C.Locs + 2) +
+                static_cast<uint64_t>(C.Tasks) * C.Locs;
+  }
+  return Accesses;
+}
+
+struct Measure {
+  double Sec = 0;
+  uint64_t Accesses = 0;
+
+  double accessesPerSec() const { return Accesses / (Sec > 0 ? Sec : 1e-9); }
+};
+
+/// Best-window protocol shared with the other bench harnesses: repeat
+/// (fresh detector state per call) until MinSec accumulates, doubling the
+/// batch, keep the fastest window; one untimed warmup rep first.
+template <typename Fn> Measure measure(Fn OneRep, double MinSec) {
+  OneRep();
+  Measure Best;
+  uint64_t Batch = 1;
+  double Spent = 0;
+  while (Spent < MinSec) {
+    Timer T;
+    uint64_t Acc = 0;
+    for (uint64_t I = 0; I != Batch; ++I)
+      Acc += OneRep();
+    double Sec = T.elapsedSec();
+    Spent += Sec;
+    if (Best.Sec == 0 || Acc / Sec > Best.accessesPerSec()) {
+      Best.Sec = Sec;
+      Best.Accesses = Acc;
+    }
+    Batch *= 2;
+  }
+  return Best;
+}
+
+/// Records one emission of \p Emit into a replayable trace.
+template <typename EmitFn>
+uint64_t record(trace::InputTrace &T, const Config &C, EmitFn Emit) {
+  trace::RecorderMonitor Recorder(T.Log);
+  uint64_t Accesses = Emit(Recorder, C);
+  Recorder.flush();
+  return Accesses;
+}
+
+/// One ESP-bags replay over the recorded log (the sequential reference).
+Detection espReplay(EspBagsDetector::Mode Mode, const trace::InputTrace &T) {
+  Detection D;
+  D.Tree = std::make_unique<Dpst>();
+  DpstBuilder Builder(*D.Tree);
+  EspBagsDetector Det(Mode, Builder);
+  FusedDetectMonitor<EspBagsDetector> Fused(Builder, Det);
+  trace::replayEvents(T.Log, trace::ReplayPlan(), Fused);
+  D.Report = Det.takeReport();
+  return D;
+}
+
+/// One partitioned replay over the recorded log at \p Workers workers.
+Detection parReplay(EspBagsDetector::Mode Mode, const trace::InputTrace &T,
+                    unsigned Workers) {
+  DetectOptions O;
+  O.Mode = Mode;
+  O.Backend = DetectBackend::Par;
+  O.ParWorkers = Workers;
+  return parDetectReplay(O, T, trace::ReplayPlan());
+}
+
+const char *modeName(EspBagsDetector::Mode M) {
+  return M == EspBagsDetector::Mode::SRW ? "SRW" : "MRW";
+}
+
+void report(bench::JsonReport &Report, const char *Family,
+            EspBagsDetector::Mode Mode, const Config &C, const char *Impl,
+            unsigned Workers, uint64_t Events, const Measure &M,
+            double SpeedupVs1, double SpeedupVsEsp) {
+  std::string Name =
+      strFormat("%s/%s/w%u/t%u/l%u/r%u/%s", Family, modeName(Mode), Workers,
+                C.Tasks, C.Locs, C.Rounds, Impl);
+  bench::JsonRecord &Rec = Report.add();
+  Rec.str("name", Name)
+      .str("family", Family)
+      .str("mode", modeName(Mode))
+      .str("impl", Impl)
+      .num("workers", static_cast<uint64_t>(Workers))
+      .num("events", Events)
+      .num("total_accesses", M.Accesses)
+      .num("seconds", M.Sec)
+      .num("accesses_per_sec", M.accessesPerSec());
+  if (SpeedupVs1 > 0)
+    Rec.num("speedup_vs_1worker", SpeedupVs1);
+  if (SpeedupVsEsp > 0)
+    Rec.num("speedup_vs_espbags", SpeedupVsEsp);
+  std::printf("%-36s %12.0f acc/s%s\n", Name.c_str(), M.accessesPerSec(),
+              SpeedupVs1 > 0
+                  ? strFormat("  (%.2fx vs 1 worker)", SpeedupVs1).c_str()
+                  : "");
+}
+
+/// Times the full worker sweep for one recorded workload, after checking
+/// all worker counts produce the ESP-bags report byte for byte.
+template <typename EmitFn>
+bool sweep(bench::JsonReport &Report, const char *Family,
+           EspBagsDetector::Mode Mode, const Config &C, EmitFn Emit,
+           double MinSec) {
+  trace::InputTrace T;
+  uint64_t Accesses = record(T, C, Emit);
+  uint64_t Events = T.Log.size();
+
+  std::string RefKey = renderRaceReportKey(espReplay(Mode, T).Report);
+  for (unsigned W : {1u, 2u, 4u, 8u}) {
+    std::string Key = renderRaceReportKey(parReplay(Mode, T, W).Report);
+    if (Key != RefKey) {
+      std::fprintf(stderr,
+                   "bench_pdetect: %s/%s report differs from espbags at "
+                   "%u workers\n",
+                   Family, modeName(Mode), W);
+      return false;
+    }
+  }
+
+  Measure Esp = measure(
+      [&] {
+        espReplay(Mode, T);
+        return Accesses;
+      },
+      MinSec);
+  report(Report, Family, Mode, C, "espbags", 1, Events, Esp, 0, 0);
+
+  double Rate1 = 0;
+  for (unsigned W : {1u, 2u, 4u, 8u}) {
+    Measure M = measure(
+        [&] {
+          parReplay(Mode, T, W);
+          return Accesses;
+        },
+        MinSec);
+    if (W == 1)
+      Rate1 = M.accessesPerSec();
+    report(Report, Family, Mode, C, "par", W, Events, M,
+           Rate1 > 0 ? M.accessesPerSec() / Rate1 : 0,
+           M.accessesPerSec() / Esp.accessesPerSec());
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bench::ObsSession Obs(Argc, Argv);
+  bool Quick = false;
+  std::string OutPath = "BENCH_pdetect.json";
+  for (int I = 1; I != Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--quick"))
+      Quick = true;
+    else if (!std::strcmp(Argv[I], "--out") && I + 1 != Argc)
+      OutPath = Argv[++I];
+  }
+
+  const double MinSec = Quick ? 0.002 : 0.08;
+  bench::JsonReport Report("pdetect");
+  bool Ok = true;
+
+  std::vector<Config> LargeSweep =
+      Quick ? std::vector<Config>{{4, 1024, 24}}
+            : std::vector<Config>{{4, 4096, 24}, {16, 1024, 32}};
+  for (EspBagsDetector::Mode Mode :
+       {EspBagsDetector::Mode::SRW, EspBagsDetector::Mode::MRW}) {
+    bench::banner(strFormat("%s large logs (accesses/sec)", modeName(Mode)));
+    for (const Config &C : LargeSweep)
+      Ok = sweep(Report, "large", Mode, C,
+                 [](ExecMonitor &Mon, const Config &Cfg) {
+                   return emitLarge(Mon, Cfg);
+                 },
+                 MinSec) &&
+           Ok;
+  }
+
+  std::vector<Config> SuiteSweep =
+      Quick ? std::vector<Config>{{16, 32, 4}}
+            : std::vector<Config>{{16, 32, 8}, {64, 16, 8}};
+  for (EspBagsDetector::Mode Mode :
+       {EspBagsDetector::Mode::SRW, EspBagsDetector::Mode::MRW}) {
+    bench::banner(
+        strFormat("%s suite-shaped logs (accesses/sec)", modeName(Mode)));
+    for (const Config &C : SuiteSweep)
+      Ok = sweep(Report, "suite", Mode, C,
+                 [](ExecMonitor &Mon, const Config &Cfg) {
+                   return emitSuite(Mon, Cfg);
+                 },
+                 MinSec) &&
+           Ok;
+  }
+
+  if (!Report.writeTo(OutPath)) {
+    std::fprintf(stderr, "bench_pdetect: failed to write %s\n",
+                 OutPath.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu records)\n", OutPath.c_str(),
+              Report.numRecords());
+  return Ok ? 0 : 1;
+}

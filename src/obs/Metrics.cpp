@@ -30,6 +30,28 @@ double Histogram::Snapshot::percentile(double P) const {
   return Sorted[Rank - 1];
 }
 
+namespace {
+
+/// Knuth's MMIX LCG; the high bits are the usable ones.
+uint64_t lcgNext(uint64_t &State) {
+  State = State * 6364136223846793005ull + 1442695040888963407ull;
+  return State >> 33;
+}
+
+/// Keeps \p Keep evenly-spaced elements of \p In (deterministic thinning
+/// for count-proportional merges).
+void appendSpaced(std::vector<double> &Out, const std::vector<double> &In,
+                  size_t Keep) {
+  if (Keep >= In.size()) {
+    Out.insert(Out.end(), In.begin(), In.end());
+    return;
+  }
+  for (size_t I = 0; I != Keep; ++I)
+    Out.push_back(In[I * In.size() / Keep]);
+}
+
+} // namespace
+
 void Histogram::observe(double X) {
   std::lock_guard<std::mutex> Lock(M);
   if (S.Count == 0) {
@@ -40,8 +62,17 @@ void Histogram::observe(double X) {
   }
   ++S.Count;
   S.Sum += X;
-  if (S.Samples.size() < MaxSamples)
+  // Algorithm R: the i-th observation replaces a random reservoir slot
+  // with probability MaxSamples/i, so every observation so far is equally
+  // likely to be retained. The LCG advances once per overflowing
+  // observation, making the kept set a pure function of the sequence.
+  if (S.Samples.size() < MaxSamples) {
     S.Samples.push_back(X);
+  } else {
+    uint64_t J = lcgNext(Rng) % S.Count;
+    if (J < MaxSamples)
+      S.Samples[J] = X;
+  }
 }
 
 void Histogram::merge(const Snapshot &Other) {
@@ -56,13 +87,33 @@ void Histogram::merge(const Snapshot &Other) {
   }
   S.Min = std::min(S.Min, Other.Min);
   S.Max = std::max(S.Max, Other.Max);
+  uint64_t SelfCount = S.Count;
   S.Count += Other.Count;
   S.Sum += Other.Sum;
-  for (double X : Other.Samples) {
-    if (S.Samples.size() >= MaxSamples)
-      break;
-    S.Samples.push_back(X);
+  if (S.Samples.size() + Other.Samples.size() <= MaxSamples) {
+    // Everything fits: keep plain append-in-call-order determinism.
+    S.Samples.insert(S.Samples.end(), Other.Samples.begin(),
+                     Other.Samples.end());
+    return;
   }
+  // Over the cap: each side contributes samples proportionally to its
+  // observation count (not its sample count), so a long-running job is
+  // not drowned out by whichever snapshot merged first.
+  size_t KeepSelf = static_cast<size_t>(
+      static_cast<double>(MaxSamples) * static_cast<double>(SelfCount) /
+      static_cast<double>(S.Count));
+  if (KeepSelf > S.Samples.size())
+    KeepSelf = S.Samples.size();
+  size_t KeepOther = MaxSamples - KeepSelf;
+  if (KeepOther > Other.Samples.size()) {
+    KeepOther = Other.Samples.size();
+    KeepSelf = std::min(S.Samples.size(), MaxSamples - KeepOther);
+  }
+  std::vector<double> Merged;
+  Merged.reserve(KeepSelf + KeepOther);
+  appendSpaced(Merged, S.Samples, KeepSelf);
+  appendSpaced(Merged, Other.Samples, KeepOther);
+  S.Samples = std::move(Merged);
 }
 
 Histogram::Snapshot Histogram::snapshot() const {
@@ -73,6 +124,7 @@ Histogram::Snapshot Histogram::snapshot() const {
 void Histogram::reset() {
   std::lock_guard<std::mutex> Lock(M);
   S = Snapshot();
+  Rng = 0x9e3779b97f4a7c15ull;
 }
 
 MetricsRegistry &MetricsRegistry::global() {

@@ -84,8 +84,11 @@ private:
 /// times and the like), plus a bounded sample reservoir for percentiles.
 class Histogram {
 public:
-  /// Samples kept per histogram for percentile estimation. Observations
-  /// past the cap still update count/sum/min/max but are not sampled.
+  /// Samples kept per histogram for percentile estimation. Past the cap,
+  /// reservoir sampling (Vitter's Algorithm R) keeps every observation
+  /// equally likely to be retained, driven by a deterministic LCG seeded
+  /// from a fixed constant — no rand()/time seeding — so a given
+  /// observation sequence always yields the same percentiles.
   static constexpr size_t MaxSamples = 1024;
 
   struct Snapshot {
@@ -101,9 +104,11 @@ public:
   };
 
   void observe(double X);
-  /// Folds another histogram's summary into this one. Samples append in
-  /// call order (up to MaxSamples), so merging job registries in
-  /// submission order keeps percentiles deterministic.
+  /// Folds another histogram's summary into this one. While the combined
+  /// sample sets fit the cap they append in call order; past the cap each
+  /// side keeps an evenly-spaced subset sized proportionally to its
+  /// observation count, so merging job registries in submission order
+  /// keeps percentiles deterministic and representative of both sides.
   void merge(const Snapshot &Other);
   Snapshot snapshot() const;
   void reset();
@@ -111,6 +116,7 @@ public:
 private:
   mutable std::mutex M;
   Snapshot S;
+  uint64_t Rng = 0x9e3779b97f4a7c15ull; ///< reservoir LCG state
 };
 
 /// Owns a set of named instruments. The process-wide global() instance is

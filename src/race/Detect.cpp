@@ -9,6 +9,7 @@
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "race/OracleDetector.h"
+#include "race/ParDetect.h"
 #include "support/StringUtils.h"
 #include "support/Timer.h"
 
@@ -25,11 +26,23 @@ bool tdr::parseDetectBackend(std::string_view Name, DetectBackend &Out) {
     Out = DetectBackend::VectorClock;
     return true;
   }
+  if (Name == "par") {
+    Out = DetectBackend::Par;
+    return true;
+  }
   return false;
 }
 
 const char *tdr::detectBackendName(DetectBackend B) {
-  return B == DetectBackend::EspBags ? "espbags" : "vc";
+  switch (B) {
+  case DetectBackend::VectorClock:
+    return "vc";
+  case DetectBackend::Par:
+    return "par";
+  case DetectBackend::EspBags:
+    break;
+  }
+  return "espbags";
 }
 
 DetectBackend tdr::defaultDetectBackend() {
@@ -103,17 +116,29 @@ Detection replayDetect(EspBagsDetector::Mode Mode, const trace::InputTrace &T,
 
 Detection liveDetectBackend(const Program &P, const DetectOptions &Opts,
                             ExecOptions Exec) {
-  return Opts.Backend == DetectBackend::VectorClock
-             ? liveDetect<VectorClockDetector>(P, Opts.Mode, std::move(Exec))
-             : liveDetect<EspBagsDetector>(P, Opts.Mode, std::move(Exec));
+  switch (Opts.Backend) {
+  case DetectBackend::VectorClock:
+    return liveDetect<VectorClockDetector>(P, Opts.Mode, std::move(Exec));
+  case DetectBackend::Par:
+    return parDetectLive(P, Opts, std::move(Exec));
+  case DetectBackend::EspBags:
+    break;
+  }
+  return liveDetect<EspBagsDetector>(P, Opts.Mode, std::move(Exec));
 }
 
 Detection replayDetectBackend(const DetectOptions &Opts,
                               const trace::InputTrace &T,
                               const trace::ReplayPlan &Plan) {
-  return Opts.Backend == DetectBackend::VectorClock
-             ? replayDetect<VectorClockDetector>(Opts.Mode, T, Plan)
-             : replayDetect<EspBagsDetector>(Opts.Mode, T, Plan);
+  switch (Opts.Backend) {
+  case DetectBackend::VectorClock:
+    return replayDetect<VectorClockDetector>(Opts.Mode, T, Plan);
+  case DetectBackend::Par:
+    return parDetectReplay(Opts, T, Plan);
+  case DetectBackend::EspBags:
+    break;
+  }
+  return replayDetect<EspBagsDetector>(Opts.Mode, T, Plan);
 }
 
 /// The TDR_BACKEND_CHECK differential: replays the primary run's event
@@ -129,9 +154,11 @@ void crossCheckBackends(Detection &D, const DetectOptions &Opts,
   obs::ScopedSpan Span("detect.backend_check", "race");
   obs::counter("detect.backend_checks").inc();
   DetectOptions Other = Opts;
-  Other.Backend = Opts.Backend == DetectBackend::VectorClock
-                      ? DetectBackend::EspBags
-                      : DetectBackend::VectorClock;
+  // Cross-check against ESP-bags (the reference algorithm) unless it is
+  // the primary, in which case vector clocks take the secondary seat.
+  Other.Backend = Opts.Backend == DetectBackend::EspBags
+                      ? DetectBackend::VectorClock
+                      : DetectBackend::EspBags;
   std::string OtherKey;
   {
     obs::MetricsRegistry Scratch;

@@ -9,20 +9,22 @@
 /// detector into the single "instrument and execute" stage of the tool
 /// (paper Figure 6, first box).
 ///
-/// Two production detection backends answer the happens-before query:
-/// ESP-bags (the paper's algorithm; see EspBags.h) and the vector-clock
-/// detector (see VectorClockDetector.h). Both run behind the same fused
-/// builder+detector monitor and produce identical race reports for
+/// Three production detection backends answer the happens-before query:
+/// ESP-bags (the paper's algorithm; see EspBags.h), the vector-clock
+/// detector (see VectorClockDetector.h), and the partitioned parallel
+/// detector (see ParDetect.h), which chunks a recorded event log across
+/// the work-stealing Runtime pool. All produce identical race reports for
 /// identical event streams, so the backend is a pure performance choice —
 /// selected per call through DetectOptions::Backend, or process-wide
-/// through the TDR_BACKEND environment variable ("espbags" | "vc"), which
-/// the Mode-only convenience overloads consult.
+/// through the TDR_BACKEND environment variable ("espbags" | "vc" |
+/// "par"), which the Mode-only convenience overloads consult.
 ///
 /// TDR_BACKEND_CHECK=1 in the environment turns every detection into a
-/// differential: the primary run's event stream is replayed through the
-/// *other* backend (off the metrics books, so counter-exact tests are
-/// unaffected) and the two reports must render byte-identically, mirroring
-/// the TDR_REPLAY_CHECK mechanism for replayed-vs-fresh runs.
+/// differential: the primary run's event stream is replayed through a
+/// *different* backend (ESP-bags unless it is the primary, then vector
+/// clocks; off the metrics books, so counter-exact tests are unaffected)
+/// and the two reports must render byte-identically, mirroring the
+/// TDR_REPLAY_CHECK mechanism for replayed-vs-fresh runs.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -98,10 +100,11 @@ private:
 enum class DetectBackend : uint8_t {
   EspBags,     ///< union-find S/P bags (EspBagsDetector)
   VectorClock, ///< COW bitset clocks (VectorClockDetector)
+  Par,         ///< partitioned parallel log detection (ParDetect.h)
 };
 
-/// Parses a backend name ("espbags" | "vc"). Returns false on anything
-/// else, leaving \p Out untouched.
+/// Parses a backend name ("espbags" | "vc" | "par"). Returns false on
+/// anything else, leaving \p Out untouched.
 bool parseDetectBackend(std::string_view Name, DetectBackend &Out);
 
 /// The canonical spelling parseDetectBackend accepts.
@@ -122,6 +125,10 @@ bool backendCheckEnv();
 struct DetectOptions {
   EspBagsDetector::Mode Mode = EspBagsDetector::Mode::MRW;
   DetectBackend Backend = DetectBackend::EspBags;
+  /// Worker count for the par backend (0 = TDR_PAR_WORKERS, else a
+  /// hardware-based default). Ignored by the sequential backends; the
+  /// report is worker-count-independent by construction.
+  unsigned ParWorkers = 0;
 };
 
 /// Everything one detection run produces.

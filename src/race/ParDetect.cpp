@@ -1,0 +1,588 @@
+//===- ParDetect.cpp ------------------------------------------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "race/ParDetect.h"
+
+#include "obs/Metrics.h"
+#include "race/ShadowMemory.h"
+#include "runtime/Runtime.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <deque>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+using namespace tdr;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Dag-path task labels
+//===----------------------------------------------------------------------===//
+
+/// Immutable-after-pre-pass label of one dynamic task: the task's position
+/// in the ESP-bags merge history, expressed as ticks on the global event
+/// clock. The S-bag of a task joins the innermost finish's P-bag when the
+/// task exits (AsyncExit), and that P-bag folds into the owning task's
+/// S-bag when the finish exits (JoinExit, Next = owning task). A task is
+/// therefore P-classified at tick T iff the walk from its label reaches a
+/// link whose task had exited but was not yet joined at T.
+struct TaskLab {
+  uint64_t AsyncExit = 0; ///< tick of this task's AsyncExit (0: never exits)
+  uint64_t JoinExit = 0;  ///< tick of the joining FinishExit (0: never joins)
+  TaskLab *Next = nullptr; ///< task whose S-bag absorbed the join
+};
+
+/// True iff an access by task \p U happens-before (is serialized with) an
+/// access at tick \p T — the label-walk equivalent of !BagSet::isP at the
+/// moment the sequential scan would evaluate it. O(depth of the merge
+/// chain), touching only immutable pre-pass state, so any worker may ask.
+bool orderedAt(const TaskLab *U, uint64_t T) {
+  for (;;) {
+    if (!U->AsyncExit || T < U->AsyncExit)
+      return true; // still in its own (or an absorbed) S-bag
+    if (!U->JoinExit || T < U->JoinExit)
+      return false; // sitting in a pending finish's P-bag
+    U = U->Next;    // joined: classified like the absorbing task
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Sequential pre-pass
+//===----------------------------------------------------------------------===//
+
+/// One memory access of the flattened log.
+struct AccessRec {
+  MemLoc L;
+  DpstNode *Step = nullptr;
+  TaskLab *Task = nullptr;
+  uint64_t Tick = 0;
+  bool IsWrite = false;
+};
+
+/// Replay monitor of the pre-pass: feeds the S-DPST builder, stamps every
+/// event with a global tick, maintains the task-label chains, and flattens
+/// accesses into one array. Step resolution mirrors EspBagsDetector's
+/// caching exactly (invalidated at async/finish/scope boundaries only), so
+/// accesses land in the same step nodes the sequential backends use.
+class PrepassMonitor final : public ExecMonitor {
+public:
+  explicit PrepassMonitor(DpstBuilder &B) : B(B) {
+    Labels.emplace_back(); // root task: never exits, always S-classified
+    TaskStack.push_back(&Labels.back());
+    FinishPending.emplace_back(); // implicit root finish: never joins
+  }
+
+  void onAsyncEnter(const AsyncStmt *S, const Stmt *Owner) override {
+    ++Tick;
+    CachedStep = nullptr;
+    B.DpstBuilder::onAsyncEnter(S, Owner);
+    Labels.emplace_back();
+    TaskStack.push_back(&Labels.back());
+  }
+  void onAsyncExit(const AsyncStmt *S) override {
+    uint64_t T = ++Tick;
+    CachedStep = nullptr;
+    B.DpstBuilder::onAsyncExit(S);
+    TaskLab *U = TaskStack.back();
+    TaskStack.pop_back();
+    U->AsyncExit = T;
+    FinishPending.back().push_back(U);
+  }
+  void onFinishEnter(const FinishStmt *S, const Stmt *Owner) override {
+    ++Tick;
+    CachedStep = nullptr;
+    B.DpstBuilder::onFinishEnter(S, Owner);
+    FinishPending.emplace_back();
+  }
+  void onFinishExit(const FinishStmt *S) override {
+    uint64_t T = ++Tick;
+    CachedStep = nullptr;
+    B.DpstBuilder::onFinishExit(S);
+    std::vector<TaskLab *> Joined = std::move(FinishPending.back());
+    FinishPending.pop_back();
+    for (TaskLab *U : Joined) {
+      U->JoinExit = T;
+      U->Next = TaskStack.back();
+    }
+  }
+  void onScopeEnter(ScopeKind K, const Stmt *Owner, const BlockStmt *Body,
+                    const FuncDecl *Callee) override {
+    ++Tick;
+    CachedStep = nullptr;
+    B.DpstBuilder::onScopeEnter(K, Owner, Body, Callee);
+  }
+  void onScopeExit() override {
+    ++Tick;
+    CachedStep = nullptr;
+    B.DpstBuilder::onScopeExit();
+  }
+  void onStepPoint(const Stmt *Owner) override {
+    ++Tick;
+    B.DpstBuilder::onStepPoint(Owner);
+  }
+  void onWork(uint64_t Units) override {
+    ++Tick;
+    B.DpstBuilder::onWork(Units);
+  }
+  void onRead(MemLoc L) override { recordAccess(L, /*IsWrite=*/false); }
+  void onWrite(MemLoc L) override { recordAccess(L, /*IsWrite=*/true); }
+
+  std::vector<AccessRec> takeAccesses() { return std::move(Accesses); }
+
+private:
+  void recordAccess(MemLoc L, bool IsWrite) {
+    uint64_t T = ++Tick;
+    DpstNode *Step = CachedStep;
+    if (!Step)
+      Step = CachedStep = B.currentStep();
+    Accesses.push_back(AccessRec{L, Step, TaskStack.back(), T, IsWrite});
+  }
+
+  DpstBuilder &B;
+  std::deque<TaskLab> Labels; ///< deque: labels never move
+  std::vector<TaskLab *> TaskStack;
+  /// Per active finish (innermost last): tasks whose S-bags merged into
+  /// its P-bag, waiting for the join tick. [0] is the implicit root
+  /// finish, which never exits — its tasks stay P-classified forever.
+  std::vector<std::vector<TaskLab *>> FinishPending;
+  uint64_t Tick = 0;
+  DpstNode *CachedStep = nullptr;
+  std::vector<AccessRec> Accesses;
+};
+
+//===----------------------------------------------------------------------===//
+// Phase A: per-chunk access summaries
+//===----------------------------------------------------------------------===//
+
+/// Everything Phase B needs to know about one step's accesses to one
+/// location. Steps are contiguous in the log and chunks snap to step
+/// boundaries, so each (location, step) pair lives in exactly one chunk
+/// and appears at most once in that chunk's list.
+struct StepSum {
+  DpstNode *Step = nullptr;
+  TaskLab *Task = nullptr;
+  uint64_t FirstAny = 0; ///< tick of the step's first access to L
+  uint64_t FirstR = 0;   ///< tick of its first read of L (0: none)
+  uint64_t FirstW = 0;   ///< tick of its first write of L (0: none)
+  uint32_t NR = 0;       ///< read events on L
+  uint32_t NW = 0;       ///< write events on L
+  uint32_t RBW = 0;      ///< reads before the first write (SRW raw math)
+};
+
+/// Per-chunk, per-location summary list in first-touch order.
+struct LocEntry {
+  MemLoc L;
+  std::vector<StepSum> Sums;
+};
+
+/// Shadow slot of one Phase A worker: 1-based index into its LocEntry
+/// list (0 = untouched), so the private shard never hashes.
+struct ShardSlot {
+  static constexpr bool AllZeroInit = true;
+  uint32_t Idx = 0;
+};
+
+void scanChunk(const std::vector<AccessRec> &Accesses, size_t Lo, size_t Hi,
+               std::vector<LocEntry> &Out) {
+  ShadowMemory<ShardSlot> Shard;
+  for (size_t I = Lo; I != Hi; ++I) {
+    const AccessRec &A = Accesses[I];
+    ShardSlot &Slot = Shard.slot(A.L);
+    if (!Slot.Idx) {
+      Out.push_back(LocEntry{A.L, {}});
+      Slot.Idx = static_cast<uint32_t>(Out.size());
+    }
+    std::vector<StepSum> &Sums = Out[Slot.Idx - 1].Sums;
+    if (Sums.empty() || Sums.back().Step != A.Step) {
+      StepSum S;
+      S.Step = A.Step;
+      S.Task = A.Task;
+      S.FirstAny = A.Tick;
+      Sums.push_back(S);
+    }
+    StepSum &S = Sums.back();
+    if (A.IsWrite) {
+      if (!S.NW)
+        S.FirstW = A.Tick;
+      ++S.NW;
+    } else {
+      if (!S.NR)
+        S.FirstR = A.Tick;
+      ++S.NR;
+      if (!S.NW)
+        ++S.RBW;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Phase B: race detection from summary pairs
+//===----------------------------------------------------------------------===//
+
+/// The tick the *sequential* scan would first observe a racing pair at:
+/// the observing access event, then the scan tier within that event
+/// (writer list before reader list), then the previous access's position
+/// in its list (== its first-access tick on the location). Minimizing this
+/// key over every observation reproduces the sequential insertion order.
+struct InsKey {
+  uint64_t Ev = ~uint64_t(0);
+  uint8_t Tier = 0xFF;
+  uint64_t Prev = ~uint64_t(0);
+
+  bool operator<(const InsKey &O) const {
+    if (Ev != O.Ev)
+      return Ev < O.Ev;
+    if (Tier != O.Tier)
+      return Tier < O.Tier;
+    return Prev < O.Prev;
+  }
+};
+
+/// Accumulated findings for one racing step pair.
+struct PairAgg {
+  RacePair Pair;
+  InsKey Ins;
+  uint64_t Raw = 0;
+  bool HasWitness = false;
+
+  void observeIns(uint64_t Ev, uint8_t Tier, uint64_t Prev) {
+    InsKey K{Ev, Tier, Prev};
+    if (K < Ins)
+      Ins = K;
+  }
+  void observeWitness(MemLoc L, AccessKind SrcK, AccessKind SnkK) {
+    if (!HasWitness || witnessPreferred(Pair, L, SrcK, SnkK)) {
+      Pair.Loc = L;
+      Pair.SrcKind = SrcK;
+      Pair.SnkKind = SnkK;
+      HasWitness = true;
+    }
+  }
+};
+
+using Findings = std::unordered_map<uint64_t, PairAgg>;
+
+PairAgg &pairAgg(Findings &F, const StepSum &A, const StepSum &B) {
+  uint64_t Key = packRacePairKey(A.Step->id(), B.Step->id());
+  PairAgg &G = F[Key];
+  if (!G.Pair.Src) {
+    G.Pair.Src = A.Step; // A precedes B in the log, hence in DF order
+    G.Pair.Snk = B.Step;
+  }
+  return G;
+}
+
+/// MRW: every (earlier, later) step-summary pair on the location is an
+/// independent check, exactly as the sequential scan keeps every reader
+/// and writer in its lists.
+uint64_t mergeLocationMrw(MemLoc L, const std::vector<StepSum> &Sums,
+                          Findings &F) {
+  uint64_t Checks = 0;
+  for (size_t J = 1; J < Sums.size(); ++J) {
+    const StepSum &B = Sums[J];
+    for (size_t I = 0; I != J; ++I) {
+      const StepSum &A = Sums[I];
+      if (!A.NW && !B.NW)
+        continue; // read/read pairs race with nobody
+      ++Checks;
+      if (orderedAt(A.Task, B.FirstAny))
+        continue;
+      PairAgg &G = pairAgg(F, A, B);
+      if (A.NW) {
+        G.Raw += B.NR + B.NW;
+        if (B.NR) {
+          G.observeWitness(L, AccessKind::Write, AccessKind::Read);
+          G.observeIns(B.FirstR, 0, A.FirstW);
+        }
+        if (B.NW) {
+          G.observeWitness(L, AccessKind::Write, AccessKind::Write);
+          G.observeIns(B.FirstW, 0, A.FirstW);
+        }
+      }
+      if (A.NR && B.NW) {
+        G.Raw += B.NW;
+        G.observeWitness(L, AccessKind::Read, AccessKind::Write);
+        G.observeIns(B.FirstW, 1, A.FirstR);
+      }
+    }
+  }
+  return Checks;
+}
+
+/// SRW: replays the one-writer/one-reader shadow automaton over the step
+/// summaries. Within a step the interleaving matters only through "reads
+/// before the first write" (the step's own write takes over the writer
+/// cell and silences later checks), which Phase A pre-counted.
+uint64_t mergeLocationSrw(MemLoc L, const std::vector<StepSum> &Sums,
+                          Findings &F) {
+  uint64_t Checks = 0;
+  const StepSum *W0 = nullptr;
+  const StepSum *R0 = nullptr;
+  for (const StepSum &B : Sums) {
+    if (W0) {
+      ++Checks;
+      if (!orderedAt(W0->Task, B.FirstAny)) {
+        uint32_t RaceReads = B.NW ? B.RBW : B.NR;
+        if (RaceReads || B.NW) {
+          PairAgg &G = pairAgg(F, *W0, B);
+          G.Raw += RaceReads + (B.NW ? 1 : 0);
+          if (RaceReads) {
+            G.observeWitness(L, AccessKind::Write, AccessKind::Read);
+            G.observeIns(B.FirstR, 0, W0->FirstW);
+          }
+          if (B.NW) {
+            G.observeWitness(L, AccessKind::Write, AccessKind::Write);
+            G.observeIns(B.FirstW, 0, W0->FirstW);
+          }
+        }
+      }
+    }
+    bool R0Ordered = !R0 || orderedAt(R0->Task, B.FirstAny);
+    if (R0 && B.NW) {
+      ++Checks;
+      if (!R0Ordered) {
+        PairAgg &G = pairAgg(F, *R0, B);
+        G.Raw += B.NW;
+        G.observeWitness(L, AccessKind::Read, AccessKind::Write);
+        G.observeIns(B.FirstW, 1, R0->FirstR);
+      }
+    }
+    // Shadow-cell update: the writer cell always takes the latest writer;
+    // the reader cell is only replaced when its occupant is serialized
+    // with the replacing read (a parallel reader is the more dangerous
+    // witness for future writes).
+    if (B.NW)
+      W0 = &B;
+    if (B.NR && R0Ordered)
+      R0 = &B;
+  }
+  return Checks;
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline driver
+//===----------------------------------------------------------------------===//
+
+/// Chunk boundaries over the access array: W near-equal ranges, snapped
+/// forward to the next step boundary so no step straddles a chunk (which
+/// is what makes per-chunk summaries loss-free).
+std::vector<size_t> chunkBounds(const std::vector<AccessRec> &Accesses,
+                                unsigned W) {
+  std::vector<size_t> Bounds;
+  size_t N = Accesses.size();
+  Bounds.push_back(0);
+  for (unsigned K = 1; K < W; ++K) {
+    size_t T = N * K / W;
+    while (T > 0 && T < N && Accesses[T].Step == Accesses[T - 1].Step)
+      ++T;
+    if (T > Bounds.back() && T < N)
+      Bounds.push_back(T);
+  }
+  Bounds.push_back(N);
+  return Bounds;
+}
+
+RaceReport runPipeline(std::vector<AccessRec> Accesses,
+                       EspBagsDetector::Mode Mode, unsigned Workers) {
+  obs::Counter *CChunks = &obs::counter("par.chunks");
+  obs::Counter *CSummaries = &obs::counter("par.summaries");
+  // Same counter family every backend maintains (<backend>.reads/writes/
+  // checks); "checks" here counts Phase B summary-pair comparisons, the
+  // par analogue of the sequential backends' per-access ordering queries.
+  obs::Counter *CChecks = &obs::counter("par.checks");
+  obs::Counter *CReads = &obs::counter("par.reads");
+  obs::Counter *CWrites = &obs::counter("par.writes");
+  obs::Counter *CRaw = &obs::counter("race.reports_raw");
+  obs::Counter *CPairs = &obs::counter("race.pairs");
+
+  RaceReport Report;
+  if (Accesses.empty())
+    return Report;
+
+  uint64_t NumWrites = 0;
+  for (const AccessRec &A : Accesses)
+    NumWrites += A.IsWrite;
+  CWrites->inc(NumWrites);
+  CReads->inc(Accesses.size() - NumWrites);
+
+  std::vector<size_t> Bounds = chunkBounds(Accesses, Workers);
+  size_t NumChunks = Bounds.size() - 1;
+  CChunks->inc(NumChunks);
+  obs::gauge("par.workers").set(static_cast<int64_t>(Workers));
+
+  // Phase A: one private summary shard per chunk.
+  Timer ScanTimer;
+  std::vector<std::vector<LocEntry>> ChunkLists(NumChunks);
+  // Phase B: dynamic load balancing — workers pull location groups off a
+  // shared cursor, so one hot location cannot serialize the merge.
+  struct LocGroup {
+    MemLoc L;
+    std::vector<StepSum> Sums;
+  };
+  std::vector<LocGroup> Groups;
+  std::atomic<size_t> Cursor{0};
+  std::vector<Findings> WorkerFindings(Workers);
+  std::vector<uint64_t> WorkerChecks(Workers, 0);
+
+  auto gather = [&] {
+    std::unordered_map<MemLoc, uint32_t, MemLocHash> GroupOf;
+    for (std::vector<LocEntry> &List : ChunkLists)
+      for (LocEntry &E : List) {
+        CSummaries->inc(E.Sums.size());
+        auto [It, Inserted] =
+            GroupOf.try_emplace(E.L, static_cast<uint32_t>(Groups.size()));
+        if (Inserted)
+          Groups.push_back(LocGroup{E.L, std::move(E.Sums)});
+        else {
+          std::vector<StepSum> &Dst = Groups[It->second].Sums;
+          Dst.insert(Dst.end(), E.Sums.begin(), E.Sums.end());
+        }
+      }
+  };
+  auto mergeWorker = [&](unsigned Id) {
+    Findings &F = WorkerFindings[Id];
+    uint64_t Checks = 0;
+    for (size_t I; (I = Cursor.fetch_add(1, std::memory_order_relaxed)) <
+                   Groups.size();) {
+      const LocGroup &G = Groups[I];
+      Checks += Mode == EspBagsDetector::Mode::SRW
+                    ? mergeLocationSrw(G.L, G.Sums, F)
+                    : mergeLocationMrw(G.L, G.Sums, F);
+    }
+    WorkerChecks[Id] = Checks;
+  };
+
+  if (NumChunks <= 1 || Workers <= 1) {
+    for (size_t C = 0; C != NumChunks; ++C)
+      scanChunk(Accesses, Bounds[C], Bounds[C + 1], ChunkLists[C]);
+    obs::histogram("par.scan_ms").observe(ScanTimer.elapsedMs());
+    Timer MergeTimer;
+    gather();
+    mergeWorker(0);
+    obs::histogram("par.merge_ms").observe(MergeTimer.elapsedMs());
+  } else {
+    Runtime RT(Workers);
+    double ScanMs = 0;
+    double MergeMs = 0;
+    RT.run([&] {
+      {
+        FinishScope Fin;
+        for (size_t C = 0; C != NumChunks; ++C)
+          Fin.async([&, C] {
+            scanChunk(Accesses, Bounds[C], Bounds[C + 1], ChunkLists[C]);
+          });
+      } // joins Phase A
+      ScanMs = ScanTimer.elapsedMs();
+      Timer MergeTimer;
+      gather();
+      {
+        FinishScope Fin;
+        for (unsigned Id = 0; Id != Workers; ++Id)
+          Fin.async([&, Id] { mergeWorker(Id); });
+      } // joins Phase B
+      MergeMs = MergeTimer.elapsedMs();
+    });
+    obs::histogram("par.scan_ms").observe(ScanMs);
+    obs::histogram("par.merge_ms").observe(MergeMs);
+  }
+
+  // Fold: combine per-worker findings (order-independent: raw counts add,
+  // insertion keys minimize, witnesses resolve with witnessPreferred),
+  // then emit pairs in sequential first-observation order.
+  Timer FoldTimer;
+  Findings Merged = std::move(WorkerFindings[0]);
+  for (unsigned Id = 1; Id < Workers; ++Id)
+    for (auto &[Key, G] : WorkerFindings[Id]) {
+      auto [It, Inserted] = Merged.try_emplace(Key, G);
+      if (Inserted)
+        continue;
+      PairAgg &Dst = It->second;
+      Dst.Raw += G.Raw;
+      if (G.Ins < Dst.Ins)
+        Dst.Ins = G.Ins;
+      Dst.observeWitness(G.Pair.Loc, G.Pair.SrcKind, G.Pair.SnkKind);
+    }
+  for (uint64_t Checks : WorkerChecks)
+    CChecks->inc(Checks);
+
+  std::vector<const PairAgg *> Order;
+  Order.reserve(Merged.size());
+  for (const auto &[Key, G] : Merged) {
+    Report.RawCount += G.Raw;
+    Order.push_back(&G);
+  }
+  std::sort(Order.begin(), Order.end(),
+            [](const PairAgg *A, const PairAgg *B) { return A->Ins < B->Ins; });
+  Report.Pairs.reserve(Order.size());
+  for (const PairAgg *G : Order)
+    Report.Pairs.push_back(G->Pair);
+  CRaw->inc(Report.RawCount);
+  CPairs->inc(Report.Pairs.size());
+  obs::histogram("par.fold_ms").observe(FoldTimer.elapsedMs());
+  return Report;
+}
+
+} // namespace
+
+unsigned tdr::resolveParWorkers(unsigned Requested, size_t NumAccesses) {
+  if (Requested)
+    return Requested;
+  if (const char *E = std::getenv("TDR_PAR_WORKERS")) {
+    long V = std::strtol(E, nullptr, 10);
+    if (V > 0)
+      return static_cast<unsigned>(V < 64 ? V : 64);
+  }
+  unsigned HW = std::thread::hardware_concurrency();
+  unsigned W = HW ? (HW < 8 ? HW : 8) : 4;
+  // Small logs are not worth a pool: keep every chunk at a few thousand
+  // records so the unit-test and repair-loop paths stay lean.
+  size_t ByRecords = NumAccesses / 2048 + 1;
+  if (ByRecords < W)
+    W = static_cast<unsigned>(ByRecords);
+  return W ? W : 1;
+}
+
+Detection tdr::parDetectReplay(const DetectOptions &Opts,
+                               const trace::InputTrace &T,
+                               const trace::ReplayPlan &Plan) {
+  obs::counter("par.runs").inc();
+  Detection D;
+  D.Tree = std::make_unique<Dpst>();
+  DpstBuilder Builder(*D.Tree);
+  PrepassMonitor Pre(Builder);
+  Timer PrepassTimer;
+  trace::replayEvents(T.Log, Plan, Pre);
+  obs::histogram("par.prepass_ms").observe(PrepassTimer.elapsedMs());
+  D.Exec = T.Exec;
+  std::vector<AccessRec> Accesses = Pre.takeAccesses();
+  unsigned Workers = resolveParWorkers(Opts.ParWorkers, Accesses.size());
+  D.Report = runPipeline(std::move(Accesses), Opts.Mode, Workers);
+  return D;
+}
+
+Detection tdr::parDetectLive(const Program &P, const DetectOptions &Opts,
+                             ExecOptions Exec) {
+  // Live mode records the interpreter's stream, then detects over the log
+  // exactly like replay mode — recording is the price of partitioning.
+  trace::InputTrace T;
+  trace::RecorderMonitor Recorder(T.Log);
+  MonitorPipeline Pipeline;
+  if (Exec.Monitor) {
+    Pipeline.add(Exec.Monitor);
+    Pipeline.add(&Recorder);
+    Exec.Monitor = &Pipeline;
+  } else {
+    Exec.Monitor = &Recorder;
+  }
+  T.Exec = runProgram(P, std::move(Exec));
+  Recorder.flush();
+  return parDetectReplay(Opts, T, trace::ReplayPlan());
+}

@@ -1,0 +1,63 @@
+//===- ParDetect.h - Partitioned parallel race detection ---------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "par" detection backend: detection over a recorded event log,
+/// partitioned into contiguous chunks and scanned by detector workers on
+/// the work-stealing Runtime pool.
+///
+/// Sequential detectors interleave happens-before bookkeeping with the
+/// shadow-memory scan, so they are inherently serial. This backend splits
+/// the two concerns:
+///
+///  1. *Pre-pass* (sequential): the log is replayed once through the
+///     S-DPST builder plus a labeler that assigns every dynamic task a
+///     compact dag-path label — a chain of (async-exit tick, join tick,
+///     parent label) links mirroring the ESP-bags merge history (in the
+///     spirit of DePa's graded dag paths). After the pre-pass the labels
+///     are immutable, and `ordered(task, tick)` is answered by a short
+///     chain walk with no shared Dpst or union-find mutation. Accesses are
+///     flattened into one array of records.
+///  2. *Phase A* (parallel): the access array is split into contiguous
+///     chunks snapped to step boundaries; one worker per chunk builds a
+///     private ShadowMemory shard of per-(location, step) access summaries
+///     (read/write counts plus first-access ticks).
+///  3. *Phase B* (parallel): per-location summary lists are concatenated
+///     in chunk order — equal to global step order — and workers detect
+///     races from summary pairs, including pairs split across chunk edges.
+///  4. *Fold* (sequential): per-worker findings merge by racing step pair;
+///     raw counts add, the kept witness is resolved with witnessPreferred,
+///     and pairs sort by the tick the sequential scan would first have
+///     observed them, making the report byte-identical (renderRaceReportKey)
+///     to the ESP-bags and vector-clock backends on the same stream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_RACE_PARDETECT_H
+#define TDR_RACE_PARDETECT_H
+
+#include "race/Detect.h"
+
+namespace tdr {
+
+/// Worker count for one par-backend detection: \p Requested when nonzero
+/// (DetectOptions::ParWorkers), else TDR_PAR_WORKERS from the environment,
+/// else a hardware-based default scaled down so every chunk keeps enough
+/// access records to be worth a task.
+unsigned resolveParWorkers(unsigned Requested, size_t NumAccesses);
+
+/// Live par detection: interprets \p P while recording the event stream,
+/// then runs the partitioned pipeline over the log.
+Detection parDetectLive(const Program &P, const DetectOptions &Opts,
+                        ExecOptions Exec);
+
+/// Log-backed par detection (the replay-mode overload of detectRaces).
+Detection parDetectReplay(const DetectOptions &Opts, const trace::InputTrace &T,
+                          const trace::ReplayPlan &Plan);
+
+} // namespace tdr
+
+#endif // TDR_RACE_PARDETECT_H

@@ -105,11 +105,20 @@ public:
     int64_t B = Bottom.load(std::memory_order_acquire);
     if (TTop >= B)
       return false;
-    Ring *R = Buffer.load(std::memory_order_consume);
-    Out = R->get(TTop);
-    return Top.compare_exchange_strong(TTop, TTop + 1,
-                                       std::memory_order_seq_cst,
-                                       std::memory_order_relaxed);
+    // Acquire (not the deprecated consume, which compilers promote anyway)
+    // pairs with grow()'s release store, ordering the slot copies of a
+    // concurrent resize before this read of the ring.
+    Ring *R = Buffer.load(std::memory_order_acquire);
+    // Read the slot into a local before the CAS: losing the race means
+    // another thief (or the owner's pop) owns this slot, and its value
+    // must not leak into the caller's Out.
+    T Item = R->get(TTop);
+    if (!Top.compare_exchange_strong(TTop, TTop + 1,
+                                     std::memory_order_seq_cst,
+                                     std::memory_order_relaxed))
+      return false;
+    Out = Item;
+    return true;
   }
 
   /// Approximate size (racy; monitoring only).

@@ -151,6 +151,31 @@ private:
     return Value::makeArray(std::move(Elems));
   }
 
+  /// Reads 4 hex digits of a \uXXXX escape into \p Code. Fails the parse
+  /// and returns false on truncation or a non-hex digit.
+  bool parseHex4(unsigned &Code) {
+    if (Pos + 4 > Text.size()) {
+      fail("truncated \\u escape");
+      return false;
+    }
+    Code = 0;
+    for (int I = 0; I != 4; ++I) {
+      char H = Text[Pos++];
+      Code <<= 4;
+      if (H >= '0' && H <= '9')
+        Code |= static_cast<unsigned>(H - '0');
+      else if (H >= 'a' && H <= 'f')
+        Code |= static_cast<unsigned>(H - 'a' + 10);
+      else if (H >= 'A' && H <= 'F')
+        Code |= static_cast<unsigned>(H - 'A' + 10);
+      else {
+        fail("invalid \\u escape");
+        return false;
+      }
+    }
+    return true;
+  }
+
   std::string parseString() {
     ++Pos; // opening quote
     std::string Out;
@@ -193,34 +218,45 @@ private:
         Out.push_back('\t');
         break;
       case 'u': {
-        if (Pos + 4 > Text.size()) {
-          fail("truncated \\u escape");
+        unsigned Code = 0;
+        if (!parseHex4(Code))
+          return Out;
+        // Combine surrogate pairs into the non-BMP code point; a lone or
+        // misordered half is not a code point and cannot round-trip, so
+        // it is a parse error rather than mojibake in a report.
+        if (Code >= 0xDC00 && Code <= 0xDFFF) {
+          fail("lone low surrogate in \\u escape");
           return Out;
         }
-        unsigned Code = 0;
-        for (int I = 0; I != 4; ++I) {
-          char H = Text[Pos++];
-          Code <<= 4;
-          if (H >= '0' && H <= '9')
-            Code |= static_cast<unsigned>(H - '0');
-          else if (H >= 'a' && H <= 'f')
-            Code |= static_cast<unsigned>(H - 'a' + 10);
-          else if (H >= 'A' && H <= 'F')
-            Code |= static_cast<unsigned>(H - 'A' + 10);
-          else {
-            fail("invalid \\u escape");
+        if (Code >= 0xD800 && Code <= 0xDBFF) {
+          if (Pos + 2 > Text.size() || Text[Pos] != '\\' ||
+              Text[Pos + 1] != 'u') {
+            fail("unpaired high surrogate in \\u escape");
             return Out;
           }
+          Pos += 2;
+          unsigned Low = 0;
+          if (!parseHex4(Low))
+            return Out;
+          if (Low < 0xDC00 || Low > 0xDFFF) {
+            fail("high surrogate not followed by a low surrogate");
+            return Out;
+          }
+          Code = 0x10000 + ((Code - 0xD800) << 10) + (Low - 0xDC00);
         }
-        // UTF-8 encode the BMP code point (surrogate pairs are passed
-        // through as two separate 3-byte sequences; report text is ASCII).
+        // UTF-8 encode the code point (1-4 bytes).
         if (Code < 0x80) {
           Out.push_back(static_cast<char>(Code));
         } else if (Code < 0x800) {
           Out.push_back(static_cast<char>(0xC0 | (Code >> 6)));
           Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
-        } else {
+        } else if (Code < 0x10000) {
           Out.push_back(static_cast<char>(0xE0 | (Code >> 12)));
+          Out.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
+          Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+        } else {
+          Out.push_back(static_cast<char>(0xF0 | (Code >> 18)));
+          Out.push_back(static_cast<char>(0x80 | ((Code >> 12) & 0x3F)));
           Out.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
           Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
         }

@@ -1,14 +1,17 @@
-//===- backend_diff_test.cpp - EspBags vs vector-clock differential -------===//
+//===- backend_diff_test.cpp - Three-way detection backend differential ---===//
 //
 // Part of the tdr project (PLDI 2014 race-repair reproduction).
 //
-// The vector-clock backend (VectorClockDetector) must be report-identical
-// to ESP-bags: for every program, every mode (SRW/MRW), and every feed
-// (fresh interpretation or trace replay), both backends must produce the
-// IDENTICAL RaceReport — that is the property the TDR_BACKEND_CHECK
-// differential gates CI on. These tests check it on ~100 random programs
-// per mode, on replayed streams, through the repair loop end to end, and
-// cover the backend-selection plumbing (parse, env default, check mode).
+// The vector-clock backend (VectorClockDetector) and the partitioned
+// backend (ParDetect) must be report-identical to ESP-bags: for every
+// program, every mode (SRW/MRW), every feed (fresh interpretation or trace
+// replay), and — for par — every worker count, all three backends must
+// produce the IDENTICAL RaceReport. That is the property the
+// TDR_BACKEND_CHECK differential gates CI on. These tests check it on
+// ~100 random programs per mode, on replayed streams, through the repair
+// loop end to end, across chunk boundaries of the partitioned backend,
+// and cover the backend-selection plumbing (parse, env default, check
+// mode).
 //
 //===----------------------------------------------------------------------===//
 
@@ -17,6 +20,7 @@
 
 #include "obs/Metrics.h"
 #include "race/Detect.h"
+#include "race/ParDetect.h"
 #include "repair/MultiInput.h"
 #include "repair/RepairDriver.h"
 #include "trace/EventLog.h"
@@ -81,6 +85,15 @@ void expectIdenticalReports(const Detection &Vc, const Detection &Esp,
   }
 }
 
+/// Reports identify tree nodes by pointer into their own Dpst, so
+/// cross-detection comparison goes through node ids + the rendered key.
+void expectSameKey(const Detection &A, const Detection &B,
+                   const std::string &What) {
+  EXPECT_EQ(renderRaceReportKey(A.Report), renderRaceReportKey(B.Report))
+      << What;
+  EXPECT_EQ(A.Report.RawCount, B.Report.RawCount) << What;
+}
+
 const char *RacySource = R"(
 func work(a: int[], i: int) {
   a[i] = a[i] + 1;
@@ -98,12 +111,12 @@ func main() {
 )";
 
 //===----------------------------------------------------------------------===//
-// Differential: vector clocks == ESP-bags on random programs
+// Differential: vector clocks == ESP-bags == partitioned, random programs
 //===----------------------------------------------------------------------===//
 
-class VcVsEspBags : public ::testing::TestWithParam<uint64_t> {};
+class BackendsAgree : public ::testing::TestWithParam<uint64_t> {};
 
-TEST_P(VcVsEspBags, FreshReportsAreIdentical) {
+TEST_P(BackendsAgree, FreshReportsAreIdentical) {
   Rng SeedGen(GetParam());
   for (int Trial = 0; Trial != 25; ++Trial) {
     RandomProgramGen Gen(SeedGen.next());
@@ -120,11 +133,14 @@ TEST_P(VcVsEspBags, FreshReportsAreIdentical) {
           detectRaces(*P.Prog, options(Mode, DetectBackend::VectorClock));
       ASSERT_TRUE(Vc.ok()) << Vc.Exec.Error << "\n" << Src;
       expectIdenticalReports(Vc, Esp, Src);
+      Detection Par = detectRaces(*P.Prog, options(Mode, DetectBackend::Par));
+      ASSERT_TRUE(Par.ok()) << Par.Exec.Error << "\n" << Src;
+      expectIdenticalReports(Par, Esp, Src);
     }
   }
 }
 
-TEST_P(VcVsEspBags, ReplayedReportsAreIdentical) {
+TEST_P(BackendsAgree, ReplayedReportsAreIdentical) {
   Rng SeedGen(GetParam() ^ 0x5bd1e995);
   for (int Trial = 0; Trial != 15; ++Trial) {
     RandomProgramGen Gen(SeedGen.next());
@@ -135,7 +151,7 @@ TEST_P(VcVsEspBags, ReplayedReportsAreIdentical) {
     for (EspBagsDetector::Mode Mode :
          {EspBagsDetector::Mode::SRW, EspBagsDetector::Mode::MRW}) {
       // Record the event stream once, then feed the identical stream to
-      // both backends (empty plan = verbatim re-emission). The replayed
+      // all backends (empty plan = verbatim re-emission). The replayed
       // reports must match each other AND the fresh one.
       trace::InputTrace T;
       trace::RecorderMonitor Recorder(T.Log);
@@ -152,7 +168,10 @@ TEST_P(VcVsEspBags, ReplayedReportsAreIdentical) {
       Detection Vc = detectRaces(
           *P.Prog, options(Mode, DetectBackend::VectorClock), T,
           trace::ReplayPlan());
+      Detection Par = detectRaces(*P.Prog, options(Mode, DetectBackend::Par),
+                                  T, trace::ReplayPlan());
       expectIdenticalReports(Vc, Esp, Src);
+      expectIdenticalReports(Par, Esp, Src);
       EXPECT_EQ(renderRaceReportKey(Vc.Report),
                 renderRaceReportKey(Fresh.Report))
           << Src;
@@ -160,7 +179,7 @@ TEST_P(VcVsEspBags, ReplayedReportsAreIdentical) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, VcVsEspBags,
+INSTANTIATE_TEST_SUITE_P(Seeds, BackendsAgree,
                          ::testing::Values(111u, 222u, 333u, 444u));
 
 //===----------------------------------------------------------------------===//
@@ -232,19 +251,24 @@ TEST(VcBackend, MultiInputRepairSucceeds) {
 // Backend selection plumbing
 //===----------------------------------------------------------------------===//
 
-TEST(BackendSelect, ParseAcceptsExactlyTheTwoNames) {
+TEST(BackendSelect, ParseAcceptsExactlyTheThreeNames) {
   DetectBackend B = DetectBackend::EspBags;
   EXPECT_TRUE(parseDetectBackend("espbags", B));
   EXPECT_EQ(B, DetectBackend::EspBags);
   EXPECT_TRUE(parseDetectBackend("vc", B));
   EXPECT_EQ(B, DetectBackend::VectorClock);
-  for (const char *Bad : {"", "VC", "EspBags", "vectorclock", "vc ", "bags"}) {
+  EXPECT_TRUE(parseDetectBackend("par", B));
+  EXPECT_EQ(B, DetectBackend::Par);
+  for (const char *Bad :
+       {"", "VC", "EspBags", "vectorclock", "vc ", "bags", "Par", "parallel",
+        "par "}) {
     DetectBackend Unchanged = DetectBackend::EspBags;
     EXPECT_FALSE(parseDetectBackend(Bad, Unchanged)) << Bad;
     EXPECT_EQ(Unchanged, DetectBackend::EspBags) << Bad;
   }
   EXPECT_STREQ(detectBackendName(DetectBackend::EspBags), "espbags");
   EXPECT_STREQ(detectBackendName(DetectBackend::VectorClock), "vc");
+  EXPECT_STREQ(detectBackendName(DetectBackend::Par), "par");
 }
 
 TEST(BackendSelect, EnvPicksTheDefaultBackend) {
@@ -255,6 +279,10 @@ TEST(BackendSelect, EnvPicksTheDefaultBackend) {
   {
     EnvVar E("TDR_BACKEND", "espbags");
     EXPECT_EQ(defaultDetectBackend(), DetectBackend::EspBags);
+  }
+  {
+    EnvVar E("TDR_BACKEND", "par");
+    EXPECT_EQ(defaultDetectBackend(), DetectBackend::Par);
   }
   {
     // The library falls back on garbage; the CLI rejects it with exit 2
@@ -356,14 +384,15 @@ TEST(BackendCheck, ZeroAndUnsetDisableTheCheck) {
   EXPECT_TRUE(backendCheckEnv());
 }
 
-TEST(BackendCheck, WholeRepairRunsCheckedUnderBothPrimaries) {
+TEST(BackendCheck, WholeRepairRunsCheckedUnderEveryPrimary) {
   // End-to-end: a full (replaying) repair under TDR_BACKEND_CHECK, with
   // each backend as the primary, still succeeds and produces the same
   // program — every detection along the way was cross-checked.
   EnvVar E("TDR_BACKEND_CHECK", "1");
-  std::string Outs[2];
+  std::string Outs[3];
   int I = 0;
-  for (DetectBackend B : {DetectBackend::EspBags, DetectBackend::VectorClock}) {
+  for (DetectBackend B : {DetectBackend::EspBags, DetectBackend::VectorClock,
+                          DetectBackend::Par}) {
     obs::MetricsRegistry Reg;
     obs::ScopedMetrics Scope(Reg);
     RepairOptions Opts;
@@ -376,6 +405,159 @@ TEST(BackendCheck, WholeRepairRunsCheckedUnderBothPrimaries) {
     ++I;
   }
   EXPECT_EQ(Outs[0], Outs[1]);
+  EXPECT_EQ(Outs[0], Outs[2]);
+}
+
+//===----------------------------------------------------------------------===//
+// The partitioned backend: chunk boundaries and worker-count independence
+//===----------------------------------------------------------------------===//
+
+/// Records one execution of \p P into \p T and returns the ESP-bags
+/// reference detection over that exact stream.
+Detection recordAndReference(const ParsedProgram &P, trace::InputTrace &T,
+                             EspBagsDetector::Mode Mode, int Arg) {
+  trace::RecorderMonitor Recorder(T.Log);
+  ExecOptions Exec;
+  Exec.Args = {Arg};
+  Exec.Monitor = &Recorder;
+  Detection Fresh =
+      detectRaces(*P.Prog, options(Mode, DetectBackend::EspBags),
+                  std::move(Exec));
+  EXPECT_TRUE(Fresh.ok()) << Fresh.Exec.Error;
+  Recorder.flush();
+  T.Exec = Fresh.Exec;
+  return detectRaces(*P.Prog, options(Mode, DetectBackend::EspBags), T,
+                     trace::ReplayPlan());
+}
+
+TEST(ParBackend, RacePairSplitAcrossChunkBoundaryIsFound) {
+  // The only race pair sits at the two ENDS of the event stream: the
+  // first and last async both write a[0], with ~150 non-conflicting
+  // asyncs between them. Any partition into 2+ chunks separates the two
+  // accesses, so the pair can only come out of the cross-chunk merge
+  // phase — per-chunk scanning alone never sees both sides.
+  const char *Split = R"(
+func touch(a: int[], i: int) {
+  a[i] = a[i] + 1;
+}
+
+func main() {
+  var n: int = arg(0);
+  var a: int[] = new int[n + 1];
+  async touch(a, 0);
+  for (var i: int = 1; i < n; i = i + 1) {
+    async touch(a, i);
+  }
+  async touch(a, 0);
+  print(0);
+}
+)";
+  ParsedProgram P = parseAndCheck(Split);
+  ASSERT_TRUE(P.ok()) << P.errors();
+  for (EspBagsDetector::Mode Mode :
+       {EspBagsDetector::Mode::SRW, EspBagsDetector::Mode::MRW}) {
+    trace::InputTrace T;
+    Detection Ref = recordAndReference(P, T, Mode, /*Arg=*/150);
+    ASSERT_EQ(Ref.Report.Pairs.size(), 1u);
+
+    for (unsigned W : {1u, 2u, 3u, 8u}) {
+      DetectOptions O = options(Mode, DetectBackend::Par);
+      O.ParWorkers = W;
+      Detection Par = detectRaces(*P.Prog, O, T, trace::ReplayPlan());
+      ASSERT_TRUE(Par.ok()) << Par.Exec.Error;
+      expectSameKey(Par, Ref, "workers=" + std::to_string(W));
+      ASSERT_EQ(Par.Report.Pairs.size(), 1u) << "workers=" << W;
+      EXPECT_EQ(Par.Report.Pairs[0].Src->id(), Ref.Report.Pairs[0].Src->id());
+      EXPECT_EQ(Par.Report.Pairs[0].Snk->id(), Ref.Report.Pairs[0].Snk->id());
+    }
+  }
+}
+
+TEST(ParBackend, ReportIsWorkerCountIndependent) {
+  // The report must be a pure function of the event stream: sweeping the
+  // worker count (1 = the inline no-pool path; 8 forces chunks far
+  // smaller than the snapping granularity) must not change a byte.
+  ParsedProgram P = parseAndCheck(RacySource);
+  ASSERT_TRUE(P.ok()) << P.errors();
+  for (EspBagsDetector::Mode Mode :
+       {EspBagsDetector::Mode::SRW, EspBagsDetector::Mode::MRW}) {
+    trace::InputTrace T;
+    Detection Ref = recordAndReference(P, T, Mode, /*Arg=*/40);
+    EXPECT_GT(Ref.Report.Pairs.size(), 1u);
+
+    for (unsigned W : {1u, 2u, 3u, 8u}) {
+      DetectOptions O = options(Mode, DetectBackend::Par);
+      O.ParWorkers = W;
+      Detection Par = detectRaces(*P.Prog, O, T, trace::ReplayPlan());
+      ASSERT_TRUE(Par.ok()) << Par.Exec.Error;
+      expectSameKey(Par, Ref, "workers=" + std::to_string(W));
+      ASSERT_EQ(Par.Report.Pairs.size(), Ref.Report.Pairs.size());
+      for (size_t I = 0; I != Par.Report.Pairs.size(); ++I) {
+        EXPECT_EQ(Par.Report.Pairs[I].Src->id(), Ref.Report.Pairs[I].Src->id())
+            << "workers=" << W << " pair " << I;
+        EXPECT_EQ(Par.Report.Pairs[I].Snk->id(), Ref.Report.Pairs[I].Snk->id())
+            << "workers=" << W << " pair " << I;
+      }
+    }
+  }
+}
+
+TEST(ParBackend, ResolveWorkersPrecedence) {
+  // Explicit request wins outright (no cap, no clamp).
+  {
+    EnvVar E("TDR_PAR_WORKERS", "3");
+    EXPECT_EQ(resolveParWorkers(5, 1u << 20), 5u);
+  }
+  // Then the environment, capped at 64 and ignoring garbage.
+  {
+    EnvVar E("TDR_PAR_WORKERS", "3");
+    EXPECT_EQ(resolveParWorkers(0, 1u << 20), 3u);
+  }
+  {
+    EnvVar E("TDR_PAR_WORKERS", "9999");
+    EXPECT_EQ(resolveParWorkers(0, 1u << 20), 64u);
+  }
+  // Hardware default: small logs clamp down to one worker per ~2k
+  // records, and the result is always at least 1.
+  {
+    EnvVar E("TDR_PAR_WORKERS", nullptr);
+    EXPECT_EQ(resolveParWorkers(0, 0), 1u);
+    EXPECT_EQ(resolveParWorkers(0, 100), 1u);
+    EXPECT_GE(resolveParWorkers(0, 1u << 20), 1u);
+    EXPECT_LE(resolveParWorkers(0, 1u << 20), 8u);
+  }
+  {
+    EnvVar E("TDR_PAR_WORKERS", "not-a-number");
+    EXPECT_EQ(resolveParWorkers(0, 100), 1u);
+  }
+}
+
+TEST(ParBackend, LiveModeCoalescesWithACallerMonitor) {
+  // Live par mode records the stream itself; a caller-supplied monitor
+  // (e.g. the repair loop's own recorder) must still see every event.
+  ParsedProgram P = parseAndCheck(RacySource);
+  ASSERT_TRUE(P.ok()) << P.errors();
+
+  trace::InputTrace Mine;
+  trace::RecorderMonitor Recorder(Mine.Log);
+  ExecOptions Exec;
+  Exec.Args = {6};
+  Exec.Monitor = &Recorder;
+  Detection Par =
+      detectRaces(*P.Prog, options(EspBagsDetector::Mode::MRW,
+                                   DetectBackend::Par),
+                  std::move(Exec));
+  ASSERT_TRUE(Par.ok()) << Par.Exec.Error;
+  Recorder.flush();
+  Mine.Exec = Par.Exec;
+  EXPECT_GT(Mine.Log.size(), 0u);
+
+  // My recording replays to the same report under the reference backend.
+  Detection Ref =
+      detectRaces(*P.Prog, options(EspBagsDetector::Mode::MRW,
+                                   DetectBackend::EspBags),
+                  Mine, trace::ReplayPlan());
+  expectSameKey(Par, Ref, "live par vs replayed espbags");
 }
 
 } // namespace

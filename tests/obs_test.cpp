@@ -440,6 +440,75 @@ TEST(Metrics, HistogramPercentilesAreNearestRank) {
   EXPECT_DOUBLE_EQ(obs::Histogram().snapshot().percentile(99), 0.0);
 }
 
+TEST(Metrics, ReservoirRetainsLateObservations) {
+  // Regression: the reservoir used to stop admitting samples once full,
+  // so a distribution shift after the cap was invisible to percentiles
+  // (a detector that got slow late in a run still reported fast p99s).
+  // Algorithm R keeps every observation equally likely to be retained:
+  // after 1024 early 1.0s and 4096 late 2.0s, ~80% of the reservoir
+  // should be late values, and the tail percentiles must see them.
+  obs::Histogram H;
+  for (size_t I = 0; I != obs::Histogram::MaxSamples; ++I)
+    H.observe(1.0);
+  for (size_t I = 0; I != 4 * obs::Histogram::MaxSamples; ++I)
+    H.observe(2.0);
+
+  obs::Histogram::Snapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 5 * obs::Histogram::MaxSamples);
+  ASSERT_EQ(S.Samples.size(), obs::Histogram::MaxSamples);
+  size_t Late = 0;
+  for (double X : S.Samples)
+    Late += X == 2.0;
+  // Expected ~4/5 of the reservoir; a wide band keeps the test robust to
+  // reasonable changes of the (deterministic) sampling constants.
+  EXPECT_GT(Late, obs::Histogram::MaxSamples / 2);
+  EXPECT_LT(Late, obs::Histogram::MaxSamples);
+  EXPECT_DOUBLE_EQ(S.percentile(50), 2.0);
+  EXPECT_DOUBLE_EQ(S.percentile(99), 2.0);
+
+  // Same sequence, same reservoir: sampling is deterministic, and
+  // reset() restores the generator state too.
+  obs::Histogram H2;
+  for (size_t I = 0; I != obs::Histogram::MaxSamples; ++I)
+    H2.observe(1.0);
+  for (size_t I = 0; I != 4 * obs::Histogram::MaxSamples; ++I)
+    H2.observe(2.0);
+  EXPECT_EQ(H2.snapshot().Samples, S.Samples);
+  H2.reset();
+  for (size_t I = 0; I != obs::Histogram::MaxSamples; ++I)
+    H2.observe(1.0);
+  for (size_t I = 0; I != 4 * obs::Histogram::MaxSamples; ++I)
+    H2.observe(2.0);
+  EXPECT_EQ(H2.snapshot().Samples, S.Samples);
+}
+
+TEST(Metrics, MergePastCapIsCountProportional) {
+  // When the combined reservoirs exceed the cap, each side contributes
+  // samples proportionally to its OBSERVATION count, not its sample
+  // count — a job with 3x the observations keeps 3x the slots.
+  obs::Histogram A, B;
+  for (size_t I = 0; I != 3 * obs::Histogram::MaxSamples; ++I)
+    A.observe(1.0);
+  for (size_t I = 0; I != obs::Histogram::MaxSamples; ++I)
+    B.observe(3.0);
+  A.merge(B.snapshot());
+
+  obs::Histogram::Snapshot S = A.snapshot();
+  EXPECT_EQ(S.Count, 4 * obs::Histogram::MaxSamples);
+  ASSERT_EQ(S.Samples.size(), obs::Histogram::MaxSamples);
+  size_t FromA = 0, FromB = 0;
+  for (double X : S.Samples) {
+    FromA += X == 1.0;
+    FromB += X == 3.0;
+  }
+  EXPECT_EQ(FromA, 3 * obs::Histogram::MaxSamples / 4);
+  EXPECT_EQ(FromB, obs::Histogram::MaxSamples / 4);
+  EXPECT_DOUBLE_EQ(S.Sum, 3.0 * obs::Histogram::MaxSamples +
+                              3.0 * obs::Histogram::MaxSamples);
+  EXPECT_DOUBLE_EQ(S.percentile(50), 1.0);
+  EXPECT_DOUBLE_EQ(S.percentile(95), 3.0);
+}
+
 TEST(Metrics, MergeCarriesHistogramSamplesAcrossRegistries) {
   // The batch pattern: each job observes latencies into its own
   // (per-thread) registry; the parent merges in submission order and

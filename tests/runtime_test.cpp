@@ -99,6 +99,64 @@ TEST(WorkStealingDeque, ConcurrentStealersDrainExactlyOnce) {
     EXPECT_EQ(Seen[static_cast<size_t>(I)], 1) << "element " << I;
 }
 
+TEST(WorkStealingDeque, ManyThievesNeverObserveAForeignValue) {
+  // Regression for the steal() race: the old code wrote the slot into the
+  // caller's Out BEFORE the CAS decided ownership. A thief that lost the
+  // race could hand its caller a value another thief (or the owner's pop)
+  // already took — duplication — or, after the owner wrapped the ring, a
+  // value that was never at its claimed index. Reading into a local and
+  // publishing only after the CAS win makes a lost race side-effect free.
+  //
+  // Stress shape: a tiny initial ring (forced grows), the owner push/pop
+  // cycling in bursts so Top chases Bottom closely (maximizing last-element
+  // contention), and more thieves than cores. Runs under TSan in CI.
+  constexpr int Rounds = 400;
+  constexpr int Burst = 64;
+  constexpr int NumThieves = 6;
+  constexpr int N = Rounds * Burst;
+
+  WorkStealingDeque<int *> D(/*LogInitialCap=*/1);
+  std::vector<int> Vals(N);
+  std::atomic<int> Taken{0};
+  std::atomic<char> Seen[N] = {};
+
+  std::vector<std::thread> Thieves;
+  for (int T = 0; T != NumThieves; ++T)
+    Thieves.emplace_back([&] {
+      int *Out = nullptr;
+      while (Taken.load() < N)
+        if (D.steal(Out)) {
+          size_t Idx = static_cast<size_t>(Out - Vals.data());
+          ASSERT_LT(Idx, static_cast<size_t>(N));
+          Seen[Idx].fetch_add(1);
+          Taken.fetch_add(1);
+        }
+    });
+
+  for (int R = 0; R != Rounds; ++R) {
+    for (int I = 0; I != Burst; ++I)
+      D.push(&Vals[R * Burst + I]);
+    // Pop about half the burst back, dueling thieves for the tail.
+    int *Out = nullptr;
+    for (int I = 0; I != Burst / 2 && D.pop(Out); ++I) {
+      size_t Idx = static_cast<size_t>(Out - Vals.data());
+      Seen[Idx].fetch_add(1);
+      Taken.fetch_add(1);
+    }
+  }
+  int *Out = nullptr;
+  while (D.pop(Out)) {
+    Seen[static_cast<size_t>(Out - Vals.data())].fetch_add(1);
+    Taken.fetch_add(1);
+  }
+  for (std::thread &T : Thieves)
+    T.join();
+
+  EXPECT_EQ(Taken.load(), N);
+  for (int I = 0; I != N; ++I)
+    EXPECT_EQ(Seen[I].load(), 1) << "element " << I;
+}
+
 TEST(Runtime, RunsRootToCompletion) {
   Runtime RT(2);
   std::atomic<int> X{0};

@@ -6,6 +6,7 @@
 
 #include "support/Casting.h"
 #include "support/Diagnostics.h"
+#include "support/Json.h"
 #include "support/PagedArray.h"
 #include "support/Rng.h"
 #include "support/SmallVector.h"
@@ -217,6 +218,57 @@ struct DerivedB : Base {
   DerivedB() : Base(Kind::B) {}
   static bool classof(const Base *B) { return B->K == Kind::B; }
 };
+
+TEST(Json, SurrogatePairsDecodeToUtf8) {
+  // A \uD83D\uDE00-style pair is ONE code point (here U+1F600) and must
+  // come out as its 4-byte UTF-8 encoding, not as two 3-byte mojibake
+  // sequences of the raw surrogate values.
+  json::ParseResult R = json::parse("\"\\uD83D\\uDE00\"");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Doc.asString(), "\xF0\x9F\x98\x80");
+
+  // Lowest (U+10000) and highest (U+10FFFF) astral code points.
+  R = json::parse("\"\\uD800\\uDC00\"");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Doc.asString(), "\xF0\x90\x80\x80");
+  R = json::parse("\"\\uDBFF\\uDFFF\"");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Doc.asString(), "\xF4\x8F\xBF\xBF");
+
+  // Surrounding text and BMP escapes are unaffected.
+  R = json::parse("\"a\\u00E9b\\uD83D\\uDE00c\"");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Doc.asString(), "a\xC3\xA9"
+                              "b\xF0\x9F\x98\x80"
+                              "c");
+}
+
+TEST(Json, LoneAndMalformedSurrogatesAreParseErrors) {
+  struct Case {
+    const char *Text;
+    const char *Needle; // expected fragment of the error message
+  } Cases[] = {
+      // A low surrogate with no preceding high half.
+      {"\"\\uDC00\"", "lone low surrogate"},
+      {"\"x\\uDFFFy\"", "lone low surrogate"},
+      // A high surrogate at end-of-string / followed by a non-escape.
+      {"\"\\uD800\"", "unpaired high surrogate"},
+      {"\"\\uD83Dz\"", "unpaired high surrogate"},
+      {"\"\\uD83D\\n\"", "unpaired high surrogate"},
+      // A high surrogate followed by a \u escape that is not a low half.
+      {"\"\\uD83D\\u0041\"", "not followed by a low surrogate"},
+      {"\"\\uD83D\\uD83D\"", "not followed by a low surrogate"},
+      // Truncated or non-hex second half.
+      {"\"\\uD83D\\uDE\"", "\\u escape"},
+      {"\"\\uZZZZ\"", "invalid \\u escape"},
+  };
+  for (const Case &C : Cases) {
+    json::ParseResult R = json::parse(C.Text);
+    EXPECT_FALSE(R.Ok) << C.Text;
+    EXPECT_NE(R.Error.find(C.Needle), std::string::npos)
+        << C.Text << " -> " << R.Error;
+  }
+}
 
 TEST(Casting, IsaCastDynCast) {
   DerivedA A;

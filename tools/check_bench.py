@@ -19,13 +19,16 @@ Regression gates: each `--min-speedup KEY:X` requires the BEST speedup
 among result rows whose name contains KEY to be at least X (best-of so a
 single noisy window cannot flake CI; a real regression drags every row
 down). The speedup field is per-bench: detector rows carry
-`speedup_vs_map`, replay rows `speedup`, vc rows `speedup_vs_espbags`.
-CI uses this to fail perf regressions outright:
+`speedup_vs_map`, replay rows `speedup`, vc rows `speedup_vs_espbags`,
+pdetect rows `speedup_vs_1worker`. CI uses this to fail perf regressions
+outright:
 
     python3 tools/check_bench.py build/bench/bench_replay \\
         --min-speedup compute-bound:1.5
     python3 tools/check_bench.py build/bench/bench_vc \\
         --min-speedup access:0.9
+    python3 tools/check_bench.py build/bench/bench_pdetect \\
+        --min-speedup large/MRW/w4:2.0   # only meaningful on >= 4 cores
 """
 
 import json
@@ -109,6 +112,41 @@ def validate_vc_rows(results):
     check({"SRW", "MRW"} <= modes, f"expected SRW and MRW rows, got {sorted(modes)}")
 
 
+def validate_pdetect_rows(results):
+    impls = set()
+    modes = set()
+    families = set()
+    par_workers = set()
+    for i, row in enumerate(results):
+        impls.add(row["impl"])
+        modes.add(row["mode"])
+        families.add(row["family"])
+        check(row["events"] > 0, f"result {i} ({row['name']}) recorded no events")
+        check(row["accesses_per_sec"] > 0, f"result {i} has non-positive rate")
+        check(row["seconds"] > 0, f"result {i} has non-positive duration")
+        check(row["total_accesses"] > 0, f"result {i} recorded no accesses")
+        if row["impl"] == "par":
+            par_workers.add(row["workers"])
+            check(
+                row.get("speedup_vs_1worker", 0) > 0,
+                f"result {i} ({row['name']}) missing speedup_vs_1worker",
+            )
+
+    # The scaling curve needs the sequential anchor plus the full worker
+    # sweep, over both workload families and both detector variants.
+    check("espbags" in impls, "no 'espbags' baseline rows in report")
+    check("par" in impls, "no 'par' rows in report")
+    check(
+        {1, 2, 4, 8} <= par_workers,
+        f"expected par rows at 1/2/4/8 workers, got {sorted(par_workers)}",
+    )
+    check(
+        {"large", "suite"} <= families,
+        f"expected large and suite families, got {sorted(families)}",
+    )
+    check({"SRW", "MRW"} <= modes, f"expected SRW and MRW rows, got {sorted(modes)}")
+
+
 # Per-report row schema, semantic checks, and the field --min-speedup
 # gates on, keyed by the report name the bench binary declares (and its
 # basename implies).
@@ -157,6 +195,21 @@ BENCHES = {
         },
         validate_vc_rows,
         "speedup_vs_espbags",
+    ),
+    "pdetect": (
+        {
+            "name",
+            "family",
+            "mode",
+            "impl",
+            "workers",
+            "events",
+            "total_accesses",
+            "seconds",
+            "accesses_per_sec",
+        },
+        validate_pdetect_rows,
+        "speedup_vs_1worker",
     ),
 }
 

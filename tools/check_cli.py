@@ -88,12 +88,12 @@ def main():
         expect_error(
             "unknown --backend",
             run([tdr, "races", prog, "--backend", "bogus"]),
-            "--backend expects 'espbags' or 'vc'",
+            "--backend expects 'espbags', 'vc', or 'par'",
         )
         expect_error(
             "unknown TDR_BACKEND",
             run(races, {"TDR_BACKEND": "warp-drive"}),
-            "TDR_BACKEND expects 'espbags' or 'vc'",
+            "TDR_BACKEND expects 'espbags', 'vc', or 'par'",
         )
         expect_error(
             "flag/env conflict",
@@ -119,7 +119,7 @@ def main():
 
         # Acceptances: flag alone, env alone, and flag+env agreement all
         # run the detection (exit 1 = races found on this racy input).
-        for backend in ("espbags", "vc"):
+        for backend in ("espbags", "vc", "par"):
             expect_success(
                 f"--backend {backend}",
                 run(races + ["--backend", backend]),
@@ -166,7 +166,7 @@ def main():
         # End to end: repair under each backend produces the same repaired
         # program, and the repaired program is race free under the other.
         outs = {}
-        for backend in ("espbags", "vc"):
+        for backend in ("espbags", "vc", "par"):
             out = os.path.join(tmp, f"repaired-{backend}.hj")
             expect_success(
                 f"repair --backend {backend}",
@@ -178,17 +178,22 @@ def main():
             if os.path.exists(out):
                 with open(out) as f:
                     outs[backend] = f.read()
-        if len(outs) == 2:
+        if len(outs) == 3:
             check(
                 outs["espbags"] == outs["vc"],
-                "repaired programs differ between backends",
+                "repaired programs differ between espbags and vc",
             )
-            expect_success(
-                "repaired program race free under the other backend",
-                run([tdr, "races", os.path.join(tmp, "repaired-espbags.hj"),
-                     "--arg", "6", "--backend", "vc"]),
-                ok_codes=(0,),
+            check(
+                outs["espbags"] == outs["par"],
+                "repaired programs differ between espbags and par",
             )
+            for backend in ("vc", "par"):
+                expect_success(
+                    f"repaired program race free under {backend}",
+                    run([tdr, "races", os.path.join(tmp, "repaired-espbags.hj"),
+                         "--arg", "6", "--backend", backend]),
+                    ok_codes=(0,),
+                )
 
     if FAILURES:
         for msg in FAILURES:

@@ -6,7 +6,7 @@ checks the emitted report: schema/version header, job stats, per-iteration
 race witnesses (source line/col for both accesses, the NS-LCA node, the
 breaking async edge), and per-finish repair provenance (costs, forced
 dependence edges, rejected alternatives). Also checks that the witness
-sections are byte-identical across the two detection backends and that
+sections are byte-identical across all three detection backends and that
 `tdr explain` accepts every report it writes. Invoked from CTest (see
 tools/CMakeLists.txt) but also usable standalone:
 
@@ -65,7 +65,7 @@ def load_report(path, label):
     check(doc.get("version") == 1, f"{label}: bad schema version")
     check(doc.get("tool") in ("races", "repair", "batch"),
           f"{label}: bad tool {doc.get('tool')!r}")
-    check(doc.get("backend") in ("espbags", "vc"),
+    check(doc.get("backend") in ("espbags", "vc", "par"),
           f"{label}: bad backend {doc.get('backend')!r}")
     check(doc.get("mode") in ("srw", "mrw"),
           f"{label}: bad mode {doc.get('mode')!r}")
@@ -168,9 +168,9 @@ def main():
             check("tdr run report" in res.stdout,
                   f"{label}: explain output missing report header")
 
-        # -- tdr races --report, under both backends ---------------------
+        # -- tdr races --report, under every backend ---------------------
         sections = {}
-        for backend in ("espbags", "vc"):
+        for backend in ("espbags", "vc", "par"):
             report = os.path.join(tmp, f"races-{backend}.json")
             res = run([tdr, "races", prog, "--arg", "6",
                        "--backend", backend, "--report", report])
@@ -186,9 +186,43 @@ def main():
                 validate_job(job, f"races[{backend}]", racy=True)
             sections[backend] = witness_sections(doc)
             explain_ok(report, f"races[{backend}]")
-        if len(sections) == 2:
+        if len(sections) == 3:
             check(sections["espbags"] == sections["vc"],
-                  "witness sections differ between backends")
+                  "witness sections differ between espbags and vc")
+            check(sections["espbags"] == sections["par"],
+                  "witness sections differ between espbags and par")
+
+        # -- \uXXXX surrogate handling in the report reader ---------------
+        # A report whose strings escape non-BMP characters as surrogate
+        # pairs (json.dump with ensure_ascii emits exactly that) must
+        # round-trip through `tdr explain`; a lone half must be rejected
+        # as a parse error, not decoded into mojibake.
+        src = os.path.join(tmp, "races-espbags.json")
+        if os.path.exists(src):
+            with open(src) as f:
+                doc = json.load(f)
+            doc["jobs"][0]["name"] = "fixture \U0001F600 astral"
+            pair = os.path.join(tmp, "surrogate-pair.json")
+            with open(pair, "w") as f:
+                json.dump(doc, f, ensure_ascii=True)
+            with open(pair) as f:
+                check("\\ud83d\\ude00" in f.read().lower(),
+                      "surrogate fixture did not emit a surrogate pair")
+            res = run([tdr, "explain", pair])
+            check(res.returncode == 0,
+                  f"explain surrogate pair: exited {res.returncode}: "
+                  f"{res.stderr.strip()}")
+            lone = os.path.join(tmp, "surrogate-lone.json")
+            with open(pair) as f:
+                text = f.read()
+            with open(lone, "w") as f:
+                f.write(text.replace("\\ud83d\\ude00", "\\ude00")
+                            .replace("\\uD83D\\uDE00", "\\uDE00"))
+            res = run([tdr, "explain", lone])
+            check(res.returncode != 0,
+                  "explain accepted a lone low surrogate")
+            check("surrogate" in res.stderr,
+                  f"lone-surrogate error not surfaced: {res.stderr.strip()!r}")
 
         # -- tdr repair --report: provenance ------------------------------
         report = os.path.join(tmp, "repair.json")

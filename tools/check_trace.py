@@ -122,7 +122,9 @@ def validate_metrics(path):
         check(ok, f"metric '{key}' is neither a number nor a histogram object")
     # The per-detector counter family follows the selected backend
     # (TDR_BACKEND env / --backend flag).
-    detector = "vc" if os.environ.get("TDR_BACKEND") == "vc" else "espbags"
+    detector = os.environ.get("TDR_BACKEND", "espbags")
+    if detector not in ("espbags", "vc", "par"):
+        detector = "espbags"
     for name in ("dpst.nodes", f"{detector}.checks", "detect.runs"):
         check(name in doc, f"metrics dump missing '{name}'")
 

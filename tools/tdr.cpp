@@ -75,12 +75,14 @@ int usage() {
       "                       schema-versioned JSON; read it back with\n"
       "                       'tdr explain'\n"
       "detection options:\n"
-      "  --backend B          race-detection backend: 'espbags' (default)\n"
-      "                       or 'vc' (vector clocks); TDR_BACKEND in the\n"
+      "  --backend B          race-detection backend: 'espbags' (default),\n"
+      "                       'vc' (vector clocks), or 'par' (partitioned\n"
+      "                       parallel log detection; TDR_PAR_WORKERS sets\n"
+      "                       its worker count); TDR_BACKEND in the\n"
       "                       environment selects the same default, and\n"
-      "                       TDR_BACKEND_CHECK=1 runs every detection\n"
-      "                       under both backends, requiring identical\n"
-      "                       race reports\n"
+      "                       TDR_BACKEND_CHECK=1 cross-checks every\n"
+      "                       detection against a second backend,\n"
+      "                       requiring identical race reports\n"
       "repair options:\n"
       "  --no-replay          re-interpret the test input on every repair\n"
       "                       iteration instead of replaying the recorded\n"
@@ -132,7 +134,8 @@ bool resolveBackend(const std::string &Flag, Options &O) {
   DetectBackend FromFlag = DetectBackend::EspBags;
   if (FlagSet && !parseDetectBackend(Flag, FromFlag)) {
     std::fprintf(stderr,
-                 "error: --backend expects 'espbags' or 'vc', got '%s'\n",
+                 "error: --backend expects 'espbags', 'vc', or 'par', "
+                 "got '%s'\n",
                  Flag.c_str());
     return false;
   }
@@ -141,7 +144,8 @@ bool resolveBackend(const std::string &Flag, Options &O) {
   DetectBackend FromEnv = DetectBackend::EspBags;
   if (EnvSet && !parseDetectBackend(Env, FromEnv)) {
     std::fprintf(stderr,
-                 "error: TDR_BACKEND expects 'espbags' or 'vc', got '%s'\n",
+                 "error: TDR_BACKEND expects 'espbags', 'vc', or 'par', "
+                 "got '%s'\n",
                  Env);
     return false;
   }
