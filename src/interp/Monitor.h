@@ -30,6 +30,7 @@
 
 #include "interp/Value.h"
 
+#include <cassert>
 #include <cstdint>
 
 namespace tdr {
@@ -87,6 +88,24 @@ public:
 
   virtual void onRead(MemLoc L) { (void)L; }
   virtual void onWrite(MemLoc L) { (void)L; }
+
+  /// Batched access check: \p N reads/writes of the consecutive element
+  /// locations (L.Id, L.Index) .. (L.Id, L.Index + N - 1), in ascending
+  /// index order — the dominant MRW pattern (array sweeps). Element
+  /// locations only; semantically identical to N single calls, and the
+  /// default does exactly that, so monitors that never override the run
+  /// hooks observe the same event stream either way. Detectors override
+  /// these to resolve one shadow page per 64-element span.
+  virtual void onReadRun(MemLoc L, uint64_t N) {
+    assert(L.K == MemLoc::Kind::Elem && "runs are element-plane only");
+    for (uint64_t I = 0; I != N; ++I)
+      onRead(MemLoc::elem(L.Id, L.Index + static_cast<int64_t>(I)));
+  }
+  virtual void onWriteRun(MemLoc L, uint64_t N) {
+    assert(L.K == MemLoc::Kind::Elem && "runs are element-plane only");
+    for (uint64_t I = 0; I != N; ++I)
+      onWrite(MemLoc::elem(L.Id, L.Index + static_cast<int64_t>(I)));
+  }
 };
 
 /// Fans events out to several monitors in order. A pipeline holding
@@ -164,6 +183,18 @@ public:
       return Single->onWrite(L);
     for (ExecMonitor *M : Monitors)
       M->onWrite(L);
+  }
+  void onReadRun(MemLoc L, uint64_t N) override {
+    if (Single)
+      return Single->onReadRun(L, N);
+    for (ExecMonitor *M : Monitors)
+      M->onReadRun(L, N);
+  }
+  void onWriteRun(MemLoc L, uint64_t N) override {
+    if (Single)
+      return Single->onWriteRun(L, N);
+    for (ExecMonitor *M : Monitors)
+      M->onWriteRun(L, N);
   }
 
 private:

@@ -66,6 +66,10 @@ void publishDetection(const Detection &D) {
   obs::gauge("detect.races_raw").set(static_cast<int64_t>(D.Report.RawCount));
   obs::gauge("detect.race_pairs")
       .set(static_cast<int64_t>(D.Report.Pairs.size()));
+  obs::gauge("shadow.bytes_used")
+      .set(static_cast<int64_t>(D.ShadowBytesUsed));
+  obs::gauge("shadow.bytes_reserved")
+      .set(static_cast<int64_t>(D.ShadowBytesReserved));
 }
 
 /// One live (interpreting) detection with detector \p DetectorT. Both
@@ -94,6 +98,8 @@ Detection liveDetect(const Program &P, EspBagsDetector::Mode Mode,
   }
   D.Exec = runProgram(P, std::move(Exec));
   D.Report = Detector.takeReport();
+  D.ShadowBytesUsed = Detector.shadowBytesUsed();
+  D.ShadowBytesReserved = Detector.shadowBytesReserved();
   return D;
 }
 
@@ -111,6 +117,8 @@ Detection replayDetect(EspBagsDetector::Mode Mode, const trace::InputTrace &T,
   obs::histogram("trace.replay_ms").observe(ReplayTimer.elapsedMs());
   D.Exec = T.Exec;
   D.Report = Detector.takeReport();
+  D.ShadowBytesUsed = Detector.shadowBytesUsed();
+  D.ShadowBytesReserved = Detector.shadowBytesReserved();
   return D;
 }
 
@@ -251,6 +259,8 @@ Detection tdr::detectRacesOracle(const Program &, const trace::InputTrace &T,
   obs::histogram("trace.replay_ms").observe(ReplayTimer.elapsedMs());
   D.Exec = T.Exec;
   D.Report = Detector.takeReport();
+  D.ShadowBytesUsed = Detector.shadowBytesUsed();
+  D.ShadowBytesReserved = Detector.shadowBytesReserved();
   publishDetection(D);
   return D;
 }
@@ -284,6 +294,8 @@ Detection tdr::detectRacesOracle(const Program &P, ExecOptions Exec) {
   }
   D.Exec = runProgram(P, std::move(Exec));
   D.Report = Detector.takeReport();
+  D.ShadowBytesUsed = Detector.shadowBytesUsed();
+  D.ShadowBytesReserved = Detector.shadowBytesReserved();
   publishDetection(D);
   return D;
 }

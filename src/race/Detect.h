@@ -87,9 +87,18 @@ public:
   }
   // The builder ignores accesses (steps are created lazily by the
   // detector's currentStep() pull), so reads/writes go straight to the
-  // detector.
+  // detector. The batched run entry points forward statically as well, so
+  // a detector's page-sweep fast path (see ShadowMemory::forRun) is
+  // reached without any per-element virtual dispatch; detectors without an
+  // override inherit the ExecMonitor unrolling default.
   void onRead(MemLoc L) override { D.DetectorT::onRead(L); }
   void onWrite(MemLoc L) override { D.DetectorT::onWrite(L); }
+  void onReadRun(MemLoc L, uint64_t N) override {
+    D.DetectorT::onReadRun(L, N);
+  }
+  void onWriteRun(MemLoc L, uint64_t N) override {
+    D.DetectorT::onWriteRun(L, N);
+  }
 
 private:
   DpstBuilder &B;
@@ -136,6 +145,11 @@ struct Detection {
   std::unique_ptr<Dpst> Tree; ///< the S-DPST of the execution
   RaceReport Report;          ///< detected races (steps point into Tree)
   ExecResult Exec;            ///< program outcome (output, errors, work)
+  /// Shadow-store footprint of the run (summed across shards for the par
+  /// backend); published as the shadow.bytes_used / shadow.bytes_reserved
+  /// gauges, so `tdr races/repair --metrics-json` reports both.
+  size_t ShadowBytesUsed = 0;
+  size_t ShadowBytesReserved = 0;
 
   bool ok() const { return Exec.Ok; }
 };

@@ -116,9 +116,30 @@ void EspBagsDetector::compactReaders(Shadow &S) {
 }
 
 void EspBagsDetector::onRead(MemLoc L) {
-  DpstNode *Step = curStep();
-  Shadow &S = Shadows.slot(L);
   CReads->inc();
+  readSlot(Shadows.slot(L), curStep(), L);
+}
+
+void EspBagsDetector::onWrite(MemLoc L) {
+  CWrites->inc();
+  writeSlot(Shadows.slot(L), curStep(), L);
+}
+
+void EspBagsDetector::onReadRun(MemLoc L, uint64_t N) {
+  CReads->inc(N);
+  DpstNode *Step = curStep();
+  Shadows.forRun(L, N,
+                 [&](Shadow &S, MemLoc At) { readSlot(S, Step, At); });
+}
+
+void EspBagsDetector::onWriteRun(MemLoc L, uint64_t N) {
+  CWrites->inc(N);
+  DpstNode *Step = curStep();
+  Shadows.forRun(L, N,
+                 [&](Shadow &S, MemLoc At) { writeSlot(S, Step, At); });
+}
+
+void EspBagsDetector::readSlot(Shadow &S, DpstNode *Step, MemLoc L) {
   CChecks->inc(S.Writers.size());
 
   for (const Access &W : S.Writers)
@@ -146,10 +167,7 @@ void EspBagsDetector::onRead(MemLoc L) {
     compactReaders(S);
 }
 
-void EspBagsDetector::onWrite(MemLoc L) {
-  DpstNode *Step = curStep();
-  Shadow &S = Shadows.slot(L);
-  CWrites->inc();
+void EspBagsDetector::writeSlot(Shadow &S, DpstNode *Step, MemLoc L) {
   CChecks->inc(S.Writers.size() + S.Readers.size());
 
   for (const Access &W : S.Writers)

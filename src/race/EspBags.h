@@ -88,12 +88,18 @@ public:
   void onScopeExit() override;
   void onRead(MemLoc L) override;
   void onWrite(MemLoc L) override;
+  void onReadRun(MemLoc L, uint64_t N) override;
+  void onWriteRun(MemLoc L, uint64_t N) override;
 
   /// The detection outcome (valid once execution finished).
   RaceReport takeReport();
 
   /// Number of distinct racing pairs found so far.
   size_t numPairs() const { return Report.Pairs.size(); }
+
+  /// Shadow-store footprint (see ShadowMemory accounting).
+  size_t shadowBytesUsed() const { return Shadows.bytesUsed(); }
+  size_t shadowBytesReserved() const { return Shadows.bytesReserved(); }
 
 private:
   struct Access {
@@ -120,6 +126,12 @@ private:
                   AccessKind CurKind, MemLoc L);
 
   void compactReaders(Shadow &S);
+
+  /// Per-slot check/update bodies shared by the single-access hooks and
+  /// the batched run path, so both orders of entry produce byte-identical
+  /// reports by construction.
+  void readSlot(Shadow &S, DpstNode *Step, MemLoc L);
+  void writeSlot(Shadow &S, DpstNode *Step, MemLoc L);
 
   /// The step receiving the current access; cached until the next
   /// structure event closes the step.

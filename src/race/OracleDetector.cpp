@@ -50,19 +50,31 @@ void OracleDetector::check(const AccessList &Prev, AccessKind PrevKind,
   }
 }
 
-void OracleDetector::onRead(MemLoc L) {
-  DpstNode *Step = curStep();
-  Shadow &S = Shadows.slot(L);
+void OracleDetector::readSlot(Shadow &S, DpstNode *Step, MemLoc L) {
   check(S.Writers, AccessKind::Write, Step, AccessKind::Read, L);
   if (S.Readers.empty() || S.Readers.back() != Step)
     S.Readers.push_back(Step);
 }
 
-void OracleDetector::onWrite(MemLoc L) {
-  DpstNode *Step = curStep();
-  Shadow &S = Shadows.slot(L);
+void OracleDetector::writeSlot(Shadow &S, DpstNode *Step, MemLoc L) {
   check(S.Writers, AccessKind::Write, Step, AccessKind::Write, L);
   check(S.Readers, AccessKind::Read, Step, AccessKind::Write, L);
   if (S.Writers.empty() || S.Writers.back() != Step)
     S.Writers.push_back(Step);
+}
+
+void OracleDetector::onRead(MemLoc L) { readSlot(Shadows.slot(L), curStep(), L); }
+
+void OracleDetector::onWrite(MemLoc L) {
+  writeSlot(Shadows.slot(L), curStep(), L);
+}
+
+void OracleDetector::onReadRun(MemLoc L, uint64_t N) {
+  DpstNode *Step = curStep();
+  Shadows.forRun(L, N, [&](Shadow &S, MemLoc At) { readSlot(S, Step, At); });
+}
+
+void OracleDetector::onWriteRun(MemLoc L, uint64_t N) {
+  DpstNode *Step = curStep();
+  Shadows.forRun(L, N, [&](Shadow &S, MemLoc At) { writeSlot(S, Step, At); });
 }

@@ -45,8 +45,14 @@ public:
   void onScopeExit() override;
   void onRead(MemLoc L) override;
   void onWrite(MemLoc L) override;
+  void onReadRun(MemLoc L, uint64_t N) override;
+  void onWriteRun(MemLoc L, uint64_t N) override;
 
   RaceReport takeReport() { return std::move(Report); }
+
+  /// Shadow-store footprint (see ShadowMemory accounting).
+  size_t shadowBytesUsed() const { return Shadows.bytesUsed(); }
+  size_t shadowBytesReserved() const { return Shadows.bytesReserved(); }
 
 private:
   using AccessList = SmallVector<DpstNode *, 2>;
@@ -62,6 +68,11 @@ private:
 
   void check(const AccessList &Prev, AccessKind PrevKind, DpstNode *Step,
              AccessKind CurKind, MemLoc L);
+
+  /// Per-slot check/update bodies shared by the single-access hooks and
+  /// the batched run path.
+  void readSlot(Shadow &S, DpstNode *Step, MemLoc L);
+  void writeSlot(Shadow &S, DpstNode *Step, MemLoc L);
 
   DpstNode *curStep() {
     if (DpstNode *S = CachedStep)

@@ -191,7 +191,8 @@ struct ShardSlot {
 };
 
 void scanChunk(const std::vector<AccessRec> &Accesses, size_t Lo, size_t Hi,
-               std::vector<LocEntry> &Out) {
+               std::vector<LocEntry> &Out, std::atomic<uint64_t> &ShardUsed,
+               std::atomic<uint64_t> &ShardReserved) {
   ShadowMemory<ShardSlot> Shard;
   for (size_t I = Lo; I != Hi; ++I) {
     const AccessRec &A = Accesses[I];
@@ -221,6 +222,10 @@ void scanChunk(const std::vector<AccessRec> &Accesses, size_t Lo, size_t Hi,
         ++S.RBW;
     }
   }
+  // The backend's "shadow" is the union of the per-chunk shards; summing
+  // their peaks gives the comparable footprint the shadow.* gauges report.
+  ShardUsed.fetch_add(Shard.bytesUsed(), std::memory_order_relaxed);
+  ShardReserved.fetch_add(Shard.bytesReserved(), std::memory_order_relaxed);
 }
 
 //===----------------------------------------------------------------------===//
@@ -391,7 +396,8 @@ std::vector<size_t> chunkBounds(const std::vector<AccessRec> &Accesses,
 }
 
 RaceReport runPipeline(std::vector<AccessRec> Accesses,
-                       EspBagsDetector::Mode Mode, unsigned Workers) {
+                       EspBagsDetector::Mode Mode, unsigned Workers,
+                       size_t &ShadowUsedOut, size_t &ShadowReservedOut) {
   obs::Counter *CChunks = &obs::counter("par.chunks");
   obs::Counter *CSummaries = &obs::counter("par.summaries");
   // Same counter family every backend maintains (<backend>.reads/writes/
@@ -429,6 +435,8 @@ RaceReport runPipeline(std::vector<AccessRec> Accesses,
   };
   std::vector<LocGroup> Groups;
   std::atomic<size_t> Cursor{0};
+  std::atomic<uint64_t> ShardUsed{0};
+  std::atomic<uint64_t> ShardReserved{0};
   std::vector<Findings> WorkerFindings(Workers);
   std::vector<uint64_t> WorkerChecks(Workers, 0);
 
@@ -462,7 +470,8 @@ RaceReport runPipeline(std::vector<AccessRec> Accesses,
 
   if (NumChunks <= 1 || Workers <= 1) {
     for (size_t C = 0; C != NumChunks; ++C)
-      scanChunk(Accesses, Bounds[C], Bounds[C + 1], ChunkLists[C]);
+      scanChunk(Accesses, Bounds[C], Bounds[C + 1], ChunkLists[C], ShardUsed,
+                ShardReserved);
     obs::histogram("par.scan_ms").observe(ScanTimer.elapsedMs());
     Timer MergeTimer;
     gather();
@@ -477,7 +486,8 @@ RaceReport runPipeline(std::vector<AccessRec> Accesses,
         FinishScope Fin;
         for (size_t C = 0; C != NumChunks; ++C)
           Fin.async([&, C] {
-            scanChunk(Accesses, Bounds[C], Bounds[C + 1], ChunkLists[C]);
+            scanChunk(Accesses, Bounds[C], Bounds[C + 1], ChunkLists[C],
+                      ShardUsed, ShardReserved);
           });
       } // joins Phase A
       ScanMs = ScanTimer.elapsedMs();
@@ -527,6 +537,8 @@ RaceReport runPipeline(std::vector<AccessRec> Accesses,
   CRaw->inc(Report.RawCount);
   CPairs->inc(Report.Pairs.size());
   obs::histogram("par.fold_ms").observe(FoldTimer.elapsedMs());
+  ShadowUsedOut = ShardUsed.load(std::memory_order_relaxed);
+  ShadowReservedOut = ShardReserved.load(std::memory_order_relaxed);
   return Report;
 }
 
@@ -564,7 +576,8 @@ Detection tdr::parDetectReplay(const DetectOptions &Opts,
   D.Exec = T.Exec;
   std::vector<AccessRec> Accesses = Pre.takeAccesses();
   unsigned Workers = resolveParWorkers(Opts.ParWorkers, Accesses.size());
-  D.Report = runPipeline(std::move(Accesses), Opts.Mode, Workers);
+  D.Report = runPipeline(std::move(Accesses), Opts.Mode, Workers,
+                         D.ShadowBytesUsed, D.ShadowBytesReserved);
   return D;
 }
 

@@ -1,24 +1,41 @@
-//===- ShadowMemory.h - Flat per-location shadow state store -----*- C++ -*-===//
+//===- ShadowMemory.h - Two-level compressed shadow state store --*- C++ -*-===//
 //
 // Part of the tdr project (PLDI 2014 race-repair reproduction).
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The detectors' shadow memory, keyed by MemLoc without hashing. MemLoc
-/// already names locations structurally — a dense global slot, or a dense
-/// array id plus an element index — so the store mirrors that structure
-/// directly:
+/// The detectors' shadow memory, keyed by MemLoc without hashing the hot
+/// path. MemLoc names locations structurally — a dense global slot, or an
+/// array id plus an element index — and the two planes are stored
+/// differently because their index distributions differ:
 ///
-///  * globals: one PagedArray indexed by slot id;
-///  * arrays:  a vector indexed by array id of PagedArrays indexed by
-///             element index.
+///  * globals: sema assigns dense small slot ids, so one PagedArray
+///    indexed by slot id stays optimal;
+///  * array elements: ids and indices are sparse and unbounded (one access
+///    to element 10^9 of array 10^6 must not commit megabytes), so this
+///    plane is a Valgrind-style two-level compressed map. A sparse
+///    top-level open-addressing table keyed by (array id, index >> 6)
+///    points at fixed 64-cell second-level pages. Conceptually every
+///    untouched range aliases one distinguished shared read-only
+///    **no-access page** of zero cells; const lookups (peek) resolve to it
+///    without allocating, and the first real write to a range
+///    copy-on-write-allocates a private page initialized from that shared
+///    zero image.
 ///
-/// Every probe is bounds checks plus direct indexing (O(1), no hash, no
-/// collision chains), and all pages share one MonotonicArena so teardown is
-/// wholesale. This replaces the previous
-/// std::unordered_map<MemLoc, Shadow> whose probe cost dominated the
-/// per-access detector hot path.
+/// Cells are compact per-location summaries: when the shadow record T is
+/// small, zero-initializable, and trivially destructible it is stored
+/// inline in the page; otherwise the page holds 4-byte slot references
+/// into a dense allocation-ordered slab, so an untouched neighbor of a
+/// touched element costs 4 bytes, not sizeof(T). A one-entry page cache in
+/// front of the table makes sequential sweeps resolve the table once per
+/// 64 elements, and forRun() exposes exactly that page-span structure to
+/// the detectors' batched access checks.
+///
+/// All pages share one MonotonicArena so teardown is wholesale.
+/// DenseShadowMemory below preserves the previous dense-direct-map
+/// implementation verbatim as the measured baseline for bench_shadow and
+/// the sparse-blow-up regression tests.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,13 +45,236 @@
 #include "interp/Value.h"
 #include "support/PagedArray.h"
 
+#include <cstring>
 #include <deque>
+#include <type_traits>
 
 namespace tdr {
 
+namespace shadow_detail {
+
+/// Second-level pages cover 2^6 = 64 consecutive element indices: big
+/// enough that sequential sweeps amortize the top-level probe, small
+/// enough that a stray access to a giant index commits a few hundred
+/// bytes, not kilobytes.
+inline constexpr unsigned PageBits = 6;
+inline constexpr uint64_t PageSize = 1ull << PageBits;
+
+/// Backing bytes for the shared no-access page. One static zero image
+/// serves every instantiation: a cell of zero bytes is "never accessed"
+/// in both storage modes (inline cells require AllZeroInit; slot
+/// references use 0 as "no slot").
+inline constexpr size_t NoAccessBytes = PageSize * 16;
+alignas(64) inline constexpr unsigned char NoAccessImage[NoAccessBytes] = {};
+
+inline uint64_t hashKey(uint32_t Id, uint64_t PageIdx) {
+  uint64_t X = PageIdx + 0x9E3779B97F4A7C15ull * (uint64_t(Id) + 1);
+  X ^= X >> 30;
+  X *= 0xBF58476D1CE4E5B9ull;
+  X ^= X >> 27;
+  X *= 0x94D049BB133111EBull;
+  X ^= X >> 31;
+  return X;
+}
+
+} // namespace shadow_detail
+
 template <typename T> class ShadowMemory {
 public:
-  ShadowMemory() : Globals(Arena) {}
+  static constexpr unsigned PageBits = shadow_detail::PageBits;
+  static constexpr uint64_t PageSize = shadow_detail::PageSize;
+
+  /// Small all-zero-init trivially-destructible records live inline in the
+  /// pages; anything else goes through the compact 4-byte slot lane.
+  static constexpr bool InlineCells =
+      sizeof(T) <= 8 && IsAllZeroInit<T>::value &&
+      std::is_trivially_destructible<T>::value;
+
+  using Cell = typename std::conditional<InlineCells, T, uint32_t>::type;
+  static_assert(sizeof(Cell) * PageSize <= shadow_detail::NoAccessBytes,
+                "no-access image too small for this cell type");
+
+  ShadowMemory() : Globals(Arena), Slab(Arena) {}
+
+  ShadowMemory(const ShadowMemory &) = delete;
+  ShadowMemory &operator=(const ShadowMemory &) = delete;
+
+  /// Shadow state for \p L, created value-initialized on first touch.
+  T &slot(MemLoc L) {
+    if (L.K == MemLoc::Kind::Global)
+      return Globals.getOrCreate(L.Id);
+    assert(L.Index >= 0 && "negative element index reached the detector");
+    uint64_t Idx = static_cast<uint64_t>(L.Index);
+    Cell *Page = pageFor(L.Id, Idx >> PageBits);
+    return cellSlot(Page[Idx & (PageSize - 1)]);
+  }
+
+  /// Read-only view of the shadow state for \p L. Never materializes a
+  /// page or a slab record: locations never written through slot() resolve
+  /// into the shared no-access image and return its zero record.
+  const T &peek(MemLoc L) const {
+    if (L.K == MemLoc::Kind::Global) {
+      const T *S = Globals.lookup(L.Id);
+      return S ? *S : noAccessRecord();
+    }
+    assert(L.Index >= 0 && "negative element index reached the detector");
+    uint64_t Idx = static_cast<uint64_t>(L.Index);
+    const Cell *Page = findPage(L.Id, Idx >> PageBits);
+    if (!Page)
+      Page = noAccessPage();
+    const Cell &C = Page[Idx & (PageSize - 1)];
+    if constexpr (InlineCells) {
+      return C;
+    } else {
+      return C ? *Slab.lookup(C - 1) : noAccessRecord();
+    }
+  }
+
+  /// Batched accessor: apply \p F to the shadow slots of the \p N
+  /// consecutive element locations (L.Id, L.Index) .. (L.Id, L.Index+N-1),
+  /// in ascending index order, resolving the top-level table once per page
+  /// span instead of once per element. Element locations only.
+  template <typename Fn> void forRun(MemLoc L, uint64_t N, Fn &&F) {
+    assert(L.K == MemLoc::Kind::Elem && "runs are element-plane only");
+    assert(L.Index >= 0 && "negative element index reached the detector");
+    uint64_t Idx = static_cast<uint64_t>(L.Index);
+    while (N) {
+      uint64_t Off = Idx & (PageSize - 1);
+      uint64_t Span = PageSize - Off < N ? PageSize - Off : N;
+      Cell *Page = pageFor(L.Id, Idx >> PageBits);
+      for (uint64_t I = 0; I != Span; ++I)
+        F(cellSlot(Page[Off + I]),
+          MemLoc::elem(L.Id, static_cast<int64_t>(Idx + I)));
+      Idx += Span;
+      N -= Span;
+    }
+  }
+
+  /// Bytes of live shadow state: arena demand plus the top-level table and
+  /// the dense index vectors. Untouched ranges alias the shared no-access
+  /// page and cost nothing here.
+  size_t bytesUsed() const { return Arena.bytesUsed() + indexBytes(); }
+
+  /// Allocator footprint: slab-granular arena reservation plus the same
+  /// index structures.
+  size_t bytesReserved() const { return Arena.bytesReserved() + indexBytes(); }
+
+  /// Materialized (private) second-level pages — the no-access page is not
+  /// counted, by construction.
+  size_t numPrivatePages() const { return TableCount; }
+
+private:
+  struct Entry {
+    uint64_t PageIdx = 0;
+    uint32_t ArrayId = 0;
+    Cell *Page = nullptr; ///< null marks an empty table entry
+  };
+
+  static const Cell *noAccessPage() {
+    return reinterpret_cast<const Cell *>(shadow_detail::NoAccessImage);
+  }
+
+  static const T &noAccessRecord() {
+    static const T Zero{};
+    return Zero;
+  }
+
+  T &cellSlot(Cell &C) {
+    if constexpr (InlineCells) {
+      return C;
+    } else {
+      if (!C) {
+        C = ++NumSlabRecords;
+        assert(NumSlabRecords != 0 && "slot reference overflow");
+      }
+      return Slab.getOrCreate(C - 1);
+    }
+  }
+
+  Cell *findPage(uint32_t Id, uint64_t PageIdx) const {
+    if (Id == CacheId && PageIdx == CachePageIdx)
+      return CachePage;
+    if (Table.empty())
+      return nullptr;
+    size_t Mask = Table.size() - 1;
+    for (size_t I = shadow_detail::hashKey(Id, PageIdx) & Mask;;
+         I = (I + 1) & Mask) {
+      const Entry &E = Table[I];
+      if (!E.Page)
+        return nullptr;
+      if (E.ArrayId == Id && E.PageIdx == PageIdx)
+        return E.Page;
+    }
+  }
+
+  Cell *pageFor(uint32_t Id, uint64_t PageIdx) {
+    if (Id == CacheId && PageIdx == CachePageIdx)
+      return CachePage;
+    Cell *Page = findPage(Id, PageIdx);
+    if (!Page) {
+      // First real write to this range: break the alias to the shared
+      // no-access page with a private copy of its zero image.
+      if ((TableCount + 1) * 10 > Table.size() * 7)
+        grow();
+      Page = static_cast<Cell *>(
+          Arena.allocate(sizeof(Cell) * PageSize, alignof(Cell)));
+      std::memcpy(static_cast<void *>(Page), noAccessPage(),
+                  sizeof(Cell) * PageSize);
+      insert(Entry{PageIdx, Id, Page});
+      ++TableCount;
+    }
+    CacheId = Id;
+    CachePageIdx = PageIdx;
+    CachePage = Page;
+    return Page;
+  }
+
+  void insert(Entry E) {
+    size_t Mask = Table.size() - 1;
+    size_t I = shadow_detail::hashKey(E.ArrayId, E.PageIdx) & Mask;
+    while (Table[I].Page)
+      I = (I + 1) & Mask;
+    Table[I] = E;
+  }
+
+  void grow() {
+    std::vector<Entry> Old = std::move(Table);
+    Table.assign(Old.empty() ? 64 : Old.size() * 2, Entry{});
+    for (const Entry &E : Old)
+      if (E.Page)
+        insert(E);
+  }
+
+  size_t indexBytes() const {
+    return Table.capacity() * sizeof(Entry) + Globals.indexBytes() +
+           Slab.indexBytes();
+  }
+
+  MonotonicArena Arena;
+  PagedArray<T> Globals; ///< dense sema slot ids: direct map stays optimal
+  PagedArray<T> Slab;    ///< compact-lane records, dense allocation order
+  std::vector<Entry> Table; ///< power-of-two open-addressing top level
+  size_t TableCount = 0;
+  uint32_t NumSlabRecords = 0;
+  // One-entry page cache: sequential and strided-within-page accesses skip
+  // the table probe entirely. CacheId ~0 can never match a real probe
+  // until it is overwritten because MemLoc array ids are small.
+  uint32_t CacheId = ~0u;
+  uint64_t CachePageIdx = ~0ull;
+  Cell *CachePage = nullptr;
+};
+
+/// The previous dense direct-map shadow store, preserved as the measured
+/// baseline: ArrayTable is resized densely by array id and PagedArray page
+/// tables are dense in the highest touched index, so sparse ids/indices
+/// commit O(max id + max index) memory. bench_shadow and the regression
+/// tests pin the new two-level map's advantage against this.
+template <typename T> class DenseShadowMemory {
+public:
+  DenseShadowMemory() : Globals(Arena) {}
+
+  DenseShadowMemory(const DenseShadowMemory &) = delete;
+  DenseShadowMemory &operator=(const DenseShadowMemory &) = delete;
 
   /// Shadow state for \p L, created value-initialized on first touch.
   T &slot(MemLoc L) {
@@ -51,9 +291,18 @@ public:
     return PA->getOrCreate(static_cast<uint64_t>(L.Index));
   }
 
-  size_t bytesReserved() const { return Arena.bytesReserved(); }
+  size_t bytesUsed() const { return Arena.bytesUsed() + indexBytes(); }
+  size_t bytesReserved() const { return Arena.bytesReserved() + indexBytes(); }
 
 private:
+  size_t indexBytes() const {
+    size_t B = ArrayTable.capacity() * sizeof(PagedArray<T> *) +
+               Globals.indexBytes();
+    for (const PagedArray<T> &A : Arrays)
+      B += A.indexBytes();
+    return B;
+  }
+
   MonotonicArena Arena;
   PagedArray<T> Globals;
   std::vector<PagedArray<T> *> ArrayTable; ///< array id -> per-array pages

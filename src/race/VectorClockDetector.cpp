@@ -123,9 +123,30 @@ void VectorClockDetector::recordRace(const Access &Prev, AccessKind PrevKind,
 }
 
 void VectorClockDetector::onRead(MemLoc L) {
-  DpstNode *Step = curStep();
-  Shadow &S = Shadows.slot(L);
   CReads->inc();
+  readSlot(Shadows.slot(L), curStep(), L);
+}
+
+void VectorClockDetector::onWrite(MemLoc L) {
+  CWrites->inc();
+  writeSlot(Shadows.slot(L), curStep(), L);
+}
+
+void VectorClockDetector::onReadRun(MemLoc L, uint64_t N) {
+  CReads->inc(N);
+  DpstNode *Step = curStep();
+  Shadows.forRun(L, N,
+                 [&](Shadow &S, MemLoc At) { readSlot(S, Step, At); });
+}
+
+void VectorClockDetector::onWriteRun(MemLoc L, uint64_t N) {
+  CWrites->inc(N);
+  DpstNode *Step = curStep();
+  Shadows.forRun(L, N,
+                 [&](Shadow &S, MemLoc At) { writeSlot(S, Step, At); });
+}
+
+void VectorClockDetector::readSlot(Shadow &S, DpstNode *Step, MemLoc L) {
   CChecks->inc(S.Writers.size());
 
   for (const Access &W : S.Writers)
@@ -148,10 +169,7 @@ void VectorClockDetector::onRead(MemLoc L) {
     S.Readers.push_back(Access{curTaskId(), Step});
 }
 
-void VectorClockDetector::onWrite(MemLoc L) {
-  DpstNode *Step = curStep();
-  Shadow &S = Shadows.slot(L);
-  CWrites->inc();
+void VectorClockDetector::writeSlot(Shadow &S, DpstNode *Step, MemLoc L) {
   CChecks->inc(S.Writers.size() + S.Readers.size());
 
   for (const Access &W : S.Writers)

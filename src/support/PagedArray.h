@@ -49,17 +49,27 @@ public:
       P = (reinterpret_cast<uintptr_t>(Cur) + Align - 1) & ~(Align - 1);
     }
     Cur = reinterpret_cast<unsigned char *>(P + Bytes);
+    Used += Bytes;
     return reinterpret_cast<void *>(P);
   }
 
   size_t numSlabs() const { return Slabs.size(); }
+
+  /// Total slab bytes held by the arena, including the unconsumed tail of
+  /// the current slab. This is the allocator's footprint, not demand.
   size_t bytesReserved() const { return Allocated; }
+
+  /// Bytes actually handed out by allocate() (alignment padding and slab
+  /// tails excluded). bytesUsed() <= bytesReserved() always; a large gap
+  /// means the arena is mostly idle slab, not live shadow state.
+  size_t bytesUsed() const { return Used; }
 
 private:
   std::vector<std::unique_ptr<unsigned char[]>> Slabs;
   unsigned char *Cur = nullptr;
   unsigned char *End = nullptr;
   size_t Allocated = 0;
+  size_t Used = 0;
 };
 
 /// Opt-in trait for types whose default-constructed state is all-zero
@@ -126,6 +136,11 @@ public:
       Count += Page != nullptr;
     return Count;
   }
+
+  /// Bytes held by the page-table vector itself. The table is dense in the
+  /// highest index touched, so for sparse giant indices this — not the
+  /// pages — is the dominant cost; accounting must include it.
+  size_t indexBytes() const { return Pages.capacity() * sizeof(T *); }
 
 private:
   MonotonicArena &Arena;

@@ -1,0 +1,135 @@
+//===- EventLog.cpp - Out-of-core event log storage -----------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/EventLog.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include <unistd.h>
+
+using namespace tdr::trace;
+
+namespace {
+
+/// Parses TDR_LOG_SPILL: a byte count with an optional K/M/G (KiB/MiB/
+/// GiB) suffix. Unset, empty, zero, or unparsable means "never spill".
+size_t spillThresholdEnv() {
+  const char *V = std::getenv("TDR_LOG_SPILL");
+  if (!V || !*V)
+    return 0;
+  char *End = nullptr;
+  unsigned long long N = std::strtoull(V, &End, 10);
+  if (End == V)
+    return 0;
+  switch (*End) {
+  case 'k':
+  case 'K':
+    N <<= 10;
+    break;
+  case 'm':
+  case 'M':
+    N <<= 20;
+    break;
+  case 'g':
+  case 'G':
+    N <<= 30;
+    break;
+  default:
+    break;
+  }
+  return static_cast<size_t>(N);
+}
+
+} // namespace
+
+void EventLog::FileCloser::operator()(std::FILE *F) const {
+  if (F)
+    std::fclose(F);
+}
+
+EventLog::EventLog() : SpillThreshold(spillThresholdEnv()) {}
+
+EventLog::~EventLog() = default;
+
+void EventLog::setSpillThreshold(size_t Bytes) {
+  assert(empty() && "spill threshold must be set before recording");
+  SpillThreshold = Bytes;
+}
+
+void EventLog::addChunk() {
+  if (!SpillThreshold) {
+    if (!Arena)
+      Arena = std::make_unique<MonotonicArena>();
+    Chunks.push_back(static_cast<Event *>(
+        Arena->allocate(ChunkBytes, alignof(Event))));
+    return;
+  }
+  // Every existing chunk is full here (a chunk is added only when the log
+  // is exactly at a chunk boundary), so the whole resident window is
+  // eligible to migrate once it reaches the budget.
+  if ((Chunks.size() - NumSpilled) * ChunkBytes >= SpillThreshold)
+    spillResident();
+  Owned.push_back(std::make_unique<Event[]>(ChunkEvents));
+  Chunks.push_back(Owned.back().get());
+}
+
+void EventLog::spillResident() {
+  if (!Spill) {
+    std::FILE *F = std::tmpfile();
+    if (!F)
+      return; // no temp space: degrade to fully-resident recording
+    Spill.reset(F);
+  }
+  size_t First = NumSpilled;
+  for (size_t C = First; C != Chunks.size(); ++C) {
+    if (std::fwrite(Chunks[C], 1, ChunkBytes, Spill.get()) != ChunkBytes)
+      return; // disk full: keep this and later chunks resident
+    Owned[C].reset();
+    Chunks[C] = nullptr;
+    ++NumSpilled;
+  }
+  // forEach reads through pread on the raw descriptor; make sure the
+  // stdio buffer is on disk before anyone does.
+  std::fflush(Spill.get());
+  obs::counter("trace.spilled_chunks").inc(NumSpilled - First);
+  obs::counter("trace.spilled_bytes").inc((NumSpilled - First) * ChunkBytes);
+}
+
+void EventLog::readSpilled(size_t FirstChunk, size_t NumChunks,
+                           Event *Out) const {
+  int Fd = fileno(Spill.get());
+  size_t Bytes = NumChunks * ChunkBytes;
+  off_t Off = static_cast<off_t>(FirstChunk * ChunkBytes);
+  char *Dst = reinterpret_cast<char *>(Out);
+  while (Bytes) {
+    ssize_t N = ::pread(Fd, Dst, Bytes, Off);
+    if (N <= 0) {
+      // A short read here means the temp file was truncated under us.
+      // Events are plain data, so degrade the unreadable tail to
+      // default-constructed events (Work with 0 units — a no-op for
+      // every consumer) instead of handing the replayer torn bytes.
+      size_t Done = static_cast<size_t>(Dst - reinterpret_cast<char *>(Out));
+      Event *Fill = Out + (Done + sizeof(Event) - 1) / sizeof(Event);
+      Event *End = Out + NumChunks * ChunkEvents;
+      for (; Fill != End; ++Fill)
+        *Fill = Event();
+      return;
+    }
+    Dst += N;
+    Bytes -= static_cast<size_t>(N);
+    Off += N;
+  }
+}
+
+void EventLog::clear() {
+  Chunks.clear();
+  Owned.clear();
+  Count = 0;
+  NumSpilled = 0;
+  Arena.reset();
+  Spill.reset();
+}

@@ -21,6 +21,16 @@
 /// allocated from a MonotonicArena, so recording costs one store and a
 /// rare slab allocation per event and the log never relocates.
 ///
+/// Out-of-core mode: with a spill threshold configured (TDR_LOG_SPILL in
+/// the environment, or setSpillThreshold before recording), full chunks
+/// past the resident budget are appended sequentially to an anonymous
+/// temporary file and freed, so recording a 10^8+-event trace holds a
+/// bounded number of chunks in memory. forEach streams the spilled prefix
+/// back with sequential readahead (pread into a reusable batch buffer),
+/// which is exactly the access pattern replayEvents needs. Events carry
+/// raw AST pointers, which stay valid across the disk round trip because
+/// a log never outlives the process that recorded it.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TDR_TRACE_EVENTLOG_H
@@ -31,6 +41,7 @@
 #include "support/PagedArray.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <vector>
 
@@ -90,31 +101,73 @@ struct Event {
 
 static_assert(sizeof(Event) == 32, "Event packing regressed");
 
-/// Append-only, chunked event storage. Chunks are bump-allocated from a
-/// private arena and never move, so iteration is a flat scan.
+/// Append-only, chunked event storage. Chunks never move, so iteration is
+/// a flat scan; resident chunks are bump-allocated from a private arena.
+/// With a spill threshold set (see setSpillThreshold / TDR_LOG_SPILL),
+/// chunks are individually heap-owned instead and the full-chunk prefix
+/// migrates to an anonymous temporary file whenever resident bytes reach
+/// the threshold.
 class EventLog {
-  static constexpr size_t ChunkEvents = 2048;
-
 public:
+  static constexpr size_t ChunkEvents = 2048;
+  static constexpr size_t ChunkBytes = sizeof(Event) * ChunkEvents;
+
+  /// Picks up the process-default spill threshold (TDR_LOG_SPILL, bytes
+  /// with optional K/M/G suffix; unset or 0 keeps the log fully resident).
+  EventLog();
+  ~EventLog();
+  EventLog(EventLog &&) = default;
+  EventLog &operator=(EventLog &&) = default;
+
+  /// Sets the resident-byte budget above which full chunks spill to disk
+  /// (0 disables spilling). Must be called before the first push — an
+  /// already-recorded log is not migrated between storage schemes.
+  void setSpillThreshold(size_t Bytes);
+  size_t spillThreshold() const { return SpillThreshold; }
+
   void push(const Event &E) {
-    if (Count == Chunks.size() * ChunkEvents) {
-      if (!Arena)
-        Arena = std::make_unique<MonotonicArena>();
-      Chunks.push_back(static_cast<Event *>(
-          Arena->allocate(sizeof(Event) * ChunkEvents, alignof(Event))));
-    }
+    if (Count == Chunks.size() * ChunkEvents)
+      addChunk();
     Chunks[Count / ChunkEvents][Count % ChunkEvents] = E;
     ++Count;
   }
 
   size_t size() const { return Count; }
   bool empty() const { return Count == 0; }
-  size_t bytesReserved() const { return Arena ? Arena->bytesReserved() : 0; }
 
-  /// Visits every event in recording order.
+  /// Bytes of event storage currently held in memory.
+  size_t bytesResident() const {
+    return (Arena ? Arena->bytesReserved() : 0) +
+           (Chunks.size() - NumSpilled) * (Arena ? 0 : ChunkBytes);
+  }
+  /// Bytes of event storage migrated to the spill file.
+  size_t bytesSpilled() const { return NumSpilled * ChunkBytes; }
+  /// Total event storage, wherever it lives.
+  size_t bytesReserved() const { return bytesResident() + bytesSpilled(); }
+  bool spilled() const { return NumSpilled != 0; }
+
+  /// Visits every event in recording order. The spilled prefix streams
+  /// back through a sequential-readahead batch buffer; resident chunks
+  /// are scanned in place.
   template <typename Fn> void forEach(Fn &&F) const {
-    size_t Rem = Count;
-    for (const Event *C : Chunks) {
+    size_t Chunk = 0;
+    if (NumSpilled) {
+      // Spilled chunks are always full (only complete chunks migrate), so
+      // the prefix carries exactly NumSpilled * ChunkEvents events.
+      std::vector<Event> Buf(ReadaheadChunks * ChunkEvents);
+      while (Chunk != NumSpilled) {
+        size_t Batch = NumSpilled - Chunk < ReadaheadChunks
+                           ? NumSpilled - Chunk
+                           : ReadaheadChunks;
+        readSpilled(Chunk, Batch, Buf.data());
+        for (size_t I = 0; I != Batch * ChunkEvents; ++I)
+          F(Buf[I]);
+        Chunk += Batch;
+      }
+    }
+    size_t Rem = Count - Chunk * ChunkEvents;
+    for (; Chunk != Chunks.size(); ++Chunk) {
+      const Event *C = Chunks[Chunk];
       size_t N = Rem < ChunkEvents ? Rem : ChunkEvents;
       for (size_t I = 0; I != N; ++I)
         F(C[I]);
@@ -122,16 +175,32 @@ public:
     }
   }
 
-  void clear() {
-    Chunks.clear();
-    Count = 0;
-    Arena.reset();
-  }
+  /// Drops all events (and the spill file, if any); the spill threshold
+  /// is retained, so the log can be reused for another recording.
+  void clear();
 
 private:
-  std::vector<Event *> Chunks;
+  /// Chunks fetched per readahead batch when streaming the spilled
+  /// prefix: 16 * 64 KiB = 1 MiB of sequential I/O per pread.
+  static constexpr size_t ReadaheadChunks = 16;
+
+  void addChunk();
+  void spillResident();
+  void readSpilled(size_t FirstChunk, size_t NumChunks, Event *Out) const;
+
+  struct FileCloser {
+    void operator()(std::FILE *F) const;
+  };
+
+  std::vector<Event *> Chunks; ///< per-chunk storage; spilled prefix nulled
   size_t Count = 0;
-  std::unique_ptr<MonotonicArena> Arena;
+  size_t NumSpilled = 0;  ///< chunks migrated to the spill file (a prefix)
+  size_t SpillThreshold = 0; ///< resident bytes that trigger a spill; 0=off
+  std::unique_ptr<MonotonicArena> Arena; ///< resident-mode chunk storage
+  /// Spill-mode chunk ownership, parallel to Chunks (resident mode leaves
+  /// it empty); spilling a chunk resets its entry.
+  std::vector<std::unique_ptr<Event[]>> Owned;
+  std::unique_ptr<std::FILE, FileCloser> Spill; ///< anonymous, auto-deleted
 };
 
 /// ExecMonitor that appends every event to an EventLog. Chain it ahead of

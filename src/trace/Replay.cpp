@@ -196,6 +196,59 @@ ReplayPlan trace::buildReplayPlan(const Program &P, const FinishEditMap &Edits) 
 
 namespace {
 
+/// Gathers runs of same-kind, same-array, ascending consecutive-index
+/// access events — the dominant MRW pattern (array sweeps) — and emits
+/// each as one batched onReadRun/onWriteRun call instead of N singles, so
+/// replayed detection reaches the detectors' page-sweep fast path. A run
+/// is flushed by any non-access event, so the relative order of accesses
+/// and structure/step/work events is preserved exactly; monitors that do
+/// not override the run hooks unroll them back to the identical
+/// per-element stream (see ExecMonitor::onReadRun).
+class RunCoalescer {
+public:
+  explicit RunCoalescer(ExecMonitor &M) : M(M) {}
+
+  void read(MemLoc L) { access(false, L); }
+  void write(MemLoc L) { access(true, L); }
+
+  void flush() {
+    if (!Count)
+      return;
+    MemLoc L = MemLoc::elem(Id, Start);
+    uint64_t N = Count;
+    Count = 0;
+    if (N == 1)
+      IsWrite ? M.onWrite(L) : M.onRead(L);
+    else
+      IsWrite ? M.onWriteRun(L, N) : M.onReadRun(L, N);
+  }
+
+private:
+  void access(bool W, MemLoc L) {
+    if (L.K != MemLoc::Kind::Elem) {
+      flush();
+      W ? M.onWrite(L) : M.onRead(L);
+      return;
+    }
+    if (Count && W == IsWrite && L.Id == Id &&
+        L.Index == Start + static_cast<int64_t>(Count)) {
+      ++Count;
+      return;
+    }
+    flush();
+    IsWrite = W;
+    Id = L.Id;
+    Start = L.Index;
+    Count = 1;
+  }
+
+  ExecMonitor &M;
+  bool IsWrite = false;
+  uint32_t Id = 0;
+  int64_t Start = 0;
+  uint64_t Count = 0;
+};
+
 /// Streams a log through the plan. Mirrors the interpreter's dynamic
 /// nesting with an explicit frame stack; each frame tracks the segment
 /// (direct-child statement) currently executing at its top level plus the
@@ -209,6 +262,9 @@ public:
   }
 
   void feed(const Event &E) {
+    // Any non-access event ends a pending access run (order preservation).
+    if (E.K != EvKind::Read && E.K != EvKind::Write)
+      Runs.flush();
     switch (E.K) {
     case EvKind::StepPoint: {
       const auto *O = static_cast<const Stmt *>(E.P0);
@@ -220,10 +276,10 @@ public:
       M.onWork(E.U);
       break;
     case EvKind::Read:
-      M.onRead(E.loc());
+      Runs.read(E.loc());
       break;
     case EvKind::Write:
-      M.onWrite(E.loc());
+      Runs.write(E.loc());
       break;
     case EvKind::AsyncEnter: {
       const auto *S = static_cast<const AsyncStmt *>(E.P0);
@@ -281,6 +337,9 @@ public:
     }
     }
   }
+
+  /// Emits any access run still pending at end of log.
+  void finish() { Runs.flush(); }
 
 private:
   struct OpenWrap {
@@ -393,6 +452,7 @@ private:
 
   const ReplayPlan &Plan;
   ExecMonitor &M;
+  RunCoalescer Runs{M};
   std::vector<Frame> Frames;
   std::vector<OpenWrap> OpenWraps;
 };
@@ -403,7 +463,12 @@ void trace::replayEvents(const EventLog &Log, const ReplayPlan &Plan,
                          ExecMonitor &M) {
   if (Plan.empty()) {
     // No edits since the recording: re-emit verbatim, no frame tracking.
+    // Access runs still coalesce into batched checks (see RunCoalescer) —
+    // this is the steady-state repair-loop path, so it benefits most.
+    RunCoalescer Runs(M);
     Log.forEach([&](const Event &E) {
+      if (E.K != EvKind::Read && E.K != EvKind::Write)
+        Runs.flush();
       switch (E.K) {
       case EvKind::AsyncEnter:
         M.onAsyncEnter(static_cast<const AsyncStmt *>(E.P0),
@@ -434,15 +499,17 @@ void trace::replayEvents(const EventLog &Log, const ReplayPlan &Plan,
         M.onWork(E.U);
         break;
       case EvKind::Read:
-        M.onRead(E.loc());
+        Runs.read(E.loc());
         break;
       case EvKind::Write:
-        M.onWrite(E.loc());
+        Runs.write(E.loc());
         break;
       }
     });
+    Runs.flush();
     return;
   }
   Replayer R(Plan, M);
   Log.forEach([&](const Event &E) { R.feed(E); });
+  R.finish();
 }

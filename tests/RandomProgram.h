@@ -28,6 +28,19 @@ class RandomProgramGen {
 public:
   explicit RandomProgramGen(uint64_t Seed) : R(Seed) {}
 
+  /// Switches to the sparse-heap profile: arrays grow to 2^18 cells and
+  /// cell indices are biased to huge strided positions (hot low cells for
+  /// race collisions, hot cells near the top of the span, page-hostile
+  /// stride sweeps, and uniform tails), which is the access shape the
+  /// two-level shadow map exists for. The final checksum loop samples the
+  /// arrays with a large stride so interpretation stays fast. The default
+  /// profile's generated text is unchanged, so existing seeds reproduce
+  /// identical programs.
+  void enableSparseHeap() {
+    Cells = 1 << 18;
+    SumStride = Cells / 8;
+  }
+
   /// Returns a full HJ-mini program. Shared state: global int arrays
   /// D0..D2 of size Cells; every statement touches random cells.
   std::string generate() {
@@ -46,19 +59,35 @@ func main() {
   D1 = new int[%d];
   D2 = new int[%d];
 %s  var sum: int = 0;
-  for (var i: int = 0; i < %d; i = i + 1) {
+  for (var i: int = 0; i < %d; i = i + %d) {
     sum = sum + D0[i] + D1[i] * 3 + D2[i] * 7;
   }
   print(sum);
 }
 )",
-                     Cells, Cells, Cells, Cells, Cells, Body.c_str(), Cells);
+                     Cells, Cells, Cells, Cells, Cells, Body.c_str(), Cells,
+                     SumStride);
   }
 
 private:
+  uint64_t cellIndex() {
+    if (Cells <= 8)
+      return R.nextBelow(Cells);
+    switch (R.nextBelow(4)) {
+    case 0: // hot low cells: dense collisions keep the programs racy
+      return R.nextBelow(8);
+    case 1: // hot page at the far end of the span
+      return static_cast<uint64_t>(Cells) - 16 + R.nextBelow(8);
+    case 2: // page-hostile stride sweep across the whole span
+      return (R.nextBelow(64) * 4097) % static_cast<uint64_t>(Cells);
+    default: // anywhere
+      return R.nextBelow(Cells);
+    }
+  }
+
   std::string cell(const char *Arr) {
     return strFormat("%s[%llu]", Arr,
-                     static_cast<unsigned long long>(R.nextBelow(Cells)));
+                     static_cast<unsigned long long>(cellIndex()));
   }
 
   const char *arr() {
@@ -124,7 +153,8 @@ private:
 
   Rng R;
   unsigned VarCounter = 0;
-  static constexpr int Cells = 8;
+  int Cells = 8;
+  int SumStride = 1;
 };
 
 } // namespace test

@@ -9,13 +9,22 @@
 // tests check that on ~100 random programs per detector variant, plus the
 // pair-key packing and the opt-in MRW reader compaction.
 //
+// The two-level compressed shadow map (ShadowMemory.h) is held to the same
+// bar on the access shapes it exists for: random programs biased to huge
+// strided heap indices must produce reports byte-identical to the frozen
+// reference across all three production backends, fresh and replayed, and
+// the sparse footprint / no-access-page COW invariants are pinned directly.
+//
 //===----------------------------------------------------------------------===//
 
 #include "RandomProgram.h"
 #include "TestUtil.h"
 
+#include "ast/Transforms.h"
 #include "race/Detect.h"
 #include "race/RefDetectors.h"
+#include "race/ShadowMemory.h"
+#include "trace/Replay.h"
 
 #include <algorithm>
 #include <set>
@@ -149,6 +158,206 @@ TEST_P(FlatVsMapShadow, OracleReportsAreIdentical) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FlatVsMapShadow,
                          ::testing::Values(101u, 202u, 303u, 404u));
+
+//===----------------------------------------------------------------------===//
+// Differential: two-level shadow on sparse giant heaps, all backends
+//===----------------------------------------------------------------------===//
+
+/// Records one interpretation of \p P for the replayed leg.
+trace::InputTrace recordTrace(ParsedProgram &P) {
+  trace::InputTrace T;
+  trace::RecorderMonitor Rec(T.Log);
+  ExecOptions E;
+  E.Monitor = &Rec;
+  T.Exec = runProgram(*P.Prog, E);
+  Rec.flush();
+  return T;
+}
+
+TEST(SparseHeapDifferential, AllBackendsMatchFrozenRefFreshAndReplayed) {
+  // Sparse-heap profile: 2^18-cell arrays, indices biased to hot low
+  // cells, a hot page at the top of the span, and page-hostile stride
+  // sweeps — the distribution the two-level map's table, no-access page,
+  // and one-entry cache all have to get right. Every production backend
+  // must match the frozen map-shadow reference byte for byte, both on a
+  // fresh interpretation and on a replayed event log.
+  Rng SeedGen(0x5AD5E001);
+  for (int Trial = 0; Trial != 6; ++Trial) {
+    RandomProgramGen Gen(SeedGen.next());
+    Gen.enableSparseHeap();
+    std::string Src = Gen.generate();
+    ParsedProgram P = parseAndCheck(Src);
+    ASSERT_TRUE(P.ok()) << P.errors() << "\n" << Src;
+
+    trace::InputTrace T = recordTrace(P);
+    ASSERT_TRUE(T.Exec.Ok) << T.Exec.Error << "\n" << Src;
+    FinishEditMap NoEdits;
+    trace::ReplayPlan Plan = trace::buildReplayPlan(*P.Prog, NoEdits);
+
+    for (EspBagsDetector::Mode Mode :
+         {EspBagsDetector::Mode::SRW, EspBagsDetector::Mode::MRW}) {
+      RefRun Ref = runRefEspBags(P, Mode);
+      std::string RefKey = renderRaceReportKey(Ref.Report);
+
+      for (DetectBackend Backend :
+           {DetectBackend::EspBags, DetectBackend::VectorClock,
+            DetectBackend::Par}) {
+        DetectOptions Opts;
+        Opts.Mode = Mode;
+        Opts.Backend = Backend;
+
+        Detection Fresh = detectRaces(*P.Prog, Opts);
+        ASSERT_TRUE(Fresh.ok()) << Fresh.Exec.Error << "\n" << Src;
+        EXPECT_EQ(renderRaceReportKey(Fresh.Report), RefKey)
+            << "fresh " << detectBackendName(Backend) << " mode "
+            << static_cast<int>(Mode) << "\n"
+            << Src;
+
+        Detection Replayed = detectRaces(*P.Prog, Opts, T, Plan);
+        ASSERT_TRUE(Replayed.ok()) << Replayed.Exec.Error << "\n" << Src;
+        EXPECT_EQ(renderRaceReportKey(Replayed.Report), RefKey)
+            << "replayed " << detectBackendName(Backend) << " mode "
+            << static_cast<int>(Mode) << "\n"
+            << Src;
+      }
+    }
+  }
+}
+
+TEST(SparseHeapDifferential, OracleMatchesFrozenRefOnSparseHeaps) {
+  Rng SeedGen(0x5AD5E002);
+  // The oracle walks the tree per access pair; a couple of programs is
+  // plenty to cross-check the shared shadow plumbing.
+  for (int Trial = 0; Trial != 2; ++Trial) {
+    RandomProgramGen Gen(SeedGen.next());
+    Gen.enableSparseHeap();
+    std::string Src = Gen.generate();
+    ParsedProgram P = parseAndCheck(Src);
+    ASSERT_TRUE(P.ok()) << P.errors() << "\n" << Src;
+
+    Detection Fresh = detectRacesOracle(*P.Prog);
+    ASSERT_TRUE(Fresh.ok()) << Fresh.Exec.Error << "\n" << Src;
+    RefRun Ref = runRefOracle(P);
+    expectIdenticalReports(Fresh.Report, Ref.Report, Src);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Two-level shadow map: footprint and no-access-page COW invariants
+//===----------------------------------------------------------------------===//
+
+/// Inline-lane record: small, all-zero-init, trivially destructible.
+struct InlineRec {
+  static constexpr bool AllZeroInit = true;
+  uint32_t Epoch = 0;
+};
+
+/// Slab-lane record: too big for a page cell, so pages hold 4-byte slot
+/// references into the dense slab.
+struct BigRec {
+  static constexpr bool AllZeroInit = true;
+  uint64_t A = 0;
+  uint64_t B = 0;
+  uint64_t C = 0;
+};
+
+static_assert(ShadowMemory<InlineRec>::InlineCells,
+              "small zero-init records must take the inline lane");
+static_assert(!ShadowMemory<BigRec>::InlineCells,
+              "large records must take the compact slab lane");
+
+TEST(TwoLevelShadow, DistantArrayIdsStayCompact) {
+  // Regression: the dense baseline resizes its id-indexed table to the
+  // highest array id, so two arrays whose ids differ by 10^6 committed
+  // megabytes before a single element was shadowed. The two-level map
+  // hashes (id, page) and must stay in the kilobytes.
+  constexpr uint32_t FarId = 1000000;
+  ShadowMemory<InlineRec> Sparse;
+  Sparse.slot(MemLoc::elem(0, 5)).Epoch = 1;
+  Sparse.slot(MemLoc::elem(FarId, 5)).Epoch = 2;
+  EXPECT_EQ(Sparse.numPrivatePages(), 2u);
+  EXPECT_LT(Sparse.bytesUsed(), 64u * 1024);
+  EXPECT_EQ(Sparse.peek(MemLoc::elem(0, 5)).Epoch, 1u);
+  EXPECT_EQ(Sparse.peek(MemLoc::elem(FarId, 5)).Epoch, 2u);
+
+  // The preserved dense baseline demonstrates the blow-up being fixed:
+  // its ArrayTable alone is FarId+1 pointers.
+  DenseShadowMemory<InlineRec> Dense;
+  Dense.slot(MemLoc::elem(0, 5)).Epoch = 1;
+  Dense.slot(MemLoc::elem(FarId, 5)).Epoch = 2;
+  EXPECT_GE(Dense.bytesUsed(), (FarId + 1) * sizeof(void *));
+}
+
+TEST(TwoLevelShadow, GiantElementIndicesStayCompact) {
+  // One access to element ~2^40 must commit one 64-cell page, not a dense
+  // index structure proportional to the touched index.
+  ShadowMemory<InlineRec> S;
+  constexpr int64_t Giant = (1ll << 40) + 123;
+  S.slot(MemLoc::elem(3, Giant)).Epoch = 7;
+  S.slot(MemLoc::elem(3, 0)).Epoch = 9;
+  EXPECT_EQ(S.numPrivatePages(), 2u);
+  EXPECT_LT(S.bytesUsed(), 64u * 1024);
+  EXPECT_EQ(S.peek(MemLoc::elem(3, Giant)).Epoch, 7u);
+  EXPECT_EQ(S.peek(MemLoc::elem(3, 0)).Epoch, 9u);
+}
+
+TEST(TwoLevelShadow, PeekAliasesNoAccessPageUntilFirstWrite) {
+  ShadowMemory<InlineRec> S;
+  size_t Baseline = S.bytesUsed();
+
+  // Untouched ranges alias the shared read-only no-access page: peek
+  // resolves to zero records without materializing anything.
+  EXPECT_EQ(S.peek(MemLoc::elem(42, 1ll << 30)).Epoch, 0u);
+  EXPECT_EQ(S.peek(MemLoc::elem(7, 0)).Epoch, 0u);
+  EXPECT_EQ(S.peek(MemLoc::global(3)).Epoch, 0u);
+  EXPECT_EQ(S.numPrivatePages(), 0u);
+  EXPECT_EQ(S.bytesUsed(), Baseline);
+
+  // First slot() copy-on-writes a private page from the zero image; the
+  // written cell sticks and its 63 page neighbors read as untouched.
+  S.slot(MemLoc::elem(42, 1ll << 30)).Epoch = 5;
+  EXPECT_EQ(S.numPrivatePages(), 1u);
+  EXPECT_EQ(S.peek(MemLoc::elem(42, 1ll << 30)).Epoch, 5u);
+  EXPECT_EQ(S.peek(MemLoc::elem(42, (1ll << 30) + 1)).Epoch, 0u);
+  EXPECT_EQ(S.numPrivatePages(), 1u); // neighbor peek did not materialize
+}
+
+TEST(TwoLevelShadow, SlabLanePeeksWithoutMaterializing) {
+  ShadowMemory<BigRec> S;
+  S.slot(MemLoc::elem(1, 100)).A = 11;
+  S.slot(MemLoc::elem(1, 5000000)).B = 22;
+  size_t AfterWrites = S.bytesUsed();
+  // Peeking untouched neighbors (same page and far away) allocates no
+  // slab records.
+  EXPECT_EQ(S.peek(MemLoc::elem(1, 101)).A, 0u);
+  EXPECT_EQ(S.peek(MemLoc::elem(9, 1ll << 35)).A, 0u);
+  EXPECT_EQ(S.bytesUsed(), AfterWrites);
+  EXPECT_EQ(S.peek(MemLoc::elem(1, 100)).A, 11u);
+  EXPECT_EQ(S.peek(MemLoc::elem(1, 5000000)).B, 22u);
+  // Slab-lane references are stable: re-resolving yields the same record.
+  BigRec &R1 = S.slot(MemLoc::elem(1, 100));
+  EXPECT_EQ(&R1, &S.slot(MemLoc::elem(1, 100)));
+}
+
+TEST(TwoLevelShadow, ForRunSweepsConsecutiveCellsAcrossPages) {
+  ShadowMemory<InlineRec> S;
+  // A run straddling a page boundary (indices 60..69 with 64-cell pages)
+  // must visit every location once, in ascending order, and hand out the
+  // same cells slot() resolves.
+  constexpr int64_t Start = 60;
+  constexpr uint64_t N = 10;
+  uint64_t Seen = 0;
+  S.forRun(MemLoc::elem(9, Start), N, [&](InlineRec &R, MemLoc At) {
+    EXPECT_EQ(At.Id, 9u);
+    EXPECT_EQ(At.Index, Start + static_cast<int64_t>(Seen));
+    R.Epoch = static_cast<uint32_t>(At.Index);
+    ++Seen;
+  });
+  EXPECT_EQ(Seen, N);
+  EXPECT_EQ(S.numPrivatePages(), 2u);
+  for (int64_t I = Start; I != Start + static_cast<int64_t>(N); ++I)
+    EXPECT_EQ(S.slot(MemLoc::elem(9, I)).Epoch, static_cast<uint32_t>(I));
+}
 
 //===----------------------------------------------------------------------===//
 // MRW reader compaction: lossy enumeration, lossless detection

@@ -162,6 +162,24 @@ TEST(MonotonicArena, BumpsWithinSlabAndHonorsAlignment) {
   EXPECT_GE(A.bytesReserved(), MonotonicArena::SlabBytes * 3);
 }
 
+TEST(MonotonicArena, TracksUsedSeparatelyFromReserved) {
+  MonotonicArena A;
+  EXPECT_EQ(A.bytesUsed(), 0u);
+  EXPECT_EQ(A.bytesReserved(), 0u);
+  A.allocate(100, 8);
+  A.allocate(28, 4);
+  // Used is the sum of requested sizes; reserved is whole slabs, so a
+  // fresh slab leaves a large headroom between the two.
+  EXPECT_EQ(A.bytesUsed(), 128u);
+  EXPECT_GE(A.bytesReserved(), MonotonicArena::SlabBytes);
+  EXPECT_LT(A.bytesUsed(), A.bytesReserved());
+  // An oversized dedicated slab moves both by its exact size.
+  size_t Big = MonotonicArena::SlabBytes * 2;
+  A.allocate(Big, 8);
+  EXPECT_EQ(A.bytesUsed(), 128u + Big);
+  EXPECT_GE(A.bytesReserved(), MonotonicArena::SlabBytes + Big);
+}
+
 TEST(PagedArray, LazyPagesValueInitialize) {
   MonotonicArena Arena;
   PagedArray<uint64_t, 4> A(Arena); // 16-element pages

@@ -385,6 +385,117 @@ func main() {
   EXPECT_EQ(FromLogs.FailedInputs[0].Error, FromRuns.FailedInputs[0].Error);
 }
 
+//===----------------------------------------------------------------------===//
+// Out-of-core event logs (TDR_LOG_SPILL / setSpillThreshold)
+//===----------------------------------------------------------------------===//
+
+/// Enough iterations to fill a dozen-plus 2048-event chunks, so a small
+/// spill threshold genuinely migrates a prefix to disk.
+const char *ManyEvents = R"(
+var A: int[];
+func main() {
+  A = new int[64];
+  for (var i: int = 0; i < 3000; i = i + 1) {
+    A[i % 64] = A[(i + 1) % 64] + 1;
+    async { A[(i + 7) % 64] = i; }
+  }
+  print(A[0]);
+}
+)";
+
+/// Records one interpretation into a log with the given spill threshold
+/// (0 = fully resident).
+trace::InputTrace recordWithThreshold(Program &P, size_t Threshold) {
+  trace::InputTrace T;
+  T.Log.setSpillThreshold(Threshold);
+  trace::RecorderMonitor Rec(T.Log);
+  ExecOptions E;
+  E.Monitor = &Rec;
+  T.Exec = runProgram(P, E);
+  Rec.flush();
+  return T;
+}
+
+TEST(TraceSpill, SpilledLogStreamsIdenticallyToResident) {
+  ParsedProgram P = parseAndCheck(ManyEvents);
+  ASSERT_TRUE(P.ok()) << P.errors();
+
+  trace::InputTrace Resident = recordWithThreshold(*P.Prog, 0);
+  ASSERT_TRUE(Resident.Exec.Ok) << Resident.Exec.Error;
+  EXPECT_FALSE(Resident.Log.spilled());
+
+  size_t Threshold = 2 * trace::EventLog::ChunkBytes;
+  trace::InputTrace Spilled = recordWithThreshold(*P.Prog, Threshold);
+  ASSERT_TRUE(Spilled.Exec.Ok) << Spilled.Exec.Error;
+  ASSERT_TRUE(Spilled.Log.spilled());
+  EXPECT_EQ(Spilled.Log.size(), Resident.Log.size());
+  EXPECT_GT(Spilled.Log.bytesSpilled(), 0u);
+  // The resident window stays bounded: at most the threshold plus the
+  // chunk being filled (spilling happens at chunk boundaries).
+  EXPECT_LE(Spilled.Log.bytesResident(),
+            Threshold + trace::EventLog::ChunkBytes);
+  EXPECT_LT(Spilled.Log.bytesResident(), Spilled.Log.bytesReserved());
+
+  // The replayed stream through the spilled log is byte-identical to the
+  // resident one and to a fresh interpretation.
+  FinishEditMap NoEdits;
+  std::string Fresh = freshStream(*P.Prog);
+  EXPECT_EQ(replayStream(Spilled, *P.Prog, NoEdits), Fresh);
+  EXPECT_EQ(replayStream(Resident, *P.Prog, NoEdits), Fresh);
+}
+
+TEST(TraceSpill, SpilledReplayDetectionMatchesFresh) {
+  ParsedProgram P = parseAndCheck(ManyEvents);
+  ASSERT_TRUE(P.ok()) << P.errors();
+  trace::InputTrace T =
+      recordWithThreshold(*P.Prog, 2 * trace::EventLog::ChunkBytes);
+  ASSERT_TRUE(T.Exec.Ok) << T.Exec.Error;
+  ASSERT_TRUE(T.Log.spilled());
+
+  FinishEditMap NoEdits;
+  trace::ReplayPlan Plan = trace::buildReplayPlan(*P.Prog, NoEdits);
+  for (DetectBackend Backend :
+       {DetectBackend::EspBags, DetectBackend::VectorClock,
+        DetectBackend::Par}) {
+    DetectOptions Opts;
+    Opts.Backend = Backend;
+    Detection Replayed = detectRaces(*P.Prog, Opts, T, Plan);
+    Detection Fresh = detectRaces(*P.Prog, Opts);
+    ASSERT_TRUE(Fresh.ok()) << Fresh.Exec.Error;
+    EXPECT_EQ(renderRaceReportKey(Replayed.Report),
+              renderRaceReportKey(Fresh.Report))
+        << "backend " << detectBackendName(Backend);
+  }
+}
+
+TEST(TraceSpill, ClearDropsSpillAndLogIsReusable) {
+  ParsedProgram P = parseAndCheck(ManyEvents);
+  ASSERT_TRUE(P.ok()) << P.errors();
+  trace::InputTrace T =
+      recordWithThreshold(*P.Prog, 2 * trace::EventLog::ChunkBytes);
+  ASSERT_TRUE(T.Log.spilled());
+
+  T.Log.clear();
+  EXPECT_TRUE(T.Log.empty());
+  EXPECT_FALSE(T.Log.spilled());
+  EXPECT_EQ(T.Log.bytesReserved(), 0u);
+  EXPECT_EQ(T.Log.spillThreshold(), 2 * trace::EventLog::ChunkBytes);
+
+  // Re-record into the same log; the retained threshold spills again and
+  // the stream still matches a fresh interpretation.
+  {
+    trace::RecorderMonitor Rec(T.Log);
+    ExecOptions E;
+    E.Monitor = &Rec;
+    T.Exec = runProgram(*P.Prog, E);
+    Rec.flush();
+  }
+  ASSERT_TRUE(T.Exec.Ok);
+  EXPECT_TRUE(T.Log.spilled());
+  FinishEditMap NoEdits;
+  EXPECT_EQ(replayStream(T, *P.Prog, NoEdits), freshStream(*P.Prog));
+}
+
 TEST(TraceReplay, StoreBroadcastsEditsToAllRecordedEntries) {
   ParsedProgram P = parseAndCheck(TwoAsyncs);
   ASSERT_TRUE(P.ok());

@@ -20,8 +20,8 @@ among result rows whose name contains KEY to be at least X (best-of so a
 single noisy window cannot flake CI; a real regression drags every row
 down). The speedup field is per-bench: detector rows carry
 `speedup_vs_map`, replay rows `speedup`, vc rows `speedup_vs_espbags`,
-pdetect rows `speedup_vs_1worker`. CI uses this to fail perf regressions
-outright:
+pdetect rows `speedup_vs_1worker`, shadow rows `speedup_vs_base`. CI uses
+this to fail perf regressions outright:
 
     python3 tools/check_bench.py build/bench/bench_replay \\
         --min-speedup compute-bound:1.5
@@ -29,6 +29,17 @@ outright:
         --min-speedup access:0.9
     python3 tools/check_bench.py build/bench/bench_pdetect \\
         --min-speedup large/MRW/w4:2.0   # only meaningful on >= 4 cores
+
+Footprint gates mirror the speedup gates on the memory axis: each
+`--max-bytes-ratio KEY:X` requires the BEST (smallest) bytes ratio among
+matching rows to be at most X. Only benches whose rows carry a bytes
+ratio field support it (shadow rows: `bytes_ratio_vs_base`, the peak
+footprint relative to the family's baseline implementation):
+
+    python3 tools/check_bench.py build/bench/bench_shadow \\
+        --min-speedup hot-dense:0.9 \\
+        --max-bytes-ratio sparse-giant:0.1 \\
+        --max-bytes-ratio spilled-replay:0.5
 """
 
 import json
@@ -147,9 +158,43 @@ def validate_pdetect_rows(results):
     check({"SRW", "MRW"} <= modes, f"expected SRW and MRW rows, got {sorted(modes)}")
 
 
-# Per-report row schema, semantic checks, and the field --min-speedup
-# gates on, keyed by the report name the bench binary declares (and its
-# basename implies).
+def validate_shadow_rows(results):
+    impls = set()
+    families = set()
+    for i, row in enumerate(results):
+        impls.add(row["impl"])
+        families.add(row["family"])
+        check(row["accesses_per_sec"] > 0, f"result {i} has non-positive rate")
+        check(row["seconds"] > 0, f"result {i} has non-positive duration")
+        check(row["total_accesses"] > 0, f"result {i} recorded no accesses")
+        check(row["bytes_peak"] > 0, f"result {i} recorded no footprint")
+        if row["impl"] not in ("dense", "resident"):
+            check(
+                row.get("speedup_vs_base", 0) > 0,
+                f"result {i} ({row['name']}) missing speedup_vs_base",
+            )
+            check(
+                row.get("bytes_ratio_vs_base", 0) > 0,
+                f"result {i} ({row['name']}) missing bytes_ratio_vs_base",
+            )
+
+    # The report's point is the two-level-vs-dense comparison over every
+    # access shape, plus the out-of-core streaming comparison.
+    check("dense" in impls, "no 'dense' baseline rows in report")
+    check("sparse" in impls, "no 'sparse' rows in report")
+    check("resident" in impls, "no 'resident' baseline rows in report")
+    check("spilled" in impls, "no 'spilled' rows in report")
+    expected = {"sparse-giant", "hot-dense", "random-stride", "spilled-replay"}
+    check(
+        expected <= families,
+        f"expected families {sorted(expected)}, got {sorted(families)}",
+    )
+
+
+# Per-report row schema, semantic checks, the field --min-speedup gates
+# on, and the field --max-bytes-ratio gates on (None when the bench
+# reports no footprint ratio), keyed by the report name the bench binary
+# declares (and its basename implies).
 BENCHES = {
     "detector": (
         {
@@ -165,6 +210,7 @@ BENCHES = {
         },
         validate_detector_rows,
         "speedup_vs_map",
+        None,
     ),
     "replay": (
         {
@@ -180,6 +226,7 @@ BENCHES = {
         },
         validate_replay_rows,
         "speedup",
+        None,
     ),
     "vc": (
         {
@@ -195,6 +242,7 @@ BENCHES = {
         },
         validate_vc_rows,
         "speedup_vs_espbags",
+        None,
     ),
     "pdetect": (
         {
@@ -210,13 +258,29 @@ BENCHES = {
         },
         validate_pdetect_rows,
         "speedup_vs_1worker",
+        None,
+    ),
+    "shadow": (
+        {
+            "name",
+            "family",
+            "impl",
+            "locs",
+            "total_accesses",
+            "seconds",
+            "accesses_per_sec",
+            "bytes_peak",
+        },
+        validate_shadow_rows,
+        "speedup_vs_base",
+        "bytes_ratio_vs_base",
     ),
 }
 
 
 def validate_report(path, bench_name):
     """Validates the report and returns its complete rows (or [])."""
-    required, validate_rows, _ = BENCHES[bench_name]
+    required, validate_rows, _, _ = BENCHES[bench_name]
     with open(path) as f:
         doc = json.load(f)  # raises on malformed JSON -> test failure
     check(isinstance(doc, dict), "report root must be a JSON object")
@@ -266,10 +330,38 @@ def apply_speedup_gates(rows, bench_name, gates):
         )
 
 
+def apply_bytes_gates(rows, bench_name, gates):
+    field = BENCHES[bench_name][3]
+    for key, ceiling in gates:
+        if field is None:
+            check(
+                False,
+                f"--max-bytes-ratio {key}:{ceiling}: bench '{bench_name}' "
+                "reports no bytes ratio",
+            )
+            continue
+        ratios = [
+            row[field]
+            for row in rows
+            if key in row.get("name", "") and field in row
+        ]
+        if not ratios:
+            check(
+                False, f"--max-bytes-ratio {key}:{ceiling}: no rows match '{key}'"
+            )
+            continue
+        best = min(ratios)
+        check(
+            best <= ceiling,
+            f"--max-bytes-ratio {key}:{ceiling}: best {field} among "
+            f"{len(ratios)} matching row(s) is {best:.4f}x (> {ceiling}x)",
+        )
+
+
 def usage():
     print(
         f"usage: {sys.argv[0]} <path-to-bench-binary> "
-        "[--min-speedup KEY:X]...",
+        "[--min-speedup KEY:X]... [--max-bytes-ratio KEY:X]...",
         file=sys.stderr,
     )
     return 2
@@ -279,24 +371,28 @@ def main():
     args = sys.argv[1:]
     bench = None
     gates = []
+    bytes_gates = []
     i = 0
     while i < len(args):
-        if args[i] == "--min-speedup":
+        if args[i] in ("--min-speedup", "--max-bytes-ratio"):
+            flag = args[i]
             if i + 1 == len(args):
                 return usage()
             spec = args[i + 1]
-            key, sep, floor = spec.partition(":")
+            key, sep, bound = spec.partition(":")
             try:
-                floor = float(floor)
+                bound = float(bound)
             except ValueError:
                 sep = ""
             if not key or not sep:
                 print(
-                    f"check_bench: bad --min-speedup '{spec}' (want KEY:X)",
+                    f"check_bench: bad {flag} '{spec}' (want KEY:X)",
                     file=sys.stderr,
                 )
                 return 2
-            gates.append((key, floor))
+            (gates if flag == "--min-speedup" else bytes_gates).append(
+                (key, bound)
+            )
             i += 2
         elif bench is None:
             bench = args[i]
@@ -329,12 +425,15 @@ def main():
             rows = validate_report(out, name)
         if rows:
             apply_speedup_gates(rows, name, gates)
+            apply_bytes_gates(rows, name, bytes_gates)
 
     if FAILURES:
         for msg in FAILURES:
             print(f"check_bench: FAIL: {msg}", file=sys.stderr)
         return 1
-    gated = f", {len(gates)} speedup gate(s) passed" if gates else ""
+    gated = ""
+    if gates or bytes_gates:
+        gated = f", {len(gates) + len(bytes_gates)} gate(s) passed"
     print(f"check_bench: OK ({name} report schema is valid{gated})")
     return 0
 
