@@ -1,0 +1,147 @@
+//===- bench_constructs.cpp - Construct-choice repair harness -------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+// Measures what the per-edge construct chooser buys over the paper's
+// finish-only repair on the construct suite (src/suite/Constructs.h):
+// each program is repaired under three allowlists — finish-only, the
+// default (finish + future-forcing), and the full vocabulary (isolated
+// included) — and each run reports the repair-choice distribution
+// (finishes / forces / isolated inserted) plus the chooser's modeled
+// critical-path cost, summed over dependence groups, against the same
+// program's finish-only repair. The cost numbers come from the
+// placement model (deterministic work units, no timing noise), so
+// cost_gain_vs_finish is gate-able in CI: tools/check_bench.py pins that
+// forcing wins on FuturePipeline and isolation wins on IsolatedAccum.
+//
+// Emits BENCH_constructs.json (see --out) in the shared schema validated
+// by tools/check_bench.py.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "repair/ConstructChoice.h"
+#include "repair/RepairDriver.h"
+#include "suite/Constructs.h"
+#include "support/Timer.h"
+
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace tdr;
+
+namespace {
+
+/// Modeled costs of one repair run, summed over distinct dependence
+/// groups (several repairs in one group share the group's plan cost, so
+/// the sum dedupes by iteration + NS-LCA).
+struct ModelCosts {
+  uint64_t Before = 0; ///< no repairs at all
+  uint64_t Chosen = 0; ///< the chosen plan (isolated penalties in)
+};
+
+ModelCosts sumGroupCosts(const diag::RunDiag &Diag) {
+  ModelCosts C;
+  std::set<std::pair<unsigned, uint32_t>> Seen;
+  for (const diag::FinishProvenance &P : Diag.Repairs) {
+    if (!Seen.insert({P.Iteration, P.GroupLcaId}).second)
+      continue;
+    C.Before += P.CostBefore;
+    C.Chosen += P.CostAfter;
+  }
+  return C;
+}
+
+struct MaskRow {
+  const char *Label;
+  unsigned Mask;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bench::ObsSession Obs(Argc, Argv);
+  std::string OutPath = "BENCH_constructs.json";
+  for (int I = 1; I != Argc; ++I) {
+    // --quick accepted for check_bench uniformity; the suite is already
+    // three programs x three masks of model-cost arithmetic.
+    if (!std::strcmp(Argv[I], "--out") && I + 1 != Argc)
+      OutPath = Argv[++I];
+  }
+
+  const MaskRow Masks[3] = {
+      {"finish", constructs::Finish},
+      {"default", constructs::Default},
+      {"all", constructs::All},
+  };
+
+  bench::JsonReport Report("constructs");
+  bench::banner("construct-choosing repair (MRW, modeled costs)");
+  std::printf("%-28s %7s %6s %8s %10s %10s %8s\n", "program/constructs",
+              "finish", "force", "isolated", "cost", "finishcost", "gain");
+
+  bool AnyFailed = false;
+  for (const BenchmarkSpec &B : constructBenchmarks()) {
+    // The finish-only run of the same program is the baseline every other
+    // allowlist is compared against (the Masks array leads with it).
+    uint64_t FinishBase = 0;
+    for (const MaskRow &M : Masks) {
+      RepairOptions Opts;
+      Opts.Exec.Args = B.RepairArgs;
+      Opts.Constructs = M.Mask;
+      Opts.CollectDiag = true;
+      std::string Repaired;
+      Timer T;
+      RepairResult R = repairSource(B.Source, Repaired, Opts);
+      double Ms = T.elapsedMs();
+      std::string Name = std::string(B.Name) + "/" + M.Label;
+      if (!R.Success) {
+        std::fprintf(stderr, "bench_constructs: %s repair failed: %s\n",
+                     Name.c_str(), R.Error.c_str());
+        AnyFailed = true;
+        continue;
+      }
+      ModelCosts C = sumGroupCosts(R.Diag);
+      if (M.Mask == constructs::Finish)
+        FinishBase = C.Chosen;
+      double Gain = C.Chosen ? static_cast<double>(FinishBase) /
+                                   static_cast<double>(C.Chosen)
+                             : 1.0;
+      Report.add()
+          .str("name", Name)
+          .str("program", B.Name)
+          .str("constructs", M.Label)
+          .str("mode", "MRW")
+          .num("finishes", static_cast<uint64_t>(R.Stats.FinishesInserted))
+          .num("forces", static_cast<uint64_t>(R.Stats.ForcesInserted))
+          .num("isolated", static_cast<uint64_t>(R.Stats.IsolatedInserted))
+          .num("iterations", static_cast<uint64_t>(R.Stats.Iterations))
+          .num("cost_before", C.Before)
+          .num("cost_chosen", C.Chosen)
+          .num("cost_all_finish", FinishBase)
+          .num("cost_gain_vs_finish", Gain)
+          .num("repair_ms", Ms);
+      std::printf("%-28s %7u %6u %8u %10llu %10llu %7.2fx\n", Name.c_str(),
+                  R.Stats.FinishesInserted, R.Stats.ForcesInserted,
+                  R.Stats.IsolatedInserted,
+                  static_cast<unsigned long long>(C.Chosen),
+                  static_cast<unsigned long long>(FinishBase), Gain);
+    }
+  }
+
+  if (AnyFailed || Report.numRecords() == 0) {
+    std::fprintf(stderr, "bench_constructs: some repairs failed\n");
+    return 1;
+  }
+  if (!Report.writeTo(OutPath)) {
+    std::fprintf(stderr, "bench_constructs: failed to write %s\n",
+                 OutPath.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu records)\n", OutPath.c_str(),
+              Report.numRecords());
+  return 0;
+}

@@ -64,7 +64,8 @@ enum class Builtin {
   ToDouble,  ///< toDouble(i)
   RandInt,   ///< randInt(b): deterministic uniform in [0, b)
   RandSeed,  ///< randSeed(s): reseeds the interpreter RNG
-  Arg        ///< arg(i): i-th int program argument supplied by the harness
+  Arg,       ///< arg(i): i-th int program argument supplied by the harness
+  Force      ///< force(f): joins the future f and yields its value
 };
 
 /// Base class of all HJ-mini expressions.
@@ -293,7 +294,8 @@ class BlockStmt;
 class Stmt {
 public:
   enum class Kind {
-    Block, VarDecl, Assign, Expr, If, While, For, Return, Async, Finish
+    Block, VarDecl, Assign, Expr, If, While, For, Return, Async, Finish,
+    Future, Isolated, Forasync
   };
 
   Kind kind() const { return K; }
@@ -493,6 +495,83 @@ public:
 private:
   Stmt *Body;
   bool Synthesized = false;
+};
+
+/// future f = expr; — spawns a child task that evaluates expr and binds the
+/// handle f (of non-denotable type future<T>) in the enclosing scope. The
+/// task may run in parallel with the continuation; force(f) joins it and
+/// yields the value. The body behaves as if wrapped in an implicit finish:
+/// tasks spawned while evaluating expr complete before the future resolves.
+class FutureStmt : public Stmt {
+public:
+  FutureStmt(std::string Name, Expr *Init, SourceLoc Loc)
+      : Stmt(Kind::Future, Loc), Name(std::move(Name)), Init(Init) {}
+
+  const std::string &name() const { return Name; }
+  Expr *init() const { return Init; }
+
+  /// The handle's declaration, bound by sema (null before checking).
+  VarDecl *decl() const { return Decl; }
+  void setDecl(VarDecl *D) { Decl = D; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Future; }
+
+private:
+  std::string Name;
+  Expr *Init;
+  VarDecl *Decl = nullptr;
+};
+
+/// isolated body — a mutually exclusive (atomic) section: no two isolated
+/// bodies execute concurrently. Task spawns are not permitted inside.
+/// IsolatedStmt nodes are both user-written and synthesized by the repair
+/// tool when it chooses mutual exclusion over a join edge.
+class IsolatedStmt : public Stmt {
+public:
+  IsolatedStmt(Stmt *Body, SourceLoc Loc)
+      : Stmt(Kind::Isolated, Loc), Body(Body) {}
+
+  Stmt *body() const { return Body; }
+  void setBody(Stmt *S) { Body = S; }
+
+  /// True when this isolated section was inserted by the repair tool.
+  bool isSynthesized() const { return Synthesized; }
+  void setSynthesized(bool B) { Synthesized = B; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Isolated; }
+
+private:
+  Stmt *Body;
+  bool Synthesized = false;
+};
+
+/// forasync (var i: int = lo; i < hi; chunk c) body — a chunked parallel
+/// loop: iterations [lo, hi) are split into chunks of c consecutive
+/// iterations, and each chunk runs as one async. Sema desugars this into
+/// the async/finish core before checking (the chunking policy is recorded
+/// in the lowered code), so no layer past the frontend ever sees the node.
+class ForasyncStmt : public Stmt {
+public:
+  ForasyncStmt(std::string VarName, Expr *Lo, Expr *Hi, Expr *Chunk,
+               Stmt *Body, SourceLoc Loc)
+      : Stmt(Kind::Forasync, Loc), VarName(std::move(VarName)), Lo(Lo),
+        Hi(Hi), Chunk(Chunk), Body(Body) {}
+
+  const std::string &varName() const { return VarName; }
+  Expr *lo() const { return Lo; }
+  Expr *hi() const { return Hi; }
+  Expr *chunk() const { return Chunk; }
+  Stmt *body() const { return Body; }
+  void setBody(Stmt *S) { Body = S; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Forasync; }
+
+private:
+  std::string VarName;
+  Expr *Lo;
+  Expr *Hi;
+  Expr *Chunk;
+  Stmt *Body;
 };
 
 //===----------------------------------------------------------------------===//

@@ -25,6 +25,15 @@ const Type *AstContext::arrayType(const Type *Elem) {
   return ArrayTys.back().get();
 }
 
+const Type *AstContext::futureType(const Type *Elem) {
+  for (const auto &T : FutureTys)
+    if (T->elem() == Elem)
+      return T.get();
+  FutureTys.push_back(
+      std::unique_ptr<Type>(new Type(Type::Kind::Future, Elem)));
+  return FutureTys.back().get();
+}
+
 const char *tdr::binaryOpSpelling(BinaryOp Op) {
   switch (Op) {
   case BinaryOp::Add: return "+";

@@ -38,6 +38,7 @@ public:
   const Type *boolType() const { return BoolTy.get(); }
   const Type *voidType() const { return VoidTy.get(); }
   const Type *arrayType(const Type *Elem);
+  const Type *futureType(const Type *Elem);
 
   //===--------------------------------------------------------------------==//
   // Node creation
@@ -96,6 +97,7 @@ private:
 
   std::unique_ptr<Type> IntTy, DoubleTy, BoolTy, VoidTy;
   std::deque<std::unique_ptr<Type>> ArrayTys;
+  std::deque<std::unique_ptr<Type>> FutureTys;
   std::deque<ExprPtr> Exprs;
   std::deque<StmtPtr> Stmts;
   std::deque<std::unique_ptr<VarDecl>> VarDecls;

@@ -229,6 +229,35 @@ public:
       Out += "finish ";
       inlineBody(cast<FinishStmt>(S)->body(), Level);
       return;
+    case Stmt::Kind::Future: {
+      const auto *F = cast<FutureStmt>(S);
+      Out += "future ";
+      Out += F->name();
+      Out += " = ";
+      expr(F->init());
+      Out += ";\n";
+      return;
+    }
+    case Stmt::Kind::Isolated:
+      Out += "isolated ";
+      inlineBody(cast<IsolatedStmt>(S)->body(), Level);
+      return;
+    case Stmt::Kind::Forasync: {
+      const auto *F = cast<ForasyncStmt>(S);
+      Out += "forasync (var ";
+      Out += F->varName();
+      Out += ": int = ";
+      expr(F->lo());
+      Out += "; ";
+      Out += F->varName();
+      Out += " < ";
+      expr(F->hi());
+      Out += "; chunk ";
+      expr(F->chunk());
+      Out += ") ";
+      inlineBody(F->body(), Level);
+      return;
+    }
     }
   }
 
@@ -244,6 +273,8 @@ private:
     case Stmt::Kind::Return:
     case Stmt::Kind::Async:
     case Stmt::Kind::Finish:
+    case Stmt::Kind::Future:
+    case Stmt::Kind::Isolated:
       // Simple or chainable bodies stay on the same line:
       // "async quicksort(a, lo, j);" / "finish async f();".
       stmt(Body, Level);
@@ -251,6 +282,7 @@ private:
     case Stmt::Kind::If:
     case Stmt::Kind::While:
     case Stmt::Kind::For:
+    case Stmt::Kind::Forasync:
       Out += "\n";
       indent(Level + 1);
       stmt(Body, Level + 1);

@@ -67,10 +67,21 @@ public:
       F->setBody(rewriteTree(F->body()));
       break;
     }
+    case Stmt::Kind::Isolated: {
+      auto *I = cast<IsolatedStmt>(S);
+      I->setBody(rewriteTree(I->body()));
+      break;
+    }
+    case Stmt::Kind::Forasync: {
+      auto *F = cast<ForasyncStmt>(S);
+      F->setBody(rewriteTree(F->body()));
+      break;
+    }
     case Stmt::Kind::VarDecl:
     case Stmt::Kind::Assign:
     case Stmt::Kind::Expr:
     case Stmt::Kind::Return:
+    case Stmt::Kind::Future:
       break;
     }
     return Rewrite(S);
@@ -106,6 +117,13 @@ unsigned tdr::elideParallelism(Program &P) {
       ++Removed;
       return A->body();
     }
+    // Mutual exclusion is a no-op once all parallelism is gone. Futures
+    // stay: the sequential interpreter already evaluates a future's body
+    // at its declaration, which *is* the serial elision semantics.
+    if (auto *I = dyn_cast<IsolatedStmt>(S)) {
+      ++Removed;
+      return I->body();
+    }
     return S;
   });
   R.run(P);
@@ -139,6 +157,96 @@ FinishStmt *tdr::wrapInFinish(AstContext &Ctx, BlockStmt *B, size_t Begin,
   return Finish;
 }
 
+IsolatedStmt *tdr::wrapInIsolated(AstContext &Ctx, BlockStmt *B,
+                                  size_t Index) {
+  assert(Index < B->stmts().size() && "isolated index out of bounds");
+  Stmt *Body = B->stmts()[Index];
+  auto *Iso = Ctx.createStmt<IsolatedStmt>(Body, Body->loc());
+  Iso->setSynthesized(true);
+  B->stmts()[Index] = Iso;
+  return Iso;
+}
+
+namespace {
+
+/// Builds the desugared form of one forasync loop. \p Seq uniquifies the
+/// hoisted helper names across multiple loops in one program.
+Stmt *lowerOneForasync(AstContext &Ctx, ForasyncStmt *F, unsigned Seq) {
+  SourceLoc Loc = F->loc();
+  std::string P = "__fa" + std::to_string(Seq) + "_";
+  auto Ref = [&](const std::string &Name) {
+    return Ctx.createExpr<VarRefExpr>(Name, Loc);
+  };
+  auto DeclInt = [&](const std::string &Name, Expr *Init) -> Stmt * {
+    VarDecl *D =
+        Ctx.createVarDecl(VarDecl::Kind::Local, Name, Ctx.intType(), Loc);
+    return Ctx.createStmt<VarDeclStmt>(D, Init, Loc);
+  };
+  auto Call2 = [&](const char *Name, Expr *A, Expr *B) {
+    return Ctx.createExpr<CallExpr>(Name, std::vector<Expr *>{A, B}, Loc);
+  };
+
+  // var __faN_lo: int = LO;  var __faN_hi: int = HI;
+  // var __faN_ch: int = max(CHUNK, 1);
+  Stmt *LoDecl = DeclInt(P + "lo", F->lo());
+  Stmt *HiDecl = DeclInt(P + "hi", F->hi());
+  Stmt *ChDecl = DeclInt(
+      P + "ch", Call2("max", F->chunk(), Ctx.createExpr<IntLitExpr>(1, Loc)));
+
+  // Chunk body:  var __faN_end: int = min(__faN_c + __faN_ch, __faN_hi);
+  //              for (var VAR: int = __faN_c; VAR < __faN_end; VAR = VAR+1)
+  //                BODY
+  Stmt *EndDecl = DeclInt(
+      P + "end",
+      Call2("min",
+            Ctx.createExpr<BinaryExpr>(BinaryOp::Add, Ref(P + "c"),
+                                       Ref(P + "ch"), Loc),
+            Ref(P + "hi")));
+  const std::string &V = F->varName();
+  Stmt *InnerInit = DeclInt(V, Ref(P + "c"));
+  Expr *InnerCond =
+      Ctx.createExpr<BinaryExpr>(BinaryOp::Lt, Ref(V), Ref(P + "end"), Loc);
+  Stmt *InnerStep = Ctx.createStmt<AssignStmt>(
+      Ref(V),
+      Ctx.createExpr<BinaryExpr>(BinaryOp::Add, Ref(V),
+                                 Ctx.createExpr<IntLitExpr>(1, Loc), Loc),
+      Loc);
+  Stmt *InnerFor =
+      Ctx.createStmt<ForStmt>(InnerInit, InnerCond, InnerStep, F->body(), Loc);
+  auto *AsyncBody = Ctx.createStmt<BlockStmt>(
+      std::vector<Stmt *>{EndDecl, InnerFor}, Loc);
+  Stmt *Async = Ctx.createStmt<AsyncStmt>(AsyncBody, Loc);
+
+  // for (var __faN_c: int = __faN_lo; __faN_c < __faN_hi;
+  //      __faN_c = __faN_c + __faN_ch) async { ... }
+  Stmt *OuterInit = DeclInt(P + "c", Ref(P + "lo"));
+  Expr *OuterCond = Ctx.createExpr<BinaryExpr>(BinaryOp::Lt, Ref(P + "c"),
+                                               Ref(P + "hi"), Loc);
+  Stmt *OuterStep = Ctx.createStmt<AssignStmt>(
+      Ref(P + "c"),
+      Ctx.createExpr<BinaryExpr>(BinaryOp::Add, Ref(P + "c"), Ref(P + "ch"),
+                                 Loc),
+      Loc);
+  Stmt *OuterFor =
+      Ctx.createStmt<ForStmt>(OuterInit, OuterCond, OuterStep, Async, Loc);
+
+  return Ctx.createStmt<BlockStmt>(
+      std::vector<Stmt *>{LoDecl, HiDecl, ChDecl, OuterFor}, Loc);
+}
+
+} // namespace
+
+unsigned tdr::lowerForasync(Program &P, AstContext &Ctx) {
+  unsigned Lowered = 0;
+  StmtRewriter R([&](Stmt *S) -> Stmt * {
+    if (auto *F = dyn_cast<ForasyncStmt>(S))
+      return lowerOneForasync(Ctx, F, Lowered++);
+    return S;
+  });
+  R.run(P);
+  return Lowered;
+}
+
 namespace {
 template <typename Fn> void walkStmts(Stmt *S, Fn &&Visit) {
   Visit(S);
@@ -166,10 +274,17 @@ template <typename Fn> void walkStmts(Stmt *S, Fn &&Visit) {
   case Stmt::Kind::Finish:
     walkStmts(cast<FinishStmt>(S)->body(), Visit);
     break;
+  case Stmt::Kind::Isolated:
+    walkStmts(cast<IsolatedStmt>(S)->body(), Visit);
+    break;
+  case Stmt::Kind::Forasync:
+    walkStmts(cast<ForasyncStmt>(S)->body(), Visit);
+    break;
   case Stmt::Kind::VarDecl:
   case Stmt::Kind::Assign:
   case Stmt::Kind::Expr:
   case Stmt::Kind::Return:
+  case Stmt::Kind::Future:
     break;
   }
 }
@@ -292,5 +407,19 @@ void tdr::forEachExpr(const Stmt *S,
   case Stmt::Kind::Finish:
     forEachExpr(cast<FinishStmt>(S)->body(), Fn);
     break;
+  case Stmt::Kind::Future:
+    walkExpr(cast<FutureStmt>(S)->init(), Fn);
+    break;
+  case Stmt::Kind::Isolated:
+    forEachExpr(cast<IsolatedStmt>(S)->body(), Fn);
+    break;
+  case Stmt::Kind::Forasync: {
+    const auto *F = cast<ForasyncStmt>(S);
+    walkExpr(F->lo(), Fn);
+    walkExpr(F->hi(), Fn);
+    walkExpr(F->chunk(), Fn);
+    forEachExpr(F->body(), Fn);
+    break;
+  }
   }
 }

@@ -119,6 +119,20 @@ unsigned elideParallelism(Program &P);
 FinishStmt *wrapInFinish(AstContext &Ctx, BlockStmt *B, size_t Begin,
                          size_t End, FinishEditSink *Edits = nullptr);
 
+/// Wraps statement \p Index of \p B in a new isolated section, marked
+/// synthesized. Unlike finish insertion this edit is not replayable (it
+/// changes the event stream), so there is no edit-sink channel; callers
+/// must invalidate any recorded trace. Returns the isolated statement.
+IsolatedStmt *wrapInIsolated(AstContext &Ctx, BlockStmt *B, size_t Index);
+
+/// Desugars every forasync loop in \p P into its chunked async/finish-core
+/// form (hoisted bounds, a chunk-grained loop of asyncs, and a sequential
+/// inner loop per chunk — the recorded chunking policy). Runs bottom-up so
+/// nested forasyncs lower inside-out. Returns the number of loops lowered.
+/// Called by sema before checking; no layer past the frontend sees a
+/// ForasyncStmt.
+unsigned lowerForasync(Program &P, AstContext &Ctx);
+
 /// Collects every async statement in the program, in pre-order.
 std::vector<AsyncStmt *> collectAsyncs(Program &P);
 

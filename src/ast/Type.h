@@ -22,7 +22,7 @@ namespace tdr {
 /// An interned HJ-mini type.
 class Type {
 public:
-  enum class Kind { Int, Double, Bool, Array, Void };
+  enum class Kind { Int, Double, Bool, Array, Void, Future };
 
   Kind kind() const { return K; }
   bool isInt() const { return K == Kind::Int; }
@@ -30,12 +30,13 @@ public:
   bool isBool() const { return K == Kind::Bool; }
   bool isArray() const { return K == Kind::Array; }
   bool isVoid() const { return K == Kind::Void; }
+  bool isFuture() const { return K == Kind::Future; }
   bool isNumeric() const { return isInt() || isDouble(); }
   bool isScalar() const { return isInt() || isDouble() || isBool(); }
 
-  /// Element type; only valid for arrays.
+  /// Element type; only valid for arrays and futures.
   const Type *elem() const {
-    assert(isArray() && "elem() on non-array type");
+    assert((isArray() || isFuture()) && "elem() on non-array type");
     return Elem;
   }
 
@@ -52,6 +53,8 @@ public:
       return "void";
     case Kind::Array:
       return Elem->str() + "[]";
+    case Kind::Future:
+      return "future<" + Elem->str() + ">";
     }
     return "?";
   }

@@ -41,7 +41,7 @@ void tdr::runJobsOrdered(size_t N, unsigned Workers,
 }
 
 BatchSummary BatchRepairRunner::run(const std::vector<RepairJob> &Jobs) const {
-  obs::ScopedSpan Span("batch.run", "batch");
+  obs::ScopedSpan Span(obs::phase::BatchRun);
   obs::counter("batch.runs").inc();
 
   // The registry metrics of the whole batch fold into: captured before the

@@ -124,6 +124,8 @@ void appendProvenance(std::string &Out, const FinishProvenance &P) {
   appendUInt(Out, P.Iteration);
   Out += ",\"group_lca\":";
   appendUInt(Out, P.GroupLcaId);
+  Out += ",\"construct\":";
+  escape(Out, P.Construct);
   Out += ",\"anchor\":{";
   appendPos(Out, P.Anchor, /*WithText=*/true);
   Out += "},\"dynamic_instances\":";
@@ -141,6 +143,21 @@ void appendProvenance(std::string &Out, const FinishProvenance &P) {
     Out += ',';
     appendUInt(Out, P.ForcedEdges[I].second);
     Out += ']';
+  }
+  Out += "],\"alternatives\":[";
+  for (size_t I = 0; I != P.Alternatives.size(); ++I) {
+    if (I)
+      Out += ',';
+    const RepairAlternative &A = P.Alternatives[I];
+    Out += "{\"construct\":";
+    escape(Out, A.Construct);
+    Out += ",\"feasible\":";
+    Out += A.Feasible ? "true" : "false";
+    Out += ",\"cost\":";
+    appendUInt(Out, A.Cost);
+    Out += ",\"reason\":";
+    escape(Out, A.Reason);
+    Out += '}';
   }
   Out += "],\"rejected\":[";
   for (size_t I = 0; I != P.Rejected.size(); ++I) {
@@ -174,6 +191,10 @@ void appendJob(std::string &Out, const JobReport &J) {
   appendUInt(Out, J.Stats.Iterations);
   Out += ",\"finishes_inserted\":";
   appendUInt(Out, J.Stats.FinishesInserted);
+  Out += ",\"forces_inserted\":";
+  appendUInt(Out, J.Stats.ForcesInserted);
+  Out += ",\"isolated_inserted\":";
+  appendUInt(Out, J.Stats.IsolatedInserted);
   Out += ",\"interpretations\":";
   appendUInt(Out, J.Stats.Interpretations);
   Out += ",\"replays\":";
@@ -203,11 +224,11 @@ void appendJob(std::string &Out, const JobReport &J) {
     Out += "]}";
   }
   Out += "],\n   \"provenance\":[";
-  for (size_t I = 0; I != J.Diag.Finishes.size(); ++I) {
+  for (size_t I = 0; I != J.Diag.Repairs.size(); ++I) {
     if (I)
       Out += ',';
     Out += "\n    ";
-    appendProvenance(Out, J.Diag.Finishes[I]);
+    appendProvenance(Out, J.Diag.Repairs[I]);
   }
   Out += "]}";
 }
@@ -355,11 +376,14 @@ void renderJob(const json::Value &J, const std::string &Tool, bool Color,
 
   if (const json::Value *S = J.get("stats")) {
     Out += strFormat(
-        "  stats: %llu iteration(s), %llu finish(es) inserted, "
+        "  stats: %llu iteration(s), %llu finish(es), %llu force(s), "
+        "%llu isolated inserted, "
         "%llu interpretation(s), %llu replay(s), %llu raw race(s), "
         "%llu pair(s), %llu dpst node(s)\n",
         static_cast<unsigned long long>(S->getNumber("iterations")),
         static_cast<unsigned long long>(S->getNumber("finishes_inserted")),
+        static_cast<unsigned long long>(S->getNumber("forces_inserted")),
+        static_cast<unsigned long long>(S->getNumber("isolated_inserted")),
         static_cast<unsigned long long>(S->getNumber("interpretations")),
         static_cast<unsigned long long>(S->getNumber("replays")),
         static_cast<unsigned long long>(S->getNumber("races_raw")),
@@ -400,7 +424,7 @@ void renderJob(const json::Value &J, const std::string &Tool, bool Color,
 
   if (const json::Value *Prov = J.get("provenance");
       Prov && Prov->isArray() && !Prov->elements().empty()) {
-    Out += strFormat("  inserted finishes (%zu):\n",
+    Out += strFormat("  inserted repairs (%zu):\n",
                      Prov->elements().size());
     size_t I = 0;
     for (const json::Value &P : Prov->elements()) {
@@ -412,9 +436,10 @@ void renderJob(const json::Value &J, const std::string &Tool, bool Color,
                           static_cast<uint32_t>(A->getNumber("line")),
                           static_cast<uint32_t>(A->getNumber("col")));
       Out += strFormat(
-          "    finish %zu (iteration %llu) %s: group ns-lca node %llu, "
+          "    %s %zu (iteration %llu) %s: group ns-lca node %llu, "
           "%llu dynamic instance(s)\n",
-          I, static_cast<unsigned long long>(P.getNumber("iteration")),
+          P.getString("construct", "finish").c_str(), I,
+          static_cast<unsigned long long>(P.getNumber("iteration")),
           Where.c_str(),
           static_cast<unsigned long long>(P.getNumber("group_lca")),
           static_cast<unsigned long long>(P.getNumber("dynamic_instances")));

@@ -37,31 +37,51 @@ class Value;
 namespace diag {
 
 /// Document family / version emitted by renderRunReportJson.
+///
+/// Version 2 generalized the provenance from "inserted finishes" to
+/// per-construct repairs: each provenance entry carries a "construct"
+/// member ("finish" | "force" | "isolated") and an "alternatives" array
+/// (the other constructs considered for the entry's edges, with modeled
+/// costs), and job stats grew "forces_inserted" / "isolated_inserted".
 inline constexpr const char *ReportSchemaName = "tdr-report";
-inline constexpr int ReportSchemaVersion = 1;
+inline constexpr int ReportSchemaVersion = 2;
 
 /// A placement the DP proposed but the static placer could not map onto
-/// the AST (and why) — the "rejected alternatives" part of provenance.
+/// the AST (and why) — the "rejected placements" part of provenance.
 struct PlacementRejection {
   uint32_t Begin = 0; ///< first covered non-scope child index
   uint32_t End = 0;   ///< last covered non-scope child index
   std::string Reason;
 };
 
-/// Why one synthesized finish exists.
+/// A repair construct the chooser considered for an edge and did not
+/// pick: either feasible but costlier, or inapplicable (Reason says why).
+struct RepairAlternative {
+  std::string Construct; ///< "finish" | "force" | "isolated"
+  bool Feasible = false;
+  uint64_t Cost = 0;     ///< modeled group cost when feasible
+  std::string Reason;
+};
+
+/// Why one synthesized repair (finish, force, or isolated) exists.
 struct FinishProvenance {
   unsigned Iteration = 0;    ///< repair-loop iteration that inserted it
   uint32_t GroupLcaId = 0;   ///< NS-LCA node of the dependence group
-  SourcePos Anchor;          ///< where the finish wraps (pre-repair text)
-  unsigned DynamicInstances = 0; ///< S-DPST nodes this edit replicated to
-  /// Critical path of the group's placement problem with no finishes vs
-  /// with the chosen placement (work units; the DP's objective).
+  /// The construct this entry inserted ("finish" | "force" | "isolated").
+  std::string Construct = "finish";
+  SourcePos Anchor;          ///< where the repair applies (pre-repair text)
+  unsigned DynamicInstances = 0; ///< dynamic sites this edit covers
+  /// Critical path of the group's placement problem with no repairs vs
+  /// with the chosen plan (work units; the chooser's objective, isolated
+  /// penalties included).
   uint64_t CostBefore = 0;
   uint64_t CostAfter = 0;
-  /// Dependence edges (source, sink child indices) this finish cuts —
+  /// Dependence edges (source, sink child indices) this repair cuts —
   /// the races that forced it.
   std::vector<std::pair<uint32_t, uint32_t>> ForcedEdges;
-  /// Alternatives the DP probed that failed AST mapping (first finish of
+  /// Constructs considered for those edges and not chosen, with costs.
+  std::vector<RepairAlternative> Alternatives;
+  /// Placements the DP probed that failed AST mapping (first repair of
   /// the group carries them; capped).
   std::vector<PlacementRejection> Rejected;
 };
@@ -76,13 +96,15 @@ struct IterationDiag {
 /// Everything diagnostic a repair run produced.
 struct RunDiag {
   std::vector<IterationDiag> Iterations;
-  std::vector<FinishProvenance> Finishes;
+  std::vector<FinishProvenance> Repairs;
 };
 
 /// Table-2/3 style scalars, flattened for the report.
 struct JobStats {
   unsigned Iterations = 0;
   unsigned FinishesInserted = 0;
+  unsigned ForcesInserted = 0;
+  unsigned IsolatedInserted = 0;
   unsigned Interpretations = 0;
   unsigned Replays = 0;
   uint64_t RawRaces = 0;

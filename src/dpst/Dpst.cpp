@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <iterator>
 
 using namespace tdr;
 
@@ -19,6 +20,7 @@ std::string DpstNode::label() const {
   const char *K = Kind == DpstKind::Root     ? "Root"
                   : Kind == DpstKind::Async  ? "Async"
                   : Kind == DpstKind::Finish ? "Finish"
+                  : Kind == DpstKind::Future ? "Future"
                   : Kind == DpstKind::Scope
                       ? (SKind == ScopeKind::Call ? "Call" : "Scope")
                       : "Step";
@@ -125,16 +127,26 @@ bool Dpst::mayHappenInParallel(const DpstNode *S1, const DpstNode *S2) const {
   // NS-LCA is a scope by definition, that tracked node IS the non-scope
   // child of the NS-LCA toward that side (Definition 3) — no second pass
   // needed. Steps are leaves, so neither argument is the LCA itself.
+  auto Forces = [](const DpstNode *Fut, const DpstNode *Step) {
+    const std::vector<uint32_t> *F = Step->forced();
+    return F && std::binary_search(F->begin(), F->end(), Fut->futureId());
+  };
   const DpstNode *A = S1, *B = S2;
   const DpstNode *AChild = nullptr, *BChild = nullptr;
   const DpstNode *ANs = nullptr, *BNs = nullptr;
   while (A != B) {
     if (A->depth() >= B->depth()) {
+      // A future on the path, forced before the other step started, joins
+      // this side's subtree into the other step's past: ordered.
+      if (A->isFuture() && Forces(A, S2))
+        return false;
       if (A->isNonScope())
         ANs = A;
       AChild = A;
       A = A->parent();
     } else {
+      if (B->isFuture() && Forces(B, S1))
+        return false;
       if (B->isNonScope())
         BNs = B;
       BChild = B;
@@ -145,10 +157,10 @@ bool Dpst::mayHappenInParallel(const DpstNode *S1, const DpstNode *S2) const {
   assert(AChild && BChild && ANs && BNs &&
          "steps must be strict descendants of their LCA");
   // Theorem 1: the pair may run in parallel iff the NS-LCA's non-scope
-  // child toward the left (earlier) step is an async.
+  // child toward the left (earlier) step is a task node (async or future).
   const DpstNode *LeftNs =
       AChild->indexInParent() < BChild->indexInParent() ? ANs : BNs;
-  return LeftNs->isAsync();
+  return LeftNs->isTaskNode();
 }
 
 std::vector<DpstNode *> Dpst::nonScopeChildren(const DpstNode *N) const {
@@ -254,6 +266,13 @@ CplResult cplWalk(const DpstNode *N) {
       Pending = std::max({Pending, Cur + R.SerialEnd, Cur + R.Pending});
       break;
     }
+    case DpstKind::Future: {
+      CplResult R = cplWalk(C);
+      // A future runs concurrently like an async, but its implicit finish
+      // folds internal pending work into its own completion time.
+      Pending = std::max(Pending, Cur + std::max(R.SerialEnd, R.Pending));
+      break;
+    }
     case DpstKind::Finish: {
       CplResult R = cplWalk(C);
       // The parent resumes only after everything inside completes.
@@ -291,6 +310,37 @@ std::string Dpst::dumpDot() const {
 
 DpstBuilder::DpstBuilder(Dpst &D) : D(D), Cur(D.root()) {
   TaskStack.push_back(D.root());
+  // Root slot: exit sets of root-level tasks land here (nothing ever
+  // reads it — no code runs after the program's implicit join).
+  FinishAccum.push_back(nullptr);
+}
+
+DpstBuilder::ForcedSet DpstBuilder::unionForced(const ForcedSet &A,
+                                                const ForcedSet &B) {
+  if (!A || A->empty())
+    return B;
+  if (!B || B->empty())
+    return A;
+  if (A == B)
+    return A;
+  auto Merged = std::make_shared<std::vector<uint32_t>>();
+  Merged->reserve(A->size() + B->size());
+  std::set_union(A->begin(), A->end(), B->begin(), B->end(),
+                 std::back_inserter(*Merged));
+  return Merged;
+}
+
+DpstBuilder::ForcedSet DpstBuilder::unionForcedWith(const ForcedSet &A,
+                                                    uint32_t Fid) const {
+  ForcedSet Base = A;
+  if (Fid < FutureById.size() && FutureById[Fid])
+    Base = unionForced(Base, FutureById[Fid]->Forced);
+  if (Base && std::binary_search(Base->begin(), Base->end(), Fid))
+    return Base;
+  auto Merged = std::make_shared<std::vector<uint32_t>>(
+      Base ? *Base : std::vector<uint32_t>());
+  Merged->insert(std::lower_bound(Merged->begin(), Merged->end(), Fid), Fid);
+  return Merged;
 }
 
 void DpstBuilder::onAsyncEnter(const AsyncStmt *S, const Stmt *Owner) {
@@ -305,12 +355,21 @@ void DpstBuilder::onAsyncEnter(const AsyncStmt *S, const Stmt *Owner) {
       N->Container = B; // informational; the body block still gets a scope
   Cur = N;
   TaskStack.push_back(N);
+  // The child context inherits the spawner's completed-future knowledge;
+  // the snapshot to restore at exit is the same set (spawning changes
+  // nothing for the parent).
+  SavedForced.push_back(CurForced);
 }
 
 void DpstBuilder::onAsyncExit(const AsyncStmt *) {
   closeStep();
   TaskStack.pop_back();
   Cur = Cur->Parent;
+  // The task's final knowledge becomes visible after its join point — the
+  // immediately enclosing finish (or future's implicit finish).
+  FinishAccum.back() = unionForced(FinishAccum.back(), CurForced);
+  CurForced = SavedForced.back();
+  SavedForced.pop_back();
 }
 
 void DpstBuilder::onFinishEnter(const FinishStmt *S, const Stmt *Owner) {
@@ -323,11 +382,67 @@ void DpstBuilder::onFinishEnter(const FinishStmt *S, const Stmt *Owner) {
     if (const auto *B = dyn_cast<BlockStmt>(S->body()))
       N->Container = B;
   Cur = N;
+  // Exit sets of tasks joining at this finish accumulate here.
+  FinishAccum.push_back(nullptr);
 }
 
 void DpstBuilder::onFinishExit(const FinishStmt *) {
   closeStep();
   Cur = Cur->Parent;
+  // Everything joined tasks forced is now in this context's past.
+  CurForced = unionForced(CurForced, FinishAccum.back());
+  FinishAccum.pop_back();
+}
+
+void DpstBuilder::onFutureEnter(const FutureStmt *S, const Stmt *Owner,
+                                uint32_t Fid) {
+  closeStep();
+  DpstNode *N = D.createNode(DpstKind::Future, Cur);
+  N->Owner = Owner;
+  N->OwnerLast = Owner;
+  N->FutureS = S;
+  N->FutureId = Fid;
+  if (FutureById.size() <= Fid)
+    FutureById.resize(Fid + 1, nullptr);
+  FutureById[Fid] = N;
+  Cur = N;
+  TaskStack.push_back(N);
+  SavedForced.push_back(CurForced);
+  FinishAccum.push_back(nullptr); // the future's implicit finish
+}
+
+void DpstBuilder::onFutureExit(const FutureStmt *) {
+  closeStep();
+  TaskStack.pop_back();
+  // The future's exit set (its own forces plus those of tasks joined by
+  // the implicit finish) is stamped on the node so a later force can
+  // propagate it transitively.
+  ForcedSet ExitSet = unionForced(CurForced, FinishAccum.back());
+  FinishAccum.pop_back();
+  Cur->Forced = ExitSet;
+  Cur = Cur->Parent;
+  // Like an async, the future also joins at its enclosing finish.
+  FinishAccum.back() = unionForced(FinishAccum.back(), ExitSet);
+  CurForced = SavedForced.back();
+  SavedForced.pop_back();
+}
+
+void DpstBuilder::onForce(uint32_t Fid) {
+  // Accesses after the force are ordered after everything the future did;
+  // close the step so they land in a fresh step carrying the new set.
+  closeStep();
+  CurForced = unionForcedWith(CurForced, Fid);
+}
+
+void DpstBuilder::onIsolatedEnter(const IsolatedStmt *, const Stmt *Owner) {
+  closeStep();
+  PendingOwner = Owner;
+  InIsolated = true;
+}
+
+void DpstBuilder::onIsolatedExit(const IsolatedStmt *) {
+  closeStep();
+  InIsolated = false;
 }
 
 void DpstBuilder::onScopeEnter(ScopeKind K, const Stmt *Owner,
@@ -360,6 +475,8 @@ DpstNode *DpstBuilder::currentStep() {
     CurStep = D.createNode(DpstKind::Step, Cur);
     CurStep->Owner = PendingOwner;
     CurStep->OwnerLast = PendingOwner;
+    CurStep->Isolated = InIsolated;
+    CurStep->Forced = CurForced;
   }
   return CurStep;
 }

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,13 +33,15 @@ namespace tdr {
 
 class AsyncStmt;
 class FinishStmt;
+class FutureStmt;
 
 namespace obs {
 class Counter;
 } // namespace obs
 
-/// Kind of an S-DPST node.
-enum class DpstKind : uint8_t { Root, Async, Finish, Scope, Step };
+/// Kind of an S-DPST node. Future is appended so the original kinds keep
+/// their numeric values (recorded traces and dumps stay comparable).
+enum class DpstKind : uint8_t { Root, Async, Finish, Scope, Step, Future };
 
 /// One S-DPST node.
 class DpstNode {
@@ -50,7 +53,13 @@ public:
   bool isAsync() const { return Kind == DpstKind::Async; }
   bool isFinish() const { return Kind == DpstKind::Finish; }
   bool isRoot() const { return Kind == DpstKind::Root; }
-  /// Non-scope means async, finish, step, or root.
+  bool isFuture() const { return Kind == DpstKind::Future; }
+  /// A node whose subtree runs concurrently with its parent's continuation
+  /// (until joined): asyncs and futures.
+  bool isTaskNode() const {
+    return Kind == DpstKind::Async || Kind == DpstKind::Future;
+  }
+  /// Non-scope means async, future, finish, step, or root.
   bool isNonScope() const { return Kind != DpstKind::Scope; }
 
   DpstNode *parent() const { return Parent; }
@@ -73,9 +82,26 @@ public:
   const FuncDecl *callee() const { return Callee; }
   const AsyncStmt *asyncStmt() const { return AsyncS; }
   const FinishStmt *finishStmt() const { return FinishS; }
+  const FutureStmt *futureStmt() const { return FutureS; }
+
+  /// For Future nodes: the dynamic future id (execution order, from 0).
+  uint32_t futureId() const { return FutureId; }
 
   /// Step weight in abstract work units (steps only).
   uint64_t weight() const { return Weight; }
+
+  /// For steps: true when the step executed inside an isolated section.
+  /// Two isolated steps commute (mutual exclusion), so a race between them
+  /// is suppressed even though they may run in parallel.
+  bool isIsolated() const { return Isolated; }
+
+  /// For steps: the sorted dynamic ids of every future known to have
+  /// completed before this step started (directly forced, inherited from
+  /// the spawner, joined through an enclosing finish, or reached
+  /// transitively through another force). Null means none. For Future
+  /// nodes: the same set as of the future's own exit, used for transitive
+  /// propagation. Shared immutable snapshots — cheap to attach per step.
+  const std::vector<uint32_t> *forced() const { return Forced.get(); }
 
   /// Short description for dumps, e.g. "Async:12".
   std::string label() const;
@@ -98,7 +124,11 @@ private:
   const FuncDecl *Callee = nullptr;
   const AsyncStmt *AsyncS = nullptr;
   const FinishStmt *FinishS = nullptr;
+  const FutureStmt *FutureS = nullptr;
+  uint32_t FutureId = 0;
   uint64_t Weight = 0;
+  bool Isolated = false;
+  std::shared_ptr<const std::vector<uint32_t>> Forced;
 };
 
 /// Owns the nodes of one S-DPST and answers the structural queries the
@@ -142,9 +172,21 @@ public:
   const DpstNode *nonScopeChildToward(const DpstNode *N,
                                       const DpstNode *Descendant) const;
 
-  /// Theorem 1: steps \p S1 (left of) \p S2 may execute in parallel iff the
-  /// non-scope child of their NS-LCA on S1's side is an async.
+  /// Theorem 1, extended for futures: steps \p S1 (left of) \p S2 may
+  /// execute in parallel iff the non-scope child of their NS-LCA on S1's
+  /// side is a task node (async or future) AND no future on the path from
+  /// either step to the LCA was forced before the other step started (a
+  /// force is a join edge: everything the future did happens-before the
+  /// forcing step's continuation).
   bool mayHappenInParallel(const DpstNode *S1, const DpstNode *S2) const;
+
+  /// True when both steps ran inside isolated sections, i.e. a pair of
+  /// conflicting accesses between them commutes under mutual exclusion and
+  /// must not be reported as a race. Orthogonal to mayHappenInParallel:
+  /// isolated steps may well run in parallel.
+  static bool bothIsolated(const DpstNode *S1, const DpstNode *S2) {
+    return S1->isIsolated() && S2->isIsolated();
+  }
 
   /// Collects the non-scope children of \p N in left-to-right order
   /// (Definition 3: direct descendants with only scope nodes in between).
@@ -192,6 +234,12 @@ public:
   void onAsyncExit(const AsyncStmt *S) override;
   void onFinishEnter(const FinishStmt *S, const Stmt *Owner) override;
   void onFinishExit(const FinishStmt *S) override;
+  void onFutureEnter(const FutureStmt *S, const Stmt *Owner,
+                     uint32_t Fid) override;
+  void onFutureExit(const FutureStmt *S) override;
+  void onForce(uint32_t Fid) override;
+  void onIsolatedEnter(const IsolatedStmt *S, const Stmt *Owner) override;
+  void onIsolatedExit(const IsolatedStmt *S) override;
   void onScopeEnter(ScopeKind K, const Stmt *Owner, const BlockStmt *Body,
                     const FuncDecl *Callee) override;
   void onScopeExit() override;
@@ -206,14 +254,36 @@ public:
   /// "current task" of the canonical sequential execution.
   DpstNode *currentTask() const { return TaskStack.back(); }
 
+  /// The tree under construction. Detectors whose happens-before machinery
+  /// over-approximates with futures in play (force edges are not bag/clock
+  /// merges) confirm positive verdicts against it before recording.
+  const Dpst &tree() const { return D; }
+
 private:
+  using ForcedSet = std::shared_ptr<const std::vector<uint32_t>>;
+
   void closeStep() { CurStep = nullptr; }
+  /// Sorted-set union of two snapshots (either may be null).
+  static ForcedSet unionForced(const ForcedSet &A, const ForcedSet &B);
+  /// A ∪ {Fid} ∪ B, for the force edge.
+  ForcedSet unionForcedWith(const ForcedSet &A, uint32_t Fid) const;
 
   Dpst &D;
   DpstNode *Cur;
   DpstNode *CurStep = nullptr;
   const Stmt *PendingOwner = nullptr;
   std::vector<DpstNode *> TaskStack;
+
+  // Force-ordering bookkeeping (see DpstNode::forced). CurForced is the
+  // set of completed futures known to the currently executing sequential
+  // context; SavedForced restores it across task enter/exit; FinishAccum
+  // (one slot per open finish or future, plus a root slot) accumulates
+  // the exit sets of joined child tasks.
+  ForcedSet CurForced;
+  std::vector<ForcedSet> SavedForced;
+  std::vector<ForcedSet> FinishAccum;
+  std::vector<DpstNode *> FutureById;
+  bool InIsolated = false;
 };
 
 } // namespace tdr

@@ -12,6 +12,8 @@
 #include <cstdlib>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 using namespace tdr;
 
@@ -31,6 +33,9 @@ const char *tdr::tokenKindName(TokenKind K) {
   case TokenKind::KwReturn: return "'return'";
   case TokenKind::KwAsync: return "'async'";
   case TokenKind::KwFinish: return "'finish'";
+  case TokenKind::KwFuture: return "'future'";
+  case TokenKind::KwIsolated: return "'isolated'";
+  case TokenKind::KwForasync: return "'forasync'";
   case TokenKind::KwNew: return "'new'";
   case TokenKind::KwTrue: return "'true'";
   case TokenKind::KwFalse: return "'false'";
@@ -161,16 +166,26 @@ Token Lexer::lexNumber() {
   return T;
 }
 
-Token Lexer::lexIdentifier() {
-  static const std::unordered_map<std::string_view, TokenKind> Keywords = {
+const std::vector<std::pair<std::string_view, TokenKind>> &
+tdr::keywordTable() {
+  static const std::vector<std::pair<std::string_view, TokenKind>> Keywords = {
       {"var", TokenKind::KwVar},       {"func", TokenKind::KwFunc},
       {"if", TokenKind::KwIf},         {"else", TokenKind::KwElse},
       {"while", TokenKind::KwWhile},   {"for", TokenKind::KwFor},
       {"return", TokenKind::KwReturn}, {"async", TokenKind::KwAsync},
-      {"finish", TokenKind::KwFinish}, {"new", TokenKind::KwNew},
-      {"true", TokenKind::KwTrue},     {"false", TokenKind::KwFalse},
-      {"int", TokenKind::KwInt},       {"double", TokenKind::KwDouble},
-      {"bool", TokenKind::KwBool},     {"void", TokenKind::KwVoid}};
+      {"finish", TokenKind::KwFinish}, {"future", TokenKind::KwFuture},
+      {"isolated", TokenKind::KwIsolated},
+      {"forasync", TokenKind::KwForasync},
+      {"new", TokenKind::KwNew},       {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},   {"int", TokenKind::KwInt},
+      {"double", TokenKind::KwDouble}, {"bool", TokenKind::KwBool},
+      {"void", TokenKind::KwVoid}};
+  return Keywords;
+}
+
+Token Lexer::lexIdentifier() {
+  static const std::unordered_map<std::string_view, TokenKind> Keywords(
+      keywordTable().begin(), keywordTable().end());
 
   uint32_t Begin = Pos;
   while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')

@@ -11,6 +11,9 @@
 #include "support/Diagnostics.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
+#include <vector>
+
 using namespace tdr;
 
 Parser::Parser(std::string_view Buffer, AstContext &Ctx,
@@ -28,11 +31,71 @@ bool Parser::consumeIf(TokenKind K) {
   return true;
 }
 
+namespace {
+
+/// Levenshtein distance, capped: returns Limit + 1 as soon as the distance
+/// is known to exceed \p Limit.
+unsigned editDistance(std::string_view A, std::string_view B, unsigned Limit) {
+  size_t LA = A.size(), LB = B.size();
+  size_t Diff = LA > LB ? LA - LB : LB - LA;
+  if (Diff > Limit)
+    return Limit + 1;
+  std::vector<unsigned> Row(LB + 1);
+  for (size_t J = 0; J <= LB; ++J)
+    Row[J] = static_cast<unsigned>(J);
+  for (size_t I = 1; I <= LA; ++I) {
+    unsigned Prev = Row[0];
+    Row[0] = static_cast<unsigned>(I);
+    unsigned Best = Row[0];
+    for (size_t J = 1; J <= LB; ++J) {
+      unsigned Cur = Row[J];
+      Row[J] = std::min({Row[J] + 1, Row[J - 1] + 1,
+                         Prev + (A[I - 1] == B[J - 1] ? 0u : 1u)});
+      Prev = Cur;
+      Best = std::min(Best, Row[J]);
+    }
+    if (Best > Limit)
+      return Limit + 1;
+  }
+  return Row[LB];
+}
+
+/// Returns the keyword spelling nearest to \p Text within edit distance 2,
+/// or an empty view when nothing is close enough.
+std::string_view suggestKeyword(std::string_view Text) {
+  std::string_view Best;
+  unsigned BestDist = 3;
+  for (const auto &KW : keywordTable()) {
+    unsigned D = editDistance(Text, KW.first, 2);
+    if (D < BestDist) {
+      BestDist = D;
+      Best = KW.first;
+    }
+  }
+  return Best;
+}
+
+/// Appends "; did you mean 'kw'?" to \p Message when \p Tok is an
+/// identifier that looks like a misspelled keyword.
+void appendKeywordHint(std::string &Message, const Token &Tok) {
+  if (Tok.isNot(TokenKind::Identifier))
+    return;
+  std::string_view Sug = suggestKeyword(Tok.Text);
+  if (!Sug.empty())
+    Message += strFormat("; did you mean '%.*s'?",
+                         static_cast<int>(Sug.size()), Sug.data());
+}
+
+} // namespace
+
 bool Parser::expect(TokenKind K, const char *Context) {
   if (Tok.is(K))
     return true;
-  Diags.error(Tok.Loc, strFormat("expected %s %s, found %s", tokenKindName(K),
-                                 Context, tokenKindName(Tok.Kind)));
+  std::string Message =
+      strFormat("expected %s %s, found %s", tokenKindName(K), Context,
+                tokenKindName(Tok.Kind));
+  appendKeywordHint(Message, Tok);
+  Diags.error(Tok.Loc, std::move(Message));
   return false;
 }
 
@@ -62,7 +125,7 @@ void Parser::skipToStmtBoundary() {
 }
 
 Program *Parser::parseProgram() {
-  obs::ScopedSpan Span("parse", "frontend");
+  obs::ScopedSpan Span(obs::phase::Parse);
   // Per-call lookups (not statics): see the scoping contract in
   // obs/Metrics.h. One parse runs within one registry scope.
   obs::Counter &CFuncs = obs::counter("frontend.funcs");
@@ -77,9 +140,11 @@ Program *Parser::parseProgram() {
       CFuncs.inc();
       parseFuncDecl(*P);
     } else {
-      Diags.error(Tok.Loc,
-                  strFormat("expected 'var' or 'func' at top level, found %s",
-                            tokenKindName(Tok.Kind)));
+      std::string Message =
+          strFormat("expected 'var' or 'func' at top level, found %s",
+                    tokenKindName(Tok.Kind));
+      appendKeywordHint(Message, Tok);
+      Diags.error(Tok.Loc, std::move(Message));
       consume();
       skipToStmtBoundary();
     }
@@ -160,10 +225,13 @@ const Type *Parser::parseType() {
   case TokenKind::KwVoid:
     Base = Ctx.voidType();
     break;
-  default:
-    Diags.error(Tok.Loc, strFormat("expected a type, found %s",
-                                   tokenKindName(Tok.Kind)));
+  default: {
+    std::string Message =
+        strFormat("expected a type, found %s", tokenKindName(Tok.Kind));
+    appendKeywordHint(Message, Tok);
+    Diags.error(Tok.Loc, std::move(Message));
     return Ctx.intType();
+  }
   }
   consume();
   while (Tok.is(TokenKind::LBracket)) {
@@ -210,12 +278,93 @@ Stmt *Parser::parseStmt() {
     Stmt *Body = parseStmt();
     return Ctx.createStmt<FinishStmt>(Body, Loc);
   }
+  case TokenKind::KwIsolated: {
+    SourceLoc Loc = Tok.Loc;
+    consume();
+    Stmt *Body = parseStmt();
+    return Ctx.createStmt<IsolatedStmt>(Body, Loc);
+  }
+  case TokenKind::KwFuture:
+    return parseFutureStmt();
+  case TokenKind::KwForasync:
+    return parseForasyncStmt();
   default: {
+    bool WasIdent = Tok.is(TokenKind::Identifier);
+    std::string LeadingName = Tok.Text;
+    SourceLoc LeadingLoc = Tok.Loc;
     Stmt *S = parseSimpleStmt();
-    expectAndConsume(TokenKind::Semi, "after statement");
+    if (!expectAndConsume(TokenKind::Semi, "after statement") && WasIdent) {
+      // "asinc { ... }" parses as an identifier expression followed by a
+      // block; point at the likely misspelled construct keyword.
+      std::string_view Sug = suggestKeyword(LeadingName);
+      if (!Sug.empty())
+        Diags.note(LeadingLoc,
+                   strFormat("did you mean '%.*s'?",
+                             static_cast<int>(Sug.size()), Sug.data()));
+    }
     return S;
   }
   }
+}
+
+Stmt *Parser::parseFutureStmt() {
+  SourceLoc Loc = Tok.Loc;
+  consume(); // future
+  std::string Name = "<error>";
+  if (expect(TokenKind::Identifier, "in future declaration")) {
+    Name = Tok.Text;
+    consume();
+  }
+  expectAndConsume(TokenKind::Assign, "after future name");
+  Expr *Init = parseExpr();
+  expectAndConsume(TokenKind::Semi, "after future declaration");
+  return Ctx.createStmt<FutureStmt>(std::move(Name), Init, Loc);
+}
+
+Stmt *Parser::parseForasyncStmt() {
+  SourceLoc Loc = Tok.Loc;
+  consume(); // forasync
+  expectAndConsume(TokenKind::LParen, "after 'forasync'");
+  expectAndConsume(TokenKind::KwVar, "to declare the forasync loop variable");
+  std::string Name = "<error>";
+  if (expect(TokenKind::Identifier, "in forasync loop variable")) {
+    Name = Tok.Text;
+    consume();
+  }
+  expectAndConsume(TokenKind::Colon, "after forasync loop variable");
+  if (Tok.is(TokenKind::KwInt))
+    consume();
+  else
+    Diags.error(Tok.Loc, strFormat("forasync loop variable must be 'int', "
+                                   "found %s",
+                                   tokenKindName(Tok.Kind)));
+  expectAndConsume(TokenKind::Assign, "in forasync lower bound");
+  Expr *Lo = parseExpr();
+  expectAndConsume(TokenKind::Semi, "after forasync lower bound");
+  // The condition is restricted to "<loop-var> < <bound>".
+  if (Tok.is(TokenKind::Identifier) && Tok.Text == Name)
+    consume();
+  else
+    Diags.error(Tok.Loc,
+                strFormat("forasync condition must test the loop variable "
+                          "'%s'",
+                          Name.c_str()));
+  expectAndConsume(TokenKind::Less, "in forasync condition");
+  Expr *Hi = parseExpr();
+  expectAndConsume(TokenKind::Semi, "after forasync condition");
+  // 'chunk' is a contextual keyword: it is an ordinary identifier
+  // everywhere else.
+  if (Tok.is(TokenKind::Identifier) && Tok.Text == "chunk")
+    consume();
+  else
+    Diags.error(Tok.Loc, strFormat("expected 'chunk' in forasync header, "
+                                   "found %s",
+                                   tokenKindName(Tok.Kind)));
+  Expr *Chunk = parseExpr();
+  expectAndConsume(TokenKind::RParen, "after forasync header");
+  Stmt *Body = parseStmt();
+  return Ctx.createStmt<ForasyncStmt>(std::move(Name), Lo, Hi, Chunk, Body,
+                                      Loc);
 }
 
 Stmt *Parser::parseVarDeclStmt() {

@@ -13,7 +13,12 @@
 ///   funcDecl  := 'func' ident '(' params? ')' (':' type)? block
 ///   type      := ('int' | 'double' | 'bool') ('[' ']')*
 ///   stmt      := block | varDecl | ifStmt | whileStmt | forStmt
-///              | returnStmt | 'async' stmt | 'finish' stmt | simpleStmt ';'
+///              | returnStmt | 'async' stmt | 'finish' stmt
+///              | 'isolated' stmt | futureStmt | forasyncStmt
+///              | simpleStmt ';'
+///   futureStmt:= 'future' ident '=' expr ';'
+///   forasyncStmt := 'forasync' '(' 'var' ident ':' 'int' '=' expr ';'
+///                   ident '<' expr ';' 'chunk' expr ')' stmt
 ///   simpleStmt:= expr (assignOp expr)?     -- assignment or call
 ///   expr      := precedence-climbing over || && | ^ & ==/!= rel shifts
 ///                addsub muldiv, unary ! - ~, postfix call/index
@@ -65,6 +70,8 @@ private:
   Stmt *parseIfStmt();
   Stmt *parseWhileStmt();
   Stmt *parseForStmt();
+  Stmt *parseForasyncStmt();
+  Stmt *parseFutureStmt();
   Stmt *parseReturnStmt();
   /// Assignment or expression statement, without the trailing ';'.
   Stmt *parseSimpleStmt();

@@ -16,6 +16,9 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 namespace tdr {
 
@@ -26,6 +29,7 @@ enum class TokenKind {
   Identifier, IntLiteral, DoubleLiteral,
   // Keywords
   KwVar, KwFunc, KwIf, KwElse, KwWhile, KwFor, KwReturn, KwAsync, KwFinish,
+  KwFuture, KwIsolated, KwForasync,
   KwNew, KwTrue, KwFalse, KwInt, KwDouble, KwBool, KwVoid,
   // Punctuation
   LParen, RParen, LBrace, RBrace, LBracket, RBracket, Comma, Semi, Colon,
@@ -39,6 +43,10 @@ enum class TokenKind {
 
 /// Returns a human-readable name for diagnostics ("';'", "identifier", ...).
 const char *tokenKindName(TokenKind K);
+
+/// The full keyword table (spelling -> kind), shared between the lexer and
+/// the parser's did-you-mean keyword suggestions.
+const std::vector<std::pair<std::string_view, TokenKind>> &keywordTable();
 
 /// One lexed token. Literal payloads are stored decoded.
 struct Token {

@@ -25,6 +25,8 @@ std::string Value::str() const {
     return Payload.B ? "true" : "false";
   case Kind::Array:
     return Payload.A ? strFormat("array#%u", Payload.A->id()) : "null";
+  case Kind::Future:
+    return strFormat("future#%u", Payload.F);
   }
   return "?";
 }
@@ -38,7 +40,9 @@ std::string MemLoc::str() const {
 Interpreter::Interpreter(const Program &P, ExecOptions OptsIn)
     : P(P), Opts(std::move(OptsIn)), Mon(Opts.Monitor),
       CAsyncs(&obs::counter("interp.asyncs")),
-      CFinishes(&obs::counter("interp.finishes")), Rand(Opts.Seed) {}
+      CFinishes(&obs::counter("interp.finishes")),
+      CFutures(&obs::counter("interp.futures")),
+      CIsolated(&obs::counter("interp.isolated")), Rand(Opts.Seed) {}
 
 Interpreter::~Interpreter() = default;
 
@@ -70,6 +74,9 @@ static Value defaultValue(const Type *T) {
     return Value::makeBool(false);
   case Type::Kind::Array:
     return Value::makeArray(nullptr);
+  case Type::Kind::Future:
+    // Unreachable: future handles always initialize at the declaration.
+    return Value::makeFuture(0);
   case Type::Kind::Void:
     break;
   }
@@ -79,7 +86,7 @@ static Value defaultValue(const Type *T) {
 ExecResult Interpreter::run() {
   assert(!Ran && "Interpreter::run() called twice");
   Ran = true;
-  obs::ScopedSpan Span("interp.run", "interp");
+  obs::ScopedSpan Span(obs::phase::InterpRun);
   obs::counter("interp.runs").inc();
 
   const FuncDecl *Main = P.mainFunc();
@@ -312,6 +319,10 @@ Interpreter::Flow Interpreter::execStmt(const Stmt *S, const Stmt *Owner) {
 
   case Stmt::Kind::Async: {
     const auto *A = cast<AsyncStmt>(S);
+    if (InIsolated) {
+      fail(S->loc(), "cannot spawn a task inside an isolated section");
+      return Flow::Error;
+    }
     CAsyncs->inc();
     if (Mon)
       Mon->onAsyncEnter(A, Owner);
@@ -328,6 +339,10 @@ Interpreter::Flow Interpreter::execStmt(const Stmt *S, const Stmt *Owner) {
 
   case Stmt::Kind::Finish: {
     const auto *Fin = cast<FinishStmt>(S);
+    if (InIsolated) {
+      fail(S->loc(), "'finish' is not allowed inside an isolated section");
+      return Flow::Error;
+    }
     CFinishes->inc();
     if (Mon)
       Mon->onFinishEnter(Fin, Owner);
@@ -336,6 +351,59 @@ Interpreter::Flow Interpreter::execStmt(const Stmt *S, const Stmt *Owner) {
       Mon->onFinishExit(Fin);
     return F;
   }
+
+  case Stmt::Kind::Future: {
+    const auto *F = cast<FutureStmt>(S);
+    if (InIsolated) {
+      fail(S->loc(), "cannot spawn a future inside an isolated section");
+      return Flow::Error;
+    }
+    CFutures->inc();
+    uint32_t Fid = NextFutureId++;
+    if (Mon)
+      Mon->onFutureEnter(F, Owner, Fid);
+    // Depth-first semantics, like async: evaluate the initializer now on a
+    // snapshot of the parent frame.
+    Stack.push_back(Frame{Stack.back().Slots});
+    stepPoint(F);
+    Value V;
+    bool Ok = evalExpr(F->init(), V);
+    Stack.pop_back();
+    if (Mon)
+      Mon->onFutureExit(F);
+    if (!Ok)
+      return Flow::Error;
+    if (FutureValues.size() <= Fid)
+      FutureValues.resize(Fid + 1);
+    FutureValues[Fid] = V;
+    // The handle write is a local slot store — not a monitored location.
+    Stack.back().Slots[F->decl()->slot()] = Value::makeFuture(Fid);
+    // The continuation belongs to the parent's step again.
+    stepPoint(Owner);
+    return Flow::Normal;
+  }
+
+  case Stmt::Kind::Isolated: {
+    const auto *I = cast<IsolatedStmt>(S);
+    if (InIsolated) {
+      fail(S->loc(), "isolated sections do not nest");
+      return Flow::Error;
+    }
+    CIsolated->inc();
+    if (Mon)
+      Mon->onIsolatedEnter(I, Owner);
+    InIsolated = true;
+    Flow F = execBody(I->body(), I);
+    InIsolated = false;
+    if (Mon)
+      Mon->onIsolatedExit(I);
+    return F;
+  }
+
+  case Stmt::Kind::Forasync:
+    // Sema lowers every forasync before execution.
+    fail(S->loc(), "internal: forasync statement survived lowering");
+    return Flow::Error;
   }
   return Flow::Normal;
 }
@@ -738,6 +806,17 @@ bool Interpreter::evalBuiltin(const CallExpr *C, Value &Out) {
     Out = Value::makeInt(I >= 0 && static_cast<size_t>(I) < Opts.Args.size()
                              ? Opts.Args[static_cast<size_t>(I)]
                              : 0);
+    return true;
+  }
+  case Builtin::Force: {
+    if (InIsolated)
+      return fail(C->loc(), "force is not allowed inside an isolated section");
+    uint32_t Fid = A[0].asFuture();
+    assert(Fid < FutureValues.size() &&
+           "depth-first execution completes futures before any force");
+    if (Mon)
+      Mon->onForce(Fid);
+    Out = FutureValues[Fid];
     return true;
   }
   }

@@ -120,6 +120,8 @@ private:
   // Per-event instruments, bound at construction (see obs/Metrics.h).
   obs::Counter *CAsyncs;
   obs::Counter *CFinishes;
+  obs::Counter *CFutures;
+  obs::Counter *CIsolated;
 
   std::vector<Value> Globals;
   std::deque<ArrayObj> Heap;
@@ -127,6 +129,15 @@ private:
 
   std::vector<Frame> Stack;
   const Stmt *CurOwner = nullptr;
+
+  // Future value store, indexed by dynamic future id. The canonical
+  // depth-first execution evaluates a future's initializer at the
+  // declaration, so the value is always present when forced.
+  std::vector<Value> FutureValues;
+  uint32_t NextFutureId = 0;
+  // Dynamic isolation guard: sema bans spawns lexically inside isolated,
+  // but a called function body can still reach one.
+  bool InIsolated = false;
 
   // Return-value channel for the innermost active call.
   Value RetVal;

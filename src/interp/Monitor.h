@@ -39,6 +39,8 @@ class AsyncStmt;
 class BlockStmt;
 class FinishStmt;
 class FuncDecl;
+class FutureStmt;
+class IsolatedStmt;
 class Stmt;
 
 /// Why a scope node exists.
@@ -66,6 +68,36 @@ public:
     (void)Owner;
   }
   virtual void onFinishExit(const FinishStmt *S) { (void)S; }
+
+  /// A future task begins evaluating its initializer. \p Fid is the
+  /// dynamic future id, assigned in execution order starting at 0; the
+  /// same id identifies the future in onForce. Futures are implicitly
+  /// finished: the exit joins the task into the enclosing context for the
+  /// force-ordering bookkeeping, but siblings may still run in parallel
+  /// with it until they force it.
+  virtual void onFutureEnter(const FutureStmt *S, const Stmt *Owner,
+                             uint32_t Fid) {
+    (void)S;
+    (void)Owner;
+    (void)Fid;
+  }
+  virtual void onFutureExit(const FutureStmt *S) { (void)S; }
+
+  /// The current step forces (joins with) future \p Fid. Happens within a
+  /// step — not a structure event — and orders everything the future did
+  /// before everything the forcing step does afterwards.
+  virtual void onForce(uint32_t Fid) { (void)Fid; }
+
+  /// An isolated (mutually exclusive) section begins/ends within the
+  /// current task. Structure-wise isolation is invisible — accesses stay
+  /// in the surrounding step tree position — but accesses between the
+  /// enter/exit pair commute with other isolated accesses, which the
+  /// detectors use to suppress race reports.
+  virtual void onIsolatedEnter(const IsolatedStmt *S, const Stmt *Owner) {
+    (void)S;
+    (void)Owner;
+  }
+  virtual void onIsolatedExit(const IsolatedStmt *S) { (void)S; }
 
   /// \p Body is the statement list the scope executes (the block itself,
   /// or the callee body); \p Callee is non-null for Call scopes.
@@ -146,6 +178,37 @@ public:
       return Single->onFinishExit(S);
     for (ExecMonitor *M : Monitors)
       M->onFinishExit(S);
+  }
+  void onFutureEnter(const FutureStmt *S, const Stmt *Owner,
+                     uint32_t Fid) override {
+    if (Single)
+      return Single->onFutureEnter(S, Owner, Fid);
+    for (ExecMonitor *M : Monitors)
+      M->onFutureEnter(S, Owner, Fid);
+  }
+  void onFutureExit(const FutureStmt *S) override {
+    if (Single)
+      return Single->onFutureExit(S);
+    for (ExecMonitor *M : Monitors)
+      M->onFutureExit(S);
+  }
+  void onForce(uint32_t Fid) override {
+    if (Single)
+      return Single->onForce(Fid);
+    for (ExecMonitor *M : Monitors)
+      M->onForce(Fid);
+  }
+  void onIsolatedEnter(const IsolatedStmt *S, const Stmt *Owner) override {
+    if (Single)
+      return Single->onIsolatedEnter(S, Owner);
+    for (ExecMonitor *M : Monitors)
+      M->onIsolatedEnter(S, Owner);
+  }
+  void onIsolatedExit(const IsolatedStmt *S) override {
+    if (Single)
+      return Single->onIsolatedExit(S);
+    for (ExecMonitor *M : Monitors)
+      M->onIsolatedExit(S);
   }
   void onScopeEnter(ScopeKind K, const Stmt *Owner, const BlockStmt *Body,
                     const FuncDecl *Callee) override {

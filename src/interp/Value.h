@@ -24,10 +24,12 @@ namespace tdr {
 
 class ArrayObj;
 
-/// A runtime value: int, double, bool, or array reference (possibly null).
+/// A runtime value: int, double, bool, array reference (possibly null), or
+/// future handle (the dynamic future id; the interpreter owns the value
+/// store the handle indexes).
 class Value {
 public:
-  enum class Kind : uint8_t { Int, Double, Bool, Array };
+  enum class Kind : uint8_t { Int, Double, Bool, Array, Future };
 
   Value() : K(Kind::Int) { Payload.I = 0; }
 
@@ -55,12 +57,19 @@ public:
     R.Payload.A = A;
     return R;
   }
+  static Value makeFuture(uint32_t Fid) {
+    Value R;
+    R.K = Kind::Future;
+    R.Payload.F = Fid;
+    return R;
+  }
 
   Kind kind() const { return K; }
   bool isInt() const { return K == Kind::Int; }
   bool isDouble() const { return K == Kind::Double; }
   bool isBool() const { return K == Kind::Bool; }
   bool isArray() const { return K == Kind::Array; }
+  bool isFuture() const { return K == Kind::Future; }
 
   int64_t asInt() const {
     assert(isInt());
@@ -78,6 +87,10 @@ public:
     assert(isArray());
     return Payload.A;
   }
+  uint32_t asFuture() const {
+    assert(isFuture());
+    return Payload.F;
+  }
 
   /// Renders the value the way the print builtin does.
   std::string str() const;
@@ -89,6 +102,7 @@ private:
     double D;
     bool B;
     ArrayObj *A;
+    uint32_t F;
   } Payload;
 };
 

@@ -1,0 +1,47 @@
+//===- Phases.h - Generated phase constants ---------------------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Phase-name constants generated from Phases.def, the single source of
+/// truth shared with tools/check_trace.py. Hook points open spans with
+/// `obs::ScopedSpan Span(obs::phase::Sema);` instead of repeating the
+/// name/category strings — a typo becomes a compile error, and a new
+/// phase is one TDR_PHASE line that both the tracer and the trace schema
+/// checker pick up.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_OBS_PHASES_H
+#define TDR_OBS_PHASES_H
+
+namespace tdr {
+namespace obs {
+
+/// One registered pipeline phase (see Phases.def for the registry).
+struct PhaseInfo {
+  const char *Name;    ///< span name as emitted in trace JSON
+  const char *Cat;     ///< Chrome trace_event category
+  bool Required;       ///< every `tdr races` trace must contain it
+};
+
+namespace phase {
+#define TDR_PHASE(Ident, Name, Cat, Required)                                  \
+  inline constexpr PhaseInfo Ident{Name, Cat, Required != 0};
+#include "obs/Phases.def"
+#undef TDR_PHASE
+} // namespace phase
+
+/// All registered phases, in Phases.def order.
+inline constexpr PhaseInfo AllPhases[] = {
+#define TDR_PHASE(Ident, Name, Cat, Required) phase::Ident,
+#include "obs/Phases.def"
+#undef TDR_PHASE
+};
+
+} // namespace obs
+} // namespace tdr
+
+#endif // TDR_OBS_PHASES_H

@@ -27,6 +27,7 @@
 #ifndef TDR_OBS_TRACE_H
 #define TDR_OBS_TRACE_H
 
+#include "obs/Phases.h"
 #include "support/Timer.h"
 
 #include <atomic>
@@ -110,6 +111,10 @@ public:
   explicit ScopedSpan(const char *Name, const char *Cat = "tdr")
       : Name(Name), Cat(Cat), Active(Tracer::enabled()),
         StartNs(Active ? Timer::nowNs() : 0) {}
+
+  /// The preferred form: a phase registered in Phases.def, so the name is
+  /// shared with the trace schema checker.
+  explicit ScopedSpan(const PhaseInfo &P) : ScopedSpan(P.Name, P.Cat) {}
 
   ScopedSpan(const ScopedSpan &) = delete;
   ScopedSpan &operator=(const ScopedSpan &) = delete;

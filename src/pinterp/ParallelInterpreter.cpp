@@ -18,12 +18,38 @@
 
 #include <atomic>
 #include <cmath>
+#include <condition_variable>
 #include <deque>
 #include <mutex>
 
 using namespace tdr;
 
 namespace {
+
+/// One future's spawn state. The initializer runs exactly once, by
+/// whichever side wins the claim: the spawned task, or a forcing task that
+/// arrives before the spawned task started. The inline-evaluation path
+/// makes force deadlock-free even on a single worker — a forcer never
+/// blocks on a task that has not started running.
+struct FutureState {
+  const Expr *Init = nullptr;
+  std::vector<Value> Snapshot; ///< frame snapshot; consumed by the winner
+  std::atomic<bool> Claimed{false};
+
+  std::mutex M;
+  std::condition_variable CV;
+  bool Done = false;
+  Value V;
+
+  void publish(Value Val) {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Done = true;
+      V = Val;
+    }
+    CV.notify_all();
+  }
+};
 
 /// State shared by all tasks of one parallel execution.
 struct SharedState {
@@ -35,6 +61,13 @@ struct SharedState {
   std::mutex HeapMutex;
   std::deque<ArrayObj> Heap;
   uint32_t NextArrayId = 1;
+
+  std::mutex FutureMutex;
+  std::deque<FutureState> Futures; ///< stable addresses; index = future id
+
+  /// Serializes isolated sections program-wide (mutual exclusion is the
+  /// whole semantics of the construct).
+  std::mutex IsolatedMutex;
 
   std::mutex OutputMutex;
   std::string Output;
@@ -65,6 +98,18 @@ struct SharedState {
     Heap.emplace_back(NextArrayId++, N, Fill);
     return &Heap.back();
   }
+
+  FutureState *allocFuture(uint32_t &FidOut) {
+    std::lock_guard<std::mutex> Lock(FutureMutex);
+    FidOut = static_cast<uint32_t>(Futures.size());
+    Futures.emplace_back();
+    return &Futures.back();
+  }
+
+  FutureState *future(uint32_t Fid) {
+    std::lock_guard<std::mutex> Lock(FutureMutex);
+    return &Futures[Fid];
+  }
 };
 
 Value defaultValue(const Type *T) {
@@ -77,6 +122,8 @@ Value defaultValue(const Type *T) {
     return Value::makeBool(false);
   case Type::Kind::Array:
     return Value::makeArray(nullptr);
+  case Type::Kind::Future:
+    return Value::makeFuture(0); // unreachable: handles always initialize
   case Type::Kind::Void:
     break;
   }
@@ -202,6 +249,10 @@ public:
     }
     case Stmt::Kind::Async: {
       const auto *A = cast<AsyncStmt>(St);
+      if (InIsolated) {
+        S.fail(St->loc(), "cannot spawn a task inside an isolated section");
+        return Flow::Error;
+      }
       // Snapshot the frame; the child task runs on its own TaskExec.
       std::vector<Value> Snapshot = Stack.back();
       SharedState *Shared = &S;
@@ -214,13 +265,65 @@ public:
     }
     case Stmt::Kind::Finish: {
       const auto *Fin = cast<FinishStmt>(St);
+      if (InIsolated) {
+        S.fail(St->loc(), "'finish' is not allowed inside an isolated section");
+        return Flow::Error;
+      }
       FinishScope Scope;
       Flow F = execStmt(Fin->body());
       Scope.wait();
       return F;
     }
+    case Stmt::Kind::Future: {
+      const auto *F = cast<FutureStmt>(St);
+      if (InIsolated) {
+        S.fail(St->loc(), "cannot spawn a future inside an isolated section");
+        return Flow::Error;
+      }
+      uint32_t Fid = 0;
+      FutureState *FS = S.allocFuture(Fid);
+      // Publish the handle before spawning: the parent continuation (and
+      // anything it spawns) may force immediately.
+      Stack.back()[F->decl()->slot()] = Value::makeFuture(Fid);
+      FS->Init = F->init();
+      FS->Snapshot = Stack.back();
+      SharedState *Shared = &S;
+      tdr::async([Shared, FS] {
+        if (FS->Claimed.exchange(true, std::memory_order_acq_rel))
+          return; // a forcer already ran the initializer inline
+        TaskExec Child(*Shared);
+        Child.evalFuture(FS);
+      });
+      return Flow::Normal;
+    }
+    case Stmt::Kind::Isolated: {
+      const auto *I = cast<IsolatedStmt>(St);
+      if (InIsolated) {
+        S.fail(St->loc(), "isolated sections do not nest");
+        return Flow::Error;
+      }
+      std::lock_guard<std::mutex> Lock(S.IsolatedMutex);
+      InIsolated = true;
+      Flow F = execStmt(I->body());
+      InIsolated = false;
+      return F;
+    }
+    case Stmt::Kind::Forasync:
+      S.fail(St->loc(), "internal: forasync statement survived lowering");
+      return Flow::Error;
     }
     return Flow::Normal;
+  }
+
+  /// Runs a claimed future's initializer and publishes the value. On
+  /// failure the value is still published (default) so forcers wake up;
+  /// they re-check the abort flag.
+  void evalFuture(FutureState *FS) {
+    Stack.push_back(std::move(FS->Snapshot));
+    Value V;
+    evalExpr(FS->Init, V);
+    Stack.pop_back();
+    FS->publish(V);
   }
 
 private:
@@ -635,6 +738,23 @@ private:
                                : 0);
       return true;
     }
+    case Builtin::Force: {
+      if (InIsolated) {
+        S.fail(C->loc(), "force is not allowed inside an isolated section");
+        return false;
+      }
+      FutureState *FS = S.future(A[0].asFuture());
+      if (!FS->Claimed.exchange(true, std::memory_order_acq_rel)) {
+        // The spawned task has not started: run the initializer here.
+        evalFuture(FS);
+      }
+      std::unique_lock<std::mutex> Lock(FS->M);
+      FS->CV.wait(Lock, [&] { return FS->Done; });
+      if (S.Aborted.load(std::memory_order_acquire))
+        return false;
+      Out = FS->V;
+      return true;
+    }
     }
     S.fail(C->loc(), "unknown builtin");
     return false;
@@ -644,6 +764,9 @@ private:
   std::vector<std::vector<Value>> Stack;
   Value RetVal;
   bool HasRetVal = false;
+  /// This task holds the isolation lock (sema bans nested spawns, the
+  /// interpreters enforce it dynamically through called functions too).
+  bool InIsolated = false;
 };
 
 } // namespace

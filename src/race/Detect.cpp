@@ -159,7 +159,7 @@ Detection replayDetectBackend(const DetectOptions &Opts,
 void crossCheckBackends(Detection &D, const DetectOptions &Opts,
                         const trace::InputTrace &T,
                         const trace::ReplayPlan &Plan) {
-  obs::ScopedSpan Span("detect.backend_check", "race");
+  obs::ScopedSpan Span(obs::phase::DetectBackendCheck);
   obs::counter("detect.backend_checks").inc();
   DetectOptions Other = Opts;
   // Cross-check against ESP-bags (the reference algorithm) unless it is
@@ -186,7 +186,7 @@ void crossCheckBackends(Detection &D, const DetectOptions &Opts,
 
 Detection tdr::detectRaces(const Program &P, const DetectOptions &Opts,
                            ExecOptions Exec) {
-  obs::ScopedSpan Span("detect", "race");
+  obs::ScopedSpan Span(obs::phase::Detect);
   obs::counter("detect.runs").inc();
   if (!backendCheckEnv()) {
     Detection D = liveDetectBackend(P, Opts, std::move(Exec));
@@ -226,7 +226,7 @@ Detection tdr::detectRaces(const Program &P, EspBagsDetector::Mode Mode,
 Detection tdr::detectRaces(const Program &, const DetectOptions &Opts,
                            const trace::InputTrace &T,
                            const trace::ReplayPlan &Plan) {
-  obs::ScopedSpan Span("detect.replay", "race");
+  obs::ScopedSpan Span(obs::phase::DetectReplay);
   obs::counter("detect.runs").inc();
   obs::counter("detect.replays").inc();
   Detection D = replayDetectBackend(Opts, T, Plan);
@@ -247,7 +247,7 @@ Detection tdr::detectRaces(const Program &P, EspBagsDetector::Mode Mode,
 
 Detection tdr::detectRacesOracle(const Program &, const trace::InputTrace &T,
                                  const trace::ReplayPlan &Plan) {
-  obs::ScopedSpan Span("detect.oracle.replay", "race");
+  obs::ScopedSpan Span(obs::phase::DetectOracleReplay);
   obs::counter("detect.replays").inc();
   Detection D;
   D.Tree = std::make_unique<Dpst>();
@@ -278,7 +278,7 @@ std::string tdr::renderRaceReportKey(const RaceReport &R) {
 }
 
 Detection tdr::detectRacesOracle(const Program &P, ExecOptions Exec) {
-  obs::ScopedSpan Span("detect.oracle", "race");
+  obs::ScopedSpan Span(obs::phase::DetectOracle);
   Detection D;
   D.Tree = std::make_unique<Dpst>();
   DpstBuilder Builder(*D.Tree);

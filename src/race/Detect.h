@@ -68,6 +68,27 @@ public:
     B.DpstBuilder::onFinishExit(S);
     D.DetectorT::onFinishExit(S);
   }
+  void onFutureEnter(const FutureStmt *S, const Stmt *Owner,
+                     uint32_t Fid) override {
+    B.DpstBuilder::onFutureEnter(S, Owner, Fid);
+    D.DetectorT::onFutureEnter(S, Owner, Fid);
+  }
+  void onFutureExit(const FutureStmt *S) override {
+    B.DpstBuilder::onFutureExit(S);
+    D.DetectorT::onFutureExit(S);
+  }
+  void onForce(uint32_t Fid) override {
+    B.DpstBuilder::onForce(Fid);
+    D.DetectorT::onForce(Fid);
+  }
+  void onIsolatedEnter(const IsolatedStmt *S, const Stmt *Owner) override {
+    B.DpstBuilder::onIsolatedEnter(S, Owner);
+    D.DetectorT::onIsolatedEnter(S, Owner);
+  }
+  void onIsolatedExit(const IsolatedStmt *S) override {
+    B.DpstBuilder::onIsolatedExit(S);
+    D.DetectorT::onIsolatedExit(S);
+  }
   void onScopeEnter(ScopeKind K, const Stmt *Owner, const BlockStmt *Body,
                     const FuncDecl *Callee) override {
     B.DpstBuilder::onScopeEnter(K, Owner, Body, Callee);

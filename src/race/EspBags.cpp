@@ -52,6 +52,49 @@ void EspBagsDetector::onFinishExit(const FinishStmt *) {
   Bags.merge(TaskElems.back(), FinishElem, BagSet::Tag::S);
 }
 
+void EspBagsDetector::onFutureEnter(const FutureStmt *, const Stmt *,
+                                    uint32_t) {
+  CachedStep = nullptr;
+  SawFuture = true;
+  // A future is an async (its body runs in parallel with the continuation
+  // until joined) fused with an implicit finish over its initializer.
+  TaskElems.push_back(Bags.makeSet(BagSet::Tag::S));
+  CurElem = TaskElems.back();
+  FinishElems.push_back(Bags.makeSet(BagSet::Tag::P));
+}
+
+void EspBagsDetector::onFutureExit(const FutureStmt *) {
+  CachedStep = nullptr;
+  // Implicit finish exit: anything the initializer spawned is serialized
+  // behind the future task itself.
+  uint32_t FinishElem = FinishElems.back();
+  FinishElems.pop_back();
+  Bags.merge(TaskElems.back(), FinishElem, BagSet::Tag::S);
+  // Then, like an async, the future joins the enclosing finish's P-bag:
+  // parallel to the continuation until forced or joined. The force edge is
+  // NOT representable as a bag merge (the element is shared with the whole
+  // P-bag), so recordRace confirms bag-positive pairs against the S-DPST
+  // once futures are in play.
+  uint32_t TaskElem = TaskElems.back();
+  TaskElems.pop_back();
+  CurElem = TaskElems.back();
+  Bags.merge(FinishElems.back(), TaskElem, BagSet::Tag::P);
+}
+
+void EspBagsDetector::onForce(uint32_t) {
+  // The builder closes the current step (accesses after the force carry
+  // the enlarged forced-set); drop the cache so it is re-resolved.
+  CachedStep = nullptr;
+}
+
+void EspBagsDetector::onIsolatedEnter(const IsolatedStmt *, const Stmt *) {
+  CachedStep = nullptr;
+}
+
+void EspBagsDetector::onIsolatedExit(const IsolatedStmt *) {
+  CachedStep = nullptr;
+}
+
 void EspBagsDetector::onScopeEnter(ScopeKind, const Stmt *, const BlockStmt *,
                                    const FuncDecl *) {
   // Scope boundaries close the builder's current step; drop the cache so
@@ -64,6 +107,15 @@ void EspBagsDetector::onScopeExit() { CachedStep = nullptr; }
 void EspBagsDetector::recordRace(const Access &Prev, AccessKind PrevKind,
                                  DpstNode *CurStep, AccessKind CurKind,
                                  MemLoc L) {
+  // Isolated steps commute under mutual exclusion; the shared S-DPST
+  // carries the per-step flag. Suppressed observations bump no counters,
+  // so every backend applying the same two checks stays byte-identical.
+  if (Dpst::bothIsolated(Prev.Step, CurStep))
+    return;
+  // With futures in play the bags over-approximate (a force join edge is
+  // not a bag merge), so confirm against the S-DPST before recording.
+  if (SawFuture && !Builder.tree().mayHappenInParallel(Prev.Step, CurStep))
+    return;
   CRaw->inc();
   ++Report.RawCount;
   auto [It, Inserted] = SeenPairs.try_emplace(

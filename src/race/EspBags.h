@@ -83,6 +83,12 @@ public:
   void onAsyncExit(const AsyncStmt *S) override;
   void onFinishEnter(const FinishStmt *S, const Stmt *Owner) override;
   void onFinishExit(const FinishStmt *S) override;
+  void onFutureEnter(const FutureStmt *S, const Stmt *Owner,
+                     uint32_t Fid) override;
+  void onFutureExit(const FutureStmt *S) override;
+  void onForce(uint32_t Fid) override;
+  void onIsolatedEnter(const IsolatedStmt *S, const Stmt *Owner) override;
+  void onIsolatedExit(const IsolatedStmt *S) override;
   void onScopeEnter(ScopeKind K, const Stmt *Owner, const BlockStmt *Body,
                     const FuncDecl *Callee) override;
   void onScopeExit() override;
@@ -155,6 +161,7 @@ private:
   obs::Counter *CPairs;
   BagSet Bags;
   DpstNode *CachedStep = nullptr;    ///< step-boundary-cached current step
+  bool SawFuture = false; ///< any future so far => confirm races via S-DPST
   uint32_t CurElem = 0;              ///< cached TaskElems.back()
   uint32_t CompactThreshold = 0;     ///< 0 = compaction off
   std::vector<uint32_t> TaskElems;   ///< S-bag element per active task

@@ -16,6 +16,17 @@ void OracleDetector::onFinishEnter(const FinishStmt *, const Stmt *) {
   CachedStep = nullptr;
 }
 void OracleDetector::onFinishExit(const FinishStmt *) { CachedStep = nullptr; }
+void OracleDetector::onFutureEnter(const FutureStmt *, const Stmt *, uint32_t) {
+  CachedStep = nullptr;
+}
+void OracleDetector::onFutureExit(const FutureStmt *) { CachedStep = nullptr; }
+void OracleDetector::onForce(uint32_t) { CachedStep = nullptr; }
+void OracleDetector::onIsolatedEnter(const IsolatedStmt *, const Stmt *) {
+  CachedStep = nullptr;
+}
+void OracleDetector::onIsolatedExit(const IsolatedStmt *) {
+  CachedStep = nullptr;
+}
 void OracleDetector::onScopeEnter(ScopeKind, const Stmt *, const BlockStmt *,
                                   const FuncDecl *) {
   CachedStep = nullptr;
@@ -26,6 +37,9 @@ void OracleDetector::check(const AccessList &Prev, AccessKind PrevKind,
                            DpstNode *Step, AccessKind CurKind, MemLoc L) {
   for (DpstNode *P : Prev) {
     if (P == Step || !Tree.mayHappenInParallel(P, Step))
+      continue;
+    // Isolated steps commute under mutual exclusion even when parallel.
+    if (Dpst::bothIsolated(P, Step))
       continue;
     ++Report.RawCount;
     auto [It, Inserted] =

@@ -40,6 +40,12 @@ public:
   void onAsyncExit(const AsyncStmt *S) override;
   void onFinishEnter(const FinishStmt *S, const Stmt *Owner) override;
   void onFinishExit(const FinishStmt *S) override;
+  void onFutureEnter(const FutureStmt *S, const Stmt *Owner,
+                     uint32_t Fid) override;
+  void onFutureExit(const FutureStmt *S) override;
+  void onForce(uint32_t Fid) override;
+  void onIsolatedEnter(const IsolatedStmt *S, const Stmt *Owner) override;
+  void onIsolatedExit(const IsolatedStmt *S) override;
   void onScopeEnter(ScopeKind K, const Stmt *Owner, const BlockStmt *Body,
                     const FuncDecl *Callee) override;
   void onScopeExit() override;

@@ -113,6 +113,53 @@ public:
       U->Next = TaskStack.back();
     }
   }
+  void onFutureEnter(const FutureStmt *S, const Stmt *Owner,
+                     uint32_t Fid) override {
+    ++Tick;
+    CachedStep = nullptr;
+    SawFuture = true;
+    B.DpstBuilder::onFutureEnter(S, Owner, Fid);
+    // A future is an async fused with an implicit finish over its
+    // initializer: new label (task) plus new pending slot (finish).
+    Labels.emplace_back();
+    TaskStack.push_back(&Labels.back());
+    FinishPending.emplace_back();
+  }
+  void onFutureExit(const FutureStmt *S) override {
+    uint64_t T = ++Tick;
+    CachedStep = nullptr;
+    B.DpstBuilder::onFutureExit(S);
+    // Implicit finish exit first (inner tasks join into the future task),
+    // then the future exits like an async into the enclosing finish. One
+    // tick for both halves, matching the single event of the sequential
+    // backends. Force edges are not representable in the label chains, so
+    // Phase B confirms label-positive pairs against the S-DPST.
+    std::vector<TaskLab *> Joined = std::move(FinishPending.back());
+    FinishPending.pop_back();
+    for (TaskLab *U : Joined) {
+      U->JoinExit = T;
+      U->Next = TaskStack.back();
+    }
+    TaskLab *U = TaskStack.back();
+    TaskStack.pop_back();
+    U->AsyncExit = T;
+    FinishPending.back().push_back(U);
+  }
+  void onForce(uint32_t Fid) override {
+    ++Tick;
+    CachedStep = nullptr;
+    B.DpstBuilder::onForce(Fid);
+  }
+  void onIsolatedEnter(const IsolatedStmt *S, const Stmt *Owner) override {
+    ++Tick;
+    CachedStep = nullptr;
+    B.DpstBuilder::onIsolatedEnter(S, Owner);
+  }
+  void onIsolatedExit(const IsolatedStmt *S) override {
+    ++Tick;
+    CachedStep = nullptr;
+    B.DpstBuilder::onIsolatedExit(S);
+  }
   void onScopeEnter(ScopeKind K, const Stmt *Owner, const BlockStmt *Body,
                     const FuncDecl *Callee) override {
     ++Tick;
@@ -137,6 +184,10 @@ public:
 
   std::vector<AccessRec> takeAccesses() { return std::move(Accesses); }
 
+  /// True when the stream contained at least one future (Phase B must then
+  /// confirm label-positive pairs against the S-DPST).
+  bool sawFuture() const { return SawFuture; }
+
 private:
   void recordAccess(MemLoc L, bool IsWrite) {
     uint64_t T = ++Tick;
@@ -155,6 +206,7 @@ private:
   std::vector<std::vector<TaskLab *>> FinishPending;
   uint64_t Tick = 0;
   DpstNode *CachedStep = nullptr;
+  bool SawFuture = false;
   std::vector<AccessRec> Accesses;
 };
 
@@ -181,6 +233,23 @@ struct StepSum {
 struct LocEntry {
   MemLoc L;
   std::vector<StepSum> Sums;
+};
+
+/// The par analogue of the sequential backends' recordRace suppression:
+/// isolated steps commute, and with futures in play the labels
+/// over-approximate (a force join edge is not a label link), so positives
+/// are confirmed against the shared S-DPST. The tree is immutable after
+/// the pre-pass and mayHappenInParallel only reads it, so any Phase B
+/// worker may ask concurrently.
+struct SuppressCtx {
+  const Dpst *Tree = nullptr;
+  bool HasFutures = false;
+
+  bool suppressed(const StepSum &A, const StepSum &B) const {
+    if (Dpst::bothIsolated(A.Step, B.Step))
+      return true;
+    return HasFutures && !Tree->mayHappenInParallel(A.Step, B.Step);
+  }
 };
 
 /// Shadow slot of one Phase A worker: 1-based index into its LocEntry
@@ -289,7 +358,7 @@ PairAgg &pairAgg(Findings &F, const StepSum &A, const StepSum &B) {
 /// independent check, exactly as the sequential scan keeps every reader
 /// and writer in its lists.
 uint64_t mergeLocationMrw(MemLoc L, const std::vector<StepSum> &Sums,
-                          Findings &F) {
+                          const SuppressCtx &Sup, Findings &F) {
   uint64_t Checks = 0;
   for (size_t J = 1; J < Sums.size(); ++J) {
     const StepSum &B = Sums[J];
@@ -299,6 +368,8 @@ uint64_t mergeLocationMrw(MemLoc L, const std::vector<StepSum> &Sums,
         continue; // read/read pairs race with nobody
       ++Checks;
       if (orderedAt(A.Task, B.FirstAny))
+        continue;
+      if (Sup.suppressed(A, B))
         continue;
       PairAgg &G = pairAgg(F, A, B);
       if (A.NW) {
@@ -327,14 +398,14 @@ uint64_t mergeLocationMrw(MemLoc L, const std::vector<StepSum> &Sums,
 /// before the first write" (the step's own write takes over the writer
 /// cell and silences later checks), which Phase A pre-counted.
 uint64_t mergeLocationSrw(MemLoc L, const std::vector<StepSum> &Sums,
-                          Findings &F) {
+                          const SuppressCtx &Sup, Findings &F) {
   uint64_t Checks = 0;
   const StepSum *W0 = nullptr;
   const StepSum *R0 = nullptr;
   for (const StepSum &B : Sums) {
     if (W0) {
       ++Checks;
-      if (!orderedAt(W0->Task, B.FirstAny)) {
+      if (!orderedAt(W0->Task, B.FirstAny) && !Sup.suppressed(*W0, B)) {
         uint32_t RaceReads = B.NW ? B.RBW : B.NR;
         if (RaceReads || B.NW) {
           PairAgg &G = pairAgg(F, *W0, B);
@@ -353,7 +424,7 @@ uint64_t mergeLocationSrw(MemLoc L, const std::vector<StepSum> &Sums,
     bool R0Ordered = !R0 || orderedAt(R0->Task, B.FirstAny);
     if (R0 && B.NW) {
       ++Checks;
-      if (!R0Ordered) {
+      if (!R0Ordered && !Sup.suppressed(*R0, B)) {
         PairAgg &G = pairAgg(F, *R0, B);
         G.Raw += B.NW;
         G.observeWitness(L, AccessKind::Read, AccessKind::Write);
@@ -397,7 +468,8 @@ std::vector<size_t> chunkBounds(const std::vector<AccessRec> &Accesses,
 
 RaceReport runPipeline(std::vector<AccessRec> Accesses,
                        EspBagsDetector::Mode Mode, unsigned Workers,
-                       size_t &ShadowUsedOut, size_t &ShadowReservedOut) {
+                       const SuppressCtx &Sup, size_t &ShadowUsedOut,
+                       size_t &ShadowReservedOut) {
   obs::Counter *CChunks = &obs::counter("par.chunks");
   obs::Counter *CSummaries = &obs::counter("par.summaries");
   // Same counter family every backend maintains (<backend>.reads/writes/
@@ -462,8 +534,8 @@ RaceReport runPipeline(std::vector<AccessRec> Accesses,
                    Groups.size();) {
       const LocGroup &G = Groups[I];
       Checks += Mode == EspBagsDetector::Mode::SRW
-                    ? mergeLocationSrw(G.L, G.Sums, F)
-                    : mergeLocationMrw(G.L, G.Sums, F);
+                    ? mergeLocationSrw(G.L, G.Sums, Sup, F)
+                    : mergeLocationMrw(G.L, G.Sums, Sup, F);
     }
     WorkerChecks[Id] = Checks;
   };
@@ -576,7 +648,8 @@ Detection tdr::parDetectReplay(const DetectOptions &Opts,
   D.Exec = T.Exec;
   std::vector<AccessRec> Accesses = Pre.takeAccesses();
   unsigned Workers = resolveParWorkers(Opts.ParWorkers, Accesses.size());
-  D.Report = runPipeline(std::move(Accesses), Opts.Mode, Workers,
+  SuppressCtx Sup{D.Tree.get(), Pre.sawFuture()};
+  D.Report = runPipeline(std::move(Accesses), Opts.Mode, Workers, Sup,
                          D.ShadowBytesUsed, D.ShadowBytesReserved);
   return D;
 }

@@ -86,6 +86,45 @@ void VectorClockDetector::onFinishExit(const FinishStmt *) {
   T.Learned.insert(T.Learned.end(), Acc.begin(), Acc.end());
 }
 
+void VectorClockDetector::onFutureEnter(const FutureStmt *, const Stmt *,
+                                        uint32_t) {
+  CachedStep = nullptr;
+  SawFuture = true;
+  // A future is an async fused with an implicit finish over its
+  // initializer: new task id with COW-inherited clock, new accumulator.
+  TaskFrame F;
+  F.Id = static_cast<uint32_t>(Active.size());
+  Active.push_back(1);
+  const TaskFrame &Parent = Tasks.back();
+  F.Base = Parent.Own ? Parent.Own.get() : Parent.Base;
+  CurId = F.Id;
+  Tasks.push_back(std::move(F));
+  Finishes.emplace_back();
+}
+
+void VectorClockDetector::onFutureExit(const FutureStmt *) {
+  // Implicit finish exit: the future task learns whatever its initializer
+  // spawned, then exits like an async — pending in the enclosing finish,
+  // parallel to the continuation until forced or joined. The force edge is
+  // not a clock merge; recordRace confirms positives against the S-DPST
+  // once futures are in play, exactly like the ESP-bags backend.
+  onFinishExit(nullptr);
+  onAsyncExit(nullptr);
+}
+
+void VectorClockDetector::onForce(uint32_t) {
+  // The builder closes the current step; drop the cache.
+  CachedStep = nullptr;
+}
+
+void VectorClockDetector::onIsolatedEnter(const IsolatedStmt *, const Stmt *) {
+  CachedStep = nullptr;
+}
+
+void VectorClockDetector::onIsolatedExit(const IsolatedStmt *) {
+  CachedStep = nullptr;
+}
+
 void VectorClockDetector::onScopeEnter(ScopeKind, const Stmt *,
                                        const BlockStmt *, const FuncDecl *) {
   // Scope boundaries close the builder's current step; drop the cache so
@@ -98,6 +137,12 @@ void VectorClockDetector::onScopeExit() { CachedStep = nullptr; }
 void VectorClockDetector::recordRace(const Access &Prev, AccessKind PrevKind,
                                      DpstNode *CurStep, AccessKind CurKind,
                                      MemLoc L) {
+  // Mirrors the EspBags suppression exactly (same shared S-DPST queries,
+  // no counter bumps), preserving byte-identical cross-backend reports.
+  if (Dpst::bothIsolated(Prev.Step, CurStep))
+    return;
+  if (SawFuture && !Builder.tree().mayHappenInParallel(Prev.Step, CurStep))
+    return;
   CRaw->inc();
   ++Report.RawCount;
   auto [It, Inserted] = SeenPairs.try_emplace(

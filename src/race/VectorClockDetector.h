@@ -82,6 +82,12 @@ public:
   void onAsyncExit(const AsyncStmt *S) override;
   void onFinishEnter(const FinishStmt *S, const Stmt *Owner) override;
   void onFinishExit(const FinishStmt *S) override;
+  void onFutureEnter(const FutureStmt *S, const Stmt *Owner,
+                     uint32_t Fid) override;
+  void onFutureExit(const FutureStmt *S) override;
+  void onForce(uint32_t Fid) override;
+  void onIsolatedEnter(const IsolatedStmt *S, const Stmt *Owner) override;
+  void onIsolatedExit(const IsolatedStmt *S) override;
   void onScopeEnter(ScopeKind K, const Stmt *Owner, const BlockStmt *Body,
                     const FuncDecl *Callee) override;
   void onScopeExit() override;
@@ -180,6 +186,7 @@ private:
   obs::Counter *CRaw;
   obs::Counter *CPairs;
   DpstNode *CachedStep = nullptr; ///< step-boundary-cached current step
+  bool SawFuture = false; ///< any future so far => confirm races via S-DPST
   uint32_t CurId = 0;             ///< cached Tasks.back().Id
   std::vector<TaskFrame> Tasks;   ///< active-task stack (root at [0])
   std::vector<std::vector<uint32_t>> Finishes; ///< per-finish accumulators

@@ -1,0 +1,227 @@
+//===- ConstructChoice.cpp ------------------------------------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "repair/ConstructChoice.h"
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
+#include <limits>
+
+using namespace tdr;
+
+namespace {
+constexpr uint64_t Infinite = std::numeric_limits<uint64_t>::max();
+} // namespace
+
+const char *tdr::repairConstructName(RepairConstruct C) {
+  switch (C) {
+  case RepairConstruct::Finish:
+    return "finish";
+  case RepairConstruct::ForceFuture:
+    return "force";
+  case RepairConstruct::Isolated:
+    return "isolated";
+  }
+  return "?";
+}
+
+bool tdr::parseConstructList(const std::string &Spec, unsigned &Mask,
+                             std::string &Error) {
+  unsigned M = 0;
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = Spec.size();
+    std::string Tok = Spec.substr(Pos, Comma - Pos);
+    unsigned Bit;
+    if (Tok == "finish")
+      Bit = constructs::Finish;
+    else if (Tok == "future")
+      Bit = constructs::Future;
+    else if (Tok == "isolated")
+      Bit = constructs::Isolated;
+    else {
+      Error = Tok.empty() ? "empty construct name in list"
+                          : "unknown construct '" + Tok +
+                                "' (expected finish, future, or isolated)";
+      return false;
+    }
+    if (M & Bit) {
+      Error = "construct '" + Tok + "' listed twice";
+      return false;
+    }
+    M |= Bit;
+    Pos = Comma + 1;
+  }
+  if (!(M & constructs::Finish)) {
+    Error = "the construct list must include 'finish' (the fallback repair)";
+    return false;
+  }
+  Mask = M;
+  return true;
+}
+
+std::string tdr::formatConstructMask(unsigned Mask) {
+  std::string Out;
+  auto Add = [&](const char *Name) {
+    if (!Out.empty())
+      Out += ',';
+    Out += Name;
+  };
+  if (Mask & constructs::Finish)
+    Add("finish");
+  if (Mask & constructs::Future)
+    Add("future");
+  if (Mask & constructs::Isolated)
+    Add("isolated");
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Chooser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Rank used for tie-breaking: prefer the paper's finish repair, then
+/// force (still a deterministic ordering), then isolated.
+unsigned rank(RepairConstruct C) { return static_cast<unsigned>(C); }
+
+struct AssignmentEval {
+  uint64_t Cost = Infinite;
+  std::vector<std::pair<uint32_t, uint32_t>> FinishRanges;
+  std::vector<std::pair<uint32_t, uint32_t>> ForceEdges;
+};
+
+AssignmentEval evalAssignment(const PlacementProblem &Problem,
+                              const std::vector<RepairConstruct> &Assign,
+                              const std::vector<EdgeCandidate> &Cands,
+                              const SolveFinishFn &SolveFinish) {
+  AssignmentEval Out;
+  std::vector<std::pair<uint32_t, uint32_t>> FinishEdges;
+  uint64_t Penalty = 0;
+  for (size_t E = 0; E != Problem.Edges.size(); ++E) {
+    switch (Assign[E]) {
+    case RepairConstruct::Finish:
+      FinishEdges.push_back(Problem.Edges[E]);
+      break;
+    case RepairConstruct::ForceFuture:
+      Out.ForceEdges.push_back(Problem.Edges[E]);
+      break;
+    case RepairConstruct::Isolated:
+      Penalty += Cands[E].IsolatedPenalty;
+      break;
+    }
+  }
+  if (!FinishEdges.empty()) {
+    PlacementResult DP = SolveFinish(FinishEdges);
+    if (!DP.Feasible)
+      return Out; // Infinite
+    Out.FinishRanges = std::move(DP.Finishes);
+  }
+  uint64_t Base =
+      evalConstructCost(Problem, Out.FinishRanges, Out.ForceEdges);
+  Out.Cost = Base > Infinite - Penalty ? Infinite : Base + Penalty;
+  return Out;
+}
+
+} // namespace
+
+GroupPlan tdr::planConstructs(const PlacementProblem &Problem, unsigned Mask,
+                              const std::vector<EdgeCandidate> &Candidates,
+                              const SolveFinishFn &SolveFinish) {
+  obs::ScopedSpan Span(obs::phase::PlacementChoose);
+  obs::counter("choose.runs").inc();
+
+  GroupPlan Plan;
+  const size_t NE = Problem.Edges.size();
+  std::vector<RepairConstruct> Assign(NE, RepairConstruct::Finish);
+
+  AssignmentEval Cur = evalAssignment(Problem, Assign, Candidates,
+                                      SolveFinish);
+  Plan.AllFinishCost = Cur.Cost;
+
+  Plan.Edges.resize(NE);
+  for (size_t E = 0; E != NE; ++E) {
+    Plan.Edges[E].X = Problem.Edges[E].first;
+    Plan.Edges[E].Y = Problem.Edges[E].second;
+  }
+
+  // Greedy descent, one pass in edge order. Every candidate evaluation is
+  // a full-assignment re-cost (DP over the remaining finish edges), so the
+  // comparison accounts for interactions with already-moved edges.
+  for (size_t E = 0; E != NE; ++E) {
+    const EdgeCandidate &C = Candidates[E];
+    struct Option {
+      RepairConstruct Construct;
+      AssignmentEval Eval;
+      bool Applicable;
+      std::string Reason;
+    };
+    std::vector<Option> Options;
+    auto Probe = [&](RepairConstruct RC, bool Applicable,
+                     const std::string &Reason) {
+      Option O;
+      O.Construct = RC;
+      O.Applicable = Applicable;
+      O.Reason = Reason;
+      if (Applicable) {
+        RepairConstruct Saved = Assign[E];
+        Assign[E] = RC;
+        O.Eval = evalAssignment(Problem, Assign, Candidates, SolveFinish);
+        Assign[E] = Saved;
+      }
+      Options.push_back(std::move(O));
+    };
+    // The current assignment (finish) is option 0 — reuse its evaluation.
+    Options.push_back({RepairConstruct::Finish, Cur, true, ""});
+    if (Mask & constructs::Future)
+      Probe(RepairConstruct::ForceFuture, C.CanForce, C.ForceReason);
+    if (Mask & constructs::Isolated)
+      Probe(RepairConstruct::Isolated, C.CanIsolate, C.IsolateReason);
+
+    // Pick the cheapest applicable option; ties keep the lower rank.
+    size_t Best = 0;
+    for (size_t O = 1; O != Options.size(); ++O) {
+      if (!Options[O].Applicable)
+        continue;
+      uint64_t CB = Options[Best].Eval.Cost, CO = Options[O].Eval.Cost;
+      if (CO < CB || (CO == CB && rank(Options[O].Construct) <
+                                      rank(Options[Best].Construct)))
+        Best = O;
+    }
+    if (Best != 0) {
+      Assign[E] = Options[Best].Construct;
+      Cur = Options[Best].Eval;
+      obs::counter("choose.nonfinish").inc();
+    }
+    Plan.Edges[E].Construct = Options[Best].Construct;
+    for (size_t O = 0; O != Options.size(); ++O) {
+      if (O == Best)
+        continue;
+      ConstructAlternative Alt;
+      Alt.Construct = Options[O].Construct;
+      Alt.Feasible = Options[O].Applicable &&
+                     Options[O].Eval.Cost != Infinite;
+      Alt.Cost = Alt.Feasible ? Options[O].Eval.Cost : 0;
+      Alt.Reason = Options[O].Applicable
+                       ? (Alt.Feasible ? "higher or equal modeled cost"
+                                       : "no realizable finish placement")
+                       : Options[O].Reason;
+      Plan.Edges[E].Alternatives.push_back(std::move(Alt));
+    }
+  }
+
+  if (Cur.Cost == Infinite)
+    return Plan; // infeasible; caller falls back to per-source wraps
+  Plan.Feasible = true;
+  Plan.FinishRanges = std::move(Cur.FinishRanges);
+  Plan.ForceEdges = std::move(Cur.ForceEdges);
+  Plan.Cost = Cur.Cost;
+  return Plan;
+}

@@ -1,0 +1,141 @@
+//===- ConstructChoice.h - Per-edge repair construct choice ------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The repair layer's construct vocabulary. The paper repairs every race by
+/// inserting `finish`; this module generalizes the per-dependence-edge
+/// decision to a choice among
+///
+///  * Finish      — enclose a child range in `finish` (the paper's repair);
+///  * ForceFuture — when the edge's source is a future, insert `force(f);`
+///                  in front of the sink's statement: the force is a join
+///                  edge that orders only the future's subtree before the
+///                  sink, leaving unrelated asyncs running;
+///  * Isolated    — wrap both racing statements in `isolated { }` sections:
+///                  the accesses commute under mutual exclusion, no
+///                  ordering is imposed at all.
+///
+/// The chooser minimizes the same critical-path objective as the finish
+/// placement DP, extended with force join edges (evalConstructCost) and a
+/// contention penalty per isolated edge. Construct availability is gated
+/// by an allowlist mask (`--constructs finish,future,isolated`): the
+/// default enables finish and future-forcing only — isolated weakens the
+/// determinism argument (it reorders, rather than orders, the accesses),
+/// so it is opt-in.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_REPAIR_CONSTRUCTCHOICE_H
+#define TDR_REPAIR_CONSTRUCTCHOICE_H
+
+#include "repair/FinishPlacement.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tdr {
+
+/// How one dependence edge is cut.
+enum class RepairConstruct : uint8_t { Finish = 0, ForceFuture = 1,
+                                       Isolated = 2 };
+
+/// Stable lowercase name used in reports and the CLI ("finish", "force",
+/// "isolated").
+const char *repairConstructName(RepairConstruct C);
+
+/// Allowlist bits for RepairOptions::Constructs and --constructs.
+namespace constructs {
+inline constexpr unsigned Finish = 1u << 0;
+inline constexpr unsigned Future = 1u << 1;
+inline constexpr unsigned Isolated = 1u << 2;
+/// Default: the paper's finish repair plus future-forcing (a no-op on
+/// programs without futures). Isolated is opt-in.
+inline constexpr unsigned Default = Finish | Future;
+inline constexpr unsigned All = Finish | Future | Isolated;
+} // namespace constructs
+
+/// Parses a comma-separated allowlist ("finish,future,isolated"). Accepts
+/// each name once in any order; the list must be non-empty and contain
+/// "finish" (every other construct has applicability conditions, so a
+/// repair without the finish fallback could not guarantee progress).
+/// Returns false with a message in \p Error on unknown or malformed specs.
+bool parseConstructList(const std::string &Spec, unsigned &Mask,
+                        std::string &Error);
+
+/// Renders \p Mask back to the canonical comma list.
+std::string formatConstructMask(unsigned Mask);
+
+/// Static applicability of the non-finish constructs to one edge, probed
+/// by the caller (StaticPlacer owns the AST mapping) before planning.
+struct EdgeCandidate {
+  bool CanForce = false;
+  bool CanIsolate = false;
+  /// Modeled critical-path penalty of isolating this edge: serialized
+  /// section time, summed over the edge's races (min of the two racing
+  /// steps' weights each, at least 1 so isolation is never free).
+  uint64_t IsolatedPenalty = 0;
+  /// Why the construct does not apply (reported as an infeasible
+  /// alternative when the mask allows the construct).
+  std::string ForceReason;
+  std::string IsolateReason;
+};
+
+/// A rejected (or losing) alternative for provenance.
+struct ConstructAlternative {
+  RepairConstruct Construct = RepairConstruct::Finish;
+  bool Feasible = false;
+  uint64_t Cost = 0; ///< modeled group cost when feasible
+  std::string Reason;
+};
+
+/// The chooser's verdict for one edge.
+struct EdgeChoice {
+  uint32_t X = 0, Y = 0;
+  RepairConstruct Construct = RepairConstruct::Finish;
+  /// The alternatives considered for this edge and not chosen, with their
+  /// modeled costs (or the reason they were inapplicable).
+  std::vector<ConstructAlternative> Alternatives;
+};
+
+/// The plan for one dependence group.
+struct GroupPlan {
+  bool Feasible = false;
+  /// Parallel to PlacementProblem::Edges.
+  std::vector<EdgeChoice> Edges;
+  /// DP solution over the finish-assigned edges only.
+  std::vector<std::pair<uint32_t, uint32_t>> FinishRanges;
+  /// Force edges (future child index, sink child index) assigned
+  /// ForceFuture.
+  std::vector<std::pair<uint32_t, uint32_t>> ForceEdges;
+  /// Modeled completion time of the chosen plan, isolated penalties
+  /// included.
+  uint64_t Cost = 0;
+  /// Cost of the best pure-finish plan (UINT64_MAX when infeasible);
+  /// lets reports state what choosing a non-finish construct saved.
+  uint64_t AllFinishCost = 0;
+};
+
+/// Runs the finish DP on \p Problem restricted to \p Edges (the validity
+/// oracle already bound to the group).
+using SolveFinishFn =
+    std::function<PlacementResult(const std::vector<std::pair<uint32_t,
+                                                              uint32_t>> &)>;
+
+/// Chooses a construct per edge of \p Problem. Greedy descent from the
+/// all-finish assignment: edges are visited in order and moved to the
+/// construct minimizing the modeled group cost, holding the other edges'
+/// assignments fixed; ties keep the lower-ranked construct
+/// (finish < force < isolated), so the plan only deviates from the paper's
+/// repair when it is strictly cheaper. Infeasible when no assignment has a
+/// realizable finish DP for its finish-assigned edges.
+GroupPlan planConstructs(const PlacementProblem &Problem, unsigned Mask,
+                         const std::vector<EdgeCandidate> &Candidates,
+                         const SolveFinishFn &SolveFinish);
+
+} // namespace tdr
+
+#endif // TDR_REPAIR_CONSTRUCTCHOICE_H

@@ -98,7 +98,7 @@ struct Coarsener {
 
 std::vector<DepGroup> tdr::buildDepGroups(const Dpst &Tree,
                                           const std::vector<RacePair> &Races) {
-  obs::ScopedSpan Span("dpst.group", "repair");
+  obs::ScopedSpan Span(obs::phase::DpstGroup);
   obs::Counter &CGroups = obs::counter("repair.groups");
   // Bucket races by NS-LCA.
   std::unordered_map<const DpstNode *, std::vector<RacePair>> Buckets;
@@ -125,7 +125,10 @@ std::vector<DepGroup> tdr::buildDepGroups(const Dpst &Tree,
     for (const DpstNode *N : G.Nodes) {
       G.Problem.Times.push_back(N->isStep() ? N->weight()
                                             : Tree.subtreeCpl(N));
-      G.Problem.IsAsync.push_back(N->isAsync());
+      // Futures are task nodes too: their subtree overlaps the parent's
+      // continuation until joined, exactly like an async for the DP's
+      // cost/feasibility model.
+      G.Problem.IsAsync.push_back(N->isTaskNode());
     }
 
     std::set<std::pair<uint32_t, uint32_t>> EdgeSet;

@@ -82,7 +82,7 @@ private:
 
 PlacementResult tdr::placeFinishes(const PlacementProblem &Problem,
                                    const ValidRangeFn &Valid) {
-  obs::ScopedSpan Span("placement.dp", "repair");
+  obs::ScopedSpan Span(obs::phase::PlacementDp);
   obs::counter("dp.runs").inc();
   size_t N = Problem.size();
   PlacementResult Result;
@@ -193,59 +193,89 @@ PlacementResult tdr::placeFinishes(const PlacementProblem &Problem,
 
 namespace {
 
-/// Evaluates the sequence [I, J] with the given well-nested finish ranges.
-/// Returns {serialEnd, pendingCompletion}, offsets from the block start.
+/// Evaluates the sequence [I, J] with the given well-nested finish ranges
+/// and force join edges. Times are absolute (offsets from the whole
+/// block's start) so a force edge can compare the sink's serial clock
+/// against the source future's completion time across finish boundaries.
+/// Returns {serialEnd, pendingCompletion}.
 struct EvalResult {
   uint64_t SerialEnd;
   uint64_t Pending;
 };
 
-EvalResult evalRange(
-    const PlacementProblem &P,
-    const std::vector<std::pair<uint32_t, uint32_t>> &Finishes, uint32_t I,
-    uint32_t J, uint32_t EnclosingBegin, uint32_t EnclosingEnd) {
-  uint64_t Cur = 0, Pending = 0;
-  uint32_t Pos = I;
-  while (Pos <= J) {
-    // The tightest finish range starting at Pos, other than the enclosing
-    // range itself.
-    int64_t Best = -1;
-    for (size_t F = 0; F != Finishes.size(); ++F) {
-      auto [S, E] = Finishes[F];
-      if (S == Pos && E <= J && !(S == EnclosingBegin && E == EnclosingEnd))
-        if (Best < 0 || E > Finishes[static_cast<size_t>(Best)].second)
-          Best = static_cast<int64_t>(F);
-    }
-    if (Best >= 0) {
-      auto [S, E] = Finishes[static_cast<size_t>(Best)];
-      EvalResult Sub = evalRange(P, Finishes, S, E, S, E);
-      Cur += std::max(Sub.SerialEnd, Sub.Pending);
-      Pos = E + 1;
-      continue;
-    }
-    if (P.IsAsync[Pos])
-      Pending = std::max(Pending, Cur + P.Times[Pos]);
-    else
-      Cur += P.Times[Pos];
-    ++Pos;
+struct ConstructEvaluator {
+  const PlacementProblem &P;
+  const std::vector<std::pair<uint32_t, uint32_t>> &Finishes;
+  /// Per node, the force-edge sources joined right before it starts.
+  std::vector<std::vector<uint32_t>> ForcesInto;
+  /// Absolute completion time per node, filled left-to-right (edges are
+  /// (x, y) with x < y, so a source is always evaluated before its sink).
+  std::vector<uint64_t> Done;
+
+  ConstructEvaluator(
+      const PlacementProblem &P,
+      const std::vector<std::pair<uint32_t, uint32_t>> &Finishes,
+      const std::vector<std::pair<uint32_t, uint32_t>> &ForceEdges)
+      : P(P), Finishes(Finishes), ForcesInto(P.size()), Done(P.size(), 0) {
+    for (auto [X, Y] : ForceEdges)
+      ForcesInto[Y].push_back(X);
   }
-  return {Cur, Pending};
-}
+
+  EvalResult eval(uint32_t I, uint32_t J, uint64_t Start,
+                  uint32_t EnclosingBegin, uint32_t EnclosingEnd) {
+    uint64_t Cur = Start, Pending = Start;
+    uint32_t Pos = I;
+    while (Pos <= J) {
+      // The tightest finish range starting at Pos, other than the
+      // enclosing range itself.
+      int64_t Best = -1;
+      for (size_t F = 0; F != Finishes.size(); ++F) {
+        auto [S, E] = Finishes[F];
+        if (S == Pos && E <= J && !(S == EnclosingBegin && E == EnclosingEnd))
+          if (Best < 0 || E > Finishes[static_cast<size_t>(Best)].second)
+            Best = static_cast<int64_t>(F);
+      }
+      if (Best >= 0) {
+        auto [S, E] = Finishes[static_cast<size_t>(Best)];
+        EvalResult Sub = eval(S, E, Cur, S, E);
+        Cur = std::max(Sub.SerialEnd, Sub.Pending);
+        Pos = E + 1;
+        continue;
+      }
+      for (uint32_t X : ForcesInto[Pos])
+        Cur = std::max(Cur, Done[X]);
+      if (P.IsAsync[Pos]) {
+        Done[Pos] = Cur + P.Times[Pos];
+        Pending = std::max(Pending, Done[Pos]);
+      } else {
+        Cur += P.Times[Pos];
+        Done[Pos] = Cur;
+      }
+      ++Pos;
+    }
+    return {Cur, Pending};
+  }
+};
 
 } // namespace
+
+uint64_t tdr::evalConstructCost(
+    const PlacementProblem &Problem,
+    const std::vector<std::pair<uint32_t, uint32_t>> &Finishes,
+    const std::vector<std::pair<uint32_t, uint32_t>> &ForceEdges) {
+  if (Problem.size() == 0)
+    return 0;
+  ConstructEvaluator Eval(Problem, Finishes, ForceEdges);
+  EvalResult R = Eval.eval(0, static_cast<uint32_t>(Problem.size() - 1), 0,
+                           std::numeric_limits<uint32_t>::max(),
+                           std::numeric_limits<uint32_t>::max());
+  return std::max(R.SerialEnd, R.Pending);
+}
 
 uint64_t tdr::evalPlacementCost(
     const PlacementProblem &Problem,
     const std::vector<std::pair<uint32_t, uint32_t>> &Finishes) {
-  if (Problem.size() == 0)
-    return 0;
-  // Outer ranges must be visited before inner ones with the same start.
-  EvalResult R =
-      evalRange(Problem, Finishes, 0,
-                static_cast<uint32_t>(Problem.size() - 1),
-                std::numeric_limits<uint32_t>::max(),
-                std::numeric_limits<uint32_t>::max());
-  return std::max(R.SerialEnd, R.Pending);
+  return evalConstructCost(Problem, Finishes, {});
 }
 
 bool tdr::placementResolvesAllEdges(

@@ -80,6 +80,19 @@ uint64_t evalPlacementCost(
     const PlacementProblem &Problem,
     const std::vector<std::pair<uint32_t, uint32_t>> &Finishes);
 
+/// Construct-aware generalization of evalPlacementCost: additionally
+/// models force join edges (x, y) — a `force` of future x inserted in
+/// front of node y raises the serial clock at y to x's completion time
+/// (everything the future did happens-before the forcing continuation),
+/// without joining any other task. With empty \p ForceEdges this is
+/// exactly evalPlacementCost (which delegates here). Isolated edges are
+/// *not* modeled — isolation imposes no ordering; the chooser adds its
+/// contention penalty on top.
+uint64_t evalConstructCost(
+    const PlacementProblem &Problem,
+    const std::vector<std::pair<uint32_t, uint32_t>> &Finishes,
+    const std::vector<std::pair<uint32_t, uint32_t>> &ForceEdges);
+
 /// True when every edge (x, y) has a finish range [s, e] with
 /// s <= x <= e < y.
 bool placementResolvesAllEdges(

@@ -66,6 +66,12 @@ struct RepairOptions {
   /// line/col plus line text; null degrades positions to "unknown".
   /// repairSource supplies its own.
   const SourceManager *SM = nullptr;
+  /// Allowlist of repair constructs the per-edge chooser may use (see
+  /// repair/ConstructChoice.h). The default enables finish and
+  /// future-forcing; `isolated` is opt-in (--constructs
+  /// finish,future,isolated) because it reorders rather than orders the
+  /// racing accesses.
+  unsigned Constructs = constructs::Default;
 };
 
 /// Per-run measurements (the columns of Tables 2 and 3).
@@ -85,6 +91,8 @@ struct RepairStats {
   size_t RacePairs = 0;     ///< distinct racing step pairs (first run)
   unsigned Iterations = 0;  ///< detection runs performed
   unsigned FinishesInserted = 0;
+  unsigned ForcesInserted = 0;   ///< `force(f);` statements inserted
+  unsigned IsolatedInserted = 0; ///< `isolated { }` sections inserted
   unsigned Interpretations = 0; ///< detection runs that interpreted
   unsigned Replays = 0;         ///< detection runs that replayed the log
 

@@ -68,10 +68,20 @@ void StaticPlacer::indexProgram() {
       case Stmt::Kind::Finish:
         slot(cast<FinishStmt>(S)->body(), S, Edit::SlotKind::FinishBody);
         break;
+      case Stmt::Kind::Isolated:
+        // An isolated body cannot contain synchronization constructs
+        // (sema), but the slot is indexed so repairs that wrapped a
+        // statement keep a consistent parent map.
+        slot(cast<IsolatedStmt>(S)->body(), S, Edit::SlotKind::IsolatedBody);
+        break;
       case Stmt::Kind::VarDecl:
       case Stmt::Kind::Assign:
       case Stmt::Kind::Expr:
       case Stmt::Kind::Return:
+      // A future's initializer is an expression (no statement slots), and
+      // forasync is lowered before repair ever runs — leaves here.
+      case Stmt::Kind::Future:
+      case Stmt::Kind::Forasync:
         break;
       }
     }
@@ -93,6 +103,8 @@ void StaticPlacer::indexTree() {
       StmtInstances[N->asyncStmt()].push_back(N);
     if (N->isFinish() && N->finishStmt())
       StmtInstances[N->finishStmt()].push_back(N);
+    if (N->isFuture() && N->futureStmt())
+      StmtInstances[N->futureStmt()].push_back(N);
     for (DpstNode *C : N->children())
       Stack.push_back(C);
   }
@@ -110,6 +122,9 @@ bool containsThroughSynthesized(const Stmt *Container, const Stmt *S) {
     return true;
   if (const auto *F = dyn_cast<FinishStmt>(Container); F && F->isSynthesized())
     return containsThroughSynthesized(F->body(), S);
+  if (const auto *I = dyn_cast<IsolatedStmt>(Container);
+      I && I->isSynthesized())
+    return containsThroughSynthesized(I->body(), S);
   if (const auto *B = dyn_cast<BlockStmt>(Container)) {
     for (const Stmt *C : B->stmts())
       if (containsThroughSynthesized(C, S))
@@ -126,6 +141,10 @@ void addOwners(const Stmt *S, std::unordered_set<const Stmt *> &Set) {
     addOwners(F->body(), Set);
     return;
   }
+  if (const auto *I = dyn_cast<IsolatedStmt>(S); I && I->isSynthesized()) {
+    addOwners(I->body(), Set);
+    return;
+  }
   if (const auto *B = dyn_cast<BlockStmt>(S))
     for (const Stmt *C : B->stmts())
       addOwners(C, Set);
@@ -140,6 +159,9 @@ size_t StaticPlacer::findStmtIndex(const BlockStmt *B, const Stmt *S) const {
     if (const auto *F = dyn_cast<FinishStmt>(Stmts[I]);
         F && F->isSynthesized() && containsThroughSynthesized(F, S))
       return I;
+    if (const auto *Iso = dyn_cast<IsolatedStmt>(Stmts[I]);
+        Iso && Iso->isSynthesized() && containsThroughSynthesized(Iso, S))
+      return I;
   }
   return Npos;
 }
@@ -147,9 +169,15 @@ size_t StaticPlacer::findStmtIndex(const BlockStmt *B, const Stmt *S) const {
 bool StaticPlacer::declEscapes(const BlockStmt *B, size_t First,
                                size_t Last) const {
   std::unordered_set<const VarDecl *> Decls;
-  for (size_t I = First; I <= Last; ++I)
+  for (size_t I = First; I <= Last; ++I) {
     if (const auto *V = dyn_cast<VarDeclStmt>(B->stmts()[I]))
       Decls.insert(V->decl());
+    // A future statement declares its handle in the enclosing scope;
+    // wrapping it in a finish moves the declaration into the finish body
+    // and strands any later force(f) (sema rejects the print).
+    else if (const auto *F = dyn_cast<FutureStmt>(B->stmts()[I]))
+      Decls.insert(F->decl());
+  }
   if (Decls.empty())
     return false;
   bool Escapes = false;
@@ -287,8 +315,9 @@ StaticPlacer::mapBlockEdit(const DepGroup &G, uint32_t I, uint32_t K,
 }
 
 std::optional<StaticPlacer::Edit> StaticPlacer::deepWrapEdit(DpstNode *X) {
-  const Stmt *A = X->isAsync() ? static_cast<const Stmt *>(X->asyncStmt())
-                               : static_cast<const Stmt *>(X->finishStmt());
+  const Stmt *A = X->isAsync()    ? static_cast<const Stmt *>(X->asyncStmt())
+                  : X->isFuture() ? static_cast<const Stmt *>(X->futureStmt())
+                                  : static_cast<const Stmt *>(X->finishStmt());
   if (!A)
     return std::nullopt;
   auto It = Parents.find(A);
@@ -299,6 +328,8 @@ std::optional<StaticPlacer::Edit> StaticPlacer::deepWrapEdit(DpstNode *X) {
   if (PS.Block) {
     size_t Idx = findStmtIndex(PS.Block, A);
     if (Idx == Npos)
+      return std::nullopt;
+    if (declEscapes(PS.Block, Idx, Idx))
       return std::nullopt;
     E.Block = PS.Block;
     E.FirstIdx = E.LastIdx = Idx;
@@ -347,9 +378,10 @@ StaticPlacer::mapRange(const DepGroup &G, uint32_t I, uint32_t K) {
     }
   }
 
-  // Single async/finish nodes can always be repaired by wrapping their own
-  // statement, which keeps the DP feasible.
-  if (I == K && (First->isAsync() || First->isFinish())) {
+  // Single async/future/finish nodes can always be repaired by wrapping
+  // their own statement (a finish around a future joins it at finish exit),
+  // which keeps the DP feasible.
+  if (I == K && (First->isTaskNode() || First->isFinish())) {
     if (auto E = deepWrapEdit(First))
       return E;
   }
@@ -411,6 +443,10 @@ FinishStmt *StaticPlacer::applyEdit(const Edit &E) {
   case Edit::SlotKind::FinishBody:
     cast<FinishStmt>(E.SlotOwner)->setBody(NF);
     break;
+  case Edit::SlotKind::IsolatedBody:
+    assert(false && "sema bans finish inside isolated; mapRange never "
+                    "produces this edit");
+    return nullptr;
   case Edit::SlotKind::None:
     assert(false && "slot edit without a slot");
     return nullptr;
@@ -488,6 +524,211 @@ unsigned StaticPlacer::replicate(const Edit &E, FinishStmt *NewFinish) {
     ++Count;
   }
   return Count;
+}
+
+//===----------------------------------------------------------------------===//
+// Force-of-future repairs
+//===----------------------------------------------------------------------===//
+
+std::optional<StaticPlacer::ForceEdit>
+StaticPlacer::mapForce(const DepGroup &G, uint32_t X, uint32_t Y) {
+  RejectReason.clear();
+  DpstNode *FX = G.Nodes[X];
+  DpstNode *NY = G.Nodes[Y];
+  if (!FX->isFuture() || !FX->futureStmt()) {
+    RejectReason = "edge source is not a future";
+    return std::nullopt;
+  }
+  const FutureStmt *FS = FX->futureStmt();
+  if (!FS->decl()) {
+    RejectReason = "future handle is unbound";
+    return std::nullopt;
+  }
+  // The force must name the future's handle, so it can only be inserted
+  // in the statement list that declares it: the container of the deepest
+  // common position of the future and the sink.
+  const DpstNode *L = Tree.lca(FX, NY);
+  const BlockStmt *B = L->container();
+  if (!B) {
+    RejectReason = "future and sink share no statement list";
+    return std::nullopt;
+  }
+  size_t FutIdx = findStmtIndex(B, FS);
+  const DpstNode *SnkChild = Tree.childToward(L, NY);
+  const Stmt *SinkStmt = SnkChild ? SnkChild->owner() : nullptr;
+  if (!SinkStmt) {
+    RejectReason = "sink has no covering statement in the future's block";
+    return std::nullopt;
+  }
+  size_t SnkIdx = findStmtIndex(B, SinkStmt);
+  if (FutIdx == Npos || SnkIdx == Npos) {
+    RejectReason = "future and sink do not share a block";
+    return std::nullopt;
+  }
+  if (FutIdx >= SnkIdx) {
+    RejectReason = "sink statement does not follow the future declaration";
+    return std::nullopt;
+  }
+  ForceEdit FE;
+  FE.Block = const_cast<BlockStmt *>(B);
+  FE.InsertIdx = SnkIdx;
+  FE.Future = FS;
+  FE.SinkStmt = SinkStmt;
+  return FE;
+}
+
+bool StaticPlacer::canForce(const DepGroup &G, uint32_t X, uint32_t Y) {
+  return mapForce(G, X, Y).has_value();
+}
+
+std::optional<AppliedRepair> StaticPlacer::applyForce(const DepGroup &G,
+                                                      uint32_t X,
+                                                      uint32_t Y) {
+  auto FE = mapForce(G, X, Y);
+  if (!FE)
+    return std::nullopt;
+
+  // Synthesize `force(f);` with sema-level invariants established by
+  // hand: the callee is the Force builtin and the handle reference binds
+  // to the future's declaration.
+  SourceLoc Loc = FE->SinkStmt->loc();
+  auto *Ref = Ctx.createExpr<VarRefExpr>(FE->Future->name(), Loc);
+  Ref->setDecl(FE->Future->decl());
+  Ref->setType(FE->Future->decl()->type());
+  auto *Call =
+      Ctx.createExpr<CallExpr>("force", std::vector<Expr *>{Ref}, Loc);
+  Call->setBuiltin(Builtin::Force);
+  if (FE->Future->decl()->type())
+    Call->setType(FE->Future->decl()->type()->elem());
+  auto *ES = Ctx.createStmt<ExprStmt>(Call, Loc);
+  FE->Block->stmts().insert(FE->Block->stmts().begin() +
+                                static_cast<ptrdiff_t>(FE->InsertIdx),
+                            ES);
+  Parents[ES] = ParentSlot{FE->Block, nullptr, Edit::SlotKind::None};
+
+  AppliedRepair R;
+  R.Construct = RepairConstruct::ForceFuture;
+  R.AnchorLoc = FE->SinkStmt->loc();
+  auto It = BlockInstances.find(FE->Block);
+  R.DynamicInstances =
+      It != BlockInstances.end()
+          ? static_cast<unsigned>(It->second.size())
+          : 1;
+  R.InvalidatesTrace = true;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Isolated repairs
+//===----------------------------------------------------------------------===//
+
+std::optional<StaticPlacer::IsolatedEdit>
+StaticPlacer::mapIsolated(const DepGroup &G, uint32_t X, uint32_t Y) {
+  RejectReason.clear();
+  IsolatedEdit Edit;
+  std::unordered_set<const Stmt *> Seen;
+  bool AnyRace = false;
+  for (size_t R = 0; R != G.Races.size(); ++R) {
+    if (G.RaceIdx[R] != std::make_pair(X, Y))
+      continue;
+    AnyRace = true;
+    for (const DpstNode *StepN : {G.Races[R].Src, G.Races[R].Snk}) {
+      const Stmt *S = StepN->owner();
+      if (!S || S != StepN->ownerLast()) {
+        RejectReason = "racing step spans more than one statement";
+        return std::nullopt;
+      }
+      if (IsolatedWrapped.count(S) || Seen.count(S))
+        continue;
+      if (S->kind() != Stmt::Kind::Assign && S->kind() != Stmt::Kind::Expr) {
+        RejectReason =
+            "racing statement is not a simple assignment or call";
+        return std::nullopt;
+      }
+      bool BadExpr = false;
+      forEachExpr(S, [&](const Expr *E) {
+        if (const auto *C = dyn_cast<CallExpr>(E))
+          if (C->callee() || C->builtin() == Builtin::Force)
+            BadExpr = true;
+      });
+      if (BadExpr) {
+        RejectReason = "racing statement calls a function (sema forbids "
+                       "synchronization inside isolated)";
+        return std::nullopt;
+      }
+      auto It = Parents.find(S);
+      if (It == Parents.end() || !It->second.Block) {
+        RejectReason =
+            "racing statement does not sit directly in a block";
+        return std::nullopt;
+      }
+      BlockStmt *B = It->second.Block;
+      size_t Idx = Npos;
+      for (size_t I = 0; I != B->stmts().size(); ++I)
+        if (B->stmts()[I] == S)
+          Idx = I;
+      if (Idx == Npos) {
+        RejectReason = "racing statement moved under an earlier edit";
+        return std::nullopt;
+      }
+      Seen.insert(S);
+      Edit.Sites.push_back({B, Idx, const_cast<Stmt *>(S)});
+    }
+  }
+  if (!AnyRace) {
+    RejectReason = "edge carries no race with step-level witnesses";
+    return std::nullopt;
+  }
+  std::sort(Edit.Sites.begin(), Edit.Sites.end(),
+            [](const IsolatedEdit::Site &A, const IsolatedEdit::Site &B) {
+              return A.Target->id() < B.Target->id();
+            });
+  return Edit;
+}
+
+bool StaticPlacer::canIsolate(const DepGroup &G, uint32_t X, uint32_t Y) {
+  return mapIsolated(G, X, Y).has_value();
+}
+
+std::optional<AppliedRepair>
+StaticPlacer::applyIsolated(const DepGroup &G, uint32_t X, uint32_t Y) {
+  auto IE = mapIsolated(G, X, Y);
+  if (!IE)
+    return std::nullopt;
+
+  AppliedRepair R;
+  R.Construct = RepairConstruct::Isolated;
+  R.InvalidatesTrace = true;
+  for (const IsolatedEdit::Site &Site : IE->Sites) {
+    IsolatedStmt *Iso = wrapInIsolated(Ctx, Site.Block, Site.Index);
+    Parents[Iso] = ParentSlot{Site.Block, nullptr, Edit::SlotKind::None};
+    Parents[Site.Target] =
+        ParentSlot{nullptr, Iso, Edit::SlotKind::IsolatedBody};
+    IsolatedWrapped.insert(Site.Target);
+    auto It = BlockInstances.find(Site.Block);
+    R.DynamicInstances +=
+        It != BlockInstances.end()
+            ? static_cast<unsigned>(It->second.size())
+            : 1;
+  }
+  if (!IE->Sites.empty())
+    R.AnchorLoc = IE->Sites.front().Target->loc();
+  else if (!G.Races.empty() && G.Races.front().Src->owner())
+    R.AnchorLoc = G.Races.front().Src->owner()->loc();
+  return R;
+}
+
+uint64_t StaticPlacer::isolatedPenalty(const DepGroup &G, uint32_t X,
+                                       uint32_t Y) const {
+  uint64_t Penalty = 0;
+  for (size_t R = 0; R != G.Races.size(); ++R) {
+    if (G.RaceIdx[R] != std::make_pair(X, Y))
+      continue;
+    uint64_t SrcW = G.Races[R].Src->weight();
+    uint64_t SnkW = G.Races[R].Snk->weight();
+    Penalty += std::max<uint64_t>(1, std::min(SrcW, SnkW));
+  }
+  return Penalty;
 }
 
 std::optional<AppliedFinish> StaticPlacer::apply(const DepGroup &G,

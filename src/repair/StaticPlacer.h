@@ -36,20 +36,35 @@
 #define TDR_REPAIR_STATICPLACER_H
 
 #include "ast/AstContext.h"
+#include "repair/ConstructChoice.h"
 #include "repair/DepGraph.h"
 
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 
 namespace tdr {
 
 class FinishEditSink;
 
-/// One applied repair, for reporting.
+/// One applied finish repair, for reporting.
 struct AppliedFinish {
   FinishStmt *Stmt = nullptr;   ///< the synthesized statement
   SourceLoc AnchorLoc;          ///< location of the first wrapped statement
   unsigned DynamicInstances = 0;///< S-DPST nodes inserted
+};
+
+/// One applied repair of any construct, for reporting. Finish repairs also
+/// surface here (apply() wraps its AppliedFinish); force and isolated
+/// repairs only here.
+struct AppliedRepair {
+  RepairConstruct Construct = RepairConstruct::Finish;
+  SourceLoc AnchorLoc;           ///< pre-repair text position of the edit
+  unsigned DynamicInstances = 0; ///< dynamic sites the edit covers
+  /// Force and isolated edits change the event stream (they are not
+  /// replayable finish-map edits), so the driver must invalidate recorded
+  /// traces after applying one.
+  bool InvalidatesTrace = false;
 };
 
 /// Performs static placement against one (program, S-DPST) pair. The
@@ -71,6 +86,32 @@ public:
   /// mapping fails (callers fall back to re-detection).
   std::optional<AppliedFinish> apply(const DepGroup &G, uint32_t I,
                                      uint32_t K);
+
+  /// Can edge (X, Y) be cut by forcing a future earlier? Requires the
+  /// source node to be a future whose declaring statement shares a block
+  /// with the sink's covering statement, the sink coming later.
+  bool canForce(const DepGroup &G, uint32_t X, uint32_t Y);
+
+  /// Inserts `force(f);` directly in front of the sink's covering
+  /// statement. The force joins the future's whole subtree, ordering the
+  /// racing accesses without joining unrelated tasks.
+  std::optional<AppliedRepair> applyForce(const DepGroup &G, uint32_t X,
+                                          uint32_t Y);
+
+  /// Can edge (X, Y) be cut by isolating the racing statements? Every
+  /// race on the edge must have both steps covered by a single, simple
+  /// statement (assignment or builtin call, no user calls) sitting
+  /// directly in a block.
+  bool canIsolate(const DepGroup &G, uint32_t X, uint32_t Y);
+
+  /// Wraps each racing statement of the edge in `isolated { }`.
+  std::optional<AppliedRepair> applyIsolated(const DepGroup &G, uint32_t X,
+                                             uint32_t Y);
+
+  /// Modeled critical-path penalty of isolating edge (X, Y): per race,
+  /// the shorter racing step may wait for the longer one, so the penalty
+  /// is the sum of min(source weight, sink weight), at least 1 per race.
+  uint64_t isolatedPenalty(const DepGroup &G, uint32_t X, uint32_t Y) const;
 
   const std::vector<AppliedFinish> &applied() const { return Applied; }
 
@@ -94,10 +135,34 @@ private:
     /// structured statement). Wrapped is the current occupant.
     Stmt *SlotOwner = nullptr;
     enum class SlotKind {
-      None, IfThen, IfElse, WhileBody, ForBody, AsyncBody, FinishBody
+      None, IfThen, IfElse, WhileBody, ForBody, AsyncBody, FinishBody,
+      IsolatedBody
     } Slot = SlotKind::None;
     Stmt *Wrapped = nullptr;
   };
+
+  /// A mapped force edit: insert `force(f);` at InsertIdx of Block.
+  struct ForceEdit {
+    BlockStmt *Block = nullptr;
+    size_t InsertIdx = 0;
+    const FutureStmt *Future = nullptr;
+    const Stmt *SinkStmt = nullptr;
+  };
+
+  /// A mapped isolated edit: the (unique) racing statements to wrap.
+  struct IsolatedEdit {
+    struct Site {
+      BlockStmt *Block = nullptr;
+      size_t Index = 0;
+      Stmt *Target = nullptr;
+    };
+    std::vector<Site> Sites;
+  };
+
+  std::optional<ForceEdit> mapForce(const DepGroup &G, uint32_t X,
+                                    uint32_t Y);
+  std::optional<IsolatedEdit> mapIsolated(const DepGroup &G, uint32_t X,
+                                          uint32_t Y);
 
   /// Candidate insertion positions from the initial LCA position up to the
   /// highest equivalent one; empty when the range cannot be separated from
@@ -149,6 +214,9 @@ private:
 
   std::vector<AppliedFinish> Applied;
   std::string RejectReason; ///< see lastRejectReason()
+  /// Statements already wrapped in a synthesized isolated section (an
+  /// edge with several races over one statement wraps it once).
+  std::unordered_set<const Stmt *> IsolatedWrapped;
 };
 
 } // namespace tdr

@@ -161,7 +161,7 @@ void Runtime::helpUntil(FinishNode &Node) {
 
 void Runtime::run(std::function<void()> Root) {
   assert(!CurRuntime && "Runtime::run is not reentrant");
-  obs::ScopedSpan Span("runtime.run", "runtime");
+  obs::ScopedSpan Span(obs::phase::RuntimeRun);
   CurRuntime = this;
   CurWorker = 0;
   {

@@ -7,6 +7,7 @@
 #include "sema/Sema.h"
 
 #include "ast/AstContext.h"
+#include "ast/Transforms.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/Diagnostics.h"
@@ -34,7 +35,7 @@ const BuiltinInfo Builtins[] = {
     {Builtin::Log, "log"},           {Builtin::Floor, "floor"},
     {Builtin::ToInt, "toInt"},       {Builtin::ToDouble, "toDouble"},
     {Builtin::RandInt, "randInt"},   {Builtin::RandSeed, "randSeed"},
-    {Builtin::Arg, "arg"},
+    {Builtin::Arg, "arg"},           {Builtin::Force, "force"},
 };
 
 Builtin lookupBuiltin(const std::string &Name) {
@@ -112,6 +113,7 @@ private:
   FuncDecl *CurFunc = nullptr;
   uint32_t NextLocalSlot = 0;
   unsigned AsyncDepth = 0;
+  unsigned IsolatedDepth = 0;
 };
 
 bool Sema::run() {
@@ -252,6 +254,10 @@ void Sema::checkStmt(Stmt *S) {
       error(S->loc(), "return is not allowed inside an async");
       return;
     }
+    if (IsolatedDepth != 0) {
+      error(S->loc(), "return is not allowed inside an isolated section");
+      return;
+    }
     const Type *Expected = CurFunc->returnType();
     if (R->value()) {
       const Type *T = checkExpr(R->value());
@@ -267,13 +273,53 @@ void Sema::checkStmt(Stmt *S) {
     return;
   }
   case Stmt::Kind::Async: {
+    if (IsolatedDepth != 0)
+      error(S->loc(), "cannot spawn a task inside an isolated section");
     ++AsyncDepth;
     checkStmt(cast<AsyncStmt>(S)->body());
     --AsyncDepth;
     return;
   }
   case Stmt::Kind::Finish:
+    if (IsolatedDepth != 0)
+      error(S->loc(), "'finish' is not allowed inside an isolated section");
     checkStmt(cast<FinishStmt>(S)->body());
+    return;
+  case Stmt::Kind::Future: {
+    auto *F = cast<FutureStmt>(S);
+    if (IsolatedDepth != 0)
+      error(S->loc(), "cannot spawn a future inside an isolated section");
+    // The body expression runs in the spawned task.
+    ++AsyncDepth;
+    const Type *T = checkExpr(F->init());
+    --AsyncDepth;
+    if (T && !T->isScalar()) {
+      error(S->loc(), strFormat("future value must be a scalar type, got %s",
+                                T->str().c_str()));
+      T = nullptr;
+    }
+    // The handle type future<T> is non-denotable: handles cannot be
+    // redeclared, passed, stored, or returned; force(f) is the only use.
+    const Type *HandleTy = Ctx.futureType(T ? T : Ctx.intType());
+    VarDecl *D =
+        Ctx.createVarDecl(VarDecl::Kind::Local, F->name(), HandleTy, S->loc());
+    D->setSlot(NextLocalSlot++);
+    declareVar(D);
+    F->setDecl(D);
+    return;
+  }
+  case Stmt::Kind::Isolated: {
+    if (IsolatedDepth != 0)
+      error(S->loc(), "isolated sections do not nest");
+    ++IsolatedDepth;
+    checkStmt(cast<IsolatedStmt>(S)->body());
+    --IsolatedDepth;
+    return;
+  }
+  case Stmt::Kind::Forasync:
+    // lowerForasync desugars every forasync before checking; reaching one
+    // here means a transform created it post-sema, which is unsupported.
+    error(S->loc(), "internal: forasync statement survived lowering");
     return;
   }
 }
@@ -284,6 +330,14 @@ void Sema::checkAssign(AssignStmt *A) {
 
   if (auto *Ref = dyn_cast<VarRefExpr>(Target)) {
     TargetTy = checkExpr(Ref);
+    if (TargetTy && TargetTy->isFuture()) {
+      error(A->loc(),
+            strFormat("cannot assign to '%s': future handles are "
+                      "single-assignment",
+                      Ref->name().c_str()));
+      checkExpr(A->value());
+      return;
+    }
     VarDecl *D = Ref->decl();
     if (D && !D->isGlobal()) {
       auto It = DeclAsyncDepth.find(D);
@@ -582,6 +636,16 @@ const Type *Sema::checkBuiltinCall(CallExpr *C, Builtin B) {
     if (RequireArgs(1) && IsKnown(0) && !ArgTys[0]->isInt())
       error(C->loc(), "arg expects an int index");
     return Ctx.intType();
+  case Builtin::Force:
+    if (IsolatedDepth != 0)
+      error(C->loc(), "force is not allowed inside an isolated section");
+    if (!RequireArgs(1) || !IsKnown(0))
+      return nullptr;
+    if (!ArgTys[0]->isFuture()) {
+      error(C->loc(), "force expects a future handle");
+      return nullptr;
+    }
+    return ArgTys[0]->elem();
   }
   return nullptr;
 }
@@ -589,7 +653,11 @@ const Type *Sema::checkBuiltinCall(CallExpr *C, Builtin B) {
 } // namespace
 
 bool tdr::runSema(Program &P, AstContext &Ctx, DiagnosticsEngine &Diags) {
-  obs::ScopedSpan Span("sema", "frontend");
+  obs::ScopedSpan Span(obs::phase::Sema);
   obs::counter("sema.runs").inc();
+  // Desugar forasync loops into the chunked async/finish core before any
+  // name binding, so downstream layers never see a ForasyncStmt.
+  if (unsigned N = lowerForasync(P, Ctx))
+    obs::counter("sema.forasync_lowered").inc(N);
   return Sema(P, Ctx, Diags).run();
 }

@@ -1,0 +1,46 @@
+//===- Constructs.h - Future/isolated/forasync program suite -----*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The construct-repair suite: small HJ-mini programs exercising the
+/// language extensions beyond async/finish — `future`/`force`,
+/// `isolated { }`, and chunked `forasync` — each with a seeded race the
+/// repair layer resolves, and each designed so a specific construct wins
+/// the per-edge cost comparison (see repair/ConstructChoice.h):
+///
+///  * FuturePipeline  — forcing the future in front of the racing read is
+///    strictly cheaper than any finish, because a long unrelated async
+///    would be joined by every realizable finish range;
+///  * IsolatedAccum   — isolating two tiny accumulator updates beats the
+///    finish repair, which would serialize the heavy subcomputations the
+///    updates trail (needs the opt-in `isolated` allowlist entry);
+///  * ForasyncStencil — a chunked forasync whose unawaited chunks race
+///    with the reduction that follows; the finish repair wins (neither
+///    alternative applies).
+///
+/// Unlike Table 1 (Benchmarks.h), these are not paper benchmarks; they
+/// back bench_constructs, the construct-choice acceptance tests, and the
+/// differential suites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_SUITE_CONSTRUCTS_H
+#define TDR_SUITE_CONSTRUCTS_H
+
+#include "suite/Benchmarks.h"
+
+namespace tdr {
+
+/// The construct-repair programs, in the order above. Reuses the Table 1
+/// spec shape; PerfArgs are the larger bench_constructs inputs.
+const std::vector<BenchmarkSpec> &constructBenchmarks();
+
+/// Lookup by name; null when unknown.
+const BenchmarkSpec *findConstructBenchmark(const std::string &Name);
+
+} // namespace tdr
+
+#endif // TDR_SUITE_CONSTRUCTS_H

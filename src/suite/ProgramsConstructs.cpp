@@ -1,0 +1,147 @@
+//===- ProgramsConstructs.cpp - Future/isolated/forasync suite ------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+// See Constructs.h for the design of each program. Every source here is
+// the *buggy* version: the race is the point, and the repair tool picks
+// the construct that cuts it most cheaply.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Constructs.h"
+
+using namespace tdr;
+
+namespace {
+
+/// A producer future whose writes race with the consumer's early read.
+/// The `mix(b, 0, 8n)` async dominates the critical path; every finish
+/// range realizable around the future also joins it (or delays it), so
+/// `force(f);` in front of the read — which joins only the producer's
+/// subtree — is strictly cheaper. The program itself never forces f:
+/// a force after the read would pin the handle in the outer scope and
+/// make every finish wrap of the future an escaping declaration
+/// (StaticPlacer rejects those), killing the fallback this suite
+/// compares against. arg(0) = n.
+const char *FuturePipelineSrc = R"(
+func produce(a: int[], n: int): int {
+  var s: int = 0;
+  for (var i: int = 0; i < n; i = i + 1) {
+    s = s + i;
+    a[1] = s;
+  }
+  return s;
+}
+
+func mix(b: int[], slot: int, n: int) {
+  var s: int = 0;
+  for (var i: int = 0; i < n; i = i + 1) {
+    s = s + i * i;
+  }
+  b[slot] = s;
+}
+
+func main() {
+  var n: int = arg(0);
+  var a: int[] = new int[2];
+  var b: int[] = new int[2];
+  future f = produce(a, n);
+  async mix(b, 0, 8 * n);
+  print(a[1]);
+  async mix(b, 1, n);
+  finish {
+  }
+  print(b[0] + b[1]);
+}
+)";
+
+/// Two tasks each run a heavy subcomputation, then fold its result into a
+/// shared accumulator with one tiny racing update. A finish would
+/// serialize the heavy halves (~2H); isolating the two updates keeps them
+/// parallel and pays only the tiny contention penalty (~H). Requires the
+/// `isolated` allowlist entry; under the default mask the repair falls
+/// back to the finish. arg(0) = n.
+const char *IsolatedAccumSrc = R"(
+func heavy(b: int[], i: int, n: int) {
+  var s: int = 0;
+  for (var k: int = 0; k < n; k = k + 1) {
+    s = s + k * (i + 1);
+  }
+  b[i] = s;
+}
+
+func main() {
+  var n: int = arg(0);
+  var a: int[] = new int[1];
+  var b: int[] = new int[2];
+  finish {
+    async {
+      finish {
+        async heavy(b, 0, n);
+      }
+      a[0] = a[0] + b[0];
+    }
+    async {
+      finish {
+        async heavy(b, 1, n);
+      }
+      a[0] = a[0] + b[1];
+    }
+  }
+  print(a[0]);
+}
+)";
+
+/// A chunked forasync stencil whose chunks are never awaited before the
+/// reduction reads the array: every chunk races with the serial sum. The
+/// source of each edge is a plain async (not a future) and the racing
+/// statements are loops (not isolable single statements), so the finish
+/// repair wins by default. arg(0) = n, arg(1) = chunk.
+const char *ForasyncStencilSrc = R"(
+func main() {
+  var n: int = arg(0);
+  var c: int = arg(1);
+  var a: int[] = new int[n + 1];
+  forasync (var i: int = 0; i < n; chunk c) {
+    a[i] = a[i] + i * i;
+  }
+  var total: int = 0;
+  for (var i: int = 0; i < n; i = i + 1) {
+    total = total + a[i];
+  }
+  print(total);
+}
+)";
+
+} // namespace
+
+const std::vector<BenchmarkSpec> &tdr::constructBenchmarks() {
+  static const std::vector<BenchmarkSpec> Specs = {
+      {"FuturePipeline", "Constructs",
+       "Producer future raced by an early read", FuturePipelineSrc,
+       {40},
+       {400},
+       "n = 40",
+       "n = 400"},
+      {"IsolatedAccum", "Constructs",
+       "Heavy tasks folding into a shared accumulator", IsolatedAccumSrc,
+       {50},
+       {500},
+       "n = 50",
+       "n = 500"},
+      {"ForasyncStencil", "Constructs",
+       "Chunked forasync raced by its reduction", ForasyncStencilSrc,
+       {16, 4},
+       {96, 8},
+       "n = 16, chunk = 4",
+       "n = 96, chunk = 8"},
+  };
+  return Specs;
+}
+
+const BenchmarkSpec *tdr::findConstructBenchmark(const std::string &Name) {
+  for (const BenchmarkSpec &B : constructBenchmarks())
+    if (Name == B.Name)
+      return &B;
+  return nullptr;
+}

@@ -20,6 +20,16 @@ std::string DiagnosticsEngine::render(const SourceManager &SM) const {
     LineCol LC = SM.lineCol(D.Loc);
     Out += strFormat("%s:%u:%u: %s: %s\n", SM.name().c_str(), LC.Line, LC.Col,
                      Severity, D.Message.c_str());
+    // Source excerpt with a caret, matching the race-witness renderer.
+    std::string_view Text = SM.lineText(LC.Line);
+    if (LC.Line != 0 && !Text.empty()) {
+      Out += strFormat("    %4u | %.*s\n", LC.Line,
+                       static_cast<int>(Text.size()), Text.data());
+      Out += "         | ";
+      for (uint32_t I = 1; I < LC.Col; ++I)
+        Out += (I - 1 < Text.size() && Text[I - 1] == '\t') ? '\t' : ' ';
+      Out += "^\n";
+    }
   }
   return Out;
 }

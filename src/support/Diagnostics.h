@@ -57,7 +57,9 @@ public:
   }
 
   /// Renders every collected diagnostic as "<name>:<line>:<col>: <severity>:
-  /// <message>\n", one per line, suitable for a terminal.
+  /// <message>\n" followed by a source excerpt with a caret (the same
+  /// "    <line> | <text>" style the race-witness renderer uses), suitable
+  /// for a terminal.
   std::string render(const SourceManager &SM) const;
 
 private:

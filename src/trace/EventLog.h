@@ -59,6 +59,13 @@ enum class EvKind : uint8_t {
   Work,
   Read,
   Write,
+  // New construct kinds are appended so recorded numeric values of the
+  // original kinds stay stable.
+  FutureEnter,
+  FutureExit,
+  Force,
+  IsolatedEnter,
+  IsolatedExit,
 };
 
 /// One recorded monitor event. Field use per kind:
@@ -72,6 +79,11 @@ enum class EvKind : uint8_t {
 ///   StepPoint    P0 = owner
 ///   Work         U  = units
 ///   Read/Write   LK/Id/U = MemLoc kind/id/index
+///   FutureEnter  P0 = FutureStmt, P1 = owner, Id = dynamic future id
+///   FutureExit   P0 = FutureStmt
+///   Force        Id = dynamic future id
+///   IsolatedEnter P0 = IsolatedStmt, P1 = owner
+///   IsolatedExit P0 = IsolatedStmt
 struct Event {
   EvKind K = EvKind::Work;
   uint8_t SK = 0; ///< ScopeKind, narrowed (see scopeKind())
@@ -278,6 +290,40 @@ public:
     Event E;
     E.K = EvKind::StepPoint;
     E.P0 = Owner;
+    record(E);
+  }
+  void onFutureEnter(const FutureStmt *S, const Stmt *Owner,
+                     uint32_t Fid) override {
+    Event E;
+    E.K = EvKind::FutureEnter;
+    E.P0 = S;
+    E.P1 = Owner;
+    E.Id = Fid;
+    record(E);
+  }
+  void onFutureExit(const FutureStmt *S) override {
+    Event E;
+    E.K = EvKind::FutureExit;
+    E.P0 = S;
+    record(E);
+  }
+  void onForce(uint32_t Fid) override {
+    Event E;
+    E.K = EvKind::Force;
+    E.Id = Fid;
+    record(E);
+  }
+  void onIsolatedEnter(const IsolatedStmt *S, const Stmt *Owner) override {
+    Event E;
+    E.K = EvKind::IsolatedEnter;
+    E.P0 = S;
+    E.P1 = Owner;
+    record(E);
+  }
+  void onIsolatedExit(const IsolatedStmt *S) override {
+    Event E;
+    E.K = EvKind::IsolatedExit;
+    E.P0 = S;
     record(E);
   }
   void onWork(uint64_t Units) override { PendingWork += Units; }

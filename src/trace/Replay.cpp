@@ -168,10 +168,17 @@ private:
     case Stmt::Kind::Finish:
       planBodySlot(S, cast<FinishStmt>(S)->body());
       break;
+    case Stmt::Kind::Isolated:
+      // No finish can be inserted inside an isolated body (races there are
+      // suppressed and sema bans the construct), so just walk through.
+      walkOriginal(cast<IsolatedStmt>(S)->body());
+      break;
     case Stmt::Kind::VarDecl:
     case Stmt::Kind::Assign:
     case Stmt::Kind::Expr:
     case Stmt::Kind::Return:
+    case Stmt::Kind::Future:
+    case Stmt::Kind::Forasync:
       break;
     }
   }
@@ -335,6 +342,39 @@ public:
       M.onScopeExit();
       break;
     }
+    case EvKind::FutureEnter: {
+      const auto *S = static_cast<const FutureStmt *>(E.P0);
+      const auto *O = static_cast<const Stmt *>(E.P1);
+      const uint32_t Fid = E.Id;
+      transition(O);
+      Frame NF = enterTaskFrame(S, remap(O), [&](const Stmt *Owner) {
+        M.onFutureEnter(S, Owner, Fid);
+      });
+      Frames.push_back(NF);
+      break;
+    }
+    case EvKind::FutureExit: {
+      Frame F = Frames.back();
+      Frames.pop_back();
+      exitTaskFrame(F, [&] {
+        M.onFutureExit(static_cast<const FutureStmt *>(E.P0));
+      });
+      break;
+    }
+    case EvKind::Force:
+      // Within a step; no frame or segment change.
+      M.onForce(E.Id);
+      break;
+    case EvKind::IsolatedEnter: {
+      const auto *S = static_cast<const IsolatedStmt *>(E.P0);
+      const auto *O = static_cast<const Stmt *>(E.P1);
+      transition(O);
+      M.onIsolatedEnter(S, remap(O));
+      break;
+    }
+    case EvKind::IsolatedExit:
+      M.onIsolatedExit(static_cast<const IsolatedStmt *>(E.P0));
+      break;
     }
   }
 
@@ -503,6 +543,23 @@ void trace::replayEvents(const EventLog &Log, const ReplayPlan &Plan,
         break;
       case EvKind::Write:
         Runs.write(E.loc());
+        break;
+      case EvKind::FutureEnter:
+        M.onFutureEnter(static_cast<const FutureStmt *>(E.P0),
+                        static_cast<const Stmt *>(E.P1), E.Id);
+        break;
+      case EvKind::FutureExit:
+        M.onFutureExit(static_cast<const FutureStmt *>(E.P0));
+        break;
+      case EvKind::Force:
+        M.onForce(E.Id);
+        break;
+      case EvKind::IsolatedEnter:
+        M.onIsolatedEnter(static_cast<const IsolatedStmt *>(E.P0),
+                          static_cast<const Stmt *>(E.P1));
+        break;
+      case EvKind::IsolatedExit:
+        M.onIsolatedExit(static_cast<const IsolatedStmt *>(E.P0));
         break;
       }
     });

@@ -131,6 +131,15 @@ public:
   }
   size_t numEntries() const { return Entries.size(); }
 
+  /// Drops every recorded trace. Required after a non-finish repair edit
+  /// (force insertion, isolated wrapping): those edits change the event
+  /// stream itself, so no recorded log can be replayed against the edited
+  /// program. The next detection per input re-interprets and re-records.
+  void invalidateAll() {
+    for (TraceEntry &E : Entries)
+      E.reset();
+  }
+
   void noteBlockWrap(FinishStmt *F, BlockStmt *Parent, Stmt *First,
                      Stmt *Last, BlockStmt *NewBody) override {
     for (TraceEntry &E : Entries)

@@ -41,10 +41,24 @@ public:
     SumStride = Cells / 8;
   }
 
+  /// Opt-in: also generate the extended constructs — `future`/`force`
+  /// pairs (through a shared-array-touching helper), `isolated` sections
+  /// over simple statements, and chunked `forasync` loops. Off by default,
+  /// and the default profile draws the same random sequence as before, so
+  /// existing seeds reproduce byte-identical programs.
+  void enableConstructs() { Constructs = true; }
+
   /// Returns a full HJ-mini program. Shared state: global int arrays
   /// D0..D2 of size Cells; every statement touches random cells.
   std::string generate() {
     std::string Body = stmts(/*Depth=*/0, /*Budget=*/3 + R.nextBelow(12));
+    // The future helper reads and writes the shared arrays, so future
+    // subtrees participate in races like any async.
+    const char *FutureHelper = !Constructs ? ""
+                                           : "\nfunc fwork(i: int): int {\n"
+                                             "  D0[i] = D0[i] + i;\n"
+                                             "  return D1[i] + i;\n"
+                                             "}\n";
     return strFormat(R"(
 var D0: int[];
 var D1: int[];
@@ -53,7 +67,7 @@ var D2: int[];
 func touch(i: int, v: int) {
   D2[i %% %d] = v + D1[(v + i) %% %d];
 }
-
+%s
 func main() {
   D0 = new int[%d];
   D1 = new int[%d];
@@ -65,8 +79,8 @@ func main() {
   print(sum);
 }
 )",
-                     Cells, Cells, Cells, Cells, Cells, Body.c_str(), Cells,
-                     SumStride);
+                     Cells, Cells, FutureHelper, Cells, Cells, Cells,
+                     Body.c_str(), Cells, SumStride);
   }
 
 private:
@@ -97,9 +111,9 @@ private:
 
   /// One random statement at nesting depth Depth.
   std::string stmt(unsigned Depth) {
-    unsigned Kind = static_cast<unsigned>(R.nextBelow(10));
+    unsigned Kind = static_cast<unsigned>(R.nextBelow(Constructs ? 13 : 10));
     std::string Ind(2 * (Depth + 1), ' ');
-    if (Depth >= 4)
+    if (Depth >= 4 || InIsolated)
       Kind %= 4; // bottom out: only simple statements
     switch (Kind) {
     case 0:
@@ -138,8 +152,33 @@ private:
       return Ind + "finish {\n" + stmts(Depth + 1, 1 + R.nextBelow(3)) + Ind +
              "}\n";
     }
-    default: { // bare block
+    case 9: { // bare block
       return Ind + "{\n" + stmts(Depth + 1, 1 + R.nextBelow(2)) + Ind + "}\n";
+    }
+    case 10: { // future spawned, raced against, then forced
+      std::string Var = strFormat("fu%u", VarCounter++);
+      uint64_t Idx = cellIndex();
+      return Ind + "{\n" + Ind + "  " +
+             strFormat("future %s = fwork(%llu);\n", Var.c_str(),
+                       static_cast<unsigned long long>(Idx)) +
+             stmts(Depth + 1, 1 + R.nextBelow(2)) + Ind + "  " + cell(arr()) +
+             " = " + strFormat("force(%s);\n", Var.c_str()) + Ind + "}\n";
+    }
+    case 11: { // isolated section over simple statements only (sema
+               // forbids spawns, finish, force, and return inside)
+      InIsolated = true;
+      std::string Body = stmts(Depth + 1, 1 + R.nextBelow(2));
+      InIsolated = false;
+      return Ind + "isolated {\n" + Body + Ind + "}\n";
+    }
+    default: { // chunked forasync
+      std::string Var = strFormat("fa%u", VarCounter++);
+      return Ind +
+             strFormat("forasync (var %s: int = 0; %s < %llu; chunk %llu) {\n",
+                       Var.c_str(), Var.c_str(),
+                       static_cast<unsigned long long>(2 + R.nextBelow(6)),
+                       static_cast<unsigned long long>(1 + R.nextBelow(3))) +
+             stmts(Depth + 1, 1 + R.nextBelow(2)) + Ind + "}\n";
     }
     }
   }
@@ -155,6 +194,8 @@ private:
   unsigned VarCounter = 0;
   int Cells = 8;
   int SumStride = 1;
+  bool Constructs = false;
+  bool InIsolated = false;
 };
 
 } // namespace test

@@ -179,6 +179,62 @@ TEST_P(BackendsAgree, ReplayedReportsAreIdentical) {
   }
 }
 
+TEST_P(BackendsAgree, ConstructProgramReportsAreIdentical) {
+  // Same three-way differential over the extended-construct generator:
+  // future/force joins, isolated sections, and lowered forasync loops all
+  // flow through the same event stream, so the backends must still agree.
+  Rng SeedGen(GetParam() ^ 0x9e3779b9);
+  for (int Trial = 0; Trial != 15; ++Trial) {
+    RandomProgramGen Gen(SeedGen.next());
+    Gen.enableConstructs();
+    std::string Src = Gen.generate();
+    ParsedProgram P = parseAndCheck(Src);
+    ASSERT_TRUE(P.ok()) << P.errors() << "\n" << Src;
+
+    for (EspBagsDetector::Mode Mode :
+         {EspBagsDetector::Mode::SRW, EspBagsDetector::Mode::MRW}) {
+      Detection Esp =
+          detectRaces(*P.Prog, options(Mode, DetectBackend::EspBags));
+      ASSERT_TRUE(Esp.ok()) << Esp.Exec.Error << "\n" << Src;
+      Detection Vc =
+          detectRaces(*P.Prog, options(Mode, DetectBackend::VectorClock));
+      ASSERT_TRUE(Vc.ok()) << Vc.Exec.Error << "\n" << Src;
+      expectIdenticalReports(Vc, Esp, Src);
+      Detection Par = detectRaces(*P.Prog, options(Mode, DetectBackend::Par));
+      ASSERT_TRUE(Par.ok()) << Par.Exec.Error << "\n" << Src;
+      expectIdenticalReports(Par, Esp, Src);
+    }
+  }
+}
+
+TEST_P(BackendsAgree, ConstructProgramRepairsAgree) {
+  // Construct-generator programs through the full repair loop under both
+  // sequential backends, with the whole construct vocabulary enabled: the
+  // repaired text and outcome must be backend-independent.
+  Rng SeedGen(GetParam() ^ 0x85ebca6b);
+  for (int Trial = 0; Trial != 6; ++Trial) {
+    RandomProgramGen Gen(SeedGen.next());
+    Gen.enableConstructs();
+    std::string Src = Gen.generate();
+
+    RepairOptions Esp;
+    Esp.Backend = DetectBackend::EspBags;
+    Esp.Constructs = constructs::All;
+    std::string EspOut;
+    RepairResult RE = repairSource(Src, EspOut, Esp);
+
+    RepairOptions Vc;
+    Vc.Backend = DetectBackend::VectorClock;
+    Vc.Constructs = constructs::All;
+    std::string VcOut;
+    RepairResult RV = repairSource(Src, VcOut, Vc);
+
+    EXPECT_EQ(RV.Success, RE.Success) << Src;
+    EXPECT_EQ(RV.Error, RE.Error) << Src;
+    EXPECT_EQ(VcOut, EspOut) << Src;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, BackendsAgree,
                          ::testing::Values(111u, 222u, 333u, 444u));
 

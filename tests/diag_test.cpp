@@ -200,8 +200,9 @@ TEST(Provenance, RepairRecordsWhyEachFinishExists) {
   ASSERT_EQ(R.Stats.FinishesInserted, 2u);
 
   // One provenance record per inserted finish.
-  ASSERT_EQ(R.Diag.Finishes.size(), 2u);
-  for (const diag::FinishProvenance &F : R.Diag.Finishes) {
+  ASSERT_EQ(R.Diag.Repairs.size(), 2u);
+  for (const diag::FinishProvenance &F : R.Diag.Repairs) {
+    EXPECT_EQ(F.Construct, "finish");
     EXPECT_TRUE(F.Anchor.valid());
     EXPECT_GE(F.DynamicInstances, 1u);
     EXPECT_FALSE(F.ForcedEdges.empty());
@@ -245,13 +246,13 @@ TEST(RunReport, JsonRoundTripsThroughParserAndExplain) {
   json::ParseResult Parsed = json::parse(JsonText);
   ASSERT_TRUE(Parsed.Ok) << Parsed.Error;
   EXPECT_EQ(Parsed.Doc.getString("schema"), "tdr-report");
-  EXPECT_EQ(Parsed.Doc.getNumber("version"), 1.0);
+  EXPECT_EQ(Parsed.Doc.getNumber("version"), 2.0);
 
   std::string Out, Err;
   ASSERT_TRUE(diag::renderExplainText(Parsed.Doc, /*Color=*/false, Out, Err))
       << Err;
   EXPECT_NE(Out.find("tdr run report"), std::string::npos);
-  EXPECT_NE(Out.find("inserted finishes (2)"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("inserted repairs (2)"), std::string::npos) << Out;
   EXPECT_NE(Out.find("critical path"), std::string::npos);
   EXPECT_NE(Out.find("forced by dependence edge(s)"), std::string::npos);
   EXPECT_NE(Out.find("unordered because"), std::string::npos);

@@ -161,6 +161,51 @@ func main() {
   ASSERT_EQ(P.Prog->funcs().size(), 1u);
 }
 
+//===----------------------------------------------------------------------===//
+// Did-you-mean keyword hints
+//===----------------------------------------------------------------------===//
+
+/// Parses \p Source (expected to be malformed) and returns the rendered
+/// diagnostics, asserting there is at least one error.
+std::string diagsFor(const std::string &Source) {
+  ParsedProgram P = parseOnly(Source);
+  EXPECT_TRUE(P.Diags->hasErrors()) << Source;
+  return P.errors();
+}
+
+TEST(Parser, MisspelledAsyncSuggestsTheKeyword) {
+  // "asinc { ... }" parses as an identifier expression followed by a
+  // block; the recovery note points at the likely construct keyword.
+  std::string D = diagsFor("func main() { asinc { print(1); } }");
+  EXPECT_NE(D.find("did you mean 'async'?"), std::string::npos) << D;
+}
+
+TEST(Parser, MisspelledNewConstructKeywordsSuggested) {
+  std::string D = diagsFor("func main() { futur f = g(); }");
+  EXPECT_NE(D.find("did you mean 'future'?"), std::string::npos) << D;
+  D = diagsFor("func main() { isolatd { print(1); } }");
+  EXPECT_NE(D.find("did you mean 'isolated'?"), std::string::npos) << D;
+  D = diagsFor(
+      "func main() { forasinc (var i: int = 0; i < 4; chunk 2) { } }");
+  EXPECT_NE(D.find("did you mean 'forasync'?"), std::string::npos) << D;
+  D = diagsFor("func main() { finsh { print(1); } }");
+  EXPECT_NE(D.find("did you mean 'finish'?"), std::string::npos) << D;
+}
+
+TEST(Parser, MisspelledKeywordInExpectedPositionSuggested) {
+  // The expect() path: an identifier where a keyword token is required
+  // (the forasync header demands `var`).
+  std::string D = diagsFor(
+      "func main() { forasync (vra i: int = 0; i < 4; chunk 2) { } }");
+  EXPECT_NE(D.find("did you mean 'var'?"), std::string::npos) << D;
+}
+
+TEST(Parser, DistantIdentifiersGetNoSuggestion) {
+  // Edit distance > 2 from every keyword: plain error, no hint.
+  std::string D = diagsFor("func main() { zzqqxx { print(1); } }");
+  EXPECT_EQ(D.find("did you mean"), std::string::npos) << D;
+}
+
 TEST(Parser, NestedArrayTypesAndNew) {
   ParsedProgram P = parseAndCheck(R"(
 var M: double[][];
@@ -212,6 +257,14 @@ func main() {
 })",
         "func f(x: double): double { return x * 2.0; }\n"
         "func main() { print(f(2.25)); }",
-        "func main() { print(1.0e10); print(0.5); print(1000000.0); }"));
+        "func main() { print(1.0e10); print(0.5); print(1000000.0); }",
+        R"(func g(): int { return 7; }
+func main() {
+  future f = g();
+  isolated { print(1); }
+  isolated print(2);
+  forasync (var i: int = 0; i < 8; chunk 2) print(i);
+  print(force(f));
+})"));
 
 } // namespace

@@ -1,0 +1,126 @@
+//===- print_roundtrip_test.cpp - Parse/print round-trip over the corpus --===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+// The printer is the repair tool's output stage: `tdr repair` hands users
+// printProgram(AST), so printed text must parse back to a program that
+// prints identically (a fixpoint after one trip) and behave identically
+// under the interpreter. This pins that property over the whole program
+// corpus — every Table 1 benchmark, every construct-suite program, and
+// seeded random programs with the full construct vocabulary enabled —
+// rather than the handful of snippets frontend_test covers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "RandomProgram.h"
+#include "TestUtil.h"
+
+#include "ast/AstPrinter.h"
+#include "interp/Interpreter.h"
+#include "suite/Benchmarks.h"
+#include "suite/Constructs.h"
+
+using namespace tdr;
+using namespace tdr::test;
+
+namespace {
+
+/// One round trip: parse+check Source, print, parse+check the print,
+/// print again; the two prints must be byte-identical. Returns the
+/// second parse for behavioral comparison (empty Prog on failure).
+std::string roundTrip(const std::string &Source, ParsedProgram &Reparsed,
+                      const std::string &What) {
+  ParsedProgram P1 = parseAndCheck(Source);
+  EXPECT_TRUE(P1.ok()) << What << ":\n" << P1.errors();
+  if (!P1.ok())
+    return std::string();
+  std::string S1 = printProgram(*P1.Prog);
+  Reparsed = parseAndCheck(S1);
+  EXPECT_TRUE(Reparsed.ok()) << What << ": printed text fails to re-check:\n"
+                             << Reparsed.errors() << "\n"
+                             << S1;
+  if (!Reparsed.ok())
+    return std::string();
+  std::string S2 = printProgram(*Reparsed.Prog);
+  EXPECT_EQ(S1, S2) << What << ": print is not a fixpoint";
+  return S1;
+}
+
+/// Serial output of \p P on \p Args (original and reprinted program must
+/// agree).
+std::string outputOf(const ParsedProgram &P, const std::vector<int64_t> &Args,
+                     const std::string &What) {
+  ExecOptions Exec;
+  Exec.Args = Args;
+  Interpreter I(*P.Prog, Exec);
+  ExecResult R = I.run();
+  EXPECT_TRUE(R.Ok) << What << ": " << R.Error;
+  return R.Output;
+}
+
+class BenchRoundTrip : public ::testing::TestWithParam<const BenchmarkSpec *> {
+};
+
+TEST_P(BenchRoundTrip, PrintedTextIsAFixpointAndBehaves) {
+  const BenchmarkSpec &Spec = *GetParam();
+  ParsedProgram Reparsed;
+  if (roundTrip(Spec.Source, Reparsed, Spec.Name).empty())
+    return;
+  ParsedProgram Orig = parseAndCheck(Spec.Source);
+  ASSERT_TRUE(Orig.ok());
+  EXPECT_EQ(outputOf(Reparsed, Spec.RepairArgs, Spec.Name),
+            outputOf(Orig, Spec.RepairArgs, Spec.Name))
+      << Spec.Name;
+}
+
+std::vector<const BenchmarkSpec *> corpus() {
+  std::vector<const BenchmarkSpec *> All;
+  for (const BenchmarkSpec &B : allBenchmarks())
+    All.push_back(&B);
+  for (const BenchmarkSpec &B : constructBenchmarks())
+    All.push_back(&B);
+  return All;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, BenchRoundTrip, ::testing::ValuesIn(corpus()),
+                         [](const ::testing::TestParamInfo<
+                             const BenchmarkSpec *> &Info) {
+                           std::string Name = Info.param->Name;
+                           for (char &C : Name)
+                             if (!std::isalnum(static_cast<unsigned char>(C)))
+                               C = '_';
+                           return Name;
+                         });
+
+class RandomRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomRoundTrip, GeneratedProgramsRoundTrip) {
+  Rng SeedGen(GetParam());
+  for (int Trial = 0; Trial != 20; ++Trial) {
+    uint64_t Seed = SeedGen.next();
+    // Default profile and the full construct vocabulary; printed
+    // future/isolated/forasync forms must re-parse to the same print.
+    for (bool Constructs : {false, true}) {
+      RandomProgramGen Gen(Seed);
+      if (Constructs)
+        Gen.enableConstructs();
+      std::string Src = Gen.generate();
+      std::string What =
+          strFormat("seed %llu constructs=%d",
+                    static_cast<unsigned long long>(Seed), Constructs ? 1 : 0);
+      ParsedProgram Reparsed;
+      if (roundTrip(Src, Reparsed, What).empty())
+        continue;
+      ParsedProgram Orig = parseAndCheck(Src);
+      ASSERT_TRUE(Orig.ok());
+      EXPECT_EQ(outputOf(Reparsed, {}, What), outputOf(Orig, {}, What))
+          << What << "\n"
+          << Src;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomRoundTrip,
+                         ::testing::Values(17u, 9182736455u, 5551212u));
+
+} // namespace

@@ -390,6 +390,55 @@ TEST(ReaderCompaction, PairsSubsetAndDetectionPreserved) {
 }
 
 //===----------------------------------------------------------------------===//
+// Extended constructs through the shadow fast paths
+//===----------------------------------------------------------------------===//
+
+TEST(ConstructShadow, EspBagsMatchesOracleOnConstructPrograms) {
+  // The frozen map-shadow references predate future/isolated and stay
+  // frozen, so construct-generator programs are differentialed against the
+  // production Theorem-1 oracle instead: the flat-shadow ESP-bags fast
+  // path must agree on every race pair when futures join subtrees and
+  // isolated sections commute.
+  Rng SeedGen(31337);
+  for (int Trial = 0; Trial != 15; ++Trial) {
+    RandomProgramGen Gen(SeedGen.next());
+    Gen.enableConstructs();
+    std::string Src = Gen.generate();
+    ParsedProgram P = parseAndCheck(Src);
+    ASSERT_TRUE(P.ok()) << P.errors() << "\n" << Src;
+
+    Detection Bags = detectRaces(*P.Prog, EspBagsDetector::Mode::MRW);
+    ASSERT_TRUE(Bags.ok()) << Bags.Exec.Error << "\n" << Src;
+    Detection Oracle = detectRacesOracle(*P.Prog);
+    ASSERT_TRUE(Oracle.ok()) << Oracle.Exec.Error << "\n" << Src;
+    EXPECT_EQ(pairIdSet(Bags.Report), pairIdSet(Oracle.Report)) << Src;
+    EXPECT_EQ(Bags.Report.RawCount, Oracle.Report.RawCount) << Src;
+  }
+}
+
+TEST(ConstructShadow, SparseHeapConstructProgramsAgreeWithOracle) {
+  // Same differential with the sparse-heap profile on top: giant strided
+  // indices drive the two-level shadow map while future/force joins and
+  // isolated sections shape the happens-before relation.
+  Rng SeedGen(424242);
+  for (int Trial = 0; Trial != 6; ++Trial) {
+    RandomProgramGen Gen(SeedGen.next());
+    Gen.enableSparseHeap();
+    Gen.enableConstructs();
+    std::string Src = Gen.generate();
+    ParsedProgram P = parseAndCheck(Src);
+    ASSERT_TRUE(P.ok()) << P.errors() << "\n" << Src;
+
+    Detection Bags = detectRaces(*P.Prog, EspBagsDetector::Mode::MRW);
+    ASSERT_TRUE(Bags.ok()) << Bags.Exec.Error << "\n" << Src;
+    Detection Oracle = detectRacesOracle(*P.Prog);
+    ASSERT_TRUE(Oracle.ok()) << Oracle.Exec.Error << "\n" << Src;
+    EXPECT_EQ(pairIdSet(Bags.Report), pairIdSet(Oracle.Report)) << Src;
+    EXPECT_EQ(Bags.Report.RawCount, Oracle.Report.RawCount) << Src;
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // Pair-key packing
 //===----------------------------------------------------------------------===//
 

@@ -258,8 +258,9 @@ TEST(TraceReplay, RepairedProgramsMatchFreshDetection) {
       EXPECT_EQ(R.Error.find("mismatch"), std::string::npos)
           << "seed " << Seed << " mode " << static_cast<int>(Mode) << ": "
           << R.Error;
-      if (R.Success)
+      if (R.Success) {
         EXPECT_EQ(R.Stats.Interpretations, 1u) << "seed " << Seed;
+      }
 
       const trace::TraceEntry *Entry = Store.find(0);
       ASSERT_NE(Entry, nullptr);

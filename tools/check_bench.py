@@ -158,6 +158,50 @@ def validate_pdetect_rows(results):
     check({"SRW", "MRW"} <= modes, f"expected SRW and MRW rows, got {sorted(modes)}")
 
 
+def validate_constructs_rows(results):
+    programs = set()
+    masks = set()
+    for i, row in enumerate(results):
+        programs.add(row["program"])
+        masks.add(row["constructs"])
+        inserted = row["finishes"] + row["forces"] + row["isolated"]
+        check(inserted > 0, f"result {i} ({row['name']}) inserted no repairs")
+        check(row["cost_chosen"] > 0, f"result {i} has no modeled cost")
+        # The chooser only deviates from finish when strictly cheaper, so
+        # the chosen plan can never model worse than the pure-finish plan.
+        check(
+            row["cost_chosen"] <= row["cost_all_finish"],
+            f"result {i} ({row['name']}) chose a costlier-than-finish plan",
+        )
+        check(
+            row["cost_gain_vs_finish"] > 0,
+            f"result {i} ({row['name']}) missing cost_gain_vs_finish",
+        )
+        if row["constructs"] == "finish":
+            check(
+                row["forces"] == 0 and row["isolated"] == 0,
+                f"result {i} ({row['name']}) used a construct the finish-only "
+                "allowlist forbids",
+            )
+        if row["constructs"] != "all":
+            check(
+                row["isolated"] == 0,
+                f"result {i} ({row['name']}) inserted isolated without opt-in",
+            )
+
+    # The comparison needs every suite program under every allowlist.
+    expected_masks = {"finish", "default", "all"}
+    check(
+        expected_masks <= masks,
+        f"expected allowlists {sorted(expected_masks)}, got {sorted(masks)}",
+    )
+    expected_programs = {"FuturePipeline", "IsolatedAccum", "ForasyncStencil"}
+    check(
+        expected_programs <= programs,
+        f"expected programs {sorted(expected_programs)}, got {sorted(programs)}",
+    )
+
+
 def validate_shadow_rows(results):
     impls = set()
     families = set()
@@ -258,6 +302,26 @@ BENCHES = {
         },
         validate_pdetect_rows,
         "speedup_vs_1worker",
+        None,
+    ),
+    "constructs": (
+        {
+            "name",
+            "program",
+            "constructs",
+            "mode",
+            "finishes",
+            "forces",
+            "isolated",
+            "iterations",
+            "cost_before",
+            "cost_chosen",
+            "cost_all_finish",
+            "cost_gain_vs_finish",
+            "repair_ms",
+        },
+        validate_constructs_rows,
+        "cost_gain_vs_finish",
         None,
     ),
     "shadow": (

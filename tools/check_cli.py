@@ -2,12 +2,16 @@
 """Validate the tdr CLI's option handling, focusing on backend selection.
 
 The CLI's contract (see tools/tdr.cpp): garbage in any validated option —
-`--backend`, `TDR_BACKEND`, `--workers`, `--procs` — exits 2 with a
-one-line diagnostic on stderr, before any input file is touched. A
-`--backend` flag that contradicts `TDR_BACKEND` in the environment is a
-conflict, not a silent precedence choice. Agreement (or either source
-alone) must run normally: `tdr races` exits 0 on a race-free input and 1
-when races are found, and both count as success here.
+`--backend`, `TDR_BACKEND`, `--constructs`, `--workers`, `--procs` —
+exits 2 with a one-line diagnostic on stderr, before any input file is
+touched. A `--backend` flag that contradicts `TDR_BACKEND` in the
+environment is a conflict, not a silent precedence choice. Agreement (or
+either source alone) must run normally: `tdr races` exits 0 on a
+race-free input and 1 when races are found, and both count as success
+here. The `--constructs` allowlist is also exercised end to end: the
+default list forces a future on the pipeline program where that is
+strictly cheaper, while `--constructs finish` pins the paper's
+finish-only repair, and both outputs must be race free.
 
 Invoked from CTest (see tools/CMakeLists.txt) but also usable standalone:
 
@@ -32,6 +36,42 @@ func main() {
     async work(a, i);
   }
   print(a[0]);
+}
+"""
+
+# The construct suite's future pipeline (src/suite/ProgramsConstructs.cpp
+# documents the cost structure): `force(f);` in front of the early read
+# joins only the producer's subtree, so the chooser picks it whenever
+# `future` is on the allowlist; finish-only repair must still succeed.
+FUTURE_PROGRAM = """\
+func produce(a: int[], n: int): int {
+  var s: int = 0;
+  for (var i: int = 0; i < n; i = i + 1) {
+    s = s + i;
+    a[1] = s;
+  }
+  return s;
+}
+
+func mix(b: int[], slot: int, n: int) {
+  var s: int = 0;
+  for (var i: int = 0; i < n; i = i + 1) {
+    s = s + i * i;
+  }
+  b[slot] = s;
+}
+
+func main() {
+  var n: int = arg(0);
+  var a: int[] = new int[2];
+  var b: int[] = new int[2];
+  future f = produce(a, n);
+  async mix(b, 0, 8 * n);
+  print(a[1]);
+  async mix(b, 1, n);
+  finish {
+  }
+  print(b[0] + b[1]);
 }
 """
 
@@ -133,6 +173,69 @@ def main():
                 run(races + ["--backend", backend], {"TDR_BACKEND": backend}),
             )
 
+        # Repair-construct allowlists (--constructs): malformed lists are
+        # rejected eagerly with the list parser's diagnostic, exit 2,
+        # before any input file is touched.
+        expect_error(
+            "unknown construct name",
+            run(races + ["--constructs", "finish,barrier"]),
+            "error: --constructs: unknown construct 'barrier'",
+        )
+        expect_error(
+            "construct list without finish",
+            run(races + ["--constructs", "future,isolated"]),
+            "must include 'finish'",
+        )
+        expect_error(
+            "duplicate construct",
+            run(races + ["--constructs", "finish,future,finish"]),
+            "construct 'finish' listed twice",
+        )
+        expect_error(
+            "empty construct entry",
+            run(races + ["--constructs", "finish,,isolated"]),
+            "empty construct name",
+        )
+        expect_error(
+            "--constructs missing its value",
+            run([tdr, "repair", prog, "--constructs"]),
+            "--constructs expects a value",
+        )
+
+        # Acceptance: on the future pipeline the default allowlist picks a
+        # force (strictly cheaper than any realizable finish range), while
+        # `--constructs finish` pins the paper's finish-only repair. Both
+        # repaired programs must be race free.
+        fprog = os.path.join(tmp, "pipeline.hj")
+        with open(fprog, "w") as f:
+            f.write(FUTURE_PROGRAM)
+        for spec, wants_force in (("finish,future", True), ("finish", False)):
+            out = os.path.join(tmp, f"pipeline-{spec.replace(',', '-')}.hj")
+            expect_success(
+                f"repair --constructs {spec}",
+                run([tdr, "repair", fprog, "--arg", "40",
+                     "--constructs", spec, "-o", out]),
+                ok_codes=(0,),
+            )
+            check(
+                os.path.exists(out),
+                f"repair --constructs {spec}: no -o file",
+            )
+            if not os.path.exists(out):
+                continue
+            with open(out) as f:
+                repaired = f.read()
+            check(
+                ("force(f);" in repaired) == wants_force,
+                f"repair --constructs {spec}: expected inserted force(f); "
+                f"to be {'present' if wants_force else 'absent'}",
+            )
+            expect_success(
+                f"repaired pipeline ({spec}) race free",
+                run([tdr, "races", out, "--arg", "40"]),
+                ok_codes=(0,),
+            )
+
         # The explain/--report surface follows the same conventions: bad
         # invocations exit 2 with a usage line, a missing report file is a
         # runtime error (exit 1), and --report actually writes the file.
@@ -199,7 +302,8 @@ def main():
         for msg in FAILURES:
             print(f"check_cli: FAIL: {msg}", file=sys.stderr)
         return 1
-    print("check_cli: OK (backend/option validation behaves as documented)")
+    print("check_cli: OK (backend/constructs/option validation behaves as "
+          "documented)")
     return 0
 
 

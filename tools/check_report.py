@@ -37,6 +37,7 @@ func main() {
 
 ACCESS_KINDS = {"read", "write"}
 DPST_KINDS = {"root", "async", "finish", "scope", "step"}
+CONSTRUCTS = {"finish", "force", "isolated"}
 
 FAILURES = []
 
@@ -62,7 +63,7 @@ def load_report(path, label):
     with open(path) as f:
         doc = json.load(f)  # raises on malformed JSON -> test failure
     check(doc.get("schema") == "tdr-report", f"{label}: bad schema name")
-    check(doc.get("version") == 1, f"{label}: bad schema version")
+    check(doc.get("version") == 2, f"{label}: bad schema version")
     check(doc.get("tool") in ("races", "repair", "batch"),
           f"{label}: bad tool {doc.get('tool')!r}")
     check(doc.get("backend") in ("espbags", "vc", "par"),
@@ -125,7 +126,8 @@ def validate_job(job, label, racy):
     check(job.get("success") in (True, False), f"{label}: missing success")
     stats = job.get("stats")
     if check(isinstance(stats, dict), f"{label}: missing stats"):
-        for key in ("iterations", "finishes_inserted", "interpretations",
+        for key in ("iterations", "finishes_inserted", "forces_inserted",
+                    "isolated_inserted", "interpretations",
                     "replays", "races_raw", "race_pairs", "dpst_nodes"):
             check(isinstance(stats.get(key), int) and stats[key] >= 0,
                   f"{label}: stats.{key} must be a non-negative int")
@@ -245,6 +247,8 @@ def main():
                           f"{label}: iteration")
                     check(isinstance(p.get("group_lca"), int),
                           f"{label}: group_lca")
+                    check(p.get("construct") in CONSTRUCTS,
+                          f"{label}: construct {p.get('construct')!r}")
                     validate_pos(p.get("anchor", {}), f"{label}: anchor")
                     check(p.get("dynamic_instances", 0) >= 1,
                           f"{label}: dynamic_instances")
@@ -253,10 +257,25 @@ def main():
                     edges = p.get("forced_edges")
                     check(isinstance(edges, list) and edges,
                           f"{label}: forced_edges must be non-empty")
+                    alts = p.get("alternatives")
+                    if check(isinstance(alts, list),
+                             f"{label}: alternatives must be an array"):
+                        for j, a in enumerate(alts):
+                            check(a.get("construct") in CONSTRUCTS,
+                                  f"{label}: alternatives[{j}].construct")
+                            check(a.get("feasible") in (True, False),
+                                  f"{label}: alternatives[{j}].feasible")
+                            check(isinstance(a.get("cost"), int),
+                                  f"{label}: alternatives[{j}].cost")
+                            check(isinstance(a.get("reason"), str),
+                                  f"{label}: alternatives[{j}].reason")
                     check(isinstance(p.get("rejected"), list),
                           f"{label}: rejected must be an array")
-                check(len(prov) == job["stats"]["finishes_inserted"],
-                      "repair: one provenance record per inserted finish")
+                repairs = (job["stats"]["finishes_inserted"]
+                           + job["stats"]["forces_inserted"]
+                           + job["stats"]["isolated_inserted"])
+                check(len(prov) == repairs,
+                      "repair: one provenance record per inserted repair")
             # Convergence: the last recorded iteration must be race free.
             iters = job.get("iterations", [])
             if check(len(iters) >= 2, "repair: expected >= 2 iterations"):

@@ -4,7 +4,9 @@
 Runs `tdr races <racy program> --trace ... --metrics-json ...` and checks
 that the emitted trace is well-formed Chrome trace_event JSON (loadable in
 chrome://tracing / Perfetto) and that the metrics dump is a flat JSON
-object covering the pipeline. Also runs `tdr batch --jobs 2 --trace` and
+object covering the pipeline. Span names are validated against
+src/obs/Phases.def — the same registry the C++ hook points compile their
+phase constants from — so the vocabulary lives in exactly one place. Also runs `tdr batch --jobs 2 --trace` and
 checks the async ('b'/'e') per-job lane events: every begin has a matching
 end with the same (name, cat, id), timestamps are ordered, and the merged
 metrics carry a batch.job_ms histogram with percentile fields. Invoked
@@ -15,6 +17,7 @@ from CTest (see tools/CMakeLists.txt) but also usable standalone:
 
 import json
 import os
+import re
 import subprocess
 import sys
 import tempfile
@@ -35,12 +38,37 @@ func main() {
 }
 """
 
-# Phase spans the pipeline must emit for a detection run.
-REQUIRED_SPANS = {"parse", "sema", "detect"}
-
 # Every phase code the tracer is allowed to emit: complete spans,
 # instants, and async begin/end pairs. Anything else is a schema break.
 KNOWN_PHASES = {"X", "i", "b", "e"}
+
+# src/obs/Phases.def is the single source of truth for span names: the
+# C++ hook points compile their obs::phase:: constants from it and this
+# checker parses the same file, so a new pipeline phase is one TDR_PHASE
+# line — never a matching edit here.
+PHASES_DEF = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "src", "obs",
+    "Phases.def")
+PHASE_RE = re.compile(
+    r'TDR_PHASE\(\s*\w+\s*,\s*"([^"]+)"\s*,\s*"([^"]+)"\s*,\s*([01])\s*\)')
+
+
+def load_phases():
+    """Returns ({span name: category}, {required span names})."""
+    spans, required = {}, set()
+    with open(PHASES_DEF) as f:
+        for line in f:
+            m = PHASE_RE.search(line)
+            if not m:
+                continue
+            spans[m.group(1)] = m.group(2)
+            if m.group(3) == "1":
+                required.add(m.group(1))
+    return spans, required
+
+
+# Span-name vocabulary and the spans every detection run must emit.
+SPAN_CATS, REQUIRED_SPANS = load_phases()
 
 # Histogram snapshots in metrics dumps carry these summary fields.
 HISTOGRAM_FIELDS = {"count", "sum", "min", "max", "mean", "p50", "p95", "p99"}
@@ -53,6 +81,7 @@ FAILURES = []
 def check(cond, msg):
     if not cond:
         FAILURES.append(msg)
+    return cond
 
 
 def validate_trace(path, min_async_lanes=0):
@@ -77,6 +106,17 @@ def validate_trace(path, min_async_lanes=0):
         if ph == "X":
             check("dur" in ev, f"complete event {i} missing 'dur'")
             check(ev.get("dur", -1) >= 0, f"event {i} has negative dur")
+            # Phase spans must come from the Phases.def registry, with the
+            # category declared there (async lanes carry dynamic names,
+            # e.g. batch's per-job "job:<file>", and are exempt).
+            name = ev.get("name")
+            if check(name in SPAN_CATS,
+                     f"event {i}: span name {name!r} is not registered in "
+                     f"src/obs/Phases.def"):
+                check(ev.get("cat") == SPAN_CATS[name],
+                      f"event {i}: span {name!r} has category "
+                      f"{ev.get('cat')!r}, Phases.def says "
+                      f"{SPAN_CATS[name]!r}")
         check(ev.get("ts", -1) >= 0, f"event {i} has negative ts")
         check(isinstance(ev.get("cat", ""), str), f"event {i} cat not a string")
         if ph in ("b", "e"):

@@ -54,14 +54,14 @@ int usage() {
       stderr,
       "usage: tdr <command> [options]\n"
       "  tdr repair  prog.hj [--arg N]... [--srw] [--backend B] [--no-replay]"
-      " [-o out.hj]\n"
+      " [--constructs L] [-o out.hj]\n"
       "  tdr races   prog.hj [--arg N]... [--srw] [--backend B]\n"
       "  tdr run     prog.hj [--arg N]... [--workers K]\n"
       "  tdr stats   prog.hj [--arg N]... [--procs P]\n"
       "  tdr dot     prog.hj [--arg N]...\n"
       "  tdr coverage prog.hj --arg N [--arg M]... (one input per --arg)\n"
       "  tdr batch   manifest [--jobs N] [--srw] [--backend B] [--no-replay]"
-      " [-o outdir]\n"
+      " [--constructs L] [-o outdir]\n"
       "              manifest lines: <prog.hj> [int args...]\n"
       "  tdr explain report.json   pretty-print a --report document\n"
       "  tdr dump    <benchmark>   (e.g. Mergesort; see bench_table1)\n"
@@ -88,7 +88,12 @@ int usage() {
       "                       iteration instead of replaying the recorded\n"
       "                       event trace (TDR_REPLAY_CHECK=1 in the\n"
       "                       environment cross-checks every replay against\n"
-      "                       a fresh run)\n");
+      "                       a fresh run)\n"
+      "  --constructs L       comma list of repair constructs the per-edge\n"
+      "                       chooser may use; must include 'finish'.\n"
+      "                       Default 'finish,future'; add 'isolated' to\n"
+      "                       allow isolated{} wrapping of racing\n"
+      "                       statements\n");
   return 2;
 }
 
@@ -103,6 +108,9 @@ struct Options {
   /// Resolved detection backend (--backend flag / TDR_BACKEND env; the
   /// flag and the environment must agree — see resolveBackend).
   DetectBackend Backend = DetectBackend::EspBags;
+  /// Repair-construct allowlist (--constructs), parsed eagerly so a bad
+  /// list exits 2 like every other malformed flag value.
+  unsigned Constructs = constructs::Default;
   std::string OutFile;
   std::string TraceFile;
   std::string MetricsFile;
@@ -171,6 +179,12 @@ bool parseOptions(int Argc, char **Argv, Options &O) {
       O.NoReplay = true;
     } else if (!std::strcmp(Argv[I], "--backend") && I + 1 != Argc) {
       Backend = Argv[++I];
+    } else if (!std::strcmp(Argv[I], "--constructs") && I + 1 != Argc) {
+      std::string Err;
+      if (!parseConstructList(Argv[++I], O.Constructs, Err)) {
+        std::fprintf(stderr, "error: --constructs: %s\n", Err.c_str());
+        return false;
+      }
     } else if (!std::strcmp(Argv[I], "--workers") && I + 1 != Argc) {
       if (!parsePositive("--workers", Argv[++I], O.Workers))
         return false;
@@ -190,6 +204,7 @@ bool parseOptions(int Argc, char **Argv, Options &O) {
       O.ReportFile = Argv[++I];
     } else if (!std::strcmp(Argv[I], "--arg") ||
                !std::strcmp(Argv[I], "--backend") ||
+               !std::strcmp(Argv[I], "--constructs") ||
                !std::strcmp(Argv[I], "--workers") ||
                !std::strcmp(Argv[I], "--jobs") ||
                !std::strcmp(Argv[I], "--procs") ||
@@ -260,6 +275,8 @@ diag::JobReport jobReportFromRepair(std::string Name, std::vector<int64_t> Args,
   J.Error = R.Error;
   J.Stats.Iterations = R.Stats.Iterations;
   J.Stats.FinishesInserted = R.Stats.FinishesInserted;
+  J.Stats.ForcesInserted = R.Stats.ForcesInserted;
+  J.Stats.IsolatedInserted = R.Stats.IsolatedInserted;
   J.Stats.Interpretations = R.Stats.Interpretations;
   J.Stats.Replays = R.Stats.Replays;
   J.Stats.RawRaces = R.Stats.RawRaces;
@@ -301,6 +318,7 @@ int cmdRepair(const Options &O) {
   Opts.Backend = O.Backend;
   Opts.Exec = execOptions(O);
   Opts.UseReplay = !O.NoReplay;
+  Opts.Constructs = O.Constructs;
   Opts.CollectDiag = !O.ReportFile.empty();
   Opts.SM = L.SM.get();
   RepairResult R = repairProgram(*L.Prog, *L.Ctx, Opts);
@@ -317,16 +335,17 @@ int cmdRepair(const Options &O) {
     return 1;
   std::fprintf(stderr,
                "%s: %zu S-DPST nodes, %llu race reports (%zu pairs), "
-               "%u finish(es) inserted, %u detection run(s) "
-               "(%u interpreted, %u replayed)\n",
+               "%u finish(es), %u force(s), %u isolated inserted, "
+               "%u detection run(s) (%u interpreted, %u replayed)\n",
                O.File.c_str(), R.Stats.DpstNodes,
                static_cast<unsigned long long>(R.Stats.RawRaces),
                R.Stats.RacePairs, R.Stats.FinishesInserted,
+               R.Stats.ForcesInserted, R.Stats.IsolatedInserted,
                R.Stats.Iterations, R.Stats.Interpretations, R.Stats.Replays);
   for (SourceLoc Loc : R.InsertedAt) {
     LineCol LC = L.SM->lineCol(Loc);
     if (LC.Line)
-      std::fprintf(stderr, "  finish inserted at %s:%u:%u\n",
+      std::fprintf(stderr, "  repair inserted at %s:%u:%u\n",
                    O.File.c_str(), LC.Line, LC.Col);
   }
   std::string Out = printProgram(*L.Prog);
@@ -552,6 +571,7 @@ bool loadManifest(const Options &O, std::vector<RepairJob> &Jobs) {
         O.Srw ? EspBagsDetector::Mode::SRW : EspBagsDetector::Mode::MRW;
     J.Opts.Backend = O.Backend;
     J.Opts.UseReplay = !O.NoReplay;
+    J.Opts.Constructs = O.Constructs;
     J.Opts.CollectDiag = !O.ReportFile.empty();
     int64_t A;
     while (LS >> A)
@@ -578,8 +598,11 @@ int cmdBatch(const Options &O) {
   for (const BatchJobResult &R : Summary.Results) {
     if (R.Repair.Success)
       std::fprintf(stderr,
-                   "%s: ok, %u finish(es) inserted, %u detection run(s)\n",
-                   R.Name.c_str(), R.Repair.Stats.FinishesInserted,
+                   "%s: ok, %u repair(s) inserted, %u detection run(s)\n",
+                   R.Name.c_str(),
+                   R.Repair.Stats.FinishesInserted +
+                       R.Repair.Stats.ForcesInserted +
+                       R.Repair.Stats.IsolatedInserted,
                    R.Repair.Stats.Iterations);
     else
       std::fprintf(stderr, "%s: FAILED: %s\n", R.Name.c_str(),
