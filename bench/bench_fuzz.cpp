@@ -1,0 +1,178 @@
+//===- bench_fuzz.cpp - Fuzz-farm throughput harness ----------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+// Measures the fuzz farm's program throughput so overnight-campaign sizing
+// (EXPERIMENTS.md "Million-program overnight run") rests on a number CI
+// tracks instead of folklore. Two row families:
+//
+//   * oracle — serial differential-oracle cost per generator profile
+//     (default async-finish, the full construct vocabulary, the sparse
+//     heap shape), i.e. the per-program price of one fuzz iteration;
+//   * farm — end-to-end `runFuzz` wall clock at 1/2/4 workers over the
+//     rotated-profile mix, with the parallel speedup vs the 1-worker run
+//     (the farm derives seeds by index and merges in submission order, so
+//     every row checks the same programs).
+//
+// Emits BENCH_fuzz.json (see --out) in the shared schema validated by
+// tools/check_bench.py.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "fuzz/Fuzzer.h"
+#include "fuzz/Oracle.h"
+#include "fuzz/RandomProgram.h"
+#include "support/Timer.h"
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace tdr;
+
+namespace {
+
+struct RowStats {
+  size_t Programs = 0;
+  double Seconds = 0;
+  uint64_t DetectRuns = 0;
+  uint64_t Findings = 0;
+};
+
+/// Serial oracle throughput over \p Programs generated programs of one
+/// profile. Mirrors the farm's per-profile oracle configuration: the
+/// construct profile repairs with the full construct vocabulary, the
+/// sparse profile skips the repair legs (huge index spaces make repaired
+/// re-execution disproportionately slow, exactly as in the farm).
+RowStats benchOracle(fuzz::FuzzProfile Profile, size_t Programs,
+                     uint64_t Seed) {
+  fuzz::OracleConfig Config;
+  if (Profile == fuzz::FuzzProfile::Constructs)
+    Config.AllConstructs = true;
+  if (Profile == fuzz::FuzzProfile::Sparse)
+    Config.CheckRepair = false;
+
+  RowStats Stats;
+  Timer T;
+  for (size_t I = 0; I != Programs; ++I) {
+    fuzz::RandomProgramGen Gen(Seed + I);
+    if (Profile == fuzz::FuzzProfile::Constructs)
+      Gen.enableConstructs();
+    if (Profile == fuzz::FuzzProfile::Sparse)
+      Gen.enableSparseHeap();
+    fuzz::OracleOutcome Out = fuzz::runOracle(Gen.generate(), Config);
+    Stats.DetectRuns += Out.DetectRuns;
+    Stats.Findings += Out.Findings.size();
+  }
+  Stats.Programs = Programs;
+  Stats.Seconds = T.elapsedSec();
+  return Stats;
+}
+
+/// End-to-end farm run (generation + oracle + reduction) at \p Jobs
+/// workers; same seed and program count for every jobs setting so the
+/// speedup compares identical work.
+RowStats benchFarm(unsigned Jobs, size_t Programs, uint64_t Seed) {
+  fuzz::FuzzOptions O;
+  O.Programs = Programs;
+  O.Seed = Seed;
+  O.Jobs = Jobs;
+  O.TrophyDir.clear(); // throughput run; never persist trophies
+  O.Reduce = false;
+
+  RowStats Stats;
+  Timer T;
+  fuzz::FuzzSummary S = fuzz::runFuzz(O);
+  Stats.Programs = S.ProgramsRun;
+  Stats.Seconds = T.elapsedSec();
+  Stats.DetectRuns = S.DetectRuns;
+  Stats.Findings = S.Findings.size();
+  return Stats;
+}
+
+bench::JsonRecord &addRow(bench::JsonReport &Report, const std::string &Name,
+                          const char *Family, const char *Profile,
+                          unsigned Jobs, const RowStats &Stats,
+                          double Speedup) {
+  double Secs = Stats.Seconds > 0 ? Stats.Seconds : 1e-9;
+  std::printf("%-18s %8zu programs %8.3fs %10.1f prog/s %8llu detects\n",
+              Name.c_str(), Stats.Programs, Stats.Seconds,
+              Stats.Programs / Secs,
+              static_cast<unsigned long long>(Stats.DetectRuns));
+  return Report.add()
+      .str("name", Name)
+      .str("family", Family)
+      .str("profile", Profile)
+      .num("jobs", static_cast<uint64_t>(Jobs))
+      .num("programs", static_cast<uint64_t>(Stats.Programs))
+      .num("seconds", Stats.Seconds)
+      .num("programs_per_sec", Stats.Programs / Secs)
+      .num("detect_runs", Stats.DetectRuns)
+      .num("findings", Stats.Findings)
+      .num("speedup_vs_1job", Speedup);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bench::ObsSession Obs(Argc, Argv);
+
+  bool Quick = false;
+  std::string OutPath = "BENCH_fuzz.json";
+  for (int I = 1; I != Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--quick"))
+      Quick = true;
+    else if (!std::strcmp(Argv[I], "--out") && I + 1 != Argc)
+      OutPath = Argv[++I];
+  }
+
+  const size_t OracleN = Quick ? 12 : 64;
+  const size_t FarmN = Quick ? 24 : 192;
+  const uint64_t Seed = 7;
+
+  bench::JsonReport Report("fuzz");
+
+  bench::banner("Differential oracle throughput by generator profile");
+  const fuzz::FuzzProfile Profiles[] = {fuzz::FuzzProfile::Default,
+                                        fuzz::FuzzProfile::Constructs,
+                                        fuzz::FuzzProfile::Sparse};
+  for (fuzz::FuzzProfile P : Profiles) {
+    const char *Name = fuzz::fuzzProfileName(P);
+    RowStats Stats = benchOracle(P, OracleN, Seed);
+    addRow(Report, std::string("oracle/") + Name, "oracle", Name, /*Jobs=*/1,
+           Stats, /*Speedup=*/1.0);
+  }
+
+  bench::banner("Farm scaling (runFuzz over the rotated-profile mix)");
+  unsigned Cores = std::thread::hardware_concurrency();
+  std::vector<unsigned> JobCounts = {1};
+  if (Cores >= 2)
+    JobCounts.push_back(2);
+  if (Cores >= 4)
+    JobCounts.push_back(4);
+  double Baseline = 0;
+  for (unsigned Jobs : JobCounts) {
+    RowStats Stats = benchFarm(Jobs, FarmN, Seed);
+    if (Jobs == 1)
+      Baseline = Stats.Seconds;
+    double Speedup =
+        Stats.Seconds > 0 && Baseline > 0 ? Baseline / Stats.Seconds : 0;
+    addRow(Report, "farm/j" + std::to_string(Jobs), "farm", "mixed", Jobs,
+           Stats, Speedup);
+  }
+
+  if (Report.numRecords() == 0) {
+    std::fprintf(stderr, "bench_fuzz: no results\n");
+    return 1;
+  }
+  if (!Report.writeTo(OutPath)) {
+    std::fprintf(stderr, "bench_fuzz: failed to write %s\n", OutPath.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s (%zu rows)\n", OutPath.c_str(),
+              Report.numRecords());
+  return 0;
+}

@@ -1,0 +1,317 @@
+//===- Fuzzer.cpp - Parallel differential fuzz farm -----------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include "batch/BatchRepair.h"
+#include "fuzz/RandomProgram.h"
+#include "fuzz/Reduce.h"
+#include "fuzz/Trophy.h"
+#include "obs/Metrics.h"
+#include "support/StringUtils.h"
+#include "support/Timer.h"
+
+#include <atomic>
+#include <memory>
+
+namespace tdr {
+namespace fuzz {
+
+const char *fuzzProfileName(FuzzProfile P) {
+  switch (P) {
+  case FuzzProfile::Default:
+    return "default";
+  case FuzzProfile::Constructs:
+    return "constructs";
+  case FuzzProfile::Sparse:
+    return "sparse";
+  }
+  return "unknown";
+}
+
+uint64_t fuzzProgramSeed(uint64_t Base, size_t Index) {
+  // One SplitMix64 step per index: decorrelates neighboring programs and
+  // is independent of worker scheduling (derived purely from the index).
+  Rng R(Base + 0x9e3779b97f4a7c15ull * static_cast<uint64_t>(Index));
+  return R.next();
+}
+
+FuzzProfile fuzzProgramProfile(size_t Index) {
+  switch (Index % 4) {
+  case 1:
+    return FuzzProfile::Constructs;
+  case 2:
+    return FuzzProfile::Sparse;
+  default:
+    return FuzzProfile::Default;
+  }
+}
+
+std::string generateFuzzProgram(uint64_t Base, size_t Index) {
+  RandomProgramGen Gen(fuzzProgramSeed(Base, Index));
+  switch (fuzzProgramProfile(Index)) {
+  case FuzzProfile::Constructs:
+    Gen.enableConstructs();
+    break;
+  case FuzzProfile::Sparse:
+    Gen.enableSparseHeap();
+    break;
+  case FuzzProfile::Default:
+    break;
+  }
+  return Gen.generate();
+}
+
+namespace {
+
+OracleConfig oracleConfigFor(FuzzProfile P, const FuzzOptions &O) {
+  OracleConfig C;
+  switch (P) {
+  case FuzzProfile::Constructs:
+    C.AllConstructs = true;
+    break;
+  case FuzzProfile::Sparse:
+    // 2^18-cell heaps make the repair loop (many detect iterations) the
+    // dominant cost; the sparse profile targets the shadow maps, so it
+    // runs detection-only and leaves repair to the small profiles.
+    C.CheckRepair = false;
+    break;
+  case FuzzProfile::Default:
+    break;
+  }
+  C.CheckRepair = C.CheckRepair && O.CheckRepair;
+  return C;
+}
+
+size_t countLines(const std::string &Text) {
+  size_t Lines = 0;
+  bool Pending = false;
+  for (char C : Text) {
+    Pending = true;
+    if (C == '\n') {
+      ++Lines;
+      Pending = false;
+    }
+  }
+  return Lines + (Pending ? 1 : 0);
+}
+
+void escape(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += strFormat("\\u%04x", C);
+      else
+        Out += C;
+    }
+  }
+  Out += '"';
+}
+
+void progressLine(std::string *Progress, const std::string &Line) {
+  if (Progress)
+    *Progress += Line + "\n";
+}
+
+/// Everything one oracle job produced (kept per index; merged in
+/// submission order after the pool drains).
+struct JobResult {
+  bool Skipped = false;
+  OracleOutcome Outcome;
+  std::unique_ptr<obs::MetricsRegistry> Metrics;
+};
+
+} // namespace
+
+FuzzSummary runFuzz(const FuzzOptions &O, std::string *Progress) {
+  FuzzSummary S;
+  Timer Wall;
+  std::atomic<bool> OutOfTime{false};
+
+  progressLine(Progress,
+               strFormat("fuzz: %zu program(s), seed %llu, %u job(s)",
+                         O.Programs, static_cast<unsigned long long>(O.Seed),
+                         O.Jobs ? O.Jobs : 1));
+
+  std::vector<JobResult> Results(O.Programs);
+  runJobsOrdered(O.Programs, O.Jobs ? O.Jobs : 1, [&](size_t I) {
+    JobResult &R = Results[I];
+    if (OutOfTime.load(std::memory_order_relaxed)) {
+      R.Skipped = true;
+      return;
+    }
+    if (O.TimeBudgetSec > 0 && Wall.elapsedSec() >= O.TimeBudgetSec) {
+      OutOfTime.store(true, std::memory_order_relaxed);
+      R.Skipped = true;
+      return;
+    }
+    R.Metrics = std::make_unique<obs::MetricsRegistry>();
+    obs::ScopedMetrics Scope(*R.Metrics);
+    R.Outcome = runOracle(generateFuzzProgram(O.Seed, I),
+                          oracleConfigFor(fuzzProgramProfile(I), O));
+  });
+
+  // Merge bookkeeping in submission order: byte-identical across --jobs.
+  obs::MetricsRegistry Merged;
+  for (size_t I = 0; I != Results.size(); ++I) {
+    JobResult &R = Results[I];
+    if (R.Skipped) {
+      ++S.ProgramsSkipped;
+      continue;
+    }
+    ++S.ProgramsRun;
+    S.DetectRuns += R.Outcome.DetectRuns;
+    S.ReplayRuns += R.Outcome.ReplayRuns;
+    S.RepairRuns += R.Outcome.RepairRuns;
+    if (R.Metrics)
+      Merged.mergeFrom(*R.Metrics);
+    if (R.Outcome.clean())
+      continue;
+
+    FuzzFinding F;
+    F.ProgramIndex = I;
+    F.Seed = fuzzProgramSeed(O.Seed, I);
+    F.Profile = fuzzProgramProfile(I);
+    F.First = R.Outcome.Findings.front();
+    F.FindingCount = R.Outcome.Findings.size();
+    F.Source = generateFuzzProgram(O.Seed, I);
+    F.SourceLines = countLines(F.Source);
+    S.Findings.push_back(std::move(F));
+    progressLine(Progress,
+                 strFormat("fuzz: FINDING program %zu seed %llx: %s (%s)", I,
+                           static_cast<unsigned long long>(
+                               S.Findings.back().Seed),
+                           findingKindName(S.Findings.back().First.Kind),
+                           S.Findings.back().First.Config.c_str()));
+  }
+
+  // Minimize sequentially (findings are rare; determinism over speed) and
+  // persist each as an "open" trophy for triage and regression.
+  if (O.Reduce && !S.Findings.empty()) {
+    obs::ScopedMetrics Scope(Merged);
+    for (FuzzFinding &F : S.Findings) {
+      OracleConfig C = oracleConfigFor(F.Profile, O);
+      FindingKind Kind = F.First.Kind;
+      ReduceResult RR = reduceProgram(
+          F.Source, [&](const std::string &Text) {
+            return oracleFires(Text, C, Kind);
+          });
+      F.Reduced = RR.PredicateHeld;
+      F.Minimal = RR.Minimal;
+      F.ReduceTests = RR.Tests;
+      if (RR.PredicateHeld) {
+        F.Source = RR.Text;
+        F.SourceLines = countLines(RR.Text);
+      }
+
+      Trophy T;
+      T.Name = strFormat("s%016llx-%s",
+                         static_cast<unsigned long long>(F.Seed),
+                         findingKindName(Kind));
+      T.Status = "open";
+      T.Kind = Kind;
+      T.Seed = F.Seed;
+      T.Config = C;
+      T.Detail = F.First.Detail;
+      T.Expected = F.First.Expected;
+      T.Actual = F.First.Actual;
+      T.Source = F.Source;
+      std::string Error;
+      if (writeTrophy(O.TrophyDir, T, Error)) {
+        F.TrophyName = T.Name;
+        progressLine(Progress,
+                     strFormat("fuzz: trophy %s (%zu line(s), minimal=%d)",
+                               T.Name.c_str(), F.SourceLines,
+                               F.Minimal ? 1 : 0));
+      } else {
+        progressLine(Progress, "fuzz: trophy write failed: " + Error);
+      }
+    }
+  }
+
+  S.WallSec = Wall.elapsedSec();
+  S.CountersJson = Merged.dumpJson();
+  progressLine(Progress,
+               strFormat("fuzz: %zu run, %zu skipped, %zu finding(s), %.2fs",
+                         S.ProgramsRun, S.ProgramsSkipped, S.Findings.size(),
+                         S.WallSec));
+  return S;
+}
+
+std::string renderFuzzSummaryJson(const FuzzSummary &S, const FuzzOptions &O) {
+  std::string Out;
+  Out += "{\n";
+  Out += strFormat("  \"schema\": \"%s\",\n", FuzzSummarySchema);
+  Out += strFormat("  \"version\": %d,\n", FuzzSummaryVersion);
+  Out += strFormat("  \"seed\": %llu,\n",
+                   static_cast<unsigned long long>(O.Seed));
+  Out += strFormat("  \"jobs\": %u,\n", O.Jobs ? O.Jobs : 1);
+  Out += strFormat("  \"time_budget_sec\": %.3f,\n", O.TimeBudgetSec);
+  Out += strFormat("  \"reduce\": %s,\n", O.Reduce ? "true" : "false");
+  Out += strFormat("  \"check_repair\": %s,\n",
+                   O.CheckRepair ? "true" : "false");
+  Out += "  \"trophy_dir\": ";
+  escape(Out, O.TrophyDir);
+  Out += ",\n";
+  Out += strFormat("  \"programs_requested\": %zu,\n", O.Programs);
+  Out += strFormat("  \"programs_run\": %zu,\n", S.ProgramsRun);
+  Out += strFormat("  \"programs_skipped\": %zu,\n", S.ProgramsSkipped);
+  Out += strFormat("  \"detect_runs\": %u,\n", S.DetectRuns);
+  Out += strFormat("  \"replay_runs\": %u,\n", S.ReplayRuns);
+  Out += strFormat("  \"repair_runs\": %u,\n", S.RepairRuns);
+  Out += strFormat("  \"wall_sec\": %.3f,\n", S.WallSec);
+  Out += strFormat("  \"findings\": [");
+  for (size_t I = 0; I != S.Findings.size(); ++I) {
+    const FuzzFinding &F = S.Findings[I];
+    Out += I ? ",\n    {" : "\n    {";
+    Out += strFormat("\"program\": %zu, \"seed\": %llu, ", F.ProgramIndex,
+                     static_cast<unsigned long long>(F.Seed));
+    Out += strFormat("\"profile\": \"%s\", \"kind\": \"%s\", ",
+                     fuzzProfileName(F.Profile),
+                     findingKindName(F.First.Kind));
+    Out += "\"config\": ";
+    escape(Out, F.First.Config);
+    Out += ", \"detail\": ";
+    escape(Out, F.First.Detail);
+    Out += strFormat(", \"finding_count\": %zu, ", F.FindingCount);
+    Out += strFormat("\"reduced\": %s, \"minimal\": %s, ",
+                     F.Reduced ? "true" : "false",
+                     F.Minimal ? "true" : "false");
+    Out += strFormat("\"reduce_tests\": %zu, \"source_lines\": %zu, ",
+                     F.ReduceTests, F.SourceLines);
+    Out += "\"trophy\": ";
+    escape(Out, F.TrophyName);
+    Out += "}";
+  }
+  Out += S.Findings.empty() ? "],\n" : "\n  ],\n";
+  Out += "  \"counters\": ";
+  std::string Counters = S.CountersJson;
+  while (!Counters.empty() && Counters.back() == '\n')
+    Counters.pop_back();
+  Out += Counters.empty() ? "{}" : Counters.c_str();
+  Out += "\n}\n";
+  return Out;
+}
+
+} // namespace fuzz
+} // namespace tdr

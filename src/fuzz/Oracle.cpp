@@ -1,0 +1,270 @@
+//===- Oracle.cpp - Differential correctness oracle for fuzzing -----------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Oracle.h"
+
+#include "ast/AstContext.h"
+#include "frontend/Parser.h"
+#include "obs/Metrics.h"
+#include "repair/RepairDriver.h"
+#include "sema/Sema.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+#include "support/StringUtils.h"
+#include "trace/EventLog.h"
+
+#include <memory>
+
+namespace tdr {
+namespace fuzz {
+
+const char *findingKindName(FindingKind K) {
+  switch (K) {
+  case FindingKind::ParseError:
+    return "parse-error";
+  case FindingKind::ExecError:
+    return "exec-error";
+  case FindingKind::BackendMismatch:
+    return "backend-mismatch";
+  case FindingKind::ReplayDivergence:
+    return "replay-divergence";
+  case FindingKind::RepairDisagree:
+    return "repair-disagree";
+  case FindingKind::RepairNotConverged:
+    return "repair-not-converged";
+  }
+  return "unknown";
+}
+
+bool parseFindingKind(std::string_view Name, FindingKind &Out) {
+  for (FindingKind K :
+       {FindingKind::ParseError, FindingKind::ExecError,
+        FindingKind::BackendMismatch, FindingKind::ReplayDivergence,
+        FindingKind::RepairDisagree, FindingKind::RepairNotConverged}) {
+    if (Name == findingKindName(K)) {
+      Out = K;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// A parsed-and-checked program plus everything that owns it.
+struct Loaded {
+  std::unique_ptr<SourceManager> SM;
+  std::unique_ptr<DiagnosticsEngine> Diags;
+  std::unique_ptr<AstContext> Ctx;
+  Program *Prog = nullptr;
+
+  bool ok() const { return Prog && !Diags->hasErrors(); }
+};
+
+Loaded loadChecked(const std::string &Source) {
+  Loaded L;
+  L.SM = std::make_unique<SourceManager>("fuzz.hj", Source);
+  L.Diags = std::make_unique<DiagnosticsEngine>();
+  L.Ctx = std::make_unique<AstContext>();
+  Parser P(L.SM->buffer(), *L.Ctx, *L.Diags);
+  L.Prog = P.parseProgram();
+  if (!L.Diags->hasErrors())
+    runSema(*L.Prog, *L.Ctx, *L.Diags);
+  return L;
+}
+
+const char *modeName(EspBagsDetector::Mode M) {
+  return M == EspBagsDetector::Mode::SRW ? "srw" : "mrw";
+}
+
+std::string configName(EspBagsDetector::Mode M, DetectBackend B,
+                       const char *Feed) {
+  return strFormat("%s/%s/%s", modeName(M), detectBackendName(B), Feed);
+}
+
+void addFinding(OracleOutcome &O, FindingKind K, std::string Config,
+                std::string Detail, std::string Expected = std::string(),
+                std::string Actual = std::string()) {
+  Finding F;
+  F.Kind = K;
+  F.Config = std::move(Config);
+  F.Detail = std::move(Detail);
+  F.Expected = std::move(Expected);
+  F.Actual = std::move(Actual);
+  O.Findings.push_back(std::move(F));
+  obs::counter("fuzz.findings").inc();
+}
+
+DetectOptions detectOptions(EspBagsDetector::Mode M, DetectBackend B) {
+  DetectOptions O;
+  O.Mode = M;
+  O.Backend = B;
+  return O;
+}
+
+/// Detection legs for one mode: record the reference backend's fresh run,
+/// cross-check every other backend fresh, then replay the recorded stream
+/// through every backend and require the fresh reference report each time.
+void runDetectionLegs(const Program &Prog, EspBagsDetector::Mode Mode,
+                      const OracleConfig &C, OracleOutcome &Out) {
+  DetectBackend Ref = C.Backends.front();
+
+  trace::InputTrace T;
+  trace::RecorderMonitor Recorder(T.Log);
+  ExecOptions Exec;
+  Exec.Monitor = &Recorder;
+  Detection Fresh =
+      detectRaces(Prog, detectOptions(Mode, Ref), std::move(Exec));
+  Recorder.flush();
+  ++Out.DetectRuns;
+  if (!Fresh.ok()) {
+    addFinding(Out, FindingKind::ExecError, configName(Mode, Ref, "fresh"),
+               "interpretation failed: " + Fresh.Exec.Error);
+    return;
+  }
+  T.Exec = Fresh.Exec;
+  std::string RefKey = renderRaceReportKey(Fresh.Report);
+
+  for (size_t I = 1; I < C.Backends.size(); ++I) {
+    DetectBackend B = C.Backends[I];
+    Detection D = detectRaces(Prog, detectOptions(Mode, B));
+    ++Out.DetectRuns;
+    if (!D.ok()) {
+      addFinding(Out, FindingKind::ExecError, configName(Mode, B, "fresh"),
+                 "interpretation failed: " + D.Exec.Error);
+      continue;
+    }
+    std::string Key = renderRaceReportKey(D.Report);
+    if (Key != RefKey)
+      addFinding(Out, FindingKind::BackendMismatch,
+                 configName(Mode, B, "fresh"),
+                 strFormat("fresh %s report differs from %s",
+                           detectBackendName(B), detectBackendName(Ref)),
+                 RefKey, Key);
+  }
+
+  for (DetectBackend B : C.Backends) {
+    Detection D =
+        detectRaces(Prog, detectOptions(Mode, B), T, trace::ReplayPlan());
+    ++Out.ReplayRuns;
+    if (!D.ok()) {
+      addFinding(Out, FindingKind::ExecError, configName(Mode, B, "replay"),
+                 "replay failed: " + D.Exec.Error);
+      continue;
+    }
+    std::string Key = renderRaceReportKey(D.Report);
+    if (Key != RefKey)
+      addFinding(Out, FindingKind::ReplayDivergence,
+                 configName(Mode, B, "replay"),
+                 strFormat("replayed %s report differs from fresh %s",
+                           detectBackendName(B), detectBackendName(Ref)),
+                 RefKey, Key);
+  }
+}
+
+std::string repairOutcomeKey(const RepairResult &R, const std::string &Text) {
+  return strFormat("success=%d error=[%s] finishes=%u forces=%u isolated=%u\n%s",
+                   R.Success ? 1 : 0, R.Error.c_str(),
+                   R.Stats.FinishesInserted, R.Stats.ForcesInserted,
+                   R.Stats.IsolatedInserted, Text.c_str());
+}
+
+/// Repair legs: the repair loop under the first two backends must agree
+/// byte for byte, and a successful repair must actually converge — the
+/// repaired text re-parses and is race free under the reference backend.
+void runRepairLegs(const std::string &Source, const OracleConfig &C,
+                   OracleOutcome &Out) {
+  unsigned Allow = C.AllConstructs ? constructs::All : constructs::Default;
+  DetectBackend A = C.Backends.front();
+  DetectBackend B = C.Backends.size() > 1 ? C.Backends[1] : A;
+
+  RepairOptions OA;
+  OA.Backend = A;
+  OA.Constructs = Allow;
+  std::string TextA;
+  RepairResult RA = repairSource(Source, TextA, OA);
+  ++Out.RepairRuns;
+
+  if (B != A) {
+    RepairOptions OB;
+    OB.Backend = B;
+    OB.Constructs = Allow;
+    std::string TextB;
+    RepairResult RB = repairSource(Source, TextB, OB);
+    ++Out.RepairRuns;
+    std::string KeyA = repairOutcomeKey(RA, TextA);
+    std::string KeyB = repairOutcomeKey(RB, TextB);
+    if (KeyA != KeyB)
+      addFinding(Out, FindingKind::RepairDisagree,
+                 strFormat("repair/%s", detectBackendName(B)),
+                 strFormat("repair outcome under %s differs from %s",
+                           detectBackendName(B), detectBackendName(A)),
+                 KeyA, KeyB);
+  }
+
+  if (!RA.Success)
+    return; // a failed repair is acceptable as long as the backends agree
+  Loaded L = loadChecked(TextA);
+  if (!L.ok()) {
+    addFinding(Out, FindingKind::RepairNotConverged, "repair/verify",
+               "repaired program fails to parse or type-check",
+               "well-formed program", L.Diags->render(*L.SM));
+    return;
+  }
+  Detection D = detectRaces(*L.Prog,
+                            detectOptions(EspBagsDetector::Mode::MRW, A));
+  ++Out.DetectRuns;
+  if (!D.ok()) {
+    addFinding(Out, FindingKind::RepairNotConverged, "repair/verify",
+               "repaired program fails to execute: " + D.Exec.Error);
+    return;
+  }
+  if (!D.Report.Pairs.empty())
+    addFinding(Out, FindingKind::RepairNotConverged, "repair/verify",
+               strFormat("repaired program still has %zu racing pair(s)",
+                         D.Report.Pairs.size()),
+               "race-free report", renderRaceReportKey(D.Report));
+}
+
+} // namespace
+
+OracleOutcome runOracle(const std::string &Source, const OracleConfig &C) {
+  OracleOutcome Out;
+  obs::counter("fuzz.programs").inc();
+  if (C.Backends.empty()) {
+    addFinding(Out, FindingKind::ParseError, "config",
+               "oracle configured with no backends");
+    return Out;
+  }
+
+  Loaded L = loadChecked(Source);
+  if (!L.ok()) {
+    addFinding(Out, FindingKind::ParseError, "frontend",
+               "program fails to parse or type-check", "well-formed program",
+               L.Diags->render(*L.SM));
+    return Out;
+  }
+
+  for (EspBagsDetector::Mode Mode :
+       {EspBagsDetector::Mode::SRW, EspBagsDetector::Mode::MRW})
+    runDetectionLegs(*L.Prog, Mode, C, Out);
+
+  if (C.CheckRepair)
+    runRepairLegs(Source, C, Out);
+  return Out;
+}
+
+bool oracleFires(const std::string &Source, const OracleConfig &C,
+                 FindingKind K) {
+  OracleOutcome Out = runOracle(Source, C);
+  for (const Finding &F : Out.Findings)
+    if (F.Kind == K)
+      return true;
+  return false;
+}
+
+} // namespace fuzz
+} // namespace tdr

@@ -1,0 +1,352 @@
+//===- Reduce.cpp - Delta-debugging program reducer -----------------------===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Reduce.h"
+
+#include "ast/Ast.h"
+#include "ast/AstContext.h"
+#include "ast/AstPrinter.h"
+#include "frontend/Parser.h"
+#include "obs/Metrics.h"
+#include "support/Casting.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+namespace tdr {
+namespace fuzz {
+
+namespace {
+
+/// A freshly parsed (NOT sema-checked — sema lowers forasync in place and
+/// we must print the program as written) copy of the current best text,
+/// plus its statement slots in a deterministic pre-order.
+struct Parsed {
+  std::unique_ptr<SourceManager> SM;
+  std::unique_ptr<DiagnosticsEngine> Diags;
+  std::unique_ptr<AstContext> Ctx;
+  Program *Prog = nullptr;
+
+  /// Every (block, child index) pair, in pre-order over function bodies.
+  /// Removal candidates and hoist anchors both index this list, so the
+  /// enumeration order is the reducer's unit of determinism.
+  std::vector<std::pair<BlockStmt *, size_t>> Slots;
+
+  bool ok() const { return Prog && !Diags->hasErrors(); }
+};
+
+void collectSlots(BlockStmt *B, std::vector<std::pair<BlockStmt *, size_t>> &Out);
+
+void collectChildBlocks(Stmt *S,
+                        std::vector<std::pair<BlockStmt *, size_t>> &Out) {
+  auto Descend = [&Out](Stmt *Body) {
+    if (!Body)
+      return;
+    if (auto *BB = dyn_cast<BlockStmt>(Body))
+      collectSlots(BB, Out);
+    else
+      collectChildBlocks(Body, Out);
+  };
+  switch (S->kind()) {
+  case Stmt::Kind::Block:
+    collectSlots(cast<BlockStmt>(S), Out);
+    break;
+  case Stmt::Kind::If:
+    Descend(cast<IfStmt>(S)->thenStmt());
+    Descend(cast<IfStmt>(S)->elseStmt());
+    break;
+  case Stmt::Kind::While:
+    Descend(cast<WhileStmt>(S)->body());
+    break;
+  case Stmt::Kind::For:
+    Descend(cast<ForStmt>(S)->body());
+    break;
+  case Stmt::Kind::Async:
+    Descend(cast<AsyncStmt>(S)->body());
+    break;
+  case Stmt::Kind::Finish:
+    Descend(cast<FinishStmt>(S)->body());
+    break;
+  case Stmt::Kind::Isolated:
+    Descend(cast<IsolatedStmt>(S)->body());
+    break;
+  case Stmt::Kind::Forasync:
+    Descend(cast<ForasyncStmt>(S)->body());
+    break;
+  default:
+    break;
+  }
+}
+
+void collectSlots(BlockStmt *B,
+                  std::vector<std::pair<BlockStmt *, size_t>> &Out) {
+  for (size_t I = 0; I != B->stmts().size(); ++I) {
+    Out.emplace_back(B, I);
+    collectChildBlocks(B->stmts()[I], Out);
+  }
+}
+
+Parsed parseForEdit(const std::string &Source) {
+  Parsed P;
+  P.SM = std::make_unique<SourceManager>("reduce.hj", Source);
+  P.Diags = std::make_unique<DiagnosticsEngine>();
+  P.Ctx = std::make_unique<AstContext>();
+  Parser Pr(P.SM->buffer(), *P.Ctx, *P.Diags);
+  P.Prog = Pr.parseProgram();
+  if (!P.ok())
+    return P;
+  for (FuncDecl *F : P.Prog->funcs())
+    if (F->body())
+      collectSlots(F->body(), P.Slots);
+  return P;
+}
+
+/// Rebuilds \p Source with the statements in \p Remove (slot indices into
+/// the Parsed enumeration) deleted. Nested slots inside an also-removed
+/// subtree are erased from their (detached) blocks harmlessly.
+std::string applyRemoval(const Parsed &P, const std::vector<size_t> &Remove) {
+  // Group per block, erase descending so indices stay valid.
+  std::vector<std::pair<BlockStmt *, size_t>> Victims;
+  for (size_t Slot : Remove)
+    if (Slot < P.Slots.size())
+      Victims.push_back(P.Slots[Slot]);
+  std::sort(Victims.begin(), Victims.end(),
+            [](const auto &A, const auto &B) {
+              if (A.first != B.first)
+                return A.first < B.first;
+              return A.second > B.second;
+            });
+  for (const auto &[Block, Idx] : Victims)
+    Block->stmts().erase(Block->stmts().begin() +
+                         static_cast<ptrdiff_t>(Idx));
+  return printProgram(*P.Prog);
+}
+
+/// The statements a hoist of \p S splices in its place, or empty when \p S
+/// is not hoistable. Bodies that are blocks contribute their children;
+/// single-statement bodies contribute themselves.
+std::vector<Stmt *> hoistReplacement(Stmt *S) {
+  auto Splice = [](Stmt *Body, std::vector<Stmt *> &Out) {
+    if (!Body)
+      return;
+    if (auto *BB = dyn_cast<BlockStmt>(Body))
+      Out.insert(Out.end(), BB->stmts().begin(), BB->stmts().end());
+    else
+      Out.push_back(Body);
+  };
+  std::vector<Stmt *> R;
+  switch (S->kind()) {
+  case Stmt::Kind::Block:
+    Splice(S, R);
+    break;
+  case Stmt::Kind::Async:
+    Splice(cast<AsyncStmt>(S)->body(), R);
+    break;
+  case Stmt::Kind::Finish:
+    Splice(cast<FinishStmt>(S)->body(), R);
+    break;
+  case Stmt::Kind::Isolated:
+    Splice(cast<IsolatedStmt>(S)->body(), R);
+    break;
+  case Stmt::Kind::If:
+    Splice(cast<IfStmt>(S)->thenStmt(), R);
+    Splice(cast<IfStmt>(S)->elseStmt(), R);
+    break;
+  case Stmt::Kind::While:
+    Splice(cast<WhileStmt>(S)->body(), R);
+    break;
+  case Stmt::Kind::For:
+    Splice(cast<ForStmt>(S)->body(), R);
+    break;
+  case Stmt::Kind::Forasync:
+    Splice(cast<ForasyncStmt>(S)->body(), R);
+    break;
+  default:
+    break;
+  }
+  return R;
+}
+
+std::string applyHoist(const Parsed &P, size_t Slot) {
+  auto [Block, Idx] = P.Slots[Slot];
+  Stmt *S = Block->stmts()[Idx];
+  std::vector<Stmt *> R = hoistReplacement(S);
+  if (R.size() == 1 && R.front() == S)
+    return std::string(); // bare block of itself; nothing to do
+  Block->stmts().erase(Block->stmts().begin() + static_cast<ptrdiff_t>(Idx));
+  Block->stmts().insert(Block->stmts().begin() + static_cast<ptrdiff_t>(Idx),
+                        R.begin(), R.end());
+  return printProgram(*P.Prog);
+}
+
+/// Driver state threaded through the passes.
+struct Reduction {
+  std::string Best;
+  const ReducePredicate &P;
+  const ReduceOptions &O;
+  ReduceResult Res;
+
+  Reduction(std::string Seed, const ReducePredicate &P, const ReduceOptions &O)
+      : Best(std::move(Seed)), P(P), O(O) {}
+
+  bool budgetLeft() const { return Res.Tests < O.MaxTests; }
+
+  /// Evaluates the predicate on \p Candidate; on success adopts it as the
+  /// new best and returns true.
+  bool accept(const std::string &Candidate, size_t StmtsRemoved) {
+    if (Candidate.empty() || Candidate == Best || !budgetLeft())
+      return false;
+    ++Res.Tests;
+    obs::counter("fuzz.reduce_tests").inc();
+    if (!P(Candidate))
+      return false;
+    Best = Candidate;
+    Res.RemovedStmts += StmtsRemoved;
+    return true;
+  }
+
+  /// Chunked ddmin over statement slots: try deleting runs of chunk
+  /// consecutive slots, halving the chunk until single-statement scans
+  /// find nothing — at which point the best text is 1-minimal under
+  /// statement deletion. Returns true when anything was removed.
+  bool statementPass() {
+    bool Changed = false;
+    size_t N = countSlots();
+    size_t Chunk = std::max<size_t>(1, N / 2);
+    while (true) {
+      size_t Pos = 0;
+      while (Pos < N && budgetLeft()) {
+        size_t End = std::min(N, Pos + Chunk);
+        std::vector<size_t> Remove;
+        for (size_t I = Pos; I != End; ++I)
+          Remove.push_back(I);
+        Parsed Base = parseForEdit(Best);
+        if (!Base.ok())
+          return Changed; // should not happen: best always parses
+        if (accept(applyRemoval(Base, Remove), End - Pos)) {
+          Changed = true;
+          N = countSlots();
+          // Do not advance: the slots shifted down into Pos.
+        } else {
+          Pos = End;
+        }
+      }
+      if (Chunk == 1 || !budgetLeft())
+        break;
+      Chunk = std::max<size_t>(1, Chunk / 2);
+    }
+    return Changed;
+  }
+
+  /// Replace structured statements with their bodies (peels one layer of
+  /// async/finish/if/loop nesting per accepted hoist).
+  bool hoistPass() {
+    bool Changed = false;
+    size_t Slot = 0;
+    while (budgetLeft()) {
+      Parsed Base = parseForEdit(Best);
+      if (!Base.ok() || Slot >= Base.Slots.size())
+        break;
+      auto [Block, Idx] = Base.Slots[Slot];
+      if (hoistReplacement(Block->stmts()[Idx]).empty()) {
+        ++Slot; // not a structured statement
+        continue;
+      }
+      if (accept(applyHoist(Base, Slot), 0))
+        Changed = true; // re-scan the same slot: new statements moved in
+      else
+        ++Slot;
+    }
+    return Changed;
+  }
+
+  /// Drop unreferenced top-level declarations (globals and non-main
+  /// functions); sema-invalid candidates are rejected by the predicate.
+  bool declPass() {
+    bool Changed = false;
+    size_t Which = 0;
+    while (budgetLeft()) {
+      Parsed Base = parseForEdit(Best);
+      if (!Base.ok())
+        break;
+      size_t NumGlobals = Base.Prog->globals().size();
+      size_t NumFuncs = Base.Prog->funcs().size();
+      if (Which >= NumGlobals + NumFuncs)
+        break;
+      if (Which < NumGlobals) {
+        Base.Prog->globals().erase(Base.Prog->globals().begin() +
+                                   static_cast<ptrdiff_t>(Which));
+      } else {
+        size_t F = Which - NumGlobals;
+        if (Base.Prog->funcs()[F]->name() == "main") {
+          ++Which;
+          continue;
+        }
+        Base.Prog->funcs().erase(Base.Prog->funcs().begin() +
+                                 static_cast<ptrdiff_t>(F));
+      }
+      if (accept(printProgram(*Base.Prog), 0))
+        Changed = true; // same index now names the next declaration
+      else
+        ++Which;
+    }
+    return Changed;
+  }
+
+  size_t countSlots() {
+    Parsed Base = parseForEdit(Best);
+    return Base.ok() ? Base.Slots.size() : 0;
+  }
+};
+
+} // namespace
+
+ReduceResult reduceProgram(const std::string &Source, const ReducePredicate &P,
+                           const ReduceOptions &O) {
+  Reduction R(Source, P, O);
+  R.Res.Text = Source;
+  ++R.Res.Tests;
+  if (!P(Source))
+    return R.Res; // PredicateHeld stays false
+  R.Res.PredicateHeld = true;
+  if (!parseForEdit(Source).ok()) {
+    // The failure is a parse error of the input itself; structural
+    // reduction needs a parsable program, so return it untouched.
+    R.Res.Minimal = true;
+    return R.Res;
+  }
+
+  bool Changed = true;
+  while (Changed && R.Res.Rounds < O.MaxRounds && R.budgetLeft()) {
+    ++R.Res.Rounds;
+    Changed = false;
+    Changed |= R.statementPass();
+    Changed |= R.declPass();
+    Changed |= R.hoistPass();
+  }
+  R.Res.Minimal = !Changed && R.budgetLeft();
+  R.Res.Text = R.Best;
+  obs::counter("fuzz.reductions").inc();
+  return R.Res;
+}
+
+size_t countRemovableSlots(const std::string &Source) {
+  Parsed P = parseForEdit(Source);
+  return P.ok() ? P.Slots.size() : 0;
+}
+
+std::string removeSlot(const std::string &Source, size_t Slot) {
+  Parsed P = parseForEdit(Source);
+  if (!P.ok() || Slot >= P.Slots.size())
+    return Source;
+  return applyRemoval(P, {Slot});
+}
+
+} // namespace fuzz
+} // namespace tdr

@@ -1,0 +1,76 @@
+//===- Reduce.h - Delta-debugging program reducer ----------------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shrinks a failure-inducing HJ-mini program to a small reproducer while
+/// a caller-supplied predicate keeps holding (classic ddmin, specialized
+/// to the AST): chunked statement deletion over every block slot, body
+/// hoisting (replace `async { S... }` and friends with `S...`), and
+/// top-level declaration removal, iterated to a fixpoint. Candidates are
+/// built structurally — parse the current best, edit statement lists,
+/// print with AstPrinter — so every candidate is well-formed text and the
+/// reduction is deterministic and idempotent: the result is a fixpoint of
+/// all passes, and reducing it again returns it unchanged.
+///
+/// The predicate sees candidate source text and decides everything,
+/// including validity (a candidate that no longer parses simply makes the
+/// predicate return false for oracle-style predicates). fuzz_reduce_test
+/// pins determinism, idempotence, and 1-minimality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_FUZZ_REDUCE_H
+#define TDR_FUZZ_REDUCE_H
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace tdr {
+namespace fuzz {
+
+/// Returns true when \p Source still reproduces the failure being
+/// minimized. Must be deterministic; it is called many times.
+using ReducePredicate = std::function<bool(const std::string &Source)>;
+
+struct ReduceOptions {
+  /// Outer fixpoint rounds safety cap (each round runs every pass once).
+  unsigned MaxRounds = 32;
+  /// Predicate-evaluation budget; reduction stops (Minimal=false) when
+  /// exhausted.
+  size_t MaxTests = 50000;
+};
+
+struct ReduceResult {
+  /// Reduced program text; equals the input when the predicate never held.
+  std::string Text;
+  /// The input itself satisfied the predicate (reduction was attempted).
+  bool PredicateHeld = false;
+  /// Reached the all-passes fixpoint within the budget: no single
+  /// statement removal, declaration removal, or hoist keeps the predicate
+  /// true (1-minimality at statement granularity).
+  bool Minimal = false;
+  size_t Tests = 0;        ///< predicate evaluations performed
+  size_t RemovedStmts = 0; ///< statements deleted across all passes
+  unsigned Rounds = 0;     ///< outer rounds executed
+};
+
+/// Minimizes \p Source under \p P. Deterministic: identical inputs yield
+/// identical results, with no randomness anywhere in the pass pipeline.
+ReduceResult reduceProgram(const std::string &Source, const ReducePredicate &P,
+                           const ReduceOptions &O = ReduceOptions());
+
+/// Test hooks for 1-minimality checks: the number of removable statement
+/// slots of \p Source (block children, pre-order), and \p Source with the
+/// statement in slot \p Slot removed (re-printed). Out-of-range slots and
+/// unparsable sources return the input unchanged.
+size_t countRemovableSlots(const std::string &Source);
+std::string removeSlot(const std::string &Source, size_t Slot);
+
+} // namespace fuzz
+} // namespace tdr
+
+#endif // TDR_FUZZ_REDUCE_H

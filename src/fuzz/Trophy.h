@@ -1,0 +1,69 @@
+//===- Trophy.h - Persistent minimized-failure corpus ------------*- C++ -*-===//
+//
+// Part of the tdr project (PLDI 2014 race-repair reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A trophy is one minimized fuzz finding, persisted as a pair of files in
+/// a corpus directory (tests/trophies/ for the checked-in set):
+///
+///   <name>.hj           the minimized HJ-mini reproducer
+///   <name>.trophy.json  metadata: schema/version, the finding kind, the
+///                       oracle config that fired, the generator seed, and
+///                       the expected/actual evidence captured at find time
+///
+/// Trophies carry a status: "open" means the bug still reproduces (the
+/// trophy_test runner asserts the recorded finding kind still fires) and
+/// "fixed" means it must no longer reproduce (the runner asserts the full
+/// oracle is clean — a permanent regression test). `tdr fuzz` persists new
+/// findings as "open"; flipping to "fixed" is a reviewed edit made when
+/// the underlying bug is repaired.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDR_FUZZ_TROPHY_H
+#define TDR_FUZZ_TROPHY_H
+
+#include "fuzz/Oracle.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tdr {
+namespace fuzz {
+
+/// Current .trophy.json schema tag and version; check_fuzz.py and
+/// trophy_test reject anything else.
+inline constexpr const char *TrophySchema = "tdr-trophy";
+inline constexpr int TrophyVersion = 1;
+
+struct Trophy {
+  std::string Name;               ///< corpus-unique file stem
+  std::string Status = "open";    ///< "open" | "fixed"
+  FindingKind Kind = FindingKind::BackendMismatch;
+  uint64_t Seed = 0;              ///< generator seed that produced it
+  OracleConfig Config;            ///< oracle configuration that fired
+  std::string Detail;             ///< finding summary at capture time
+  std::string Expected;           ///< reference evidence at capture time
+  std::string Actual;             ///< divergent evidence at capture time
+  std::string Source;             ///< minimized program text
+};
+
+/// Writes <Dir>/<Name>.hj and <Dir>/<Name>.trophy.json, creating \p Dir if
+/// needed. Returns false (with \p Error set) on I/O failure.
+bool writeTrophy(const std::string &Dir, const Trophy &T, std::string &Error);
+
+/// Loads the trophy described by \p JsonPath (and its sibling .hj).
+/// Returns false with \p Error set on I/O, schema, or field errors.
+bool readTrophy(const std::string &JsonPath, Trophy &Out, std::string &Error);
+
+/// All .trophy.json paths directly under \p Dir, sorted by path for
+/// deterministic iteration. Missing directories yield an empty list.
+std::vector<std::string> listTrophies(const std::string &Dir);
+
+} // namespace fuzz
+} // namespace tdr
+
+#endif // TDR_FUZZ_TROPHY_H

@@ -1,202 +1,27 @@
-//===- RandomProgram.h - Random async-finish program generator ---*- C++ -*-===//
+//===- RandomProgram.h - Random program generator (test alias) ---*- C++ -*-===//
 //
 // Part of the tdr project (PLDI 2014 race-repair reproduction).
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Generates random HJ-mini programs for property tests: nested async /
-/// finish / block / if / loop structure around reads and writes of shared
-/// global array cells. The generator aims for racy programs (no
-/// synchronization discipline), exercising the detectors and the repair
-/// pipeline far beyond the hand-written corpus.
+/// The random program generator now lives in src/fuzz/RandomProgram.h,
+/// shared by the fuzz farm, the benches, and these property tests. This
+/// header keeps the historical tdr::test spelling working; the default
+/// profile is byte-stable across the promotion (golden hashes pinned in
+/// fuzz_reduce_test), so seeded differential tests keep their corpora.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef TDR_TESTS_RANDOMPROGRAM_H
 #define TDR_TESTS_RANDOMPROGRAM_H
 
-#include "support/Rng.h"
-#include "support/StringUtils.h"
-
-#include <string>
+#include "fuzz/RandomProgram.h"
 
 namespace tdr {
 namespace test {
 
-class RandomProgramGen {
-public:
-  explicit RandomProgramGen(uint64_t Seed) : R(Seed) {}
-
-  /// Switches to the sparse-heap profile: arrays grow to 2^18 cells and
-  /// cell indices are biased to huge strided positions (hot low cells for
-  /// race collisions, hot cells near the top of the span, page-hostile
-  /// stride sweeps, and uniform tails), which is the access shape the
-  /// two-level shadow map exists for. The final checksum loop samples the
-  /// arrays with a large stride so interpretation stays fast. The default
-  /// profile's generated text is unchanged, so existing seeds reproduce
-  /// identical programs.
-  void enableSparseHeap() {
-    Cells = 1 << 18;
-    SumStride = Cells / 8;
-  }
-
-  /// Opt-in: also generate the extended constructs — `future`/`force`
-  /// pairs (through a shared-array-touching helper), `isolated` sections
-  /// over simple statements, and chunked `forasync` loops. Off by default,
-  /// and the default profile draws the same random sequence as before, so
-  /// existing seeds reproduce byte-identical programs.
-  void enableConstructs() { Constructs = true; }
-
-  /// Returns a full HJ-mini program. Shared state: global int arrays
-  /// D0..D2 of size Cells; every statement touches random cells.
-  std::string generate() {
-    std::string Body = stmts(/*Depth=*/0, /*Budget=*/3 + R.nextBelow(12));
-    // The future helper reads and writes the shared arrays, so future
-    // subtrees participate in races like any async.
-    const char *FutureHelper = !Constructs ? ""
-                                           : "\nfunc fwork(i: int): int {\n"
-                                             "  D0[i] = D0[i] + i;\n"
-                                             "  return D1[i] + i;\n"
-                                             "}\n";
-    return strFormat(R"(
-var D0: int[];
-var D1: int[];
-var D2: int[];
-
-func touch(i: int, v: int) {
-  D2[i %% %d] = v + D1[(v + i) %% %d];
-}
-%s
-func main() {
-  D0 = new int[%d];
-  D1 = new int[%d];
-  D2 = new int[%d];
-%s  var sum: int = 0;
-  for (var i: int = 0; i < %d; i = i + %d) {
-    sum = sum + D0[i] + D1[i] * 3 + D2[i] * 7;
-  }
-  print(sum);
-}
-)",
-                     Cells, Cells, FutureHelper, Cells, Cells, Cells,
-                     Body.c_str(), Cells, SumStride);
-  }
-
-private:
-  uint64_t cellIndex() {
-    if (Cells <= 8)
-      return R.nextBelow(Cells);
-    switch (R.nextBelow(4)) {
-    case 0: // hot low cells: dense collisions keep the programs racy
-      return R.nextBelow(8);
-    case 1: // hot page at the far end of the span
-      return static_cast<uint64_t>(Cells) - 16 + R.nextBelow(8);
-    case 2: // page-hostile stride sweep across the whole span
-      return (R.nextBelow(64) * 4097) % static_cast<uint64_t>(Cells);
-    default: // anywhere
-      return R.nextBelow(Cells);
-    }
-  }
-
-  std::string cell(const char *Arr) {
-    return strFormat("%s[%llu]", Arr,
-                     static_cast<unsigned long long>(cellIndex()));
-  }
-
-  const char *arr() {
-    const char *Names[3] = {"D0", "D1", "D2"};
-    return Names[R.nextBelow(3)];
-  }
-
-  /// One random statement at nesting depth Depth.
-  std::string stmt(unsigned Depth) {
-    unsigned Kind = static_cast<unsigned>(R.nextBelow(Constructs ? 13 : 10));
-    std::string Ind(2 * (Depth + 1), ' ');
-    if (Depth >= 4 || InIsolated)
-      Kind %= 4; // bottom out: only simple statements
-    switch (Kind) {
-    case 0:
-    case 1: // write
-      return Ind + cell(arr()) + " = " + cell(arr()) + " + " +
-             std::to_string(R.nextBelow(100)) + ";\n";
-    case 2: // call that reads and writes
-      return Ind +
-             strFormat("touch(%llu, %llu);\n",
-                       static_cast<unsigned long long>(R.nextBelow(Cells)),
-                       static_cast<unsigned long long>(R.nextBelow(50)));
-    case 3: // compound write
-      return Ind + cell(arr()) + " += " + std::to_string(R.nextBelow(9) + 1) +
-             ";\n";
-    case 4: { // loop of writes
-      std::string Var = strFormat("k%u", VarCounter++);
-      return Ind +
-             strFormat("for (var %s: int = 0; %s < %llu; %s = %s + 1) {\n",
-                       Var.c_str(), Var.c_str(),
-                       static_cast<unsigned long long>(1 + R.nextBelow(4)),
-                       Var.c_str(), Var.c_str()) +
-             stmts(Depth + 1, 1 + R.nextBelow(2)) + Ind + "}\n";
-    }
-    case 5: { // if
-      return Ind +
-             strFormat("if (%s > %llu) {\n", cell(arr()).c_str(),
-                       static_cast<unsigned long long>(R.nextBelow(60))) +
-             stmts(Depth + 1, 1 + R.nextBelow(2)) + Ind + "}\n";
-    }
-    case 6:
-    case 7: { // async
-      return Ind + "async {\n" + stmts(Depth + 1, 1 + R.nextBelow(3)) + Ind +
-             "}\n";
-    }
-    case 8: { // finish
-      return Ind + "finish {\n" + stmts(Depth + 1, 1 + R.nextBelow(3)) + Ind +
-             "}\n";
-    }
-    case 9: { // bare block
-      return Ind + "{\n" + stmts(Depth + 1, 1 + R.nextBelow(2)) + Ind + "}\n";
-    }
-    case 10: { // future spawned, raced against, then forced
-      std::string Var = strFormat("fu%u", VarCounter++);
-      uint64_t Idx = cellIndex();
-      return Ind + "{\n" + Ind + "  " +
-             strFormat("future %s = fwork(%llu);\n", Var.c_str(),
-                       static_cast<unsigned long long>(Idx)) +
-             stmts(Depth + 1, 1 + R.nextBelow(2)) + Ind + "  " + cell(arr()) +
-             " = " + strFormat("force(%s);\n", Var.c_str()) + Ind + "}\n";
-    }
-    case 11: { // isolated section over simple statements only (sema
-               // forbids spawns, finish, force, and return inside)
-      InIsolated = true;
-      std::string Body = stmts(Depth + 1, 1 + R.nextBelow(2));
-      InIsolated = false;
-      return Ind + "isolated {\n" + Body + Ind + "}\n";
-    }
-    default: { // chunked forasync
-      std::string Var = strFormat("fa%u", VarCounter++);
-      return Ind +
-             strFormat("forasync (var %s: int = 0; %s < %llu; chunk %llu) {\n",
-                       Var.c_str(), Var.c_str(),
-                       static_cast<unsigned long long>(2 + R.nextBelow(6)),
-                       static_cast<unsigned long long>(1 + R.nextBelow(3))) +
-             stmts(Depth + 1, 1 + R.nextBelow(2)) + Ind + "}\n";
-    }
-    }
-  }
-
-  std::string stmts(unsigned Depth, unsigned Count) {
-    std::string Out;
-    for (unsigned I = 0; I != Count; ++I)
-      Out += stmt(Depth);
-    return Out;
-  }
-
-  Rng R;
-  unsigned VarCounter = 0;
-  int Cells = 8;
-  int SumStride = 1;
-  bool Constructs = false;
-  bool InIsolated = false;
-};
+using fuzz::RandomProgramGen;
 
 } // namespace test
 } // namespace tdr

@@ -235,6 +235,41 @@ def validate_shadow_rows(results):
     )
 
 
+def validate_fuzz_rows(results):
+    families = set()
+    profiles = set()
+    farm_jobs = set()
+    for i, row in enumerate(results):
+        families.add(row["family"])
+        check(row["programs"] > 0, f"result {i} checked no programs")
+        check(row["seconds"] > 0, f"result {i} has non-positive duration")
+        check(
+            row["programs_per_sec"] > 0, f"result {i} has non-positive rate"
+        )
+        check(row["detect_runs"] > 0, f"result {i} performed no detections")
+        check(row["findings"] >= 0, f"result {i} has negative findings")
+        check(row["jobs"] >= 1, f"result {i} ran with no workers")
+        if row["family"] == "oracle":
+            profiles.add(row["profile"])
+        elif row["family"] == "farm":
+            farm_jobs.add(row["jobs"])
+            check(
+                row.get("speedup_vs_1job", 0) > 0,
+                f"result {i} ({row['name']}) missing speedup_vs_1job",
+            )
+
+    # The report's point is the per-profile oracle cost plus the farm's
+    # worker scaling off the 1-job baseline.
+    check("oracle" in families, "no 'oracle' rows in report")
+    check("farm" in families, "no 'farm' rows in report")
+    expected = {"default", "constructs", "sparse"}
+    check(
+        expected <= profiles,
+        f"expected oracle profiles {sorted(expected)}, got {sorted(profiles)}",
+    )
+    check(1 in farm_jobs, "no 1-job farm baseline row in report")
+
+
 # Per-report row schema, semantic checks, the field --min-speedup gates
 # on, and the field --max-bytes-ratio gates on (None when the bench
 # reports no footprint ratio), keyed by the report name the bench binary
@@ -338,6 +373,23 @@ BENCHES = {
         validate_shadow_rows,
         "speedup_vs_base",
         "bytes_ratio_vs_base",
+    ),
+    "fuzz": (
+        {
+            "name",
+            "family",
+            "profile",
+            "jobs",
+            "programs",
+            "seconds",
+            "programs_per_sec",
+            "detect_runs",
+            "findings",
+            "speedup_vs_1job",
+        },
+        validate_fuzz_rows,
+        "speedup_vs_1job",
+        None,
     ),
 }
 

@@ -12,6 +12,7 @@
 //   tdr stats   prog.hj [--arg N]... [--procs P]           T1/Tinf/TP
 //   tdr dot     prog.hj [--arg N]...                       S-DPST Graphviz
 //   tdr batch   manifest [--jobs N] [--srw] [-o outdir]    parallel repairs
+//   tdr fuzz    [--programs N] [--jobs N] [--seed S]       differential fuzz
 //   tdr explain report.json                                explain a report
 //   tdr dump    <benchmark-name>                           suite source
 //
@@ -20,6 +21,7 @@
 #include "ast/AstPrinter.h"
 #include "batch/BatchRepair.h"
 #include "diag/RunReport.h"
+#include "fuzz/Fuzzer.h"
 #include "frontend/Parser.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
@@ -63,6 +65,13 @@ int usage() {
       "  tdr batch   manifest [--jobs N] [--srw] [--backend B] [--no-replay]"
       " [--constructs L] [-o outdir]\n"
       "              manifest lines: <prog.hj> [int args...]\n"
+      "  tdr fuzz    [--programs N] [--jobs N] [--seed S] [--summary FILE]\n"
+      "              [--trophy-dir DIR] [--time-budget SEC] [--no-reduce]\n"
+      "              [--no-repair]\n"
+      "              differential fuzz farm: random programs through every\n"
+      "              backend fresh + replayed and the repair loop; findings\n"
+      "              are ddmin-minimized and persisted as trophies. Exit 0\n"
+      "              when clean, 1 on findings\n"
       "  tdr explain report.json   pretty-print a --report document\n"
       "  tdr dump    <benchmark>   (e.g. Mergesort; see bench_table1)\n"
       "observability (any command):\n"
@@ -105,6 +114,14 @@ struct Options {
   unsigned Workers = 1;
   unsigned Jobs = 1;
   unsigned Procs = 12;
+  /// Fuzz-farm knobs (tdr fuzz only).
+  unsigned Programs = 2000;
+  uint64_t Seed = 1;
+  unsigned TimeBudget = 0;
+  bool NoReduce = false;
+  bool NoRepair = false;
+  std::string SummaryFile;
+  std::string TrophyDir = "fuzz-trophies";
   /// Resolved detection backend (--backend flag / TDR_BACKEND env; the
   /// flag and the environment must agree — see resolveBackend).
   DetectBackend Backend = DetectBackend::EspBags;
@@ -130,6 +147,20 @@ bool parsePositive(const char *Flag, const char *Text, unsigned &Out) {
     return false;
   }
   Out = static_cast<unsigned>(V);
+  return true;
+}
+
+/// Parses a non-negative 64-bit seed value (any uint64, 0 allowed).
+bool parseSeed(const char *Flag, const char *Text, uint64_t &Out) {
+  char *End = nullptr;
+  errno = 0;
+  unsigned long long V = std::strtoull(Text, &End, 10);
+  if (End == Text || *End != '\0' || errno == ERANGE || Text[0] == '-') {
+    std::fprintf(stderr, "error: %s expects a non-negative integer, got '%s'\n",
+                 Flag, Text);
+    return false;
+  }
+  Out = V;
   return true;
 }
 
@@ -168,7 +199,7 @@ bool resolveBackend(const std::string &Flag, Options &O) {
   return true;
 }
 
-bool parseOptions(int Argc, char **Argv, Options &O) {
+bool parseOptions(int Argc, char **Argv, Options &O, bool RequireFile) {
   std::string Backend;
   for (int I = 0; I != Argc; ++I) {
     if (!std::strcmp(Argv[I], "--arg") && I + 1 != Argc) {
@@ -177,6 +208,23 @@ bool parseOptions(int Argc, char **Argv, Options &O) {
       O.Srw = true;
     } else if (!std::strcmp(Argv[I], "--no-replay")) {
       O.NoReplay = true;
+    } else if (!std::strcmp(Argv[I], "--no-reduce")) {
+      O.NoReduce = true;
+    } else if (!std::strcmp(Argv[I], "--no-repair")) {
+      O.NoRepair = true;
+    } else if (!std::strcmp(Argv[I], "--programs") && I + 1 != Argc) {
+      if (!parsePositive("--programs", Argv[++I], O.Programs))
+        return false;
+    } else if (!std::strcmp(Argv[I], "--seed") && I + 1 != Argc) {
+      if (!parseSeed("--seed", Argv[++I], O.Seed))
+        return false;
+    } else if (!std::strcmp(Argv[I], "--time-budget") && I + 1 != Argc) {
+      if (!parsePositive("--time-budget", Argv[++I], O.TimeBudget))
+        return false;
+    } else if (!std::strcmp(Argv[I], "--summary") && I + 1 != Argc) {
+      O.SummaryFile = Argv[++I];
+    } else if (!std::strcmp(Argv[I], "--trophy-dir") && I + 1 != Argc) {
+      O.TrophyDir = Argv[++I];
     } else if (!std::strcmp(Argv[I], "--backend") && I + 1 != Argc) {
       Backend = Argv[++I];
     } else if (!std::strcmp(Argv[I], "--constructs") && I + 1 != Argc) {
@@ -208,6 +256,11 @@ bool parseOptions(int Argc, char **Argv, Options &O) {
                !std::strcmp(Argv[I], "--workers") ||
                !std::strcmp(Argv[I], "--jobs") ||
                !std::strcmp(Argv[I], "--procs") ||
+               !std::strcmp(Argv[I], "--programs") ||
+               !std::strcmp(Argv[I], "--seed") ||
+               !std::strcmp(Argv[I], "--time-budget") ||
+               !std::strcmp(Argv[I], "--summary") ||
+               !std::strcmp(Argv[I], "--trophy-dir") ||
                !std::strcmp(Argv[I], "-o") ||
                !std::strcmp(Argv[I], "--trace") ||
                !std::strcmp(Argv[I], "--metrics-json") ||
@@ -228,7 +281,11 @@ bool parseOptions(int Argc, char **Argv, Options &O) {
   }
   if (!resolveBackend(Backend, O))
     return false;
-  return !O.File.empty();
+  if (!RequireFile && !O.File.empty()) {
+    std::fprintf(stderr, "unexpected argument '%s'\n", O.File.c_str());
+    return false;
+  }
+  return !RequireFile || !O.File.empty();
 }
 
 struct Loaded {
@@ -638,6 +695,37 @@ int cmdBatch(const Options &O) {
   return Summary.NumFailed == 0 && !WriteFailed ? 0 : 1;
 }
 
+int cmdFuzz(const Options &O) {
+  fuzz::FuzzOptions FO;
+  FO.Programs = O.Programs;
+  FO.Seed = O.Seed;
+  FO.Jobs = O.Jobs;
+  FO.TrophyDir = O.TrophyDir;
+  FO.TimeBudgetSec = O.TimeBudget;
+  FO.Reduce = !O.NoReduce;
+  FO.CheckRepair = !O.NoRepair;
+
+  std::string Progress;
+  fuzz::FuzzSummary S = fuzz::runFuzz(FO, &Progress);
+  std::fputs(Progress.c_str(), stderr);
+
+  std::string Json = fuzz::renderFuzzSummaryJson(S, FO);
+  if (O.SummaryFile.empty() || O.SummaryFile == "-") {
+    std::fputs(Json.c_str(), stdout);
+  } else {
+    std::ofstream Out(O.SummaryFile);
+    Out << Json;
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   O.SummaryFile.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "tdr: wrote fuzz summary to %s\n",
+                 O.SummaryFile.c_str());
+  }
+  return S.clean() ? 0 : 1;
+}
+
 int cmdDump(const std::string &Name) {
   const BenchmarkSpec *B = findBenchmark(Name);
   if (!B) {
@@ -666,6 +754,8 @@ int dispatch(const std::string &Cmd, const Options &O) {
     return cmdCoverage(O);
   if (Cmd == "batch")
     return cmdBatch(O);
+  if (Cmd == "fuzz")
+    return cmdFuzz(O);
   if (Cmd == "explain")
     return cmdExplain(O);
   return usage();
@@ -674,14 +764,17 @@ int dispatch(const std::string &Cmd, const Options &O) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  if (Argc < 3)
+  if (Argc < 2)
     return usage();
   std::string Cmd = Argv[1];
+  // fuzz generates its own corpus; every other command names an input file.
+  if (Cmd != "fuzz" && Argc < 3)
+    return usage();
   if (Cmd == "dump")
     return cmdDump(Argv[2]);
 
   Options O;
-  if (!parseOptions(Argc - 2, Argv + 2, O))
+  if (!parseOptions(Argc - 2, Argv + 2, O, /*RequireFile=*/Cmd != "fuzz"))
     return usage();
 
   if (!O.TraceFile.empty())
